@@ -1,0 +1,498 @@
+//! Two-pass text assembler.
+//!
+//! Syntax overview (see `examples/` at the workspace root for full programs):
+//!
+//! ```text
+//! ; comments start with ';' or '#'
+//! .data
+//! arr:  .f64 1.0, 2.0, 3.0
+//! tab:  .i64 10, 20
+//! buf:  .zero 256
+//! .text
+//! main:
+//!     movi  r1, 8
+//!     movi  r2, arr        ; data symbols become address immediates
+//! loop:
+//!     fld   f1, 0(r2)
+//!     fadd  f2, f2, f1
+//!     addi  r2, r2, 8
+//!     addi  r1, r1, -1
+//!     bne   r1, r0, loop
+//!     halt
+//! ```
+
+use std::collections::HashMap;
+
+use rcmc_isa::{DataSeg, Insn, Opcode, Program, Reg, DATA_BASE};
+
+/// A parse failure, with 1-based source line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable message.
+    pub msg: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(line: usize, msg: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError { line, msg: msg.into() })
+}
+
+/// One operand token.
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Reg(Reg),
+    Imm(i64),
+    /// `imm(reg)` memory operand.
+    Mem(i64, Reg),
+    /// symbol or label reference
+    Sym(String),
+    /// `sym(reg)` memory operand with symbolic offset
+    MemSym(String, Reg),
+}
+
+fn parse_reg(s: &str) -> Option<Reg> {
+    // strip_prefix (not split_at) so multi-byte UTF-8 input cannot panic.
+    if let Some(num) = s.strip_prefix('r') {
+        let n: u8 = num.parse().ok()?;
+        return (n < 32).then_some(Reg::Int(n));
+    }
+    if let Some(num) = s.strip_prefix('f') {
+        let n: u8 = num.parse().ok()?;
+        return (n < 32).then_some(Reg::Fp(n));
+    }
+    None
+}
+
+fn parse_imm(s: &str) -> Option<i64> {
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("-0x")) {
+        let v = i64::from_str_radix(hex, 16).ok()?;
+        Some(if s.starts_with('-') { -v } else { v })
+    } else {
+        s.parse().ok()
+    }
+}
+
+fn parse_operand(s: &str, line: usize) -> Result<Tok, ParseError> {
+    let s = s.trim();
+    if let Some(open) = s.find('(') {
+        let Some(stripped) = s.strip_suffix(')') else {
+            return err(line, format!("malformed memory operand '{s}'"));
+        };
+        let off = &s[..open];
+        let reg = &stripped[open + 1..];
+        let Some(reg) = parse_reg(reg) else {
+            return err(line, format!("bad base register in '{s}'"));
+        };
+        if off.is_empty() {
+            return Ok(Tok::Mem(0, reg));
+        }
+        if let Some(v) = parse_imm(off) {
+            return Ok(Tok::Mem(v, reg));
+        }
+        return Ok(Tok::MemSym(off.to_string(), reg));
+    }
+    if let Some(r) = parse_reg(s) {
+        return Ok(Tok::Reg(r));
+    }
+    if let Some(v) = parse_imm(s) {
+        return Ok(Tok::Imm(v));
+    }
+    if s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.') && !s.is_empty() {
+        return Ok(Tok::Sym(s.to_string()));
+    }
+    err(line, format!("unrecognized operand '{s}'"))
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find([';', '#']) {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+struct PendingInsn {
+    line: usize,
+    mnemonic: String,
+    operands: Vec<Tok>,
+}
+
+/// Parse assembly text into a [`Program`].
+pub fn parse(src: &str) -> Result<Program, ParseError> {
+    let mut code_labels: HashMap<String, u32> = HashMap::new();
+    let mut data_syms: HashMap<String, u64> = HashMap::new();
+    let mut data: Vec<u8> = Vec::new();
+    let mut pending: Vec<PendingInsn> = Vec::new();
+    let mut in_data = false;
+    let mut entry: Option<u32> = None;
+
+    let align8 = |data: &mut Vec<u8>| {
+        while data.len() % 8 != 0 {
+            data.push(0);
+        }
+    };
+
+    // -------- pass 1: collect labels, data, and raw instructions --------
+    for (lineno, raw) in src.lines().enumerate() {
+        let lineno = lineno + 1;
+        let mut line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        // Section switches.
+        if line == ".data" {
+            in_data = true;
+            continue;
+        }
+        if line == ".text" {
+            in_data = false;
+            continue;
+        }
+        // Leading labels (possibly several).
+        while let Some(colon) = line.find(':') {
+            let (name, rest) = line.split_at(colon);
+            let name = name.trim();
+            if name.is_empty()
+                || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+            {
+                break;
+            }
+            if in_data {
+                align8(&mut data);
+                if data_syms.insert(name.to_string(), DATA_BASE + data.len() as u64).is_some() {
+                    return err(lineno, format!("duplicate data symbol '{name}'"));
+                }
+            } else {
+                if code_labels.insert(name.to_string(), pending.len() as u32).is_some() {
+                    return err(lineno, format!("duplicate label '{name}'"));
+                }
+                if name == "main" {
+                    entry = Some(pending.len() as u32);
+                }
+            }
+            line = rest[1..].trim();
+        }
+        if line.is_empty() {
+            continue;
+        }
+        let (head, rest) = match line.find(char::is_whitespace) {
+            Some(i) => line.split_at(i),
+            None => (line, ""),
+        };
+        if in_data {
+            match head {
+                ".f64" => {
+                    align8(&mut data);
+                    for part in rest.split(',') {
+                        let v: f64 = part
+                            .trim()
+                            .parse()
+                            .map_err(|_| ParseError { line: lineno, msg: format!("bad f64 '{part}'") })?;
+                        data.extend_from_slice(&v.to_le_bytes());
+                    }
+                }
+                ".i64" => {
+                    align8(&mut data);
+                    for part in rest.split(',') {
+                        let v = parse_imm(part.trim()).ok_or_else(|| ParseError {
+                            line: lineno,
+                            msg: format!("bad i64 '{part}'"),
+                        })?;
+                        data.extend_from_slice(&v.to_le_bytes());
+                    }
+                }
+                ".zero" => {
+                    align8(&mut data);
+                    let n = parse_imm(rest.trim()).filter(|v| *v >= 0).ok_or_else(|| {
+                        ParseError { line: lineno, msg: format!("bad .zero size '{rest}'") }
+                    })?;
+                    data.resize(data.len() + n as usize, 0);
+                }
+                other => return err(lineno, format!("unknown data directive '{other}'")),
+            }
+            continue;
+        }
+        // Text section: an instruction.
+        let mnemonic = head.to_lowercase();
+        let mut operands = Vec::new();
+        let rest = rest.trim();
+        if !rest.is_empty() {
+            for part in rest.split(',') {
+                operands.push(parse_operand(part, lineno)?);
+            }
+        }
+        pending.push(PendingInsn { line: lineno, mnemonic, operands });
+    }
+
+    // -------- pass 2: resolve symbols and build instructions --------
+    let mut insns = Vec::with_capacity(pending.len());
+    for (pc, p) in pending.iter().enumerate() {
+        let insn = build_insn(pc as u32, p, &code_labels, &data_syms)?;
+        insn.validate().map_err(|e| ParseError {
+            line: p.line,
+            msg: format!("invalid instruction: {e}"),
+        })?;
+        insns.push(insn);
+    }
+
+    let data = if data.is_empty() {
+        Vec::new()
+    } else {
+        vec![DataSeg { addr: DATA_BASE, bytes: data }]
+    };
+    Ok(Program { insns, data, entry: entry.unwrap_or(0) })
+}
+
+fn resolve_sym(
+    name: &str,
+    line: usize,
+    data_syms: &HashMap<String, u64>,
+) -> Result<i64, ParseError> {
+    match data_syms.get(name) {
+        Some(&addr) => Ok(addr as i64),
+        None => err(line, format!("unknown data symbol '{name}'")),
+    }
+}
+
+fn to_i32(v: i64, line: usize) -> Result<i32, ParseError> {
+    i32::try_from(v).map_err(|_| ParseError { line, msg: format!("immediate {v} out of range") })
+}
+
+fn build_insn(
+    pc: u32,
+    p: &PendingInsn,
+    code_labels: &HashMap<String, u32>,
+    data_syms: &HashMap<String, u64>,
+) -> Result<Insn, ParseError> {
+    let line = p.line;
+    let op = Opcode::from_mnemonic(&p.mnemonic)
+        .ok_or_else(|| ParseError { line, msg: format!("unknown mnemonic '{}'", p.mnemonic) })?;
+    let ops = &p.operands;
+    let reg = |i: usize| -> Result<Reg, ParseError> {
+        match ops.get(i) {
+            Some(Tok::Reg(r)) => Ok(*r),
+            _ => err(line, format!("operand {} must be a register", i + 1)),
+        }
+    };
+    let imm_or_sym = |i: usize| -> Result<i64, ParseError> {
+        match ops.get(i) {
+            Some(Tok::Imm(v)) => Ok(*v),
+            Some(Tok::Sym(s)) => resolve_sym(s, line, data_syms),
+            _ => err(line, format!("operand {} must be an immediate or symbol", i + 1)),
+        }
+    };
+    let need = |n: usize| -> Result<(), ParseError> {
+        if ops.len() == n {
+            Ok(())
+        } else {
+            err(line, format!("expected {n} operands, got {}", ops.len()))
+        }
+    };
+
+    use Opcode::*;
+    let insn = match op {
+        Add | Sub | And | Or | Xor | Sll | Srl | Sra | Slt | Sltu | Mul | Div | Rem | Fadd
+        | Fsub | Fmul | Fdiv | Fmin | Fmax | Fcmplt | Fcmple | Fcmpeq => {
+            need(3)?;
+            Insn { op, rd: Some(reg(0)?), rs1: Some(reg(1)?), rs2: Some(reg(2)?), imm: 0 }
+        }
+        Addi | Andi | Ori | Xori | Slli | Srli | Srai | Slti => {
+            need(3)?;
+            Insn {
+                op,
+                rd: Some(reg(0)?),
+                rs1: Some(reg(1)?),
+                rs2: None,
+                imm: to_i32(imm_or_sym(2)?, line)?,
+            }
+        }
+        Movi => {
+            need(2)?;
+            Insn { op, rd: Some(reg(0)?), rs1: None, rs2: None, imm: to_i32(imm_or_sym(1)?, line)? }
+        }
+        Fneg | Fabs | Fmov | Fcvtif | Fcvtfi => {
+            need(2)?;
+            Insn { op, rd: Some(reg(0)?), rs1: Some(reg(1)?), rs2: None, imm: 0 }
+        }
+        Ld | Fld => {
+            need(2)?;
+            let (off, base) = match &ops[1] {
+                Tok::Mem(off, base) => (*off, *base),
+                Tok::MemSym(s, base) => (resolve_sym(s, line, data_syms)?, *base),
+                _ => return err(line, "second operand must be imm(reg)"),
+            };
+            Insn { op, rd: Some(reg(0)?), rs1: Some(base), rs2: None, imm: to_i32(off, line)? }
+        }
+        St | Fst => {
+            need(2)?;
+            let (off, base) = match &ops[1] {
+                Tok::Mem(off, base) => (*off, *base),
+                Tok::MemSym(s, base) => (resolve_sym(s, line, data_syms)?, *base),
+                _ => return err(line, "second operand must be imm(reg)"),
+            };
+            Insn { op, rd: None, rs1: Some(base), rs2: Some(reg(0)?), imm: to_i32(off, line)? }
+        }
+        Beq | Bne | Blt | Bge => {
+            need(3)?;
+            let target = match &ops[2] {
+                Tok::Sym(s) => *code_labels
+                    .get(s)
+                    .ok_or_else(|| ParseError { line, msg: format!("unknown label '{s}'") })?
+                    as i64,
+                Tok::Imm(v) => pc as i64 + 1 + v,
+                _ => return err(line, "branch target must be a label or offset"),
+            };
+            let off = target - (pc as i64 + 1);
+            Insn {
+                op,
+                rd: None,
+                rs1: Some(reg(0)?),
+                rs2: Some(reg(1)?),
+                imm: to_i32(off, line)?,
+            }
+        }
+        Jal => {
+            need(2)?;
+            let target = match &ops[1] {
+                Tok::Sym(s) => *code_labels
+                    .get(s)
+                    .ok_or_else(|| ParseError { line, msg: format!("unknown label '{s}'") })?
+                    as i64,
+                Tok::Imm(v) => pc as i64 + 1 + v,
+                _ => return err(line, "jal target must be a label or offset"),
+            };
+            let off = target - (pc as i64 + 1);
+            Insn { op, rd: Some(reg(0)?), rs1: None, rs2: None, imm: to_i32(off, line)? }
+        }
+        Jalr => {
+            need(3)?;
+            Insn {
+                op,
+                rd: Some(reg(0)?),
+                rs1: Some(reg(1)?),
+                rs2: None,
+                imm: to_i32(imm_or_sym(2)?, line)?,
+            }
+        }
+        Nop | Halt => {
+            need(0)?;
+            Insn { op, rd: None, rs1: None, rs2: None, imm: 0 }
+        }
+    };
+    Ok(insn)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_loop_program() {
+        let p = parse(
+            r#"
+            .data
+            arr: .f64 1.0, 2.0, 3.0
+            .text
+            main:
+                movi r1, 3
+                movi r2, arr
+            loop:
+                fld  f1, 0(r2)
+                fadd f2, f2, f1
+                addi r2, r2, 8
+                addi r1, r1, -1
+                bne  r1, r0, loop
+                halt
+            "#,
+        )
+        .unwrap();
+        assert_eq!(p.insns.len(), 8);
+        assert_eq!(p.entry, 0);
+        // bne at pc 6, loop at pc 2 => imm = 2 - 7 = -5
+        assert_eq!(p.insns[6].imm, -5);
+        assert_eq!(p.data[0].bytes.len(), 24);
+        // movi r2, arr resolves to the data base
+        assert_eq!(p.insns[1].imm as u64, DATA_BASE);
+    }
+
+    #[test]
+    fn unknown_mnemonic_reports_line() {
+        let e = parse("  frobnicate r1, r2\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.msg.contains("frobnicate"));
+    }
+
+    #[test]
+    fn unknown_label_fails() {
+        let e = parse("beq r1, r2, nowhere\n").unwrap_err();
+        assert!(e.msg.contains("nowhere"));
+    }
+
+    #[test]
+    fn duplicate_label_fails() {
+        let e = parse("a:\n nop\na:\n nop\n").unwrap_err();
+        assert!(e.msg.contains("duplicate"));
+    }
+
+    #[test]
+    fn store_operand_order() {
+        let p = parse(".data\nbuf: .zero 8\n.text\n movi r2, buf\n st r5, 0(r2)\n halt\n").unwrap();
+        let st = p.insns[1];
+        assert_eq!(st.op, Opcode::St);
+        assert_eq!(st.rs2, Some(Reg::Int(5))); // value
+        assert_eq!(st.rs1, Some(Reg::Int(2))); // base
+    }
+
+    #[test]
+    fn hex_and_negative_immediates() {
+        let p = parse("movi r1, 0x10\nmovi r2, -0x10\nmovi r3, -5\nhalt\n").unwrap();
+        assert_eq!(p.insns[0].imm, 16);
+        assert_eq!(p.insns[1].imm, -16);
+        assert_eq!(p.insns[2].imm, -5);
+    }
+
+    #[test]
+    fn symbolic_mem_offset() {
+        let p = parse(".data\nx: .i64 7\n.text\n ld r1, x(r0)\n halt\n").unwrap();
+        assert_eq!(p.insns[0].imm as u64, DATA_BASE);
+    }
+
+    #[test]
+    fn entry_is_main() {
+        let p = parse("nop\nmain:\n nop\n halt\n").unwrap();
+        assert_eq!(p.entry, 1);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let p = parse("; header\n\n  # another\n nop ; trailing\n halt\n").unwrap();
+        assert_eq!(p.insns.len(), 2);
+    }
+
+    #[test]
+    fn wrong_operand_count() {
+        let e = parse("add r1, r2\n").unwrap_err();
+        assert!(e.msg.contains("expected 3 operands"));
+    }
+
+    #[test]
+    fn roundtrip_through_disassembly() {
+        // Disassembled text of non-control instructions re-parses to the same
+        // instruction.
+        let src = "movi r1, 5\naddi r2, r1, -1\nmul r3, r2, r1\nfadd f1, f2, f3\nhalt\n";
+        let p1 = parse(src).unwrap();
+        let dis: String =
+            p1.insns.iter().map(|i| format!("{i}\n")).collect::<String>().replace("(", " (");
+        // our display uses `ld rd, imm(rs1)`; none here, so direct reparse:
+        let p2 = parse(&dis.replace(" (", "(")).unwrap();
+        assert_eq!(p1.insns, p2.insns);
+    }
+}

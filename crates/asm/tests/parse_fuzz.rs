@@ -1,0 +1,92 @@
+//! Fuzz-style property tests for the text assembler: arbitrary input never
+//! panics, and generated valid programs round-trip through disassembly.
+
+use proptest::prelude::*;
+use rcmc_asm::{parse, Asm};
+use rcmc_isa::Reg;
+
+proptest! {
+    #[test]
+    fn parser_never_panics_on_arbitrary_text(s in "\\PC{0,400}") {
+        let _ = parse(&s); // any outcome is fine; panics are not
+    }
+
+    #[test]
+    fn parser_never_panics_on_asm_shaped_text(
+        lines in prop::collection::vec(
+            prop_oneof![
+                Just(".data".to_string()),
+                Just(".text".to_string()),
+                "[a-z]{1,8}:".prop_map(|s| s),
+                ("[a-z]{2,6}", " r[0-9]{1,2}, r[0-9]{1,2}, r[0-9]{1,2}")
+                    .prop_map(|(m, ops)| format!("{m}{ops}")),
+                ("(ld|st|fld|fst)", " r[0-9]{1,2}, -?[0-9]{1,3}\\(r[0-9]{1,2}\\)")
+                    .prop_map(|(m, ops)| format!("{m}{ops}")),
+                Just("halt".to_string()),
+            ],
+            0..30,
+        )
+    ) {
+        let src = lines.join("\n");
+        let _ = parse(&src);
+    }
+
+    #[test]
+    fn builder_programs_reparse_from_disassembly(
+        ops in prop::collection::vec((0u8..5, 1u8..16, 0u8..16, -100i32..100), 1..50)
+    ) {
+        // Build a program of non-control instructions, disassemble it, parse
+        // the text back, and compare instruction-for-instruction.
+        let mut a = Asm::new();
+        for (kind, dst, src, imm) in &ops {
+            let (dst, src) = (Reg::int(*dst), Reg::int(*src));
+            match kind {
+                0 => a.add(dst, src, src),
+                1 => a.addi(dst, src, *imm),
+                2 => a.movi(dst, *imm),
+                3 => a.xor(dst, src, src),
+                _ => a.slti(dst, src, *imm),
+            }
+        }
+        a.halt();
+        let p1 = a.assemble().unwrap();
+        let text = p1.disassemble();
+        // Strip the `pc:` prefixes the disassembler adds.
+        let src_text: String = text
+            .lines()
+            .map(|l| l.splitn(2, ": ").nth(1).unwrap_or(l))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let p2 = parse(&src_text).unwrap();
+        prop_assert_eq!(p1.insns, p2.insns);
+    }
+
+    #[test]
+    fn branch_targets_always_in_range_after_assembly(
+        n_pads in 1usize..40,
+        back in prop::bool::ANY,
+    ) {
+        let mut a = Asm::new();
+        let target = a.new_label();
+        if back {
+            a.bind(target);
+        }
+        for _ in 0..n_pads {
+            a.nop();
+        }
+        a.beq(Reg::int(1), Reg::int(2), target);
+        if !back {
+            a.bind(target);
+        }
+        a.halt();
+        let p = a.assemble().unwrap();
+        let (pc, insn) = p
+            .insns
+            .iter()
+            .enumerate()
+            .find(|(_, i)| i.op == rcmc_isa::Opcode::Beq)
+            .unwrap();
+        let t = insn.branch_target(pc as u32) as usize;
+        prop_assert!(t < p.insns.len(), "target {} out of range", t);
+    }
+}

@@ -1,0 +1,119 @@
+//! Beyond-paper ablation studies (DESIGN.md §7):
+//!
+//! 1. **steering × topology cross** — is the win the ring bypass or the
+//!    dependence steering? Runs all four combinations.
+//! 2. **copy-release policy** — §3's proposed alternative (release-on-read)
+//!    vs the evaluated release-at-redefiner-commit.
+//! 3. **cluster-count scaling** — 2/4/8/16 clusters (generalizes the
+//!    paper's scalability claim).
+//! 4. **bus-latency scaling** — 1–4 cycles/hop (generalizes Figure 12).
+
+use rcmc_core::{CopyRelease, Steering, Topology};
+use rcmc_sim::report::{config_results, group_speedup, render_speedups};
+use rcmc_sim::runner::sweep;
+use rcmc_sim::{config, experiments};
+
+fn main() {
+    let (budget, store) = rcmc_bench::harness_env();
+    // A representative subset keeps the ablations fast; the main figures use
+    // the full suite.
+    let benches: Vec<&str> =
+        vec!["swim", "galgel", "ammp", "equake", "lucas", "mcf", "gcc", "gzip", "twolf", "vpr"];
+
+    // ---- 1. steering × topology cross ----
+    let mut cfgs = Vec::new();
+    for (topo, tname) in [(Topology::Ring, "Ring"), (Topology::Conv, "Conv")] {
+        for (steer, sname) in
+            [(Steering::RingDep, "depRing"), (Steering::ConvDcount, "dcount")]
+        {
+            let mut c = config::make(topo, 8, 2, 1);
+            c.core.steering = steer;
+            c.name = format!("x_{tname}_{sname}");
+            cfgs.push(c);
+        }
+    }
+    let results = sweep(&cfgs, &benches, &budget, &store);
+    let base = config_results(&results, "x_Conv_dcount");
+    let mut rows = Vec::new();
+    for c in &cfgs {
+        let rs = config_results(&results, &c.name);
+        rows.push((c.name.clone(), group_speedup(&rs, &base)));
+    }
+    println!(
+        "\n{}",
+        render_speedups("Ablation 1. Steering x topology (vs Conv+DCOUNT)", &rows)
+    );
+
+    // ---- 2. copy-release policy ----
+    let mut cfgs = Vec::new();
+    for (policy, pname) in [
+        (CopyRelease::AtRedefineCommit, "at_commit"),
+        (CopyRelease::OnLastRead, "on_read"),
+    ] {
+        let mut c = config::make(Topology::Ring, 8, 2, 1);
+        c.core.copy_release = policy;
+        c.name = format!("rel_{pname}");
+        cfgs.push(c);
+    }
+    let results = sweep(&cfgs, &benches, &budget, &store);
+    let base = config_results(&results, "rel_at_commit");
+    let on_read = config_results(&results, "rel_on_read");
+    let rows = vec![("release_on_read_vs_at_commit".to_string(), group_speedup(&on_read, &base))];
+    println!("\n{}", render_speedups("Ablation 2. Copy release policy (Ring 8c 1bus 2IW)", &rows));
+
+    // ---- 3. cluster scaling ----
+    let mut rows = Vec::new();
+    for n in [2usize, 4, 8, 16] {
+        let mut ring = config::make(Topology::Ring, n.max(2), 2, 1);
+        let mut conv = config::make(Topology::Conv, n.max(2), 2, 1);
+        ring.name = format!("scale_ring_{n}");
+        conv.name = format!("scale_conv_{n}");
+        let cfgs = vec![ring, conv];
+        let results = sweep(&cfgs, &benches, &budget, &store);
+        let r = config_results(&results, &format!("scale_ring_{n}"));
+        let c = config_results(&results, &format!("scale_conv_{n}"));
+        rows.push((format!("{n}_clusters"), group_speedup(&r, &c)));
+    }
+    println!(
+        "\n{}",
+        render_speedups("Ablation 3. Ring-over-Conv speedup vs cluster count (1 bus, 2IW)", &rows)
+    );
+
+    // ---- 4. bus latency scaling ----
+    let mut rows = Vec::new();
+    for hop in [1u32, 2, 3, 4] {
+        let mut ring = config::make(Topology::Ring, 8, 2, 1);
+        let mut conv = config::make(Topology::Conv, 8, 2, 1);
+        ring.core.hop_latency = hop;
+        conv.core.hop_latency = hop;
+        ring.name = format!("hop{hop}_ring");
+        conv.name = format!("hop{hop}_conv");
+        let cfgs = vec![ring, conv];
+        let results = sweep(&cfgs, &benches, &budget, &store);
+        let r = config_results(&results, &format!("hop{hop}_ring"));
+        let c = config_results(&results, &format!("hop{hop}_conv"));
+        rows.push((format!("{hop}_cycles_per_hop"), group_speedup(&r, &c)));
+    }
+    println!(
+        "\n{}",
+        render_speedups("Ablation 4. Ring-over-Conv speedup vs hop latency (8c, 1 bus)", &rows)
+    );
+
+    // Also exercise the activity-spread claim from §5.
+    let main = experiments::main_sweep(&budget, &store);
+    let ring = config_results(&main, "Ring_8clus_1bus_2IW");
+    let conv = config_results(&main, "Conv_8clus_1bus_2IW");
+    let spread = |rs: &[&rcmc_sim::RunResult]| {
+        let mut worst: f64 = 0.0;
+        for r in rs {
+            let mx = r.dispatch_shares.iter().copied().fold(0.0f64, f64::max);
+            worst = worst.max(mx);
+        }
+        worst
+    };
+    println!(
+        "Activity spread (worst per-cluster dispatch share over the suite):\n  Ring {:.3}  Conv {:.3}  (uniform = 0.125)",
+        spread(&ring),
+        spread(&conv)
+    );
+}

@@ -1,0 +1,20 @@
+//! Regenerates Figure 3: die placement of the cluster ring.
+use rcmc_layout::{ring_placement, ModuleKind};
+
+fn main() {
+    for n in [4usize, 8] {
+        let p = ring_placement(n);
+        println!("\nFigure 3. Placement for {n} clusters ({} cols x {} rows)", p.cols, p.rows);
+        for row in 0..p.rows {
+            let mut line = String::new();
+            for col in 0..p.cols {
+                let s = p.sites.iter().find(|s| s.row == row && s.col == col).unwrap();
+                let k = if s.kind == ModuleKind::Corner { 'C' } else { 'S' };
+                line += &format!("[clu{:<2}{k}] ", s.cluster);
+            }
+            println!("  {line}");
+        }
+        let (straight, corner) = p.module_counts();
+        println!("  modules: {straight} straight, {corner} corner; all ring neighbours physically adjacent");
+    }
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figures 4-5: module floorplans and max wire lengths.
+fn main() {
+    rcmc_bench::emit(&rcmc_sim::experiments::figure4_5());
+}

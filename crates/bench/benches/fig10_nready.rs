@@ -1,0 +1,8 @@
+//! Regenerates the paper figure via the shared main sweep (disk-cached).
+use rcmc_sim::experiments;
+
+fn main() {
+    let (budget, store) = rcmc_bench::harness_env();
+    let results = experiments::main_sweep(&budget, &store);
+    rcmc_bench::emit(&experiments::figure10(&results));
+}

@@ -1,0 +1,9 @@
+//! Regenerates Figure 12: Ring-vs-Conv speedup at 1 and 2 cycles per hop.
+use rcmc_sim::experiments;
+
+fn main() {
+    let (budget, store) = rcmc_bench::harness_env();
+    let main = experiments::main_sweep(&budget, &store);
+    let twocyc = experiments::fig12_sweep(&budget, &store);
+    rcmc_bench::emit(&experiments::figure12(&main, &twocyc));
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 13: Ring+SSA over Conv+SSA speedups.
+use rcmc_sim::experiments;
+
+fn main() {
+    let (budget, store) = rcmc_bench::harness_env();
+    let ssa = experiments::ssa_sweep(&budget, &store);
+    rcmc_bench::emit(&experiments::figure13(&ssa));
+}

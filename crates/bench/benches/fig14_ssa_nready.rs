@@ -1,0 +1,8 @@
+//! Regenerates Figure 14: workload imbalance (NREADY) under SSA.
+use rcmc_sim::experiments;
+
+fn main() {
+    let (budget, store) = rcmc_bench::harness_env();
+    let ssa = experiments::ssa_sweep(&budget, &store);
+    rcmc_bench::emit(&experiments::figure14(&ssa));
+}

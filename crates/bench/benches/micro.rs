@@ -1,0 +1,162 @@
+//! Criterion microbenchmarks of the simulator's hot components: branch
+//! prediction, cache access, bus reservation, steering, functional
+//! emulation, and whole-core simulation throughput.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use rcmc_core::bus::BusFabric;
+use rcmc_core::steer::{Dcount, Steerer};
+use rcmc_core::value::ValueTable;
+use rcmc_core::{Core, CoreConfig, Steering, Topology};
+use rcmc_emu::trace_program;
+use rcmc_uarch::{Bimodal, CacheConfig, Gshare, HybridPredictor, MemConfig, PredictorConfig, SetAssocCache};
+use rcmc_workloads::benchmark;
+
+fn bench_bpred(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bpred");
+    g.throughput(Throughput::Elements(1024));
+    g.bench_function("bimodal_1k_updates", |b| {
+        let mut p = Bimodal::new(2048);
+        let mut i = 0u32;
+        b.iter(|| {
+            for _ in 0..1024 {
+                i = i.wrapping_add(97);
+                let taken = i & 3 != 0;
+                let _ = p.predict(i);
+                p.update(i, taken);
+            }
+        })
+    });
+    g.bench_function("gshare_1k_updates", |b| {
+        let mut p = Gshare::new(2048);
+        let mut i = 0u32;
+        b.iter(|| {
+            for _ in 0..1024 {
+                i = i.wrapping_add(97);
+                let taken = i & 3 != 0;
+                let _ = p.predict(i);
+                p.update(i, taken);
+            }
+        })
+    });
+    g.bench_function("hybrid_1k_updates", |b| {
+        let mut p = HybridPredictor::new(&PredictorConfig::default());
+        let mut i = 0u32;
+        b.iter(|| {
+            for _ in 0..1024 {
+                i = i.wrapping_add(97);
+                let taken = i & 3 != 0;
+                let _ = p.predict(i);
+                p.update(i, taken);
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache");
+    g.throughput(Throughput::Elements(4096));
+    g.bench_function("l1d_stream_4k", |b| {
+        let mut cache =
+            SetAssocCache::new(CacheConfig { size: 32 * 1024, ways: 4, line: 32, latency: 2 });
+        let mut addr = 0u64;
+        b.iter(|| {
+            for _ in 0..4096 {
+                addr = addr.wrapping_add(40) & 0xf_ffff;
+                criterion::black_box(cache.access(addr));
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_bus(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bus");
+    g.throughput(Throughput::Elements(1024));
+    g.bench_function("reserve_tick_1k", |b| {
+        let cfg = CoreConfig::default();
+        let mut fabric = BusFabric::new(&cfg);
+        let mut i = 0usize;
+        b.iter(|| {
+            for _ in 0..1024 {
+                i = (i + 1) % 8;
+                criterion::black_box(fabric.buses[0].try_reserve(i, 1 + (i as u32 % 6)));
+                fabric.tick();
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_steering(c: &mut Criterion) {
+    let mut g = c.benchmark_group("steering");
+    g.throughput(Throughput::Elements(1024));
+    for (name, steering) in
+        [("ring_dep", Steering::RingDep), ("conv_dcount", Steering::ConvDcount), ("ssa", Steering::Ssa)]
+    {
+        g.bench_function(name, |b| {
+            let cfg = CoreConfig { steering, ..CoreConfig::default() };
+            let mut values = ValueTable::new(8, 48, 48);
+            let vids: Vec<_> = (0..16).map(|i| values.alloc_ready(i % 8, false)).collect();
+            let dcount = Dcount::new(8);
+            let mut steerer = Steerer::new();
+            b.iter(|| {
+                for i in 0..1024usize {
+                    let srcs = [vids[i % 16], vids[(i * 7 + 3) % 16]];
+                    criterion::black_box(steerer.steer(&cfg, &values, &dcount, &srcs));
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_emulator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("emulator");
+    let program = benchmark("swim").unwrap().build();
+    g.throughput(Throughput::Elements(50_000));
+    g.bench_function("trace_50k_swim", |b| {
+        b.iter(|| criterion::black_box(trace_program(&program, 50_000).unwrap().insns.len()))
+    });
+    g.finish();
+}
+
+fn bench_core(c: &mut Criterion) {
+    let mut g = c.benchmark_group("core");
+    g.sample_size(10);
+    let trace = {
+        let program = benchmark("galgel").unwrap().build();
+        trace_program(&program, 20_000).unwrap().insns
+    };
+    g.throughput(Throughput::Elements(trace.len() as u64));
+    for (name, topology, steering) in [
+        ("ring_20k_galgel", Topology::Ring, Steering::RingDep),
+        ("conv_20k_galgel", Topology::Conv, Steering::ConvDcount),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    Core::new(
+                        CoreConfig { topology, steering, ..CoreConfig::default() },
+                        MemConfig::default(),
+                        PredictorConfig::default(),
+                        &trace,
+                    )
+                },
+                |mut core| core.run(u64::MAX).committed,
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    name = micro;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1))
+        .sample_size(20);
+    targets = bench_bpred, bench_cache, bench_bus, bench_steering, bench_emulator, bench_core
+);
+criterion_main!(micro);

@@ -1,0 +1,4 @@
+//! Regenerates Table 1: per-block areas of the cluster components.
+fn main() {
+    rcmc_bench::emit(&rcmc_sim::experiments::table1());
+}

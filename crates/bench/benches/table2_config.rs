@@ -1,0 +1,4 @@
+//! Regenerates Table 2: the fixed processor configuration.
+fn main() {
+    println!("\n{}", rcmc_sim::config::table2_text());
+}

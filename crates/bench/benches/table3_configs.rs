@@ -1,0 +1,20 @@
+//! Regenerates Table 3: the ten evaluated configurations.
+fn main() {
+    println!("\nTable 3. Evaluated configurations");
+    println!("---------------------------------");
+    println!("{:12} {:>6} {:>12} {:>6}  name", "architect.", "clus", "issue width", "buses");
+    for c in rcmc_sim::config::evaluated_configs() {
+        let t = match c.core.topology {
+            rcmc_core::Topology::Ring => "Ring",
+            rcmc_core::Topology::Conv => "Conv",
+        };
+        println!(
+            "{:12} {:>6} {:>12} {:>6}  {}",
+            t,
+            c.core.n_clusters,
+            format!("{} INT + {} FP", c.core.iw_int, c.core.iw_fp),
+            c.core.n_buses,
+            c.name
+        );
+    }
+}

@@ -1,0 +1,8 @@
+//! Suite characterization table: dynamic instruction mix, dependence
+//! distances and footprints of the 26 SPEC2000 surrogates (the "benchmark
+//! description" table of the reproduction).
+fn main() {
+    println!("\nWorkload characterization (30k-instruction windows)");
+    println!("----------------------------------------------------");
+    print!("{}", rcmc_workloads::suite_table(30_000));
+}

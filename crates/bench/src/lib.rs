@@ -1,0 +1,36 @@
+//! # rcmc-bench — benchmark harness support
+//!
+//! The `benches/` directory of this crate regenerates **every table and
+//! figure** of the paper (see DESIGN.md §5 for the index):
+//!
+//! | target | reproduces |
+//! |--------|------------|
+//! | `table1_area` | Table 1 block areas |
+//! | `table2_config` | Table 2 processor configuration |
+//! | `table3_configs` | Table 3 evaluated configurations |
+//! | `fig03_placement` | Figure 3 die placement |
+//! | `fig04_05_floorplan` | Figures 4–5 wire lengths |
+//! | `fig06_speedup` … `fig11_distribution` | Figures 6–11 main sweep |
+//! | `fig12_buslat` | Figure 12 bus-latency study |
+//! | `fig13_ssa_speedup`, `fig14_ssa_nready` | Figures 13–14 SSA study |
+//! | `ablations` | beyond-paper studies (release policy, steering×topology) |
+//! | `micro` | Criterion microbenchmarks of the simulator's hot components |
+//!
+//! All sweep-based targets share one disk-backed result store
+//! (`target/rcmc-results/`), so repeated `cargo bench` invocations simulate
+//! each (configuration × benchmark) pair exactly once. Set `RCMC_INSTRS` /
+//! `RCMC_WARMUP` to change the window (results are keyed by the window).
+
+use rcmc_sim::runner::{Budget, ResultStore};
+
+/// The store and budget every figure target shares.
+pub fn harness_env() -> (Budget, ResultStore) {
+    (Budget::default(), ResultStore::open_default())
+}
+
+/// Print a figure header + body with a little framing so `cargo bench`
+/// output stays readable.
+pub fn emit(ex: &rcmc_sim::experiments::Experiment) {
+    println!("\n================================================================");
+    println!("{}", ex.text);
+}

@@ -1,0 +1,262 @@
+//! Back-end configuration.
+
+/// Cluster interconnect topology (the paper's two contenders).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Topology {
+    /// §3: results of cluster *i* are written to the register file of cluster
+    /// *(i+1) mod N* and wake up consumers there; no intra-cluster bypass.
+    /// All buses run forward (the ring direction).
+    Ring,
+    /// §4.1: conventional clusters with intra-cluster bypass; results stay in
+    /// the producing cluster. With two buses one runs forward and one
+    /// backward to halve worst-case distances.
+    Conv,
+}
+
+/// Steering algorithm selection.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Steering {
+    /// §3.1 dependence-based ring steering (free-register balance metric).
+    RingDep,
+    /// §4.1 DCOUNT-balanced locality steering (Parcerisa et al., PACT'02).
+    ConvDcount,
+    /// §4.7 simple steering: home cluster of the leftmost operand,
+    /// round-robin for operand-less instructions. No balance control.
+    Ssa,
+}
+
+/// Register-copy release policy (§3 discusses both; the paper evaluates
+/// `AtRedefineCommit`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CopyRelease {
+    /// All copies of a value are freed when the instruction that redefines
+    /// the architectural register commits (paper default).
+    AtRedefineCommit,
+    /// Non-home copies are freed as soon as their last dispatched reader has
+    /// issued; the home copy still waits for the redefiner's commit
+    /// (the paper's proposed alternative, implemented as an ablation).
+    OnLastRead,
+}
+
+/// Maximum supported cluster count (fixed-size arrays in hot structures).
+pub const MAX_CLUSTERS: usize = 16;
+
+/// Full back-end configuration. Defaults correspond to the paper's
+/// `8clus_1bus_2IW` configuration; `rcmc-sim` provides all Table 3 presets.
+#[derive(Clone, Debug)]
+pub struct CoreConfig {
+    /// Number of clusters (2..=16).
+    pub n_clusters: usize,
+    /// Integer issue width per cluster (also the number of INT ALUs and of
+    /// INT mul/div units).
+    pub iw_int: usize,
+    /// FP issue width per cluster (also the number of FP ALUs and FP mul/div
+    /// units).
+    pub iw_fp: usize,
+    /// Number of inter-cluster buses.
+    pub n_buses: usize,
+    /// Bus latency per hop in cycles (fully pipelined).
+    pub hop_latency: u32,
+    /// Interconnect topology.
+    pub topology: Topology,
+    /// Steering algorithm.
+    pub steering: Steering,
+    /// INT issue-queue entries per cluster.
+    pub iq_int: usize,
+    /// FP issue-queue entries per cluster.
+    pub iq_fp: usize,
+    /// Communication-queue entries per cluster.
+    pub iq_comm: usize,
+    /// Physical INT registers per cluster.
+    pub regs_int: usize,
+    /// Physical FP registers per cluster.
+    pub regs_fp: usize,
+    /// Reorder-buffer entries.
+    pub rob: usize,
+    /// Load/store-queue entries.
+    pub lsq: usize,
+    /// Fetch/decode width.
+    pub fetch_width: usize,
+    /// Commit width.
+    pub commit_width: usize,
+    /// Fetch-queue entries.
+    pub fetch_queue: usize,
+    /// Cycles from fetch to dispatch-eligibility (fetch + decode + rename;
+    /// the 1-cycle steering latency of §4.1 is the final stage).
+    pub frontend_depth: u32,
+    /// Committed-store buffer entries (drain to the D-cache in background).
+    pub store_buffer: usize,
+    /// DCOUNT imbalance threshold for [`Steering::ConvDcount`]
+    /// (difference in dispatched-but-unissued instruction counts).
+    pub dcount_threshold: f64,
+    /// Copy-release policy.
+    pub copy_release: CopyRelease,
+    /// Give up if no instruction commits for this many cycles (deadlock
+    /// detector; a model bug, never expected in normal runs).
+    pub watchdog_cycles: u64,
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        CoreConfig {
+            n_clusters: 8,
+            iw_int: 2,
+            iw_fp: 2,
+            n_buses: 1,
+            hop_latency: 1,
+            topology: Topology::Ring,
+            steering: Steering::RingDep,
+            iq_int: 16,
+            iq_fp: 16,
+            iq_comm: 16,
+            regs_int: 48,
+            regs_fp: 48,
+            rob: 256,
+            lsq: 128,
+            fetch_width: 8,
+            commit_width: 8,
+            fetch_queue: 64,
+            frontend_depth: 3,
+            store_buffer: 8,
+            // Calibrated by `cargo run -p rcmc-sim --example calibrate_dcount`
+            // to maximize the Conv baseline's performance (fair comparison:
+            // the paper's DCOUNT steering is tuned).
+            dcount_threshold: 16.0,
+            copy_release: CopyRelease::AtRedefineCommit,
+            watchdog_cycles: 200_000,
+        }
+    }
+}
+
+impl CoreConfig {
+    /// Sanity-check invariants the pipeline relies on.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n_clusters < 2 || self.n_clusters > MAX_CLUSTERS {
+            return Err(format!("n_clusters must be in 2..={MAX_CLUSTERS}"));
+        }
+        if self.n_buses == 0 || self.n_buses > 4 {
+            return Err("n_buses must be 1..=4".into());
+        }
+        if self.hop_latency == 0 {
+            return Err("hop_latency must be >= 1".into());
+        }
+        // Physical registers must cover the architectural state plus at least
+        // a little rename headroom, or dispatch can starve (see DESIGN.md).
+        if self.regs_int < rcmc_isa::NUM_INT_REGS + 8 {
+            return Err(format!(
+                "regs_int must be >= {} (arch regs + rename headroom)",
+                rcmc_isa::NUM_INT_REGS + 8
+            ));
+        }
+        if self.regs_fp < rcmc_isa::NUM_FP_REGS + 8 {
+            return Err(format!(
+                "regs_fp must be >= {} (arch regs + rename headroom)",
+                rcmc_isa::NUM_FP_REGS + 8
+            ));
+        }
+        if self.iw_int == 0 || self.iw_fp == 0 {
+            return Err("issue widths must be >= 1".into());
+        }
+        if self.rob == 0 || self.lsq == 0 || self.fetch_queue == 0 {
+            return Err("rob/lsq/fetch_queue must be nonzero".into());
+        }
+        Ok(())
+    }
+
+    /// The cluster whose register file receives results produced in
+    /// `cluster` (ring: the next cluster; conventional: the same one).
+    #[inline]
+    pub fn dest_cluster(&self, cluster: usize) -> usize {
+        match self.topology {
+            Topology::Ring => (cluster + 1) % self.n_clusters,
+            Topology::Conv => cluster,
+        }
+    }
+
+    /// Hop distance from `from` to `to` on bus `bus`.
+    ///
+    /// Ring: every bus runs forward. Conv: bus 0 runs forward; bus 1 (if
+    /// present) runs backward.
+    #[inline]
+    pub fn bus_distance(&self, bus: usize, from: usize, to: usize) -> u32 {
+        let n = self.n_clusters;
+        let fwd = ((to + n - from) % n) as u32;
+        match self.topology {
+            Topology::Ring => fwd,
+            Topology::Conv => {
+                if bus % 2 == 0 {
+                    fwd
+                } else {
+                    ((from + n - to) % n) as u32
+                }
+            }
+        }
+    }
+
+    /// Minimum communication distance from `from` to `to` over any bus
+    /// (what the steering algorithms minimize).
+    #[inline]
+    pub fn min_distance(&self, from: usize, to: usize) -> u32 {
+        (0..self.n_buses)
+            .map(|b| self.bus_distance(b, from, to))
+            .min()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_validates() {
+        assert!(CoreConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn ring_dest_is_next() {
+        let c = CoreConfig::default();
+        assert_eq!(c.dest_cluster(0), 1);
+        assert_eq!(c.dest_cluster(7), 0);
+        let mut conv = CoreConfig::default();
+        conv.topology = Topology::Conv;
+        assert_eq!(conv.dest_cluster(3), 3);
+    }
+
+    #[test]
+    fn ring_distances_forward_only() {
+        let mut c = CoreConfig::default();
+        c.n_buses = 2;
+        assert_eq!(c.bus_distance(0, 2, 3), 1);
+        assert_eq!(c.bus_distance(1, 2, 3), 1, "ring buses all run forward");
+        assert_eq!(c.bus_distance(0, 3, 2), 7);
+        assert_eq!(c.min_distance(3, 2), 7);
+    }
+
+    #[test]
+    fn conv_two_buses_halve_distance() {
+        let mut c = CoreConfig::default();
+        c.topology = Topology::Conv;
+        c.n_buses = 2;
+        assert_eq!(c.bus_distance(0, 3, 2), 7);
+        assert_eq!(c.bus_distance(1, 3, 2), 1);
+        assert_eq!(c.min_distance(3, 2), 1);
+        assert_eq!(c.min_distance(0, 4), 4);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut c = CoreConfig::default();
+        c.n_clusters = 1;
+        assert!(c.validate().is_err());
+        let mut c = CoreConfig::default();
+        c.regs_int = 32;
+        assert!(c.validate().is_err());
+        let mut c = CoreConfig::default();
+        c.n_buses = 0;
+        assert!(c.validate().is_err());
+        let mut c = CoreConfig::default();
+        c.hop_latency = 0;
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,148 @@
+//! Functional-unit pools.
+//!
+//! Per Table 2, a cluster with issue width `K INT + K FP` has `K` units of
+//! each type: INT ALU, INT mul/div, FP ALU, FP mul/div. Pipelined units
+//! accept one operation per cycle; the non-pipelined divides occupy their
+//! unit for the full latency.
+
+use rcmc_isa::{FuKind, InsnClass};
+
+/// One pool of identical units within a cluster.
+#[derive(Clone, Debug)]
+struct Pool {
+    /// Cycle at which each unit can next *start* an operation.
+    next_free: Vec<u64>,
+}
+
+impl Pool {
+    fn new(n: usize) -> Self {
+        Pool { next_free: vec![0; n] }
+    }
+
+    fn try_start(&mut self, now: u64, busy_for: u64) -> bool {
+        for nf in &mut self.next_free {
+            if *nf <= now {
+                *nf = now + busy_for;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn idle_units(&self, now: u64) -> usize {
+        self.next_free.iter().filter(|&&nf| nf <= now).count()
+    }
+}
+
+/// The four pools of one cluster.
+pub struct FuSet {
+    int_alu: Pool,
+    int_muldiv: Pool,
+    fp_alu: Pool,
+    fp_muldiv: Pool,
+}
+
+impl FuSet {
+    /// `iw_int`/`iw_fp` units of each integer/FP type respectively.
+    pub fn new(iw_int: usize, iw_fp: usize) -> Self {
+        FuSet {
+            int_alu: Pool::new(iw_int),
+            int_muldiv: Pool::new(iw_int),
+            fp_alu: Pool::new(iw_fp),
+            fp_muldiv: Pool::new(iw_fp),
+        }
+    }
+
+    fn pool(&mut self, kind: FuKind) -> &mut Pool {
+        match kind {
+            FuKind::IntAlu => &mut self.int_alu,
+            FuKind::IntMulDiv => &mut self.int_muldiv,
+            FuKind::FpAlu => &mut self.fp_alu,
+            FuKind::FpMulDiv => &mut self.fp_muldiv,
+        }
+    }
+
+    /// Try to start an instruction of `class` at `now`. Returns its result
+    /// latency on success. Pipelined units are re-usable next cycle;
+    /// non-pipelined divides block their unit for the whole latency.
+    pub fn try_issue(&mut self, class: InsnClass, now: u64) -> Option<u32> {
+        let kind = class.fu()?;
+        let latency = class.latency();
+        let busy = if class.non_pipelined() { latency as u64 } else { 1 };
+        if self.pool(kind).try_start(now, busy) {
+            Some(latency)
+        } else {
+            None
+        }
+    }
+
+    /// Idle units of `kind` at `now` (NREADY accounting).
+    pub fn idle(&self, kind: FuKind, now: u64) -> usize {
+        match kind {
+            FuKind::IntAlu => self.int_alu.idle_units(now),
+            FuKind::IntMulDiv => self.int_muldiv.idle_units(now),
+            FuKind::FpAlu => self.fp_alu.idle_units(now),
+            FuKind::FpMulDiv => self.fp_muldiv.idle_units(now),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipelined_unit_accepts_every_cycle() {
+        let mut fu = FuSet::new(1, 1);
+        assert_eq!(fu.try_issue(InsnClass::IntMul, 10), Some(3));
+        // Same cycle, same single unit: busy.
+        assert_eq!(fu.try_issue(InsnClass::IntMul, 10), None);
+        // Next cycle: free again (pipelined).
+        assert_eq!(fu.try_issue(InsnClass::IntMul, 11), Some(3));
+    }
+
+    #[test]
+    fn divide_blocks_unit_for_full_latency() {
+        let mut fu = FuSet::new(1, 1);
+        assert_eq!(fu.try_issue(InsnClass::IntDiv, 0), Some(20));
+        for t in 1..20 {
+            assert_eq!(fu.try_issue(InsnClass::IntMul, t), None, "cycle {t}");
+        }
+        assert_eq!(fu.try_issue(InsnClass::IntMul, 20), Some(3));
+    }
+
+    #[test]
+    fn fp_div_on_fp_muldiv_unit() {
+        let mut fu = FuSet::new(1, 1);
+        assert_eq!(fu.try_issue(InsnClass::FpDiv, 0), Some(12));
+        assert_eq!(fu.try_issue(InsnClass::FpMul, 5), None);
+        // FP ALU is a separate pool and stays available.
+        assert_eq!(fu.try_issue(InsnClass::FpAlu, 5), Some(2));
+        assert_eq!(fu.try_issue(InsnClass::FpMul, 12), Some(4));
+    }
+
+    #[test]
+    fn width_two_has_two_units() {
+        let mut fu = FuSet::new(2, 2);
+        assert!(fu.try_issue(InsnClass::IntAlu, 0).is_some());
+        assert!(fu.try_issue(InsnClass::IntAlu, 0).is_some());
+        assert!(fu.try_issue(InsnClass::IntAlu, 0).is_none());
+        assert_eq!(fu.idle(FuKind::IntAlu, 0), 0);
+        assert_eq!(fu.idle(FuKind::IntAlu, 1), 2);
+    }
+
+    #[test]
+    fn loads_and_branches_use_int_alu() {
+        let mut fu = FuSet::new(1, 1);
+        assert_eq!(fu.try_issue(InsnClass::Load, 0), Some(1));
+        assert_eq!(fu.try_issue(InsnClass::Branch, 0), None, "single ALU taken by the load");
+        assert_eq!(fu.try_issue(InsnClass::Branch, 1), Some(1));
+    }
+
+    #[test]
+    fn nop_never_issues() {
+        let mut fu = FuSet::new(2, 2);
+        assert_eq!(fu.try_issue(InsnClass::Nop, 0), None);
+        assert_eq!(fu.try_issue(InsnClass::Halt, 0), None);
+    }
+}

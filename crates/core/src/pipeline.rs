@@ -1,0 +1,815 @@
+//! The clustered out-of-order core: fetch → dispatch/steer → issue →
+//! execute → commit, replaying an oracle trace.
+//!
+//! Timing discipline per cycle (in processing order):
+//!
+//! 1. **events** — completions scheduled on the event wheel fire: values
+//!    become ready (waking the owning cluster's queues), ROB entries
+//!    complete, loads learn their addresses, a resolving branch un-stalls
+//!    fetch;
+//! 2. **commit** — up to `commit_width` done entries leave the ROB head;
+//!    committing a redefiner releases all copies of the overwritten value;
+//! 3. **memory** — eligible loads start (D-cache ports permitting, with
+//!    store→load forwarding), committed stores drain to the cache;
+//! 4. **issue** — per cluster: ready communications arbitrate for bus
+//!    segments; ready instructions issue oldest-first within the
+//!    INT/FP issue widths and functional-unit availability; NREADY is
+//!    sampled after selection;
+//! 5. **dispatch** — up to `fetch_width` decoded instructions steer to
+//!    clusters and allocate ROB/IQ/register/communication resources,
+//!    stalling (in order) on the first instruction whose *chosen* cluster is
+//!    full;
+//! 6. **fetch** — up to `fetch_width` instructions enter the fetch queue,
+//!    stopping at a predicted-taken branch, an I-cache miss, or a
+//!    misprediction (stall-on-mispredict: fetch resumes the cycle after the
+//!    branch resolves).
+//!
+//! Because dispatch runs after issue, a dispatched instruction issues no
+//! earlier than the next cycle; because events run before issue, dependent
+//! instructions in adjacent ring clusters issue back-to-back (§3.2's
+//! headline property).
+
+use std::collections::VecDeque;
+
+use rcmc_emu::DynInsn;
+use rcmc_isa::{FuKind, InsnClass, Opcode, Reg, NUM_ARCH_REGS};
+use rcmc_uarch::{FrontEndPredictor, MemConfig, MemHierarchy, PredictorConfig};
+
+use crate::bus::BusFabric;
+use crate::config::{CopyRelease, CoreConfig};
+use crate::fu::FuSet;
+use crate::lsq::{LoadKind, Lsq, NO_LSQ};
+use crate::pipeview::PipeTracer;
+use crate::queues::{CommOp, CommQueue, IqEntry, IssueQueue};
+use crate::rob::{Rob, RobEntry};
+use crate::stats::Stats;
+use crate::steer::{Dcount, Steerer};
+use crate::value::{CopyState, ValueId, ValueTable};
+
+const WHEEL: usize = 512;
+
+#[derive(Clone, Copy, Debug)]
+enum Ev {
+    /// `value` becomes readable in `cluster`: mark + wake that cluster.
+    CopyReady { value: ValueId, cluster: u8 },
+    /// Instruction completes (commit-eligible); un-stalls fetch if it was the
+    /// mispredicted control instruction fetch is waiting on.
+    RobDone { rob: u32 },
+    /// Load address generated; forwards to the LSQ.
+    LoadAddr { rob: u32 },
+    /// Store address + data captured; completes the store in the ROB.
+    StoreReady { rob: u32 },
+    /// Load finished (cache or forward): completes + releases its LSQ slot.
+    LoadDone { rob: u32 },
+}
+
+#[derive(Clone, Copy)]
+struct Fetched {
+    trace_idx: u32,
+    /// Cycle at which decode/rename is finished and dispatch may proceed.
+    avail: u64,
+}
+
+/// The simulated core. Construct with [`Core::new`], drive with
+/// [`Core::run`] or [`Core::run_with_warmup`].
+pub struct Core<'t> {
+    cfg: CoreConfig,
+    trace: &'t [DynInsn],
+    mem: MemHierarchy,
+    fe: FrontEndPredictor,
+
+    // Front end.
+    fetch_idx: usize,
+    fetch_q: VecDeque<Fetched>,
+    fetch_resume: u64,
+    /// Trace index of the mispredicted control instruction fetch waits on.
+    fetch_stalled_on: Option<u32>,
+    last_fetch_line: u64,
+
+    // Rename.
+    rename: [ValueId; NUM_ARCH_REGS],
+    values: ValueTable,
+    steerer: Steerer,
+    dcount: Dcount,
+    seq: u64,
+
+    // Per-cluster structures.
+    iq_int: Vec<IssueQueue>,
+    iq_fp: Vec<IssueQueue>,
+    iq_comm: Vec<CommQueue>,
+    fus: Vec<FuSet>,
+
+    fabric: BusFabric,
+    rob: Rob,
+    lsq: Lsq,
+    store_buf: VecDeque<u64>,
+
+    wheel: Vec<Vec<Ev>>,
+    now: u64,
+    last_commit: u64,
+    halted: bool,
+    stats: Stats,
+
+    // Scratch buffers reused across cycles.
+    scratch_ready: Vec<usize>,
+    scratch_remove: Vec<usize>,
+    scratch_comm: Vec<usize>,
+    scratch_loads: Vec<crate::lsq::StartedLoad>,
+
+    tracer: Option<PipeTracer>,
+}
+
+impl<'t> Core<'t> {
+    /// Build a core over `trace` with the given backend/memory/predictor
+    /// configurations.
+    pub fn new(
+        cfg: CoreConfig,
+        mem_cfg: MemConfig,
+        pred_cfg: PredictorConfig,
+        trace: &'t [DynInsn],
+    ) -> Self {
+        cfg.validate().expect("invalid core configuration");
+        let n = cfg.n_clusters;
+        let mut values = ValueTable::new(n, cfg.regs_int, cfg.regs_fp);
+        // Initial architectural state lives in cluster 0.
+        let mut rename = [0 as ValueId; NUM_ARCH_REGS];
+        for (a, slot) in rename.iter_mut().enumerate() {
+            *slot = values.alloc_ready(0, a >= rcmc_isa::NUM_INT_REGS);
+        }
+        Core {
+            fabric: BusFabric::new(&cfg),
+            iq_int: (0..n).map(|_| IssueQueue::new(cfg.iq_int)).collect(),
+            iq_fp: (0..n).map(|_| IssueQueue::new(cfg.iq_fp)).collect(),
+            iq_comm: (0..n).map(|_| CommQueue::new(cfg.iq_comm)).collect(),
+            fus: (0..n).map(|_| FuSet::new(cfg.iw_int, cfg.iw_fp)).collect(),
+            rob: Rob::new(cfg.rob),
+            lsq: Lsq::new(cfg.lsq, mem_cfg.dcache_transfer as u64),
+            store_buf: VecDeque::with_capacity(cfg.store_buffer),
+            mem: MemHierarchy::new(mem_cfg),
+            fe: FrontEndPredictor::new(&pred_cfg),
+            fetch_idx: 0,
+            fetch_q: VecDeque::with_capacity(cfg.fetch_queue),
+            fetch_resume: 0,
+            fetch_stalled_on: None,
+            last_fetch_line: u64::MAX,
+            rename,
+            values,
+            steerer: Steerer::new(),
+            dcount: Dcount::new(n),
+            seq: 0,
+            wheel: (0..WHEEL).map(|_| Vec::new()).collect(),
+            now: 0,
+            last_commit: 0,
+            halted: false,
+            stats: Stats::default(),
+            trace,
+            cfg,
+            scratch_ready: Vec::new(),
+            scratch_remove: Vec::new(),
+            scratch_comm: Vec::new(),
+            scratch_loads: Vec::new(),
+            tracer: None,
+        }
+    }
+
+    /// Attach a pipeline tracer (see [`crate::pipeview::PipeTracer`]).
+    pub fn attach_tracer(&mut self, tracer: PipeTracer) {
+        self.tracer = Some(tracer);
+    }
+
+    /// Detach and return the tracer.
+    pub fn take_tracer(&mut self) -> Option<PipeTracer> {
+        self.tracer.take()
+    }
+
+    #[inline]
+    fn trace_mark(&mut self, trace_idx: u32, f: impl FnOnce(&mut crate::pipeview::InsnRecord, u64)) {
+        if let Some(t) = self.tracer.as_mut() {
+            let now = self.now;
+            if let Some(r) = t.rec(trace_idx) {
+                f(r, now);
+            }
+        }
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Current cycle.
+    pub fn cycle(&self) -> u64 {
+        self.now
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &CoreConfig {
+        &self.cfg
+    }
+
+    fn schedule(&mut self, delay: u64, ev: Ev) {
+        debug_assert!(delay > 0 && (delay as usize) < WHEEL);
+        let slot = ((self.now + delay) as usize) % WHEEL;
+        self.wheel[slot].push(ev);
+    }
+
+    /// Run until `budget` instructions have committed, the program halts, or
+    /// the trace drains. Returns the stats.
+    pub fn run(&mut self, budget: u64) -> &Stats {
+        while !self.halted && self.stats.committed < budget {
+            if self.fetch_idx >= self.trace.len()
+                && self.fetch_q.is_empty()
+                && self.rob.is_empty()
+            {
+                break;
+            }
+            self.tick();
+        }
+        self.sync_external_stats();
+        &self.stats
+    }
+
+    /// Run `warmup` committed instructions, snapshot, then run `measure`
+    /// more and return `final - snapshot` (the measurement window).
+    pub fn run_with_warmup(&mut self, warmup: u64, measure: u64) -> Stats {
+        self.run(warmup);
+        let snap = self.stats.clone();
+        self.run(warmup + measure);
+        self.stats.delta(&snap)
+    }
+
+    /// Copy predictor/cache counters into the stats block.
+    fn sync_external_stats(&mut self) {
+        self.stats.l1d_accesses = self.mem.l1d.accesses;
+        self.stats.l1d_misses = self.mem.l1d.misses;
+        self.stats.l1i_misses = self.mem.l1i.misses;
+        self.stats.l2_misses = self.mem.l2.misses;
+    }
+
+    /// One cycle.
+    pub fn tick(&mut self) {
+        self.process_events();
+        self.commit();
+        self.memory_stage();
+        self.issue_all();
+        self.dispatch();
+        self.fetch();
+        self.fabric.tick();
+        self.stats.cycles += 1;
+        self.now += 1;
+        assert!(
+            self.now - self.last_commit < self.cfg.watchdog_cycles,
+            "watchdog: no commit for {} cycles at cycle {} (rob={}, fetch_q={}, lsq={})",
+            self.cfg.watchdog_cycles,
+            self.now,
+            self.rob.len(),
+            self.fetch_q.len(),
+            self.lsq.len(),
+        );
+    }
+
+    // ---------------------------------------------------------- events --
+
+    fn process_events(&mut self) {
+        let slot = (self.now as usize) % WHEEL;
+        let evs = std::mem::take(&mut self.wheel[slot]);
+        for ev in &evs {
+            match *ev {
+                Ev::CopyReady { value, cluster } => {
+                    let c = cluster as usize;
+                    if self.values.mark_ready(value, c) {
+                        self.iq_int[c].wakeup(value);
+                        self.iq_fp[c].wakeup(value);
+                        self.iq_comm[c].wakeup(value, self.now);
+                    }
+                }
+                Ev::RobDone { rob } => {
+                    self.rob.get_mut(rob).done = true;
+                    let ti = self.rob.get(rob).trace_idx;
+                    self.trace_mark(ti, |r, now| r.complete = now);
+                    self.maybe_unstall_fetch(rob);
+                }
+                Ev::LoadAddr { rob } => {
+                    let e = *self.rob.get(rob);
+                    let addr = self.trace[e.trace_idx as usize].mem_addr;
+                    self.lsq.load_addr_known(e.lsq, addr, self.now);
+                }
+                Ev::StoreReady { rob } => {
+                    let e = *self.rob.get(rob);
+                    let addr = self.trace[e.trace_idx as usize].mem_addr;
+                    self.lsq.store_ready(e.lsq, addr);
+                    self.rob.get_mut(rob).done = true;
+                    self.trace_mark(e.trace_idx, |r, now| r.complete = now);
+                }
+                Ev::LoadDone { rob } => {
+                    let lsq = self.rob.get(rob).lsq;
+                    self.lsq.release(lsq);
+                    self.rob.get_mut(rob).done = true;
+                    let ti = self.rob.get(rob).trace_idx;
+                    self.trace_mark(ti, |r, now| r.complete = now);
+                }
+            }
+        }
+        // Return the (now empty) buffer to the wheel to reuse its capacity.
+        self.wheel[slot] = evs;
+        self.wheel[slot].clear();
+    }
+
+    fn maybe_unstall_fetch(&mut self, rob: u32) {
+        if let Some(ti) = self.fetch_stalled_on {
+            if self.rob.get(rob).trace_idx == ti {
+                self.fetch_stalled_on = None;
+                self.fetch_resume = self.now + 1;
+            }
+        }
+    }
+
+    // ---------------------------------------------------------- commit --
+
+    fn commit(&mut self) {
+        for _ in 0..self.cfg.commit_width {
+            let Some(head) = self.rob.head() else { break };
+            if !head.done {
+                break;
+            }
+            if head.class == InsnClass::Store {
+                if self.store_buf.len() >= self.cfg.store_buffer {
+                    self.stats.stalls.store_buf_full += 1;
+                    break;
+                }
+                let addr = self.trace[head.trace_idx as usize].mem_addr;
+                self.store_buf.push_back(addr);
+                self.lsq.release(head.lsq);
+            }
+            let e = self.rob.pop_head();
+            self.trace_mark(e.trace_idx, |r, now| r.commit = now);
+            if let Some(prev) = e.prev {
+                self.values.free(prev);
+            }
+            self.last_commit = self.now;
+            match e.class {
+                InsnClass::Halt => {
+                    self.halted = true;
+                    return;
+                }
+                InsnClass::Load => self.stats.committed_loads += 1,
+                InsnClass::Store => self.stats.committed_stores += 1,
+                InsnClass::Branch => self.stats.committed_branches += 1,
+                InsnClass::FpAlu | InsnClass::FpMul | InsnClass::FpDiv => {
+                    self.stats.committed_fp += 1
+                }
+                _ => {}
+            }
+            self.stats.committed += 1;
+        }
+    }
+
+    // ---------------------------------------------------------- memory --
+
+    fn memory_stage(&mut self) {
+        let ports = self.mem.cfg.dcache_ports;
+        let mut started = std::mem::take(&mut self.scratch_loads);
+        self.lsq.start_loads_into(self.now, ports, &mut started);
+        let mut cache_started = 0u32;
+        for s in &started {
+            let (complete, _kind) = match s.kind {
+                LoadKind::Forward => {
+                    self.stats.store_forwards += 1;
+                    // 1 cycle forward within the LSQ + 1 cycle back transfer.
+                    (1 + self.mem.cfg.dcache_transfer as u64, s.kind)
+                }
+                LoadKind::Cache => {
+                    cache_started += 1;
+                    let lat = self.mem.access_data(s.addr) as u64;
+                    (lat + self.mem.cfg.dcache_transfer as u64, s.kind)
+                }
+            };
+            let e = *self.rob.get(s.rob);
+            if let Some(dest) = e.dest {
+                let dc = self.cfg.dest_cluster(e.cluster as usize) as u8;
+                self.schedule(complete, Ev::CopyReady { value: dest, cluster: dc });
+            }
+            self.schedule(complete, Ev::LoadDone { rob: s.rob });
+        }
+        started.clear();
+        self.scratch_loads = started;
+        // Committed stores drain with leftover ports.
+        let mut ports_left = ports.saturating_sub(cache_started);
+        while ports_left > 0 {
+            let Some(addr) = self.store_buf.pop_front() else { break };
+            let _ = self.mem.access_data(addr);
+            ports_left -= 1;
+        }
+    }
+
+    // ----------------------------------------------------------- issue --
+
+    fn issue_all(&mut self) {
+        let n = self.cfg.n_clusters;
+        // Communications first (rotating cluster priority for bus fairness).
+        let start = (self.now as usize) % n;
+        for k in 0..n {
+            let c = (start + k) % n;
+            self.issue_comms(c);
+        }
+        // Instructions.
+        for c in 0..n {
+            self.issue_cluster_pipe(c, /* fp: */ false);
+            self.issue_cluster_pipe(c, /* fp: */ true);
+        }
+        self.sample_nready();
+    }
+
+    fn issue_comms(&mut self, c: usize) {
+        if self.iq_comm[c].is_empty() {
+            return;
+        }
+        let mut granted = 0usize;
+        let max_grants = self.cfg.n_buses;
+        // Age-ordered ready comms (scratch-buffered).
+        let mut ready = std::mem::take(&mut self.scratch_comm);
+        self.iq_comm[c].ready_into(&mut ready);
+        let mut removed = std::mem::take(&mut self.scratch_remove);
+        for &idx in &ready {
+            if granted == max_grants {
+                break;
+            }
+            let op: CommOp = *self.iq_comm[c].get(idx);
+            // Try buses in order of increasing distance for this src/dst
+            // (at most 4 buses; insertion-sorted fixed array).
+            let mut order = [(u32::MAX, 0usize); 4];
+            for b in 0..self.cfg.n_buses {
+                let d = self.cfg.bus_distance(b, op.from as usize, op.to as usize);
+                let mut i = b;
+                order[i] = (d, b);
+                while i > 0 && order[i].0 < order[i - 1].0 {
+                    order.swap(i, i - 1);
+                    i -= 1;
+                }
+            }
+            for &(dist, b) in order.iter().take(self.cfg.n_buses) {
+                debug_assert!(dist > 0, "communication to the same cluster");
+                if let Some(delay) = self.fabric.buses[b].try_reserve(op.from as usize, dist) {
+                    self.schedule(delay as u64, Ev::CopyReady { value: op.value, cluster: op.to });
+                    self.stats.comms_issued += 1;
+                    self.stats.comm_distance += dist as u64;
+                    self.stats.comm_bus_wait += self.now.saturating_sub(op.ready_cycle);
+                    // The comm has read its source copy.
+                    let release = self.cfg.copy_release == CopyRelease::OnLastRead;
+                    self.values.reader_done(op.value, op.from as usize, release);
+                    removed.push(idx);
+                    granted += 1;
+                    break;
+                }
+            }
+        }
+        // Remove granted comms (descending index order for swap_remove).
+        removed.sort_unstable_by(|a, b| b.cmp(a));
+        for idx in removed.drain(..) {
+            self.iq_comm[c].remove(idx);
+        }
+        ready.clear();
+        self.scratch_comm = ready;
+        self.scratch_remove = removed;
+    }
+
+    fn issue_cluster_pipe(&mut self, c: usize, fp: bool) {
+        let width = if fp { self.cfg.iw_fp } else { self.cfg.iw_int };
+        let mut budget = width;
+        {
+            let q = if fp { &self.iq_fp[c] } else { &self.iq_int[c] };
+            if q.is_empty() {
+                return;
+            }
+            let mut ready = std::mem::take(&mut self.scratch_ready);
+            q.ready_into(&mut ready);
+            self.scratch_ready = ready;
+        }
+        self.scratch_remove.clear();
+        for i in 0..self.scratch_ready.len() {
+            if budget == 0 {
+                break;
+            }
+            let idx = self.scratch_ready[i];
+            let entry: IqEntry = *if fp { self.iq_fp[c].get(idx) } else { self.iq_int[c].get(idx) };
+            let Some(latency) = self.fus[c].try_issue(entry.class, self.now) else {
+                continue; // FU busy; younger ready entries may still go.
+            };
+            budget -= 1;
+            self.scratch_remove.push(idx);
+            self.dcount.issued(c);
+            self.trace_mark(entry.trace_idx, |r, now| r.issue = now);
+            if fp {
+                self.stats.issued_fp += 1;
+            } else {
+                self.stats.issued_int += 1;
+            }
+            // Operand-read accounting (OnLastRead ablation).
+            let release = self.cfg.copy_release == CopyRelease::OnLastRead;
+            for r in entry.reads.into_iter().flatten() {
+                self.values.reader_done(r, c, release);
+            }
+            let rob = entry.rob;
+            let e = *self.rob.get(rob);
+            match entry.class {
+                InsnClass::Load => {
+                    // AGU latency, then the request travels to the LSQ.
+                    self.schedule(latency as u64, Ev::LoadAddr { rob });
+                }
+                InsnClass::Store => {
+                    self.schedule(latency as u64, Ev::StoreReady { rob });
+                }
+                _ => {
+                    if let Some(dest) = e.dest {
+                        let dc = self.cfg.dest_cluster(c) as u8;
+                        self.schedule(latency as u64, Ev::CopyReady { value: dest, cluster: dc });
+                    }
+                    self.schedule(latency as u64, Ev::RobDone { rob });
+                }
+            }
+        }
+        let mut removals = std::mem::take(&mut self.scratch_remove);
+        if fp {
+            self.iq_fp[c].remove_many(&mut removals);
+        } else {
+            self.iq_int[c].remove_many(&mut removals);
+        }
+        self.scratch_remove = removals;
+    }
+
+    /// NREADY (§4.5): ready instructions left unissued whose work idle
+    /// capacity elsewhere could absorb, summed per functional-unit kind.
+    fn sample_nready(&mut self) {
+        let n = self.cfg.n_clusters;
+        let kinds = [FuKind::IntAlu, FuKind::IntMulDiv, FuKind::FpAlu, FuKind::FpMulDiv];
+        let mut leftover = [0usize; 4];
+        let mut capacity = [0usize; 4];
+        for c in 0..n {
+            if !self.iq_int[c].is_empty() {
+                self.iq_int[c].ready_by_fu(&mut leftover);
+            }
+            if !self.iq_fp[c].is_empty() {
+                self.iq_fp[c].ready_by_fu(&mut leftover);
+            }
+            for (k, kind) in kinds.into_iter().enumerate() {
+                capacity[k] += self.fus[c].idle(kind, self.now);
+            }
+        }
+        for k in 0..4 {
+            self.stats.nready += leftover[k].min(capacity[k]) as u64;
+        }
+    }
+
+    // -------------------------------------------------------- dispatch --
+
+    fn dispatch(&mut self) {
+        for _ in 0..self.cfg.fetch_width {
+            let Some(&f) = self.fetch_q.front() else { break };
+            if f.avail > self.now {
+                break;
+            }
+            if !self.try_dispatch_one(f.trace_idx) {
+                break; // in-order dispatch: first stall blocks the rest
+            }
+            self.fetch_q.pop_front();
+        }
+    }
+
+    /// Attempt to dispatch one instruction; false = stall (nothing
+    /// allocated).
+    fn try_dispatch_one(&mut self, trace_idx: u32) -> bool {
+        let d = &self.trace[trace_idx as usize];
+        let insn = d.insn;
+        let class = insn.class();
+
+        if !self.rob.has_space() {
+            self.stats.stalls.rob_full += 1;
+            return false;
+        }
+
+        // Nops and halt skip steering entirely.
+        if matches!(class, InsnClass::Nop | InsnClass::Halt) {
+            self.rob.push(RobEntry {
+                trace_idx,
+                class,
+                done: true,
+                dest: None,
+                prev: None,
+                lsq: NO_LSQ,
+                cluster: 0,
+            });
+            self.trace_mark(trace_idx, |r, now| {
+                r.dispatch = now;
+                r.complete = now;
+            });
+            return true;
+        }
+
+        // Live source values, captured per operand slot BEFORE the
+        // destination rename overwrites the map (r0 is never renamed).
+        let src_slots: [Option<Reg>; 2] = insn.sources();
+        let mut src_vals: [Option<ValueId>; 2] = [None, None];
+        let mut srcs: Vec<ValueId> = Vec::with_capacity(2);
+        for (slot, r) in src_slots.into_iter().enumerate() {
+            if let Some(r) = r {
+                if !r.is_zero() {
+                    let v = self.rename[r.unified()];
+                    src_vals[slot] = Some(v);
+                    srcs.push(v);
+                }
+            }
+        }
+
+        let steered = self.steerer.steer(&self.cfg, &self.values, &self.dcount, &srcs);
+        let c = steered.cluster;
+        let dest_cluster = self.cfg.dest_cluster(c);
+
+        // ---- resource checks (all-or-nothing) ----
+        let q_space =
+            if class.is_int_pipe() { self.iq_int[c].has_space() } else { self.iq_fp[c].has_space() };
+        if !q_space {
+            self.stats.stalls.iq_full += 1;
+            return false;
+        }
+        if class.is_mem() && !self.lsq.has_space() {
+            self.stats.stalls.lsq_full += 1;
+            return false;
+        }
+        // Register demand: destination in dest_cluster, copies in c.
+        let mut need_int = [0i32; 2]; // [dest_cluster demand, c demand]
+        let mut need_fp = [0i32; 2];
+        let dest = insn.dest();
+        if let Some(dr) = dest {
+            if dr.is_fp() {
+                need_fp[0] += 1;
+            } else {
+                need_int[0] += 1;
+            }
+        }
+        for cm in &steered.comms {
+            if self.values.is_fp(cm.value) {
+                need_fp[1] += 1;
+            } else {
+                need_int[1] += 1;
+            }
+        }
+        let (int_ok, fp_ok) = if dest_cluster == c {
+            (
+                self.values.free_regs(c, false) >= need_int[0] + need_int[1],
+                self.values.free_regs(c, true) >= need_fp[0] + need_fp[1],
+            )
+        } else {
+            (
+                self.values.free_regs(dest_cluster, false) >= need_int[0]
+                    && self.values.free_regs(c, false) >= need_int[1],
+                self.values.free_regs(dest_cluster, true) >= need_fp[0]
+                    && self.values.free_regs(c, true) >= need_fp[1],
+            )
+        };
+        if !int_ok || !fp_ok {
+            self.stats.stalls.regs_full += 1;
+            return false;
+        }
+        // Communication queue space at each source cluster (two comms may
+        // share a source cluster, so count cumulatively).
+        for (i, cm) in steered.comms.iter().enumerate() {
+            let needed_here =
+                steered.comms[..=i].iter().filter(|x| x.from == cm.from).count();
+            if !self.iq_comm[cm.from as usize].has_space_for(needed_here) {
+                self.stats.stalls.comm_full += 1;
+                return false;
+            }
+        }
+
+        // ---- allocate ----
+        self.seq += 1;
+        let seq = self.seq;
+
+        // Communications: allocate the consumer-side copy + the comm op.
+        for cm in &steered.comms {
+            self.values.add_copy(cm.value, c);
+            // The comm is a reader of the source copy.
+            self.values.add_reader(cm.value, cm.from as usize);
+            let ready = self.values.state(cm.value, cm.from as usize) == CopyState::Ready;
+            self.iq_comm[cm.from as usize].push(CommOp {
+                seq,
+                value: cm.value,
+                from: cm.from,
+                to: c as u8,
+                ready,
+                ready_cycle: self.now,
+            });
+            self.stats.comms_created += 1;
+        }
+
+        // Destination rename.
+        let (dest_v, prev_v) = match dest {
+            Some(dr) => {
+                let new_v = self.values.alloc(dest_cluster, dr.is_fp());
+                let prev = self.rename[dr.unified()];
+                self.rename[dr.unified()] = new_v;
+                (Some(new_v), Some(prev))
+            }
+            None => (None, None),
+        };
+
+        let rob = self.rob.push(RobEntry {
+            trace_idx,
+            class,
+            done: false,
+            dest: dest_v,
+            prev: prev_v,
+            lsq: NO_LSQ,
+            cluster: c as u8,
+        });
+        if class.is_mem() {
+            let lsq = self.lsq.alloc(class == InsnClass::Store, rob, seq);
+            self.rob.get_mut(rob).lsq = lsq;
+        }
+
+        // Issue-queue entry: wait on sources without a Ready copy in c.
+        let mut waits: [Option<ValueId>; 2] = [None, None];
+        let mut reads: [Option<ValueId>; 2] = [None, None];
+        for (slot, v) in src_vals.into_iter().enumerate() {
+            let Some(v) = v else { continue };
+            reads[slot] = Some(v);
+            self.values.add_reader(v, c);
+            if self.values.state(v, c) != CopyState::Ready {
+                waits[slot] = Some(v);
+            }
+        }
+        let entry = IqEntry { seq, rob, trace_idx, class, waits, reads };
+        if class.is_int_pipe() {
+            self.iq_int[c].push(entry);
+        } else {
+            self.iq_fp[c].push(entry);
+        }
+
+        self.stats.dispatched_per_cluster[c] += 1;
+        self.dcount.dispatched(c);
+        let n_comms = steered.comms.len() as u8;
+        self.trace_mark(trace_idx, |r, now| {
+            r.dispatch = now;
+            r.cluster = c as u8;
+            r.comms = n_comms;
+        });
+        true
+    }
+
+    // ----------------------------------------------------------- fetch --
+
+    fn fetch(&mut self) {
+        if self.fetch_stalled_on.is_some() || self.now < self.fetch_resume {
+            return;
+        }
+        for _ in 0..self.cfg.fetch_width {
+            if self.fetch_idx >= self.trace.len() {
+                return;
+            }
+            if self.fetch_q.len() >= self.cfg.fetch_queue {
+                return;
+            }
+            let ti = self.fetch_idx;
+            let d = self.trace[ti];
+            // Instruction-cache: one access per new 32-byte line.
+            let line = (d.pc as u64 * rcmc_isa::INSN_BYTES) / self.mem.cfg.l1i.line as u64;
+            if line != self.last_fetch_line {
+                let lat = self.mem.access_inst(d.pc as u64 * rcmc_isa::INSN_BYTES);
+                self.last_fetch_line = line;
+                if lat > self.mem.cfg.l1i.latency {
+                    // Miss: stall; the line is now filled, we resume later.
+                    self.fetch_resume = self.now + lat as u64 - 1;
+                    return;
+                }
+            }
+            // Predict and train control flow.
+            let insn = d.insn;
+            let is_cond = insn.op.is_cond_branch();
+            let taken = d.taken();
+            let correct = self.fe.predict_and_train(d.pc, &insn, taken, d.next_pc);
+            if is_cond {
+                self.stats.branches_seen += 1;
+            }
+            if !correct {
+                self.stats.branch_misses += 1;
+            }
+            self.fetch_q.push_back(Fetched {
+                trace_idx: ti as u32,
+                avail: self.now + self.cfg.frontend_depth as u64 - 1,
+            });
+            self.trace_mark(ti as u32, |r, now| r.fetch = now.max(1));
+            self.fetch_idx += 1;
+            if insn.op == Opcode::Halt {
+                return; // nothing beyond halt
+            }
+            if !correct {
+                self.fetch_stalled_on = Some(ti as u32);
+                return;
+            }
+            // One taken control transfer per cycle.
+            if insn.op.is_control() && taken {
+                return;
+            }
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Reorder buffer.
+
+use rcmc_isa::InsnClass;
+
+use crate::lsq::LsqId;
+use crate::value::ValueId;
+
+/// One in-flight instruction, from dispatch to commit.
+#[derive(Clone, Copy, Debug)]
+pub struct RobEntry {
+    /// Index into the dynamic trace.
+    pub trace_idx: u32,
+    /// Behavioural class.
+    pub class: InsnClass,
+    /// Completed (eligible to commit)?
+    pub done: bool,
+    /// Destination value (if the instruction writes a register).
+    pub dest: Option<ValueId>,
+    /// The value this instruction's destination *redefines*; all its copies
+    /// are freed when this entry commits (§3 release policy).
+    pub prev: Option<ValueId>,
+    /// LSQ entry for memory operations (`NO_LSQ` otherwise).
+    pub lsq: LsqId,
+    /// Execution cluster.
+    pub cluster: u8,
+}
+
+/// Circular reorder buffer. Slot indices are stable for an entry's lifetime,
+/// so events can refer to them directly.
+pub struct Rob {
+    slots: Vec<Option<RobEntry>>,
+    head: usize,
+    len: usize,
+}
+
+impl Rob {
+    /// Buffer with `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        Rob { slots: vec![None; capacity], head: 0, len: 0 }
+    }
+
+    /// Occupancy.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Empty?
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Space for one more?
+    pub fn has_space(&self) -> bool {
+        self.len < self.slots.len()
+    }
+
+    /// Allocate at the tail; returns the slot index.
+    pub fn push(&mut self, e: RobEntry) -> u32 {
+        assert!(self.has_space(), "ROB overflow");
+        let idx = (self.head + self.len) % self.slots.len();
+        self.slots[idx] = Some(e);
+        self.len += 1;
+        idx as u32
+    }
+
+    /// Access by slot index.
+    pub fn get(&self, idx: u32) -> &RobEntry {
+        self.slots[idx as usize].as_ref().expect("stale ROB reference")
+    }
+
+    /// Mutable access by slot index.
+    pub fn get_mut(&mut self, idx: u32) -> &mut RobEntry {
+        self.slots[idx as usize].as_mut().expect("stale ROB reference")
+    }
+
+    /// The oldest entry, if any.
+    pub fn head(&self) -> Option<&RobEntry> {
+        if self.len == 0 {
+            None
+        } else {
+            self.slots[self.head].as_ref()
+        }
+    }
+
+    /// Remove and return the oldest entry.
+    pub fn pop_head(&mut self) -> RobEntry {
+        assert!(self.len > 0);
+        let e = self.slots[self.head].take().expect("corrupt ROB head");
+        self.head = (self.head + 1) % self.slots.len();
+        self.len -= 1;
+        e
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lsq::NO_LSQ;
+
+    fn entry(trace_idx: u32) -> RobEntry {
+        RobEntry {
+            trace_idx,
+            class: InsnClass::IntAlu,
+            done: false,
+            dest: None,
+            prev: None,
+            lsq: NO_LSQ,
+            cluster: 0,
+        }
+    }
+
+    #[test]
+    fn fifo_order() {
+        let mut r = Rob::new(4);
+        let a = r.push(entry(10));
+        let b = r.push(entry(11));
+        r.get_mut(a).done = true;
+        r.get_mut(b).done = true;
+        assert_eq!(r.pop_head().trace_idx, 10);
+        assert_eq!(r.pop_head().trace_idx, 11);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn wraps_around() {
+        let mut r = Rob::new(2);
+        r.push(entry(0));
+        r.push(entry(1));
+        assert!(!r.has_space());
+        r.pop_head();
+        let c = r.push(entry(2));
+        assert_eq!(r.get(c).trace_idx, 2);
+        assert_eq!(r.pop_head().trace_idx, 1);
+        assert_eq!(r.pop_head().trace_idx, 2);
+    }
+
+    #[test]
+    fn slot_indices_stable() {
+        let mut r = Rob::new(8);
+        let idx = r.push(entry(42));
+        r.push(entry(43));
+        r.get_mut(idx).done = true;
+        assert!(r.get(idx).done);
+        assert_eq!(r.head().unwrap().trace_idx, 42);
+    }
+}

@@ -1,0 +1,218 @@
+//! Run statistics: everything the paper's figures need.
+
+use crate::config::MAX_CLUSTERS;
+
+/// Dispatch stall causes (mutually exclusive per stalled cycle-slot; the
+/// first insufficient resource encountered is charged).
+#[derive(Clone, Copy, Default, Debug, PartialEq)]
+pub struct StallBreakdown {
+    /// Target cluster's issue queue full.
+    pub iq_full: u64,
+    /// No free destination register in the target register file.
+    pub regs_full: u64,
+    /// No free copy register / communication-queue entry for a needed
+    /// communication.
+    pub comm_full: u64,
+    /// Reorder buffer full.
+    pub rob_full: u64,
+    /// Load/store queue full.
+    pub lsq_full: u64,
+    /// Store buffer full at commit (counted per blocked commit slot).
+    pub store_buf_full: u64,
+}
+
+/// Counters accumulated while the core runs. All figure metrics derive from
+/// these; see the `ratio` helpers.
+#[derive(Clone, Debug, Default)]
+pub struct Stats {
+    /// Elapsed cycles.
+    pub cycles: u64,
+    /// Committed instructions (nops included, halt excluded).
+    pub committed: u64,
+    /// Committed instructions that entered the FP pipe.
+    pub committed_fp: u64,
+    /// Committed loads.
+    pub committed_loads: u64,
+    /// Committed stores.
+    pub committed_stores: u64,
+    /// Committed conditional branches.
+    pub committed_branches: u64,
+    /// Instructions dispatched per cluster (Figure 11).
+    pub dispatched_per_cluster: [u64; MAX_CLUSTERS],
+    /// Communication instructions created at dispatch.
+    pub comms_created: u64,
+    /// Communication instructions that won bus access (issued).
+    pub comms_issued: u64,
+    /// Total hop distance over issued communications (Figure 8).
+    pub comm_distance: u64,
+    /// Total cycles ready communications waited for a bus (Figure 9).
+    pub comm_bus_wait: u64,
+    /// NREADY accumulator: per-cycle count of ready-but-unissued
+    /// instructions that idle capacity elsewhere could absorb (Figure 10).
+    pub nready: u64,
+    /// Conditional branches fetched / mispredicted.
+    pub branches_seen: u64,
+    /// Mispredicted conditional branches (plus indirect-target misses).
+    pub branch_misses: u64,
+    /// Dispatch stall breakdown.
+    pub stalls: StallBreakdown,
+    /// Issued instructions (per pipe) — utilization reporting.
+    pub issued_int: u64,
+    /// Issued FP-pipe instructions.
+    pub issued_fp: u64,
+    /// Loads that forwarded from an older in-flight store.
+    pub store_forwards: u64,
+    /// L1D accesses / misses (snapshot copied from the hierarchy at the end).
+    pub l1d_accesses: u64,
+    /// L1D misses.
+    pub l1d_misses: u64,
+    /// L1I misses.
+    pub l1i_misses: u64,
+    /// L2 misses.
+    pub l2_misses: u64,
+}
+
+impl Stats {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed as f64 / self.cycles as f64
+        }
+    }
+
+    /// Communications per committed instruction (Figure 7).
+    pub fn comms_per_insn(&self) -> f64 {
+        if self.committed == 0 {
+            0.0
+        } else {
+            self.comms_issued as f64 / self.committed as f64
+        }
+    }
+
+    /// Mean hop distance per communication (Figure 8).
+    pub fn dist_per_comm(&self) -> f64 {
+        if self.comms_issued == 0 {
+            0.0
+        } else {
+            self.comm_distance as f64 / self.comms_issued as f64
+        }
+    }
+
+    /// Mean bus-contention wait per communication (Figure 9).
+    pub fn wait_per_comm(&self) -> f64 {
+        if self.comms_issued == 0 {
+            0.0
+        } else {
+            self.comm_bus_wait as f64 / self.comms_issued as f64
+        }
+    }
+
+    /// Mean NREADY per cycle (Figure 10).
+    pub fn nready_per_cycle(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.nready as f64 / self.cycles as f64
+        }
+    }
+
+    /// Branch misprediction ratio.
+    pub fn branch_miss_rate(&self) -> f64 {
+        if self.branches_seen == 0 {
+            0.0
+        } else {
+            self.branch_misses as f64 / self.branches_seen as f64
+        }
+    }
+
+    /// Per-cluster dispatch share in `[0,1]` (Figure 11).
+    pub fn dispatch_shares(&self, n_clusters: usize) -> Vec<f64> {
+        let total: u64 = self.dispatched_per_cluster[..n_clusters].iter().sum();
+        self.dispatched_per_cluster[..n_clusters]
+            .iter()
+            .map(|&d| if total == 0 { 0.0 } else { d as f64 / total as f64 })
+            .collect()
+    }
+
+    /// Element-wise `self - earlier`; used to discard the warm-up window.
+    pub fn delta(&self, earlier: &Stats) -> Stats {
+        let mut d = self.clone();
+        d.cycles -= earlier.cycles;
+        d.committed -= earlier.committed;
+        d.committed_fp -= earlier.committed_fp;
+        d.committed_loads -= earlier.committed_loads;
+        d.committed_stores -= earlier.committed_stores;
+        d.committed_branches -= earlier.committed_branches;
+        for i in 0..MAX_CLUSTERS {
+            d.dispatched_per_cluster[i] -= earlier.dispatched_per_cluster[i];
+        }
+        d.comms_created -= earlier.comms_created;
+        d.comms_issued -= earlier.comms_issued;
+        d.comm_distance -= earlier.comm_distance;
+        d.comm_bus_wait -= earlier.comm_bus_wait;
+        d.nready -= earlier.nready;
+        d.branches_seen -= earlier.branches_seen;
+        d.branch_misses -= earlier.branch_misses;
+        d.stalls.iq_full -= earlier.stalls.iq_full;
+        d.stalls.regs_full -= earlier.stalls.regs_full;
+        d.stalls.comm_full -= earlier.stalls.comm_full;
+        d.stalls.rob_full -= earlier.stalls.rob_full;
+        d.stalls.lsq_full -= earlier.stalls.lsq_full;
+        d.stalls.store_buf_full -= earlier.stalls.store_buf_full;
+        d.issued_int -= earlier.issued_int;
+        d.issued_fp -= earlier.issued_fp;
+        d.store_forwards -= earlier.store_forwards;
+        d.l1d_accesses -= earlier.l1d_accesses;
+        d.l1d_misses -= earlier.l1d_misses;
+        d.l1i_misses -= earlier.l1i_misses;
+        d.l2_misses -= earlier.l2_misses;
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_guard_zero_division() {
+        let s = Stats::default();
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.comms_per_insn(), 0.0);
+        assert_eq!(s.dist_per_comm(), 0.0);
+        assert_eq!(s.wait_per_comm(), 0.0);
+        assert_eq!(s.nready_per_cycle(), 0.0);
+        assert_eq!(s.branch_miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn ipc_and_shares() {
+        let mut s = Stats::default();
+        s.cycles = 100;
+        s.committed = 250;
+        s.dispatched_per_cluster[0] = 30;
+        s.dispatched_per_cluster[1] = 70;
+        assert!((s.ipc() - 2.5).abs() < 1e-12);
+        let shares = s.dispatch_shares(2);
+        assert!((shares[0] - 0.3).abs() < 1e-12);
+        assert!((shares[1] - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delta_subtracts() {
+        let mut a = Stats::default();
+        a.cycles = 10;
+        a.committed = 20;
+        a.comms_issued = 5;
+        let mut b = a.clone();
+        b.cycles = 110;
+        b.committed = 220;
+        b.comms_issued = 55;
+        let d = b.delta(&a);
+        assert_eq!(d.cycles, 100);
+        assert_eq!(d.committed, 200);
+        assert_eq!(d.comms_issued, 50);
+    }
+}

@@ -1,0 +1,391 @@
+//! Value table: renamed values and their per-cluster register copies.
+//!
+//! Every register-producing instruction allocates one [`ValueId`]. A value
+//! can have a **copy** in each cluster's register file: the *home* copy
+//! (written by the producing instruction — in the *next* cluster for the
+//! ring topology) plus consumer-side copies created by communication
+//! instructions. Copy states:
+//!
+//! * `Absent` — no register allocated in that cluster.
+//! * `Pending` — register allocated, datum not yet there (producer in flight
+//!   or communication in transit).
+//! * `Ready` — readable from that cluster's register file / bypass.
+//!
+//! Release policy follows §3: all copies of a value are freed when the
+//! instruction that *redefines* its architectural register commits.
+//! The `OnLastRead` ablation additionally frees non-home copies once their
+//! last dispatched reader has issued (reader counts are tracked per copy).
+
+use crate::config::MAX_CLUSTERS;
+
+/// Index into the value slab.
+pub type ValueId = u32;
+
+/// Sentinel for "no value".
+pub const NO_VALUE: ValueId = u32::MAX;
+
+/// Per-cluster copy state.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CopyState {
+    /// No register allocated in this cluster.
+    Absent,
+    /// Register allocated; datum in flight.
+    Pending,
+    /// Datum present and readable.
+    Ready,
+}
+
+#[derive(Clone)]
+struct Value {
+    state: [CopyState; MAX_CLUSTERS],
+    /// Outstanding dispatched-but-not-issued readers per cluster
+    /// (for the `OnLastRead` release ablation).
+    readers: [u16; MAX_CLUSTERS],
+    /// Cluster holding the home (original) copy.
+    home: u8,
+    /// FP bank?
+    is_fp: bool,
+    /// Slab occupancy.
+    live: bool,
+}
+
+impl Value {
+    fn empty() -> Self {
+        Value {
+            state: [CopyState::Absent; MAX_CLUSTERS],
+            readers: [0; MAX_CLUSTERS],
+            home: 0,
+            is_fp: false,
+            live: false,
+        }
+    }
+}
+
+/// The value slab plus per-cluster free-register accounting.
+pub struct ValueTable {
+    slab: Vec<Value>,
+    free_slots: Vec<ValueId>,
+    n_clusters: usize,
+    /// Free integer registers per cluster.
+    free_int: [i32; MAX_CLUSTERS],
+    /// Free FP registers per cluster.
+    free_fp: [i32; MAX_CLUSTERS],
+}
+
+impl ValueTable {
+    /// `regs_int`/`regs_fp` are the physical register-file sizes per cluster.
+    pub fn new(n_clusters: usize, regs_int: usize, regs_fp: usize) -> Self {
+        ValueTable {
+            slab: Vec::with_capacity(1024),
+            free_slots: Vec::new(),
+            n_clusters,
+            free_int: [regs_int as i32; MAX_CLUSTERS],
+            free_fp: [regs_fp as i32; MAX_CLUSTERS],
+        }
+    }
+
+    /// Free registers of the given bank in `cluster`.
+    #[inline]
+    pub fn free_regs(&self, cluster: usize, fp: bool) -> i32 {
+        if fp {
+            self.free_fp[cluster]
+        } else {
+            self.free_int[cluster]
+        }
+    }
+
+    /// Combined free registers in `cluster` (the steering balance metric).
+    #[inline]
+    pub fn free_regs_total(&self, cluster: usize) -> i32 {
+        self.free_int[cluster] + self.free_fp[cluster]
+    }
+
+    fn take_reg(&mut self, cluster: usize, fp: bool) {
+        let f = if fp { &mut self.free_fp[cluster] } else { &mut self.free_int[cluster] };
+        debug_assert!(*f > 0, "register underflow in cluster {cluster}");
+        *f -= 1;
+    }
+
+    fn give_reg(&mut self, cluster: usize, fp: bool) {
+        if fp {
+            self.free_fp[cluster] += 1;
+        } else {
+            self.free_int[cluster] += 1;
+        }
+    }
+
+    /// Allocate a new value whose home copy lives (Pending) in `home`.
+    /// Caller must have checked `free_regs(home, fp) > 0`.
+    pub fn alloc(&mut self, home: usize, fp: bool) -> ValueId {
+        self.take_reg(home, fp);
+        let id = match self.free_slots.pop() {
+            Some(id) => id,
+            None => {
+                self.slab.push(Value::empty());
+                (self.slab.len() - 1) as ValueId
+            }
+        };
+        let v = &mut self.slab[id as usize];
+        debug_assert!(!v.live);
+        *v = Value::empty();
+        v.live = true;
+        v.home = home as u8;
+        v.is_fp = fp;
+        v.state[home] = CopyState::Pending;
+        id
+    }
+
+    /// Allocate a value that is already `Ready` in `home` (initial
+    /// architectural state).
+    pub fn alloc_ready(&mut self, home: usize, fp: bool) -> ValueId {
+        let id = self.alloc(home, fp);
+        self.slab[id as usize].state[home] = CopyState::Ready;
+        id
+    }
+
+    /// Allocate a consumer-side copy (Pending) in `cluster`.
+    /// Caller must have checked bank availability.
+    pub fn add_copy(&mut self, id: ValueId, cluster: usize) {
+        let fp = self.slab[id as usize].is_fp;
+        self.take_reg(cluster, fp);
+        let v = &mut self.slab[id as usize];
+        debug_assert!(v.live);
+        debug_assert_eq!(v.state[cluster], CopyState::Absent, "copy already exists");
+        v.state[cluster] = CopyState::Pending;
+    }
+
+    /// Mark the copy in `cluster` ready (producer writeback or bus arrival).
+    /// Returns false if the copy no longer exists (released early under
+    /// `OnLastRead`) so the caller can skip wakeups.
+    pub fn mark_ready(&mut self, id: ValueId, cluster: usize) -> bool {
+        let v = &mut self.slab[id as usize];
+        if !v.live || v.state[cluster] == CopyState::Absent {
+            return false;
+        }
+        v.state[cluster] = CopyState::Ready;
+        true
+    }
+
+    /// Copy state of `id` in `cluster`.
+    #[inline]
+    pub fn state(&self, id: ValueId, cluster: usize) -> CopyState {
+        self.slab[id as usize].state[cluster]
+    }
+
+    /// True if a copy (pending or ready) exists in `cluster`.
+    #[inline]
+    pub fn mapped(&self, id: ValueId, cluster: usize) -> bool {
+        self.slab[id as usize].state[cluster] != CopyState::Absent
+    }
+
+    /// True if the value has a Ready copy anywhere (i.e. has been produced).
+    pub fn produced_anywhere(&self, id: ValueId) -> bool {
+        let v = &self.slab[id as usize];
+        v.state[..self.n_clusters].iter().any(|s| *s == CopyState::Ready)
+    }
+
+    /// Home cluster of the value.
+    #[inline]
+    pub fn home(&self, id: ValueId) -> usize {
+        self.slab[id as usize].home as usize
+    }
+
+    /// FP bank?
+    #[inline]
+    pub fn is_fp(&self, id: ValueId) -> bool {
+        self.slab[id as usize].is_fp
+    }
+
+    /// Clusters where the value is mapped (for steering candidate sets).
+    pub fn mapped_clusters(&self, id: ValueId) -> impl Iterator<Item = usize> + '_ {
+        let v = &self.slab[id as usize];
+        v.state[..self.n_clusters]
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s != CopyState::Absent)
+            .map(|(c, _)| c)
+    }
+
+    /// Register a dispatched reader of `id` in `cluster` (OnLastRead policy).
+    pub fn add_reader(&mut self, id: ValueId, cluster: usize) {
+        self.slab[id as usize].readers[cluster] += 1;
+    }
+
+    /// A reader issued; under `OnLastRead`, frees a non-home copy whose
+    /// reader count hits zero. Returns true if the copy was released.
+    pub fn reader_done(&mut self, id: ValueId, cluster: usize, release_on_read: bool) -> bool {
+        let v = &mut self.slab[id as usize];
+        debug_assert!(v.readers[cluster] > 0);
+        v.readers[cluster] -= 1;
+        if release_on_read
+            && v.readers[cluster] == 0
+            && cluster != v.home as usize
+            && v.state[cluster] == CopyState::Ready
+        {
+            v.state[cluster] = CopyState::Absent;
+            let fp = v.is_fp;
+            self.give_reg(cluster, fp);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Release every copy of `id` and recycle the slot (redefiner commit).
+    pub fn free(&mut self, id: ValueId) {
+        let fp = self.slab[id as usize].is_fp;
+        let mut to_free = 0u32;
+        {
+            let v = &mut self.slab[id as usize];
+            debug_assert!(v.live, "double free of value {id}");
+            for c in 0..self.n_clusters {
+                if v.state[c] != CopyState::Absent {
+                    v.state[c] = CopyState::Absent;
+                    to_free |= 1 << c;
+                }
+            }
+            v.live = false;
+        }
+        for c in 0..self.n_clusters {
+            if to_free & (1 << c) != 0 {
+                self.give_reg(c, fp);
+            }
+        }
+        self.free_slots.push(id);
+    }
+
+    /// Number of live values (tests / leak detection).
+    pub fn live_count(&self) -> usize {
+        self.slab.iter().filter(|v| v.live).count()
+    }
+
+    /// Total allocated copies across clusters (tests / conservation checks).
+    pub fn copy_count(&self) -> usize {
+        self.slab
+            .iter()
+            .filter(|v| v.live)
+            .map(|v| v.state[..self.n_clusters].iter().filter(|s| **s != CopyState::Absent).count())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> ValueTable {
+        ValueTable::new(4, 48, 48)
+    }
+
+    #[test]
+    fn alloc_takes_home_register() {
+        let mut t = table();
+        assert_eq!(t.free_regs(1, false), 48);
+        let v = t.alloc(1, false);
+        assert_eq!(t.free_regs(1, false), 47);
+        assert_eq!(t.state(v, 1), CopyState::Pending);
+        assert_eq!(t.home(v), 1);
+        assert!(t.mapped(v, 1));
+        assert!(!t.mapped(v, 0));
+    }
+
+    #[test]
+    fn copies_tracked_per_bank() {
+        let mut t = table();
+        let v = t.alloc(0, true);
+        t.add_copy(v, 2);
+        assert_eq!(t.free_regs(2, true), 47);
+        assert_eq!(t.free_regs(2, false), 48);
+        t.free(v);
+        assert_eq!(t.free_regs(0, true), 48);
+        assert_eq!(t.free_regs(2, true), 48);
+    }
+
+    #[test]
+    fn mark_ready_transitions() {
+        let mut t = table();
+        let v = t.alloc(3, false);
+        assert!(!t.produced_anywhere(v));
+        assert!(t.mark_ready(v, 3));
+        assert_eq!(t.state(v, 3), CopyState::Ready);
+        assert!(t.produced_anywhere(v));
+    }
+
+    #[test]
+    fn free_recycles_slots() {
+        let mut t = table();
+        let a = t.alloc(0, false);
+        t.free(a);
+        let b = t.alloc(1, true);
+        assert_eq!(a, b, "slot should be recycled");
+        assert_eq!(t.live_count(), 1);
+    }
+
+    #[test]
+    fn mapped_clusters_iterates() {
+        let mut t = table();
+        let v = t.alloc(1, false);
+        t.add_copy(v, 3);
+        let cs: Vec<usize> = t.mapped_clusters(v).collect();
+        assert_eq!(cs, vec![1, 3]);
+    }
+
+    #[test]
+    fn release_on_read_frees_nonhome_copy() {
+        let mut t = table();
+        let v = t.alloc(0, false);
+        t.mark_ready(v, 0);
+        t.add_copy(v, 2);
+        t.mark_ready(v, 2);
+        t.add_reader(v, 2);
+        t.add_reader(v, 2);
+        assert!(!t.reader_done(v, 2, true), "first reader leaves the copy");
+        assert!(t.reader_done(v, 2, true), "last reader releases it");
+        assert!(!t.mapped(v, 2));
+        assert_eq!(t.free_regs(2, false), 48);
+        // Home copy is never read-released.
+        t.add_reader(v, 0);
+        assert!(!t.reader_done(v, 0, true));
+        assert!(t.mapped(v, 0));
+    }
+
+    #[test]
+    fn default_policy_keeps_copies() {
+        let mut t = table();
+        let v = t.alloc(0, false);
+        t.mark_ready(v, 0);
+        t.add_copy(v, 1);
+        t.mark_ready(v, 1);
+        t.add_reader(v, 1);
+        assert!(!t.reader_done(v, 1, false));
+        assert!(t.mapped(v, 1));
+    }
+
+    #[test]
+    fn mark_ready_after_early_release_is_noop() {
+        let mut t = table();
+        let v = t.alloc(0, false);
+        t.mark_ready(v, 0);
+        t.add_copy(v, 2);
+        t.add_reader(v, 2);
+        t.mark_ready(v, 2);
+        t.reader_done(v, 2, true); // releases
+        assert!(!t.mark_ready(v, 2), "ready on a released copy must be ignored");
+    }
+
+    #[test]
+    fn copy_count_conservation() {
+        let mut t = table();
+        let a = t.alloc(0, false);
+        let b = t.alloc(1, true);
+        t.add_copy(a, 2);
+        assert_eq!(t.copy_count(), 3);
+        t.free(a);
+        t.free(b);
+        assert_eq!(t.copy_count(), 0);
+        for c in 0..4 {
+            assert_eq!(t.free_regs(c, false), 48);
+            assert_eq!(t.free_regs(c, true), 48);
+        }
+    }
+}

@@ -1,0 +1,364 @@
+//! Architectural state and single-step semantics.
+
+use rcmc_isa::{Insn, Opcode, Program, Reg};
+
+use crate::mem::Memory;
+
+/// Architectural CPU state: pc (instruction index), 32 int + 32 fp registers.
+pub struct Cpu {
+    /// Program counter, indexing `Program::insns`.
+    pub pc: u32,
+    /// Integer registers; `int[0]` is forced to zero after every step.
+    pub int: [i64; 32],
+    /// FP registers.
+    pub fp: [f64; 32],
+    /// Memory image.
+    pub mem: Memory,
+    /// Set once a `halt` retires.
+    pub halted: bool,
+}
+
+/// Errors the emulator can raise (all indicate a malformed program).
+#[derive(Clone, Debug, PartialEq)]
+pub enum EmuError {
+    /// pc ran past the end of the program without hitting `halt`.
+    PcOutOfRange(u32),
+    /// An instruction failed validation at execution time.
+    InvalidInsn { pc: u32 },
+}
+
+impl std::fmt::Display for EmuError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EmuError::PcOutOfRange(pc) => write!(f, "pc {pc} out of range"),
+            EmuError::InvalidInsn { pc } => write!(f, "invalid instruction at pc {pc}"),
+        }
+    }
+}
+
+impl std::error::Error for EmuError {}
+
+/// What one step did — everything the timing model needs to know.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StepOut {
+    /// The pc of the executed instruction.
+    pub pc: u32,
+    /// The executed instruction.
+    pub insn: Insn,
+    /// The pc of the next instruction.
+    pub next_pc: u32,
+    /// For conditional branches: was it taken?
+    pub taken: bool,
+    /// For loads/stores: the effective byte address.
+    pub mem_addr: u64,
+}
+
+impl Cpu {
+    /// Fresh CPU with the program's data segments loaded and pc at the entry.
+    pub fn new(program: &Program) -> Self {
+        let mut mem = Memory::new();
+        for seg in &program.data {
+            mem.write_bytes(seg.addr, &seg.bytes);
+        }
+        Cpu { pc: program.entry, int: [0; 32], fp: [0.0; 32], mem, halted: false }
+    }
+
+    #[inline]
+    fn ri(&self, r: Option<Reg>) -> i64 {
+        match r {
+            Some(Reg::Int(n)) => self.int[n as usize],
+            _ => panic!("expected int register"),
+        }
+    }
+
+    #[inline]
+    fn rf(&self, r: Option<Reg>) -> f64 {
+        match r {
+            Some(Reg::Fp(n)) => self.fp[n as usize],
+            _ => panic!("expected fp register"),
+        }
+    }
+
+    #[inline]
+    fn wi(&mut self, r: Option<Reg>, v: i64) {
+        if let Some(Reg::Int(n)) = r {
+            if n != 0 {
+                self.int[n as usize] = v;
+            }
+        } else {
+            panic!("expected int register destination");
+        }
+    }
+
+    #[inline]
+    fn wf(&mut self, r: Option<Reg>, v: f64) {
+        if let Some(Reg::Fp(n)) = r {
+            self.fp[n as usize] = v;
+        } else {
+            panic!("expected fp register destination");
+        }
+    }
+
+    /// Execute one instruction. Returns `Ok(None)` if already halted.
+    pub fn step(&mut self, program: &Program) -> Result<Option<StepOut>, EmuError> {
+        if self.halted {
+            return Ok(None);
+        }
+        let pc = self.pc;
+        let insn = *program
+            .insns
+            .get(pc as usize)
+            .ok_or(EmuError::PcOutOfRange(pc))?;
+        let imm = insn.imm as i64;
+        let mut next_pc = pc + 1;
+        let mut taken = false;
+        let mut mem_addr = 0u64;
+
+        use Opcode::*;
+        match insn.op {
+            Add => { let v = self.ri(insn.rs1).wrapping_add(self.ri(insn.rs2)); self.wi(insn.rd, v) }
+            Sub => { let v = self.ri(insn.rs1).wrapping_sub(self.ri(insn.rs2)); self.wi(insn.rd, v) }
+            And => { let v = self.ri(insn.rs1) & self.ri(insn.rs2); self.wi(insn.rd, v) }
+            Or => { let v = self.ri(insn.rs1) | self.ri(insn.rs2); self.wi(insn.rd, v) }
+            Xor => { let v = self.ri(insn.rs1) ^ self.ri(insn.rs2); self.wi(insn.rd, v) }
+            Sll => { let v = self.ri(insn.rs1) << (self.ri(insn.rs2) & 63); self.wi(insn.rd, v) }
+            Srl => { let v = ((self.ri(insn.rs1) as u64) >> (self.ri(insn.rs2) & 63)) as i64; self.wi(insn.rd, v) }
+            Sra => { let v = self.ri(insn.rs1) >> (self.ri(insn.rs2) & 63); self.wi(insn.rd, v) }
+            Slt => { let v = (self.ri(insn.rs1) < self.ri(insn.rs2)) as i64; self.wi(insn.rd, v) }
+            Sltu => { let v = ((self.ri(insn.rs1) as u64) < (self.ri(insn.rs2) as u64)) as i64; self.wi(insn.rd, v) }
+            Addi => { let v = self.ri(insn.rs1).wrapping_add(imm); self.wi(insn.rd, v) }
+            Andi => { let v = self.ri(insn.rs1) & imm; self.wi(insn.rd, v) }
+            Ori => { let v = self.ri(insn.rs1) | imm; self.wi(insn.rd, v) }
+            Xori => { let v = self.ri(insn.rs1) ^ imm; self.wi(insn.rd, v) }
+            Slli => { let v = self.ri(insn.rs1) << (imm & 63); self.wi(insn.rd, v) }
+            Srli => { let v = ((self.ri(insn.rs1) as u64) >> (imm & 63)) as i64; self.wi(insn.rd, v) }
+            Srai => { let v = self.ri(insn.rs1) >> (imm & 63); self.wi(insn.rd, v) }
+            Slti => { let v = (self.ri(insn.rs1) < imm) as i64; self.wi(insn.rd, v) }
+            Movi => self.wi(insn.rd, imm),
+            Mul => { let v = self.ri(insn.rs1).wrapping_mul(self.ri(insn.rs2)); self.wi(insn.rd, v) }
+            Div => {
+                let d = self.ri(insn.rs2);
+                let v = if d == 0 { 0 } else { self.ri(insn.rs1).wrapping_div(d) };
+                self.wi(insn.rd, v)
+            }
+            Rem => {
+                let d = self.ri(insn.rs2);
+                let v = if d == 0 { 0 } else { self.ri(insn.rs1).wrapping_rem(d) };
+                self.wi(insn.rd, v)
+            }
+            Fadd => { let v = self.rf(insn.rs1) + self.rf(insn.rs2); self.wf(insn.rd, v) }
+            Fsub => { let v = self.rf(insn.rs1) - self.rf(insn.rs2); self.wf(insn.rd, v) }
+            Fmul => { let v = self.rf(insn.rs1) * self.rf(insn.rs2); self.wf(insn.rd, v) }
+            Fdiv => { let v = self.rf(insn.rs1) / self.rf(insn.rs2); self.wf(insn.rd, v) }
+            Fmin => { let v = self.rf(insn.rs1).min(self.rf(insn.rs2)); self.wf(insn.rd, v) }
+            Fmax => { let v = self.rf(insn.rs1).max(self.rf(insn.rs2)); self.wf(insn.rd, v) }
+            Fneg => { let v = -self.rf(insn.rs1); self.wf(insn.rd, v) }
+            Fabs => { let v = self.rf(insn.rs1).abs(); self.wf(insn.rd, v) }
+            Fcvtif => { let v = self.ri(insn.rs1) as f64; self.wf(insn.rd, v) }
+            Fcvtfi => { let v = self.rf(insn.rs1) as i64; self.wi(insn.rd, v) }
+            Fcmplt => { let v = (self.rf(insn.rs1) < self.rf(insn.rs2)) as i64; self.wi(insn.rd, v) }
+            Fcmple => { let v = (self.rf(insn.rs1) <= self.rf(insn.rs2)) as i64; self.wi(insn.rd, v) }
+            Fcmpeq => { let v = (self.rf(insn.rs1) == self.rf(insn.rs2)) as i64; self.wi(insn.rd, v) }
+            Fmov => { let v = self.rf(insn.rs1); self.wf(insn.rd, v) }
+            Ld => {
+                mem_addr = (self.ri(insn.rs1).wrapping_add(imm)) as u64;
+                let v = self.mem.read_u64(mem_addr) as i64;
+                self.wi(insn.rd, v);
+            }
+            St => {
+                mem_addr = (self.ri(insn.rs1).wrapping_add(imm)) as u64;
+                let v = self.ri(insn.rs2) as u64;
+                self.mem.write_u64(mem_addr, v);
+            }
+            Fld => {
+                mem_addr = (self.ri(insn.rs1).wrapping_add(imm)) as u64;
+                let v = self.mem.read_f64(mem_addr);
+                self.wf(insn.rd, v);
+            }
+            Fst => {
+                mem_addr = (self.ri(insn.rs1).wrapping_add(imm)) as u64;
+                let v = self.rf(insn.rs2);
+                self.mem.write_f64(mem_addr, v);
+            }
+            Beq => { taken = self.ri(insn.rs1) == self.ri(insn.rs2); }
+            Bne => { taken = self.ri(insn.rs1) != self.ri(insn.rs2); }
+            Blt => { taken = self.ri(insn.rs1) < self.ri(insn.rs2); }
+            Bge => { taken = self.ri(insn.rs1) >= self.ri(insn.rs2); }
+            Jal => {
+                self.wi(insn.rd, (pc + 1) as i64);
+                next_pc = insn.branch_target(pc);
+            }
+            Jalr => {
+                let base = self.ri(insn.rs1);
+                self.wi(insn.rd, (pc + 1) as i64);
+                next_pc = (base.wrapping_add(imm)) as u32;
+            }
+            Nop => {}
+            Halt => {
+                self.halted = true;
+                next_pc = pc; // frozen
+            }
+        }
+        if insn.op.is_cond_branch() && taken {
+            next_pc = insn.branch_target(pc);
+        }
+        self.pc = next_pc;
+        self.int[0] = 0;
+        Ok(Some(StepOut { pc, insn, next_pc, taken, mem_addr }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcmc_isa::Reg;
+
+    fn run(src_insns: Vec<Insn>) -> Cpu {
+        let p = Program { insns: src_insns, data: vec![], entry: 0 };
+        let mut cpu = Cpu::new(&p);
+        for _ in 0..10_000 {
+            if cpu.step(&p).unwrap().is_none() {
+                break;
+            }
+        }
+        cpu
+    }
+
+    fn mk(op: Opcode, rd: Option<Reg>, rs1: Option<Reg>, rs2: Option<Reg>, imm: i32) -> Insn {
+        Insn::new(op, rd, rs1, rs2, imm)
+    }
+
+    #[test]
+    fn arithmetic_basics() {
+        let r = |n| Some(Reg::int(n));
+        let cpu = run(vec![
+            mk(Opcode::Movi, r(1), None, None, 6),
+            mk(Opcode::Movi, r(2), None, None, 7),
+            mk(Opcode::Mul, r(3), r(1), r(2), 0),
+            mk(Opcode::Sub, r(4), r(3), r(1), 0),
+            mk(Opcode::Div, r(5), r(3), r(2), 0),
+            Insn::halt(),
+        ]);
+        assert_eq!(cpu.int[3], 42);
+        assert_eq!(cpu.int[4], 36);
+        assert_eq!(cpu.int[5], 6);
+    }
+
+    #[test]
+    fn zero_register_is_immutable() {
+        let r = |n| Some(Reg::int(n));
+        let cpu = run(vec![mk(Opcode::Movi, r(0), None, None, 99), Insn::halt()]);
+        assert_eq!(cpu.int[0], 0);
+    }
+
+    #[test]
+    fn div_by_zero_yields_zero() {
+        let r = |n| Some(Reg::int(n));
+        let cpu = run(vec![
+            mk(Opcode::Movi, r(1), None, None, 10),
+            mk(Opcode::Div, r(2), r(1), r(0), 0),
+            mk(Opcode::Rem, r(3), r(1), r(0), 0),
+            Insn::halt(),
+        ]);
+        assert_eq!(cpu.int[2], 0);
+        assert_eq!(cpu.int[3], 0);
+    }
+
+    #[test]
+    fn loop_with_branch() {
+        // sum 1..=5 via blt loop
+        let r = |n| Some(Reg::int(n));
+        let cpu = run(vec![
+            mk(Opcode::Movi, r(1), None, None, 0),  // i
+            mk(Opcode::Movi, r(2), None, None, 0),  // sum
+            mk(Opcode::Movi, r(3), None, None, 5),  // n
+            // loop:
+            mk(Opcode::Addi, r(1), r(1), None, 1),
+            mk(Opcode::Add, r(2), r(2), r(1), 0),
+            mk(Opcode::Blt, None, r(1), r(3), -3), // back to pc 3
+            Insn::halt(),
+        ]);
+        assert_eq!(cpu.int[2], 15);
+    }
+
+    #[test]
+    fn memory_and_fp() {
+        let r = |n| Some(Reg::int(n));
+        let f = |n| Some(Reg::fp(n));
+        let p = Program {
+            insns: vec![
+                mk(Opcode::Movi, r(1), None, None, 0x1000),
+                mk(Opcode::Movi, r(2), None, None, 21),
+                mk(Opcode::St, None, r(1), r(2), 0),
+                mk(Opcode::Ld, r(3), r(1), None, 0),
+                mk(Opcode::Fcvtif, f(1), r(3), None, 0),
+                mk(Opcode::Fadd, f(2), f(1), f(1), 0),
+                mk(Opcode::Fst, None, r(1), f(2), 8),
+                mk(Opcode::Fld, f(3), r(1), None, 8),
+                mk(Opcode::Fcvtfi, r(4), f(3), None, 0),
+                Insn::halt(),
+            ],
+            data: vec![],
+            entry: 0,
+        };
+        let mut cpu = Cpu::new(&p);
+        while cpu.step(&p).unwrap().is_some() {}
+        assert_eq!(cpu.int[3], 21);
+        assert_eq!(cpu.int[4], 42);
+        assert_eq!(cpu.mem.read_f64(0x1008), 42.0);
+    }
+
+    #[test]
+    fn call_and_return() {
+        let r = |n| Some(Reg::int(n));
+        // main: jal r31, func(+2); halt; func: movi r5, 9; jalr r0, r31, 0
+        let cpu = run(vec![
+            mk(Opcode::Jal, r(31), None, None, 1), // target = 0+1+1 = 2
+            Insn::halt(),
+            mk(Opcode::Movi, r(5), None, None, 9),
+            mk(Opcode::Jalr, r(0), r(31), None, 0),
+        ]);
+        assert_eq!(cpu.int[5], 9);
+        assert!(cpu.halted);
+    }
+
+    #[test]
+    fn step_records_branch_and_mem_info() {
+        let r = |n| Some(Reg::int(n));
+        let p = Program {
+            insns: vec![
+                mk(Opcode::Movi, r(1), None, None, 0x2000),
+                mk(Opcode::Ld, r(2), r(1), None, 16),
+                mk(Opcode::Beq, None, r(2), r(0), 1), // taken (mem reads 0)
+                Insn::nop(),
+                Insn::halt(),
+            ],
+            data: vec![],
+            entry: 0,
+        };
+        let mut cpu = Cpu::new(&p);
+        cpu.step(&p).unwrap();
+        let ld = cpu.step(&p).unwrap().unwrap();
+        assert_eq!(ld.mem_addr, 0x2010);
+        let br = cpu.step(&p).unwrap().unwrap();
+        assert!(br.taken);
+        assert_eq!(br.next_pc, 4);
+    }
+
+    #[test]
+    fn pc_out_of_range_detected() {
+        let p = Program { insns: vec![Insn::nop()], data: vec![], entry: 0 };
+        let mut cpu = Cpu::new(&p);
+        cpu.step(&p).unwrap();
+        assert_eq!(cpu.step(&p), Err(EmuError::PcOutOfRange(1)));
+    }
+
+    #[test]
+    fn halted_cpu_stays_halted() {
+        let p = Program { insns: vec![Insn::halt()], data: vec![], entry: 0 };
+        let mut cpu = Cpu::new(&p);
+        assert!(cpu.step(&p).unwrap().is_some());
+        assert_eq!(cpu.step(&p).unwrap(), None);
+        assert_eq!(cpu.step(&p).unwrap(), None);
+    }
+}

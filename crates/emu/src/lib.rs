@@ -1,0 +1,21 @@
+//! # rcmc-emu — functional emulator and oracle-trace generation
+//!
+//! Executes [`rcmc_isa::Program`]s at the architectural level and records the
+//! **dynamic instruction stream** (one [`DynInsn`] per executed instruction,
+//! with resolved branch outcomes and effective memory addresses). The
+//! clustered timing model in `rcmc-core` replays this stream: an
+//! *execution-driven, stall-on-mispredict* simulation style in which the
+//! timing model never fabricates wrong-path work but still pays realistic
+//! branch-resolution delays.
+//!
+//! The emulator is deliberately strict: misaligned 8-byte accesses and pc
+//! overruns are hard errors, because the workload generators guarantee
+//! alignment and the timing model's store-to-load forwarding relies on it.
+
+mod cpu;
+mod mem;
+mod trace;
+
+pub use cpu::{Cpu, EmuError, StepOut};
+pub use mem::Memory;
+pub use trace::{trace_program, DynInsn, Trace, TraceError};

@@ -1,0 +1,123 @@
+//! Sparse paged memory.
+
+use std::collections::HashMap;
+
+const PAGE_SHIFT: u32 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+const PAGE_MASK: u64 = (PAGE_SIZE as u64) - 1;
+
+/// Sparse 64-bit byte-addressable memory. Pages are allocated on first touch
+/// and zero-filled, so uninitialized reads return 0 — convenient for
+/// `.zero`-style buffers.
+#[derive(Default)]
+pub struct Memory {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl Memory {
+    /// Empty memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of resident pages (for tests / footprint reporting).
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    fn page_mut(&mut self, addr: u64) -> &mut [u8; PAGE_SIZE] {
+        self.pages.entry(addr >> PAGE_SHIFT).or_insert_with(|| Box::new([0u8; PAGE_SIZE]))
+    }
+
+    /// Read one byte.
+    pub fn read_u8(&self, addr: u64) -> u8 {
+        match self.pages.get(&(addr >> PAGE_SHIFT)) {
+            Some(p) => p[(addr & PAGE_MASK) as usize],
+            None => 0,
+        }
+    }
+
+    /// Write one byte.
+    pub fn write_u8(&mut self, addr: u64, v: u8) {
+        self.page_mut(addr)[(addr & PAGE_MASK) as usize] = v;
+    }
+
+    /// Read an aligned little-endian u64. Panics on misalignment (the ISA
+    /// only produces aligned accesses; generators must uphold this).
+    pub fn read_u64(&self, addr: u64) -> u64 {
+        assert!(addr % 8 == 0, "misaligned 8-byte read at {addr:#x}");
+        let off = (addr & PAGE_MASK) as usize;
+        match self.pages.get(&(addr >> PAGE_SHIFT)) {
+            Some(p) => u64::from_le_bytes(p[off..off + 8].try_into().unwrap()),
+            None => 0,
+        }
+    }
+
+    /// Write an aligned little-endian u64.
+    pub fn write_u64(&mut self, addr: u64, v: u64) {
+        assert!(addr % 8 == 0, "misaligned 8-byte write at {addr:#x}");
+        let off = (addr & PAGE_MASK) as usize;
+        self.page_mut(addr)[off..off + 8].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Bulk load (used for program data segments).
+    pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) {
+        for (i, b) in bytes.iter().enumerate() {
+            self.write_u8(addr + i as u64, *b);
+        }
+    }
+
+    /// Read an f64 (bit pattern of the aligned u64).
+    pub fn read_f64(&self, addr: u64) -> f64 {
+        f64::from_bits(self.read_u64(addr))
+    }
+
+    /// Write an f64.
+    pub fn write_f64(&mut self, addr: u64, v: f64) {
+        self.write_u64(addr, v.to_bits());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_on_first_read() {
+        let m = Memory::new();
+        assert_eq!(m.read_u64(0x1000), 0);
+        assert_eq!(m.read_u8(12345), 0);
+    }
+
+    #[test]
+    fn u64_roundtrip_across_pages() {
+        let mut m = Memory::new();
+        m.write_u64(PAGE_SIZE as u64 - 8, 0xdead_beef_cafe_f00d);
+        assert_eq!(m.read_u64(PAGE_SIZE as u64 - 8), 0xdead_beef_cafe_f00d);
+        m.write_u64(PAGE_SIZE as u64, 7);
+        assert_eq!(m.read_u64(PAGE_SIZE as u64), 7);
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn misaligned_read_panics() {
+        let m = Memory::new();
+        let _ = m.read_u64(3);
+    }
+
+    #[test]
+    fn f64_roundtrip() {
+        let mut m = Memory::new();
+        m.write_f64(64, -0.5);
+        assert_eq!(m.read_f64(64), -0.5);
+    }
+
+    #[test]
+    fn bulk_write() {
+        let mut m = Memory::new();
+        m.write_bytes(0x2000 - 2, &[1, 2, 3, 4]);
+        assert_eq!(m.read_u8(0x1fff), 2);
+        assert_eq!(m.read_u8(0x2001), 4);
+    }
+}

@@ -1,0 +1,166 @@
+//! Dynamic instruction stream ("oracle trace") generation.
+
+use rcmc_isa::{Insn, InsnClass, Program};
+
+use crate::cpu::{Cpu, EmuError};
+
+/// One dynamic instruction: the static instruction plus the resolved
+/// control-flow and memory facts the timing model needs.
+///
+/// Kept to 32 bytes so large traces stay cache-friendly.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DynInsn {
+    /// Static instruction (16 bytes).
+    pub insn: Insn,
+    /// pc of this instruction.
+    pub pc: u32,
+    /// pc of the next dynamic instruction.
+    pub next_pc: u32,
+    /// Effective byte address for loads/stores, else 0.
+    pub mem_addr: u64,
+}
+
+impl DynInsn {
+    /// Behavioural class.
+    #[inline]
+    pub fn class(&self) -> InsnClass {
+        self.insn.class()
+    }
+
+    /// For conditional branches: was this instance taken?
+    #[inline]
+    pub fn taken(&self) -> bool {
+        self.next_pc != self.pc + 1
+    }
+}
+
+/// A fully materialized dynamic trace plus a couple of whole-run facts.
+pub struct Trace {
+    /// The dynamic instructions in program order.
+    pub insns: Vec<DynInsn>,
+    /// Whether the program ran to `halt` (vs hitting the budget).
+    pub halted: bool,
+    /// Static instruction count of the program.
+    pub static_insns: usize,
+}
+
+/// Errors producing a trace.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TraceError {
+    /// The underlying emulator faulted.
+    Emu(EmuError),
+    /// The program halted before producing `min_insns` dynamic instructions.
+    TooShort { produced: usize, wanted: usize },
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Emu(e) => write!(f, "emulation failed: {e}"),
+            TraceError::TooShort { produced, wanted } => {
+                write!(f, "trace too short: produced {produced}, wanted {wanted}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl From<EmuError> for TraceError {
+    fn from(e: EmuError) -> Self {
+        TraceError::Emu(e)
+    }
+}
+
+/// Run `program` functionally for at most `max_insns` dynamic instructions
+/// and return the trace. The trace ends either at `halt` (inclusive) or at
+/// the budget.
+pub fn trace_program(program: &Program, max_insns: usize) -> Result<Trace, TraceError> {
+    let mut cpu = Cpu::new(program);
+    let mut insns = Vec::with_capacity(max_insns.min(1 << 22));
+    while insns.len() < max_insns {
+        match cpu.step(program)? {
+            Some(step) => {
+                insns.push(DynInsn {
+                    insn: step.insn,
+                    pc: step.pc,
+                    next_pc: step.next_pc,
+                    mem_addr: step.mem_addr,
+                });
+                if cpu.halted {
+                    break;
+                }
+            }
+            None => break,
+        }
+    }
+    Ok(Trace { insns, halted: cpu.halted, static_insns: program.insns.len() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcmc_isa::{Opcode, Reg};
+
+    fn counted_loop(n: i32) -> Program {
+        let r = |x| Some(Reg::int(x));
+        Program {
+            insns: vec![
+                Insn::new(Opcode::Movi, r(1), None, None, n),
+                // loop:
+                Insn::new(Opcode::Addi, r(1), r(1), None, -1),
+                Insn::new(Opcode::Bne, None, r(1), r(0), -2),
+                Insn::halt(),
+            ],
+            data: vec![],
+            entry: 0,
+        }
+    }
+
+    #[test]
+    fn trace_has_expected_length_and_end() {
+        let p = counted_loop(5);
+        let t = trace_program(&p, 1000).unwrap();
+        // movi + 5*(addi,bne) + halt
+        assert_eq!(t.insns.len(), 1 + 10 + 1);
+        assert!(t.halted);
+        assert_eq!(t.insns.last().unwrap().insn.op, Opcode::Halt);
+    }
+
+    #[test]
+    fn budget_truncates() {
+        let p = counted_loop(1_000_000);
+        let t = trace_program(&p, 100).unwrap();
+        assert_eq!(t.insns.len(), 100);
+        assert!(!t.halted);
+    }
+
+    #[test]
+    fn taken_flag_consistent() {
+        let p = counted_loop(3);
+        let t = trace_program(&p, 1000).unwrap();
+        for d in &t.insns {
+            if d.insn.op.is_cond_branch() {
+                let expect_taken = d.next_pc != d.pc + 1;
+                assert_eq!(d.taken(), expect_taken);
+                if d.taken() {
+                    assert_eq!(d.next_pc, d.insn.branch_target(d.pc));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dyninsn_is_compact() {
+        assert!(std::mem::size_of::<DynInsn>() <= 40, "DynInsn grew: {}", std::mem::size_of::<DynInsn>());
+    }
+
+    #[test]
+    fn next_pcs_chain() {
+        let p = counted_loop(4);
+        let t = trace_program(&p, 1000).unwrap();
+        for w in t.insns.windows(2) {
+            assert_eq!(w[0].next_pc, w[1].pc, "dynamic stream must chain");
+        }
+    }
+}

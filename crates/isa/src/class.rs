@@ -1,0 +1,184 @@
+//! Instruction classes: which pipeline, which functional unit, what latency.
+//!
+//! Latencies follow Table 2 of the paper exactly:
+//! INT ALU 1 cycle; INT mul 3 cycles pipelined; INT div 20 cycles
+//! non-pipelined; FP ALU 2 cycles; FP mul 4 cycles; FP div 12 cycles
+//! non-pipelined. Loads/stores/branches perform their address/condition
+//! computation on an integer ALU.
+
+use crate::opcode::Opcode;
+
+/// Broad behavioural class of an instruction, used by the issue logic.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum InsnClass {
+    /// Single-cycle integer operation (also branches and address generation).
+    IntAlu,
+    /// Pipelined 3-cycle integer multiply.
+    IntMul,
+    /// Non-pipelined 20-cycle integer divide/remainder.
+    IntDiv,
+    /// 2-cycle FP add/compare/convert/move.
+    FpAlu,
+    /// Pipelined 4-cycle FP multiply.
+    FpMul,
+    /// Non-pipelined 12-cycle FP divide.
+    FpDiv,
+    /// Memory read (address generation + cache access).
+    Load,
+    /// Memory write (address generation; data written at commit).
+    Store,
+    /// Conditional branch.
+    Branch,
+    /// Unconditional jump (`jal`/`jalr`).
+    Jump,
+    /// No-op (still occupies front-end slots).
+    Nop,
+    /// Program end marker.
+    Halt,
+}
+
+/// The kind of functional unit an instruction executes on.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum FuKind {
+    /// Integer ALU: ALU ops, branches, jumps, address generation.
+    IntAlu,
+    /// Integer multiply/divide unit.
+    IntMulDiv,
+    /// FP adder (also compares, converts, moves).
+    FpAlu,
+    /// FP multiply/divide unit.
+    FpMulDiv,
+}
+
+impl InsnClass {
+    /// Classify an opcode.
+    pub fn of(op: Opcode) -> InsnClass {
+        use Opcode::*;
+        match op {
+            Add | Sub | And | Or | Xor | Sll | Srl | Sra | Slt | Sltu | Addi | Andi | Ori
+            | Xori | Slli | Srli | Srai | Slti | Movi => InsnClass::IntAlu,
+            Mul => InsnClass::IntMul,
+            Div | Rem => InsnClass::IntDiv,
+            Fadd | Fsub | Fmin | Fmax | Fneg | Fabs | Fcvtif | Fcvtfi | Fcmplt | Fcmple
+            | Fcmpeq | Fmov => InsnClass::FpAlu,
+            Fmul => InsnClass::FpMul,
+            Fdiv => InsnClass::FpDiv,
+            Ld | Fld => InsnClass::Load,
+            St | Fst => InsnClass::Store,
+            Beq | Bne | Blt | Bge => InsnClass::Branch,
+            Jal | Jalr => InsnClass::Jump,
+            Nop => InsnClass::Nop,
+            Halt => InsnClass::Halt,
+        }
+    }
+
+    /// Execution latency in cycles on the functional unit (for loads this is
+    /// the address-generation latency only; the memory system adds more).
+    pub fn latency(self) -> u32 {
+        match self {
+            InsnClass::IntAlu | InsnClass::Branch | InsnClass::Jump => 1,
+            InsnClass::IntMul => 3,
+            InsnClass::IntDiv => 20,
+            InsnClass::FpAlu => 2,
+            InsnClass::FpMul => 4,
+            InsnClass::FpDiv => 12,
+            InsnClass::Load | InsnClass::Store => 1,
+            InsnClass::Nop | InsnClass::Halt => 1,
+        }
+    }
+
+    /// True if the functional unit is busy for the whole latency
+    /// (non-pipelined divides).
+    pub fn non_pipelined(self) -> bool {
+        matches!(self, InsnClass::IntDiv | InsnClass::FpDiv)
+    }
+
+    /// Which functional-unit pool executes this class. `None` for nops/halt
+    /// (they are dispatched and committed but never issued).
+    pub fn fu(self) -> Option<FuKind> {
+        match self {
+            InsnClass::IntAlu | InsnClass::Branch | InsnClass::Jump | InsnClass::Load
+            | InsnClass::Store => Some(FuKind::IntAlu),
+            InsnClass::IntMul | InsnClass::IntDiv => Some(FuKind::IntMulDiv),
+            InsnClass::FpAlu => Some(FuKind::FpAlu),
+            InsnClass::FpMul | InsnClass::FpDiv => Some(FuKind::FpMulDiv),
+            InsnClass::Nop | InsnClass::Halt => None,
+        }
+    }
+
+    /// True if this class issues from the integer issue queue (and consumes
+    /// integer issue width); FP classes use the FP queue.
+    pub fn is_int_pipe(self) -> bool {
+        !matches!(self, InsnClass::FpAlu | InsnClass::FpMul | InsnClass::FpDiv)
+    }
+
+    /// Memory operation?
+    pub fn is_mem(self) -> bool {
+        matches!(self, InsnClass::Load | InsnClass::Store)
+    }
+
+    /// Control transfer?
+    pub fn is_control(self) -> bool {
+        matches!(self, InsnClass::Branch | InsnClass::Jump)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latencies_match_table2() {
+        assert_eq!(InsnClass::IntAlu.latency(), 1);
+        assert_eq!(InsnClass::IntMul.latency(), 3);
+        assert_eq!(InsnClass::IntDiv.latency(), 20);
+        assert_eq!(InsnClass::FpAlu.latency(), 2);
+        assert_eq!(InsnClass::FpMul.latency(), 4);
+        assert_eq!(InsnClass::FpDiv.latency(), 12);
+    }
+
+    #[test]
+    fn divides_non_pipelined() {
+        assert!(InsnClass::IntDiv.non_pipelined());
+        assert!(InsnClass::FpDiv.non_pipelined());
+        assert!(!InsnClass::IntMul.non_pipelined());
+        assert!(!InsnClass::FpMul.non_pipelined());
+    }
+
+    #[test]
+    fn classify_all_opcodes() {
+        use Opcode::*;
+        assert_eq!(InsnClass::of(Add), InsnClass::IntAlu);
+        assert_eq!(InsnClass::of(Movi), InsnClass::IntAlu);
+        assert_eq!(InsnClass::of(Mul), InsnClass::IntMul);
+        assert_eq!(InsnClass::of(Rem), InsnClass::IntDiv);
+        assert_eq!(InsnClass::of(Fadd), InsnClass::FpAlu);
+        assert_eq!(InsnClass::of(Fcmplt), InsnClass::FpAlu);
+        assert_eq!(InsnClass::of(Fmul), InsnClass::FpMul);
+        assert_eq!(InsnClass::of(Fdiv), InsnClass::FpDiv);
+        assert_eq!(InsnClass::of(Ld), InsnClass::Load);
+        assert_eq!(InsnClass::of(Fst), InsnClass::Store);
+        assert_eq!(InsnClass::of(Beq), InsnClass::Branch);
+        assert_eq!(InsnClass::of(Jalr), InsnClass::Jump);
+        assert_eq!(InsnClass::of(Halt), InsnClass::Halt);
+    }
+
+    #[test]
+    fn pipe_assignment() {
+        assert!(InsnClass::Load.is_int_pipe());
+        assert!(InsnClass::Branch.is_int_pipe());
+        assert!(InsnClass::IntDiv.is_int_pipe());
+        assert!(!InsnClass::FpMul.is_int_pipe());
+        assert!(!InsnClass::FpAlu.is_int_pipe());
+    }
+
+    #[test]
+    fn fu_assignment() {
+        assert_eq!(InsnClass::Branch.fu(), Some(FuKind::IntAlu));
+        assert_eq!(InsnClass::Load.fu(), Some(FuKind::IntAlu));
+        assert_eq!(InsnClass::IntDiv.fu(), Some(FuKind::IntMulDiv));
+        assert_eq!(InsnClass::FpDiv.fu(), Some(FuKind::FpMulDiv));
+        assert_eq!(InsnClass::Nop.fu(), None);
+        assert_eq!(InsnClass::Halt.fu(), None);
+    }
+}

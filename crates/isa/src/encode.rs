@@ -1,0 +1,171 @@
+//! Binary encoding: 8 bytes per instruction.
+//!
+//! Layout (little-endian u64):
+//! ```text
+//! bits  0..8   opcode byte
+//! bits  8..16  rd   (0..32 int, 32..64 fp, 0xff none)
+//! bits 16..24  rs1  (same encoding)
+//! bits 24..32  rs2  (same encoding)
+//! bits 32..64  imm  (i32, little-endian)
+//! ```
+
+use crate::insn::Insn;
+use crate::opcode::Opcode;
+use crate::reg::{Reg, NUM_INT_REGS};
+
+/// Sentinel byte for "no register".
+const NO_REG: u8 = 0xff;
+
+/// Errors decoding a 64-bit instruction word.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DecodeError {
+    /// Unknown opcode byte.
+    BadOpcode(u8),
+    /// Register field out of range.
+    BadRegister(u8),
+    /// Operand kinds do not match the opcode signature.
+    BadOperands,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::BadOpcode(b) => write!(f, "unknown opcode byte {b:#04x}"),
+            DecodeError::BadRegister(b) => write!(f, "register field out of range: {b:#04x}"),
+            DecodeError::BadOperands => write!(f, "operand kinds do not match opcode"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn reg_byte(r: Option<Reg>) -> u8 {
+    match r {
+        None => NO_REG,
+        Some(Reg::Int(n)) => n,
+        Some(Reg::Fp(n)) => NUM_INT_REGS as u8 + n,
+    }
+}
+
+fn byte_reg(b: u8) -> Result<Option<Reg>, DecodeError> {
+    match b {
+        NO_REG => Ok(None),
+        n if (n as usize) < NUM_INT_REGS => Ok(Some(Reg::Int(n))),
+        n if (n as usize) < 2 * NUM_INT_REGS => Ok(Some(Reg::Fp(n - NUM_INT_REGS as u8))),
+        n => Err(DecodeError::BadRegister(n)),
+    }
+}
+
+/// Encode an instruction into its 64-bit word.
+pub fn encode(i: &Insn) -> u64 {
+    let op = i.op as u8 as u64;
+    let rd = reg_byte(i.rd) as u64;
+    let rs1 = reg_byte(i.rs1) as u64;
+    let rs2 = reg_byte(i.rs2) as u64;
+    let imm = (i.imm as u32) as u64;
+    op | (rd << 8) | (rs1 << 16) | (rs2 << 24) | (imm << 32)
+}
+
+/// Decode a 64-bit word; validates the operand signature.
+pub fn decode(word: u64) -> Result<Insn, DecodeError> {
+    let op = Opcode::from_u8((word & 0xff) as u8)
+        .ok_or(DecodeError::BadOpcode((word & 0xff) as u8))?;
+    let rd = byte_reg(((word >> 8) & 0xff) as u8)?;
+    let rs1 = byte_reg(((word >> 16) & 0xff) as u8)?;
+    let rs2 = byte_reg(((word >> 24) & 0xff) as u8)?;
+    let imm = (word >> 32) as u32 as i32;
+    let insn = Insn { op, rd, rs1, rs2, imm };
+    insn.validate().map_err(|_| DecodeError::BadOperands)?;
+    Ok(insn)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn roundtrip_simple() {
+        let i = Insn::new(Opcode::Addi, Some(Reg::int(7)), Some(Reg::int(3)), None, -42);
+        assert_eq!(decode(encode(&i)).unwrap(), i);
+    }
+
+    #[test]
+    fn bad_opcode_detected() {
+        assert_eq!(decode(0xff), Err(DecodeError::BadOpcode(0xff)));
+    }
+
+    #[test]
+    fn bad_register_detected() {
+        // add with rd byte = 200
+        let w = (Opcode::Add as u8 as u64) | (200u64 << 8) | (1u64 << 16) | (2u64 << 24);
+        assert_eq!(decode(w), Err(DecodeError::BadRegister(200)));
+    }
+
+    #[test]
+    fn bad_operands_detected() {
+        // nop with an rd present
+        let w = (Opcode::Nop as u8 as u64) | (1u64 << 8) | ((NO_REG as u64) << 16) | ((NO_REG as u64) << 24);
+        assert_eq!(decode(w), Err(DecodeError::BadOperands));
+    }
+
+    #[test]
+    fn negative_immediates_survive() {
+        let i = Insn::new(Opcode::Movi, Some(Reg::int(1)), None, None, i32::MIN);
+        assert_eq!(decode(encode(&i)).unwrap().imm, i32::MIN);
+    }
+
+    /// Strategy producing arbitrary *valid* instructions: pick an opcode, fill
+    /// the signature with random in-range registers and a random immediate.
+    pub fn arb_insn() -> impl Strategy<Value = Insn> {
+        (0..Opcode::ALL.len(), 0u8..32, 0u8..32, 0u8..32, any::<i32>()).prop_map(
+            |(opi, a, b, c, imm)| {
+                let op = Opcode::ALL[opi];
+                // Build via the signature table to stay valid.
+                let probe = Insn { op, rd: None, rs1: None, rs2: None, imm };
+                // Use validation errors to discover which slots are needed and
+                // of which bank — simple approach: try the four bank combos.
+                let candidates = [
+                    (Some(Reg::Int(a)), Some(Reg::Int(b)), Some(Reg::Int(c))),
+                    (Some(Reg::Int(a)), Some(Reg::Int(b)), Some(Reg::Fp(c))),
+                    (Some(Reg::Int(a)), Some(Reg::Fp(b)), Some(Reg::Fp(c))),
+                    (Some(Reg::Int(a)), Some(Reg::Fp(b)), None),
+                    (Some(Reg::Int(a)), Some(Reg::Int(b)), None),
+                    (Some(Reg::Int(a)), None, None),
+                    (Some(Reg::Fp(a)), Some(Reg::Fp(b)), Some(Reg::Fp(c))),
+                    (Some(Reg::Fp(a)), Some(Reg::Fp(b)), None),
+                    (Some(Reg::Fp(a)), Some(Reg::Int(b)), None),
+                    (None, Some(Reg::Int(b)), Some(Reg::Int(c))),
+                    (None, Some(Reg::Int(b)), Some(Reg::Fp(c))),
+                    (None, None, None),
+                ];
+                for (rd, rs1, rs2) in candidates {
+                    let i = Insn { rd, rs1, rs2, ..probe };
+                    if i.validate().is_ok() {
+                        return i;
+                    }
+                }
+                unreachable!("no valid operand combination for {op:?}")
+            },
+        )
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(i in arb_insn()) {
+            let w = encode(&i);
+            let back = decode(w).expect("valid instruction must decode");
+            prop_assert_eq!(back, i);
+        }
+
+        #[test]
+        fn prop_decode_never_panics(w in any::<u64>()) {
+            let _ = decode(w); // must not panic regardless of input
+        }
+
+        #[test]
+        fn prop_display_never_panics(i in arb_insn()) {
+            let _ = i.to_string();
+        }
+    }
+}

@@ -1,0 +1,318 @@
+//! The in-memory instruction representation.
+
+use std::fmt;
+
+use crate::class::InsnClass;
+use crate::opcode::Opcode;
+use crate::reg::Reg;
+
+/// One decoded instruction.
+///
+/// `rd`/`rs1`/`rs2` have opcode-dependent meaning; [`Insn::validate`] checks
+/// that the operand kinds match the opcode's signature. Branch and `jal`
+/// immediates are instruction-relative offsets (target = `pc + 1 + imm` for
+/// branches, i.e. a fall-through of `imm == 0`; we use `pc + imm` for `jal`
+/// relative jumps — see [`Insn::branch_target`]).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Insn {
+    /// Operation.
+    pub op: Opcode,
+    /// Destination register, if the opcode writes one.
+    pub rd: Option<Reg>,
+    /// First source register.
+    pub rs1: Option<Reg>,
+    /// Second source register.
+    pub rs2: Option<Reg>,
+    /// Immediate: ALU immediate, byte offset for memory ops, or
+    /// instruction-relative offset for control transfers.
+    pub imm: i32,
+}
+
+/// Why an [`Insn`] failed validation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ValidationError {
+    /// A required operand is missing.
+    MissingOperand(&'static str),
+    /// An operand is present that the opcode does not take.
+    UnexpectedOperand(&'static str),
+    /// An operand has the wrong register bank (int vs fp).
+    WrongBank(&'static str),
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::MissingOperand(o) => write!(f, "missing operand {o}"),
+            ValidationError::UnexpectedOperand(o) => write!(f, "unexpected operand {o}"),
+            ValidationError::WrongBank(o) => write!(f, "operand {o} uses the wrong register bank"),
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Operand signature of an opcode: expected banks for rd/rs1/rs2.
+/// `I` integer, `F` fp, `N` none.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Bank {
+    I,
+    F,
+    N,
+}
+
+fn signature(op: Opcode) -> (Bank, Bank, Bank) {
+    use Bank::*;
+    use Opcode::*;
+    match op {
+        Add | Sub | And | Or | Xor | Sll | Srl | Sra | Slt | Sltu | Mul | Div | Rem => (I, I, I),
+        Addi | Andi | Ori | Xori | Slli | Srli | Srai | Slti => (I, I, N),
+        Movi => (I, N, N),
+        Fadd | Fsub | Fmul | Fdiv | Fmin | Fmax => (F, F, F),
+        Fneg | Fabs | Fmov => (F, F, N),
+        Fcvtif => (F, I, N),
+        Fcvtfi => (I, F, N),
+        Fcmplt | Fcmple | Fcmpeq => (I, F, F),
+        Ld => (I, I, N),
+        St => (N, I, I),
+        Fld => (F, I, N),
+        Fst => (N, I, F),
+        Beq | Bne | Blt | Bge => (N, I, I),
+        Jal => (I, N, N),
+        Jalr => (I, I, N),
+        Nop | Halt => (N, N, N),
+    }
+}
+
+fn check(slot: Option<Reg>, want: Bank, name: &'static str) -> Result<(), ValidationError> {
+    match (slot, want) {
+        (None, Bank::N) => Ok(()),
+        (Some(_), Bank::N) => Err(ValidationError::UnexpectedOperand(name)),
+        (None, _) => Err(ValidationError::MissingOperand(name)),
+        (Some(r), Bank::I) if r.is_int() => Ok(()),
+        (Some(r), Bank::F) if r.is_fp() => Ok(()),
+        (Some(_), _) => Err(ValidationError::WrongBank(name)),
+    }
+}
+
+impl Insn {
+    /// Construct and validate; panics on an invalid combination. Intended for
+    /// tests and generators where validity is a programming invariant.
+    pub fn new(op: Opcode, rd: Option<Reg>, rs1: Option<Reg>, rs2: Option<Reg>, imm: i32) -> Self {
+        let i = Insn { op, rd, rs1, rs2, imm };
+        if let Err(e) = i.validate() {
+            panic!("invalid instruction {i:?}: {e}");
+        }
+        i
+    }
+
+    /// A `nop`.
+    pub fn nop() -> Self {
+        Insn { op: Opcode::Nop, rd: None, rs1: None, rs2: None, imm: 0 }
+    }
+
+    /// A `halt`.
+    pub fn halt() -> Self {
+        Insn { op: Opcode::Halt, rd: None, rs1: None, rs2: None, imm: 0 }
+    }
+
+    /// Check that operand kinds match the opcode signature.
+    pub fn validate(&self) -> Result<(), ValidationError> {
+        let (rd, rs1, rs2) = signature(self.op);
+        check(self.rd, rd, "rd")?;
+        check(self.rs1, rs1, "rs1")?;
+        check(self.rs2, rs2, "rs2")?;
+        // `jal`/`jalr` writing r0 means "no link" and is allowed (it encodes a
+        // plain jump); the zero register drops the write.
+        Ok(())
+    }
+
+    /// Behavioural class (cached nowhere; cheap match).
+    #[inline]
+    pub fn class(&self) -> InsnClass {
+        InsnClass::of(self.op)
+    }
+
+    /// Source registers as an iterator-friendly fixed pair.
+    /// The zero register is *not* filtered here; rename treats it specially.
+    #[inline]
+    pub fn sources(&self) -> [Option<Reg>; 2] {
+        [self.rs1, self.rs2]
+    }
+
+    /// Destination, with writes to `r0` normalized away.
+    #[inline]
+    pub fn dest(&self) -> Option<Reg> {
+        match self.rd {
+            Some(r) if r.is_zero() => None,
+            d => d,
+        }
+    }
+
+    /// For conditional branches: the taken target given this instruction's pc.
+    /// Branch offsets are relative to the *next* instruction (offset 0 is the
+    /// fall-through), which keeps tiny loop bodies encodable in tests.
+    #[inline]
+    pub fn branch_target(&self, pc: u32) -> u32 {
+        debug_assert!(self.op.is_cond_branch() || self.op == Opcode::Jal);
+        (pc as i64 + 1 + self.imm as i64) as u32
+    }
+
+    /// Number of register source operands actually present (excluding `r0`,
+    /// which is always available).
+    #[inline]
+    pub fn live_source_count(&self) -> usize {
+        self.sources()
+            .iter()
+            .filter(|s| matches!(s, Some(r) if !r.is_zero()))
+            .count()
+    }
+}
+
+impl fmt::Display for Insn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use Opcode::*;
+        let m = self.op.mnemonic();
+        match self.op {
+            Nop | Halt => write!(f, "{m}"),
+            Movi => write!(f, "{m} {}, {}", self.rd.unwrap(), self.imm),
+            Addi | Andi | Ori | Xori | Slli | Srli | Srai | Slti => {
+                write!(f, "{m} {}, {}, {}", self.rd.unwrap(), self.rs1.unwrap(), self.imm)
+            }
+            Ld | Fld => write!(
+                f,
+                "{m} {}, {}({})",
+                self.rd.unwrap(),
+                self.imm,
+                self.rs1.unwrap()
+            ),
+            St | Fst => write!(
+                f,
+                "{m} {}, {}({})",
+                self.rs2.unwrap(),
+                self.imm,
+                self.rs1.unwrap()
+            ),
+            Beq | Bne | Blt | Bge => write!(
+                f,
+                "{m} {}, {}, {:+}",
+                self.rs1.unwrap(),
+                self.rs2.unwrap(),
+                self.imm
+            ),
+            Jal => write!(f, "{m} {}, {:+}", self.rd.unwrap(), self.imm),
+            Jalr => write!(f, "{m} {}, {}, {}", self.rd.unwrap(), self.rs1.unwrap(), self.imm),
+            Fneg | Fabs | Fmov | Fcvtif | Fcvtfi => {
+                write!(f, "{m} {}, {}", self.rd.unwrap(), self.rs1.unwrap())
+            }
+            _ => write!(
+                f,
+                "{m} {}, {}, {}",
+                self.rd.unwrap(),
+                self.rs1.unwrap(),
+                self.rs2.unwrap()
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: u8) -> Option<Reg> {
+        Some(Reg::int(n))
+    }
+    fn fr(n: u8) -> Option<Reg> {
+        Some(Reg::fp(n))
+    }
+
+    #[test]
+    fn valid_add() {
+        let i = Insn::new(Opcode::Add, r(1), r(2), r(3), 0);
+        assert_eq!(i.class(), InsnClass::IntAlu);
+        assert_eq!(i.to_string(), "add r1, r2, r3");
+    }
+
+    #[test]
+    fn invalid_bank_rejected() {
+        let i = Insn { op: Opcode::Add, rd: fr(1), rs1: r(2), rs2: r(3), imm: 0 };
+        assert_eq!(i.validate(), Err(ValidationError::WrongBank("rd")));
+    }
+
+    #[test]
+    fn missing_operand_rejected() {
+        let i = Insn { op: Opcode::Add, rd: r(1), rs1: None, rs2: r(3), imm: 0 };
+        assert_eq!(i.validate(), Err(ValidationError::MissingOperand("rs1")));
+    }
+
+    #[test]
+    fn unexpected_operand_rejected() {
+        let i = Insn { op: Opcode::Nop, rd: r(1), rs1: None, rs2: None, imm: 0 };
+        assert_eq!(i.validate(), Err(ValidationError::UnexpectedOperand("rd")));
+    }
+
+    #[test]
+    fn store_signature() {
+        let i = Insn::new(Opcode::Fst, None, r(2), fr(3), 16);
+        assert_eq!(i.to_string(), "fst f3, 16(r2)");
+        assert_eq!(i.live_source_count(), 2);
+    }
+
+    #[test]
+    fn zero_register_dest_normalized() {
+        let i = Insn::new(Opcode::Jal, r(0), None, None, 5);
+        assert_eq!(i.dest(), None);
+        let linked = Insn::new(Opcode::Jal, r(31), None, None, 5);
+        assert_eq!(linked.dest(), Some(Reg::int(31)));
+    }
+
+    #[test]
+    fn zero_register_sources_not_live() {
+        let i = Insn::new(Opcode::Add, r(1), r(0), r(0), 0);
+        assert_eq!(i.live_source_count(), 0);
+        let j = Insn::new(Opcode::Add, r(1), r(0), r(2), 0);
+        assert_eq!(j.live_source_count(), 1);
+    }
+
+    #[test]
+    fn branch_target_relative_to_next() {
+        let b = Insn::new(Opcode::Beq, None, r(1), r(2), -3);
+        assert_eq!(b.branch_target(10), 8);
+        let fwd = Insn::new(Opcode::Bne, None, r(1), r(2), 4);
+        assert_eq!(fwd.branch_target(10), 15);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Insn::new(Opcode::Movi, r(4), None, None, -7).to_string(), "movi r4, -7");
+        assert_eq!(Insn::new(Opcode::Addi, r(4), r(5), None, 8).to_string(), "addi r4, r5, 8");
+        assert_eq!(Insn::new(Opcode::Ld, r(4), r(5), None, 24).to_string(), "ld r4, 24(r5)");
+        assert_eq!(
+            Insn::new(Opcode::Beq, None, r(1), r(2), -2).to_string(),
+            "beq r1, r2, -2"
+        );
+        assert_eq!(
+            Insn::new(Opcode::Fcvtif, fr(1), r(2), None, 0).to_string(),
+            "fcvtif f1, r2"
+        );
+        assert_eq!(Insn::nop().to_string(), "nop");
+        assert_eq!(Insn::halt().to_string(), "halt");
+    }
+
+    #[test]
+    fn every_opcode_has_a_valid_form() {
+        // Build a canonical valid instruction for each opcode and validate it.
+        for &op in Opcode::ALL {
+            let (bd, b1, b2) = super::signature(op);
+            let mk = |b: Bank, n: u8| match b {
+                Bank::I => Some(Reg::int(n)),
+                Bank::F => Some(Reg::fp(n)),
+                Bank::N => None,
+            };
+            let i = Insn { op, rd: mk(bd, 1), rs1: mk(b1, 2), rs2: mk(b2, 3), imm: 0 };
+            assert!(i.validate().is_ok(), "canonical form of {op:?} invalid");
+            // Display must never panic.
+            let _ = i.to_string();
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Program images: code plus initialized data segments.
+
+use crate::insn::Insn;
+
+/// Default base address for assembler-allocated data (256 MiB mark; fits in a
+/// 32-bit immediate so `movi` can materialize pointers in one instruction).
+pub const DATA_BASE: u64 = 0x1000_0000;
+
+/// One initialized data segment.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DataSeg {
+    /// Base byte address.
+    pub addr: u64,
+    /// Raw contents.
+    pub bytes: Vec<u8>,
+}
+
+/// A complete executable image for the RCMC stack.
+///
+/// The program counter indexes `insns`; execution starts at `entry` and ends
+/// at the first committed `halt` (or when the trace budget is exhausted).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Program {
+    /// Code, indexed by instruction pc.
+    pub insns: Vec<Insn>,
+    /// Initialized data loaded into memory before execution.
+    pub data: Vec<DataSeg>,
+    /// Entry pc.
+    pub entry: u32,
+}
+
+impl Program {
+    /// Total bytes of initialized data.
+    pub fn data_len(&self) -> usize {
+        self.data.iter().map(|d| d.bytes.len()).sum()
+    }
+
+    /// Validate every instruction in the image.
+    pub fn validate(&self) -> Result<(), (usize, crate::insn::ValidationError)> {
+        for (pc, insn) in self.insns.iter().enumerate() {
+            insn.validate().map_err(|e| (pc, e))?;
+        }
+        Ok(())
+    }
+
+    /// Render a full disassembly listing (one instruction per line,
+    /// `pc: text`).
+    pub fn disassemble(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(self.insns.len() * 24);
+        for (pc, insn) in self.insns.iter().enumerate() {
+            let _ = writeln!(out, "{pc:6}: {insn}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opcode::Opcode;
+    use crate::reg::Reg;
+
+    #[test]
+    fn validate_catches_bad_instruction() {
+        let mut p = Program::default();
+        p.insns.push(Insn::nop());
+        p.insns.push(Insn { op: Opcode::Add, rd: None, rs1: None, rs2: None, imm: 0 });
+        assert!(matches!(p.validate(), Err((1, _))));
+    }
+
+    #[test]
+    fn disassembly_lists_every_insn() {
+        let mut p = Program::default();
+        p.insns.push(Insn::new(Opcode::Movi, Some(Reg::int(1)), None, None, 3));
+        p.insns.push(Insn::halt());
+        let d = p.disassemble();
+        assert!(d.contains("movi r1, 3"));
+        assert!(d.contains("halt"));
+        assert_eq!(d.lines().count(), 2);
+    }
+
+    #[test]
+    fn data_len_sums_segments() {
+        let mut p = Program::default();
+        p.data.push(DataSeg { addr: DATA_BASE, bytes: vec![0; 16] });
+        p.data.push(DataSeg { addr: DATA_BASE + 64, bytes: vec![1; 8] });
+        assert_eq!(p.data_len(), 24);
+    }
+}

@@ -1,0 +1,138 @@
+//! Architectural registers.
+
+use std::fmt;
+
+/// Number of integer architectural registers (`r0` is hardwired to zero).
+pub const NUM_INT_REGS: usize = 32;
+/// Number of floating-point architectural registers.
+pub const NUM_FP_REGS: usize = 32;
+/// Total architectural register namespace (integer followed by FP).
+pub const NUM_ARCH_REGS: usize = NUM_INT_REGS + NUM_FP_REGS;
+
+/// An architectural register: either integer (`r0`..`r31`) or FP (`f0`..`f31`).
+///
+/// The unified index space used by rename tables places integer registers at
+/// `0..32` and FP registers at `32..64` (see [`Reg::unified`]).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum Reg {
+    /// Integer register `r{n}`; `r0` always reads zero and writes are dropped.
+    Int(u8),
+    /// Floating-point register `f{n}`.
+    Fp(u8),
+}
+
+impl Reg {
+    /// Integer register constructor; panics if `n >= 32`.
+    #[inline]
+    pub fn int(n: u8) -> Self {
+        assert!((n as usize) < NUM_INT_REGS, "integer register out of range: r{n}");
+        Reg::Int(n)
+    }
+
+    /// FP register constructor; panics if `n >= 32`.
+    #[inline]
+    pub fn fp(n: u8) -> Self {
+        assert!((n as usize) < NUM_FP_REGS, "fp register out of range: f{n}");
+        Reg::Fp(n)
+    }
+
+    /// True for integer registers.
+    #[inline]
+    pub fn is_int(self) -> bool {
+        matches!(self, Reg::Int(_))
+    }
+
+    /// True for FP registers.
+    #[inline]
+    pub fn is_fp(self) -> bool {
+        matches!(self, Reg::Fp(_))
+    }
+
+    /// Register number within its bank (0..32).
+    #[inline]
+    pub fn number(self) -> u8 {
+        match self {
+            Reg::Int(n) | Reg::Fp(n) => n,
+        }
+    }
+
+    /// Index in the unified architectural namespace: int = `0..32`, fp = `32..64`.
+    #[inline]
+    pub fn unified(self) -> usize {
+        match self {
+            Reg::Int(n) => n as usize,
+            Reg::Fp(n) => NUM_INT_REGS + n as usize,
+        }
+    }
+
+    /// Inverse of [`Reg::unified`]; panics if out of range.
+    #[inline]
+    pub fn from_unified(idx: usize) -> Self {
+        assert!(idx < NUM_ARCH_REGS, "unified register index out of range: {idx}");
+        if idx < NUM_INT_REGS {
+            Reg::Int(idx as u8)
+        } else {
+            Reg::Fp((idx - NUM_INT_REGS) as u8)
+        }
+    }
+
+    /// True for `r0`, the hardwired zero register.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        matches!(self, Reg::Int(0))
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Reg::Int(n) => write!(f, "r{n}"),
+            Reg::Fp(n) => write!(f, "f{n}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unified_roundtrip() {
+        for i in 0..NUM_ARCH_REGS {
+            assert_eq!(Reg::from_unified(i).unified(), i);
+        }
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Reg::int(3).to_string(), "r3");
+        assert_eq!(Reg::fp(31).to_string(), "f31");
+    }
+
+    #[test]
+    fn zero_register() {
+        assert!(Reg::int(0).is_zero());
+        assert!(!Reg::int(1).is_zero());
+        assert!(!Reg::fp(0).is_zero());
+    }
+
+    #[test]
+    #[should_panic]
+    fn int_out_of_range_panics() {
+        let _ = Reg::int(32);
+    }
+
+    #[test]
+    #[should_panic]
+    fn fp_out_of_range_panics() {
+        let _ = Reg::fp(255);
+    }
+
+    #[test]
+    fn bank_predicates() {
+        assert!(Reg::int(5).is_int());
+        assert!(!Reg::int(5).is_fp());
+        assert!(Reg::fp(5).is_fp());
+        assert_eq!(Reg::fp(7).number(), 7);
+    }
+}

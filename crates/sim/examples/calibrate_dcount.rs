@@ -1,0 +1,22 @@
+//! Calibrate the Conv baseline: sweep the DCOUNT threshold (difference in
+//! dispatched-but-unissued counts) and report geometric-mean IPC over a
+//! representative subset, so the baseline is as strong as the paper's tuned
+//! steering.
+use rcmc_sim::{config, runner};
+
+fn main() {
+    let budget = runner::Budget { warmup: 5_000, measure: 60_000 };
+    let store = runner::ResultStore::ephemeral();
+    let benches = ["swim", "galgel", "ammp", "lucas", "mcf", "gcc", "gzip", "twolf"];
+    for thr in [2.0f64, 4.0, 6.0, 8.0, 12.0, 16.0, 24.0, 32.0] {
+        let mut log_sum = 0.0;
+        for b in benches {
+            let mut cfg = config::make(rcmc_core::Topology::Conv, 8, 2, 1);
+            cfg.core.dcount_threshold = thr;
+            cfg.name = format!("cal_t{thr}");
+            let r = runner::run_pair(&cfg, b, &budget, &store);
+            log_sum += r.ipc.ln();
+        }
+        println!("thr {thr:>5}: geomean IPC {:.4}", (log_sum / benches.len() as f64).exp());
+    }
+}

@@ -1,0 +1,21 @@
+//! Micro-profile: one memory-bound benchmark, reporting cycles/sec.
+use rcmc_sim::{config, runner};
+use std::time::Instant;
+
+fn main() {
+    let bench = std::env::args().nth(1).unwrap_or_else(|| "mcf".into());
+    let budget = runner::Budget { warmup: 5_000, measure: 50_000 };
+    let store = runner::ResultStore::ephemeral();
+    let cfg = config::make(rcmc_core::Topology::Ring, 8, 2, 1);
+    // warm the trace cache first
+    let _ = runner::cached_trace(&bench, (budget.warmup + budget.measure) * 2 + 4096);
+    let t0 = Instant::now();
+    let r = runner::run_pair(&cfg, &bench, &budget, &store);
+    let dt = t0.elapsed().as_secs_f64();
+    println!(
+        "{bench}: {} cycles, {} committed, {:.1}s -> {:.2} M cycles/s, {:.2} M instr/s",
+        r.cycles, r.committed, dt,
+        r.cycles as f64 / dt / 1e6,
+        r.committed as f64 / dt / 1e6
+    );
+}

@@ -1,0 +1,247 @@
+//! Configuration presets: Table 2 (fixed processor parameters) and Table 3
+//! (the ten evaluated cluster/bus/width combinations).
+
+use rcmc_core::{CoreConfig, Steering, Topology};
+use rcmc_uarch::{MemConfig, PredictorConfig};
+
+/// A named, complete simulator configuration.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Table 3 style name, e.g. `Ring_8clus_1bus_2IW`.
+    pub name: String,
+    /// Back-end configuration.
+    pub core: CoreConfig,
+    /// Memory hierarchy configuration.
+    pub mem: MemConfig,
+    /// Branch predictor configuration.
+    pub pred: PredictorConfig,
+}
+
+/// Build one Table 3 configuration.
+///
+/// Per Table 2: 4-cluster configurations use 32-entry INT/FP issue queues
+/// and 64+64 registers per cluster; 8-cluster ones use 16-entry queues and
+/// 48+48 registers.
+pub fn make(topology: Topology, n_clusters: usize, iw: usize, n_buses: usize) -> SimConfig {
+    let (iq, regs) = if n_clusters >= 8 { (16, 48) } else { (32, 64) };
+    let steering = match topology {
+        Topology::Ring => Steering::RingDep,
+        Topology::Conv => Steering::ConvDcount,
+    };
+    let core = CoreConfig {
+        n_clusters,
+        iw_int: iw,
+        iw_fp: iw,
+        n_buses,
+        topology,
+        steering,
+        iq_int: iq,
+        iq_fp: iq,
+        iq_comm: 16,
+        regs_int: regs,
+        regs_fp: regs,
+        ..CoreConfig::default()
+    };
+    SimConfig {
+        name: config_name(topology, n_clusters, iw, n_buses, false),
+        core,
+        mem: MemConfig::default(),
+        pred: PredictorConfig::default(),
+    }
+}
+
+/// The paper's naming convention (Table 3), with an `+SSA` suffix for §4.7.
+pub fn config_name(
+    topology: Topology,
+    n_clusters: usize,
+    iw: usize,
+    n_buses: usize,
+    ssa: bool,
+) -> String {
+    let t = match topology {
+        Topology::Ring => "Ring",
+        Topology::Conv => "Conv",
+    };
+    let suffix = if ssa { "+SSA" } else { "" };
+    format!("{t}_{n_clusters}clus_{n_buses}bus_{iw}IW{suffix}")
+}
+
+/// The ten evaluated configurations of Table 3, in its row order.
+pub fn evaluated_configs() -> Vec<SimConfig> {
+    use Topology::*;
+    vec![
+        make(Conv, 4, 2, 1),
+        make(Conv, 8, 1, 1),
+        make(Conv, 8, 1, 2),
+        make(Conv, 8, 2, 1),
+        make(Conv, 8, 2, 2),
+        make(Ring, 4, 2, 1),
+        make(Ring, 8, 1, 1),
+        make(Ring, 8, 1, 2),
+        make(Ring, 8, 2, 1),
+        make(Ring, 8, 2, 2),
+    ]
+}
+
+/// The five (Ring, Conv) pairs compared in Figures 6–10, as
+/// `(ring_name, conv_name)` tuples in the paper's legend order.
+pub fn figure6_pairs() -> Vec<(String, String)> {
+    use Topology::*;
+    [(4usize, 2usize, 1usize), (8, 1, 2), (8, 1, 1), (8, 2, 2), (8, 2, 1)]
+        .iter()
+        .map(|&(n, iw, b)| {
+            (config_name(Ring, n, iw, b, false), config_name(Conv, n, iw, b, false))
+        })
+        .collect()
+}
+
+/// §4.6: the 8-cluster 2IW configurations with 2-cycle-per-hop buses.
+pub fn fig12_configs() -> Vec<SimConfig> {
+    let mut v = Vec::new();
+    for topology in [Topology::Ring, Topology::Conv] {
+        for n_buses in [1usize, 2] {
+            let mut c = make(topology, 8, 2, n_buses);
+            c.core.hop_latency = 2;
+            c.name = format!("{}_2cyclehop", c.name);
+            v.push(c);
+        }
+    }
+    v
+}
+
+/// §4.7: every Table 3 configuration with the simple steering algorithm.
+pub fn ssa_configs() -> Vec<SimConfig> {
+    evaluated_configs()
+        .into_iter()
+        .map(|mut c| {
+            c.core.steering = Steering::Ssa;
+            c.name = format!("{}+SSA", c.name);
+            c
+        })
+        .collect()
+}
+
+/// Render Table 2 (the fixed processor configuration) as text.
+pub fn table2_text() -> String {
+    let mem = MemConfig::default();
+    let pred = PredictorConfig::default();
+    let core = CoreConfig::default();
+    format!(
+        "Table 2. Processor configuration\n\
+         --------------------------------\n\
+         Fetch, decode, commit width: {fw} instructions\n\
+         Branch pred.: Hybrid {g}K Gshare, {b}K bimodal, {s}K selector\n\
+         BTB: {btb} entries, {ways}-way; RAS: {ras} entries\n\
+         L1 Icache: {l1i}KB, {l1iw}-way, {l1il} byte line ({l1il_lat} cycle)\n\
+         L1 Dcache: {l1d}KB, {l1dw}-way, {l1dl} byte line, {ports} R/W ports ({l1d_lat} cycles)\n\
+         L2 unified: {l2}KB, {l2w}-way, {l2l} byte line ({l2_lat} cycles hit, {mem_lat} cycles miss, {chunk} cycles interchunk)\n\
+         Latency to/from L1 Dcache: {xfer} cycle\n\
+         Fetch queue: {fq} entries\n\
+         Issue queue (4 clusters): 32 INT + 32 FP + 16 comm entries/cluster\n\
+         Issue queue (8 clusters): 16 INT + 16 FP + 16 comm entries/cluster\n\
+         Reorder buffer: {rob} entries\n\
+         Load/store queue: {lsq} entries\n\
+         Register file (4 clusters): 64 INT + 64 FP registers per cluster\n\
+         Register file (8 clusters): 48 INT + 48 FP registers per cluster\n\
+         INT units: ALU (1 cycle), mult/div (3 cycle mult, 20 cycle non-pipelined div)\n\
+         FP units: ALU (2 cycles), mult/div (4 cycle mult, 12 cycle non-pipelined div)\n",
+        fw = core.fetch_width,
+        g = pred.gshare_entries / 1024,
+        b = pred.bimodal_entries / 1024,
+        s = pred.selector_entries / 1024,
+        btb = pred.btb_entries,
+        ways = pred.btb_ways,
+        ras = pred.ras_depth,
+        l1i = mem.l1i.size / 1024,
+        l1iw = mem.l1i.ways,
+        l1il = mem.l1i.line,
+        l1il_lat = mem.l1i.latency,
+        l1d = mem.l1d.size / 1024,
+        l1dw = mem.l1d.ways,
+        l1dl = mem.l1d.line,
+        ports = mem.dcache_ports,
+        l1d_lat = mem.l1d.latency,
+        l2 = mem.l2.size / 1024,
+        l2w = mem.l2.ways,
+        l2l = mem.l2.line,
+        l2_lat = mem.l2.latency,
+        mem_lat = mem.mem_latency,
+        chunk = mem.l2_interchunk,
+        xfer = mem.dcache_transfer,
+        fq = core.fetch_queue,
+        rob = core.rob,
+        lsq = core.lsq,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_has_ten_rows() {
+        let cfgs = evaluated_configs();
+        assert_eq!(cfgs.len(), 10);
+        for c in &cfgs {
+            assert!(c.core.validate().is_ok(), "{} invalid", c.name);
+        }
+    }
+
+    #[test]
+    fn names_follow_the_paper() {
+        let cfgs = evaluated_configs();
+        let names: Vec<&str> = cfgs.iter().map(|c| c.name.as_str()).collect();
+        assert!(names.contains(&"Conv_4clus_1bus_2IW"));
+        assert!(names.contains(&"Ring_8clus_2bus_1IW"));
+        assert!(names.contains(&"Ring_8clus_1bus_2IW"));
+    }
+
+    #[test]
+    fn cluster_count_sets_queue_and_regfile_sizes() {
+        let four = make(Topology::Ring, 4, 2, 1);
+        assert_eq!(four.core.iq_int, 32);
+        assert_eq!(four.core.regs_int, 64);
+        let eight = make(Topology::Ring, 8, 2, 1);
+        assert_eq!(eight.core.iq_int, 16);
+        assert_eq!(eight.core.regs_int, 48);
+    }
+
+    #[test]
+    fn fig12_doubles_hop_latency() {
+        let v = fig12_configs();
+        assert_eq!(v.len(), 4);
+        for c in &v {
+            assert_eq!(c.core.hop_latency, 2);
+            assert!(c.name.ends_with("_2cyclehop"));
+        }
+    }
+
+    #[test]
+    fn ssa_variants_change_only_steering() {
+        for (base, ssa) in evaluated_configs().iter().zip(ssa_configs()) {
+            assert_eq!(ssa.core.steering, Steering::Ssa);
+            assert_eq!(ssa.core.topology, base.core.topology);
+            assert_eq!(ssa.core.n_buses, base.core.n_buses);
+            assert!(ssa.name.ends_with("+SSA"));
+        }
+    }
+
+    #[test]
+    fn figure6_pairs_align() {
+        let pairs = figure6_pairs();
+        assert_eq!(pairs.len(), 5);
+        for (r, c) in &pairs {
+            assert!(r.starts_with("Ring_"));
+            assert!(c.starts_with("Conv_"));
+            assert_eq!(r[5..], c[5..]);
+        }
+    }
+
+    #[test]
+    fn table2_text_mentions_key_parameters() {
+        let t = table2_text();
+        assert!(t.contains("256 entries"));
+        assert!(t.contains("Hybrid 2K Gshare"));
+        assert!(t.contains("20 cycle non-pipelined div"));
+    }
+}

@@ -1,0 +1,309 @@
+//! One function per table/figure of the paper's evaluation (§4).
+//!
+//! Each function runs (or reuses from the [`crate::runner::ResultStore`])
+//! the simulations it needs and returns the rendered text plus the raw
+//! numbers, so the bench harness can both print and check them.
+
+use std::collections::HashMap;
+
+use crate::config::{self, SimConfig};
+use crate::report::{self, GroupValues};
+use crate::runner::{self, Budget, ResultStore, RunResult};
+
+/// A rendered experiment: human-readable text plus named series.
+pub struct Experiment {
+    /// e.g. "Figure 6".
+    pub id: &'static str,
+    /// Rendered text table.
+    pub text: String,
+    /// Named AVERAGE/INT/FP rows backing the rendering.
+    pub rows: Vec<(String, GroupValues)>,
+}
+
+type Results = HashMap<(String, String), RunResult>;
+
+/// Run (or load) the main Table 3 sweep: 10 configurations × 26 benchmarks.
+pub fn main_sweep(budget: &Budget, store: &ResultStore) -> Results {
+    let cfgs = config::evaluated_configs();
+    let benches = runner::all_bench_names();
+    runner::sweep(&cfgs, &benches, budget, store)
+}
+
+/// §4.6 sweep: the 2-cycle-per-hop configurations.
+pub fn fig12_sweep(budget: &Budget, store: &ResultStore) -> Results {
+    let cfgs = config::fig12_configs();
+    let benches = runner::all_bench_names();
+    runner::sweep(&cfgs, &benches, budget, store)
+}
+
+/// §4.7 sweep: every configuration with the simple steering algorithm.
+pub fn ssa_sweep(budget: &Budget, store: &ResultStore) -> Results {
+    let cfgs = config::ssa_configs();
+    let benches = runner::all_bench_names();
+    runner::sweep(&cfgs, &benches, budget, store)
+}
+
+fn speedup_rows(results: &Results, pairs: &[(String, String)]) -> Vec<(String, GroupValues)> {
+    pairs
+        .iter()
+        .map(|(ring, conv)| {
+            let rn = report::config_results(results, ring);
+            let cn = report::config_results(results, conv);
+            (ring.clone(), report::group_speedup(&rn, &cn))
+        })
+        .collect()
+}
+
+fn metric_rows(
+    results: &Results,
+    configs: &[SimConfig],
+    metric: impl Fn(&RunResult) -> f64 + Copy,
+) -> Vec<(String, GroupValues)> {
+    configs
+        .iter()
+        .map(|c| {
+            let rs = report::config_results(results, &c.name);
+            (c.name.clone(), report::group_mean(&rs, metric))
+        })
+        .collect()
+}
+
+/// Figure 6: speedup of Ring over Conv for the five configuration pairs.
+pub fn figure6(results: &Results) -> Experiment {
+    let rows = speedup_rows(results, &config::figure6_pairs());
+    let text = report::render_speedups("Figure 6. Speedup of Ring over Conv", &rows);
+    Experiment { id: "Figure 6", text, rows }
+}
+
+/// Figure 7: communications per instruction for all ten configurations.
+pub fn figure7(results: &Results) -> Experiment {
+    let rows = metric_rows(results, &config::evaluated_configs(), |r| r.comms_per_insn);
+    let text =
+        report::render_grouped("Figure 7. Communications per instruction", "comms/insn", &rows);
+    Experiment { id: "Figure 7", text, rows }
+}
+
+/// Figure 8: average distance per communication.
+pub fn figure8(results: &Results) -> Experiment {
+    let rows = metric_rows(results, &config::evaluated_configs(), |r| r.dist_per_comm);
+    let text = report::render_grouped("Figure 8. Distance per communication", "hops", &rows);
+    Experiment { id: "Figure 8", text, rows }
+}
+
+/// Figure 9: average bus-contention delay per communication.
+pub fn figure9(results: &Results) -> Experiment {
+    let rows = metric_rows(results, &config::evaluated_configs(), |r| r.wait_per_comm);
+    let text = report::render_grouped(
+        "Figure 9. Bus contention per communication",
+        "wait cycles",
+        &rows,
+    );
+    Experiment { id: "Figure 9", text, rows }
+}
+
+/// Figure 10: workload imbalance (NREADY).
+pub fn figure10(results: &Results) -> Experiment {
+    let rows = metric_rows(results, &config::evaluated_configs(), |r| r.nready);
+    let text = report::render_grouped(
+        "Figure 10. Workload imbalance (NREADY)",
+        "insns/cycle",
+        &rows,
+    );
+    Experiment { id: "Figure 10", text, rows }
+}
+
+/// Figure 11: per-benchmark dispatch distribution for `Ring_8clus_1bus_2IW`.
+pub fn figure11(results: &Results) -> Experiment {
+    let cfg = "Ring_8clus_1bus_2IW";
+    let rs = report::config_results(results, cfg);
+    let text = report::render_distribution(cfg, &rs);
+    // rows: per-benchmark max share (a flatness summary usable by tests).
+    let rows = rs
+        .iter()
+        .map(|r| {
+            let mx = r.dispatch_shares.iter().copied().fold(0.0, f64::max);
+            (r.bench.clone(), GroupValues { avg: mx, int: 0.0, fp: 0.0 })
+        })
+        .collect();
+    Experiment { id: "Figure 11", text, rows }
+}
+
+/// Figure 12: speedups with 1- and 2-cycle hop buses (8 clusters, 2IW).
+pub fn figure12(results: &Results, results_2cyc: &Results) -> Experiment {
+    use rcmc_core::Topology::*;
+    let mut rows = Vec::new();
+    for n_buses in [2usize, 1] {
+        let ring1 = config::config_name(Ring, 8, 2, n_buses, false);
+        let conv1 = config::config_name(Conv, 8, 2, n_buses, false);
+        let rn = report::config_results(results, &ring1);
+        let cn = report::config_results(results, &conv1);
+        rows.push((format!("{n_buses}bus_1cyclehop"), report::group_speedup(&rn, &cn)));
+        let ring2 = format!("{ring1}_2cyclehop");
+        let conv2 = format!("{conv1}_2cyclehop");
+        let rn = report::config_results(results_2cyc, &ring2);
+        let cn = report::config_results(results_2cyc, &conv2);
+        rows.push((format!("{n_buses}bus_2cyclehop"), report::group_speedup(&rn, &cn)));
+    }
+    let text = report::render_speedups(
+        "Figure 12. Speedup of Ring over Conv for different bus latencies",
+        &rows,
+    );
+    Experiment { id: "Figure 12", text, rows }
+}
+
+/// Figure 13: speedup of Ring+SSA over Conv+SSA.
+pub fn figure13(ssa: &Results) -> Experiment {
+    let pairs: Vec<(String, String)> = config::figure6_pairs()
+        .into_iter()
+        .map(|(r, c)| (format!("{r}+SSA"), format!("{c}+SSA")))
+        .collect();
+    let rows = speedup_rows(ssa, &pairs);
+    let text = report::render_speedups("Figure 13. Speedup of Ring+SSA over Conv+SSA", &rows);
+    Experiment { id: "Figure 13", text, rows }
+}
+
+/// Figure 14: NREADY with the simple steering algorithm.
+pub fn figure14(ssa: &Results) -> Experiment {
+    let rows = metric_rows(ssa, &config::ssa_configs(), |r| r.nready);
+    let text = report::render_grouped(
+        "Figure 14. Workload imbalance (NREADY) with SSA",
+        "insns/cycle",
+        &rows,
+    );
+    Experiment { id: "Figure 14", text, rows }
+}
+
+/// Table 1: the area model (from `rcmc-layout`).
+pub fn table1() -> Experiment {
+    use std::fmt::Write as _;
+    let model = rcmc_layout::AreaModel::default();
+    let mut text = String::from(
+        "Table 1. Area of the main cluster's blocks\n\
+         -------------------------------------------\n",
+    );
+    let _ = writeln!(
+        text,
+        "{:22} {:>16} {:>12} {:>12}",
+        "component", "total area (λ²)", "height (λ)", "width (λ)"
+    );
+    let mut rows = Vec::new();
+    for b in model.table1() {
+        let _ = writeln!(
+            text,
+            "{:22} {:>16.0} {:>12.0} {:>12.0}",
+            b.component.name(),
+            b.area,
+            b.height,
+            b.width
+        );
+        rows.push((
+            b.component.name().to_string(),
+            GroupValues { avg: b.area, int: b.height, fp: b.width },
+        ));
+    }
+    Experiment { id: "Table 1", text, rows }
+}
+
+/// Figures 4–5: inter-module wire lengths vs the paper's reference values.
+pub fn figure4_5() -> Experiment {
+    use rcmc_layout::floorplan::{
+        max_wire_fp, max_wire_int, module_floorplan, split_ring_floorplan, ModuleKind,
+    };
+    use std::fmt::Write as _;
+    let m = rcmc_layout::AreaModel::default();
+    let s = module_floorplan(&m, ModuleKind::Straight);
+    let c = module_floorplan(&m, ModuleKind::Corner);
+    let si = split_ring_floorplan(&m, ModuleKind::Straight, false);
+    let sf = split_ring_floorplan(&m, ModuleKind::Straight, true);
+    let entries = [
+        ("unified int, straight→straight", max_wire_int(&s, &s), 17_400.0),
+        ("unified fp, straight→corner", max_wire_fp(&s, &c), 23_300.0),
+        ("split int ring, straight→straight", max_wire_int(&si, &si), 11_200.0),
+        ("split fp ring, straight→straight", max_wire_fp(&sf, &sf), 11_200.0),
+    ];
+    let mut text = String::from(
+        "Figures 4-5. Maximum inter-cluster wire lengths (λ)\n\
+         ----------------------------------------------------\n",
+    );
+    let _ = writeln!(text, "{:36} {:>10} {:>10}", "path", "model", "paper");
+    let mut rows = Vec::new();
+    for (name, model_v, paper_v) in entries {
+        let _ = writeln!(text, "{name:36} {model_v:>10.0} {paper_v:>10.0}");
+        rows.push((name.to_string(), GroupValues { avg: model_v, int: paper_v, fp: 0.0 }));
+    }
+    Experiment { id: "Figures 4-5", text, rows }
+}
+
+/// Everything, in paper order (used by the `examples/paper_figures` binary
+/// and the final EXPERIMENTS.md refresh).
+pub fn run_all(budget: &Budget, store: &ResultStore) -> Vec<Experiment> {
+    let main = main_sweep(budget, store);
+    let twocyc = fig12_sweep(budget, store);
+    let ssa = ssa_sweep(budget, store);
+    vec![
+        table1(),
+        figure4_5(),
+        figure6(&main),
+        figure7(&main),
+        figure8(&main),
+        figure9(&main),
+        figure10(&main),
+        figure11(&main),
+        figure12(&main, &twocyc),
+        figure13(&ssa),
+        figure14(&ssa),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Budget {
+        Budget { warmup: 1_000, measure: 4_000 }
+    }
+
+    #[test]
+    fn figure6_has_five_pairs() {
+        let store = ResultStore::ephemeral();
+        // Restrict to a subset of benches for test speed.
+        let cfgs = config::evaluated_configs();
+        let results = runner::sweep(&cfgs, &["swim", "gzip"], &tiny(), &store);
+        let f6 = figure6(&results);
+        assert_eq!(f6.rows.len(), 5);
+        assert!(f6.text.contains("Ring_8clus_1bus_2IW"));
+        for (_, v) in &f6.rows {
+            assert!(v.avg > 0.2 && v.avg < 5.0, "speedup ratio out of range: {}", v.avg);
+        }
+    }
+
+    #[test]
+    fn table1_and_layout_render() {
+        let t1 = table1();
+        assert!(t1.text.contains("Register file"));
+        assert_eq!(t1.rows.len(), 6);
+        let f45 = figure4_5();
+        assert_eq!(f45.rows.len(), 4);
+        for (_, v) in &f45.rows {
+            assert!(v.avg > 5_000.0 && v.avg < 60_000.0, "wire length {}", v.avg);
+        }
+    }
+
+    #[test]
+    fn figure11_shares_are_flat_for_ring() {
+        let store = ResultStore::ephemeral();
+        let cfgs: Vec<SimConfig> = config::evaluated_configs()
+            .into_iter()
+            .filter(|c| c.name == "Ring_8clus_1bus_2IW")
+            .collect();
+        let results = runner::sweep(&cfgs, &["ammp", "crafty"], &tiny(), &store);
+        let f11 = figure11(&results);
+        for (bench, v) in &f11.rows {
+            assert!(
+                v.avg < 0.40,
+                "{bench}: ring max dispatch share {:.2} should be far below 1",
+                v.avg
+            );
+        }
+    }
+}

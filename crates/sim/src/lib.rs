@@ -1,0 +1,29 @@
+//! # rcmc-sim — simulation driver
+//!
+//! Ties the stack together for experiments:
+//!
+//! * [`config`] — the processor configuration of Table 2 and the ten
+//!   evaluated configurations of Table 3 (plus the 2-cycle-hop variants of
+//!   §4.6 and the SSA variants of §4.7);
+//! * [`runner`] — runs one (configuration × benchmark) pair over the oracle
+//!   trace with warm-up, returning the figure metrics; traces are cached per
+//!   benchmark and whole runs are memoized on disk
+//!   (`target/rcmc-results/`), so regenerating every figure simulates each
+//!   pair exactly once;
+//! * [`report`] — text renderings of every table/figure of the paper.
+//!
+//! ```no_run
+//! use rcmc_sim::{config, runner};
+//! let cfgs = config::evaluated_configs();
+//! let store = runner::ResultStore::open_default();
+//! let r = runner::run_pair(&cfgs[0], "swim", &runner::Budget::default(), &store);
+//! println!("swim on {}: IPC {:.3}", cfgs[0].name, r.ipc);
+//! ```
+
+pub mod config;
+pub mod experiments;
+pub mod report;
+pub mod runner;
+
+pub use config::{evaluated_configs, fig12_configs, ssa_configs, SimConfig};
+pub use runner::{run_pair, Budget, ResultStore, RunResult};

@@ -1,0 +1,284 @@
+//! Aggregation and text rendering of the paper's figures.
+//!
+//! The paper reports each metric for three groups: AVERAGE (all 26
+//! programs), INT (12) and FP (14). Speedups are geometric means of
+//! per-program IPC ratios; plain metrics are arithmetic means.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::runner::RunResult;
+
+/// One figure bar-group: AVERAGE / INT / FP.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GroupValues {
+    /// Mean over the whole suite.
+    pub avg: f64,
+    /// Mean over SPECint surrogates.
+    pub int: f64,
+    /// Mean over SPECfp surrogates.
+    pub fp: f64,
+}
+
+/// Results of one configuration across the suite.
+pub fn config_results<'a>(
+    all: &'a HashMap<(String, String), RunResult>,
+    config: &str,
+) -> Vec<&'a RunResult> {
+    let mut v: Vec<&RunResult> =
+        all.iter().filter(|((c, _), _)| c == config).map(|(_, r)| r).collect();
+    v.sort_by(|a, b| a.bench.cmp(&b.bench));
+    v
+}
+
+/// Arithmetic mean of `metric` per group.
+pub fn group_mean(results: &[&RunResult], metric: impl Fn(&RunResult) -> f64) -> GroupValues {
+    let mean = |filter: &dyn Fn(&&&RunResult) -> bool| {
+        let vals: Vec<f64> = results.iter().filter(filter).map(|r| metric(r)).collect();
+        if vals.is_empty() {
+            0.0
+        } else {
+            vals.iter().sum::<f64>() / vals.len() as f64
+        }
+    };
+    GroupValues {
+        avg: mean(&|_| true),
+        int: mean(&|r| !r.fp),
+        fp: mean(&|r| r.fp),
+    }
+}
+
+/// Geometric-mean speedup of `num` over `den` (matched by benchmark).
+pub fn group_speedup(num: &[&RunResult], den: &[&RunResult]) -> GroupValues {
+    let geo = |filter: &dyn Fn(bool) -> bool| {
+        let mut log_sum = 0.0;
+        let mut n = 0usize;
+        for r in num {
+            if !filter(r.fp) {
+                continue;
+            }
+            let Some(d) = den.iter().find(|d| d.bench == r.bench) else { continue };
+            if d.ipc > 0.0 && r.ipc > 0.0 {
+                log_sum += (r.ipc / d.ipc).ln();
+                n += 1;
+            }
+        }
+        if n == 0 {
+            1.0
+        } else {
+            (log_sum / n as f64).exp()
+        }
+    };
+    GroupValues {
+        avg: geo(&|_| true),
+        int: geo(&|fp| !fp),
+        fp: geo(&|fp| fp),
+    }
+}
+
+/// Render a figure as an aligned text table of AVERAGE/INT/FP columns.
+pub fn render_grouped(title: &str, unit: &str, rows: &[(String, GroupValues)]) -> String {
+    let name_w = rows.iter().map(|(n, _)| n.len()).max().unwrap_or(10).max(14);
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = writeln!(out, "{}", "-".repeat(title.len()));
+    let _ = writeln!(out, "{:name_w$}  {:>10} {:>10} {:>10}   [{unit}]", "configuration", "AVERAGE", "INT", "FP");
+    for (name, v) in rows {
+        let _ = writeln!(out, "{name:name_w$}  {:>10.3} {:>10.3} {:>10.3}", v.avg, v.int, v.fp);
+    }
+    out
+}
+
+/// Render speedup rows as percentages (Figures 6, 12, 13).
+pub fn render_speedups(title: &str, rows: &[(String, GroupValues)]) -> String {
+    let name_w = rows.iter().map(|(n, _)| n.len()).max().unwrap_or(10).max(14);
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = writeln!(out, "{}", "-".repeat(title.len()));
+    let _ = writeln!(out, "{:name_w$}  {:>9} {:>9} {:>9}", "configuration", "AVERAGE", "INT", "FP");
+    for (name, v) in rows {
+        let _ = writeln!(
+            out,
+            "{name:name_w$}  {:>+8.1}% {:>+8.1}% {:>+8.1}%",
+            (v.avg - 1.0) * 100.0,
+            (v.int - 1.0) * 100.0,
+            (v.fp - 1.0) * 100.0
+        );
+    }
+    out
+}
+
+/// Render Figure 11: per-benchmark dispatch distribution across clusters.
+pub fn render_distribution(config: &str, results: &[&RunResult]) -> String {
+    let mut out = String::new();
+    let n = results.first().map(|r| r.dispatch_shares.len()).unwrap_or(0);
+    let _ = writeln!(out, "Figure 11. Instruction distribution across clusters ({config})");
+    let _ = write!(out, "{:10}", "program");
+    for c in 0..n {
+        let _ = write!(out, " {:>6}", format!("clu{c}"));
+    }
+    let _ = writeln!(out);
+    for r in results {
+        let _ = write!(out, "{:10}", r.bench);
+        for s in &r.dispatch_shares {
+            let _ = write!(out, " {:>5.1}%", s * 100.0);
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Export a sweep as CSV (one row per (configuration, benchmark) result),
+/// for external plotting.
+pub fn to_csv(all: &HashMap<(String, String), RunResult>) -> String {
+    let mut rows: Vec<&RunResult> = all.values().collect();
+    rows.sort_by(|a, b| (&a.config, &a.bench).cmp(&(&b.config, &b.bench)));
+    let mut out = String::from(
+        "config,bench,class,ipc,comms_per_insn,dist_per_comm,wait_per_comm,nready,branch_miss_rate,cycles,committed\n",
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{},{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{},{}",
+            r.config,
+            r.bench,
+            if r.fp { "FP" } else { "INT" },
+            r.ipc,
+            r.comms_per_insn,
+            r.dist_per_comm,
+            r.wait_per_comm,
+            r.nready,
+            r.branch_miss_rate,
+            r.cycles,
+            r.committed,
+        );
+    }
+    out
+}
+
+/// Per-benchmark metric table for one configuration (long-form appendix
+/// tables).
+pub fn render_per_benchmark(config: &str, results: &[&RunResult]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Per-benchmark results for {config}");
+    let _ = writeln!(
+        out,
+        "{:10} {:>5} {:>8} {:>10} {:>8} {:>8} {:>8}",
+        "program", "class", "IPC", "comms/ins", "hops", "buswait", "NREADY"
+    );
+    for r in results {
+        let _ = writeln!(
+            out,
+            "{:10} {:>5} {:>8.3} {:>10.3} {:>8.2} {:>8.2} {:>8.2}",
+            r.bench,
+            if r.fp { "FP" } else { "INT" },
+            r.ipc,
+            r.comms_per_insn,
+            r.dist_per_comm,
+            r.wait_per_comm,
+            r.nready,
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rr(config: &str, bench: &str, fp: bool, ipc: f64) -> RunResult {
+        RunResult {
+            config: config.into(),
+            bench: bench.into(),
+            fp,
+            ipc,
+            comms_per_insn: 0.1,
+            dist_per_comm: 1.5,
+            wait_per_comm: 0.5,
+            nready: 1.0,
+            dispatch_shares: vec![0.25; 4],
+            branch_miss_rate: 0.05,
+            committed: 1000,
+            cycles: 500,
+        }
+    }
+
+    #[test]
+    fn group_mean_splits_classes() {
+        let a = rr("c", "int1", false, 1.0);
+        let b = rr("c", "fp1", true, 3.0);
+        let refs = vec![&a, &b];
+        let g = group_mean(&refs, |r| r.ipc);
+        assert_eq!(g.avg, 2.0);
+        assert_eq!(g.int, 1.0);
+        assert_eq!(g.fp, 3.0);
+    }
+
+    #[test]
+    fn speedup_is_geometric() {
+        let r1 = rr("ring", "a", false, 2.0);
+        let r2 = rr("ring", "b", false, 8.0);
+        let c1 = rr("conv", "a", false, 1.0);
+        let c2 = rr("conv", "b", false, 2.0);
+        let g = group_speedup(&[&r1, &r2], &[&c1, &c2]);
+        // geomean(2, 4) = sqrt(8)
+        assert!((g.int - 8.0f64.sqrt()).abs() < 1e-9);
+        assert_eq!(g.fp, 1.0, "no fp benchmarks -> neutral speedup");
+    }
+
+    #[test]
+    fn renderers_produce_aligned_tables() {
+        let rows = vec![
+            ("Ring_8clus_1bus_2IW".to_string(), GroupValues { avg: 1.081, int: 1.02, fp: 1.15 }),
+        ];
+        let sp = render_speedups("Figure 6. Speedup of Ring over Conv", &rows);
+        assert!(sp.contains("+8.1%"));
+        assert!(sp.contains("+15.0%"));
+        let gr = render_grouped("Figure 7", "comms/insn", &[(
+            "Conv_4clus_1bus_2IW".into(),
+            GroupValues { avg: 0.2, int: 0.1, fp: 0.3 },
+        )]);
+        assert!(gr.contains("0.200"));
+        assert!(gr.contains("comms/insn"));
+    }
+
+    #[test]
+    fn distribution_renders_all_programs() {
+        let a = rr("Ring", "ammp", true, 1.0);
+        let b = rr("Ring", "swim", true, 1.0);
+        let out = render_distribution("Ring_8clus_1bus_2IW", &[&a, &b]);
+        assert!(out.contains("ammp"));
+        assert!(out.contains("swim"));
+        assert!(out.contains("25.0%"));
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let mut all = HashMap::new();
+        all.insert(("c".to_string(), "b".to_string()), rr("c", "b", true, 1.5));
+        let csv = to_csv(&all);
+        assert!(csv.starts_with("config,bench,class,"));
+        assert_eq!(csv.lines().count(), 2);
+        assert!(csv.contains("c,b,FP,1.5"));
+    }
+
+    #[test]
+    fn per_benchmark_table_renders() {
+        let a = rr("X", "swim", true, 2.0);
+        let out = render_per_benchmark("X", &[&a]);
+        assert!(out.contains("swim"));
+        assert!(out.contains("2.000"));
+    }
+
+    #[test]
+    fn config_results_filters_and_sorts() {
+        let mut all = HashMap::new();
+        for (c, b) in [("x", "zz"), ("x", "aa"), ("y", "aa")] {
+            all.insert((c.to_string(), b.to_string()), rr(c, b, false, 1.0));
+        }
+        let rs = config_results(&all, "x");
+        assert_eq!(rs.len(), 2);
+        assert_eq!(rs[0].bench, "aa");
+        assert_eq!(rs[1].bench, "zz");
+    }
+}

@@ -1,0 +1,255 @@
+//! Run (configuration × benchmark) pairs with trace caching and disk-backed
+//! result memoization.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rcmc_core::Core;
+use rcmc_emu::{trace_program, DynInsn};
+use rcmc_workloads::benchmark;
+use serde::{Deserialize, Serialize};
+
+use crate::config::SimConfig;
+
+/// Bump when the timing model changes in any way that affects results;
+/// invalidates every memoized run.
+pub const MODEL_VERSION: u32 = 5;
+
+/// Instruction budget for one run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Budget {
+    /// Committed instructions discarded as warm-up.
+    pub warmup: u64,
+    /// Committed instructions measured.
+    pub measure: u64,
+}
+
+impl Default for Budget {
+    /// Reads `RCMC_INSTRS` (measurement window) and `RCMC_WARMUP` from the
+    /// environment; defaults: 200k measured after 30k warm-up.
+    fn default() -> Self {
+        let measure = std::env::var("RCMC_INSTRS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(200_000);
+        let warmup = std::env::var("RCMC_WARMUP")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(30_000);
+        Budget { warmup, measure }
+    }
+}
+
+/// The per-run metrics every figure draws from.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Configuration name.
+    pub config: String,
+    /// Benchmark name.
+    pub bench: String,
+    /// FP-suite member?
+    pub fp: bool,
+    /// Instructions per cycle (Figure 6 input).
+    pub ipc: f64,
+    /// Communications per committed instruction (Figure 7).
+    pub comms_per_insn: f64,
+    /// Mean hops per communication (Figure 8).
+    pub dist_per_comm: f64,
+    /// Mean bus-wait cycles per communication (Figure 9).
+    pub wait_per_comm: f64,
+    /// Mean NREADY per cycle (Figure 10).
+    pub nready: f64,
+    /// Per-cluster dispatch shares (Figure 11).
+    pub dispatch_shares: Vec<f64>,
+    /// Conditional-branch misprediction rate.
+    pub branch_miss_rate: f64,
+    /// Committed instructions measured.
+    pub committed: u64,
+    /// Cycles in the measurement window.
+    pub cycles: u64,
+}
+
+/// In-memory oracle-trace cache (traces are identical across
+/// configurations, so each benchmark is emulated once per process).
+static TRACES: Mutex<Option<HashMap<(String, u64), Arc<Vec<DynInsn>>>>> = Mutex::new(None);
+
+/// Fetch (or build) the oracle trace for `bench` with `len` instructions.
+pub fn cached_trace(bench: &str, len: u64) -> Arc<Vec<DynInsn>> {
+    let key = (bench.to_string(), len);
+    {
+        let guard = TRACES.lock();
+        if let Some(map) = guard.as_ref() {
+            if let Some(t) = map.get(&key) {
+                return Arc::clone(t);
+            }
+        }
+    }
+    let b = benchmark(bench).unwrap_or_else(|| panic!("unknown benchmark '{bench}'"));
+    let program = b.build();
+    let trace = trace_program(&program, len as usize)
+        .unwrap_or_else(|e| panic!("{bench} failed to emulate: {e}"));
+    let arc = Arc::new(trace.insns);
+    let mut guard = TRACES.lock();
+    guard.get_or_insert_with(HashMap::new).insert(key, Arc::clone(&arc));
+    arc
+}
+
+/// Disk-backed memoization of [`RunResult`]s.
+pub struct ResultStore {
+    dir: Option<PathBuf>,
+}
+
+impl ResultStore {
+    /// Store under the workspace's `target/rcmc-results` (created on
+    /// demand). Anchored to this crate's manifest so every binary in the
+    /// workspace shares one store regardless of its working directory.
+    pub fn open_default() -> Self {
+        let dir = std::env::var("CARGO_TARGET_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|_| {
+                PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("..").join("..").join("target")
+            })
+            .join("rcmc-results");
+        ResultStore { dir: Some(dir) }
+    }
+
+    /// A store that never persists (tests).
+    pub fn ephemeral() -> Self {
+        ResultStore { dir: None }
+    }
+
+    fn key(config: &str, bench: &str, budget: &Budget) -> String {
+        format!(
+            "v{}_{}_{}_{}w{}m",
+            MODEL_VERSION, config, bench, budget.warmup, budget.measure
+        )
+    }
+
+    fn path(&self, key: &str) -> Option<PathBuf> {
+        self.dir.as_ref().map(|d| d.join(format!("{key}.json")))
+    }
+
+    fn load(&self, key: &str) -> Option<RunResult> {
+        let p = self.path(key)?;
+        let bytes = std::fs::read(p).ok()?;
+        serde_json::from_slice(&bytes).ok()
+    }
+
+    fn save(&self, key: &str, r: &RunResult) {
+        let Some(p) = self.path(key) else { return };
+        if let Some(parent) = p.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        if let Ok(bytes) = serde_json::to_vec_pretty(r) {
+            let _ = std::fs::write(p, bytes);
+        }
+    }
+}
+
+/// Simulate one (configuration × benchmark) pair, memoized.
+pub fn run_pair(cfg: &SimConfig, bench: &str, budget: &Budget, store: &ResultStore) -> RunResult {
+    let key = ResultStore::key(&cfg.name, bench, budget);
+    if let Some(hit) = store.load(&key) {
+        return hit;
+    }
+    let b = benchmark(bench).unwrap_or_else(|| panic!("unknown benchmark '{bench}'"));
+    // Head-room on the trace: mispredict-free fetch can run slightly ahead of
+    // commit, and the halt itself is not committed.
+    let trace = cached_trace(bench, (budget.warmup + budget.measure) * 2 + 4096);
+    let mut core = Core::new(cfg.core.clone(), cfg.mem, cfg.pred, &trace);
+    let stats = core.run_with_warmup(budget.warmup, budget.measure);
+    let result = RunResult {
+        config: cfg.name.clone(),
+        bench: bench.to_string(),
+        fp: b.is_fp(),
+        ipc: stats.ipc(),
+        comms_per_insn: stats.comms_per_insn(),
+        dist_per_comm: stats.dist_per_comm(),
+        wait_per_comm: stats.wait_per_comm(),
+        nready: stats.nready_per_cycle(),
+        dispatch_shares: stats.dispatch_shares(cfg.core.n_clusters),
+        branch_miss_rate: stats.branch_miss_rate(),
+        committed: stats.committed,
+        cycles: stats.cycles,
+    };
+    store.save(&key, &result);
+    result
+}
+
+/// Run a whole sweep (every config × every benchmark name), returning
+/// results keyed by `(config, bench)`.
+pub fn sweep(
+    cfgs: &[SimConfig],
+    benches: &[&str],
+    budget: &Budget,
+    store: &ResultStore,
+) -> HashMap<(String, String), RunResult> {
+    let mut out = HashMap::new();
+    for cfg in cfgs {
+        for bench in benches {
+            let r = run_pair(cfg, bench, budget, store);
+            out.insert((cfg.name.clone(), bench.to_string()), r);
+        }
+    }
+    out
+}
+
+/// All 26 suite names.
+pub fn all_bench_names() -> Vec<&'static str> {
+    rcmc_workloads::suite().iter().map(|b| b.name).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::make;
+    use rcmc_core::Topology;
+
+    fn tiny_budget() -> Budget {
+        Budget { warmup: 2_000, measure: 8_000 }
+    }
+
+    #[test]
+    fn run_pair_produces_sane_metrics() {
+        let cfg = make(Topology::Ring, 4, 2, 1);
+        let store = ResultStore::ephemeral();
+        let r = run_pair(&cfg, "swim", &tiny_budget(), &store);
+        // Commit width can overshoot each window boundary by up to 7.
+        assert!((r.committed as i64 - 8_000).unsigned_abs() < 16, "committed {}", r.committed);
+        assert!(r.ipc > 0.1 && r.ipc < 8.0, "IPC {}", r.ipc);
+        assert_eq!(r.dispatch_shares.len(), 4);
+        let total: f64 = r.dispatch_shares.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trace_cache_reuses() {
+        let a = cached_trace("gzip", 5000);
+        let b = cached_trace("gzip", 5000);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn store_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("rcmc-test-{}", std::process::id()));
+        let store = ResultStore { dir: Some(dir.clone()) };
+        let cfg = make(Topology::Conv, 4, 2, 1);
+        let r1 = run_pair(&cfg, "gzip", &tiny_budget(), &store);
+        let r2 = run_pair(&cfg, "gzip", &tiny_budget(), &store);
+        assert_eq!(r1.ipc, r2.ipc);
+        assert_eq!(r1.cycles, r2.cycles);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let cfg = make(Topology::Ring, 8, 1, 1);
+        let store = ResultStore::ephemeral();
+        let a = run_pair(&cfg, "mcf", &tiny_budget(), &store);
+        let b = run_pair(&cfg, "mcf", &tiny_budget(), &store);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.comms_per_insn, b.comms_per_insn);
+    }
+}

@@ -1,0 +1,20 @@
+//! # rcmc-uarch — front-end and memory-system component library
+//!
+//! Reusable, individually-tested microarchitecture models configured to the
+//! paper's Table 2 by default:
+//!
+//! * [`bpred`] — 2-bit bimodal, gshare, and the hybrid predictor
+//!   (2K gshare + 2K bimodal + 1K selector), a 2048-entry 4-way [`bpred::Btb`]
+//!   and a return-address stack.
+//! * [`cache`] — set-associative caches with LRU replacement and the
+//!   L1I/L1D/L2 hierarchy latency model (including the L2 inter-chunk
+//!   penalty and the ±1-cycle cluster↔cache transfer).
+//!
+//! The clustered back end (`rcmc-core`) composes these; nothing here knows
+//! about clusters.
+
+pub mod bpred;
+pub mod cache;
+
+pub use bpred::{Bimodal, Btb, FrontEndPredictor, Gshare, HybridPredictor, PredictorConfig, Ras};
+pub use cache::{CacheConfig, MemConfig, MemHierarchy, SetAssocCache};

@@ -1,0 +1,939 @@
+//! Parameterized kernel program generators.
+//!
+//! Register conventions used by every kernel:
+//! * `r28` — outer (steady-state) loop counter, practically infinite;
+//! * `r27` — LCG state for data-dependent control flow;
+//! * `r26` — LCG multiplier constant;
+//! * kernels otherwise use `r1..r25` / `f0..f31` freely.
+//!
+//! All data is allocated as 8-byte words; every load/store is 8-aligned.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rcmc_asm::Asm;
+use rcmc_isa::{Program, Reg};
+
+/// Outer-loop iteration count: large enough that traces are always cut by
+/// the instruction budget, never by `halt`.
+const OUTER: i32 = i32::MAX;
+
+fn r(n: u8) -> Reg {
+    Reg::int(n)
+}
+fn f(n: u8) -> Reg {
+    Reg::fp(n)
+}
+
+/// Emit the steady-state loop prologue; returns the loop-top label.
+fn outer_start(a: &mut Asm) -> rcmc_asm::Label {
+    a.movi(r(28), OUTER);
+    a.label_here()
+}
+
+/// Emit the steady-state loop epilogue + halt.
+fn outer_end(a: &mut Asm, top: rcmc_asm::Label) {
+    a.addi(r(28), r(28), -1);
+    a.bne(r(28), r(0), top);
+    a.halt();
+}
+
+/// Emit one LCG step on `state` (r27), leaving fresh pseudo-random bits
+/// there. Uses `r26` (multiplier) and `tmp`.
+fn lcg_step(a: &mut Asm, state: Reg) {
+    a.mul(state, state, r(26));
+    a.addi(state, state, 12345);
+}
+
+/// Prologue that materializes the LCG constants.
+fn lcg_init(a: &mut Asm, seed: i32) {
+    a.movi(r(26), 1_103_515_245);
+    a.movi(r(27), seed | 1);
+}
+
+/// One kernel family with its sizing parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Kernel {
+    /// Jacobi 5-point stencil on a `w`×`h` f64 grid (swim/mgrid/applu).
+    Stencil5 {
+        /// Grid width in elements.
+        w: usize,
+        /// Grid height in elements.
+        h: usize,
+    },
+    /// Dense `n`×`n` matrix multiply, k-inner (galgel/sixtrack).
+    Matmul {
+        /// Matrix dimension.
+        n: usize,
+    },
+    /// Complex rotation over `n` elements — 6 FP ops/element, embarrassing
+    /// ILP (wupwise/apsi).
+    Spectral {
+        /// Vector length.
+        n: usize,
+    },
+    /// Particle force loop with one FP divide per interaction (ammp/fma3d).
+    Nbody {
+        /// Interactions per particle.
+        inner: usize,
+        /// Extra multiplies per interaction (fma3d's element math).
+        extra_mul: usize,
+    },
+    /// Dot products over a weight matrix + running max (art/facerec).
+    DotGrid {
+        /// Rows (neurons).
+        rows: usize,
+        /// Columns (inputs).
+        cols: usize,
+    },
+    /// Radix-2 butterfly passes with doubling strides (lucas).
+    FftButterfly {
+        /// Transform size (power of two).
+        n: usize,
+    },
+    /// Indirect gather/update wave propagation (equake).
+    SparseWave {
+        /// Element count.
+        n: usize,
+    },
+    /// Scanline rasterizer: FP interpolation + integer pack/store
+    /// (mesa; with `fp_heavy = false`, eon).
+    Raster {
+        /// Scanline width in pixels.
+        width: usize,
+        /// More FP interpolants vs more integer ops.
+        fp_heavy: bool,
+    },
+    /// Random-cycle pointer chase, `work` ALU ops between hops (mcf).
+    PointerChase {
+        /// Nodes in the chain (footprint = 8·len bytes).
+        len: usize,
+        /// Integer ops between dependent loads.
+        work: usize,
+    },
+    /// Hash + table probe with data-dependent insert/update (gap/perlbmk).
+    HashProbe {
+        /// log2(table entries).
+        bits: usize,
+    },
+    /// Sliding-window match with data-dependent early exit (gzip/bzip2).
+    LzMatch {
+        /// Window size in words.
+        window: usize,
+        /// Maximum match length probed.
+        max_match: usize,
+    },
+    /// 64-bit board logic + popcount loops (crafty).
+    Bitboard {
+        /// Bulk logic words per iteration.
+        words: usize,
+    },
+    /// Table-driven automaton, serial state chain (gcc/parser).
+    StateMachine {
+        /// Number of states.
+        states: usize,
+        /// Input alphabet size (power of two).
+        inputs: usize,
+    },
+    /// Compare-and-swap passes over a perturbed array (twolf).
+    SortKernel {
+        /// Array length.
+        n: usize,
+    },
+    /// Binary-search-tree walks with dependent loads (vortex).
+    TreeWalk {
+        /// Tree size (power of two minus one recommended).
+        nodes: usize,
+    },
+    /// Edge-relaxation over a random graph (vpr).
+    GraphRelax {
+        /// Node count.
+        nodes: usize,
+        /// Out-degree.
+        degree: usize,
+    },
+}
+
+impl Kernel {
+    /// Build the kernel into an executable [`Program`]. `seed` perturbs both
+    /// the initialized data and the in-program pseudo-random streams, so two
+    /// benchmarks sharing a kernel family still produce distinct traces.
+    pub fn build(&self, seed: u64) -> Program {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_c0de);
+        let mut a = Asm::new();
+        match *self {
+            Kernel::Stencil5 { w, h } => stencil5(&mut a, &mut rng, w, h),
+            Kernel::Matmul { n } => matmul(&mut a, &mut rng, n),
+            Kernel::Spectral { n } => spectral(&mut a, &mut rng, n),
+            Kernel::Nbody { inner, extra_mul } => nbody(&mut a, &mut rng, inner, extra_mul),
+            Kernel::DotGrid { rows, cols } => dot_grid(&mut a, &mut rng, rows, cols),
+            Kernel::FftButterfly { n } => fft_butterfly(&mut a, &mut rng, n),
+            Kernel::SparseWave { n } => sparse_wave(&mut a, &mut rng, n),
+            Kernel::Raster { width, fp_heavy } => raster(&mut a, &mut rng, width, fp_heavy),
+            Kernel::PointerChase { len, work } => pointer_chase(&mut a, &mut rng, len, work),
+            Kernel::HashProbe { bits } => hash_probe(&mut a, &mut rng, bits),
+            Kernel::LzMatch { window, max_match } => lz_match(&mut a, &mut rng, window, max_match),
+            Kernel::Bitboard { words } => bitboard(&mut a, &mut rng, words),
+            Kernel::StateMachine { states, inputs } => state_machine(&mut a, &mut rng, states, inputs),
+            Kernel::SortKernel { n } => sort_kernel(&mut a, &mut rng, n),
+            Kernel::TreeWalk { nodes } => tree_walk(&mut a, &mut rng, nodes),
+            Kernel::GraphRelax { nodes, degree } => graph_relax(&mut a, &mut rng, nodes, degree),
+        }
+        a.assemble().expect("kernel generator produced invalid assembly")
+    }
+}
+
+// ------------------------------------------------------------------ FP ----
+
+fn stencil5(a: &mut Asm, rng: &mut StdRng, w: usize, h: usize) {
+    let src: Vec<f64> = (0..w * h).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let src_addr = a.data_f64(&src);
+    let dst_addr = a.data_zero(w * h * 8);
+    let row = (w * 8) as i32;
+
+    a.movi_addr(r(1), src_addr);
+    a.addi(r(2), r(1), (dst_addr - src_addr) as i32); // bases derive from one anchor, as compiled code does
+    // f7 = 0.25
+    a.movi(r(3), 4);
+    a.fcvtif(f(6), r(3));
+    a.movi(r(3), 1);
+    a.fcvtif(f(5), r(3));
+    a.fdiv(f(7), f(5), f(6));
+    a.movi(r(4), (w - 2) as i32); // x limit
+    a.movi(r(5), (h - 2) as i32); // y limit
+    a.movi(r(6), row); // row stride (loop-invariant, hoisted)
+    let top = outer_start(a);
+    a.movi(r(10), 0); // y
+    let yloop = a.label_here();
+    // p = base + (y*w + 1)*8 + row  (interior)
+    a.mul(r(7), r(10), r(6));
+    a.add(r(8), r(1), r(7)); // src row ptr
+    a.add(r(9), r(2), r(7)); // dst row ptr
+    a.addi(r(8), r(8), row + 8);
+    a.addi(r(9), r(9), row + 8);
+    a.movi(r(11), 0); // x
+    let xloop = a.label_here();
+    a.fld(f(1), r(8), -8);
+    a.fld(f(2), r(8), 8);
+    a.fld(f(3), r(8), -row);
+    a.fld(f(4), r(8), row);
+    a.fadd(f(1), f(1), f(2));
+    a.fadd(f(3), f(3), f(4));
+    a.fadd(f(1), f(1), f(3));
+    a.fmul(f(1), f(1), f(7));
+    a.fst(f(1), r(9), 0);
+    a.addi(r(8), r(8), 8);
+    a.addi(r(9), r(9), 8);
+    a.addi(r(11), r(11), 1);
+    a.blt(r(11), r(4), xloop);
+    a.addi(r(10), r(10), 1);
+    a.blt(r(10), r(5), yloop);
+    outer_end(a, top);
+}
+
+fn matmul(a: &mut Asm, rng: &mut StdRng, n: usize) {
+    let m: Vec<f64> = (0..n * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let a_addr = a.data_f64(&m);
+    let m2: Vec<f64> = (0..n * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let b_addr = a.data_f64(&m2);
+    let c_addr = a.data_zero(n * n * 8);
+    let rowb = (n * 8) as i32;
+
+    a.movi(r(4), n as i32);
+    a.movi(r(5), rowb);
+    a.movi_addr(r(18), a_addr); // loop-invariant bases, hoisted as -O4 would
+    a.addi(r(19), r(18), (b_addr - a_addr) as i32);
+    a.addi(r(13), r(18), (c_addr - a_addr) as i32);
+    let top = outer_start(a);
+    a.movi(r(10), 0); // i
+    let iloop = a.label_here();
+    a.movi(r(11), 0); // j
+    let jloop = a.label_here();
+    // pa = A + i*n*8 ; pb = B + j*8
+    a.mul(r(12), r(10), r(5));
+    a.add(r(12), r(12), r(18));
+    a.slli(r(14), r(11), 3);
+    a.add(r(14), r(14), r(19));
+    a.movi(r(15), 0); // k
+    // Four independent accumulators (k unrolled by 4), as -O4 would produce:
+    // keeps ILP high so communication latency can be overlapped.
+    for acc in 1..=4 {
+        a.fsub(f(acc), f(acc), f(acc));
+    }
+    let kloop = a.label_here();
+    for u in 0..4u8 {
+        a.fld(f(10 + u), r(12), 8 * u as i32);
+        a.fld(f(20 + u), r(14), 0);
+        a.add(r(14), r(14), r(5));
+        a.fmul(f(14 + u), f(10 + u), f(20 + u));
+        a.fadd(f(1 + u), f(1 + u), f(14 + u));
+    }
+    a.addi(r(12), r(12), 32);
+    a.addi(r(15), r(15), 4);
+    a.blt(r(15), r(4), kloop);
+    // C[i*n+j] = acc1+acc2+acc3+acc4
+    a.fadd(f(1), f(1), f(2));
+    a.fadd(f(3), f(3), f(4));
+    a.fadd(f(1), f(1), f(3));
+    a.mul(r(16), r(10), r(5));
+    a.slli(r(17), r(11), 3);
+    a.add(r(16), r(16), r(17));
+    a.add(r(16), r(16), r(13));
+    a.fst(f(1), r(16), 0);
+    a.addi(r(11), r(11), 1);
+    a.blt(r(11), r(4), jloop);
+    a.addi(r(10), r(10), 1);
+    a.blt(r(10), r(4), iloop);
+    outer_end(a, top);
+}
+
+fn spectral(a: &mut Asm, rng: &mut StdRng, n: usize) {
+    let re: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let re_addr = a.data_f64(&re);
+    let im: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let im_addr = a.data_f64(&im);
+    let cs = a.data_f64(&[0.998, 0.063]); // cos/sin of a small angle
+
+    a.movi_addr(r(5), cs);
+    a.fld(f(10), r(5), 0); // c
+    a.fld(f(11), r(5), 8); // s
+    a.movi(r(4), n as i32);
+    a.movi_addr(r(24), re_addr); // hoisted bases (derived from one anchor)
+    a.addi(r(25), r(24), (im_addr - re_addr) as i32);
+    let top = outer_start(a);
+    a.add(r(1), r(24), r(0));
+    a.add(r(2), r(25), r(0));
+    a.movi(r(3), 0);
+    let iloop = a.label_here();
+    a.fld(f(1), r(1), 0); // re
+    a.fld(f(2), r(2), 0); // im
+    a.fmul(f(3), f(1), f(10));
+    a.fmul(f(4), f(2), f(11));
+    a.fsub(f(5), f(3), f(4)); // re' = re*c - im*s
+    a.fmul(f(6), f(1), f(11));
+    a.fmul(f(7), f(2), f(10));
+    a.fadd(f(8), f(6), f(7)); // im' = re*s + im*c
+    a.fst(f(5), r(1), 0);
+    a.fst(f(8), r(2), 0);
+    a.addi(r(1), r(1), 8);
+    a.addi(r(2), r(2), 8);
+    a.addi(r(3), r(3), 1);
+    a.blt(r(3), r(4), iloop);
+    outer_end(a, top);
+}
+
+fn nbody(a: &mut Asm, rng: &mut StdRng, inner: usize, extra_mul: usize) {
+    // Particle store is much larger than the interaction count: interactions
+    // gather through a neighbour list, as molecular-dynamics codes do.
+    let nparticles = 8192.max(inner * 4);
+    let pos: Vec<f64> = (0..nparticles).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let pos_addr = a.data_f64(&pos);
+    let neigh: Vec<i64> =
+        (0..inner).map(|_| rng.gen_range(0..nparticles as i64)).collect();
+    let neigh_addr = a.data_i64(&neigh);
+    let eps = a.data_f64(&[0.01]);
+
+    a.movi_addr(r(1), pos_addr);
+    a.addi(r(2), r(1), (eps - pos_addr) as i32);
+    a.fld(f(10), r(2), 0); // eps
+    a.movi(r(4), inner as i32);
+    a.addi(r(24), r(1), (neigh_addr - pos_addr) as i32); // hoisted base
+    let top = outer_start(a);
+    a.fld(f(1), r(1), 0); // pos[i] (reuse slot 0 as "self")
+    a.fsub(f(2), f(2), f(2)); // acc even
+    a.fsub(f(12), f(12), f(12)); // acc odd (two independent chains)
+    a.movi(r(3), 0);
+    a.add(r(5), r(24), r(0));
+    let jloop = a.label_here();
+    // Gather pos[neigh[j]] and pos[neigh[j+1]] through the neighbour list.
+    a.ld(r(6), r(5), 0);
+    a.ld(r(7), r(5), 8);
+    a.slli(r(6), r(6), 3);
+    a.slli(r(7), r(7), 3);
+    a.add(r(6), r(6), r(1));
+    a.add(r(7), r(7), r(1));
+    a.fld(f(3), r(6), 0);
+    a.fld(f(13), r(7), 0);
+    a.fsub(f(4), f(3), f(1));
+    a.fsub(f(14), f(13), f(1));
+    a.fmul(f(5), f(4), f(4));
+    a.fmul(f(15), f(14), f(14));
+    a.fadd(f(5), f(5), f(10));
+    a.fadd(f(15), f(15), f(10));
+    for _ in 0..extra_mul {
+        a.fmul(f(5), f(5), f(5));
+        a.fmul(f(15), f(15), f(15));
+    }
+    a.fdiv(f(6), f(4), f(5));
+    a.fdiv(f(16), f(14), f(15));
+    a.fadd(f(2), f(2), f(6));
+    a.fadd(f(12), f(12), f(16));
+    // Lennard-Jones-style potential terms: plenty of non-divide FP work per
+    // interaction, so divide throughput is not the sole bottleneck (as in
+    // the real force fields these kernels imitate).
+    a.fmul(f(7), f(5), f(5));
+    a.fmul(f(17), f(15), f(15));
+    a.fmul(f(8), f(7), f(5));
+    a.fmul(f(18), f(17), f(15));
+    a.fsub(f(9), f(8), f(7));
+    a.fsub(f(19), f(18), f(17));
+    a.fadd(f(20), f(20), f(9));
+    a.fadd(f(21), f(21), f(19));
+    a.addi(r(5), r(5), 16);
+    a.addi(r(3), r(3), 2);
+    a.blt(r(3), r(4), jloop);
+    a.fadd(f(2), f(2), f(12));
+    a.fst(f(2), r(1), 0);
+    outer_end(a, top);
+}
+
+fn dot_grid(a: &mut Asm, rng: &mut StdRng, rows: usize, cols: usize) {
+    let w: Vec<f64> = (0..rows * cols).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let w_addr = a.data_f64(&w);
+    let x: Vec<f64> = (0..cols).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let x_addr = a.data_f64(&x);
+
+    a.movi(r(4), rows as i32);
+    a.movi(r(5), cols as i32);
+    a.movi_addr(r(24), w_addr); // hoisted bases (derived from one anchor)
+    a.addi(r(25), r(24), (x_addr - w_addr) as i32);
+    let top = outer_start(a);
+    a.add(r(1), r(24), r(0));
+    a.fsub(f(9), f(9), f(9)); // best = 0
+    a.movi(r(10), 0); // row
+    let rloop = a.label_here();
+    a.add(r(2), r(25), r(0));
+    // Four-way unrolled dot product (independent partial sums).
+    for acc in 1..=4 {
+        a.fsub(f(acc), f(acc), f(acc));
+    }
+    a.movi(r(11), 0); // col
+    let cloop = a.label_here();
+    for u in 0..4u8 {
+        a.fld(f(10 + u), r(1), 8 * u as i32);
+        a.fld(f(20 + u), r(2), 8 * u as i32);
+        a.fmul(f(14 + u), f(10 + u), f(20 + u));
+        a.fadd(f(1 + u), f(1 + u), f(14 + u));
+    }
+    a.addi(r(1), r(1), 32);
+    a.addi(r(2), r(2), 32);
+    a.addi(r(11), r(11), 4);
+    a.blt(r(11), r(5), cloop);
+    a.fadd(f(1), f(1), f(2));
+    a.fadd(f(3), f(3), f(4));
+    a.fadd(f(1), f(1), f(3));
+    a.fmax(f(9), f(9), f(1));
+    a.addi(r(10), r(10), 1);
+    a.blt(r(10), r(4), rloop);
+    outer_end(a, top);
+}
+
+fn fft_butterfly(a: &mut Asm, rng: &mut StdRng, n: usize) {
+    assert!(n.is_power_of_two());
+    let re: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let re_addr = a.data_f64(&re);
+    let im: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let im_addr = a.data_f64(&im);
+    // One twiddle pair per stage.
+    let stages = n.trailing_zeros() as usize;
+    let tw: Vec<f64> = (0..stages * 2).map(|i| if i % 2 == 0 { 0.9 } else { 0.43 }).collect();
+    let tw_addr = a.data_f64(&tw);
+    let nbytes = (n * 8) as i32;
+
+    a.movi(r(9), nbytes);
+    a.movi_addr(r(16), re_addr); // hoisted bases (derived from one anchor)
+    a.addi(r(17), r(16), (im_addr - re_addr) as i32);
+    a.addi(r(18), r(16), (tw_addr - re_addr) as i32);
+    let top = outer_start(a);
+    a.movi(r(1), 8); // half-stride in bytes
+    a.movi(r(8), 0); // stage index (byte offset into twiddles)
+    let sloop = a.label_here();
+    // load stage twiddles
+    a.add(r(2), r(18), r(8));
+    a.fld(f(10), r(2), 0); // c
+    a.fld(f(11), r(2), 8); // s
+    a.movi(r(3), 0); // block start (bytes)
+    let bloop = a.label_here();
+    a.movi(r(4), 0); // j within block (bytes)
+    let ploop = a.label_here();
+    // addresses: pa = base + block + j ; pb = pa + half
+    a.add(r(5), r(3), r(4));
+    a.add(r(6), r(16), r(5)); // re[a]
+    a.add(r(7), r(6), r(1)); // re[b]
+    a.fld(f(1), r(6), 0);
+    a.fld(f(2), r(7), 0);
+    a.add(r(10), r(17), r(5)); // im[a]
+    a.add(r(11), r(10), r(1)); // im[b]
+    a.fld(f(3), r(10), 0);
+    a.fld(f(4), r(11), 0);
+    // t = w * b
+    a.fmul(f(5), f(2), f(10));
+    a.fmul(f(6), f(4), f(11));
+    a.fsub(f(5), f(5), f(6)); // t_re
+    a.fmul(f(7), f(2), f(11));
+    a.fmul(f(8), f(4), f(10));
+    a.fadd(f(7), f(7), f(8)); // t_im
+    // a' = a + t ; b' = a - t
+    a.fadd(f(12), f(1), f(5));
+    a.fsub(f(13), f(1), f(5));
+    a.fadd(f(14), f(3), f(7));
+    a.fsub(f(15), f(3), f(7));
+    a.fst(f(12), r(6), 0);
+    a.fst(f(13), r(7), 0);
+    a.fst(f(14), r(10), 0);
+    a.fst(f(15), r(11), 0);
+    a.addi(r(4), r(4), 8);
+    a.blt(r(4), r(1), ploop);
+    // next block: block += 2*half
+    a.slli(r(12), r(1), 1);
+    a.add(r(3), r(3), r(12));
+    a.blt(r(3), r(9), bloop);
+    // next stage: half <<= 1, twiddle offset += 16
+    a.addi(r(8), r(8), 16);
+    a.slli(r(1), r(1), 1);
+    a.blt(r(1), r(9), sloop);
+    outer_end(a, top);
+}
+
+fn sparse_wave(a: &mut Asm, rng: &mut StdRng, n: usize) {
+    // Index array: random permutation-ish targets (kept off the last slot so
+    // the +8 neighbour access stays in bounds).
+    let idx: Vec<i64> = (0..n).map(|_| rng.gen_range(0..n as i64 - 1)).collect();
+    let idx_addr = a.data_i64(&idx);
+    let val: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let val_addr = a.data_f64(&val);
+    let damp = a.data_f64(&[0.49]);
+
+    a.movi_addr(r(6), damp);
+    a.fld(f(10), r(6), 0);
+    a.movi(r(4), n as i32);
+    a.movi_addr(r(7), val_addr); // hoisted bases (derived from one anchor)
+    a.addi(r(24), r(7), (idx_addr as i64 - val_addr as i64) as i32);
+    let top = outer_start(a);
+    a.add(r(1), r(24), r(0));
+    a.movi(r(3), 0);
+    let iloop = a.label_here();
+    a.ld(r(5), r(1), 0); // target index
+    a.slli(r(5), r(5), 3);
+    a.add(r(5), r(5), r(7)); // &val[idx[i]]
+    a.fld(f(1), r(5), 0);
+    a.fld(f(2), r(5), 8); // neighbour
+    a.fadd(f(3), f(1), f(2));
+    a.fmul(f(3), f(3), f(10));
+    a.fst(f(3), r(5), 0); // scatter
+    a.addi(r(1), r(1), 8);
+    a.addi(r(3), r(3), 1);
+    a.blt(r(3), r(4), iloop);
+    outer_end(a, top);
+}
+
+fn raster(a: &mut Asm, rng: &mut StdRng, width: usize, fp_heavy: bool) {
+    let fb_addr = a.data_zero(width * 8);
+    let grads = a.data_f64(&[
+        rng.gen_range(0.001..0.01),
+        rng.gen_range(0.001..0.01),
+        rng.gen_range(0.001..0.01),
+    ]);
+
+    a.movi(r(4), width as i32);
+    a.movi(r(9), 255);
+    if fp_heavy {
+        a.movi_addr(r(2), grads);
+        // (grads is tiny and read once; keep it the anchor for fb below)
+        a.fld(f(10), r(2), 0); // dz
+        a.fld(f(11), r(2), 8); // du
+        a.fld(f(12), r(2), 16); // dv
+    } else {
+        // eon flavour: fixed-point 16.16 gradients, no FP at all.
+        a.movi(r(20), rng.gen_range(700..9000));
+        a.movi(r(21), rng.gen_range(700..9000));
+    }
+    if fp_heavy {
+        a.addi(r(24), r(2), (fb_addr as i64 - grads as i64) as i32);
+    } else {
+        a.movi_addr(r(24), fb_addr);
+    }
+    let top = outer_start(a);
+    a.add(r(1), r(24), r(0));
+    a.movi(r(3), 0);
+    if fp_heavy {
+        a.fsub(f(1), f(1), f(1)); // z
+        a.fsub(f(2), f(2), f(2)); // u
+        a.fsub(f(3), f(3), f(3)); // v
+    } else {
+        a.movi(r(22), 0); // z (16.16)
+        a.movi(r(23), 0); // u (16.16)
+    }
+    let ploop = a.label_here();
+    if fp_heavy {
+        a.fadd(f(1), f(1), f(10));
+        a.fadd(f(2), f(2), f(11));
+        a.fadd(f(3), f(3), f(12));
+        a.fmul(f(4), f(2), f(3)); // perspective-ish product
+        a.fadd(f(4), f(4), f(1));
+        a.fcvtfi(r(5), f(4));
+    } else {
+        a.add(r(22), r(22), r(20));
+        a.add(r(23), r(23), r(21));
+        a.srai(r(5), r(22), 16);
+        a.srai(r(6), r(23), 16);
+        a.mul(r(5), r(5), r(6)); // fixed-point blend
+        a.srai(r(5), r(5), 4);
+    }
+    // integer pack: clamp-ish via masks and shifts
+    a.andi(r(5), r(5), 255);
+    a.slli(r(6), r(5), 8);
+    a.or(r(6), r(6), r(5));
+    if !fp_heavy {
+        // extra integer blend math + a texture-style reload
+        a.ld(r(7), r(1), 0);
+        a.xor(r(6), r(6), r(7));
+        a.andi(r(6), r(6), 0xffff);
+    }
+    a.st(r(6), r(1), 0);
+    a.addi(r(1), r(1), 8);
+    a.addi(r(3), r(3), 1);
+    a.blt(r(3), r(4), ploop);
+    outer_end(a, top);
+}
+
+// ----------------------------------------------------------------- INT ----
+
+fn pointer_chase(a: &mut Asm, rng: &mut StdRng, len: usize, work: usize) {
+    // A single random cycle through all nodes: next[p] holds the *byte
+    // address* of the successor.
+    let mut order: Vec<usize> = (1..len).collect();
+    for i in (1..order.len()).rev() {
+        order.swap(i, rng.gen_range(0..=i));
+    }
+    let base = rcmc_isa::DATA_BASE; // the assembler data base; first alloc lands here
+    let mut next = vec![0i64; len];
+    let mut cur = 0usize;
+    for &nx in &order {
+        next[cur] = (base + (nx * 8) as u64) as i64;
+        cur = nx;
+    }
+    next[cur] = base as i64;
+    let chain = a.data_i64(&next);
+    assert_eq!(chain, base, "pointer chain must be the first data allocation");
+
+    a.movi_addr(r(24), chain); // hoisted base
+    let top = outer_start(a);
+    a.add(r(1), r(24), r(0));
+    a.movi(r(2), (len / 2) as i32); // hops per outer iteration
+    let hop = a.label_here();
+    a.ld(r(1), r(1), 0); // p = *p (serial dependent load)
+    for k in 0..work {
+        a.addi(r(5 + k as u8), r(1), k as i32); // light dependent work
+    }
+    a.addi(r(2), r(2), -1);
+    a.bne(r(2), r(0), hop);
+    outer_end(a, top);
+}
+
+fn hash_probe(a: &mut Asm, rng: &mut StdRng, bits: usize) {
+    let size = 1usize << bits;
+    let tab: Vec<i64> = (0..size)
+        .map(|_| if rng.gen_bool(0.5) { rng.gen_range(1..1 << 20) } else { 0 })
+        .collect();
+    let tab_addr = a.data_i64(&tab);
+
+    lcg_init(a, rng.gen_range(1..1 << 30));
+    a.movi(r(9), (size - 1) as i32);
+    a.movi_addr(r(24), tab_addr); // hoisted base
+    let top = outer_start(a);
+    a.movi(r(2), 256); // probes per outer iteration
+    let probe = a.label_here();
+    lcg_step(a, r(27));
+    a.srli(r(3), r(27), 16);
+    a.and(r(3), r(3), r(9)); // bucket
+    a.slli(r(3), r(3), 3);
+    a.add(r(3), r(3), r(24));
+    a.ld(r(5), r(3), 0);
+    let occupied = a.new_label();
+    let done = a.new_label();
+    a.bne(r(5), r(0), occupied);
+    a.st(r(27), r(3), 0); // insert
+    a.jal(r(0), done);
+    a.bind(occupied);
+    a.xor(r(6), r(5), r(27)); // update path: mix and count
+    a.addi(r(7), r(7), 1);
+    a.st(r(6), r(3), 0);
+    a.bind(done);
+    a.addi(r(2), r(2), -1);
+    a.bne(r(2), r(0), probe);
+    outer_end(a, top);
+}
+
+fn lz_match(a: &mut Asm, rng: &mut StdRng, window: usize, max_match: usize) {
+    // Low-entropy symbol stream: long-ish runs so match lengths vary.
+    let mut data = vec![0i64; window];
+    let mut sym = 0i64;
+    for w in data.iter_mut() {
+        if rng.gen_bool(0.3) {
+            sym = rng.gen_range(0..4);
+        }
+        *w = sym;
+    }
+    let win_addr = a.data_i64(&data);
+
+    lcg_init(a, rng.gen_range(1..1 << 30));
+    a.movi(r(9), (window / 2 - max_match - 1) as i32);
+    a.movi(r(10), max_match as i32);
+    a.movi_addr(r(24), win_addr); // hoisted base
+    let top = outer_start(a);
+    a.movi(r(2), 64); // match attempts per outer iteration
+    let attempt = a.label_here();
+    // pick two positions: cur in the upper half, cand in the lower half
+    lcg_step(a, r(27));
+    a.srli(r(3), r(27), 12);
+    a.rem(r(3), r(3), r(9)); // cand index
+    a.slli(r(3), r(3), 3);
+    a.add(r(3), r(3), r(24)); // cand ptr
+    a.addi(r(5), r(3), (window / 2 * 8) as i32); // cur ptr (upper half)
+    a.movi(r(6), 0); // match length
+    let mloop = a.label_here();
+    let brk = a.new_label();
+    a.ld(r(7), r(3), 0);
+    a.ld(r(8), r(5), 0);
+    a.bne(r(7), r(8), brk); // data-dependent early exit
+    a.addi(r(3), r(3), 8);
+    a.addi(r(5), r(5), 8);
+    a.addi(r(6), r(6), 1);
+    a.blt(r(6), r(10), mloop);
+    a.bind(brk);
+    a.add(r(11), r(11), r(6)); // total matched
+    a.addi(r(2), r(2), -1);
+    a.bne(r(2), r(0), attempt);
+    outer_end(a, top);
+}
+
+fn bitboard(a: &mut Asm, rng: &mut StdRng, words: usize) {
+    let boards: Vec<i64> = (0..words).map(|_| rng.gen::<i64>()).collect();
+    let b_addr = a.data_i64(&boards);
+
+    lcg_init(a, rng.gen_range(1..1 << 30));
+    a.movi(r(9), (words - 1) as i32);
+    a.movi_addr(r(24), b_addr); // hoisted base
+    let top = outer_start(a);
+    a.movi(r(2), 32); // boards per outer iteration
+    let bloop = a.label_here();
+    lcg_step(a, r(27));
+    a.srli(r(3), r(27), 10);
+    a.and(r(3), r(3), r(9));
+    a.slli(r(3), r(3), 3);
+    a.add(r(3), r(3), r(24));
+    a.ld(r(5), r(3), 0); // own pieces
+    a.xori(r(12), r(3), 64);
+    a.ld(r(13), r(12), 0); // opposing pieces (second board fetch)
+    // bulk logic (attack-map flavour): shifts and masks, wide ILP
+    a.slli(r(6), r(5), 8);
+    a.srli(r(7), r(5), 8);
+    a.or(r(6), r(6), r(7));
+    a.slli(r(7), r(5), 1);
+    a.xor(r(6), r(6), r(7));
+    a.and(r(6), r(6), r(13)); // attacks ∩ opponent
+    // Sparsify so the popcount loop stays short relative to memory work.
+    a.andi(r(6), r(6), 0x0f0f);
+    // popcount loop: x &= x - 1 until zero (data-dependent trip count)
+    a.movi(r(8), 0);
+    let pop = a.label_here();
+    let done = a.new_label();
+    a.beq(r(6), r(0), done);
+    a.addi(r(10), r(6), -1);
+    a.and(r(6), r(6), r(10));
+    a.addi(r(8), r(8), 1);
+    a.jal(r(0), pop);
+    a.bind(done);
+    a.add(r(11), r(11), r(8));
+    a.st(r(11), r(3), 0); // write back a derived board
+    a.addi(r(2), r(2), -1);
+    a.bne(r(2), r(0), bloop);
+    outer_end(a, top);
+}
+
+fn state_machine(a: &mut Asm, rng: &mut StdRng, states: usize, inputs: usize) {
+    assert!(inputs.is_power_of_two());
+    let table: Vec<i64> =
+        (0..states * inputs).map(|_| rng.gen_range(0..states as i64)).collect();
+    let t_addr = a.data_i64(&table);
+
+    lcg_init(a, rng.gen_range(1..1 << 30));
+    a.movi(r(9), (inputs - 1) as i32);
+    a.movi(r(10), inputs as i32);
+    a.movi(r(11), (states / 2) as i32);
+    a.movi_addr(r(24), t_addr); // hoisted base
+    a.movi(r(1), 0); // state
+    let top = outer_start(a);
+    a.movi(r(2), 128); // steps per outer iteration
+    let step = a.label_here();
+    lcg_step(a, r(27));
+    a.srli(r(3), r(27), 16);
+    a.and(r(3), r(3), r(9)); // input symbol
+    a.mul(r(4), r(1), r(10));
+    a.add(r(4), r(4), r(3));
+    a.slli(r(4), r(4), 3);
+    a.add(r(4), r(4), r(24));
+    a.ld(r(1), r(4), 0); // state = T[state][input]  (serial chain)
+    // data-dependent action branch
+    let high = a.new_label();
+    let cont = a.new_label();
+    a.bge(r(1), r(11), high);
+    a.addi(r(6), r(6), 1);
+    a.jal(r(0), cont);
+    a.bind(high);
+    a.xori(r(6), r(6), 0x55);
+    a.bind(cont);
+    a.addi(r(2), r(2), -1);
+    a.bne(r(2), r(0), step);
+    outer_end(a, top);
+}
+
+fn sort_kernel(a: &mut Asm, rng: &mut StdRng, n: usize) {
+    let arr: Vec<i64> = (0..n).map(|_| rng.gen_range(0..1 << 20)).collect();
+    let arr_addr = a.data_i64(&arr);
+
+    lcg_init(a, rng.gen_range(1..1 << 30));
+    a.movi(r(9), (n - 1) as i32);
+    a.movi_addr(r(24), arr_addr); // hoisted base
+    let top = outer_start(a);
+    // Perturb a few random slots so the array never settles.
+    a.movi(r(2), 8);
+    let perturb = a.label_here();
+    lcg_step(a, r(27));
+    a.srli(r(3), r(27), 13);
+    a.and(r(3), r(3), r(9));
+    a.slli(r(3), r(3), 3);
+    a.add(r(3), r(3), r(24));
+    a.srli(r(5), r(27), 7);
+    a.st(r(5), r(3), 0);
+    a.addi(r(2), r(2), -1);
+    a.bne(r(2), r(0), perturb);
+    // One compare-and-swap pass.
+    a.add(r(1), r(24), r(0));
+    a.movi(r(2), 0);
+    let pass = a.label_here();
+    a.ld(r(5), r(1), 0);
+    a.ld(r(6), r(1), 8);
+    let skip = a.new_label();
+    a.blt(r(5), r(6), skip); // data-dependent swap branch
+    a.st(r(6), r(1), 0);
+    a.st(r(5), r(1), 8);
+    a.bind(skip);
+    a.addi(r(1), r(1), 8);
+    a.addi(r(2), r(2), 1);
+    a.blt(r(2), r(9), pass);
+    outer_end(a, top);
+}
+
+fn tree_walk(a: &mut Asm, rng: &mut StdRng, nodes: usize) {
+    // Balanced BST over sorted random keys, laid out as (key, left, right)
+    // triples holding absolute byte addresses; absent children point back to
+    // the root so every probe walks a fixed depth bound.
+    let mut keys: Vec<i64> = (0..nodes).map(|_| rng.gen_range(0..1 << 20)).collect();
+    keys.sort_unstable();
+    keys.dedup();
+
+    fn build(
+        keys: &[i64],
+        lo: usize,
+        hi: usize,
+        tree: &mut Vec<(i64, Option<usize>, Option<usize>)>,
+    ) -> Option<usize> {
+        if lo >= hi {
+            return None;
+        }
+        let mid = (lo + hi) / 2;
+        let slot = tree.len();
+        tree.push((keys[mid], None, None));
+        let l = build(keys, lo, mid, tree);
+        let rch = build(keys, mid + 1, hi, tree);
+        tree[slot].1 = l;
+        tree[slot].2 = rch;
+        Some(slot)
+    }
+    let mut shape = Vec::with_capacity(keys.len());
+    build(&keys, 0, keys.len(), &mut shape);
+
+    let base = rcmc_isa::DATA_BASE;
+    let node_addr = |i: Option<usize>| (base + (i.unwrap_or(0) * 24) as u64) as i64;
+    let mut tree = Vec::with_capacity(shape.len() * 3);
+    for (key, l, rch) in &shape {
+        tree.push(*key);
+        tree.push(node_addr(*l));
+        tree.push(node_addr(*rch));
+    }
+    let t_addr = a.data_i64(&tree);
+    assert_eq!(t_addr, base, "tree must be the first data allocation");
+
+    lcg_init(a, rng.gen_range(1..1 << 30));
+    a.movi(r(9), (1 << 20) - 1);
+    a.movi_addr(r(24), t_addr); // hoisted base (root)
+    let top = outer_start(a);
+    a.movi(r(2), 16); // searches per outer iteration
+    let search = a.label_here();
+    lcg_step(a, r(27));
+    a.srli(r(3), r(27), 8);
+    a.and(r(3), r(3), r(9)); // probe key
+    a.add(r(4), r(24), r(0)); // p = root
+    a.movi(r(5), 12); // depth bound
+    let walk = a.label_here();
+    let go_right = a.new_label();
+    let descend = a.new_label();
+    a.ld(r(6), r(4), 0); // node key
+    a.bge(r(3), r(6), go_right); // data-dependent direction
+    a.ld(r(4), r(4), 8); // left child
+    a.jal(r(0), descend);
+    a.bind(go_right);
+    a.ld(r(4), r(4), 16); // right child
+    a.bind(descend);
+    a.addi(r(5), r(5), -1);
+    a.bne(r(5), r(0), walk);
+    a.addi(r(2), r(2), -1);
+    a.bne(r(2), r(0), search);
+    outer_end(a, top);
+}
+
+fn graph_relax(a: &mut Asm, rng: &mut StdRng, nodes: usize, degree: usize) {
+    // adjacency: for node u, `degree` neighbour indices; dist array.
+    let adj: Vec<i64> =
+        (0..nodes * degree).map(|_| rng.gen_range(0..nodes as i64)).collect();
+    let adj_addr = a.data_i64(&adj);
+    let dist: Vec<i64> = (0..nodes).map(|_| rng.gen_range(0..1 << 16)).collect();
+    let dist_addr = a.data_i64(&dist);
+    let w: Vec<i64> = (0..nodes * degree).map(|_| rng.gen_range(1..64)).collect();
+    let w_addr = a.data_i64(&w);
+
+    a.movi(r(9), nodes as i32);
+    a.movi(r(10), degree as i32);
+    a.movi_addr(r(24), adj_addr); // hoisted bases (derived from one anchor)
+    a.addi(r(25), r(24), (w_addr - adj_addr) as i32);
+    a.addi(r(5), r(24), (dist_addr - adj_addr) as i32);
+    let top = outer_start(a);
+    a.movi(r(1), 0); // u
+    a.add(r(2), r(24), r(0));
+    a.add(r(3), r(25), r(0));
+    let uloop = a.label_here();
+    // dist[u]
+    a.slli(r(4), r(1), 3);
+    a.add(r(4), r(4), r(5));
+    a.ld(r(6), r(4), 0);
+    a.movi(r(7), 0); // neighbour counter
+    let eloop = a.label_here();
+    a.ld(r(11), r(2), 0); // v index
+    a.slli(r(12), r(11), 3);
+    a.add(r(12), r(12), r(5)); // &dist[v]
+    a.ld(r(13), r(12), 0); // dist[v]
+    a.ld(r(14), r(3), 0); // weight
+    a.add(r(15), r(6), r(14)); // cand
+    let skip = a.new_label();
+    a.bge(r(15), r(13), skip); // data-dependent relax
+    a.st(r(15), r(12), 0);
+    a.bind(skip);
+    a.addi(r(2), r(2), 8);
+    a.addi(r(3), r(3), 8);
+    a.addi(r(7), r(7), 1);
+    a.blt(r(7), r(10), eloop);
+    a.addi(r(1), r(1), 1);
+    a.blt(r(1), r(9), uloop);
+    outer_end(a, top);
+}

@@ -1,0 +1,29 @@
+//! # rcmc-workloads — SPEC2000 surrogate workload suite
+//!
+//! The paper evaluates on the 26 programs of SPEC2000 (12 INT + 14 FP, ref
+//! inputs, 100M-instruction windows). Those binaries and inputs are not
+//! available here, so this crate provides **surrogate kernels**: small
+//! programs in the RCMC mini-ISA whose instruction mix, dependence
+//! structure, branch behaviour and memory footprint imitate each program
+//! class (see DESIGN.md §6 for the full mapping rationale).
+//!
+//! Every kernel is an *endless* outer loop over a steady-state body, so the
+//! oracle trace can be cut at any instruction budget, mirroring the paper's
+//! fixed-length simulation windows. All memory traffic is 8-byte aligned.
+//!
+//! ```
+//! use rcmc_workloads::suite;
+//! let progs = suite();
+//! assert_eq!(progs.len(), 26);
+//! let swim = progs.iter().find(|b| b.name == "swim").unwrap();
+//! let program = swim.build();
+//! assert!(program.validate().is_ok());
+//! ```
+
+pub mod charact;
+pub mod kernels;
+pub mod suite;
+
+pub use charact::{characterize, suite_table, MixReport};
+pub use kernels::Kernel;
+pub use suite::{benchmark, suite, Benchmark, Class};

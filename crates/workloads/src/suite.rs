@@ -1,0 +1,137 @@
+//! The SPEC2000 surrogate suite: 12 INT + 14 FP named benchmarks.
+
+use rcmc_isa::Program;
+
+use crate::kernels::Kernel;
+
+/// SPECint vs SPECfp classification (matches the paper's grouping).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Class {
+    /// SPECint 2000 surrogate.
+    Int,
+    /// SPECfp 2000 surrogate.
+    Fp,
+}
+
+/// One named benchmark: a kernel family with program-specific parameters and
+/// a distinct seed.
+#[derive(Clone, Copy, Debug)]
+pub struct Benchmark {
+    /// SPEC2000 program name this surrogate stands in for.
+    pub name: &'static str,
+    /// INT or FP suite.
+    pub class: Class,
+    /// Kernel family + sizing.
+    pub kernel: Kernel,
+    /// Data/branch-stream seed.
+    pub seed: u64,
+}
+
+impl Benchmark {
+    /// Build the executable program image.
+    pub fn build(&self) -> Program {
+        self.kernel.build(self.seed)
+    }
+
+    /// True for FP-suite members.
+    pub fn is_fp(&self) -> bool {
+        self.class == Class::Fp
+    }
+}
+
+macro_rules! bench {
+    ($name:literal, $class:ident, $seed:literal, $kernel:expr) => {
+        Benchmark { name: $name, class: Class::$class, kernel: $kernel, seed: $seed }
+    };
+}
+
+/// The full 26-program suite, in the paper's Figure 11 order (alphabetical).
+pub fn suite() -> Vec<Benchmark> {
+    use Kernel::*;
+    vec![
+        bench!("ammp", Fp, 101, Nbody { inner: 64, extra_mul: 0 }),
+        bench!("applu", Fp, 102, Stencil5 { w: 48, h: 48 }),
+        bench!("apsi", Fp, 103, Spectral { n: 1024 }),
+        bench!("art", Fp, 104, DotGrid { rows: 64, cols: 64 }),
+        bench!("bzip2", Int, 105, LzMatch { window: 32768, max_match: 32 }),
+        bench!("crafty", Int, 106, Bitboard { words: 1024 }),
+        bench!("eon", Int, 107, Raster { width: 256, fp_heavy: false }),
+        bench!("equake", Fp, 108, SparseWave { n: 16384 }),
+        bench!("facerec", Fp, 109, DotGrid { rows: 32, cols: 128 }),
+        bench!("fma3d", Fp, 110, Nbody { inner: 24, extra_mul: 2 }),
+        bench!("galgel", Fp, 111, Matmul { n: 56 }),
+        bench!("gap", Int, 112, HashProbe { bits: 12 }),
+        bench!("gcc", Int, 113, StateMachine { states: 512, inputs: 16 }),
+        bench!("gzip", Int, 114, LzMatch { window: 8192, max_match: 16 }),
+        bench!("lucas", Fp, 115, FftButterfly { n: 2048 }),
+        bench!("mcf", Int, 116, PointerChase { len: 32768, work: 2 }),
+        bench!("mesa", Fp, 117, Raster { width: 512, fp_heavy: true }),
+        bench!("mgrid", Fp, 118, Stencil5 { w: 64, h: 64 }),
+        bench!("parser", Int, 119, StateMachine { states: 128, inputs: 8 }),
+        bench!("perlbmk", Int, 120, HashProbe { bits: 15 }),
+        bench!("sixtrack", Fp, 121, Matmul { n: 32 }),
+        bench!("swim", Fp, 122, Stencil5 { w: 128, h: 96 }),
+        bench!("twolf", Int, 123, SortKernel { n: 2048 }),
+        bench!("vortex", Int, 124, TreeWalk { nodes: 8191 }),
+        bench!("vpr", Int, 125, GraphRelax { nodes: 2048, degree: 4 }),
+        bench!("wupwise", Fp, 126, Spectral { n: 4096 }),
+    ]
+}
+
+/// Look up a benchmark by SPEC name.
+pub fn benchmark(name: &str) -> Option<Benchmark> {
+    suite().into_iter().find(|b| b.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_26_programs() {
+        let s = suite();
+        assert_eq!(s.len(), 26);
+        assert_eq!(s.iter().filter(|b| b.class == Class::Int).count(), 12);
+        assert_eq!(s.iter().filter(|b| b.class == Class::Fp).count(), 14);
+    }
+
+    #[test]
+    fn names_are_unique_and_sorted() {
+        let s = suite();
+        for w in s.windows(2) {
+            assert!(w[0].name < w[1].name, "{} !< {}", w[0].name, w[1].name);
+        }
+    }
+
+    #[test]
+    fn every_program_assembles_and_validates() {
+        for b in suite() {
+            let p = b.build();
+            assert!(p.validate().is_ok(), "{} failed validation", b.name);
+            assert!(!p.insns.is_empty());
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(benchmark("swim").is_some());
+        assert!(benchmark("doom").is_none());
+        assert_eq!(benchmark("mcf").unwrap().class, Class::Int);
+    }
+
+    #[test]
+    fn builds_are_deterministic() {
+        let a = benchmark("gzip").unwrap().build();
+        let b = benchmark("gzip").unwrap().build();
+        assert_eq!(a.insns, b.insns);
+        assert_eq!(a.data, b.data);
+    }
+
+    #[test]
+    fn same_kernel_different_seed_differs() {
+        // gzip and bzip2 share the LzMatch family but must differ in data.
+        let a = benchmark("gzip").unwrap().build();
+        let b = benchmark("bzip2").unwrap().build();
+        assert_ne!(a.data, b.data);
+    }
+}

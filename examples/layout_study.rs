@@ -1,0 +1,63 @@
+//! Layout study (§3.2): block areas, module floorplans, die placement, and
+//! how wire lengths scale with the register file — the feasibility argument
+//! for the ring bypass.
+//!
+//! ```text
+//! cargo run --release --example layout_study
+//! ```
+
+use ring_clustered::layout::floorplan::{
+    max_wire_fp, max_wire_int, module_floorplan, split_ring_floorplan, ModuleKind,
+};
+use ring_clustered::layout::{ring_placement, AreaModel, Component};
+
+fn main() {
+    let model = AreaModel::default();
+
+    println!("Table 1 — block areas (λ², 8-cluster configuration)");
+    for b in model.table1() {
+        println!(
+            "  {:22} {:>13.0} λ²   {:>8.0} x {:>8.0} λ",
+            b.component.name(),
+            b.area,
+            b.height,
+            b.width
+        );
+    }
+    println!("  cluster total       {:>13.0} λ²\n", model.cluster_area());
+
+    println!("Figure 3 — ring placements");
+    for n in [4usize, 8] {
+        let p = ring_placement(n);
+        let (s, c) = p.module_counts();
+        let adjacent = (0..n).all(|i| p.neighbor_distance(i) == 1);
+        println!("  {n} clusters: {s} straight + {c} corner modules; neighbours adjacent: {adjacent}");
+    }
+    println!();
+
+    println!("Figures 4-5 — maximum inter-cluster wire lengths (model vs paper)");
+    let s = module_floorplan(&model, ModuleKind::Straight);
+    let c = module_floorplan(&model, ModuleKind::Corner);
+    let si = split_ring_floorplan(&model, ModuleKind::Straight, false);
+    let sf = split_ring_floorplan(&model, ModuleKind::Straight, true);
+    println!("  unified, int  straight->straight : {:>7.0} λ (paper ≈ 17,400)", max_wire_int(&s, &s));
+    println!("  unified, fp   straight->corner   : {:>7.0} λ (paper ≈ 23,300)", max_wire_fp(&s, &c));
+    println!("  split rings,  int                 : {:>7.0} λ (paper ≈ 11,200)", max_wire_int(&si, &si));
+    println!("  split rings,  fp                  : {:>7.0} λ (paper ≈ 11,200)", max_wire_fp(&sf, &sf));
+    println!();
+
+    println!("Sensitivity — wire length vs register file size (unified int path)");
+    for regs in [32usize, 48, 64, 96, 128] {
+        let mut m = AreaModel::default();
+        m.regs = regs;
+        let fpn = module_floorplan(&m, ModuleKind::Straight);
+        let rf = m.block(Component::RegisterFile);
+        println!(
+            "  {regs:>3} regs/cluster: RF {:>6.0} λ wide -> max int wire {:>7.0} λ",
+            rf.width,
+            max_wire_int(&fpn, &fpn)
+        );
+    }
+    println!("\nConclusion (§3.2): next-cluster bypass wires are comparable to");
+    println!("intra-cluster bypasses of a conventional clustered design.");
+}

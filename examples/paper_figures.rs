@@ -1,0 +1,28 @@
+//! Regenerate every table and figure of the paper in one go.
+//!
+//! ```text
+//! RCMC_INSTRS=200000 cargo run --release --example paper_figures
+//! ```
+//!
+//! Results are memoized in `target/rcmc-results/`, shared with the
+//! per-figure `cargo bench` targets, so this never simulates a
+//! (configuration × benchmark) pair twice.
+
+use ring_clustered::sim::experiments;
+use ring_clustered::sim::runner::{Budget, ResultStore};
+
+fn main() {
+    let budget = Budget::default();
+    let store = ResultStore::open_default();
+    println!(
+        "RCMC paper reproduction — window: {} warm-up + {} measured instructions",
+        budget.warmup, budget.measure
+    );
+    println!("(set RCMC_INSTRS / RCMC_WARMUP to change; results are cached per window)\n");
+    let t0 = std::time::Instant::now();
+    for ex in experiments::run_all(&budget, &store) {
+        println!("================================================================");
+        println!("{}", ex.text);
+    }
+    println!("total wall time: {:.1}s", t0.elapsed().as_secs_f64());
+}

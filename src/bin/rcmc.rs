@@ -1,0 +1,236 @@
+//! `rcmc` — command-line front end for the RCMC reproduction.
+//!
+//! ```text
+//! rcmc list                         # benchmarks and configurations
+//! rcmc run swim --config Ring_8clus_1bus_2IW --instrs 100000
+//! rcmc compare galgel               # Ring vs Conv side by side
+//! rcmc disasm mcf --limit 40        # static code of a surrogate benchmark
+//! rcmc trace gzip --from 500 --len 24 [--config NAME]
+//! rcmc figures                      # regenerate every table and figure
+//! rcmc layout                       # §3.2 area/floorplan study
+//! ```
+
+use std::collections::HashMap;
+
+use ring_clustered::core::{Core, PipeTracer};
+use ring_clustered::emu::trace_program;
+use ring_clustered::sim::runner::{cached_trace, Budget, ResultStore};
+use ring_clustered::sim::{config, experiments, runner};
+use ring_clustered::workloads::{benchmark, suite};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        usage();
+        return;
+    };
+    let flags = parse_flags(&args[1..]);
+    match cmd.as_str() {
+        "list" => list(),
+        "run" => run(&args, &flags),
+        "compare" => compare(&args, &flags),
+        "disasm" => disasm(&args, &flags),
+        "trace" => trace_cmd(&args, &flags),
+        "figures" => figures(),
+        "csv" => csv(&flags),
+        "layout" => layout(),
+        other => {
+            eprintln!("unknown command '{other}'\n");
+            usage();
+            std::process::exit(1);
+        }
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "rcmc — ring clustered microarchitecture (IPDPS'05 reproduction)\n\
+         \n\
+         commands:\n\
+         \x20 list                          benchmarks and configurations\n\
+         \x20 run <bench> [--config NAME] [--instrs N] [--warmup N]\n\
+         \x20 compare <bench> [--instrs N]  Ring vs Conv side by side\n\
+         \x20 disasm <bench> [--limit N]    static surrogate code\n\
+         \x20 trace <bench> [--from I] [--len N] [--config NAME]\n\
+         \x20 figures                       regenerate all tables/figures\n\
+         \x20 csv [--out FILE]              dump the main sweep as CSV\n\
+         \x20 layout                        area + floorplan study"
+    );
+}
+
+fn parse_flags(rest: &[String]) -> HashMap<String, String> {
+    let mut out = HashMap::new();
+    let mut i = 0;
+    while i < rest.len() {
+        if let Some(key) = rest[i].strip_prefix("--") {
+            let val = rest.get(i + 1).cloned().unwrap_or_default();
+            out.insert(key.to_string(), val);
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+fn positional(args: &[String], idx: usize, what: &str) -> String {
+    args.get(idx).cloned().unwrap_or_else(|| {
+        eprintln!("missing {what}");
+        std::process::exit(1);
+    })
+}
+
+fn budget_from(flags: &HashMap<String, String>) -> Budget {
+    let mut b = Budget::default();
+    if let Some(v) = flags.get("instrs").and_then(|v| v.parse().ok()) {
+        b.measure = v;
+    }
+    if let Some(v) = flags.get("warmup").and_then(|v| v.parse().ok()) {
+        b.warmup = v;
+    }
+    b
+}
+
+fn find_config(name: &str) -> config::SimConfig {
+    config::evaluated_configs()
+        .into_iter()
+        .chain(config::fig12_configs())
+        .chain(config::ssa_configs())
+        .find(|c| c.name == name)
+        .unwrap_or_else(|| {
+            eprintln!("unknown configuration '{name}' (see `rcmc list`)");
+            std::process::exit(1);
+        })
+}
+
+fn list() {
+    println!("benchmarks (12 INT + 14 FP SPEC2000 surrogates):");
+    for b in suite() {
+        let class = if b.is_fp() { "FP " } else { "INT" };
+        println!("  {:10} {class}  {:?}", b.name, b.kernel);
+    }
+    println!("\nconfigurations (Table 3 + §4.6 + §4.7 variants):");
+    for c in config::evaluated_configs()
+        .into_iter()
+        .chain(config::fig12_configs())
+        .chain(config::ssa_configs())
+    {
+        println!("  {}", c.name);
+    }
+}
+
+fn print_result(r: &runner::RunResult) {
+    println!("  IPC                {:>8.3}", r.ipc);
+    println!("  comms/instruction  {:>8.3}", r.comms_per_insn);
+    println!("  hops/communication {:>8.2}", r.dist_per_comm);
+    println!("  bus wait/comm      {:>8.2}", r.wait_per_comm);
+    println!("  NREADY/cycle       {:>8.2}", r.nready);
+    println!("  branch miss rate   {:>8.3}", r.branch_miss_rate);
+    let shares: Vec<String> =
+        r.dispatch_shares.iter().map(|s| format!("{:.0}%", s * 100.0)).collect();
+    println!("  dispatch shares    [{}]", shares.join(" "));
+}
+
+fn run(args: &[String], flags: &HashMap<String, String>) {
+    let bench = positional(args, 1, "benchmark name");
+    let cfg_name =
+        flags.get("config").cloned().unwrap_or_else(|| "Ring_8clus_1bus_2IW".to_string());
+    let cfg = find_config(&cfg_name);
+    let budget = budget_from(flags);
+    let store = ResultStore::open_default();
+    let r = runner::run_pair(&cfg, &bench, &budget, &store);
+    println!("{bench} on {cfg_name} ({} measured instructions):", r.committed);
+    print_result(&r);
+}
+
+fn compare(args: &[String], flags: &HashMap<String, String>) {
+    let bench = positional(args, 1, "benchmark name");
+    let budget = budget_from(flags);
+    let store = ResultStore::open_default();
+    let ring = runner::run_pair(&find_config("Ring_8clus_1bus_2IW"), &bench, &budget, &store);
+    let conv = runner::run_pair(&find_config("Conv_8clus_1bus_2IW"), &bench, &budget, &store);
+    println!("{bench}: Ring_8clus_1bus_2IW");
+    print_result(&ring);
+    println!("{bench}: Conv_8clus_1bus_2IW");
+    print_result(&conv);
+    println!("Ring speedup over Conv: {:+.1}%", (ring.ipc / conv.ipc - 1.0) * 100.0);
+}
+
+fn disasm(args: &[String], flags: &HashMap<String, String>) {
+    let bench = positional(args, 1, "benchmark name");
+    let limit: usize = flags.get("limit").and_then(|v| v.parse().ok()).unwrap_or(64);
+    let Some(b) = benchmark(&bench) else {
+        eprintln!("unknown benchmark '{bench}'");
+        std::process::exit(1);
+    };
+    let program = b.build();
+    println!(
+        "{bench}: {} static instructions, {} bytes of data",
+        program.insns.len(),
+        program.data_len()
+    );
+    for line in program.disassemble().lines().take(limit) {
+        println!("{line}");
+    }
+    if program.insns.len() > limit {
+        println!("... ({} more; use --limit)", program.insns.len() - limit);
+    }
+}
+
+fn trace_cmd(args: &[String], flags: &HashMap<String, String>) {
+    let bench = positional(args, 1, "benchmark name");
+    let from: u32 = flags.get("from").and_then(|v| v.parse().ok()).unwrap_or(1000);
+    let len: u32 = flags.get("len").and_then(|v| v.parse().ok()).unwrap_or(24);
+    let cfg_name =
+        flags.get("config").cloned().unwrap_or_else(|| "Ring_8clus_1bus_2IW".to_string());
+    let cfg = find_config(&cfg_name);
+    let trace = cached_trace(&bench, (from + len) as u64 + 50_000);
+    let mut core = Core::new(cfg.core.clone(), cfg.mem, cfg.pred, &trace);
+    core.attach_tracer(PipeTracer::new(from, from + len));
+    core.run((from + len) as u64 + 20_000);
+    let tracer = core.take_tracer().unwrap();
+    println!("{bench} on {cfg_name}, dynamic instructions {from}..{}", from + len);
+    print!("{}", tracer.render(&trace, 100));
+    let (wait, lat) = tracer.latency_summary();
+    println!("mean dispatch→issue wait {wait:.1} cycles; mean issue→complete {lat:.1} cycles");
+}
+
+fn figures() {
+    let budget = Budget::default();
+    let store = ResultStore::open_default();
+    for ex in experiments::run_all(&budget, &store) {
+        println!("================================================================");
+        println!("{}", ex.text);
+    }
+}
+
+fn csv(flags: &HashMap<String, String>) {
+    let budget = Budget::default();
+    let store = ResultStore::open_default();
+    let results = experiments::main_sweep(&budget, &store);
+    let csv = ring_clustered::sim::report::to_csv(&results);
+    match flags.get("out") {
+        Some(path) if !path.is_empty() => {
+            std::fs::write(path, &csv).expect("failed to write CSV");
+            eprintln!("wrote {} rows to {path}", csv.lines().count() - 1);
+        }
+        _ => print!("{csv}"),
+    }
+}
+
+fn layout() {
+    // Reuse the layout example's content through the library API.
+    let ex = experiments::table1();
+    println!("{}", ex.text);
+    let ex = experiments::figure4_5();
+    println!("{}", ex.text);
+    for n in [4usize, 8] {
+        let p = ring_clustered::layout::ring_placement(n);
+        let (s, c) = p.module_counts();
+        println!("Figure 3: {n} clusters -> {s} straight + {c} corner modules");
+    }
+    // Sanity: the emulator and suite agree (cheap self-check for the CLI).
+    let b = benchmark("swim").unwrap();
+    let t = trace_program(&b.build(), 1000).unwrap();
+    assert_eq!(t.insns.len(), 1000);
+}

@@ -1,0 +1,184 @@
+//! Property tests over randomly generated (but well-formed) programs: the
+//! pipeline must never deadlock, must commit exactly the oracle stream, and
+//! the conservation invariants must hold for every topology/steering combo.
+
+use proptest::prelude::*;
+use ring_clustered::asm::Asm;
+use ring_clustered::core::{Core, CoreConfig, Steering, Topology};
+use ring_clustered::emu::trace_program;
+use ring_clustered::isa::Reg;
+use ring_clustered::uarch::{MemConfig, PredictorConfig};
+
+/// One step of a random straight-line body. Values are chosen so programs
+/// stay well-defined (bounded memory region, no divides by anything wild).
+#[derive(Clone, Debug)]
+enum Op {
+    IntAlu { dst: u8, a: u8, b: u8, kind: u8 },
+    IntImm { dst: u8, a: u8, imm: i32, kind: u8 },
+    Fp { dst: u8, a: u8, b: u8, kind: u8 },
+    Load { dst: u8, slot: u8, fp: bool },
+    Store { src: u8, slot: u8, fp: bool },
+    Skip { a: u8, b: u8 },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1u8..16, 0u8..16, 0u8..16, 0u8..6).prop_map(|(dst, a, b, kind)| Op::IntAlu {
+            dst,
+            a,
+            b,
+            kind
+        }),
+        (1u8..16, 0u8..16, -64i32..64, 0u8..4).prop_map(|(dst, a, imm, kind)| Op::IntImm {
+            dst,
+            a,
+            imm,
+            kind
+        }),
+        (0u8..16, 0u8..16, 0u8..16, 0u8..5).prop_map(|(dst, a, b, kind)| Op::Fp { dst, a, b, kind }),
+        (1u8..16, 0u8..32, any::<bool>()).prop_map(|(dst, slot, fp)| Op::Load { dst, slot, fp }),
+        (0u8..16, 0u8..32, any::<bool>()).prop_map(|(src, slot, fp)| Op::Store { src, slot, fp }),
+        (0u8..16, 0u8..16).prop_map(|(a, b)| Op::Skip { a, b }),
+    ]
+}
+
+/// Build a looped program from the random body (loops keep the I-cache
+/// realistic and let the window fill).
+fn build_program(body: &[Op]) -> ring_clustered::isa::Program {
+    let mut a = Asm::new();
+    let buf = a.data_zero(32 * 8);
+    let r = Reg::int;
+    let f = Reg::fp;
+    a.movi_addr(r(20), buf);
+    for i in 0..8 {
+        a.movi(r(1 + i), i as i32 * 3 + 1);
+    }
+    a.movi(r(21), 400); // outer iterations
+    let top = a.label_here();
+    for op in body {
+        match *op {
+            Op::IntAlu { dst, a: x, b, kind } => {
+                let (dst, x, b) = (r(dst % 16), r(x % 16), r(b % 16));
+                match kind {
+                    0 => a.add(dst, x, b),
+                    1 => a.sub(dst, x, b),
+                    2 => a.and(dst, x, b),
+                    3 => a.xor(dst, x, b),
+                    4 => a.mul(dst, x, b),
+                    _ => a.sltu(dst, x, b),
+                }
+            }
+            Op::IntImm { dst, a: x, imm, kind } => {
+                let (dst, x) = (r(dst % 16), r(x % 16));
+                match kind {
+                    0 => a.addi(dst, x, imm),
+                    1 => a.andi(dst, x, imm),
+                    2 => a.ori(dst, x, imm),
+                    _ => a.slti(dst, x, imm),
+                }
+            }
+            Op::Fp { dst, a: x, b, kind } => {
+                let (dst, x, b) = (f(dst % 16), f(x % 16), f(b % 16));
+                match kind {
+                    0 => a.fadd(dst, x, b),
+                    1 => a.fsub(dst, x, b),
+                    2 => a.fmul(dst, x, b),
+                    3 => a.fmin(dst, x, b),
+                    _ => a.fmax(dst, x, b),
+                }
+            }
+            Op::Load { dst, slot, fp } => {
+                if fp {
+                    a.fld(f(dst % 16), r(20), (slot as i32 % 32) * 8);
+                } else {
+                    a.ld(r(dst % 16), r(20), (slot as i32 % 32) * 8);
+                }
+            }
+            Op::Store { src, slot, fp } => {
+                if fp {
+                    a.fst(f(src % 16), r(20), (slot as i32 % 32) * 8);
+                } else {
+                    a.st(r(src % 16), r(20), (slot as i32 % 32) * 8);
+                }
+            }
+            Op::Skip { a: x, b } => {
+                let skip = a.new_label();
+                a.beq(r(x % 16), r(b % 16), skip);
+                a.addi(r(15), r(15), 1);
+                a.bind(skip);
+            }
+        }
+    }
+    a.addi(r(21), r(21), -1);
+    a.bne(r(21), r(0), top);
+    a.halt();
+    a.assemble().expect("random program must assemble")
+}
+
+fn all_configs() -> Vec<CoreConfig> {
+    let mut v = Vec::new();
+    for (topology, steering) in [
+        (Topology::Ring, Steering::RingDep),
+        (Topology::Conv, Steering::ConvDcount),
+        (Topology::Ring, Steering::Ssa),
+        (Topology::Conv, Steering::Ssa),
+    ] {
+        v.push(CoreConfig { topology, steering, ..CoreConfig::default() });
+        v.push(CoreConfig {
+            topology,
+            steering,
+            n_clusters: 4,
+            iq_int: 32,
+            iq_fp: 32,
+            regs_int: 64,
+            regs_fp: 64,
+            n_buses: 2,
+            ..CoreConfig::default()
+        });
+    }
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    #[test]
+    fn random_programs_never_deadlock(body in prop::collection::vec(arb_op(), 4..40)) {
+        let program = build_program(&body);
+        let trace = trace_program(&program, 6_000).unwrap();
+        for cfg in all_configs() {
+            let mut core = Core::new(
+                cfg.clone(),
+                MemConfig::default(),
+                PredictorConfig::default(),
+                &trace.insns,
+            );
+            let stats = core.run(u64::MAX);
+            // Every oracle instruction commits, in order, minus the final
+            // halt if present.
+            let expect = trace.insns.len() as u64 - u64::from(trace.halted);
+            prop_assert_eq!(stats.committed, expect);
+            // Conservation: all created comms issue once the pipeline drains.
+            prop_assert_eq!(stats.comms_created, stats.comms_issued);
+            // Every dispatched instruction belongs to exactly one cluster.
+            let dispatched: u64 = stats.dispatched_per_cluster.iter().sum();
+            prop_assert!(dispatched <= trace.insns.len() as u64);
+        }
+    }
+
+    #[test]
+    fn random_programs_agree_between_budgeted_and_full_runs(
+        body in prop::collection::vec(arb_op(), 4..24)
+    ) {
+        let program = build_program(&body);
+        let trace = trace_program(&program, 4_000).unwrap();
+        let cfg = CoreConfig::default();
+        let mut full = Core::new(cfg.clone(), MemConfig::default(), PredictorConfig::default(), &trace.insns);
+        full.run(u64::MAX);
+        let mut budgeted = Core::new(cfg, MemConfig::default(), PredictorConfig::default(), &trace.insns);
+        budgeted.run(1_000);
+        // The budgeted run is a strict prefix in committed count and cycles.
+        prop_assert!(budgeted.stats().committed <= full.stats().committed);
+        prop_assert!(budgeted.stats().cycles <= full.stats().cycles);
+    }
+}
