@@ -14,7 +14,10 @@ pub enum AsmError {
     /// A branch target is out of the signed-32-bit offset range.
     OffsetOverflow { pc: usize },
     /// An instruction failed ISA validation.
-    Invalid { pc: usize, err: rcmc_isa::ValidationError },
+    Invalid {
+        pc: usize,
+        err: rcmc_isa::ValidationError,
+    },
 }
 
 impl std::fmt::Display for AsmError {
@@ -32,7 +35,10 @@ impl std::error::Error for AsmError {}
 enum Slot {
     Done(Insn),
     /// Branch/jal whose immediate is the (label, opcode, rd/rs1/rs2) to patch.
-    Patch { insn: Insn, label: Label },
+    Patch {
+        insn: Insn,
+        label: Label,
+    },
 }
 
 /// The builder. See crate docs for an example.
@@ -47,7 +53,12 @@ pub struct Asm {
 impl Asm {
     /// Fresh builder with the default data base address.
     pub fn new() -> Self {
-        Asm { slots: Vec::new(), labels: Vec::new(), data: Vec::new(), data_base: DATA_BASE }
+        Asm {
+            slots: Vec::new(),
+            labels: Vec::new(),
+            data: Vec::new(),
+            data_base: DATA_BASE,
+        }
     }
 
     /// Number of instructions emitted so far (== pc of the next one).
@@ -77,7 +88,7 @@ impl Asm {
     // ---------------- data segment ----------------
 
     fn align8(&mut self) {
-        while self.data.len() % 8 != 0 {
+        while !self.data.len().is_multiple_of(8) {
             self.data.push(0);
         }
     }
@@ -118,16 +129,34 @@ impl Asm {
     }
 
     fn emit3(&mut self, op: Opcode, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.emit(Insn { op, rd: Some(rd), rs1: Some(rs1), rs2: Some(rs2), imm: 0 });
+        self.emit(Insn {
+            op,
+            rd: Some(rd),
+            rs1: Some(rs1),
+            rs2: Some(rs2),
+            imm: 0,
+        });
     }
 
     fn emit2i(&mut self, op: Opcode, rd: Reg, rs1: Reg, imm: i32) {
-        self.emit(Insn { op, rd: Some(rd), rs1: Some(rs1), rs2: None, imm });
+        self.emit(Insn {
+            op,
+            rd: Some(rd),
+            rs1: Some(rs1),
+            rs2: None,
+            imm,
+        });
     }
 
     fn emit_branch(&mut self, op: Opcode, rs1: Reg, rs2: Reg, label: Label) {
         self.slots.push(Slot::Patch {
-            insn: Insn { op, rd: None, rs1: Some(rs1), rs2: Some(rs2), imm: 0 },
+            insn: Insn {
+                op,
+                rd: None,
+                rs1: Some(rs1),
+                rs2: Some(rs2),
+                imm: 0,
+            },
             label,
         });
     }
@@ -208,11 +237,20 @@ impl Asm {
     }
     /// `rd = imm` (sign-extended)
     pub fn movi(&mut self, rd: Reg, imm: i32) {
-        self.emit(Insn { op: Opcode::Movi, rd: Some(rd), rs1: None, rs2: None, imm });
+        self.emit(Insn {
+            op: Opcode::Movi,
+            rd: Some(rd),
+            rs1: None,
+            rs2: None,
+            imm,
+        });
     }
     /// `rd = addr` — materialize a data address (must fit in i32).
     pub fn movi_addr(&mut self, rd: Reg, addr: u64) {
-        assert!(addr <= i32::MAX as u64, "data address does not fit in movi immediate");
+        assert!(
+            addr <= i32::MAX as u64,
+            "data address does not fit in movi immediate"
+        );
         self.movi(rd, addr as i32);
     }
     /// `rd = rs1 * rs2`
@@ -295,7 +333,13 @@ impl Asm {
     }
     /// `mem[rs1 + imm] = rs2`
     pub fn st(&mut self, rs2: Reg, rs1: Reg, imm: i32) {
-        self.emit(Insn { op: Opcode::St, rd: None, rs1: Some(rs1), rs2: Some(rs2), imm });
+        self.emit(Insn {
+            op: Opcode::St,
+            rd: None,
+            rs1: Some(rs1),
+            rs2: Some(rs2),
+            imm,
+        });
     }
     /// `fd = mem[rs1 + imm]`
     pub fn fld(&mut self, rd: Reg, rs1: Reg, imm: i32) {
@@ -303,7 +347,13 @@ impl Asm {
     }
     /// `mem[rs1 + imm] = fs2`
     pub fn fst(&mut self, rs2: Reg, rs1: Reg, imm: i32) {
-        self.emit(Insn { op: Opcode::Fst, rd: None, rs1: Some(rs1), rs2: Some(rs2), imm });
+        self.emit(Insn {
+            op: Opcode::Fst,
+            rd: None,
+            rs1: Some(rs1),
+            rs2: Some(rs2),
+            imm,
+        });
     }
 
     // ---------------- control ----------------
@@ -327,7 +377,13 @@ impl Asm {
     /// Direct jump with link (use `rd = r31` for calls, `r0` for plain jumps).
     pub fn jal(&mut self, rd: Reg, label: Label) {
         self.slots.push(Slot::Patch {
-            insn: Insn { op: Opcode::Jal, rd: Some(rd), rs1: None, rs2: None, imm: 0 },
+            insn: Insn {
+                op: Opcode::Jal,
+                rd: Some(rd),
+                rs1: None,
+                rs2: None,
+                imm: 0,
+            },
             label,
         });
     }
@@ -368,15 +424,23 @@ impl Asm {
                     insn
                 }
             };
-            insn.validate().map_err(|err| AsmError::Invalid { pc, err })?;
+            insn.validate()
+                .map_err(|err| AsmError::Invalid { pc, err })?;
             insns.push(insn);
         }
         let data = if self.data.is_empty() {
             Vec::new()
         } else {
-            vec![DataSeg { addr: self.data_base, bytes: self.data }]
+            vec![DataSeg {
+                addr: self.data_base,
+                bytes: self.data,
+            }]
         };
-        Ok(Program { insns, data, entry: 0 })
+        Ok(Program {
+            insns,
+            data,
+            entry: 0,
+        })
     }
 }
 

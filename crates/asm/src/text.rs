@@ -43,7 +43,10 @@ impl std::fmt::Display for ParseError {
 impl std::error::Error for ParseError {}
 
 fn err<T>(line: usize, msg: impl Into<String>) -> Result<T, ParseError> {
-    Err(ParseError { line, msg: msg.into() })
+    Err(ParseError {
+        line,
+        msg: msg.into(),
+    })
 }
 
 /// One operand token.
@@ -106,7 +109,10 @@ fn parse_operand(s: &str, line: usize) -> Result<Tok, ParseError> {
     if let Some(v) = parse_imm(s) {
         return Ok(Tok::Imm(v));
     }
-    if s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.') && !s.is_empty() {
+    if s.chars()
+        .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+        && !s.is_empty()
+    {
         return Ok(Tok::Sym(s.to_string()));
     }
     err(line, format!("unrecognized operand '{s}'"))
@@ -135,7 +141,7 @@ pub fn parse(src: &str) -> Result<Program, ParseError> {
     let mut entry: Option<u32> = None;
 
     let align8 = |data: &mut Vec<u8>| {
-        while data.len() % 8 != 0 {
+        while !data.len().is_multiple_of(8) {
             data.push(0);
         }
     };
@@ -161,17 +167,25 @@ pub fn parse(src: &str) -> Result<Program, ParseError> {
             let (name, rest) = line.split_at(colon);
             let name = name.trim();
             if name.is_empty()
-                || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+                || !name
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
             {
                 break;
             }
             if in_data {
                 align8(&mut data);
-                if data_syms.insert(name.to_string(), DATA_BASE + data.len() as u64).is_some() {
+                if data_syms
+                    .insert(name.to_string(), DATA_BASE + data.len() as u64)
+                    .is_some()
+                {
                     return err(lineno, format!("duplicate data symbol '{name}'"));
                 }
             } else {
-                if code_labels.insert(name.to_string(), pending.len() as u32).is_some() {
+                if code_labels
+                    .insert(name.to_string(), pending.len() as u32)
+                    .is_some()
+                {
                     return err(lineno, format!("duplicate label '{name}'"));
                 }
                 if name == "main" {
@@ -192,10 +206,10 @@ pub fn parse(src: &str) -> Result<Program, ParseError> {
                 ".f64" => {
                     align8(&mut data);
                     for part in rest.split(',') {
-                        let v: f64 = part
-                            .trim()
-                            .parse()
-                            .map_err(|_| ParseError { line: lineno, msg: format!("bad f64 '{part}'") })?;
+                        let v: f64 = part.trim().parse().map_err(|_| ParseError {
+                            line: lineno,
+                            msg: format!("bad f64 '{part}'"),
+                        })?;
                         data.extend_from_slice(&v.to_le_bytes());
                     }
                 }
@@ -211,9 +225,13 @@ pub fn parse(src: &str) -> Result<Program, ParseError> {
                 }
                 ".zero" => {
                     align8(&mut data);
-                    let n = parse_imm(rest.trim()).filter(|v| *v >= 0).ok_or_else(|| {
-                        ParseError { line: lineno, msg: format!("bad .zero size '{rest}'") }
-                    })?;
+                    let n =
+                        parse_imm(rest.trim())
+                            .filter(|v| *v >= 0)
+                            .ok_or_else(|| ParseError {
+                                line: lineno,
+                                msg: format!("bad .zero size '{rest}'"),
+                            })?;
                     data.resize(data.len() + n as usize, 0);
                 }
                 other => return err(lineno, format!("unknown data directive '{other}'")),
@@ -229,7 +247,11 @@ pub fn parse(src: &str) -> Result<Program, ParseError> {
                 operands.push(parse_operand(part, lineno)?);
             }
         }
-        pending.push(PendingInsn { line: lineno, mnemonic, operands });
+        pending.push(PendingInsn {
+            line: lineno,
+            mnemonic,
+            operands,
+        });
     }
 
     // -------- pass 2: resolve symbols and build instructions --------
@@ -246,9 +268,16 @@ pub fn parse(src: &str) -> Result<Program, ParseError> {
     let data = if data.is_empty() {
         Vec::new()
     } else {
-        vec![DataSeg { addr: DATA_BASE, bytes: data }]
+        vec![DataSeg {
+            addr: DATA_BASE,
+            bytes: data,
+        }]
     };
-    Ok(Program { insns, data, entry: entry.unwrap_or(0) })
+    Ok(Program {
+        insns,
+        data,
+        entry: entry.unwrap_or(0),
+    })
 }
 
 fn resolve_sym(
@@ -263,7 +292,10 @@ fn resolve_sym(
 }
 
 fn to_i32(v: i64, line: usize) -> Result<i32, ParseError> {
-    i32::try_from(v).map_err(|_| ParseError { line, msg: format!("immediate {v} out of range") })
+    i32::try_from(v).map_err(|_| ParseError {
+        line,
+        msg: format!("immediate {v} out of range"),
+    })
 }
 
 fn build_insn(
@@ -273,8 +305,10 @@ fn build_insn(
     data_syms: &HashMap<String, u64>,
 ) -> Result<Insn, ParseError> {
     let line = p.line;
-    let op = Opcode::from_mnemonic(&p.mnemonic)
-        .ok_or_else(|| ParseError { line, msg: format!("unknown mnemonic '{}'", p.mnemonic) })?;
+    let op = Opcode::from_mnemonic(&p.mnemonic).ok_or_else(|| ParseError {
+        line,
+        msg: format!("unknown mnemonic '{}'", p.mnemonic),
+    })?;
     let ops = &p.operands;
     let reg = |i: usize| -> Result<Reg, ParseError> {
         match ops.get(i) {
@@ -286,7 +320,10 @@ fn build_insn(
         match ops.get(i) {
             Some(Tok::Imm(v)) => Ok(*v),
             Some(Tok::Sym(s)) => resolve_sym(s, line, data_syms),
-            _ => err(line, format!("operand {} must be an immediate or symbol", i + 1)),
+            _ => err(
+                line,
+                format!("operand {} must be an immediate or symbol", i + 1),
+            ),
         }
     };
     let need = |n: usize| -> Result<(), ParseError> {
@@ -302,7 +339,13 @@ fn build_insn(
         Add | Sub | And | Or | Xor | Sll | Srl | Sra | Slt | Sltu | Mul | Div | Rem | Fadd
         | Fsub | Fmul | Fdiv | Fmin | Fmax | Fcmplt | Fcmple | Fcmpeq => {
             need(3)?;
-            Insn { op, rd: Some(reg(0)?), rs1: Some(reg(1)?), rs2: Some(reg(2)?), imm: 0 }
+            Insn {
+                op,
+                rd: Some(reg(0)?),
+                rs1: Some(reg(1)?),
+                rs2: Some(reg(2)?),
+                imm: 0,
+            }
         }
         Addi | Andi | Ori | Xori | Slli | Srli | Srai | Slti => {
             need(3)?;
@@ -316,11 +359,23 @@ fn build_insn(
         }
         Movi => {
             need(2)?;
-            Insn { op, rd: Some(reg(0)?), rs1: None, rs2: None, imm: to_i32(imm_or_sym(1)?, line)? }
+            Insn {
+                op,
+                rd: Some(reg(0)?),
+                rs1: None,
+                rs2: None,
+                imm: to_i32(imm_or_sym(1)?, line)?,
+            }
         }
         Fneg | Fabs | Fmov | Fcvtif | Fcvtfi => {
             need(2)?;
-            Insn { op, rd: Some(reg(0)?), rs1: Some(reg(1)?), rs2: None, imm: 0 }
+            Insn {
+                op,
+                rd: Some(reg(0)?),
+                rs1: Some(reg(1)?),
+                rs2: None,
+                imm: 0,
+            }
         }
         Ld | Fld => {
             need(2)?;
@@ -329,7 +384,13 @@ fn build_insn(
                 Tok::MemSym(s, base) => (resolve_sym(s, line, data_syms)?, *base),
                 _ => return err(line, "second operand must be imm(reg)"),
             };
-            Insn { op, rd: Some(reg(0)?), rs1: Some(base), rs2: None, imm: to_i32(off, line)? }
+            Insn {
+                op,
+                rd: Some(reg(0)?),
+                rs1: Some(base),
+                rs2: None,
+                imm: to_i32(off, line)?,
+            }
         }
         St | Fst => {
             need(2)?;
@@ -338,15 +399,21 @@ fn build_insn(
                 Tok::MemSym(s, base) => (resolve_sym(s, line, data_syms)?, *base),
                 _ => return err(line, "second operand must be imm(reg)"),
             };
-            Insn { op, rd: None, rs1: Some(base), rs2: Some(reg(0)?), imm: to_i32(off, line)? }
+            Insn {
+                op,
+                rd: None,
+                rs1: Some(base),
+                rs2: Some(reg(0)?),
+                imm: to_i32(off, line)?,
+            }
         }
         Beq | Bne | Blt | Bge => {
             need(3)?;
             let target = match &ops[2] {
-                Tok::Sym(s) => *code_labels
-                    .get(s)
-                    .ok_or_else(|| ParseError { line, msg: format!("unknown label '{s}'") })?
-                    as i64,
+                Tok::Sym(s) => *code_labels.get(s).ok_or_else(|| ParseError {
+                    line,
+                    msg: format!("unknown label '{s}'"),
+                })? as i64,
                 Tok::Imm(v) => pc as i64 + 1 + v,
                 _ => return err(line, "branch target must be a label or offset"),
             };
@@ -362,15 +429,21 @@ fn build_insn(
         Jal => {
             need(2)?;
             let target = match &ops[1] {
-                Tok::Sym(s) => *code_labels
-                    .get(s)
-                    .ok_or_else(|| ParseError { line, msg: format!("unknown label '{s}'") })?
-                    as i64,
+                Tok::Sym(s) => *code_labels.get(s).ok_or_else(|| ParseError {
+                    line,
+                    msg: format!("unknown label '{s}'"),
+                })? as i64,
                 Tok::Imm(v) => pc as i64 + 1 + v,
                 _ => return err(line, "jal target must be a label or offset"),
             };
             let off = target - (pc as i64 + 1);
-            Insn { op, rd: Some(reg(0)?), rs1: None, rs2: None, imm: to_i32(off, line)? }
+            Insn {
+                op,
+                rd: Some(reg(0)?),
+                rs1: None,
+                rs2: None,
+                imm: to_i32(off, line)?,
+            }
         }
         Jalr => {
             need(3)?;
@@ -384,7 +457,13 @@ fn build_insn(
         }
         Nop | Halt => {
             need(0)?;
-            Insn { op, rd: None, rs1: None, rs2: None, imm: 0 }
+            Insn {
+                op,
+                rd: None,
+                rs1: None,
+                rs2: None,
+                imm: 0,
+            }
         }
     };
     Ok(insn)
@@ -489,8 +568,12 @@ mod tests {
         // instruction.
         let src = "movi r1, 5\naddi r2, r1, -1\nmul r3, r2, r1\nfadd f1, f2, f3\nhalt\n";
         let p1 = parse(src).unwrap();
-        let dis: String =
-            p1.insns.iter().map(|i| format!("{i}\n")).collect::<String>().replace("(", " (");
+        let dis: String = p1
+            .insns
+            .iter()
+            .map(|i| format!("{i}\n"))
+            .collect::<String>()
+            .replace("(", " (");
         // our display uses `ld rd, imm(rs1)`; none here, so direct reparse:
         let p2 = parse(&dis.replace(" (", "(")).unwrap();
         assert_eq!(p1.insns, p2.insns);

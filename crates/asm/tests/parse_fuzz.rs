@@ -54,7 +54,7 @@ proptest! {
         // Strip the `pc:` prefixes the disassembler adds.
         let src_text: String = text
             .lines()
-            .map(|l| l.splitn(2, ": ").nth(1).unwrap_or(l))
+            .map(|l| l.split_once(": ").map(|x| x.1).unwrap_or(l))
             .collect::<Vec<_>>()
             .join("\n");
         let p2 = parse(&src_text).unwrap();

@@ -17,15 +17,17 @@ fn main() {
     let (budget, store) = rcmc_bench::harness_env();
     // A representative subset keeps the ablations fast; the main figures use
     // the full suite.
-    let benches: Vec<&str> =
-        vec!["swim", "galgel", "ammp", "equake", "lucas", "mcf", "gcc", "gzip", "twolf", "vpr"];
+    let benches: Vec<&str> = vec![
+        "swim", "galgel", "ammp", "equake", "lucas", "mcf", "gcc", "gzip", "twolf", "vpr",
+    ];
 
     // ---- 1. steering × topology cross ----
     let mut cfgs = Vec::new();
     for (topo, tname) in [(Topology::Ring, "Ring"), (Topology::Conv, "Conv")] {
-        for (steer, sname) in
-            [(Steering::RingDep, "depRing"), (Steering::ConvDcount, "dcount")]
-        {
+        for (steer, sname) in [
+            (Steering::RingDep, "depRing"),
+            (Steering::ConvDcount, "dcount"),
+        ] {
             let mut c = config::make(topo, 8, 2, 1);
             c.core.steering = steer;
             c.name = format!("x_{tname}_{sname}");
@@ -58,8 +60,14 @@ fn main() {
     let results = sweep(&cfgs, &benches, &budget, &store);
     let base = config_results(&results, "rel_at_commit");
     let on_read = config_results(&results, "rel_on_read");
-    let rows = vec![("release_on_read_vs_at_commit".to_string(), group_speedup(&on_read, &base))];
-    println!("\n{}", render_speedups("Ablation 2. Copy release policy (Ring 8c 1bus 2IW)", &rows));
+    let rows = vec![(
+        "release_on_read_vs_at_commit".to_string(),
+        group_speedup(&on_read, &base),
+    )];
+    println!(
+        "\n{}",
+        render_speedups("Ablation 2. Copy release policy (Ring 8c 1bus 2IW)", &rows)
+    );
 
     // ---- 3. cluster scaling ----
     let mut rows = Vec::new();
@@ -76,7 +84,10 @@ fn main() {
     }
     println!(
         "\n{}",
-        render_speedups("Ablation 3. Ring-over-Conv speedup vs cluster count (1 bus, 2IW)", &rows)
+        render_speedups(
+            "Ablation 3. Ring-over-Conv speedup vs cluster count (1 bus, 2IW)",
+            &rows
+        )
     );
 
     // ---- 4. bus latency scaling ----
@@ -96,7 +107,10 @@ fn main() {
     }
     println!(
         "\n{}",
-        render_speedups("Ablation 4. Ring-over-Conv speedup vs hop latency (8c, 1 bus)", &rows)
+        render_speedups(
+            "Ablation 4. Ring-over-Conv speedup vs hop latency (8c, 1 bus)",
+            &rows
+        )
     );
 
     // Also exercise the activity-spread claim from §5.

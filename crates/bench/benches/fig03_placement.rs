@@ -4,12 +4,23 @@ use rcmc_layout::{ring_placement, ModuleKind};
 fn main() {
     for n in [4usize, 8] {
         let p = ring_placement(n);
-        println!("\nFigure 3. Placement for {n} clusters ({} cols x {} rows)", p.cols, p.rows);
+        println!(
+            "\nFigure 3. Placement for {n} clusters ({} cols x {} rows)",
+            p.cols, p.rows
+        );
         for row in 0..p.rows {
             let mut line = String::new();
             for col in 0..p.cols {
-                let s = p.sites.iter().find(|s| s.row == row && s.col == col).unwrap();
-                let k = if s.kind == ModuleKind::Corner { 'C' } else { 'S' };
+                let s = p
+                    .sites
+                    .iter()
+                    .find(|s| s.row == row && s.col == col)
+                    .unwrap();
+                let k = if s.kind == ModuleKind::Corner {
+                    'C'
+                } else {
+                    'S'
+                };
                 line += &format!("[clu{:<2}{k}] ", s.cluster);
             }
             println!("  {line}");

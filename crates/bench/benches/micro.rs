@@ -8,7 +8,9 @@ use rcmc_core::steer::{Dcount, Steerer};
 use rcmc_core::value::ValueTable;
 use rcmc_core::{Core, CoreConfig, Steering, Topology};
 use rcmc_emu::trace_program;
-use rcmc_uarch::{Bimodal, CacheConfig, Gshare, HybridPredictor, MemConfig, PredictorConfig, SetAssocCache};
+use rcmc_uarch::{
+    Bimodal, CacheConfig, Gshare, HybridPredictor, MemConfig, PredictorConfig, SetAssocCache,
+};
 use rcmc_workloads::benchmark;
 
 fn bench_bpred(c: &mut Criterion) {
@@ -57,8 +59,12 @@ fn bench_cache(c: &mut Criterion) {
     let mut g = c.benchmark_group("cache");
     g.throughput(Throughput::Elements(4096));
     g.bench_function("l1d_stream_4k", |b| {
-        let mut cache =
-            SetAssocCache::new(CacheConfig { size: 32 * 1024, ways: 4, line: 32, latency: 2 });
+        let mut cache = SetAssocCache::new(CacheConfig {
+            size: 32 * 1024,
+            ways: 4,
+            line: 32,
+            latency: 2,
+        });
         let mut addr = 0u64;
         b.iter(|| {
             for _ in 0..4096 {
@@ -91,11 +97,16 @@ fn bench_bus(c: &mut Criterion) {
 fn bench_steering(c: &mut Criterion) {
     let mut g = c.benchmark_group("steering");
     g.throughput(Throughput::Elements(1024));
-    for (name, steering) in
-        [("ring_dep", Steering::RingDep), ("conv_dcount", Steering::ConvDcount), ("ssa", Steering::Ssa)]
-    {
+    for (name, steering) in [
+        ("ring_dep", Steering::RingDep),
+        ("conv_dcount", Steering::ConvDcount),
+        ("ssa", Steering::Ssa),
+    ] {
         g.bench_function(name, |b| {
-            let cfg = CoreConfig { steering, ..CoreConfig::default() };
+            let cfg = CoreConfig {
+                steering,
+                ..CoreConfig::default()
+            };
             let mut values = ValueTable::new(8, 48, 48);
             let vids: Vec<_> = (0..16).map(|i| values.alloc_ready(i % 8, false)).collect();
             let dcount = Dcount::new(8);
@@ -137,7 +148,11 @@ fn bench_core(c: &mut Criterion) {
             b.iter_batched(
                 || {
                     Core::new(
-                        CoreConfig { topology, steering, ..CoreConfig::default() },
+                        CoreConfig {
+                            topology,
+                            steering,
+                            ..CoreConfig::default()
+                        },
                         MemConfig::default(),
                         PredictorConfig::default(),
                         &trace,

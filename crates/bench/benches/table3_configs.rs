@@ -2,7 +2,10 @@
 fn main() {
     println!("\nTable 3. Evaluated configurations");
     println!("---------------------------------");
-    println!("{:12} {:>6} {:>12} {:>6}  name", "architect.", "clus", "issue width", "buses");
+    println!(
+        "{:12} {:>6} {:>12} {:>6}  name",
+        "architect.", "clus", "issue width", "buses"
+    );
     for c in rcmc_sim::config::evaluated_configs() {
         let t = match c.core.topology {
             rcmc_core::Topology::Ring => "Ring",

@@ -32,8 +32,16 @@ pub struct Bus {
 
 impl Bus {
     fn new(n: usize, forward: bool, hop_latency: u32) -> Self {
-        assert!((n as u64) * (hop_latency as u64) < 64, "reservation window too small");
-        Bus { segments: vec![Segment { resv: 0 }; n], forward, hop_latency, n }
+        assert!(
+            (n as u64) * (hop_latency as u64) < 64,
+            "reservation window too small"
+        );
+        Bus {
+            segments: vec![Segment { resv: 0 }; n],
+            forward,
+            hop_latency,
+            n,
+        }
     }
 
     /// Advance one cycle: shift every reservation window.

@@ -184,7 +184,7 @@ impl CoreConfig {
         match self.topology {
             Topology::Ring => fwd,
             Topology::Conv => {
-                if bus % 2 == 0 {
+                if bus.is_multiple_of(2) {
                     fwd
                 } else {
                     ((from + n - to) % n) as u32
@@ -218,15 +218,19 @@ mod tests {
         let c = CoreConfig::default();
         assert_eq!(c.dest_cluster(0), 1);
         assert_eq!(c.dest_cluster(7), 0);
-        let mut conv = CoreConfig::default();
-        conv.topology = Topology::Conv;
+        let conv = CoreConfig {
+            topology: Topology::Conv,
+            ..CoreConfig::default()
+        };
         assert_eq!(conv.dest_cluster(3), 3);
     }
 
     #[test]
     fn ring_distances_forward_only() {
-        let mut c = CoreConfig::default();
-        c.n_buses = 2;
+        let c = CoreConfig {
+            n_buses: 2,
+            ..CoreConfig::default()
+        };
         assert_eq!(c.bus_distance(0, 2, 3), 1);
         assert_eq!(c.bus_distance(1, 2, 3), 1, "ring buses all run forward");
         assert_eq!(c.bus_distance(0, 3, 2), 7);
@@ -235,9 +239,11 @@ mod tests {
 
     #[test]
     fn conv_two_buses_halve_distance() {
-        let mut c = CoreConfig::default();
-        c.topology = Topology::Conv;
-        c.n_buses = 2;
+        let c = CoreConfig {
+            topology: Topology::Conv,
+            n_buses: 2,
+            ..CoreConfig::default()
+        };
         assert_eq!(c.bus_distance(0, 3, 2), 7);
         assert_eq!(c.bus_distance(1, 3, 2), 1);
         assert_eq!(c.min_distance(3, 2), 1);
@@ -246,17 +252,25 @@ mod tests {
 
     #[test]
     fn invalid_configs_rejected() {
-        let mut c = CoreConfig::default();
-        c.n_clusters = 1;
+        let c = CoreConfig {
+            n_clusters: 1,
+            ..CoreConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = CoreConfig::default();
-        c.regs_int = 32;
+        let c = CoreConfig {
+            regs_int: 32,
+            ..CoreConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = CoreConfig::default();
-        c.n_buses = 0;
+        let c = CoreConfig {
+            n_buses: 0,
+            ..CoreConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = CoreConfig::default();
-        c.hop_latency = 0;
+        let c = CoreConfig {
+            hop_latency: 0,
+            ..CoreConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 }

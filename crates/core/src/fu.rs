@@ -16,7 +16,9 @@ struct Pool {
 
 impl Pool {
     fn new(n: usize) -> Self {
-        Pool { next_free: vec![0; n] }
+        Pool {
+            next_free: vec![0; n],
+        }
     }
 
     fn try_start(&mut self, now: u64, busy_for: u64) -> bool {
@@ -68,7 +70,11 @@ impl FuSet {
     pub fn try_issue(&mut self, class: InsnClass, now: u64) -> Option<u32> {
         let kind = class.fu()?;
         let latency = class.latency();
-        let busy = if class.non_pipelined() { latency as u64 } else { 1 };
+        let busy = if class.non_pipelined() {
+            latency as u64
+        } else {
+            1
+        };
         if self.pool(kind).try_start(now, busy) {
             Some(latency)
         } else {
@@ -135,7 +141,11 @@ mod tests {
     fn loads_and_branches_use_int_alu() {
         let mut fu = FuSet::new(1, 1);
         assert_eq!(fu.try_issue(InsnClass::Load, 0), Some(1));
-        assert_eq!(fu.try_issue(InsnClass::Branch, 0), None, "single ALU taken by the load");
+        assert_eq!(
+            fu.try_issue(InsnClass::Branch, 0),
+            None,
+            "single ALU taken by the load"
+        );
         assert_eq!(fu.try_issue(InsnClass::Branch, 1), Some(1));
     }
 

@@ -362,6 +362,9 @@ mod tests {
         l.store_ready(st, 0x100);
         l.load_addr_known(ld, 0x100, 0);
         assert_eq!(l.start_loads(0, 4).len(), 1);
-        assert!(l.start_loads(1, 4).is_empty(), "started load must not restart");
+        assert!(
+            l.start_loads(1, 4).is_empty(),
+            "started load must not restart"
+        );
     }
 }

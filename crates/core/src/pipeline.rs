@@ -183,7 +183,11 @@ impl<'t> Core<'t> {
     }
 
     #[inline]
-    fn trace_mark(&mut self, trace_idx: u32, f: impl FnOnce(&mut crate::pipeview::InsnRecord, u64)) {
+    fn trace_mark(
+        &mut self,
+        trace_idx: u32,
+        f: impl FnOnce(&mut crate::pipeview::InsnRecord, u64),
+    ) {
         if let Some(t) = self.tracer.as_mut() {
             let now = self.now;
             if let Some(r) = t.rec(trace_idx) {
@@ -217,9 +221,7 @@ impl<'t> Core<'t> {
     /// the trace drains. Returns the stats.
     pub fn run(&mut self, budget: u64) -> &Stats {
         while !self.halted && self.stats.committed < budget {
-            if self.fetch_idx >= self.trace.len()
-                && self.fetch_q.is_empty()
-                && self.rob.is_empty()
+            if self.fetch_idx >= self.trace.len() && self.fetch_q.is_empty() && self.rob.is_empty()
             {
                 break;
             }
@@ -387,7 +389,13 @@ impl<'t> Core<'t> {
             let e = *self.rob.get(s.rob);
             if let Some(dest) = e.dest {
                 let dc = self.cfg.dest_cluster(e.cluster as usize) as u8;
-                self.schedule(complete, Ev::CopyReady { value: dest, cluster: dc });
+                self.schedule(
+                    complete,
+                    Ev::CopyReady {
+                        value: dest,
+                        cluster: dc,
+                    },
+                );
             }
             self.schedule(complete, Ev::LoadDone { rob: s.rob });
         }
@@ -396,7 +404,9 @@ impl<'t> Core<'t> {
         // Committed stores drain with leftover ports.
         let mut ports_left = ports.saturating_sub(cache_started);
         while ports_left > 0 {
-            let Some(addr) = self.store_buf.pop_front() else { break };
+            let Some(addr) = self.store_buf.pop_front() else {
+                break;
+            };
             let _ = self.mem.access_data(addr);
             ports_left -= 1;
         }
@@ -450,7 +460,13 @@ impl<'t> Core<'t> {
             for &(dist, b) in order.iter().take(self.cfg.n_buses) {
                 debug_assert!(dist > 0, "communication to the same cluster");
                 if let Some(delay) = self.fabric.buses[b].try_reserve(op.from as usize, dist) {
-                    self.schedule(delay as u64, Ev::CopyReady { value: op.value, cluster: op.to });
+                    self.schedule(
+                        delay as u64,
+                        Ev::CopyReady {
+                            value: op.value,
+                            cluster: op.to,
+                        },
+                    );
                     self.stats.comms_issued += 1;
                     self.stats.comm_distance += dist as u64;
                     self.stats.comm_bus_wait += self.now.saturating_sub(op.ready_cycle);
@@ -491,7 +507,11 @@ impl<'t> Core<'t> {
                 break;
             }
             let idx = self.scratch_ready[i];
-            let entry: IqEntry = *if fp { self.iq_fp[c].get(idx) } else { self.iq_int[c].get(idx) };
+            let entry: IqEntry = *if fp {
+                self.iq_fp[c].get(idx)
+            } else {
+                self.iq_int[c].get(idx)
+            };
             let Some(latency) = self.fus[c].try_issue(entry.class, self.now) else {
                 continue; // FU busy; younger ready entries may still go.
             };
@@ -522,7 +542,13 @@ impl<'t> Core<'t> {
                 _ => {
                     if let Some(dest) = e.dest {
                         let dc = self.cfg.dest_cluster(c) as u8;
-                        self.schedule(latency as u64, Ev::CopyReady { value: dest, cluster: dc });
+                        self.schedule(
+                            latency as u64,
+                            Ev::CopyReady {
+                                value: dest,
+                                cluster: dc,
+                            },
+                        );
                     }
                     self.schedule(latency as u64, Ev::RobDone { rob });
                 }
@@ -541,7 +567,12 @@ impl<'t> Core<'t> {
     /// capacity elsewhere could absorb, summed per functional-unit kind.
     fn sample_nready(&mut self) {
         let n = self.cfg.n_clusters;
-        let kinds = [FuKind::IntAlu, FuKind::IntMulDiv, FuKind::FpAlu, FuKind::FpMulDiv];
+        let kinds = [
+            FuKind::IntAlu,
+            FuKind::IntMulDiv,
+            FuKind::FpAlu,
+            FuKind::FpMulDiv,
+        ];
         let mut leftover = [0usize; 4];
         let mut capacity = [0usize; 4];
         for c in 0..n {
@@ -564,7 +595,9 @@ impl<'t> Core<'t> {
 
     fn dispatch(&mut self) {
         for _ in 0..self.cfg.fetch_width {
-            let Some(&f) = self.fetch_q.front() else { break };
+            let Some(&f) = self.fetch_q.front() else {
+                break;
+            };
             if f.avail > self.now {
                 break;
             }
@@ -620,13 +653,18 @@ impl<'t> Core<'t> {
             }
         }
 
-        let steered = self.steerer.steer(&self.cfg, &self.values, &self.dcount, &srcs);
+        let steered = self
+            .steerer
+            .steer(&self.cfg, &self.values, &self.dcount, &srcs);
         let c = steered.cluster;
         let dest_cluster = self.cfg.dest_cluster(c);
 
         // ---- resource checks (all-or-nothing) ----
-        let q_space =
-            if class.is_int_pipe() { self.iq_int[c].has_space() } else { self.iq_fp[c].has_space() };
+        let q_space = if class.is_int_pipe() {
+            self.iq_int[c].has_space()
+        } else {
+            self.iq_fp[c].has_space()
+        };
         if !q_space {
             self.stats.stalls.iq_full += 1;
             return false;
@@ -673,8 +711,10 @@ impl<'t> Core<'t> {
         // Communication queue space at each source cluster (two comms may
         // share a source cluster, so count cumulatively).
         for (i, cm) in steered.comms.iter().enumerate() {
-            let needed_here =
-                steered.comms[..=i].iter().filter(|x| x.from == cm.from).count();
+            let needed_here = steered.comms[..=i]
+                .iter()
+                .filter(|x| x.from == cm.from)
+                .count();
             if !self.iq_comm[cm.from as usize].has_space_for(needed_here) {
                 self.stats.stalls.comm_full += 1;
                 return false;
@@ -738,7 +778,14 @@ impl<'t> Core<'t> {
                 waits[slot] = Some(v);
             }
         }
-        let entry = IqEntry { seq, rob, trace_idx, class, waits, reads };
+        let entry = IqEntry {
+            seq,
+            rob,
+            trace_idx,
+            class,
+            waits,
+            reads,
+        };
         if class.is_int_pipe() {
             self.iq_int[c].push(entry);
         } else {

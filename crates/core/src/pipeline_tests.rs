@@ -80,7 +80,9 @@ fn parallel_chains(width: usize, iters: usize) -> Vec<DynInsn> {
     a.bne(r(10), r(0), top);
     a.halt();
     let p = a.assemble().unwrap();
-    trace_program(&p, (4 * width + 4) * iters + 64).unwrap().insns
+    trace_program(&p, (4 * width + 4) * iters + 64)
+        .unwrap()
+        .insns
 }
 
 #[test]
@@ -99,7 +101,10 @@ fn ring_serial_chain_is_back_to_back() {
     let s = run_trace(ring_cfg(8), &t);
     assert!(s.ipc() > 0.9, "ring serial chain IPC = {:.3}", s.ipc());
     // And the chain requires no bus communications at all.
-    assert_eq!(s.comms_issued, 0, "adjacent-cluster forwarding needs no bus");
+    assert_eq!(
+        s.comms_issued, 0,
+        "adjacent-cluster forwarding needs no bus"
+    );
 }
 
 #[test]
@@ -110,10 +115,16 @@ fn conv_serial_chain_is_back_to_back() {
     let t = serial_chain(800);
     let s = run_trace(conv_cfg(8), &t);
     assert!(s.ipc() > 0.9, "conv serial chain IPC = {:.3}", s.ipc());
-    assert_eq!(s.comms_issued, 0, "a lone chain should not trigger balance mode");
+    assert_eq!(
+        s.comms_issued, 0,
+        "a lone chain should not trigger balance mode"
+    );
     // And unlike the ring, the work concentrates in very few clusters.
     let max_share = s.dispatch_shares(8).into_iter().fold(0.0f64, f64::max);
-    assert!(max_share > 0.4, "conv concentrates a lone chain (max share {max_share:.2})");
+    assert!(
+        max_share > 0.4,
+        "conv concentrates a lone chain (max share {max_share:.2})"
+    );
 }
 
 #[test]
@@ -135,7 +146,11 @@ fn ring_serial_chain_round_robins_clusters() {
 fn parallel_chains_reach_high_ipc() {
     let t = parallel_chains(8, 400);
     let s = run_trace(ring_cfg(8), &t);
-    assert!(s.ipc() > 2.5, "8 independent chains should exceed IPC 2.5, got {:.3}", s.ipc());
+    assert!(
+        s.ipc() > 2.5,
+        "8 independent chains should exceed IPC 2.5, got {:.3}",
+        s.ipc()
+    );
 }
 
 #[test]
@@ -153,7 +168,11 @@ fn fp_chain_uses_fp_pipe() {
     assert_eq!(s.committed_fp, 101); // fcvtif + 100 fadd
     assert!(s.issued_fp >= 101);
     // FP adds are 2-cycle: a serial FP chain can't beat 0.5 IPC.
-    assert!(s.ipc() < 0.75, "serial 2-cycle chain IPC bound, got {:.3}", s.ipc());
+    assert!(
+        s.ipc() < 0.75,
+        "serial 2-cycle chain IPC bound, got {:.3}",
+        s.ipc()
+    );
 }
 
 #[test]
@@ -176,7 +195,10 @@ fn load_store_roundtrip_commits() {
     let s = run_trace(ring_cfg(4), &t);
     assert_eq!(s.committed_stores, 64);
     assert_eq!(s.committed_loads, 64);
-    assert!(s.store_forwards > 0, "loads right after matching stores should forward");
+    assert!(
+        s.store_forwards > 0,
+        "loads right after matching stores should forward"
+    );
 }
 
 #[test]
@@ -218,7 +240,10 @@ fn diamond_dependence_creates_comms_on_ring() {
     let t = trace_program(&p, 4096).unwrap().insns;
     let s = run_trace(ring_cfg(8), &t);
     assert_eq!(s.committed, t.len() as u64 - 1);
-    assert!(s.comms_issued > 0, "joins across clusters should need communications");
+    assert!(
+        s.comms_issued > 0,
+        "joins across clusters should need communications"
+    );
     assert!(s.dist_per_comm() >= 1.0);
 }
 
@@ -257,8 +282,14 @@ fn ssa_on_conv_concentrates_work() {
     let sr = run_trace(ring, &t);
     let conv_max = sc.dispatch_shares(8).into_iter().fold(0.0f64, f64::max);
     let ring_max = sr.dispatch_shares(8).into_iter().fold(0.0f64, f64::max);
-    assert!(conv_max > 0.8, "conv+SSA should concentrate (max share {conv_max:.3})");
-    assert!(ring_max < 0.2, "ring+SSA should spread (max share {ring_max:.3})");
+    assert!(
+        conv_max > 0.8,
+        "conv+SSA should concentrate (max share {conv_max:.3})"
+    );
+    assert!(
+        ring_max < 0.2,
+        "ring+SSA should spread (max share {ring_max:.3})"
+    );
 }
 
 #[test]

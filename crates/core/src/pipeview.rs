@@ -48,7 +48,11 @@ impl PipeTracer {
     /// Trace the dynamic-instruction index window `[from, to)`.
     pub fn new(from: u32, to: u32) -> Self {
         assert!(to > from, "empty trace window");
-        PipeTracer { from, to, records: vec![InsnRecord::default(); (to - from) as usize] }
+        PipeTracer {
+            from,
+            to,
+            records: vec![InsnRecord::default(); (to - from) as usize],
+        }
     }
 
     /// The traced window.
@@ -190,7 +194,10 @@ mod tests {
             let r = tracer.get(idx).unwrap();
             assert!(r.fetch > 0, "idx {idx} not fetched");
             assert!(r.fetch <= r.dispatch, "fetch after dispatch at {idx}");
-            assert!(r.dispatch < r.issue || r.issue == 0, "dispatch/issue order at {idx}");
+            assert!(
+                r.dispatch < r.issue || r.issue == 0,
+                "dispatch/issue order at {idx}"
+            );
             if r.issue > 0 {
                 assert!(r.issue < r.complete, "issue/complete order at {idx}");
             }

@@ -43,7 +43,10 @@ pub struct IssueQueue {
 impl IssueQueue {
     /// Queue with `capacity` entries.
     pub fn new(capacity: usize) -> Self {
-        IssueQueue { entries: Vec::with_capacity(capacity), capacity }
+        IssueQueue {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+        }
     }
 
     /// Occupancy.
@@ -162,7 +165,10 @@ pub struct CommQueue {
 impl CommQueue {
     /// Queue with `capacity` entries.
     pub fn new(capacity: usize) -> Self {
-        CommQueue { entries: Vec::with_capacity(capacity), capacity }
+        CommQueue {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+        }
     }
 
     /// Occupancy.
@@ -226,7 +232,14 @@ mod tests {
     use super::*;
 
     fn entry(seq: u64, waits: [Option<ValueId>; 2]) -> IqEntry {
-        IqEntry { seq, rob: 0, trace_idx: 0, class: InsnClass::IntAlu, waits, reads: [None, None] }
+        IqEntry {
+            seq,
+            rob: 0,
+            trace_idx: 0,
+            class: InsnClass::IntAlu,
+            waits,
+            reads: [None, None],
+        }
     }
 
     #[test]
@@ -286,8 +299,14 @@ mod tests {
     fn ready_by_fu_counts_kinds() {
         let mut q = IssueQueue::new(8);
         q.push(entry(0, [None, None])); // IntAlu
-        q.push(IqEntry { class: InsnClass::IntMul, ..entry(1, [None, None]) });
-        q.push(IqEntry { class: InsnClass::IntMul, ..entry(2, [Some(9), None]) }); // not ready
+        q.push(IqEntry {
+            class: InsnClass::IntMul,
+            ..entry(1, [None, None])
+        });
+        q.push(IqEntry {
+            class: InsnClass::IntMul,
+            ..entry(2, [Some(9), None])
+        }); // not ready
         let mut counts = [0usize; 4];
         q.ready_by_fu(&mut counts);
         assert_eq!(counts, [1, 1, 0, 0]);
@@ -296,8 +315,22 @@ mod tests {
     #[test]
     fn comm_queue_wakeup_records_cycle() {
         let mut q = CommQueue::new(4);
-        q.push(CommOp { seq: 0, value: 3, from: 1, to: 2, ready: false, ready_cycle: 0 });
-        q.push(CommOp { seq: 1, value: 4, from: 1, to: 3, ready: false, ready_cycle: 0 });
+        q.push(CommOp {
+            seq: 0,
+            value: 3,
+            from: 1,
+            to: 2,
+            ready: false,
+            ready_cycle: 0,
+        });
+        q.push(CommOp {
+            seq: 1,
+            value: 4,
+            from: 1,
+            to: 3,
+            ready: false,
+            ready_cycle: 0,
+        });
         q.wakeup(3, 42);
         let r = q.ready_ordered();
         assert_eq!(r.len(), 1);
@@ -312,7 +345,14 @@ mod tests {
         let mut q = CommQueue::new(2);
         assert!(q.has_space_for(2));
         assert!(!q.has_space_for(3));
-        q.push(CommOp { seq: 0, value: 1, from: 0, to: 1, ready: true, ready_cycle: 0 });
+        q.push(CommOp {
+            seq: 0,
+            value: 1,
+            from: 0,
+            to: 1,
+            ready: true,
+            ready_cycle: 0,
+        });
         assert!(q.has_space_for(1));
         assert!(!q.has_space_for(2));
     }

@@ -36,7 +36,11 @@ pub struct Rob {
 impl Rob {
     /// Buffer with `capacity` entries.
     pub fn new(capacity: usize) -> Self {
-        Rob { slots: vec![None; capacity], head: 0, len: 0 }
+        Rob {
+            slots: vec![None; capacity],
+            head: 0,
+            len: 0,
+        }
     }
 
     /// Occupancy.
@@ -65,12 +69,16 @@ impl Rob {
 
     /// Access by slot index.
     pub fn get(&self, idx: u32) -> &RobEntry {
-        self.slots[idx as usize].as_ref().expect("stale ROB reference")
+        self.slots[idx as usize]
+            .as_ref()
+            .expect("stale ROB reference")
     }
 
     /// Mutable access by slot index.
     pub fn get_mut(&mut self, idx: u32) -> &mut RobEntry {
-        self.slots[idx as usize].as_mut().expect("stale ROB reference")
+        self.slots[idx as usize]
+            .as_mut()
+            .expect("stale ROB reference")
     }
 
     /// The oldest entry, if any.

@@ -132,7 +132,13 @@ impl Stats {
         let total: u64 = self.dispatched_per_cluster[..n_clusters].iter().sum();
         self.dispatched_per_cluster[..n_clusters]
             .iter()
-            .map(|&d| if total == 0 { 0.0 } else { d as f64 / total as f64 })
+            .map(|&d| {
+                if total == 0 {
+                    0.0
+                } else {
+                    d as f64 / total as f64
+                }
+            })
             .collect()
     }
 
@@ -189,9 +195,11 @@ mod tests {
 
     #[test]
     fn ipc_and_shares() {
-        let mut s = Stats::default();
-        s.cycles = 100;
-        s.committed = 250;
+        let mut s = Stats {
+            cycles: 100,
+            committed: 250,
+            ..Stats::default()
+        };
         s.dispatched_per_cluster[0] = 30;
         s.dispatched_per_cluster[1] = 70;
         assert!((s.ipc() - 2.5).abs() < 1e-12);
@@ -202,10 +210,12 @@ mod tests {
 
     #[test]
     fn delta_subtracts() {
-        let mut a = Stats::default();
-        a.cycles = 10;
-        a.committed = 20;
-        a.comms_issued = 5;
+        let a = Stats {
+            cycles: 10,
+            committed: 20,
+            comms_issued: 5,
+            ..Stats::default()
+        };
         let mut b = a.clone();
         b.cycles = 110;
         b.committed = 220;

@@ -48,7 +48,10 @@ pub struct Dcount {
 impl Dcount {
     /// Fresh state.
     pub fn new(n_clusters: usize) -> Self {
-        Dcount { dc: [0; MAX_CLUSTERS], n: n_clusters }
+        Dcount {
+            dc: [0; MAX_CLUSTERS],
+            n: n_clusters,
+        }
     }
 
     /// Record a dispatch to `cluster`.
@@ -139,9 +142,9 @@ impl Steerer {
             }
             [u, v] => {
                 let mut both_any = false;
-                for c in 0..n {
+                for (c, slot) in cand.iter_mut().enumerate().take(n) {
                     if values.mapped(*u, c) && values.mapped(*v, c) {
-                        cand[c] = true;
+                        *slot = true;
                         both_any = true;
                     }
                 }
@@ -150,7 +153,7 @@ impl Steerer {
                     // operand, minimize its distance.
                     let mut best_dist = u32::MAX;
                     let mut dist_at = [u32::MAX; MAX_CLUSTERS];
-                    for c in 0..n {
+                    for (c, slot) in dist_at.iter_mut().enumerate().take(n) {
                         let has_u = values.mapped(*u, c);
                         let has_v = values.mapped(*v, c);
                         if !has_u && !has_v {
@@ -158,7 +161,7 @@ impl Steerer {
                         }
                         let missing = if has_u { *v } else { *u };
                         let d = nearest_copy_distance(cfg, values, missing, c);
-                        dist_at[c] = d;
+                        *slot = d;
                         best_dist = best_dist.min(d);
                     }
                     for c in 0..n {
@@ -209,8 +212,11 @@ impl Steerer {
         let mut cand = [false; MAX_CLUSTERS];
         // "If any source operand is not available at dispatch time":
         // clusters where the pending operands will be produced.
-        let pending: Vec<ValueId> =
-            srcs.iter().copied().filter(|v| !values.produced_anywhere(*v)).collect();
+        let pending: Vec<ValueId> = srcs
+            .iter()
+            .copied()
+            .filter(|v| !values.produced_anywhere(*v))
+            .collect();
         if !pending.is_empty() {
             for v in &pending {
                 cand[values.home(*v)] = true;
@@ -219,7 +225,7 @@ impl Steerer {
             // All available: minimize the longest communication distance.
             let mut best = u32::MAX;
             let mut dist_at = [u32::MAX; MAX_CLUSTERS];
-            for c in 0..n {
+            for (c, slot) in dist_at.iter_mut().enumerate().take(n) {
                 let longest = srcs
                     .iter()
                     .map(|v| {
@@ -231,7 +237,7 @@ impl Steerer {
                     })
                     .max()
                     .unwrap_or(0);
-                dist_at[c] = longest;
+                *slot = longest;
                 best = best.min(longest);
             }
             for c in 0..n {
@@ -243,8 +249,8 @@ impl Steerer {
         // Least loaded among the selected clusters.
         let mut bestc = usize::MAX;
         let mut bestdc = f64::MAX;
-        for c in 0..n {
-            if cand[c] && dcount.count(c) < bestdc {
+        for (c, &is_cand) in cand.iter().enumerate().take(n) {
+            if is_cand && dcount.count(c) < bestdc {
                 bestdc = dcount.count(c);
                 bestc = c;
             }
@@ -277,12 +283,7 @@ impl Default for Steerer {
 }
 
 /// Distance from the nearest copy of `v` to `to`, minimized over buses.
-pub fn nearest_copy_distance(
-    cfg: &CoreConfig,
-    values: &ValueTable,
-    v: ValueId,
-    to: usize,
-) -> u32 {
+pub fn nearest_copy_distance(cfg: &CoreConfig, values: &ValueTable, v: ValueId, to: usize) -> u32 {
     values
         .mapped_clusters(v)
         .map(|p| cfg.min_distance(p, to))
@@ -291,12 +292,7 @@ pub fn nearest_copy_distance(
 }
 
 /// The nearest source cluster for moving `v` to `to` (ties → lowest index).
-pub fn nearest_copy_cluster(
-    cfg: &CoreConfig,
-    values: &ValueTable,
-    v: ValueId,
-    to: usize,
-) -> usize {
+pub fn nearest_copy_cluster(cfg: &CoreConfig, values: &ValueTable, v: ValueId, to: usize) -> usize {
     let mut best = usize::MAX;
     let mut bestd = u32::MAX;
     for p in values.mapped_clusters(v) {
@@ -321,7 +317,10 @@ fn needed_comms(
     for &v in srcs {
         if !values.mapped(v, cluster) && !comms.iter().any(|c: &NeededComm| c.value == v) {
             let from = nearest_copy_cluster(cfg, values, v, cluster);
-            comms.push(NeededComm { value: v, from: from as u8 });
+            comms.push(NeededComm {
+                value: v,
+                from: from as u8,
+            });
         }
     }
     comms
@@ -398,7 +397,10 @@ mod tests {
         // I5: R1 (in 1,2,3). Dest clusters are 2,3,0 holding 2,2,1 registers
         // respectively -> cluster 0 is freest -> execute in 3.
         let i5 = s.steer(&cfg, &values, &dcount, &[r1]);
-        assert_eq!(i5.cluster, 3, "Figure 2: 'Cluster 3 has more free registers'");
+        assert_eq!(
+            i5.cluster, 3,
+            "Figure 2: 'Cluster 3 has more free registers'"
+        );
         assert!(i5.comms.is_empty());
     }
 
@@ -481,7 +483,10 @@ mod tests {
         let mut s = Steerer::new();
         let pending = values.alloc(2, false); // in flight, home 2
         let st = s.steer(&cfg, &values, &dcount, &[pending]);
-        assert_eq!(st.cluster, 2, "steer to where the pending operand is produced");
+        assert_eq!(
+            st.cluster, 2,
+            "steer to where the pending operand is produced"
+        );
         assert!(st.comms.is_empty());
     }
 

@@ -101,7 +101,11 @@ impl ValueTable {
     }
 
     fn take_reg(&mut self, cluster: usize, fp: bool) {
-        let f = if fp { &mut self.free_fp[cluster] } else { &mut self.free_int[cluster] };
+        let f = if fp {
+            &mut self.free_fp[cluster]
+        } else {
+            &mut self.free_int[cluster]
+        };
         debug_assert!(*f > 0, "register underflow in cluster {cluster}");
         *f -= 1;
     }
@@ -181,7 +185,7 @@ impl ValueTable {
     /// True if the value has a Ready copy anywhere (i.e. has been produced).
     pub fn produced_anywhere(&self, id: ValueId) -> bool {
         let v = &self.slab[id as usize];
-        v.state[..self.n_clusters].iter().any(|s| *s == CopyState::Ready)
+        v.state[..self.n_clusters].contains(&CopyState::Ready)
     }
 
     /// Home cluster of the value.
@@ -264,7 +268,12 @@ impl ValueTable {
         self.slab
             .iter()
             .filter(|v| v.live)
-            .map(|v| v.state[..self.n_clusters].iter().filter(|s| **s != CopyState::Absent).count())
+            .map(|v| {
+                v.state[..self.n_clusters]
+                    .iter()
+                    .filter(|s| **s != CopyState::Absent)
+                    .count()
+            })
             .sum()
     }
 }
@@ -370,7 +379,10 @@ mod tests {
         t.add_reader(v, 2);
         t.mark_ready(v, 2);
         t.reader_done(v, 2, true); // releases
-        assert!(!t.mark_ready(v, 2), "ready on a released copy must be ignored");
+        assert!(
+            !t.mark_ready(v, 2),
+            "ready on a released copy must be ignored"
+        );
     }
 
     #[test]

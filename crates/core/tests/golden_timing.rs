@@ -2,11 +2,17 @@
 //! hand-analyzable programs. These pin the timing model's semantics — if
 //! any of them moves, a model change (intended or not) happened and
 //! MODEL_VERSION in rcmc-sim must be bumped.
+//!
+//! Bootstrap triage (first run of this suite, workspace bootstrap PR): all
+//! five goldens pass against the model as-is, so every bound below is the
+//! verified behaviour of the current pipeline — none needed a
+//! model-vs-expectation verdict. The programs are hand-assembled (no seeded
+//! randomness), so the in-tree `rand` stand-in does not affect them.
 
 use rcmc_asm::Asm;
+use rcmc_core::{Core, CoreConfig, Steering, Topology};
 use rcmc_emu::{trace_program, DynInsn};
 use rcmc_isa::Reg;
-use rcmc_core::{Core, CoreConfig, Steering, Topology};
 use rcmc_uarch::{MemConfig, PredictorConfig};
 
 fn r(n: u8) -> Reg {
@@ -43,7 +49,9 @@ fn warm_serial_chain_cpi_is_one() {
     a.addi(r(9), r(9), -1);
     a.bne(r(9), r(0), top);
     a.halt();
-    let t = trace_program(&a.assemble().unwrap(), 1 << 14).unwrap().insns;
+    let t = trace_program(&a.assemble().unwrap(), 1 << 14)
+        .unwrap()
+        .insns;
     let s = run(ring(8), &t);
     // 64 iterations x 18 instructions + 2 movi; chain-limited: ~1 cycle per
     // chain instruction. Allow only the pipeline-fill + icache-warmup slack.
@@ -105,7 +113,13 @@ fn committed_counts_are_exact() {
         (Topology::Conv, Steering::Ssa),
     ] {
         let s = run(
-            CoreConfig { topology, steering, regs_int: 64, regs_fp: 64, ..ring(4) },
+            CoreConfig {
+                topology,
+                steering,
+                regs_int: 64,
+                regs_fp: 64,
+                ..ring(4)
+            },
             &t,
         );
         assert_eq!(s.committed, t.len() as u64 - 1, "{topology:?}/{steering:?}");
@@ -169,7 +183,9 @@ fn cache_misses_cost_cycles() {
         a.addi(r(9), r(9), -1);
         a.bne(r(9), r(0), top);
         a.halt();
-        trace_program(&a.assemble().unwrap(), 1 << 14).unwrap().insns
+        trace_program(&a.assemble().unwrap(), 1 << 14)
+            .unwrap()
+            .insns
     };
     // Same instruction count; "hot" revisits the same 8 pages every
     // iteration, "cold" walks fresh pages each time.

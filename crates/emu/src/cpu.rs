@@ -60,7 +60,13 @@ impl Cpu {
         for seg in &program.data {
             mem.write_bytes(seg.addr, &seg.bytes);
         }
-        Cpu { pc: program.entry, int: [0; 32], fp: [0.0; 32], mem, halted: false }
+        Cpu {
+            pc: program.entry,
+            int: [0; 32],
+            fp: [0.0; 32],
+            mem,
+            halted: false,
+        }
     }
 
     #[inline]
@@ -116,50 +122,157 @@ impl Cpu {
 
         use Opcode::*;
         match insn.op {
-            Add => { let v = self.ri(insn.rs1).wrapping_add(self.ri(insn.rs2)); self.wi(insn.rd, v) }
-            Sub => { let v = self.ri(insn.rs1).wrapping_sub(self.ri(insn.rs2)); self.wi(insn.rd, v) }
-            And => { let v = self.ri(insn.rs1) & self.ri(insn.rs2); self.wi(insn.rd, v) }
-            Or => { let v = self.ri(insn.rs1) | self.ri(insn.rs2); self.wi(insn.rd, v) }
-            Xor => { let v = self.ri(insn.rs1) ^ self.ri(insn.rs2); self.wi(insn.rd, v) }
-            Sll => { let v = self.ri(insn.rs1) << (self.ri(insn.rs2) & 63); self.wi(insn.rd, v) }
-            Srl => { let v = ((self.ri(insn.rs1) as u64) >> (self.ri(insn.rs2) & 63)) as i64; self.wi(insn.rd, v) }
-            Sra => { let v = self.ri(insn.rs1) >> (self.ri(insn.rs2) & 63); self.wi(insn.rd, v) }
-            Slt => { let v = (self.ri(insn.rs1) < self.ri(insn.rs2)) as i64; self.wi(insn.rd, v) }
-            Sltu => { let v = ((self.ri(insn.rs1) as u64) < (self.ri(insn.rs2) as u64)) as i64; self.wi(insn.rd, v) }
-            Addi => { let v = self.ri(insn.rs1).wrapping_add(imm); self.wi(insn.rd, v) }
-            Andi => { let v = self.ri(insn.rs1) & imm; self.wi(insn.rd, v) }
-            Ori => { let v = self.ri(insn.rs1) | imm; self.wi(insn.rd, v) }
-            Xori => { let v = self.ri(insn.rs1) ^ imm; self.wi(insn.rd, v) }
-            Slli => { let v = self.ri(insn.rs1) << (imm & 63); self.wi(insn.rd, v) }
-            Srli => { let v = ((self.ri(insn.rs1) as u64) >> (imm & 63)) as i64; self.wi(insn.rd, v) }
-            Srai => { let v = self.ri(insn.rs1) >> (imm & 63); self.wi(insn.rd, v) }
-            Slti => { let v = (self.ri(insn.rs1) < imm) as i64; self.wi(insn.rd, v) }
+            Add => {
+                let v = self.ri(insn.rs1).wrapping_add(self.ri(insn.rs2));
+                self.wi(insn.rd, v)
+            }
+            Sub => {
+                let v = self.ri(insn.rs1).wrapping_sub(self.ri(insn.rs2));
+                self.wi(insn.rd, v)
+            }
+            And => {
+                let v = self.ri(insn.rs1) & self.ri(insn.rs2);
+                self.wi(insn.rd, v)
+            }
+            Or => {
+                let v = self.ri(insn.rs1) | self.ri(insn.rs2);
+                self.wi(insn.rd, v)
+            }
+            Xor => {
+                let v = self.ri(insn.rs1) ^ self.ri(insn.rs2);
+                self.wi(insn.rd, v)
+            }
+            Sll => {
+                let v = self.ri(insn.rs1) << (self.ri(insn.rs2) & 63);
+                self.wi(insn.rd, v)
+            }
+            Srl => {
+                let v = ((self.ri(insn.rs1) as u64) >> (self.ri(insn.rs2) & 63)) as i64;
+                self.wi(insn.rd, v)
+            }
+            Sra => {
+                let v = self.ri(insn.rs1) >> (self.ri(insn.rs2) & 63);
+                self.wi(insn.rd, v)
+            }
+            Slt => {
+                let v = (self.ri(insn.rs1) < self.ri(insn.rs2)) as i64;
+                self.wi(insn.rd, v)
+            }
+            Sltu => {
+                let v = ((self.ri(insn.rs1) as u64) < (self.ri(insn.rs2) as u64)) as i64;
+                self.wi(insn.rd, v)
+            }
+            Addi => {
+                let v = self.ri(insn.rs1).wrapping_add(imm);
+                self.wi(insn.rd, v)
+            }
+            Andi => {
+                let v = self.ri(insn.rs1) & imm;
+                self.wi(insn.rd, v)
+            }
+            Ori => {
+                let v = self.ri(insn.rs1) | imm;
+                self.wi(insn.rd, v)
+            }
+            Xori => {
+                let v = self.ri(insn.rs1) ^ imm;
+                self.wi(insn.rd, v)
+            }
+            Slli => {
+                let v = self.ri(insn.rs1) << (imm & 63);
+                self.wi(insn.rd, v)
+            }
+            Srli => {
+                let v = ((self.ri(insn.rs1) as u64) >> (imm & 63)) as i64;
+                self.wi(insn.rd, v)
+            }
+            Srai => {
+                let v = self.ri(insn.rs1) >> (imm & 63);
+                self.wi(insn.rd, v)
+            }
+            Slti => {
+                let v = (self.ri(insn.rs1) < imm) as i64;
+                self.wi(insn.rd, v)
+            }
             Movi => self.wi(insn.rd, imm),
-            Mul => { let v = self.ri(insn.rs1).wrapping_mul(self.ri(insn.rs2)); self.wi(insn.rd, v) }
+            Mul => {
+                let v = self.ri(insn.rs1).wrapping_mul(self.ri(insn.rs2));
+                self.wi(insn.rd, v)
+            }
             Div => {
                 let d = self.ri(insn.rs2);
-                let v = if d == 0 { 0 } else { self.ri(insn.rs1).wrapping_div(d) };
+                let v = if d == 0 {
+                    0
+                } else {
+                    self.ri(insn.rs1).wrapping_div(d)
+                };
                 self.wi(insn.rd, v)
             }
             Rem => {
                 let d = self.ri(insn.rs2);
-                let v = if d == 0 { 0 } else { self.ri(insn.rs1).wrapping_rem(d) };
+                let v = if d == 0 {
+                    0
+                } else {
+                    self.ri(insn.rs1).wrapping_rem(d)
+                };
                 self.wi(insn.rd, v)
             }
-            Fadd => { let v = self.rf(insn.rs1) + self.rf(insn.rs2); self.wf(insn.rd, v) }
-            Fsub => { let v = self.rf(insn.rs1) - self.rf(insn.rs2); self.wf(insn.rd, v) }
-            Fmul => { let v = self.rf(insn.rs1) * self.rf(insn.rs2); self.wf(insn.rd, v) }
-            Fdiv => { let v = self.rf(insn.rs1) / self.rf(insn.rs2); self.wf(insn.rd, v) }
-            Fmin => { let v = self.rf(insn.rs1).min(self.rf(insn.rs2)); self.wf(insn.rd, v) }
-            Fmax => { let v = self.rf(insn.rs1).max(self.rf(insn.rs2)); self.wf(insn.rd, v) }
-            Fneg => { let v = -self.rf(insn.rs1); self.wf(insn.rd, v) }
-            Fabs => { let v = self.rf(insn.rs1).abs(); self.wf(insn.rd, v) }
-            Fcvtif => { let v = self.ri(insn.rs1) as f64; self.wf(insn.rd, v) }
-            Fcvtfi => { let v = self.rf(insn.rs1) as i64; self.wi(insn.rd, v) }
-            Fcmplt => { let v = (self.rf(insn.rs1) < self.rf(insn.rs2)) as i64; self.wi(insn.rd, v) }
-            Fcmple => { let v = (self.rf(insn.rs1) <= self.rf(insn.rs2)) as i64; self.wi(insn.rd, v) }
-            Fcmpeq => { let v = (self.rf(insn.rs1) == self.rf(insn.rs2)) as i64; self.wi(insn.rd, v) }
-            Fmov => { let v = self.rf(insn.rs1); self.wf(insn.rd, v) }
+            Fadd => {
+                let v = self.rf(insn.rs1) + self.rf(insn.rs2);
+                self.wf(insn.rd, v)
+            }
+            Fsub => {
+                let v = self.rf(insn.rs1) - self.rf(insn.rs2);
+                self.wf(insn.rd, v)
+            }
+            Fmul => {
+                let v = self.rf(insn.rs1) * self.rf(insn.rs2);
+                self.wf(insn.rd, v)
+            }
+            Fdiv => {
+                let v = self.rf(insn.rs1) / self.rf(insn.rs2);
+                self.wf(insn.rd, v)
+            }
+            Fmin => {
+                let v = self.rf(insn.rs1).min(self.rf(insn.rs2));
+                self.wf(insn.rd, v)
+            }
+            Fmax => {
+                let v = self.rf(insn.rs1).max(self.rf(insn.rs2));
+                self.wf(insn.rd, v)
+            }
+            Fneg => {
+                let v = -self.rf(insn.rs1);
+                self.wf(insn.rd, v)
+            }
+            Fabs => {
+                let v = self.rf(insn.rs1).abs();
+                self.wf(insn.rd, v)
+            }
+            Fcvtif => {
+                let v = self.ri(insn.rs1) as f64;
+                self.wf(insn.rd, v)
+            }
+            Fcvtfi => {
+                let v = self.rf(insn.rs1) as i64;
+                self.wi(insn.rd, v)
+            }
+            Fcmplt => {
+                let v = (self.rf(insn.rs1) < self.rf(insn.rs2)) as i64;
+                self.wi(insn.rd, v)
+            }
+            Fcmple => {
+                let v = (self.rf(insn.rs1) <= self.rf(insn.rs2)) as i64;
+                self.wi(insn.rd, v)
+            }
+            Fcmpeq => {
+                let v = (self.rf(insn.rs1) == self.rf(insn.rs2)) as i64;
+                self.wi(insn.rd, v)
+            }
+            Fmov => {
+                let v = self.rf(insn.rs1);
+                self.wf(insn.rd, v)
+            }
             Ld => {
                 mem_addr = (self.ri(insn.rs1).wrapping_add(imm)) as u64;
                 let v = self.mem.read_u64(mem_addr) as i64;
@@ -180,10 +293,18 @@ impl Cpu {
                 let v = self.rf(insn.rs2);
                 self.mem.write_f64(mem_addr, v);
             }
-            Beq => { taken = self.ri(insn.rs1) == self.ri(insn.rs2); }
-            Bne => { taken = self.ri(insn.rs1) != self.ri(insn.rs2); }
-            Blt => { taken = self.ri(insn.rs1) < self.ri(insn.rs2); }
-            Bge => { taken = self.ri(insn.rs1) >= self.ri(insn.rs2); }
+            Beq => {
+                taken = self.ri(insn.rs1) == self.ri(insn.rs2);
+            }
+            Bne => {
+                taken = self.ri(insn.rs1) != self.ri(insn.rs2);
+            }
+            Blt => {
+                taken = self.ri(insn.rs1) < self.ri(insn.rs2);
+            }
+            Bge => {
+                taken = self.ri(insn.rs1) >= self.ri(insn.rs2);
+            }
             Jal => {
                 self.wi(insn.rd, (pc + 1) as i64);
                 next_pc = insn.branch_target(pc);
@@ -204,7 +325,13 @@ impl Cpu {
         }
         self.pc = next_pc;
         self.int[0] = 0;
-        Ok(Some(StepOut { pc, insn, next_pc, taken, mem_addr }))
+        Ok(Some(StepOut {
+            pc,
+            insn,
+            next_pc,
+            taken,
+            mem_addr,
+        }))
     }
 }
 
@@ -214,7 +341,11 @@ mod tests {
     use rcmc_isa::Reg;
 
     fn run(src_insns: Vec<Insn>) -> Cpu {
-        let p = Program { insns: src_insns, data: vec![], entry: 0 };
+        let p = Program {
+            insns: src_insns,
+            data: vec![],
+            entry: 0,
+        };
         let mut cpu = Cpu::new(&p);
         for _ in 0..10_000 {
             if cpu.step(&p).unwrap().is_none() {
@@ -269,9 +400,9 @@ mod tests {
         // sum 1..=5 via blt loop
         let r = |n| Some(Reg::int(n));
         let cpu = run(vec![
-            mk(Opcode::Movi, r(1), None, None, 0),  // i
-            mk(Opcode::Movi, r(2), None, None, 0),  // sum
-            mk(Opcode::Movi, r(3), None, None, 5),  // n
+            mk(Opcode::Movi, r(1), None, None, 0), // i
+            mk(Opcode::Movi, r(2), None, None, 0), // sum
+            mk(Opcode::Movi, r(3), None, None, 5), // n
             // loop:
             mk(Opcode::Addi, r(1), r(1), None, 1),
             mk(Opcode::Add, r(2), r(2), r(1), 0),
@@ -347,7 +478,11 @@ mod tests {
 
     #[test]
     fn pc_out_of_range_detected() {
-        let p = Program { insns: vec![Insn::nop()], data: vec![], entry: 0 };
+        let p = Program {
+            insns: vec![Insn::nop()],
+            data: vec![],
+            entry: 0,
+        };
         let mut cpu = Cpu::new(&p);
         cpu.step(&p).unwrap();
         assert_eq!(cpu.step(&p), Err(EmuError::PcOutOfRange(1)));
@@ -355,7 +490,11 @@ mod tests {
 
     #[test]
     fn halted_cpu_stays_halted() {
-        let p = Program { insns: vec![Insn::halt()], data: vec![], entry: 0 };
+        let p = Program {
+            insns: vec![Insn::halt()],
+            data: vec![],
+            entry: 0,
+        };
         let mut cpu = Cpu::new(&p);
         assert!(cpu.step(&p).unwrap().is_some());
         assert_eq!(cpu.step(&p).unwrap(), None);

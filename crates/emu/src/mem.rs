@@ -26,7 +26,9 @@ impl Memory {
     }
 
     fn page_mut(&mut self, addr: u64) -> &mut [u8; PAGE_SIZE] {
-        self.pages.entry(addr >> PAGE_SHIFT).or_insert_with(|| Box::new([0u8; PAGE_SIZE]))
+        self.pages
+            .entry(addr >> PAGE_SHIFT)
+            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]))
     }
 
     /// Read one byte.
@@ -45,7 +47,10 @@ impl Memory {
     /// Read an aligned little-endian u64. Panics on misalignment (the ISA
     /// only produces aligned accesses; generators must uphold this).
     pub fn read_u64(&self, addr: u64) -> u64 {
-        assert!(addr % 8 == 0, "misaligned 8-byte read at {addr:#x}");
+        assert!(
+            addr.is_multiple_of(8),
+            "misaligned 8-byte read at {addr:#x}"
+        );
         let off = (addr & PAGE_MASK) as usize;
         match self.pages.get(&(addr >> PAGE_SHIFT)) {
             Some(p) => u64::from_le_bytes(p[off..off + 8].try_into().unwrap()),
@@ -55,7 +60,10 @@ impl Memory {
 
     /// Write an aligned little-endian u64.
     pub fn write_u64(&mut self, addr: u64, v: u64) {
-        assert!(addr % 8 == 0, "misaligned 8-byte write at {addr:#x}");
+        assert!(
+            addr.is_multiple_of(8),
+            "misaligned 8-byte write at {addr:#x}"
+        );
         let off = (addr & PAGE_MASK) as usize;
         self.page_mut(addr)[off..off + 8].copy_from_slice(&v.to_le_bytes());
     }

@@ -94,7 +94,11 @@ pub fn trace_program(program: &Program, max_insns: usize) -> Result<Trace, Trace
             None => break,
         }
     }
-    Ok(Trace { insns, halted: cpu.halted, static_insns: program.insns.len() })
+    Ok(Trace {
+        insns,
+        halted: cpu.halted,
+        static_insns: program.insns.len(),
+    })
 }
 
 #[cfg(test)]
@@ -152,7 +156,11 @@ mod tests {
 
     #[test]
     fn dyninsn_is_compact() {
-        assert!(std::mem::size_of::<DynInsn>() <= 40, "DynInsn grew: {}", std::mem::size_of::<DynInsn>());
+        assert!(
+            std::mem::size_of::<DynInsn>() <= 40,
+            "DynInsn grew: {}",
+            std::mem::size_of::<DynInsn>()
+        );
     }
 
     #[test]

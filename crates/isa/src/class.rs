@@ -97,7 +97,10 @@ impl InsnClass {
     /// (they are dispatched and committed but never issued).
     pub fn fu(self) -> Option<FuKind> {
         match self {
-            InsnClass::IntAlu | InsnClass::Branch | InsnClass::Jump | InsnClass::Load
+            InsnClass::IntAlu
+            | InsnClass::Branch
+            | InsnClass::Jump
+            | InsnClass::Load
             | InsnClass::Store => Some(FuKind::IntAlu),
             InsnClass::IntMul | InsnClass::IntDiv => Some(FuKind::IntMulDiv),
             InsnClass::FpAlu => Some(FuKind::FpAlu),

@@ -68,13 +68,19 @@ pub fn encode(i: &Insn) -> u64 {
 
 /// Decode a 64-bit word; validates the operand signature.
 pub fn decode(word: u64) -> Result<Insn, DecodeError> {
-    let op = Opcode::from_u8((word & 0xff) as u8)
-        .ok_or(DecodeError::BadOpcode((word & 0xff) as u8))?;
+    let op =
+        Opcode::from_u8((word & 0xff) as u8).ok_or(DecodeError::BadOpcode((word & 0xff) as u8))?;
     let rd = byte_reg(((word >> 8) & 0xff) as u8)?;
     let rs1 = byte_reg(((word >> 16) & 0xff) as u8)?;
     let rs2 = byte_reg(((word >> 24) & 0xff) as u8)?;
     let imm = (word >> 32) as u32 as i32;
-    let insn = Insn { op, rd, rs1, rs2, imm };
+    let insn = Insn {
+        op,
+        rd,
+        rs1,
+        rs2,
+        imm,
+    };
     insn.validate().map_err(|_| DecodeError::BadOperands)?;
     Ok(insn)
 }
@@ -86,7 +92,13 @@ mod tests {
 
     #[test]
     fn roundtrip_simple() {
-        let i = Insn::new(Opcode::Addi, Some(Reg::int(7)), Some(Reg::int(3)), None, -42);
+        let i = Insn::new(
+            Opcode::Addi,
+            Some(Reg::int(7)),
+            Some(Reg::int(3)),
+            None,
+            -42,
+        );
         assert_eq!(decode(encode(&i)).unwrap(), i);
     }
 
@@ -105,7 +117,10 @@ mod tests {
     #[test]
     fn bad_operands_detected() {
         // nop with an rd present
-        let w = (Opcode::Nop as u8 as u64) | (1u64 << 8) | ((NO_REG as u64) << 16) | ((NO_REG as u64) << 24);
+        let w = (Opcode::Nop as u8 as u64)
+            | (1u64 << 8)
+            | ((NO_REG as u64) << 16)
+            | ((NO_REG as u64) << 24);
         assert_eq!(decode(w), Err(DecodeError::BadOperands));
     }
 
@@ -118,11 +133,23 @@ mod tests {
     /// Strategy producing arbitrary *valid* instructions: pick an opcode, fill
     /// the signature with random in-range registers and a random immediate.
     pub fn arb_insn() -> impl Strategy<Value = Insn> {
-        (0..Opcode::ALL.len(), 0u8..32, 0u8..32, 0u8..32, any::<i32>()).prop_map(
-            |(opi, a, b, c, imm)| {
+        (
+            0..Opcode::ALL.len(),
+            0u8..32,
+            0u8..32,
+            0u8..32,
+            any::<i32>(),
+        )
+            .prop_map(|(opi, a, b, c, imm)| {
                 let op = Opcode::ALL[opi];
                 // Build via the signature table to stay valid.
-                let probe = Insn { op, rd: None, rs1: None, rs2: None, imm };
+                let probe = Insn {
+                    op,
+                    rd: None,
+                    rs1: None,
+                    rs2: None,
+                    imm,
+                };
                 // Use validation errors to discover which slots are needed and
                 // of which bank — simple approach: try the four bank combos.
                 let candidates = [
@@ -140,14 +167,18 @@ mod tests {
                     (None, None, None),
                 ];
                 for (rd, rs1, rs2) in candidates {
-                    let i = Insn { rd, rs1, rs2, ..probe };
+                    let i = Insn {
+                        rd,
+                        rs1,
+                        rs2,
+                        ..probe
+                    };
                     if i.validate().is_ok() {
                         return i;
                     }
                 }
                 unreachable!("no valid operand combination for {op:?}")
-            },
-        )
+            })
     }
 
     proptest! {

@@ -98,7 +98,13 @@ impl Insn {
     /// Construct and validate; panics on an invalid combination. Intended for
     /// tests and generators where validity is a programming invariant.
     pub fn new(op: Opcode, rd: Option<Reg>, rs1: Option<Reg>, rs2: Option<Reg>, imm: i32) -> Self {
-        let i = Insn { op, rd, rs1, rs2, imm };
+        let i = Insn {
+            op,
+            rd,
+            rs1,
+            rs2,
+            imm,
+        };
         if let Err(e) = i.validate() {
             panic!("invalid instruction {i:?}: {e}");
         }
@@ -107,12 +113,24 @@ impl Insn {
 
     /// A `nop`.
     pub fn nop() -> Self {
-        Insn { op: Opcode::Nop, rd: None, rs1: None, rs2: None, imm: 0 }
+        Insn {
+            op: Opcode::Nop,
+            rd: None,
+            rs1: None,
+            rs2: None,
+            imm: 0,
+        }
     }
 
     /// A `halt`.
     pub fn halt() -> Self {
-        Insn { op: Opcode::Halt, rd: None, rs1: None, rs2: None, imm: 0 }
+        Insn {
+            op: Opcode::Halt,
+            rd: None,
+            rs1: None,
+            rs2: None,
+            imm: 0,
+        }
     }
 
     /// Check that operand kinds match the opcode signature.
@@ -176,7 +194,13 @@ impl fmt::Display for Insn {
             Nop | Halt => write!(f, "{m}"),
             Movi => write!(f, "{m} {}, {}", self.rd.unwrap(), self.imm),
             Addi | Andi | Ori | Xori | Slli | Srli | Srai | Slti => {
-                write!(f, "{m} {}, {}, {}", self.rd.unwrap(), self.rs1.unwrap(), self.imm)
+                write!(
+                    f,
+                    "{m} {}, {}, {}",
+                    self.rd.unwrap(),
+                    self.rs1.unwrap(),
+                    self.imm
+                )
             }
             Ld | Fld => write!(
                 f,
@@ -200,7 +224,13 @@ impl fmt::Display for Insn {
                 self.imm
             ),
             Jal => write!(f, "{m} {}, {:+}", self.rd.unwrap(), self.imm),
-            Jalr => write!(f, "{m} {}, {}, {}", self.rd.unwrap(), self.rs1.unwrap(), self.imm),
+            Jalr => write!(
+                f,
+                "{m} {}, {}, {}",
+                self.rd.unwrap(),
+                self.rs1.unwrap(),
+                self.imm
+            ),
             Fneg | Fabs | Fmov | Fcvtif | Fcvtfi => {
                 write!(f, "{m} {}, {}", self.rd.unwrap(), self.rs1.unwrap())
             }
@@ -235,19 +265,37 @@ mod tests {
 
     #[test]
     fn invalid_bank_rejected() {
-        let i = Insn { op: Opcode::Add, rd: fr(1), rs1: r(2), rs2: r(3), imm: 0 };
+        let i = Insn {
+            op: Opcode::Add,
+            rd: fr(1),
+            rs1: r(2),
+            rs2: r(3),
+            imm: 0,
+        };
         assert_eq!(i.validate(), Err(ValidationError::WrongBank("rd")));
     }
 
     #[test]
     fn missing_operand_rejected() {
-        let i = Insn { op: Opcode::Add, rd: r(1), rs1: None, rs2: r(3), imm: 0 };
+        let i = Insn {
+            op: Opcode::Add,
+            rd: r(1),
+            rs1: None,
+            rs2: r(3),
+            imm: 0,
+        };
         assert_eq!(i.validate(), Err(ValidationError::MissingOperand("rs1")));
     }
 
     #[test]
     fn unexpected_operand_rejected() {
-        let i = Insn { op: Opcode::Nop, rd: r(1), rs1: None, rs2: None, imm: 0 };
+        let i = Insn {
+            op: Opcode::Nop,
+            rd: r(1),
+            rs1: None,
+            rs2: None,
+            imm: 0,
+        };
         assert_eq!(i.validate(), Err(ValidationError::UnexpectedOperand("rd")));
     }
 
@@ -284,9 +332,18 @@ mod tests {
 
     #[test]
     fn display_forms() {
-        assert_eq!(Insn::new(Opcode::Movi, r(4), None, None, -7).to_string(), "movi r4, -7");
-        assert_eq!(Insn::new(Opcode::Addi, r(4), r(5), None, 8).to_string(), "addi r4, r5, 8");
-        assert_eq!(Insn::new(Opcode::Ld, r(4), r(5), None, 24).to_string(), "ld r4, 24(r5)");
+        assert_eq!(
+            Insn::new(Opcode::Movi, r(4), None, None, -7).to_string(),
+            "movi r4, -7"
+        );
+        assert_eq!(
+            Insn::new(Opcode::Addi, r(4), r(5), None, 8).to_string(),
+            "addi r4, r5, 8"
+        );
+        assert_eq!(
+            Insn::new(Opcode::Ld, r(4), r(5), None, 24).to_string(),
+            "ld r4, 24(r5)"
+        );
         assert_eq!(
             Insn::new(Opcode::Beq, None, r(1), r(2), -2).to_string(),
             "beq r1, r2, -2"
@@ -309,7 +366,13 @@ mod tests {
                 Bank::F => Some(Reg::fp(n)),
                 Bank::N => None,
             };
-            let i = Insn { op, rd: mk(bd, 1), rs1: mk(b1, 2), rs2: mk(b2, 3), imm: 0 };
+            let i = Insn {
+                op,
+                rd: mk(bd, 1),
+                rs1: mk(b1, 2),
+                rs2: mk(b2, 3),
+                imm: 0,
+            };
             assert!(i.validate().is_ok(), "canonical form of {op:?} invalid");
             // Display must never panic.
             let _ = i.to_string();

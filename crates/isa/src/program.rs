@@ -65,14 +65,21 @@ mod tests {
     fn validate_catches_bad_instruction() {
         let mut p = Program::default();
         p.insns.push(Insn::nop());
-        p.insns.push(Insn { op: Opcode::Add, rd: None, rs1: None, rs2: None, imm: 0 });
+        p.insns.push(Insn {
+            op: Opcode::Add,
+            rd: None,
+            rs1: None,
+            rs2: None,
+            imm: 0,
+        });
         assert!(matches!(p.validate(), Err((1, _))));
     }
 
     #[test]
     fn disassembly_lists_every_insn() {
         let mut p = Program::default();
-        p.insns.push(Insn::new(Opcode::Movi, Some(Reg::int(1)), None, None, 3));
+        p.insns
+            .push(Insn::new(Opcode::Movi, Some(Reg::int(1)), None, None, 3));
         p.insns.push(Insn::halt());
         let d = p.disassemble();
         assert!(d.contains("movi r1, 3"));
@@ -83,8 +90,14 @@ mod tests {
     #[test]
     fn data_len_sums_segments() {
         let mut p = Program::default();
-        p.data.push(DataSeg { addr: DATA_BASE, bytes: vec![0; 16] });
-        p.data.push(DataSeg { addr: DATA_BASE + 64, bytes: vec![1; 8] });
+        p.data.push(DataSeg {
+            addr: DATA_BASE,
+            bytes: vec![0; 16],
+        });
+        p.data.push(DataSeg {
+            addr: DATA_BASE + 64,
+            bytes: vec![1; 8],
+        });
         assert_eq!(p.data_len(), 24);
     }
 }

@@ -25,7 +25,10 @@ impl Reg {
     /// Integer register constructor; panics if `n >= 32`.
     #[inline]
     pub fn int(n: u8) -> Self {
-        assert!((n as usize) < NUM_INT_REGS, "integer register out of range: r{n}");
+        assert!(
+            (n as usize) < NUM_INT_REGS,
+            "integer register out of range: r{n}"
+        );
         Reg::Int(n)
     }
 
@@ -68,7 +71,10 @@ impl Reg {
     /// Inverse of [`Reg::unified`]; panics if out of range.
     #[inline]
     pub fn from_unified(idx: usize) -> Self {
-        assert!(idx < NUM_ARCH_REGS, "unified register index out of range: {idx}");
+        assert!(
+            idx < NUM_ARCH_REGS,
+            "unified register index out of range: {idx}"
+        );
         if idx < NUM_INT_REGS {
             Reg::Int(idx as u8)
         } else {

@@ -148,7 +148,12 @@ impl AreaModel {
             // Square blocks, as the paper assumes.
             _ => (area.sqrt(), area.sqrt()),
         };
-        BlockArea { component: c, area, height, width }
+        BlockArea {
+            component: c,
+            area,
+            height,
+            width,
+        }
     }
 
     /// The Table 1 rows. The comm-queue row is doubled (INT + FP comm
@@ -220,9 +225,15 @@ mod tests {
         // value is 8,006,400 — within 3.5% of 2× our formula (rounding in
         // the original bit counts).
         let t1 = m.table1();
-        let cq = t1.iter().find(|b| b.component == Component::CommQueue).unwrap();
+        let cq = t1
+            .iter()
+            .find(|b| b.component == Component::CommQueue)
+            .unwrap();
         let rel = (cq.area - 8_006_400.0).abs() / 8_006_400.0;
-        assert!(rel < 0.04, "doubled comm queue within 4% of the paper ({rel:.3})");
+        assert!(
+            rel < 0.04,
+            "doubled comm queue within 4% of the paper ({rel:.3})"
+        );
     }
 
     #[test]

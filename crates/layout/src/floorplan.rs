@@ -102,7 +102,13 @@ pub fn module_floorplan(model: &AreaModel, kind: ModuleKind) -> Floorplan {
     let mut blocks = Vec::new();
     let mut y = 0.0;
     for b in [&rf, &iq, &cq, &cq, &iq, &rf] {
-        blocks.push(PlacedBlock { component: b.component, x: 0.0, y, w: b.width, h: b.height });
+        blocks.push(PlacedBlock {
+            component: b.component,
+            x: 0.0,
+            y,
+            w: b.width,
+            h: b.height,
+        });
         y += b.height;
     }
     let left_h = y;
@@ -110,7 +116,13 @@ pub fn module_floorplan(model: &AreaModel, kind: ModuleKind) -> Floorplan {
     let mut y = 0.0;
     let fu_x = input_col;
     for b in [&alu, &mult, &fpu] {
-        blocks.push(PlacedBlock { component: b.component, x: fu_x, y, w: b.width, h: b.height });
+        blocks.push(PlacedBlock {
+            component: b.component,
+            x: fu_x,
+            y,
+            w: b.width,
+            h: b.height,
+        });
         y += b.height;
     }
     let fu_band = y;
@@ -146,7 +158,13 @@ pub fn split_ring_floorplan(model: &AreaModel, kind: ModuleKind, fp: bool) -> Fl
     let mut blocks = Vec::new();
     let mut y = 0.0;
     for b in [&rf, &iq, &cq] {
-        blocks.push(PlacedBlock { component: b.component, x: 0.0, y, w: b.width, h: b.height });
+        blocks.push(PlacedBlock {
+            component: b.component,
+            x: 0.0,
+            y,
+            w: b.width,
+            h: b.height,
+        });
         y += b.height;
     }
     let left_h = y;
@@ -195,7 +213,11 @@ pub fn split_ring_floorplan(model: &AreaModel, kind: ModuleKind, fp: bool) -> Fl
     };
     Floorplan {
         kind,
-        ring: if fp { RingKind::SplitFp } else { RingKind::SplitInt },
+        ring: if fp {
+            RingKind::SplitFp
+        } else {
+            RingKind::SplitInt
+        },
         blocks,
         width,
         height,
@@ -210,12 +232,22 @@ pub fn split_ring_floorplan(model: &AreaModel, kind: ModuleKind, fp: bool) -> Fl
 
 /// Maximum integer-data wire length from `from`'s outputs to `to`'s inputs.
 pub fn max_wire_int(from: &Floorplan, to: &Floorplan) -> f64 {
-    max_wire(&from.int_out, &to.int_in, to, from.kind == ModuleKind::Corner || to.kind == ModuleKind::Corner)
+    max_wire(
+        &from.int_out,
+        &to.int_in,
+        to,
+        from.kind == ModuleKind::Corner || to.kind == ModuleKind::Corner,
+    )
 }
 
 /// Maximum FP-data wire length from `from`'s outputs to `to`'s inputs.
 pub fn max_wire_fp(from: &Floorplan, to: &Floorplan) -> f64 {
-    max_wire(&from.fp_out, &to.fp_in, to, from.kind == ModuleKind::Corner || to.kind == ModuleKind::Corner)
+    max_wire(
+        &from.fp_out,
+        &to.fp_in,
+        to,
+        from.kind == ModuleKind::Corner || to.kind == ModuleKind::Corner,
+    )
 }
 
 fn max_wire(outs: &[f64], ins: &[f64], to: &Floorplan, through_corner: bool) -> f64 {
@@ -322,7 +354,11 @@ mod tests {
         let m = AreaModel::default();
         let s = module_floorplan(&m, ModuleKind::Straight);
         let c = module_floorplan(&m, ModuleKind::Corner);
-        for d in [max_wire_int(&s, &s), max_wire_fp(&s, &c), max_wire_int(&c, &s)] {
+        for d in [
+            max_wire_int(&s, &s),
+            max_wire_fp(&s, &c),
+            max_wire_int(&c, &s),
+        ] {
             assert!(d < 2.0 * (s.width + s.height));
             assert!(d > 0.0);
         }

@@ -44,29 +44,58 @@ impl RingPlacement {
 
     /// Count of straight / corner modules needed.
     pub fn module_counts(&self) -> (usize, usize) {
-        let straight = self.sites.iter().filter(|s| s.kind == ModuleKind::Straight).count();
+        let straight = self
+            .sites
+            .iter()
+            .filter(|s| s.kind == ModuleKind::Straight)
+            .count();
         (straight, self.sites.len() - straight)
     }
 }
 
 /// Place `n` clusters (4 or 8, or any even count ≥ 4) as a two-row ring.
 pub fn ring_placement(n: usize) -> RingPlacement {
-    assert!(n >= 4 && n % 2 == 0, "ring placement needs an even cluster count >= 4");
+    assert!(
+        n >= 4 && n.is_multiple_of(2),
+        "ring placement needs an even cluster count >= 4"
+    );
     let cols = n / 2;
     let mut sites = Vec::with_capacity(n);
     // Top row left→right, then bottom row right→left.
     for c in 0..cols {
-        let kind = if c == 0 || c == cols - 1 { ModuleKind::Corner } else { ModuleKind::Straight };
-        sites.push(ClusterSite { cluster: c, col: c, row: 0, kind });
+        let kind = if c == 0 || c == cols - 1 {
+            ModuleKind::Corner
+        } else {
+            ModuleKind::Straight
+        };
+        sites.push(ClusterSite {
+            cluster: c,
+            col: c,
+            row: 0,
+            kind,
+        });
     }
     for c in (0..cols).rev() {
-        let kind = if c == 0 || c == cols - 1 { ModuleKind::Corner } else { ModuleKind::Straight };
-        sites.push(ClusterSite { cluster: 2 * cols - 1 - c, col: c, row: 1, kind });
+        let kind = if c == 0 || c == cols - 1 {
+            ModuleKind::Corner
+        } else {
+            ModuleKind::Straight
+        };
+        sites.push(ClusterSite {
+            cluster: 2 * cols - 1 - c,
+            col: c,
+            row: 1,
+            kind,
+        });
     }
     for (i, s) in sites.iter_mut().enumerate() {
         s.cluster = i;
     }
-    RingPlacement { sites, cols, rows: 2 }
+    RingPlacement {
+        sites,
+        cols,
+        rows: 2,
+    }
 }
 
 #[cfg(test)]

@@ -5,9 +5,14 @@
 use rcmc_sim::{config, runner};
 
 fn main() {
-    let budget = runner::Budget { warmup: 5_000, measure: 60_000 };
+    let budget = runner::Budget {
+        warmup: 5_000,
+        measure: 60_000,
+    };
     let store = runner::ResultStore::ephemeral();
-    let benches = ["swim", "galgel", "ammp", "lucas", "mcf", "gcc", "gzip", "twolf"];
+    let benches = [
+        "swim", "galgel", "ammp", "lucas", "mcf", "gcc", "gzip", "twolf",
+    ];
     for thr in [2.0f64, 4.0, 6.0, 8.0, 12.0, 16.0, 24.0, 32.0] {
         let mut log_sum = 0.0;
         for b in benches {
@@ -17,6 +22,9 @@ fn main() {
             let r = runner::run_pair(&cfg, b, &budget, &store);
             log_sum += r.ipc.ln();
         }
-        println!("thr {thr:>5}: geomean IPC {:.4}", (log_sum / benches.len() as f64).exp());
+        println!(
+            "thr {thr:>5}: geomean IPC {:.4}",
+            (log_sum / benches.len() as f64).exp()
+        );
     }
 }

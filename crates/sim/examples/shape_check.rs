@@ -3,9 +3,14 @@ use rcmc_sim::{config, runner};
 use std::time::Instant;
 
 fn main() {
-    let budget = runner::Budget { warmup: 10_000, measure: 100_000 };
+    let budget = runner::Budget {
+        warmup: 10_000,
+        measure: 100_000,
+    };
     let store = runner::ResultStore::ephemeral();
-    let benches = ["swim", "galgel", "ammp", "equake", "mcf", "gcc", "gzip", "crafty"];
+    let benches = [
+        "swim", "galgel", "ammp", "equake", "mcf", "gcc", "gzip", "crafty",
+    ];
     let cfgs = [
         config::make(rcmc_core::Topology::Ring, 8, 2, 1),
         config::make(rcmc_core::Topology::Conv, 8, 2, 1),
@@ -19,7 +24,13 @@ fn main() {
             let r = runner::run_pair(cfg, b, &budget, &store);
             line += &format!(
                 "  {}: ipc {:.3} cpi-comm {:.3} dist {:.2} wait {:.2} nready {:.2} bmiss {:.3}",
-                &cfg.name[..4], r.ipc, r.comms_per_insn, r.dist_per_comm, r.wait_per_comm, r.nready, r.branch_miss_rate
+                &cfg.name[..4],
+                r.ipc,
+                r.comms_per_insn,
+                r.dist_per_comm,
+                r.wait_per_comm,
+                r.nready,
+                r.branch_miss_rate
             );
             ipcs.push(r.ipc);
             total_insns += r.committed;
@@ -28,5 +39,8 @@ fn main() {
         println!("{line}");
     }
     let dt = t0.elapsed().as_secs_f64();
-    println!("simulated {total_insns} instructions in {dt:.1}s = {:.2} M instr/s", total_insns as f64 / dt / 1e6);
+    println!(
+        "simulated {total_insns} instructions in {dt:.1}s = {:.2} M instr/s",
+        total_insns as f64 / dt / 1e6
+    );
 }

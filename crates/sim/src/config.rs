@@ -87,12 +87,21 @@ pub fn evaluated_configs() -> Vec<SimConfig> {
 /// `(ring_name, conv_name)` tuples in the paper's legend order.
 pub fn figure6_pairs() -> Vec<(String, String)> {
     use Topology::*;
-    [(4usize, 2usize, 1usize), (8, 1, 2), (8, 1, 1), (8, 2, 2), (8, 2, 1)]
-        .iter()
-        .map(|&(n, iw, b)| {
-            (config_name(Ring, n, iw, b, false), config_name(Conv, n, iw, b, false))
-        })
-        .collect()
+    [
+        (4usize, 2usize, 1usize),
+        (8, 1, 2),
+        (8, 1, 1),
+        (8, 2, 2),
+        (8, 2, 1),
+    ]
+    .iter()
+    .map(|&(n, iw, b)| {
+        (
+            config_name(Ring, n, iw, b, false),
+            config_name(Conv, n, iw, b, false),
+        )
+    })
+    .collect()
 }
 
 /// §4.6: the 8-cluster 2IW configurations with 2-cycle-per-hop buses.

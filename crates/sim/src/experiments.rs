@@ -72,22 +72,37 @@ fn metric_rows(
 pub fn figure6(results: &Results) -> Experiment {
     let rows = speedup_rows(results, &config::figure6_pairs());
     let text = report::render_speedups("Figure 6. Speedup of Ring over Conv", &rows);
-    Experiment { id: "Figure 6", text, rows }
+    Experiment {
+        id: "Figure 6",
+        text,
+        rows,
+    }
 }
 
 /// Figure 7: communications per instruction for all ten configurations.
 pub fn figure7(results: &Results) -> Experiment {
     let rows = metric_rows(results, &config::evaluated_configs(), |r| r.comms_per_insn);
-    let text =
-        report::render_grouped("Figure 7. Communications per instruction", "comms/insn", &rows);
-    Experiment { id: "Figure 7", text, rows }
+    let text = report::render_grouped(
+        "Figure 7. Communications per instruction",
+        "comms/insn",
+        &rows,
+    );
+    Experiment {
+        id: "Figure 7",
+        text,
+        rows,
+    }
 }
 
 /// Figure 8: average distance per communication.
 pub fn figure8(results: &Results) -> Experiment {
     let rows = metric_rows(results, &config::evaluated_configs(), |r| r.dist_per_comm);
     let text = report::render_grouped("Figure 8. Distance per communication", "hops", &rows);
-    Experiment { id: "Figure 8", text, rows }
+    Experiment {
+        id: "Figure 8",
+        text,
+        rows,
+    }
 }
 
 /// Figure 9: average bus-contention delay per communication.
@@ -98,7 +113,11 @@ pub fn figure9(results: &Results) -> Experiment {
         "wait cycles",
         &rows,
     );
-    Experiment { id: "Figure 9", text, rows }
+    Experiment {
+        id: "Figure 9",
+        text,
+        rows,
+    }
 }
 
 /// Figure 10: workload imbalance (NREADY).
@@ -109,7 +128,11 @@ pub fn figure10(results: &Results) -> Experiment {
         "insns/cycle",
         &rows,
     );
-    Experiment { id: "Figure 10", text, rows }
+    Experiment {
+        id: "Figure 10",
+        text,
+        rows,
+    }
 }
 
 /// Figure 11: per-benchmark dispatch distribution for `Ring_8clus_1bus_2IW`.
@@ -122,10 +145,21 @@ pub fn figure11(results: &Results) -> Experiment {
         .iter()
         .map(|r| {
             let mx = r.dispatch_shares.iter().copied().fold(0.0, f64::max);
-            (r.bench.clone(), GroupValues { avg: mx, int: 0.0, fp: 0.0 })
+            (
+                r.bench.clone(),
+                GroupValues {
+                    avg: mx,
+                    int: 0.0,
+                    fp: 0.0,
+                },
+            )
         })
         .collect();
-    Experiment { id: "Figure 11", text, rows }
+    Experiment {
+        id: "Figure 11",
+        text,
+        rows,
+    }
 }
 
 /// Figure 12: speedups with 1- and 2-cycle hop buses (8 clusters, 2IW).
@@ -137,18 +171,28 @@ pub fn figure12(results: &Results, results_2cyc: &Results) -> Experiment {
         let conv1 = config::config_name(Conv, 8, 2, n_buses, false);
         let rn = report::config_results(results, &ring1);
         let cn = report::config_results(results, &conv1);
-        rows.push((format!("{n_buses}bus_1cyclehop"), report::group_speedup(&rn, &cn)));
+        rows.push((
+            format!("{n_buses}bus_1cyclehop"),
+            report::group_speedup(&rn, &cn),
+        ));
         let ring2 = format!("{ring1}_2cyclehop");
         let conv2 = format!("{conv1}_2cyclehop");
         let rn = report::config_results(results_2cyc, &ring2);
         let cn = report::config_results(results_2cyc, &conv2);
-        rows.push((format!("{n_buses}bus_2cyclehop"), report::group_speedup(&rn, &cn)));
+        rows.push((
+            format!("{n_buses}bus_2cyclehop"),
+            report::group_speedup(&rn, &cn),
+        ));
     }
     let text = report::render_speedups(
         "Figure 12. Speedup of Ring over Conv for different bus latencies",
         &rows,
     );
-    Experiment { id: "Figure 12", text, rows }
+    Experiment {
+        id: "Figure 12",
+        text,
+        rows,
+    }
 }
 
 /// Figure 13: speedup of Ring+SSA over Conv+SSA.
@@ -159,7 +203,11 @@ pub fn figure13(ssa: &Results) -> Experiment {
         .collect();
     let rows = speedup_rows(ssa, &pairs);
     let text = report::render_speedups("Figure 13. Speedup of Ring+SSA over Conv+SSA", &rows);
-    Experiment { id: "Figure 13", text, rows }
+    Experiment {
+        id: "Figure 13",
+        text,
+        rows,
+    }
 }
 
 /// Figure 14: NREADY with the simple steering algorithm.
@@ -170,7 +218,11 @@ pub fn figure14(ssa: &Results) -> Experiment {
         "insns/cycle",
         &rows,
     );
-    Experiment { id: "Figure 14", text, rows }
+    Experiment {
+        id: "Figure 14",
+        text,
+        rows,
+    }
 }
 
 /// Table 1: the area model (from `rcmc-layout`).
@@ -198,10 +250,18 @@ pub fn table1() -> Experiment {
         );
         rows.push((
             b.component.name().to_string(),
-            GroupValues { avg: b.area, int: b.height, fp: b.width },
+            GroupValues {
+                avg: b.area,
+                int: b.height,
+                fp: b.width,
+            },
         ));
     }
-    Experiment { id: "Table 1", text, rows }
+    Experiment {
+        id: "Table 1",
+        text,
+        rows,
+    }
 }
 
 /// Figures 4–5: inter-module wire lengths vs the paper's reference values.
@@ -216,10 +276,22 @@ pub fn figure4_5() -> Experiment {
     let si = split_ring_floorplan(&m, ModuleKind::Straight, false);
     let sf = split_ring_floorplan(&m, ModuleKind::Straight, true);
     let entries = [
-        ("unified int, straight→straight", max_wire_int(&s, &s), 17_400.0),
+        (
+            "unified int, straight→straight",
+            max_wire_int(&s, &s),
+            17_400.0,
+        ),
         ("unified fp, straight→corner", max_wire_fp(&s, &c), 23_300.0),
-        ("split int ring, straight→straight", max_wire_int(&si, &si), 11_200.0),
-        ("split fp ring, straight→straight", max_wire_fp(&sf, &sf), 11_200.0),
+        (
+            "split int ring, straight→straight",
+            max_wire_int(&si, &si),
+            11_200.0,
+        ),
+        (
+            "split fp ring, straight→straight",
+            max_wire_fp(&sf, &sf),
+            11_200.0,
+        ),
     ];
     let mut text = String::from(
         "Figures 4-5. Maximum inter-cluster wire lengths (λ)\n\
@@ -229,9 +301,20 @@ pub fn figure4_5() -> Experiment {
     let mut rows = Vec::new();
     for (name, model_v, paper_v) in entries {
         let _ = writeln!(text, "{name:36} {model_v:>10.0} {paper_v:>10.0}");
-        rows.push((name.to_string(), GroupValues { avg: model_v, int: paper_v, fp: 0.0 }));
+        rows.push((
+            name.to_string(),
+            GroupValues {
+                avg: model_v,
+                int: paper_v,
+                fp: 0.0,
+            },
+        ));
     }
-    Experiment { id: "Figures 4-5", text, rows }
+    Experiment {
+        id: "Figures 4-5",
+        text,
+        rows,
+    }
 }
 
 /// Everything, in paper order (used by the `examples/paper_figures` binary
@@ -260,7 +343,10 @@ mod tests {
     use super::*;
 
     fn tiny() -> Budget {
-        Budget { warmup: 1_000, measure: 4_000 }
+        Budget {
+            warmup: 1_000,
+            measure: 4_000,
+        }
     }
 
     #[test]
@@ -273,7 +359,11 @@ mod tests {
         assert_eq!(f6.rows.len(), 5);
         assert!(f6.text.contains("Ring_8clus_1bus_2IW"));
         for (_, v) in &f6.rows {
-            assert!(v.avg > 0.2 && v.avg < 5.0, "speedup ratio out of range: {}", v.avg);
+            assert!(
+                v.avg > 0.2 && v.avg < 5.0,
+                "speedup ratio out of range: {}",
+                v.avg
+            );
         }
     }
 

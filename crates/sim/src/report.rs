@@ -25,8 +25,11 @@ pub fn config_results<'a>(
     all: &'a HashMap<(String, String), RunResult>,
     config: &str,
 ) -> Vec<&'a RunResult> {
-    let mut v: Vec<&RunResult> =
-        all.iter().filter(|((c, _), _)| c == config).map(|(_, r)| r).collect();
+    let mut v: Vec<&RunResult> = all
+        .iter()
+        .filter(|((c, _), _)| c == config)
+        .map(|(_, r)| r)
+        .collect();
     v.sort_by(|a, b| a.bench.cmp(&b.bench));
     v
 }
@@ -57,7 +60,9 @@ pub fn group_speedup(num: &[&RunResult], den: &[&RunResult]) -> GroupValues {
             if !filter(r.fp) {
                 continue;
             }
-            let Some(d) = den.iter().find(|d| d.bench == r.bench) else { continue };
+            let Some(d) = den.iter().find(|d| d.bench == r.bench) else {
+                continue;
+            };
             if d.ipc > 0.0 && r.ipc > 0.0 {
                 log_sum += (r.ipc / d.ipc).ln();
                 n += 1;
@@ -78,24 +83,46 @@ pub fn group_speedup(num: &[&RunResult], den: &[&RunResult]) -> GroupValues {
 
 /// Render a figure as an aligned text table of AVERAGE/INT/FP columns.
 pub fn render_grouped(title: &str, unit: &str, rows: &[(String, GroupValues)]) -> String {
-    let name_w = rows.iter().map(|(n, _)| n.len()).max().unwrap_or(10).max(14);
+    let name_w = rows
+        .iter()
+        .map(|(n, _)| n.len())
+        .max()
+        .unwrap_or(10)
+        .max(14);
     let mut out = String::new();
     let _ = writeln!(out, "{title}");
     let _ = writeln!(out, "{}", "-".repeat(title.len()));
-    let _ = writeln!(out, "{:name_w$}  {:>10} {:>10} {:>10}   [{unit}]", "configuration", "AVERAGE", "INT", "FP");
+    let _ = writeln!(
+        out,
+        "{:name_w$}  {:>10} {:>10} {:>10}   [{unit}]",
+        "configuration", "AVERAGE", "INT", "FP"
+    );
     for (name, v) in rows {
-        let _ = writeln!(out, "{name:name_w$}  {:>10.3} {:>10.3} {:>10.3}", v.avg, v.int, v.fp);
+        let _ = writeln!(
+            out,
+            "{name:name_w$}  {:>10.3} {:>10.3} {:>10.3}",
+            v.avg, v.int, v.fp
+        );
     }
     out
 }
 
 /// Render speedup rows as percentages (Figures 6, 12, 13).
 pub fn render_speedups(title: &str, rows: &[(String, GroupValues)]) -> String {
-    let name_w = rows.iter().map(|(n, _)| n.len()).max().unwrap_or(10).max(14);
+    let name_w = rows
+        .iter()
+        .map(|(n, _)| n.len())
+        .max()
+        .unwrap_or(10)
+        .max(14);
     let mut out = String::new();
     let _ = writeln!(out, "{title}");
     let _ = writeln!(out, "{}", "-".repeat(title.len()));
-    let _ = writeln!(out, "{:name_w$}  {:>9} {:>9} {:>9}", "configuration", "AVERAGE", "INT", "FP");
+    let _ = writeln!(
+        out,
+        "{:name_w$}  {:>9} {:>9} {:>9}",
+        "configuration", "AVERAGE", "INT", "FP"
+    );
     for (name, v) in rows {
         let _ = writeln!(
             out,
@@ -111,8 +138,14 @@ pub fn render_speedups(title: &str, rows: &[(String, GroupValues)]) -> String {
 /// Render Figure 11: per-benchmark dispatch distribution across clusters.
 pub fn render_distribution(config: &str, results: &[&RunResult]) -> String {
     let mut out = String::new();
-    let n = results.first().map(|r| r.dispatch_shares.len()).unwrap_or(0);
-    let _ = writeln!(out, "Figure 11. Instruction distribution across clusters ({config})");
+    let n = results
+        .first()
+        .map(|r| r.dispatch_shares.len())
+        .unwrap_or(0);
+    let _ = writeln!(
+        out,
+        "Figure 11. Instruction distribution across clusters ({config})"
+    );
     let _ = write!(out, "{:10}", "program");
     for c in 0..n {
         let _ = write!(out, " {:>6}", format!("clu{c}"));
@@ -228,16 +261,29 @@ mod tests {
 
     #[test]
     fn renderers_produce_aligned_tables() {
-        let rows = vec![
-            ("Ring_8clus_1bus_2IW".to_string(), GroupValues { avg: 1.081, int: 1.02, fp: 1.15 }),
-        ];
+        let rows = vec![(
+            "Ring_8clus_1bus_2IW".to_string(),
+            GroupValues {
+                avg: 1.081,
+                int: 1.02,
+                fp: 1.15,
+            },
+        )];
         let sp = render_speedups("Figure 6. Speedup of Ring over Conv", &rows);
         assert!(sp.contains("+8.1%"));
         assert!(sp.contains("+15.0%"));
-        let gr = render_grouped("Figure 7", "comms/insn", &[(
-            "Conv_4clus_1bus_2IW".into(),
-            GroupValues { avg: 0.2, int: 0.1, fp: 0.3 },
-        )]);
+        let gr = render_grouped(
+            "Figure 7",
+            "comms/insn",
+            &[(
+                "Conv_4clus_1bus_2IW".into(),
+                GroupValues {
+                    avg: 0.2,
+                    int: 0.1,
+                    fp: 0.3,
+                },
+            )],
+        );
         assert!(gr.contains("0.200"));
         assert!(gr.contains("comms/insn"));
     }

@@ -71,9 +71,12 @@ pub struct RunResult {
     pub cycles: u64,
 }
 
+/// Key/value shape of the in-process oracle-trace cache.
+type TraceCache = HashMap<(String, u64), Arc<Vec<DynInsn>>>;
+
 /// In-memory oracle-trace cache (traces are identical across
 /// configurations, so each benchmark is emulated once per process).
-static TRACES: Mutex<Option<HashMap<(String, u64), Arc<Vec<DynInsn>>>>> = Mutex::new(None);
+static TRACES: Mutex<Option<TraceCache>> = Mutex::new(None);
 
 /// Fetch (or build) the oracle trace for `bench` with `len` instructions.
 pub fn cached_trace(bench: &str, len: u64) -> Arc<Vec<DynInsn>> {
@@ -92,7 +95,9 @@ pub fn cached_trace(bench: &str, len: u64) -> Arc<Vec<DynInsn>> {
         .unwrap_or_else(|e| panic!("{bench} failed to emulate: {e}"));
     let arc = Arc::new(trace.insns);
     let mut guard = TRACES.lock();
-    guard.get_or_insert_with(HashMap::new).insert(key, Arc::clone(&arc));
+    guard
+        .get_or_insert_with(HashMap::new)
+        .insert(key, Arc::clone(&arc));
     arc
 }
 
@@ -109,7 +114,10 @@ impl ResultStore {
         let dir = std::env::var("CARGO_TARGET_DIR")
             .map(PathBuf::from)
             .unwrap_or_else(|_| {
-                PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("..").join("..").join("target")
+                PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                    .join("..")
+                    .join("..")
+                    .join("target")
             })
             .join("rcmc-results");
         ResultStore { dir: Some(dir) }
@@ -208,7 +216,10 @@ mod tests {
     use rcmc_core::Topology;
 
     fn tiny_budget() -> Budget {
-        Budget { warmup: 2_000, measure: 8_000 }
+        Budget {
+            warmup: 2_000,
+            measure: 8_000,
+        }
     }
 
     #[test]
@@ -217,7 +228,11 @@ mod tests {
         let store = ResultStore::ephemeral();
         let r = run_pair(&cfg, "swim", &tiny_budget(), &store);
         // Commit width can overshoot each window boundary by up to 7.
-        assert!((r.committed as i64 - 8_000).unsigned_abs() < 16, "committed {}", r.committed);
+        assert!(
+            (r.committed as i64 - 8_000).unsigned_abs() < 16,
+            "committed {}",
+            r.committed
+        );
         assert!(r.ipc > 0.1 && r.ipc < 8.0, "IPC {}", r.ipc);
         assert_eq!(r.dispatch_shares.len(), 4);
         let total: f64 = r.dispatch_shares.iter().sum();
@@ -234,7 +249,9 @@ mod tests {
     #[test]
     fn store_roundtrip() {
         let dir = std::env::temp_dir().join(format!("rcmc-test-{}", std::process::id()));
-        let store = ResultStore { dir: Some(dir.clone()) };
+        let store = ResultStore {
+            dir: Some(dir.clone()),
+        };
         let cfg = make(Topology::Conv, 4, 2, 1);
         let r1 = run_pair(&cfg, "gzip", &tiny_budget(), &store);
         let r2 = run_pair(&cfg, "gzip", &tiny_budget(), &store);

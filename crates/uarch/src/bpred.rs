@@ -33,7 +33,10 @@ impl Bimodal {
     /// `entries` must be a power of two.
     pub fn new(entries: usize) -> Self {
         assert!(entries.is_power_of_two());
-        Bimodal { table: vec![1; entries], mask: entries - 1 }
+        Bimodal {
+            table: vec![1; entries],
+            mask: entries - 1,
+        }
     }
 
     #[inline]
@@ -68,7 +71,12 @@ impl Gshare {
     pub fn new(entries: usize) -> Self {
         assert!(entries.is_power_of_two());
         let bits = entries.trailing_zeros();
-        Gshare { table: vec![1; entries], mask: entries - 1, hist: 0, hist_mask: (1 << bits) - 1 }
+        Gshare {
+            table: vec![1; entries],
+            mask: entries - 1,
+            hist: 0,
+            hist_mask: (1 << bits) - 1,
+        }
     }
 
     #[inline]
@@ -250,7 +258,10 @@ pub struct Ras {
 impl Ras {
     /// Stack with the given depth.
     pub fn new(depth: usize) -> Self {
-        Ras { stack: Vec::with_capacity(depth), depth }
+        Ras {
+            stack: Vec::with_capacity(depth),
+            depth,
+        }
     }
 
     /// Push a return address (on calls).
@@ -406,7 +417,10 @@ mod tests {
             }
             g.update(77, taken);
         }
-        assert!(correct as f64 / total as f64 > 0.95, "gshare accuracy {correct}/{total}");
+        assert!(
+            correct as f64 / total as f64 > 0.95,
+            "gshare accuracy {correct}/{total}"
+        );
     }
 
     #[test]
@@ -420,7 +434,10 @@ mod tests {
             }
             b.update(77, taken);
         }
-        assert!(correct <= 110, "bimodal should not learn alternation: {correct}");
+        assert!(
+            correct <= 110,
+            "bimodal should not learn alternation: {correct}"
+        );
     }
 
     #[test]
@@ -441,7 +458,10 @@ mod tests {
             }
             h.update(99, taken);
         }
-        assert!(correct as f64 / total as f64 > 0.95, "hybrid accuracy {correct}/{total}");
+        assert!(
+            correct as f64 / total as f64 > 0.95,
+            "hybrid accuracy {correct}/{total}"
+        );
     }
 
     #[test]
@@ -466,6 +486,7 @@ mod tests {
     #[test]
     fn btb_lru_eviction() {
         let mut btb = Btb::new(8, 4); // 2 sets, 4 ways
+
         // Fill set 0 (pcs ≡ 0 mod 2) with 4 entries, then add a 5th.
         for pc in [0u32, 2, 4, 6] {
             btb.update(pc, pc + 1);
@@ -510,7 +531,10 @@ mod tests {
         let ret = Insn::new(Opcode::Jalr, r(0), r(31), None, 0);
         // call at pc 5 -> target 16; return from pc 16 back to 6.
         assert!(fe.predict_and_train(5, &call, true, 16));
-        assert!(fe.predict_and_train(16, &ret, true, 6), "RAS should predict the return");
+        assert!(
+            fe.predict_and_train(16, &ret, true, 6),
+            "RAS should predict the return"
+        );
         // A return with an empty RAS (and cold BTB) mispredicts.
         assert!(!fe.predict_and_train(30, &ret, true, 77));
         assert_eq!(fe.ind_miss, 1);
@@ -529,7 +553,10 @@ mod tests {
                 misses += 1;
             }
         }
-        assert!(misses <= 2, "warm loop branch should be predictable, misses={misses}");
+        assert!(
+            misses <= 2,
+            "warm loop branch should be predictable, misses={misses}"
+        );
         assert_eq!(fe.cond_seen, 50);
     }
 }

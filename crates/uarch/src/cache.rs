@@ -49,7 +49,10 @@ impl SetAssocCache {
     /// Build; panics unless sets and line are powers of two.
     pub fn new(cfg: CacheConfig) -> Self {
         let sets = cfg.sets();
-        assert!(sets.is_power_of_two(), "sets must be a power of two (got {sets})");
+        assert!(
+            sets.is_power_of_two(),
+            "sets must be a power of two (got {sets})"
+        );
         assert!(cfg.line.is_power_of_two());
         SetAssocCache {
             cfg,
@@ -135,9 +138,24 @@ impl Default for MemConfig {
     /// Table 2 values.
     fn default() -> Self {
         MemConfig {
-            l1i: CacheConfig { size: 64 * 1024, ways: 2, line: 32, latency: 1 },
-            l1d: CacheConfig { size: 32 * 1024, ways: 4, line: 32, latency: 2 },
-            l2: CacheConfig { size: 512 * 1024, ways: 4, line: 64, latency: 10 },
+            l1i: CacheConfig {
+                size: 64 * 1024,
+                ways: 2,
+                line: 32,
+                latency: 1,
+            },
+            l1d: CacheConfig {
+                size: 32 * 1024,
+                ways: 4,
+                line: 32,
+                latency: 2,
+            },
+            l2: CacheConfig {
+                size: 512 * 1024,
+                ways: 4,
+                line: 64,
+                latency: 10,
+            },
             mem_latency: 100,
             l2_interchunk: 2,
             dcache_transfer: 1,
@@ -211,7 +229,12 @@ mod tests {
 
     fn tiny() -> SetAssocCache {
         // 4 sets x 2 ways x 32B lines = 256B
-        SetAssocCache::new(CacheConfig { size: 256, ways: 2, line: 32, latency: 1 })
+        SetAssocCache::new(CacheConfig {
+            size: 256,
+            ways: 2,
+            line: 32,
+            latency: 1,
+        })
     }
 
     #[test]
@@ -240,7 +263,12 @@ mod tests {
 
     #[test]
     fn sets_computed() {
-        let cfg = CacheConfig { size: 32 * 1024, ways: 4, line: 32, latency: 2 };
+        let cfg = CacheConfig {
+            size: 32 * 1024,
+            ways: 4,
+            line: 32,
+            latency: 2,
+        };
         assert_eq!(cfg.sets(), 256);
     }
 

@@ -34,8 +34,11 @@ impl RefCache {
             return true;
         }
         if lines.len() == self.ways {
-            let (lru_idx, _) =
-                lines.iter().enumerate().min_by_key(|(_, (_, t))| *t).unwrap();
+            let (lru_idx, _) = lines
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, t))| *t)
+                .unwrap();
             lines.remove(lru_idx);
         }
         lines.push((block, self.tick));

@@ -89,8 +89,16 @@ pub fn characterize(trace: &[DynInsn]) -> MixReport {
         loads: loads as f64 / n as f64,
         stores: stores as f64 / n as f64,
         branches: branches as f64 / n as f64,
-        taken_rate: if branches == 0 { 0.0 } else { taken as f64 / branches as f64 },
-        mean_dep_distance: if dist_n == 0 { 0.0 } else { dist_sum as f64 / dist_n as f64 },
+        taken_rate: if branches == 0 {
+            0.0
+        } else {
+            taken as f64 / branches as f64
+        },
+        mean_dep_distance: if dist_n == 0 {
+            0.0
+        } else {
+            dist_sum as f64 / dist_n as f64
+        },
         data_pages: pages.len(),
         static_insns: statics.len(),
     }
@@ -167,14 +175,23 @@ mod tests {
     fn footprints_ranked_sensibly() {
         let mcf = mix("mcf"); // 256 KiB pointer chain
         let apsi = mix("apsi"); // 16 KiB vectors
-        assert!(mcf.data_pages > 4 * apsi.data_pages, "{} vs {}", mcf.data_pages, apsi.data_pages);
+        assert!(
+            mcf.data_pages > 4 * apsi.data_pages,
+            "{} vs {}",
+            mcf.data_pages,
+            apsi.data_pages
+        );
     }
 
     #[test]
     fn loops_are_compact_statically() {
         for name in ["swim", "gzip"] {
             let m = mix(name);
-            assert!(m.static_insns < 400, "{name}: static footprint {}", m.static_insns);
+            assert!(
+                m.static_insns < 400,
+                "{name}: static footprint {}",
+                m.static_insns
+            );
             assert!(m.insns == 20_000);
         }
     }

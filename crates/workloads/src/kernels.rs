@@ -173,12 +173,15 @@ impl Kernel {
             Kernel::HashProbe { bits } => hash_probe(&mut a, &mut rng, bits),
             Kernel::LzMatch { window, max_match } => lz_match(&mut a, &mut rng, window, max_match),
             Kernel::Bitboard { words } => bitboard(&mut a, &mut rng, words),
-            Kernel::StateMachine { states, inputs } => state_machine(&mut a, &mut rng, states, inputs),
+            Kernel::StateMachine { states, inputs } => {
+                state_machine(&mut a, &mut rng, states, inputs)
+            }
             Kernel::SortKernel { n } => sort_kernel(&mut a, &mut rng, n),
             Kernel::TreeWalk { nodes } => tree_walk(&mut a, &mut rng, nodes),
             Kernel::GraphRelax { nodes, degree } => graph_relax(&mut a, &mut rng, nodes, degree),
         }
-        a.assemble().expect("kernel generator produced invalid assembly")
+        a.assemble()
+            .expect("kernel generator produced invalid assembly")
     }
 }
 
@@ -191,7 +194,8 @@ fn stencil5(a: &mut Asm, rng: &mut StdRng, w: usize, h: usize) {
     let row = (w * 8) as i32;
 
     a.movi_addr(r(1), src_addr);
-    a.addi(r(2), r(1), (dst_addr - src_addr) as i32); // bases derive from one anchor, as compiled code does
+    // bases derive from one anchor, as compiled code does
+    a.addi(r(2), r(1), (dst_addr - src_addr) as i32);
     // f7 = 0.25
     a.movi(r(3), 4);
     a.fcvtif(f(6), r(3));
@@ -254,6 +258,7 @@ fn matmul(a: &mut Asm, rng: &mut StdRng, n: usize) {
     a.slli(r(14), r(11), 3);
     a.add(r(14), r(14), r(19));
     a.movi(r(15), 0); // k
+
     // Four independent accumulators (k unrolled by 4), as -O4 would produce:
     // keeps ILP high so communication latency can be overlapped.
     for acc in 1..=4 {
@@ -327,8 +332,9 @@ fn nbody(a: &mut Asm, rng: &mut StdRng, inner: usize, extra_mul: usize) {
     let nparticles = 8192.max(inner * 4);
     let pos: Vec<f64> = (0..nparticles).map(|_| rng.gen_range(-1.0..1.0)).collect();
     let pos_addr = a.data_f64(&pos);
-    let neigh: Vec<i64> =
-        (0..inner).map(|_| rng.gen_range(0..nparticles as i64)).collect();
+    let neigh: Vec<i64> = (0..inner)
+        .map(|_| rng.gen_range(0..nparticles as i64))
+        .collect();
     let neigh_addr = a.data_i64(&neigh);
     let eps = a.data_f64(&[0.01]);
 
@@ -435,7 +441,9 @@ fn fft_butterfly(a: &mut Asm, rng: &mut StdRng, n: usize) {
     let im_addr = a.data_f64(&im);
     // One twiddle pair per stage.
     let stages = n.trailing_zeros() as usize;
-    let tw: Vec<f64> = (0..stages * 2).map(|i| if i % 2 == 0 { 0.9 } else { 0.43 }).collect();
+    let tw: Vec<f64> = (0..stages * 2)
+        .map(|i| if i % 2 == 0 { 0.9 } else { 0.43 })
+        .collect();
     let tw_addr = a.data_f64(&tw);
     let nbytes = (n * 8) as i32;
 
@@ -472,6 +480,7 @@ fn fft_butterfly(a: &mut Asm, rng: &mut StdRng, n: usize) {
     a.fmul(f(7), f(2), f(11));
     a.fmul(f(8), f(4), f(10));
     a.fadd(f(7), f(7), f(8)); // t_im
+
     // a' = a + t ; b' = a - t
     a.fadd(f(12), f(1), f(5));
     a.fsub(f(13), f(1), f(5));
@@ -614,7 +623,10 @@ fn pointer_chase(a: &mut Asm, rng: &mut StdRng, len: usize, work: usize) {
     }
     next[cur] = base as i64;
     let chain = a.data_i64(&next);
-    assert_eq!(chain, base, "pointer chain must be the first data allocation");
+    assert_eq!(
+        chain, base,
+        "pointer chain must be the first data allocation"
+    );
 
     a.movi_addr(r(24), chain); // hoisted base
     let top = outer_start(a);
@@ -633,7 +645,13 @@ fn pointer_chase(a: &mut Asm, rng: &mut StdRng, len: usize, work: usize) {
 fn hash_probe(a: &mut Asm, rng: &mut StdRng, bits: usize) {
     let size = 1usize << bits;
     let tab: Vec<i64> = (0..size)
-        .map(|_| if rng.gen_bool(0.5) { rng.gen_range(1..1 << 20) } else { 0 })
+        .map(|_| {
+            if rng.gen_bool(0.5) {
+                rng.gen_range(1..1 << 20)
+            } else {
+                0
+            }
+        })
         .collect();
     let tab_addr = a.data_i64(&tab);
 
@@ -725,6 +743,7 @@ fn bitboard(a: &mut Asm, rng: &mut StdRng, words: usize) {
     a.ld(r(5), r(3), 0); // own pieces
     a.xori(r(12), r(3), 64);
     a.ld(r(13), r(12), 0); // opposing pieces (second board fetch)
+
     // bulk logic (attack-map flavour): shifts and masks, wide ILP
     a.slli(r(6), r(5), 8);
     a.srli(r(7), r(5), 8);
@@ -732,6 +751,7 @@ fn bitboard(a: &mut Asm, rng: &mut StdRng, words: usize) {
     a.slli(r(7), r(5), 1);
     a.xor(r(6), r(6), r(7));
     a.and(r(6), r(6), r(13)); // attacks ∩ opponent
+
     // Sparsify so the popcount loop stays short relative to memory work.
     a.andi(r(6), r(6), 0x0f0f);
     // popcount loop: x &= x - 1 until zero (data-dependent trip count)
@@ -753,8 +773,9 @@ fn bitboard(a: &mut Asm, rng: &mut StdRng, words: usize) {
 
 fn state_machine(a: &mut Asm, rng: &mut StdRng, states: usize, inputs: usize) {
     assert!(inputs.is_power_of_two());
-    let table: Vec<i64> =
-        (0..states * inputs).map(|_| rng.gen_range(0..states as i64)).collect();
+    let table: Vec<i64> = (0..states * inputs)
+        .map(|_| rng.gen_range(0..states as i64))
+        .collect();
     let t_addr = a.data_i64(&table);
 
     lcg_init(a, rng.gen_range(1..1 << 30));
@@ -774,6 +795,7 @@ fn state_machine(a: &mut Asm, rng: &mut StdRng, states: usize, inputs: usize) {
     a.slli(r(4), r(4), 3);
     a.add(r(4), r(4), r(24));
     a.ld(r(1), r(4), 0); // state = T[state][input]  (serial chain)
+
     // data-dependent action branch
     let high = a.new_label();
     let cont = a.new_label();
@@ -895,8 +917,9 @@ fn tree_walk(a: &mut Asm, rng: &mut StdRng, nodes: usize) {
 
 fn graph_relax(a: &mut Asm, rng: &mut StdRng, nodes: usize, degree: usize) {
     // adjacency: for node u, `degree` neighbour indices; dist array.
-    let adj: Vec<i64> =
-        (0..nodes * degree).map(|_| rng.gen_range(0..nodes as i64)).collect();
+    let adj: Vec<i64> = (0..nodes * degree)
+        .map(|_| rng.gen_range(0..nodes as i64))
+        .collect();
     let adj_addr = a.data_i64(&adj);
     let dist: Vec<i64> = (0..nodes).map(|_| rng.gen_range(0..1 << 16)).collect();
     let dist_addr = a.data_i64(&dist);

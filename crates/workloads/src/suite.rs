@@ -41,7 +41,12 @@ impl Benchmark {
 
 macro_rules! bench {
     ($name:literal, $class:ident, $seed:literal, $kernel:expr) => {
-        Benchmark { name: $name, class: Class::$class, kernel: $kernel, seed: $seed }
+        Benchmark {
+            name: $name,
+            class: Class::$class,
+            kernel: $kernel,
+            seed: $seed,
+        }
     };
 }
 
@@ -49,31 +54,119 @@ macro_rules! bench {
 pub fn suite() -> Vec<Benchmark> {
     use Kernel::*;
     vec![
-        bench!("ammp", Fp, 101, Nbody { inner: 64, extra_mul: 0 }),
+        bench!(
+            "ammp",
+            Fp,
+            101,
+            Nbody {
+                inner: 64,
+                extra_mul: 0
+            }
+        ),
         bench!("applu", Fp, 102, Stencil5 { w: 48, h: 48 }),
         bench!("apsi", Fp, 103, Spectral { n: 1024 }),
         bench!("art", Fp, 104, DotGrid { rows: 64, cols: 64 }),
-        bench!("bzip2", Int, 105, LzMatch { window: 32768, max_match: 32 }),
+        bench!(
+            "bzip2",
+            Int,
+            105,
+            LzMatch {
+                window: 32768,
+                max_match: 32
+            }
+        ),
         bench!("crafty", Int, 106, Bitboard { words: 1024 }),
-        bench!("eon", Int, 107, Raster { width: 256, fp_heavy: false }),
+        bench!(
+            "eon",
+            Int,
+            107,
+            Raster {
+                width: 256,
+                fp_heavy: false
+            }
+        ),
         bench!("equake", Fp, 108, SparseWave { n: 16384 }),
-        bench!("facerec", Fp, 109, DotGrid { rows: 32, cols: 128 }),
-        bench!("fma3d", Fp, 110, Nbody { inner: 24, extra_mul: 2 }),
+        bench!(
+            "facerec",
+            Fp,
+            109,
+            DotGrid {
+                rows: 32,
+                cols: 128
+            }
+        ),
+        bench!(
+            "fma3d",
+            Fp,
+            110,
+            Nbody {
+                inner: 24,
+                extra_mul: 2
+            }
+        ),
         bench!("galgel", Fp, 111, Matmul { n: 56 }),
         bench!("gap", Int, 112, HashProbe { bits: 12 }),
-        bench!("gcc", Int, 113, StateMachine { states: 512, inputs: 16 }),
-        bench!("gzip", Int, 114, LzMatch { window: 8192, max_match: 16 }),
+        bench!(
+            "gcc",
+            Int,
+            113,
+            StateMachine {
+                states: 512,
+                inputs: 16
+            }
+        ),
+        bench!(
+            "gzip",
+            Int,
+            114,
+            LzMatch {
+                window: 8192,
+                max_match: 16
+            }
+        ),
         bench!("lucas", Fp, 115, FftButterfly { n: 2048 }),
-        bench!("mcf", Int, 116, PointerChase { len: 32768, work: 2 }),
-        bench!("mesa", Fp, 117, Raster { width: 512, fp_heavy: true }),
+        bench!(
+            "mcf",
+            Int,
+            116,
+            PointerChase {
+                len: 32768,
+                work: 2
+            }
+        ),
+        bench!(
+            "mesa",
+            Fp,
+            117,
+            Raster {
+                width: 512,
+                fp_heavy: true
+            }
+        ),
         bench!("mgrid", Fp, 118, Stencil5 { w: 64, h: 64 }),
-        bench!("parser", Int, 119, StateMachine { states: 128, inputs: 8 }),
+        bench!(
+            "parser",
+            Int,
+            119,
+            StateMachine {
+                states: 128,
+                inputs: 8
+            }
+        ),
         bench!("perlbmk", Int, 120, HashProbe { bits: 15 }),
         bench!("sixtrack", Fp, 121, Matmul { n: 32 }),
         bench!("swim", Fp, 122, Stencil5 { w: 128, h: 96 }),
         bench!("twolf", Int, 123, SortKernel { n: 2048 }),
         bench!("vortex", Int, 124, TreeWalk { nodes: 8191 }),
-        bench!("vpr", Int, 125, GraphRelax { nodes: 2048, degree: 4 }),
+        bench!(
+            "vpr",
+            Int,
+            125,
+            GraphRelax {
+                nodes: 2048,
+                degree: 4
+            }
+        ),
         bench!("wupwise", Fp, 126, Spectral { n: 4096 }),
     ]
 }

@@ -13,7 +13,12 @@ fn every_benchmark_emulates_a_full_window() {
         let p = b.build();
         let t = trace_program(&p, WINDOW)
             .unwrap_or_else(|e| panic!("{} failed to emulate: {e}", b.name));
-        assert_eq!(t.insns.len(), WINDOW, "{} trace too short (halted early)", b.name);
+        assert_eq!(
+            t.insns.len(),
+            WINDOW,
+            "{} trace too short (halted early)",
+            b.name
+        );
         assert!(!t.halted, "{} must run steady-state, not halt", b.name);
     }
 }
@@ -27,14 +32,24 @@ fn fp_benchmarks_are_fp_heavy_and_int_benchmarks_are_not() {
             .insns
             .iter()
             .filter(|d| {
-                matches!(d.class(), InsnClass::FpAlu | InsnClass::FpMul | InsnClass::FpDiv)
-                    || matches!(d.insn.op, rcmc_isa::Opcode::Fld | rcmc_isa::Opcode::Fst)
+                matches!(
+                    d.class(),
+                    InsnClass::FpAlu | InsnClass::FpMul | InsnClass::FpDiv
+                ) || matches!(d.insn.op, rcmc_isa::Opcode::Fld | rcmc_isa::Opcode::Fst)
             })
             .count() as f64
             / t.insns.len() as f64;
         match b.class {
-            Class::Fp => assert!(fp > 0.25, "{}: FP fraction {fp:.2} too low for SPECfp", b.name),
-            Class::Int => assert!(fp < 0.05, "{}: FP fraction {fp:.2} too high for SPECint", b.name),
+            Class::Fp => assert!(
+                fp > 0.25,
+                "{}: FP fraction {fp:.2} too low for SPECfp",
+                b.name
+            ),
+            Class::Int => assert!(
+                fp < 0.05,
+                "{}: FP fraction {fp:.2} too high for SPECint",
+                b.name
+            ),
         }
     }
 }
@@ -47,7 +62,11 @@ fn int_benchmarks_are_branchier() {
     for b in suite() {
         let p = b.build();
         let t = trace_program(&p, WINDOW).unwrap();
-        let br = t.insns.iter().filter(|d| d.insn.op.is_cond_branch()).count() as f64
+        let br = t
+            .insns
+            .iter()
+            .filter(|d| d.insn.op.is_cond_branch())
+            .count() as f64
             / t.insns.len() as f64;
         match b.class {
             Class::Int => {
@@ -75,7 +94,13 @@ fn all_memory_accesses_are_aligned() {
         let t = trace_program(&p, WINDOW).unwrap();
         for d in &t.insns {
             if d.insn.op.is_mem() {
-                assert_eq!(d.mem_addr % 8, 0, "{}: misaligned access at pc {}", b.name, d.pc);
+                assert_eq!(
+                    d.mem_addr % 8,
+                    0,
+                    "{}: misaligned access at pc {}",
+                    b.name,
+                    d.pc
+                );
             }
         }
     }
@@ -101,8 +126,15 @@ fn mcf_has_low_ilp_chain_character() {
     // The pointer chase must be dominated by dependent loads.
     let b = rcmc_workloads::benchmark("mcf").unwrap();
     let t = trace_program(&b.build(), WINDOW).unwrap();
-    let loads = t.insns.iter().filter(|d| d.class() == InsnClass::Load).count() as f64;
-    assert!(loads / t.insns.len() as f64 > 0.15, "mcf load fraction too low");
+    let loads = t
+        .insns
+        .iter()
+        .filter(|d| d.class() == InsnClass::Load)
+        .count() as f64;
+    assert!(
+        loads / t.insns.len() as f64 > 0.15,
+        "mcf load fraction too low"
+    );
 }
 
 #[test]
@@ -110,7 +142,11 @@ fn nbody_benchmarks_use_fp_divides() {
     for name in ["ammp", "fma3d"] {
         let b = rcmc_workloads::benchmark(name).unwrap();
         let t = trace_program(&b.build(), WINDOW).unwrap();
-        let divs = t.insns.iter().filter(|d| d.class() == InsnClass::FpDiv).count();
+        let divs = t
+            .insns
+            .iter()
+            .filter(|d| d.class() == InsnClass::FpDiv)
+            .count();
         assert!(divs > 100, "{name}: expected many FP divides, got {divs}");
     }
 }
@@ -122,13 +158,20 @@ fn footprints_differ_across_suite() {
     for b in suite() {
         let p = b.build();
         let t = trace_program(&p, WINDOW).unwrap();
-        let mut pages: Vec<u64> =
-            t.insns.iter().filter(|d| d.insn.op.is_mem()).map(|d| d.mem_addr >> 12).collect();
+        let mut pages: Vec<u64> = t
+            .insns
+            .iter()
+            .filter(|d| d.insn.op.is_mem())
+            .map(|d| d.mem_addr >> 12)
+            .collect();
         pages.sort_unstable();
         pages.dedup();
         footprints.push(pages.len());
     }
     let min = footprints.iter().min().unwrap();
     let max = footprints.iter().max().unwrap();
-    assert!(max > &(min * 4), "suite should span diverse footprints ({min}..{max} pages)");
+    assert!(
+        max > &(min * 4),
+        "suite should span diverse footprints ({min}..{max} pages)"
+    );
 }

@@ -31,7 +31,9 @@ fn main() {
         let p = ring_placement(n);
         let (s, c) = p.module_counts();
         let adjacent = (0..n).all(|i| p.neighbor_distance(i) == 1);
-        println!("  {n} clusters: {s} straight + {c} corner modules; neighbours adjacent: {adjacent}");
+        println!(
+            "  {n} clusters: {s} straight + {c} corner modules; neighbours adjacent: {adjacent}"
+        );
     }
     println!();
 
@@ -40,16 +42,30 @@ fn main() {
     let c = module_floorplan(&model, ModuleKind::Corner);
     let si = split_ring_floorplan(&model, ModuleKind::Straight, false);
     let sf = split_ring_floorplan(&model, ModuleKind::Straight, true);
-    println!("  unified, int  straight->straight : {:>7.0} λ (paper ≈ 17,400)", max_wire_int(&s, &s));
-    println!("  unified, fp   straight->corner   : {:>7.0} λ (paper ≈ 23,300)", max_wire_fp(&s, &c));
-    println!("  split rings,  int                 : {:>7.0} λ (paper ≈ 11,200)", max_wire_int(&si, &si));
-    println!("  split rings,  fp                  : {:>7.0} λ (paper ≈ 11,200)", max_wire_fp(&sf, &sf));
+    println!(
+        "  unified, int  straight->straight : {:>7.0} λ (paper ≈ 17,400)",
+        max_wire_int(&s, &s)
+    );
+    println!(
+        "  unified, fp   straight->corner   : {:>7.0} λ (paper ≈ 23,300)",
+        max_wire_fp(&s, &c)
+    );
+    println!(
+        "  split rings,  int                 : {:>7.0} λ (paper ≈ 11,200)",
+        max_wire_int(&si, &si)
+    );
+    println!(
+        "  split rings,  fp                  : {:>7.0} λ (paper ≈ 11,200)",
+        max_wire_fp(&sf, &sf)
+    );
     println!();
 
     println!("Sensitivity — wire length vs register file size (unified int path)");
     for regs in [32usize, 48, 64, 96, 128] {
-        let mut m = AreaModel::default();
-        m.regs = regs;
+        let m = AreaModel {
+            regs,
+            ..AreaModel::default()
+        };
         let fpn = module_floorplan(&m, ModuleKind::Straight);
         let rf = m.block(Component::RegisterFile);
         println!(

@@ -41,14 +41,27 @@ fn main() {
 
     // Functional execution produces the oracle trace the timing cores replay.
     let trace = trace_program(&program, 200_000).expect("emulation failed");
-    println!("dynamic trace:  {} instructions (halted: {})\n", trace.insns.len(), trace.halted);
+    println!(
+        "dynamic trace:  {} instructions (halted: {})\n",
+        trace.insns.len(),
+        trace.halted
+    );
 
     for (label, topology, steering) in [
         ("Ring (paper §3)", Topology::Ring, Steering::RingDep),
         ("Conv (baseline §4.1)", Topology::Conv, Steering::ConvDcount),
     ] {
-        let cfg = CoreConfig { topology, steering, ..CoreConfig::default() };
-        let mut core = Core::new(cfg, MemConfig::default(), PredictorConfig::default(), &trace.insns);
+        let cfg = CoreConfig {
+            topology,
+            steering,
+            ..CoreConfig::default()
+        };
+        let mut core = Core::new(
+            cfg,
+            MemConfig::default(),
+            PredictorConfig::default(),
+            &trace.insns,
+        );
         let stats = core.run(u64::MAX);
         println!(
             "{label:22} IPC {:.3}  comms/insn {:.3}  mean hops {:.2}  bus wait {:.2}  NREADY {:.2}",
@@ -58,8 +71,11 @@ fn main() {
             stats.wait_per_comm(),
             stats.nready_per_cycle(),
         );
-        let shares: Vec<String> =
-            stats.dispatch_shares(8).iter().map(|s| format!("{:4.1}%", s * 100.0)).collect();
+        let shares: Vec<String> = stats
+            .dispatch_shares(8)
+            .iter()
+            .map(|s| format!("{:4.1}%", s * 100.0))
+            .collect();
         println!("{:22} per-cluster dispatch: [{}]\n", "", shares.join(" "));
     }
     println!("Note how the ring spreads dispatch almost perfectly evenly —");

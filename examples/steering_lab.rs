@@ -29,13 +29,21 @@ fn figure2_walkthrough() {
     let s1 = steerer.steer(&cfg, &values, &dcount, &[]);
     let r1 = values.alloc(cfg.dest_cluster(s1.cluster), false);
     values.mark_ready(r1, cfg.dest_cluster(s1.cluster));
-    println!("I1. R1 = 1       -> cluster {} (R1 lands in {})", s1.cluster, cfg.dest_cluster(s1.cluster));
+    println!(
+        "I1. R1 = 1       -> cluster {} (R1 lands in {})",
+        s1.cluster,
+        cfg.dest_cluster(s1.cluster)
+    );
 
     // I2. R2 = R1 + 1
     let s2 = steerer.steer(&cfg, &values, &dcount, &[r1]);
     let r2 = values.alloc(cfg.dest_cluster(s2.cluster), false);
     values.mark_ready(r2, cfg.dest_cluster(s2.cluster));
-    println!("I2. R2 = R1 + 1  -> cluster {} ({} comms)", s2.cluster, s2.comms.len());
+    println!(
+        "I2. R2 = R1 + 1  -> cluster {} ({} comms)",
+        s2.cluster,
+        s2.comms.len()
+    );
 
     // I3. R3 = R1 + R2
     let s3 = steerer.steer(&cfg, &values, &dcount, &[r1, r2]);
@@ -45,7 +53,11 @@ fn figure2_walkthrough() {
     }
     let r3 = values.alloc(cfg.dest_cluster(s3.cluster), false);
     values.mark_ready(r3, cfg.dest_cluster(s3.cluster));
-    println!("I3. R3 = R1 + R2 -> cluster {} ({} comm)", s3.cluster, s3.comms.len());
+    println!(
+        "I3. R3 = R1 + R2 -> cluster {} ({} comm)",
+        s3.cluster,
+        s3.comms.len()
+    );
 
     // I4. R4 = R1 + R3
     let s4 = steerer.steer(&cfg, &values, &dcount, &[r1, r3]);
@@ -54,20 +66,32 @@ fn figure2_walkthrough() {
         values.mark_ready(cm.value, s4.cluster);
     }
     let _r4 = values.alloc(cfg.dest_cluster(s4.cluster), false);
-    println!("I4. R4 = R1 + R3 -> cluster {} ({} comm)", s4.cluster, s4.comms.len());
+    println!(
+        "I4. R4 = R1 + R3 -> cluster {} ({} comm)",
+        s4.cluster,
+        s4.comms.len()
+    );
 
     // I5. R5 = R1 x 3
     let s5 = steerer.steer(&cfg, &values, &dcount, &[r1]);
-    println!("I5. R5 = R1 x 3  -> cluster {} (most free registers downstream)", s5.cluster);
+    println!(
+        "I5. R5 = R1 x 3  -> cluster {} (most free registers downstream)",
+        s5.cluster
+    );
     println!("(matches the paper's Figure 2: 0, 1, 2, 3, 3)\n");
 }
 
 fn main() {
     figure2_walkthrough();
 
-    let bench = std::env::args().nth(1).unwrap_or_else(|| "galgel".to_string());
+    let bench = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "galgel".to_string());
     println!("--- '{bench}' under the three steering algorithms (8 clusters, 1 bus, 2IW) ---");
-    let budget = runner::Budget { warmup: 10_000, measure: 60_000 };
+    let budget = runner::Budget {
+        warmup: 10_000,
+        measure: 60_000,
+    };
     let store = runner::ResultStore::open_default();
     for (label, topology, steering) in [
         ("Ring + dep-steering", Topology::Ring, Steering::RingDep),
@@ -79,8 +103,7 @@ fn main() {
         cfg.core.steering = steering;
         cfg.name = format!("lab_{}", label.replace([' ', '+'], "_"));
         let r = runner::run_pair(&cfg, &bench, &budget, &store);
-        let max_share =
-            r.dispatch_shares.iter().copied().fold(0.0f64, f64::max);
+        let max_share = r.dispatch_shares.iter().copied().fold(0.0f64, f64::max);
         println!(
             "{label:22} IPC {:.3}  comms/insn {:.3}  NREADY {:.2}  max cluster share {:.1}%",
             r.ipc,

@@ -126,20 +126,28 @@ fn print_result(r: &runner::RunResult) {
     println!("  bus wait/comm      {:>8.2}", r.wait_per_comm);
     println!("  NREADY/cycle       {:>8.2}", r.nready);
     println!("  branch miss rate   {:>8.3}", r.branch_miss_rate);
-    let shares: Vec<String> =
-        r.dispatch_shares.iter().map(|s| format!("{:.0}%", s * 100.0)).collect();
+    let shares: Vec<String> = r
+        .dispatch_shares
+        .iter()
+        .map(|s| format!("{:.0}%", s * 100.0))
+        .collect();
     println!("  dispatch shares    [{}]", shares.join(" "));
 }
 
 fn run(args: &[String], flags: &HashMap<String, String>) {
     let bench = positional(args, 1, "benchmark name");
-    let cfg_name =
-        flags.get("config").cloned().unwrap_or_else(|| "Ring_8clus_1bus_2IW".to_string());
+    let cfg_name = flags
+        .get("config")
+        .cloned()
+        .unwrap_or_else(|| "Ring_8clus_1bus_2IW".to_string());
     let cfg = find_config(&cfg_name);
     let budget = budget_from(flags);
     let store = ResultStore::open_default();
     let r = runner::run_pair(&cfg, &bench, &budget, &store);
-    println!("{bench} on {cfg_name} ({} measured instructions):", r.committed);
+    println!(
+        "{bench} on {cfg_name} ({} measured instructions):",
+        r.committed
+    );
     print_result(&r);
 }
 
@@ -153,12 +161,18 @@ fn compare(args: &[String], flags: &HashMap<String, String>) {
     print_result(&ring);
     println!("{bench}: Conv_8clus_1bus_2IW");
     print_result(&conv);
-    println!("Ring speedup over Conv: {:+.1}%", (ring.ipc / conv.ipc - 1.0) * 100.0);
+    println!(
+        "Ring speedup over Conv: {:+.1}%",
+        (ring.ipc / conv.ipc - 1.0) * 100.0
+    );
 }
 
 fn disasm(args: &[String], flags: &HashMap<String, String>) {
     let bench = positional(args, 1, "benchmark name");
-    let limit: usize = flags.get("limit").and_then(|v| v.parse().ok()).unwrap_or(64);
+    let limit: usize = flags
+        .get("limit")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64);
     let Some(b) = benchmark(&bench) else {
         eprintln!("unknown benchmark '{bench}'");
         std::process::exit(1);
@@ -179,17 +193,25 @@ fn disasm(args: &[String], flags: &HashMap<String, String>) {
 
 fn trace_cmd(args: &[String], flags: &HashMap<String, String>) {
     let bench = positional(args, 1, "benchmark name");
-    let from: u32 = flags.get("from").and_then(|v| v.parse().ok()).unwrap_or(1000);
+    let from: u32 = flags
+        .get("from")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1000);
     let len: u32 = flags.get("len").and_then(|v| v.parse().ok()).unwrap_or(24);
-    let cfg_name =
-        flags.get("config").cloned().unwrap_or_else(|| "Ring_8clus_1bus_2IW".to_string());
+    let cfg_name = flags
+        .get("config")
+        .cloned()
+        .unwrap_or_else(|| "Ring_8clus_1bus_2IW".to_string());
     let cfg = find_config(&cfg_name);
     let trace = cached_trace(&bench, (from + len) as u64 + 50_000);
     let mut core = Core::new(cfg.core.clone(), cfg.mem, cfg.pred, &trace);
     core.attach_tracer(PipeTracer::new(from, from + len));
     core.run((from + len) as u64 + 20_000);
     let tracer = core.take_tracer().unwrap();
-    println!("{bench} on {cfg_name}, dynamic instructions {from}..{}", from + len);
+    println!(
+        "{bench} on {cfg_name}, dynamic instructions {from}..{}",
+        from + len
+    );
     print!("{}", tracer.render(&trace, 100));
     let (wait, lat) = tracer.latency_summary();
     println!("mean dispatch→issue wait {wait:.1} cycles; mean issue→complete {lat:.1} cycles");

@@ -30,7 +30,13 @@ fn every_benchmark_runs_on_every_table3_config() {
                 b.name,
                 cfg.name
             );
-            assert!(s.ipc() > 0.01 && s.ipc() < 16.0, "{} on {}: IPC {}", b.name, cfg.name, s.ipc());
+            assert!(
+                s.ipc() > 0.01 && s.ipc() < 16.0,
+                "{} on {}: IPC {}",
+                b.name,
+                cfg.name,
+                s.ipc()
+            );
         }
     }
 }
@@ -42,10 +48,16 @@ fn ring_comm_count_bounded_by_two_source_instructions() {
     for name in ["galgel", "gcc", "equake"] {
         let b = benchmark(name).unwrap();
         let trace = trace_program(&b.build(), WINDOW).unwrap().insns;
-        let with_src =
-            trace.iter().filter(|d| d.insn.live_source_count() >= 1).count() as u64;
+        let with_src = trace
+            .iter()
+            .filter(|d| d.insn.live_source_count() >= 1)
+            .count() as u64;
         let s = run(
-            CoreConfig { topology: Topology::Ring, steering: Steering::RingDep, ..CoreConfig::default() },
+            CoreConfig {
+                topology: Topology::Ring,
+                steering: Steering::RingDep,
+                ..CoreConfig::default()
+            },
             &trace,
         );
         assert!(
@@ -68,7 +80,14 @@ fn comms_created_equals_comms_issued_on_drain() {
                 Topology::Ring => Steering::RingDep,
                 Topology::Conv => Steering::ConvDcount,
             };
-            let s = run(CoreConfig { topology, steering, ..CoreConfig::default() }, &trace);
+            let s = run(
+                CoreConfig {
+                    topology,
+                    steering,
+                    ..CoreConfig::default()
+                },
+                &trace,
+            );
             assert_eq!(s.comms_created, s.comms_issued, "{name} {topology:?}");
         }
     }
@@ -97,17 +116,29 @@ fn conv_ssa_concentrates_ring_ssa_does_not() {
     let b = benchmark("wupwise").unwrap();
     let trace = trace_program(&b.build(), WINDOW).unwrap().insns;
     let ring = run(
-        CoreConfig { topology: Topology::Ring, steering: Steering::Ssa, ..CoreConfig::default() },
+        CoreConfig {
+            topology: Topology::Ring,
+            steering: Steering::Ssa,
+            ..CoreConfig::default()
+        },
         &trace,
     );
     let conv = run(
-        CoreConfig { topology: Topology::Conv, steering: Steering::Ssa, ..CoreConfig::default() },
+        CoreConfig {
+            topology: Topology::Conv,
+            steering: Steering::Ssa,
+            ..CoreConfig::default()
+        },
         &trace,
     );
-    let mx = |s: &ring_clustered::core::Stats| {
-        s.dispatch_shares(8).into_iter().fold(0.0f64, f64::max)
-    };
-    assert!(mx(&conv) > 2.0 * mx(&ring), "conv {:.2} vs ring {:.2}", mx(&conv), mx(&ring));
+    let mx =
+        |s: &ring_clustered::core::Stats| s.dispatch_shares(8).into_iter().fold(0.0f64, f64::max);
+    assert!(
+        mx(&conv) > 2.0 * mx(&ring),
+        "conv {:.2} vs ring {:.2}",
+        mx(&conv),
+        mx(&ring)
+    );
 }
 
 #[test]
@@ -147,8 +178,12 @@ fn deterministic_across_runs() {
 fn warmup_plus_measure_equals_full_run() {
     let b = benchmark("apsi").unwrap();
     let trace = trace_program(&b.build(), WINDOW).unwrap().insns;
-    let mut core =
-        Core::new(CoreConfig::default(), MemConfig::default(), PredictorConfig::default(), &trace);
+    let mut core = Core::new(
+        CoreConfig::default(),
+        MemConfig::default(),
+        PredictorConfig::default(),
+        &trace,
+    );
     let window = core.run_with_warmup(2_000, 4_000);
     assert!(window.committed >= 4_000 && window.committed < 4_000 + 16);
     assert!(window.cycles > 0 && window.cycles < core.stats().cycles);

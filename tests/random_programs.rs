@@ -35,7 +35,12 @@ fn arb_op() -> impl Strategy<Value = Op> {
             imm,
             kind
         }),
-        (0u8..16, 0u8..16, 0u8..16, 0u8..5).prop_map(|(dst, a, b, kind)| Op::Fp { dst, a, b, kind }),
+        (0u8..16, 0u8..16, 0u8..16, 0u8..5).prop_map(|(dst, a, b, kind)| Op::Fp {
+            dst,
+            a,
+            b,
+            kind
+        }),
         (1u8..16, 0u8..32, any::<bool>()).prop_map(|(dst, slot, fp)| Op::Load { dst, slot, fp }),
         (0u8..16, 0u8..32, any::<bool>()).prop_map(|(src, slot, fp)| Op::Store { src, slot, fp }),
         (0u8..16, 0u8..16).prop_map(|(a, b)| Op::Skip { a, b }),
@@ -68,7 +73,12 @@ fn build_program(body: &[Op]) -> ring_clustered::isa::Program {
                     _ => a.sltu(dst, x, b),
                 }
             }
-            Op::IntImm { dst, a: x, imm, kind } => {
+            Op::IntImm {
+                dst,
+                a: x,
+                imm,
+                kind,
+            } => {
                 let (dst, x) = (r(dst % 16), r(x % 16));
                 match kind {
                     0 => a.addi(dst, x, imm),
@@ -123,7 +133,11 @@ fn all_configs() -> Vec<CoreConfig> {
         (Topology::Ring, Steering::Ssa),
         (Topology::Conv, Steering::Ssa),
     ] {
-        v.push(CoreConfig { topology, steering, ..CoreConfig::default() });
+        v.push(CoreConfig {
+            topology,
+            steering,
+            ..CoreConfig::default()
+        });
         v.push(CoreConfig {
             topology,
             steering,

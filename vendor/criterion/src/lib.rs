@@ -1,0 +1,305 @@
+//! Minimal stand-in for `criterion`, used because the build environment has
+//! no crates.io access (the workspace patches `criterion` to this crate; see
+//! the root manifest).
+//!
+//! It keeps the `criterion_group!`/`criterion_main!`/`Bencher` source shape
+//! and actually measures: each benchmark runs for the configured measurement
+//! time and reports the median per-iteration wall time (and throughput when
+//! one was declared). No statistics machinery, plots or baselines.
+
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity, re-exported like `criterion::black_box`.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// How `iter_batched` amortizes setup; carried for source compatibility.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Declared work per iteration, used to report a rate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up: Duration::from_millis(200),
+            measurement: Duration::from_millis(500),
+            sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the warm-up duration.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Set the measurement duration.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Set the number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// CLI-argument hook; a no-op in the stand-in.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            sample_size: self.sample_size,
+            throughput: None,
+            _parent: std::marker::PhantomData,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let group_cfg = (self.warm_up, self.measurement, self.sample_size);
+        run_one(name, group_cfg, None, f);
+        self
+    }
+}
+
+/// A named group sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _parent: std::marker::PhantomData<&'a ()>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare per-iteration work for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Override the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        run_one(
+            &full,
+            (self.warm_up, self.measurement, self.sample_size),
+            self.throughput,
+            f,
+        );
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+fn run_one(
+    name: &str,
+    (warm_up, measurement, sample_size): (Duration, Duration, usize),
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    // Warm-up pass: run the body until the warm-up budget elapses.
+    let mut b = Bencher {
+        mode: Mode::Timed { budget: warm_up },
+        per_iter: Vec::new(),
+    };
+    f(&mut b);
+
+    // Measurement pass.
+    let mut b = Bencher {
+        mode: Mode::Timed {
+            budget: measurement,
+        },
+        per_iter: Vec::with_capacity(sample_size),
+    };
+    f(&mut b);
+    let mut samples = b.per_iter;
+    if samples.is_empty() {
+        println!("{name:<40} (no samples)");
+        return;
+    }
+    samples.sort_unstable();
+    let median = samples[samples.len() / 2];
+    let rate = throughput.map(|t| {
+        let per_sec = |n: u64| n as f64 / (median as f64 / 1e9);
+        match t {
+            Throughput::Elements(n) => format!("  {:>12.0} elem/s", per_sec(n)),
+            Throughput::Bytes(n) => format!("  {:>12.0} B/s", per_sec(n)),
+        }
+    });
+    println!(
+        "{name:<40} median {:>12}  ({} samples){}",
+        format_ns(median),
+        samples.len(),
+        rate.unwrap_or_default()
+    );
+}
+
+fn format_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+enum Mode {
+    Timed { budget: Duration },
+}
+
+/// Passed to the benchmark closure; collects per-iteration timings.
+pub struct Bencher {
+    mode: Mode,
+    per_iter: Vec<u128>,
+}
+
+impl Bencher {
+    /// Time `routine` repeatedly until the sample budget elapses.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let Mode::Timed { budget } = self.mode;
+        let deadline = Instant::now() + budget;
+        loop {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.per_iter.push(t0.elapsed().as_nanos().max(1));
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+
+    /// Time `routine` over inputs produced by `setup` (setup excluded from
+    /// the measurement).
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let Mode::Timed { budget } = self.mode;
+        let deadline = Instant::now() + budget;
+        loop {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.per_iter.push(t0.elapsed().as_nanos().max(1));
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+}
+
+/// Build the group-runner function, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Build `fn main()` from group runners, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_criterion() -> Criterion {
+        Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5))
+            .sample_size(5)
+    }
+
+    #[test]
+    fn group_runs_and_samples() {
+        let mut c = fast_criterion();
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(10));
+        let mut ran = 0u32;
+        g.bench_function("count", |b| b.iter(|| ran += 1));
+        g.finish();
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_sample() {
+        let mut c = fast_criterion();
+        let mut setups = 0u32;
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![1u8; 16]
+                },
+                |v| v.len(),
+                BatchSize::SmallInput,
+            )
+        });
+        assert!(setups > 0);
+    }
+}

@@ -1,0 +1,117 @@
+//! `any::<T>()` — whole-domain strategies for primitive types.
+
+use std::marker::PhantomData;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary {
+    /// Draw one uniformly random value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The strategy returned by [`any`].
+#[derive(Clone, Copy, Debug)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T> Any<T> {
+    /// Const-constructible instance (used by `prop::bool::ANY`).
+    pub const NEW: Any<T> = Any(PhantomData);
+}
+
+/// Whole-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any::NEW
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn gen(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for u128 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Arbitrary for i128 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        u128::arbitrary(rng) as i128
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Finite, sign-symmetric, wide dynamic range — without NaN/inf,
+        // which the real `any::<f64>()` also excludes by default.
+        let mantissa = rng.unit_f64() * 2.0 - 1.0;
+        let exp = (rng.below(61) as i32 - 30) as f64;
+        mantissa * exp.exp2()
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        f64::arbitrary(rng) as f32
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Mostly ASCII, sometimes an arbitrary scalar value.
+        if rng.below(4) == 0 {
+            loop {
+                if let Some(c) = char::from_u32(rng.below(0x11_0000) as u32) {
+                    return c;
+                }
+            }
+        } else {
+            (b' ' + rng.below(95) as u8) as char
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_bool_hits_both_values() {
+        let mut rng = TestRng::for_case("arbitrary::tests", 0);
+        let s = any::<bool>();
+        let mut seen = [false; 2];
+        for _ in 0..64 {
+            seen[s.gen(&mut rng) as usize] = true;
+        }
+        assert_eq!(seen, [true, true]);
+    }
+
+    #[test]
+    fn any_f64_finite() {
+        let mut rng = TestRng::for_case("arbitrary::tests", 1);
+        for _ in 0..1000 {
+            assert!(any::<f64>().gen(&mut rng).is_finite());
+        }
+    }
+}

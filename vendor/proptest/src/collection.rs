@@ -1,0 +1,47 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use std::ops::Range;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy for vectors with a length drawn from `size` and elements from
+/// `element`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    assert!(
+        size.start < size.end,
+        "empty size range for collection::vec"
+    );
+    VecStrategy { element, size }
+}
+
+/// See [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn gen(&self, rng: &mut TestRng) -> Self::Value {
+        let span = (self.size.end - self.size.start) as u64;
+        let len = self.size.start + rng.below(span) as usize;
+        (0..len).map(|_| self.element.gen(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths_and_elements_in_range() {
+        let mut rng = TestRng::for_case("collection::tests", 0);
+        let s = vec(0u8..10, 2..6);
+        for _ in 0..200 {
+            let v = s.gen(&mut rng);
+            assert!((2..6).contains(&v.len()));
+            assert!(v.iter().all(|&e| e < 10));
+        }
+    }
+}

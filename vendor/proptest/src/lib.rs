@@ -1,0 +1,126 @@
+//! Minimal stand-in for `proptest`, used because the build environment has no
+//! crates.io access (the workspace patches `proptest` to this crate; see the
+//! root manifest).
+//!
+//! Source-compatible with the subset the workspace uses:
+//!
+//! * the `proptest! { #[test] fn name(x in strategy, ...) { ... } }` macro,
+//!   with an optional `#![proptest_config(...)]` header;
+//! * [`strategy::Strategy`] with `prop_map` and `boxed`, integer/float range
+//!   strategies, tuple strategies, [`strategy::Just`], `prop_oneof!`,
+//!   [`collection::vec`], `any::<T>()`, `prop::bool::ANY`, and regex-literal
+//!   `&str` strategies (a small generator covering the patterns in-tree);
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!` / `prop_assume!`.
+//!
+//! Differences from the real crate: no shrinking (a failing case panics with
+//! the generated values visible in the assertion message), and generation is
+//! derandomized — each test's stream is seeded from its fully-qualified name
+//! and case index, so runs are reproducible by construction.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod string_gen;
+pub mod test_runner;
+
+/// The `prop::` namespace (`prop::collection::vec`, `prop::bool::ANY`).
+pub mod prop {
+    pub use crate::collection;
+
+    /// Boolean strategies.
+    pub mod bool {
+        /// Uniformly random boolean.
+        pub const ANY: crate::arbitrary::Any<::core::primitive::bool> = crate::arbitrary::Any::NEW;
+    }
+}
+
+/// Everything a test module needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Define property tests. Each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `config.cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $( $(#[$meta:meta])* fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config = $cfg;
+                let __strategies = ( $( $strat, )+ );
+                for __case in 0..__config.cases {
+                    let mut __rng = $crate::test_runner::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        __case,
+                    );
+                    let ( $( $pat, )+ ) =
+                        $crate::strategy::Strategy::gen(&__strategies, &mut __rng);
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Assert within a property (panics; no shrinking in the stand-in).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)+) => { assert!($($args)+) };
+}
+
+/// Equality assertion within a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)+) => { assert_eq!($($args)+) };
+}
+
+/// Inequality assertion within a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)+) => { assert_ne!($($args)+) };
+}
+
+/// Skip the current case when a generated precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            continue;
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            continue;
+        }
+    };
+}
+
+/// Choose uniformly between several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( $crate::strategy::Strategy::boxed($strat) ),+
+        ])
+    };
+}

@@ -1,0 +1,266 @@
+//! A small regex-pattern string *generator* backing `&str` strategies.
+//!
+//! Supported syntax (the subset used by this workspace's tests):
+//!
+//! * literal characters and `\`-escaped metacharacters (`\(`, `\)`, …);
+//! * character classes `[a-z0-9_]` with ranges and single characters;
+//! * groups with alternation `(ld|st|fld|fst)`, nestable;
+//! * quantifiers `{n}`, `{n,m}`, `?`, `*`, `+` (unbounded forms capped at 8);
+//! * `\PC` (any non-control character) and `\d`.
+//!
+//! Unsupported constructs panic with the offending pattern, so a typo fails
+//! loudly rather than generating the wrong language.
+
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+enum Node {
+    Lit(char),
+    /// `\PC`: any character outside the Unicode control categories.
+    NotControl,
+    Class(Vec<(char, char)>),
+    /// Alternation of sequences.
+    Group(Vec<Vec<Node>>),
+    Rep(Box<Node>, u32, u32),
+}
+
+/// Generate one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pos = 0usize;
+    let seq = parse_seq(pattern, &chars, &mut pos, /*in_group=*/ false);
+    assert!(
+        pos == chars.len(),
+        "trailing garbage in pattern {pattern:?} at {pos}"
+    );
+    let mut out = String::new();
+    for node in &seq {
+        emit(node, rng, &mut out);
+    }
+    out
+}
+
+fn parse_seq(pattern: &str, chars: &[char], pos: &mut usize, in_group: bool) -> Vec<Node> {
+    let mut seq = Vec::new();
+    while *pos < chars.len() {
+        let c = chars[*pos];
+        if in_group && (c == ')' || c == '|') {
+            break;
+        }
+        let atom = match c {
+            '(' => {
+                *pos += 1;
+                let mut alts = vec![parse_seq(pattern, chars, pos, true)];
+                while chars.get(*pos) == Some(&'|') {
+                    *pos += 1;
+                    alts.push(parse_seq(pattern, chars, pos, true));
+                }
+                assert!(
+                    chars.get(*pos) == Some(&')'),
+                    "unclosed group in pattern {pattern:?}"
+                );
+                *pos += 1;
+                Node::Group(alts)
+            }
+            '[' => {
+                *pos += 1;
+                let mut ranges = Vec::new();
+                while *pos < chars.len() && chars[*pos] != ']' {
+                    let lo = if chars[*pos] == '\\' {
+                        *pos += 1;
+                        chars[*pos]
+                    } else {
+                        chars[*pos]
+                    };
+                    *pos += 1;
+                    if chars.get(*pos) == Some(&'-') && chars.get(*pos + 1) != Some(&']') {
+                        *pos += 1;
+                        let hi = chars[*pos];
+                        *pos += 1;
+                        ranges.push((lo, hi));
+                    } else {
+                        ranges.push((lo, lo));
+                    }
+                }
+                assert!(
+                    chars.get(*pos) == Some(&']'),
+                    "unclosed class in pattern {pattern:?}"
+                );
+                *pos += 1;
+                Node::Class(ranges)
+            }
+            '\\' => {
+                *pos += 1;
+                let e = *chars
+                    .get(*pos)
+                    .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"));
+                *pos += 1;
+                match e {
+                    'P' => {
+                        // Only `\PC` ("not control") is supported.
+                        let cat = chars.get(*pos).copied();
+                        assert!(
+                            cat == Some('C'),
+                            "unsupported \\P category {cat:?} in pattern {pattern:?}"
+                        );
+                        *pos += 1;
+                        Node::NotControl
+                    }
+                    'd' => Node::Class(vec![('0', '9')]),
+                    'n' => Node::Lit('\n'),
+                    't' => Node::Lit('\t'),
+                    'r' => Node::Lit('\r'),
+                    c @ ('(' | ')' | '[' | ']' | '{' | '}' | '|' | '?' | '*' | '+' | '.' | '\\'
+                    | '^' | '$' | '-') => Node::Lit(c),
+                    other => panic!("unsupported escape \\{other} in pattern {pattern:?}"),
+                }
+            }
+            '.' => {
+                *pos += 1;
+                Node::NotControl
+            }
+            c @ ('{' | '}' | '?' | '*' | '+' | '|' | ')' | ']') => {
+                panic!("unexpected metacharacter {c:?} in pattern {pattern:?}")
+            }
+            c => {
+                *pos += 1;
+                Node::Lit(c)
+            }
+        };
+        seq.push(apply_quantifier(pattern, chars, pos, atom));
+    }
+    seq
+}
+
+fn apply_quantifier(pattern: &str, chars: &[char], pos: &mut usize, atom: Node) -> Node {
+    match chars.get(*pos) {
+        Some('{') => {
+            *pos += 1;
+            let mut lo = String::new();
+            while chars[*pos].is_ascii_digit() {
+                lo.push(chars[*pos]);
+                *pos += 1;
+            }
+            let lo: u32 = lo
+                .parse()
+                .unwrap_or_else(|_| panic!("bad repetition lower bound in pattern {pattern:?}"));
+            let hi = if chars[*pos] == ',' {
+                *pos += 1;
+                let mut hi = String::new();
+                while chars[*pos].is_ascii_digit() {
+                    hi.push(chars[*pos]);
+                    *pos += 1;
+                }
+                if hi.is_empty() {
+                    lo + 8 // `{n,}`: open-ended, capped
+                } else {
+                    hi.parse().unwrap()
+                }
+            } else {
+                lo
+            };
+            assert!(
+                chars.get(*pos) == Some(&'}'),
+                "unclosed repetition in pattern {pattern:?}"
+            );
+            *pos += 1;
+            Node::Rep(Box::new(atom), lo, hi)
+        }
+        Some('?') => {
+            *pos += 1;
+            Node::Rep(Box::new(atom), 0, 1)
+        }
+        Some('*') => {
+            *pos += 1;
+            Node::Rep(Box::new(atom), 0, 8)
+        }
+        Some('+') => {
+            *pos += 1;
+            Node::Rep(Box::new(atom), 1, 8)
+        }
+        _ => atom,
+    }
+}
+
+/// Pool of non-ASCII, non-control characters mixed into `\PC` output so the
+/// fuzzed parsers see multi-byte UTF-8.
+const EXOTIC: &[char] = &[
+    'é', 'ß', 'λ', 'Ж', '中', '한', '🦀', '∑', '«', '\u{a0}', '\u{2028}', '𝕏',
+];
+
+fn emit(node: &Node, rng: &mut TestRng, out: &mut String) {
+    match node {
+        Node::Lit(c) => out.push(*c),
+        Node::NotControl => {
+            if rng.below(8) == 0 {
+                out.push(EXOTIC[rng.below(EXOTIC.len() as u64) as usize]);
+            } else {
+                out.push((b' ' + rng.below(95) as u8) as char);
+            }
+        }
+        Node::Class(ranges) => {
+            let i = rng.below(ranges.len() as u64) as usize;
+            let (lo, hi) = ranges[i];
+            let span = hi as u32 - lo as u32 + 1;
+            out.push(char::from_u32(lo as u32 + rng.below(span as u64) as u32).unwrap());
+        }
+        Node::Group(alts) => {
+            let i = rng.below(alts.len() as u64) as usize;
+            for n in &alts[i] {
+                emit(n, rng, out);
+            }
+        }
+        Node::Rep(inner, lo, hi) => {
+            let n = lo + rng.below((*hi - *lo + 1) as u64) as u32;
+            for _ in 0..n {
+                emit(inner, rng, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::generate;
+    use crate::test_runner::TestRng;
+
+    fn rng(case: u32) -> TestRng {
+        TestRng::for_case("string_gen::tests", case)
+    }
+
+    #[test]
+    fn literal_and_class() {
+        for case in 0..50 {
+            let s = generate("[a-z]{1,8}:", &mut rng(case));
+            assert!(s.ends_with(':'));
+            let body = &s[..s.len() - 1];
+            assert!((1..=8).contains(&body.len()));
+            assert!(body.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn alternation_and_escapes() {
+        for case in 0..50 {
+            let s = generate("(ld|st|fld|fst)", &mut rng(case));
+            assert!(["ld", "st", "fld", "fst"].contains(&s.as_str()));
+            let t = generate(r" r[0-9]{1,2}, -?[0-9]{1,3}\(r[0-9]{1,2}\)", &mut rng(case));
+            assert!(t.starts_with(" r") && t.contains('(') && t.ends_with(')'));
+        }
+    }
+
+    #[test]
+    fn not_control_never_emits_controls() {
+        for case in 0..20 {
+            let s = generate(r"\PC{0,400}", &mut rng(case));
+            assert!(s.chars().count() <= 400);
+            assert!(!s.chars().any(|c| c.is_control()));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported escape")]
+    fn unknown_escape_is_loud() {
+        generate(r"\q", &mut rng(0));
+    }
+}

@@ -1,0 +1,293 @@
+//! The JSON tree shared by the `serde` and `serde_json` stand-ins: a value
+//! enum, a renderer (compact and pretty) and a recursive-descent parser.
+
+/// One JSON value. Object member order is preserved.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (integers round-trip exactly up to 2^53).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, as insertion-ordered key/value pairs.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Object member lookup.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Render with two-space indentation.
+    pub fn to_pretty_string(&self) -> String {
+        let mut out = String::new();
+        self.render(&mut out, Some(0));
+        out
+    }
+
+    /// Render without whitespace.
+    pub fn to_compact_string(&self) -> String {
+        let mut out = String::new();
+        self.render(&mut out, None);
+        out
+    }
+
+    fn render(&self, out: &mut String, indent: Option<usize>) {
+        let (nl, pad, pad_in) = match indent {
+            Some(n) => ("\n", "  ".repeat(n), "  ".repeat(n + 1)),
+            None => ("", String::new(), String::new()),
+        };
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Num(n) => render_num(*n, out),
+            Value::Str(s) => render_str(s, out),
+            Value::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(nl);
+                    out.push_str(&pad_in);
+                    item.render(out, indent.map(|n| n + 1));
+                }
+                out.push_str(nl);
+                out.push_str(&pad);
+                out.push(']');
+            }
+            Value::Obj(members) => {
+                if members.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(nl);
+                    out.push_str(&pad_in);
+                    render_str(k, out);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.render(out, indent.map(|n| n + 1));
+                }
+                out.push_str(nl);
+                out.push_str(&pad);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn render_num(n: f64, out: &mut String) {
+    if !n.is_finite() {
+        // JSON has no NaN/inf; degrade to null (readers treat it as a shape
+        // mismatch and recompute).
+        out.push_str("null");
+    } else if n == n.trunc() && n.abs() < 9e15 {
+        out.push_str(&format!("{}", n as i64));
+    } else {
+        // `{}` on f64 prints the shortest string that round-trips.
+        out.push_str(&format!("{n}"));
+    }
+}
+
+fn render_str(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parse one JSON document. `None` on any syntax error or trailing garbage.
+pub fn parse(text: &str) -> Option<Value> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let v = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos == bytes.len() {
+        Some(v)
+    } else {
+        None
+    }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn eat(b: &[u8], pos: &mut usize, lit: &str) -> Option<()> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Some(())
+    } else {
+        None
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Option<Value> {
+    skip_ws(b, pos);
+    match *b.get(*pos)? {
+        b'n' => eat(b, pos, "null").map(|_| Value::Null),
+        b't' => eat(b, pos, "true").map(|_| Value::Bool(true)),
+        b'f' => eat(b, pos, "false").map(|_| Value::Bool(false)),
+        b'"' => parse_string(b, pos).map(Value::Str),
+        b'[' => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Some(Value::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match *b.get(*pos)? {
+                    b',' => *pos += 1,
+                    b']' => {
+                        *pos += 1;
+                        return Some(Value::Arr(items));
+                    }
+                    _ => return None,
+                }
+            }
+        }
+        b'{' => {
+            *pos += 1;
+            let mut members = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Some(Value::Obj(members));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                eat(b, pos, ":")?;
+                let value = parse_value(b, pos)?;
+                members.push((key, value));
+                skip_ws(b, pos);
+                match *b.get(*pos)? {
+                    b',' => *pos += 1,
+                    b'}' => {
+                        *pos += 1;
+                        return Some(Value::Obj(members));
+                    }
+                    _ => return None,
+                }
+            }
+        }
+        _ => parse_number(b, pos).map(Value::Num),
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Option<String> {
+    eat(b, pos, "\"")?;
+    let mut s = String::new();
+    loop {
+        let rest = std::str::from_utf8(&b[*pos..]).ok()?;
+        let c = rest.chars().next()?;
+        *pos += c.len_utf8();
+        match c {
+            '"' => return Some(s),
+            '\\' => {
+                let e = *b.get(*pos)?;
+                *pos += 1;
+                match e {
+                    b'"' => s.push('"'),
+                    b'\\' => s.push('\\'),
+                    b'/' => s.push('/'),
+                    b'n' => s.push('\n'),
+                    b'r' => s.push('\r'),
+                    b't' => s.push('\t'),
+                    b'b' => s.push('\u{8}'),
+                    b'f' => s.push('\u{c}'),
+                    b'u' => {
+                        let hex = std::str::from_utf8(b.get(*pos..*pos + 4)?).ok()?;
+                        *pos += 4;
+                        let code = u32::from_str_radix(hex, 16).ok()?;
+                        s.push(char::from_u32(code)?);
+                    }
+                    _ => return None,
+                }
+            }
+            c => s.push(c),
+        }
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Option<f64> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-') {
+        *pos += 1;
+    }
+    std::str::from_utf8(&b[start..*pos]).ok()?.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_pretty_and_compact() {
+        let v = Value::Obj(vec![
+            ("name".into(), Value::Str("swim \"q\"".into())),
+            ("ipc".into(), Value::Num(1.2345678901234567)),
+            ("cycles".into(), Value::Num(123456789.0)),
+            ("fp".into(), Value::Bool(true)),
+            (
+                "shares".into(),
+                Value::Arr(vec![Value::Num(0.25), Value::Num(0.75)]),
+            ),
+            ("nothing".into(), Value::Null),
+        ]);
+        assert_eq!(parse(&v.to_pretty_string()).unwrap(), v);
+        assert_eq!(parse(&v.to_compact_string()).unwrap(), v);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("{\"a\": }").is_none());
+        assert!(parse("[1, 2,]").is_none());
+        assert!(parse("12 34").is_none());
+        assert!(parse("").is_none());
+    }
+
+    #[test]
+    fn parses_escapes() {
+        assert_eq!(parse(r#""aA\n""#).unwrap(), Value::Str("aA\n".into()));
+    }
+}

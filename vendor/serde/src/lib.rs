@@ -1,0 +1,120 @@
+//! Minimal stand-in for `serde`, used because the build environment has no
+//! crates.io access (the workspace patches `serde` to this crate; see the
+//! root manifest).
+//!
+//! Instead of the real serde's visitor architecture, this models
+//! serialization through a concrete JSON [`json::Value`] tree: `Serialize`
+//! lowers to a `Value`, `Deserialize` lifts from one. The in-tree
+//! `serde_json` stand-in renders/parses that tree. This is exactly enough for
+//! the workspace's use (derived structs of primitives, strings and vectors)
+//! while keeping `#[derive(Serialize, Deserialize)]` source-compatible.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod json;
+
+/// Types that can lower themselves to a [`json::Value`].
+pub trait Serialize {
+    /// Produce the JSON tree for `self`.
+    fn to_value(&self) -> json::Value;
+}
+
+/// Types that can lift themselves from a [`json::Value`].
+pub trait Deserialize: Sized {
+    /// Rebuild from a JSON tree; `None` on shape mismatch.
+    fn from_value(v: &json::Value) -> Option<Self>;
+}
+
+macro_rules! impl_num {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> json::Value {
+                json::Value::Num(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &json::Value) -> Option<Self> {
+                match v {
+                    json::Value::Num(n) => Some(*n as $t),
+                    _ => None,
+                }
+            }
+        }
+    )*};
+}
+impl_num!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> json::Value {
+        json::Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &json::Value) -> Option<Self> {
+        match v {
+            json::Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> json::Value {
+        json::Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &json::Value) -> Option<Self> {
+        match v {
+            json::Value::Str(s) => Some(s.clone()),
+            _ => None,
+        }
+    }
+}
+
+impl Serialize for &str {
+    fn to_value(&self) -> json::Value {
+        json::Value::Str((*self).to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> json::Value {
+        json::Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &json::Value) -> Option<Self> {
+        match v {
+            json::Value::Arr(items) => items.iter().map(T::from_value).collect(),
+            _ => None,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> json::Value {
+        match self {
+            None => json::Value::Null,
+            Some(t) => t.to_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &json::Value) -> Option<Self> {
+        match v {
+            json::Value::Null => Some(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> json::Value {
+        (**self).to_value()
+    }
+}

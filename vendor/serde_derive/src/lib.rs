@@ -1,0 +1,132 @@
+//! `#[derive(Serialize, Deserialize)]` for the in-tree `serde` stand-in.
+//!
+//! Supports what the workspace uses: non-generic structs with named fields.
+//! The generated impls lower to / lift from `serde::json::Value` field by
+//! field. Written against `proc_macro` alone (no `syn`/`quote`, which are
+//! unavailable offline), so input parsing is a small hand-rolled walk over
+//! the token stream.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// A struct's name and its named fields.
+struct StructShape {
+    name: String,
+    fields: Vec<String>,
+}
+
+/// Extract `struct Name { field: Ty, ... }` from the derive input, skipping
+/// attributes, visibility and doc comments. Panics (= compile error) on
+/// enums, tuple structs or generics, which the stand-in does not support.
+fn parse_struct(input: TokenStream) -> StructShape {
+    let mut iter = input.into_iter().peekable();
+    let mut name = None;
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Ident(id) if id.to_string() == "struct" => {
+                match iter.next() {
+                    Some(TokenTree::Ident(n)) => name = Some(n.to_string()),
+                    other => panic!("serde stand-in: expected struct name, got {other:?}"),
+                }
+                break;
+            }
+            TokenTree::Ident(id) if id.to_string() == "enum" => {
+                panic!("serde stand-in derive supports only structs with named fields")
+            }
+            _ => {}
+        }
+    }
+    let name = name.expect("serde stand-in: no `struct` keyword in derive input");
+
+    // After the name, the next brace group is the field list. Anything else
+    // first (e.g. `<` starting generics) is unsupported.
+    let body = loop {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                panic!("serde stand-in derive does not support generic structs")
+            }
+            Some(_) => continue,
+            None => panic!("serde stand-in derive supports only structs with named fields"),
+        }
+    };
+
+    let mut fields = Vec::new();
+    let mut toks = body.stream().into_iter().peekable();
+    while let Some(tt) = toks.next() {
+        match tt {
+            // Attribute on the field: `#` followed by a bracket group.
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                toks.next();
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                // Skip optional `pub(...)` restriction.
+                if let Some(TokenTree::Group(g)) = toks.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        toks.next();
+                    }
+                }
+            }
+            TokenTree::Ident(id) => {
+                match toks.next() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+                    other => {
+                        panic!("serde stand-in: expected `:` after field `{id}`, got {other:?}")
+                    }
+                }
+                fields.push(id.to_string());
+                // Skip the type: everything up to a comma at angle-depth 0.
+                let mut depth = 0i32;
+                for tt in toks.by_ref() {
+                    match tt {
+                        TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                        TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                        TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                        _ => {}
+                    }
+                }
+            }
+            other => panic!("serde stand-in: unexpected token in struct body: {other:?}"),
+        }
+    }
+    StructShape { name, fields }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_struct(input);
+    let members = shape
+        .fields
+        .iter()
+        .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})),"))
+        .collect::<String>();
+    format!(
+        "impl ::serde::Serialize for {} {{\n\
+             fn to_value(&self) -> ::serde::json::Value {{\n\
+                 ::serde::json::Value::Obj(vec![{members}])\n\
+             }}\n\
+         }}",
+        shape.name
+    )
+    .parse()
+    .unwrap()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_struct(input);
+    let fields = shape
+        .fields
+        .iter()
+        .map(|f| format!("{f}: ::serde::Deserialize::from_value(v.get(\"{f}\")?)?,"))
+        .collect::<String>();
+    format!(
+        "impl ::serde::Deserialize for {} {{\n\
+             fn from_value(v: &::serde::json::Value) -> ::core::option::Option<Self> {{\n\
+                 ::core::option::Option::Some({} {{ {fields} }})\n\
+             }}\n\
+         }}",
+        shape.name, shape.name
+    )
+    .parse()
+    .unwrap()
+}

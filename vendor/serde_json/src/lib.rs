@@ -1,0 +1,83 @@
+//! Minimal stand-in for `serde_json` over the in-tree `serde` stand-in's
+//! [`serde::json::Value`] tree. Provides the entry points the workspace uses
+//! (`to_vec_pretty`, `from_slice`, plus `to_string`/`from_str` for
+//! completeness) with `serde_json`-shaped `Result`s.
+
+pub use serde::json::Value;
+
+/// Serialization/deserialization failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// `serde_json`-compatible result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serialize to a pretty-printed JSON byte vector.
+pub fn to_vec_pretty<T: serde::Serialize>(value: &T) -> Result<Vec<u8>> {
+    Ok(value.to_value().to_pretty_string().into_bytes())
+}
+
+/// Serialize to a compact JSON string.
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String> {
+    Ok(value.to_value().to_compact_string())
+}
+
+/// Serialize to a pretty-printed JSON string.
+pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String> {
+    Ok(value.to_value().to_pretty_string())
+}
+
+/// Deserialize from JSON bytes.
+pub fn from_slice<T: serde::Deserialize>(bytes: &[u8]) -> Result<T> {
+    let text = std::str::from_utf8(bytes).map_err(|e| Error(e.to_string()))?;
+    from_str(text)
+}
+
+/// Deserialize from a JSON string.
+pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T> {
+    let value = serde::json::parse(text).ok_or_else(|| Error("invalid JSON".to_string()))?;
+    T::from_value(&value).ok_or_else(|| Error("JSON shape does not match target type".to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use serde::{Deserialize, Serialize};
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Sample {
+        /// Doc comments and attributes must be skipped by the derive.
+        name: String,
+        ipc: f64,
+        cycles: u64,
+        fp: bool,
+        shares: Vec<f64>,
+    }
+
+    #[test]
+    fn derived_struct_roundtrips() {
+        let s = Sample {
+            name: "swim".into(),
+            ipc: 1.618033988749895,
+            cycles: 123_456_789,
+            fp: true,
+            shares: vec![0.25, 0.5, 0.25],
+        };
+        let bytes = super::to_vec_pretty(&s).unwrap();
+        let back: Sample = super::from_slice(&bytes).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn shape_mismatch_is_an_error() {
+        assert!(super::from_str::<Sample>("{\"name\": 3}").is_err());
+        assert!(super::from_str::<Sample>("not json").is_err());
+    }
+}
