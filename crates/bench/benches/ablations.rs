@@ -14,7 +14,7 @@ use rcmc_sim::runner::sweep;
 use rcmc_sim::{config, experiments};
 
 fn main() {
-    let (budget, store) = rcmc_bench::harness_env();
+    let (budget, store, opts) = rcmc_bench::harness_env();
     // A representative subset keeps the ablations fast; the main figures use
     // the full suite.
     let benches: Vec<&str> = vec![
@@ -34,7 +34,7 @@ fn main() {
             cfgs.push(c);
         }
     }
-    let results = sweep(&cfgs, &benches, &budget, &store);
+    let results = sweep(&cfgs, &benches, &budget, &store, opts.jobs);
     let base = config_results(&results, "x_Conv_dcount");
     let mut rows = Vec::new();
     for c in &cfgs {
@@ -57,7 +57,7 @@ fn main() {
         c.name = format!("rel_{pname}");
         cfgs.push(c);
     }
-    let results = sweep(&cfgs, &benches, &budget, &store);
+    let results = sweep(&cfgs, &benches, &budget, &store, opts.jobs);
     let base = config_results(&results, "rel_at_commit");
     let on_read = config_results(&results, "rel_on_read");
     let rows = vec![(
@@ -77,7 +77,7 @@ fn main() {
         ring.name = format!("scale_ring_{n}");
         conv.name = format!("scale_conv_{n}");
         let cfgs = vec![ring, conv];
-        let results = sweep(&cfgs, &benches, &budget, &store);
+        let results = sweep(&cfgs, &benches, &budget, &store, opts.jobs);
         let r = config_results(&results, &format!("scale_ring_{n}"));
         let c = config_results(&results, &format!("scale_conv_{n}"));
         rows.push((format!("{n}_clusters"), group_speedup(&r, &c)));
@@ -100,7 +100,7 @@ fn main() {
         ring.name = format!("hop{hop}_ring");
         conv.name = format!("hop{hop}_conv");
         let cfgs = vec![ring, conv];
-        let results = sweep(&cfgs, &benches, &budget, &store);
+        let results = sweep(&cfgs, &benches, &budget, &store, opts.jobs);
         let r = config_results(&results, &format!("hop{hop}_ring"));
         let c = config_results(&results, &format!("hop{hop}_conv"));
         rows.push((format!("{hop}_cycles_per_hop"), group_speedup(&r, &c)));
@@ -114,7 +114,7 @@ fn main() {
     );
 
     // Also exercise the activity-spread claim from §5.
-    let main = experiments::main_sweep(&budget, &store);
+    let main = experiments::main_sweep(&budget, &store, &opts);
     let ring = config_results(&main, "Ring_8clus_1bus_2IW");
     let conv = config_results(&main, "Conv_8clus_1bus_2IW");
     let spread = |rs: &[&rcmc_sim::RunResult]| {

@@ -2,7 +2,7 @@
 use rcmc_sim::experiments;
 
 fn main() {
-    let (budget, store) = rcmc_bench::harness_env();
-    let results = experiments::main_sweep(&budget, &store);
+    let (budget, store, opts) = rcmc_bench::harness_env();
+    let results = experiments::main_sweep(&budget, &store, &opts);
     rcmc_bench::emit(&experiments::figure7(&results));
 }

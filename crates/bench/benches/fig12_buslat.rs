@@ -2,8 +2,8 @@
 use rcmc_sim::experiments;
 
 fn main() {
-    let (budget, store) = rcmc_bench::harness_env();
-    let main = experiments::main_sweep(&budget, &store);
-    let twocyc = experiments::fig12_sweep(&budget, &store);
+    let (budget, store, opts) = rcmc_bench::harness_env();
+    let main = experiments::main_sweep(&budget, &store, &opts);
+    let twocyc = experiments::fig12_sweep(&budget, &store, &opts);
     rcmc_bench::emit(&experiments::figure12(&main, &twocyc));
 }

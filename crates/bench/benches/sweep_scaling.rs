@@ -1,0 +1,82 @@
+//! Timing harness for the parallel sweep engine: run one tiny
+//! (configuration × benchmark) grid serially and again on 4 workers, verify
+//! the results are bit-identical, and record both wall-clock numbers in
+//! `BENCH_sweep.json` at the repository root so the perf trajectory is
+//! tracked PR over PR.
+//!
+//! The window is fixed (not `RCMC_INSTRS`) and the stores are ephemeral, so
+//! both timings measure pure simulation work and stay comparable run to run.
+//! Oracle traces are pre-warmed before either timing, so emulation cost is
+//! excluded from both sides. Note: on a single-core machine the parallel
+//! number will roughly match the serial one — the point of the file is the
+//! trajectory, not a pass/fail gate.
+
+use std::time::Instant;
+
+use rcmc_core::Topology;
+use rcmc_sim::config::make;
+use rcmc_sim::runner::{cached_trace, sweep, Budget, ResultStore};
+
+const PAR_JOBS: usize = 4;
+
+fn main() {
+    let budget = Budget {
+        warmup: 2_000,
+        measure: 10_000,
+    };
+    let cfgs = vec![
+        make(Topology::Ring, 4, 2, 1),
+        make(Topology::Conv, 4, 2, 1),
+        make(Topology::Ring, 8, 2, 1),
+        make(Topology::Conv, 8, 2, 1),
+    ];
+    let benches = ["swim", "gzip", "mcf", "galgel", "ammp", "gcc"];
+    for b in benches {
+        cached_trace(b, budget.trace_len());
+    }
+
+    let t0 = Instant::now();
+    let serial = sweep(&cfgs, &benches, &budget, &ResultStore::ephemeral(), 1);
+    let serial_s = t0.elapsed().as_secs_f64();
+
+    let t0 = Instant::now();
+    let parallel = sweep(
+        &cfgs,
+        &benches,
+        &budget,
+        &ResultStore::ephemeral(),
+        PAR_JOBS,
+    );
+    let parallel_s = t0.elapsed().as_secs_f64();
+
+    assert_eq!(
+        serial, parallel,
+        "jobs={PAR_JOBS} must be bit-identical to jobs=1"
+    );
+
+    let speedup = serial_s / parallel_s;
+    println!(
+        "\nSweep scaling ({} runs: 4 configs x 6 benches)",
+        serial.len()
+    );
+    println!("------------------------------------------------");
+    println!("jobs=1          {serial_s:>8.3} s");
+    println!("jobs={PAR_JOBS}          {parallel_s:>8.3} s");
+    println!("speedup         {speedup:>8.2} x");
+
+    let json = format!(
+        "{{\n  \"bench\": \"sweep_tiny_grid\",\n  \"grid\": \"4 configs x 6 benches\",\n  \
+         \"warmup\": {},\n  \"measure\": {},\n  \"serial_jobs1_s\": {serial_s:.3},\n  \
+         \"parallel_jobs{PAR_JOBS}_s\": {parallel_s:.3},\n  \"speedup\": {speedup:.3},\n  \
+         \"identical_results\": true\n}}\n",
+        budget.warmup, budget.measure
+    );
+    let out = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join("BENCH_sweep.json");
+    match std::fs::write(&out, &json) {
+        Ok(()) => println!("wrote {}", out.display()),
+        Err(e) => eprintln!("could not write {}: {e}", out.display()),
+    }
+}

@@ -19,13 +19,20 @@
 //! All sweep-based targets share one disk-backed result store
 //! (`target/rcmc-results/`), so repeated `cargo bench` invocations simulate
 //! each (configuration × benchmark) pair exactly once. Set `RCMC_INSTRS` /
-//! `RCMC_WARMUP` to change the window (results are keyed by the window).
+//! `RCMC_WARMUP` to change the window (results are keyed by the window) and
+//! `RCMC_JOBS` to cap the sweep worker count (default: all cores).
+//! `sweep_scaling` is the odd one out: it ignores the shared store and times
+//! a serial-vs-parallel tiny sweep, emitting `BENCH_sweep.json`.
 
-use rcmc_sim::runner::{Budget, ResultStore};
+use rcmc_sim::runner::{Budget, ResultStore, SweepOpts};
 
-/// The store and budget every figure target shares.
-pub fn harness_env() -> (Budget, ResultStore) {
-    (Budget::default(), ResultStore::open_default())
+/// The store, budget, and sweep options every figure target shares.
+pub fn harness_env() -> (Budget, ResultStore, SweepOpts<'static>) {
+    (
+        Budget::default(),
+        ResultStore::open_default(),
+        SweepOpts::default(),
+    )
 }
 
 /// Print a figure header + body with a little framing so `cargo bench`

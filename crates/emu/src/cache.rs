@@ -1,0 +1,130 @@
+//! Concurrent, build-once trace cache.
+//!
+//! [`TraceCache`] owns the synchronization story for oracle-trace sharing:
+//! callers hand it a *build* closure and it guarantees the closure runs at
+//! most once per `(name, len)` key process-wide, no matter how many threads
+//! race on the same key. The map lock is only held to look up or insert the
+//! per-key cell — never across emulation — so two threads building traces
+//! for *different* benchmarks proceed fully in parallel, while a second
+//! requester of the *same* benchmark blocks on that key's [`OnceLock`] until
+//! the first build finishes and then shares its `Arc`.
+
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
+
+use parking_lot::Mutex;
+
+use crate::trace::DynInsn;
+
+/// Per-key cell: the inner `OnceLock` serializes builders of one key without
+/// blocking the whole cache.
+type Cell = Arc<OnceLock<Arc<Vec<DynInsn>>>>;
+
+/// A `Sync` map from `(name, len)` to a shared dynamic trace, with
+/// build-at-most-once semantics per key. Usable as a `static`.
+#[derive(Default)]
+pub struct TraceCache {
+    map: OnceLock<Mutex<HashMap<(String, u64), Cell>>>,
+}
+
+impl TraceCache {
+    /// An empty cache (const, so it can back a `static`).
+    pub const fn new() -> Self {
+        TraceCache {
+            map: OnceLock::new(),
+        }
+    }
+
+    fn map(&self) -> &Mutex<HashMap<(String, u64), Cell>> {
+        self.map.get_or_init(Mutex::default)
+    }
+
+    /// Return the trace for `(name, len)`, running `build` to create it if
+    /// (and only if) no other caller has built or is building it. Concurrent
+    /// callers with the same key wait for the in-flight build instead of
+    /// duplicating it.
+    pub fn get_or_build<F>(&self, name: &str, len: u64, build: F) -> Arc<Vec<DynInsn>>
+    where
+        F: FnOnce() -> Arc<Vec<DynInsn>>,
+    {
+        let cell: Cell = {
+            let mut map = self.map().lock();
+            Arc::clone(map.entry((name.to_string(), len)).or_default())
+        };
+        Arc::clone(cell.get_or_init(build))
+    }
+
+    /// Number of cached (or in-flight) keys.
+    pub fn len(&self) -> usize {
+        self.map().lock().len()
+    }
+
+    /// Whether the cache holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop every cached trace (outstanding `Arc`s stay alive).
+    pub fn clear(&self) {
+        self.map().lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn builds_once_and_shares_the_arc() {
+        let cache = TraceCache::new();
+        let builds = AtomicUsize::new(0);
+        let a = cache.get_or_build("x", 10, || {
+            builds.fetch_add(1, Ordering::SeqCst);
+            Arc::new(Vec::new())
+        });
+        let b = cache.get_or_build("x", 10, || {
+            builds.fetch_add(1, Ordering::SeqCst);
+            Arc::new(Vec::new())
+        });
+        assert_eq!(builds.load(Ordering::SeqCst), 1);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn keys_are_name_and_len() {
+        let cache = TraceCache::new();
+        let a = cache.get_or_build("x", 10, || Arc::new(Vec::new()));
+        let b = cache.get_or_build("x", 20, || Arc::new(Vec::new()));
+        let c = cache.get_or_build("y", 10, || Arc::new(Vec::new()));
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn concurrent_requests_build_exactly_once() {
+        static CACHE: TraceCache = TraceCache::new();
+        static BUILDS: AtomicUsize = AtomicUsize::new(0);
+        let traces: Vec<_> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    s.spawn(|| {
+                        CACHE.get_or_build("shared", 99, || {
+                            BUILDS.fetch_add(1, Ordering::SeqCst);
+                            // Give racing threads time to pile onto the cell.
+                            std::thread::sleep(std::time::Duration::from_millis(5));
+                            Arc::new(Vec::new())
+                        })
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(BUILDS.load(Ordering::SeqCst), 1, "duplicate emulation");
+        assert!(traces.windows(2).all(|w| Arc::ptr_eq(&w[0], &w[1])));
+        CACHE.clear();
+        assert!(CACHE.is_empty());
+    }
+}

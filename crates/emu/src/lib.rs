@@ -12,10 +12,12 @@
 //! overruns are hard errors, because the workload generators guarantee
 //! alignment and the timing model's store-to-load forwarding relies on it.
 
+mod cache;
 mod cpu;
 mod mem;
 mod trace;
 
+pub use cache::TraceCache;
 pub use cpu::{Cpu, EmuError, StepOut};
 pub use mem::Memory;
 pub use trace::{trace_program, DynInsn, Trace, TraceError};

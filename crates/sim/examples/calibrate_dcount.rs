@@ -1,7 +1,8 @@
 //! Calibrate the Conv baseline: sweep the DCOUNT threshold (difference in
 //! dispatched-but-unissued counts) and report geometric-mean IPC over a
 //! representative subset, so the baseline is as strong as the paper's tuned
-//! steering.
+//! steering. All (threshold × benchmark) runs fan out through one parallel
+//! sweep; the per-threshold report order stays fixed.
 use rcmc_sim::{config, runner};
 
 fn main() {
@@ -13,15 +14,22 @@ fn main() {
     let benches = [
         "swim", "galgel", "ammp", "lucas", "mcf", "gcc", "gzip", "twolf",
     ];
-    for thr in [2.0f64, 4.0, 6.0, 8.0, 12.0, 16.0, 24.0, 32.0] {
-        let mut log_sum = 0.0;
-        for b in benches {
+    let thresholds = [2.0f64, 4.0, 6.0, 8.0, 12.0, 16.0, 24.0, 32.0];
+    let cfgs: Vec<_> = thresholds
+        .iter()
+        .map(|&thr| {
             let mut cfg = config::make(rcmc_core::Topology::Conv, 8, 2, 1);
             cfg.core.dcount_threshold = thr;
             cfg.name = format!("cal_t{thr}");
-            let r = runner::run_pair(&cfg, b, &budget, &store);
-            log_sum += r.ipc.ln();
-        }
+            cfg
+        })
+        .collect();
+    let results = runner::sweep(&cfgs, &benches, &budget, &store, runner::default_jobs());
+    for (thr, cfg) in thresholds.iter().zip(&cfgs) {
+        let log_sum: f64 = benches
+            .iter()
+            .map(|&b| results[&(cfg.name.clone(), b.to_string())].ipc.ln())
+            .sum();
         println!(
             "thr {thr:>5}: geomean IPC {:.4}",
             (log_sum / benches.len() as f64).exp()

@@ -11,7 +11,7 @@ fn main() {
     let store = runner::ResultStore::ephemeral();
     let cfg = config::make(rcmc_core::Topology::Ring, 8, 2, 1);
     // warm the trace cache first
-    let _ = runner::cached_trace(&bench, (budget.warmup + budget.measure) * 2 + 4096);
+    let _ = runner::cached_trace(&bench, budget.trace_len());
     let t0 = Instant::now();
     let r = runner::run_pair(&cfg, &bench, &budget, &store);
     let dt = t0.elapsed().as_secs_f64();

@@ -1,4 +1,8 @@
 //! Quick directional check: Ring vs Conv on a few benchmarks.
+//!
+//! The (config × bench) grid goes through the parallel sweep engine
+//! (`RCMC_JOBS` caps the workers), then prints in fixed benchmark order —
+//! the output is identical at any worker count.
 use rcmc_sim::{config, runner};
 use std::time::Instant;
 
@@ -16,12 +20,13 @@ fn main() {
         config::make(rcmc_core::Topology::Conv, 8, 2, 1),
     ];
     let t0 = Instant::now();
+    let results = runner::sweep(&cfgs, &benches, &budget, &store, runner::default_jobs());
     let mut total_insns = 0u64;
     for b in benches {
         let mut line = format!("{b:8}");
         let mut ipcs = Vec::new();
         for cfg in &cfgs {
-            let r = runner::run_pair(cfg, b, &budget, &store);
+            let r = &results[&(cfg.name.clone(), b.to_string())];
             line += &format!(
                 "  {}: ipc {:.3} cpi-comm {:.3} dist {:.2} wait {:.2} nready {:.2} bmiss {:.3}",
                 &cfg.name[..4],
@@ -40,7 +45,8 @@ fn main() {
     }
     let dt = t0.elapsed().as_secs_f64();
     println!(
-        "simulated {total_insns} instructions in {dt:.1}s = {:.2} M instr/s",
-        total_insns as f64 / dt / 1e6
+        "simulated {total_insns} instructions in {dt:.1}s = {:.2} M instr/s ({} jobs)",
+        total_insns as f64 / dt / 1e6,
+        runner::default_jobs()
     );
 }

@@ -4,11 +4,9 @@
 //! the simulations it needs and returns the rendered text plus the raw
 //! numbers, so the bench harness can both print and check them.
 
-use std::collections::HashMap;
-
 use crate::config::{self, SimConfig};
 use crate::report::{self, GroupValues};
-use crate::runner::{self, Budget, ResultStore, RunResult};
+use crate::runner::{self, Budget, ResultStore, Results, RunResult, SweepOpts};
 
 /// A rendered experiment: human-readable text plus named series.
 pub struct Experiment {
@@ -20,27 +18,25 @@ pub struct Experiment {
     pub rows: Vec<(String, GroupValues)>,
 }
 
-type Results = HashMap<(String, String), RunResult>;
-
 /// Run (or load) the main Table 3 sweep: 10 configurations × 26 benchmarks.
-pub fn main_sweep(budget: &Budget, store: &ResultStore) -> Results {
+pub fn main_sweep(budget: &Budget, store: &ResultStore, opts: &SweepOpts<'_>) -> Results {
     let cfgs = config::evaluated_configs();
     let benches = runner::all_bench_names();
-    runner::sweep(&cfgs, &benches, budget, store)
+    runner::sweep_with(&cfgs, &benches, budget, store, opts)
 }
 
 /// §4.6 sweep: the 2-cycle-per-hop configurations.
-pub fn fig12_sweep(budget: &Budget, store: &ResultStore) -> Results {
+pub fn fig12_sweep(budget: &Budget, store: &ResultStore, opts: &SweepOpts<'_>) -> Results {
     let cfgs = config::fig12_configs();
     let benches = runner::all_bench_names();
-    runner::sweep(&cfgs, &benches, budget, store)
+    runner::sweep_with(&cfgs, &benches, budget, store, opts)
 }
 
 /// §4.7 sweep: every configuration with the simple steering algorithm.
-pub fn ssa_sweep(budget: &Budget, store: &ResultStore) -> Results {
+pub fn ssa_sweep(budget: &Budget, store: &ResultStore, opts: &SweepOpts<'_>) -> Results {
     let cfgs = config::ssa_configs();
     let benches = runner::all_bench_names();
-    runner::sweep(&cfgs, &benches, budget, store)
+    runner::sweep_with(&cfgs, &benches, budget, store, opts)
 }
 
 fn speedup_rows(results: &Results, pairs: &[(String, String)]) -> Vec<(String, GroupValues)> {
@@ -319,10 +315,10 @@ pub fn figure4_5() -> Experiment {
 
 /// Everything, in paper order (used by the `examples/paper_figures` binary
 /// and the final EXPERIMENTS.md refresh).
-pub fn run_all(budget: &Budget, store: &ResultStore) -> Vec<Experiment> {
-    let main = main_sweep(budget, store);
-    let twocyc = fig12_sweep(budget, store);
-    let ssa = ssa_sweep(budget, store);
+pub fn run_all(budget: &Budget, store: &ResultStore, opts: &SweepOpts<'_>) -> Vec<Experiment> {
+    let main = main_sweep(budget, store, opts);
+    let twocyc = fig12_sweep(budget, store, opts);
+    let ssa = ssa_sweep(budget, store, opts);
     vec![
         table1(),
         figure4_5(),
@@ -354,7 +350,7 @@ mod tests {
         let store = ResultStore::ephemeral();
         // Restrict to a subset of benches for test speed.
         let cfgs = config::evaluated_configs();
-        let results = runner::sweep(&cfgs, &["swim", "gzip"], &tiny(), &store);
+        let results = runner::sweep(&cfgs, &["swim", "gzip"], &tiny(), &store, 2);
         let f6 = figure6(&results);
         assert_eq!(f6.rows.len(), 5);
         assert!(f6.text.contains("Ring_8clus_1bus_2IW"));
@@ -386,7 +382,7 @@ mod tests {
             .into_iter()
             .filter(|c| c.name == "Ring_8clus_1bus_2IW")
             .collect();
-        let results = runner::sweep(&cfgs, &["ammp", "crafty"], &tiny(), &store);
+        let results = runner::sweep(&cfgs, &["ammp", "crafty"], &tiny(), &store, 1);
         let f11 = figure11(&results);
         for (bench, v) in &f11.rows {
             assert!(

@@ -9,7 +9,9 @@
 //!   trace with warm-up, returning the figure metrics; traces are cached per
 //!   benchmark and whole runs are memoized on disk
 //!   (`target/rcmc-results/`), so regenerating every figure simulates each
-//!   pair exactly once;
+//!   pair exactly once. Sweeps fan out over a thread pool
+//!   ([`runner::SweepOpts`], `--jobs`/`RCMC_JOBS`) with bit-identical
+//!   results at any worker count;
 //! * [`report`] — text renderings of every table/figure of the paper.
 //!
 //! ```no_run
@@ -26,4 +28,7 @@ pub mod report;
 pub mod runner;
 
 pub use config::{evaluated_configs, fig12_configs, ssa_configs, SimConfig};
-pub use runner::{run_pair, Budget, ResultStore, RunResult};
+pub use runner::{
+    default_jobs, run_pair, sweep, sweep_with, Budget, ResultStore, Results, RunResult, SweepOpts,
+    SweepProgress,
+};

@@ -1,13 +1,25 @@
 //! Run (configuration × benchmark) pairs with trace caching and disk-backed
 //! result memoization.
+//!
+//! Sweeps execute as a two-stage job graph on a fixed-size thread pool:
+//!
+//! * **Stage A** materializes each *missing* benchmark's oracle trace exactly
+//!   once (the [`rcmc_emu::TraceCache`] guarantees no duplicate emulation
+//!   even under races, and no lock is held across emulation);
+//! * **Stage B** fans the remaining (configuration, benchmark) run jobs
+//!   across the pool, collecting results in deterministic input order.
+//!
+//! Every simulation is independent and traces are shared read-only, so
+//! `sweep(.., jobs)` with `jobs > 1` returns results bit-identical to the
+//! serial `jobs = 1` path.
 
 use std::collections::HashMap;
-use std::path::PathBuf;
-use std::sync::Arc;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 
-use parking_lot::Mutex;
 use rcmc_core::Core;
-use rcmc_emu::{trace_program, DynInsn};
+use rcmc_emu::{trace_program, DynInsn, TraceCache};
 use rcmc_workloads::benchmark;
 use serde::{Deserialize, Serialize};
 
@@ -28,22 +40,50 @@ pub struct Budget {
 
 impl Default for Budget {
     /// Reads `RCMC_INSTRS` (measurement window) and `RCMC_WARMUP` from the
-    /// environment; defaults: 200k measured after 30k warm-up.
+    /// environment; defaults: 200k measured after 30k warm-up. The
+    /// environment is consulted once per process and the result memoized, so
+    /// every caller (and every worker thread) sees one consistent window
+    /// regardless of later env mutation.
     fn default() -> Self {
-        let measure = std::env::var("RCMC_INSTRS")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(200_000);
-        let warmup = std::env::var("RCMC_WARMUP")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(30_000);
-        Budget { warmup, measure }
+        static DEFAULT: OnceLock<Budget> = OnceLock::new();
+        *DEFAULT.get_or_init(|| {
+            let measure = std::env::var("RCMC_INSTRS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(200_000);
+            let warmup = std::env::var("RCMC_WARMUP")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(30_000);
+            Budget { warmup, measure }
+        })
     }
 }
 
+impl Budget {
+    /// Dynamic instructions a run with this budget needs in its trace.
+    /// Head-room beyond warmup+measure: mispredict-free fetch can run
+    /// slightly ahead of commit, and the halt itself is not committed.
+    pub fn trace_len(&self) -> u64 {
+        (self.warmup + self.measure) * 2 + 4096
+    }
+}
+
+/// Worker count for sweeps: `RCMC_JOBS` if set to a positive integer, else
+/// the machine's available parallelism. Read once and memoized.
+pub fn default_jobs() -> usize {
+    static JOBS: OnceLock<usize> = OnceLock::new();
+    *JOBS.get_or_init(|| {
+        std::env::var("RCMC_JOBS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(rayon::default_num_threads)
+    })
+}
+
 /// The per-run metrics every figure draws from.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct RunResult {
     /// Configuration name.
     pub config: String,
@@ -71,40 +111,33 @@ pub struct RunResult {
     pub cycles: u64,
 }
 
-/// Key/value shape of the in-process oracle-trace cache.
-type TraceCache = HashMap<(String, u64), Arc<Vec<DynInsn>>>;
-
 /// In-memory oracle-trace cache (traces are identical across
-/// configurations, so each benchmark is emulated once per process).
-static TRACES: Mutex<Option<TraceCache>> = Mutex::new(None);
+/// configurations, so each benchmark is emulated once per process, no
+/// matter how many sweep workers ask for it concurrently).
+static TRACES: TraceCache = TraceCache::new();
 
 /// Fetch (or build) the oracle trace for `bench` with `len` instructions.
 pub fn cached_trace(bench: &str, len: u64) -> Arc<Vec<DynInsn>> {
-    let key = (bench.to_string(), len);
-    {
-        let guard = TRACES.lock();
-        if let Some(map) = guard.as_ref() {
-            if let Some(t) = map.get(&key) {
-                return Arc::clone(t);
-            }
-        }
-    }
-    let b = benchmark(bench).unwrap_or_else(|| panic!("unknown benchmark '{bench}'"));
-    let program = b.build();
-    let trace = trace_program(&program, len as usize)
-        .unwrap_or_else(|e| panic!("{bench} failed to emulate: {e}"));
-    let arc = Arc::new(trace.insns);
-    let mut guard = TRACES.lock();
-    guard
-        .get_or_insert_with(HashMap::new)
-        .insert(key, Arc::clone(&arc));
-    arc
+    TRACES.get_or_build(bench, len, || {
+        let b = benchmark(bench).unwrap_or_else(|| panic!("unknown benchmark '{bench}'"));
+        let trace = trace_program(&b.build(), len as usize)
+            .unwrap_or_else(|e| panic!("{bench} failed to emulate: {e}"));
+        Arc::new(trace.insns)
+    })
 }
 
 /// Disk-backed memoization of [`RunResult`]s.
 pub struct ResultStore {
     dir: Option<PathBuf>,
 }
+
+/// Warn at most once per process when persisting fails (an unwritable store
+/// degrades to recomputation, not an error storm).
+static SAVE_WARNED: AtomicBool = AtomicBool::new(false);
+
+/// Distinguishes concurrent writers' temp files within one process; the pid
+/// distinguishes processes.
+static TMP_SEQ: AtomicUsize = AtomicUsize::new(0);
 
 impl ResultStore {
     /// Store under the workspace's `target/rcmc-results` (created on
@@ -123,12 +156,18 @@ impl ResultStore {
         ResultStore { dir: Some(dir) }
     }
 
+    /// A store rooted at `dir` (tests, alternative layouts).
+    pub fn at(dir: PathBuf) -> Self {
+        ResultStore { dir: Some(dir) }
+    }
+
     /// A store that never persists (tests).
     pub fn ephemeral() -> Self {
         ResultStore { dir: None }
     }
 
-    fn key(config: &str, bench: &str, budget: &Budget) -> String {
+    /// Memoization key: model version + configuration + benchmark + window.
+    pub fn key(config: &str, bench: &str, budget: &Budget) -> String {
         format!(
             "v{}_{}_{}_{}w{}m",
             MODEL_VERSION, config, bench, budget.warmup, budget.measure
@@ -139,20 +178,109 @@ impl ResultStore {
         self.dir.as_ref().map(|d| d.join(format!("{key}.json")))
     }
 
-    fn load(&self, key: &str) -> Option<RunResult> {
+    /// Load a memoized result, if present and readable.
+    pub fn load(&self, key: &str) -> Option<RunResult> {
         let p = self.path(key)?;
         let bytes = std::fs::read(p).ok()?;
         serde_json::from_slice(&bytes).ok()
     }
 
-    fn save(&self, key: &str, r: &RunResult) {
-        let Some(p) = self.path(key) else { return };
+    /// Persist `r` under `key` via temp-file + atomic rename, so concurrent
+    /// writers (threads or processes) can never leave a torn JSON file.
+    /// Returns whether the result is now durably on disk; the first failure
+    /// warns on stderr with the path, later ones stay quiet.
+    pub fn save(&self, key: &str, r: &RunResult) -> bool {
+        let Some(p) = self.path(key) else {
+            return false;
+        };
+        match Self::write_atomic(&p, r) {
+            Ok(()) => true,
+            Err(e) => {
+                if !SAVE_WARNED.swap(true, Ordering::Relaxed) {
+                    eprintln!(
+                        "rcmc: warning: failed to persist result to {}: {e} \
+                         (continuing without memoization)",
+                        p.display()
+                    );
+                }
+                false
+            }
+        }
+    }
+
+    fn write_atomic(p: &Path, r: &RunResult) -> std::io::Result<()> {
         if let Some(parent) = p.parent() {
-            let _ = std::fs::create_dir_all(parent);
+            std::fs::create_dir_all(parent)?;
         }
-        if let Ok(bytes) = serde_json::to_vec_pretty(r) {
-            let _ = std::fs::write(p, bytes);
+        let bytes = serde_json::to_vec_pretty(r)
+            .map_err(|e| std::io::Error::other(format!("serialize: {e:?}")))?;
+        let tmp = p.with_extension(format!(
+            "tmp.{}.{}",
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::write(&tmp, bytes)?;
+        std::fs::rename(&tmp, p).inspect_err(|_| {
+            let _ = std::fs::remove_file(&tmp);
+        })
+    }
+}
+
+/// Progress of one sweep, reported after each executed (non-memoized) job.
+/// Callbacks are serialized: `finished` is strictly increasing, so the
+/// `finished == total` event is always the last one delivered.
+#[derive(Clone, Copy, Debug)]
+pub struct SweepProgress<'a> {
+    /// Jobs finished so far (including this one).
+    pub finished: usize,
+    /// Jobs this sweep has to execute (memoized pairs are not counted).
+    pub total: usize,
+    /// Configuration of the job that just finished.
+    pub config: &'a str,
+    /// Benchmark of the job that just finished.
+    pub bench: &'a str,
+}
+
+impl SweepProgress<'_> {
+    /// Standard stderr status line: rewritten in place per job, completed
+    /// with a newline after the last one (shared by the CLI and examples).
+    pub fn eprint_status(&self) {
+        eprint!(
+            "\r  [{}/{}] {} × {}                ",
+            self.finished, self.total, self.config, self.bench
+        );
+        if self.finished == self.total {
+            eprintln!();
         }
+    }
+}
+
+/// Execution knobs for a sweep: worker count plus an optional per-job
+/// progress callback (invoked from worker threads, hence `Sync`).
+#[derive(Clone, Copy)]
+pub struct SweepOpts<'a> {
+    /// Worker threads; 1 is a true serial path.
+    pub jobs: usize,
+    /// Called after each executed job with monotone `finished` counts.
+    pub on_progress: Option<&'a (dyn Fn(&SweepProgress<'_>) + Sync)>,
+}
+
+impl Default for SweepOpts<'_> {
+    /// [`default_jobs`] workers, no progress callback.
+    fn default() -> Self {
+        SweepOpts {
+            jobs: default_jobs(),
+            on_progress: None,
+        }
+    }
+}
+
+impl std::fmt::Debug for SweepOpts<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SweepOpts")
+            .field("jobs", &self.jobs)
+            .field("on_progress", &self.on_progress.map(|_| ".."))
+            .finish()
     }
 }
 
@@ -163,9 +291,7 @@ pub fn run_pair(cfg: &SimConfig, bench: &str, budget: &Budget, store: &ResultSto
         return hit;
     }
     let b = benchmark(bench).unwrap_or_else(|| panic!("unknown benchmark '{bench}'"));
-    // Head-room on the trace: mispredict-free fetch can run slightly ahead of
-    // commit, and the halt itself is not committed.
-    let trace = cached_trace(bench, (budget.warmup + budget.measure) * 2 + 4096);
+    let trace = cached_trace(bench, budget.trace_len());
     let mut core = Core::new(cfg.core.clone(), cfg.mem, cfg.pred, &trace);
     let stats = core.run_with_warmup(budget.warmup, budget.measure);
     let result = RunResult {
@@ -186,20 +312,95 @@ pub fn run_pair(cfg: &SimConfig, bench: &str, budget: &Budget, store: &ResultSto
     result
 }
 
-/// Run a whole sweep (every config × every benchmark name), returning
-/// results keyed by `(config, bench)`.
+/// Result map of a sweep, keyed by `(config, bench)`.
+pub type Results = HashMap<(String, String), RunResult>;
+
+/// Run a whole sweep (every config × every benchmark name) on `jobs` worker
+/// threads, returning results keyed by `(config, bench)`. The result is
+/// bit-identical for every `jobs` value.
 pub fn sweep(
     cfgs: &[SimConfig],
     benches: &[&str],
     budget: &Budget,
     store: &ResultStore,
-) -> HashMap<(String, String), RunResult> {
-    let mut out = HashMap::new();
+    jobs: usize,
+) -> Results {
+    sweep_with(
+        cfgs,
+        benches,
+        budget,
+        store,
+        &SweepOpts {
+            jobs,
+            on_progress: None,
+        },
+    )
+}
+
+/// [`sweep`] with full execution options (progress callback).
+pub fn sweep_with(
+    cfgs: &[SimConfig],
+    benches: &[&str],
+    budget: &Budget,
+    store: &ResultStore,
+    opts: &SweepOpts<'_>,
+) -> Results {
+    // Split memoized hits from jobs that actually need simulation.
+    let mut out = Results::new();
+    let mut todo: Vec<(&SimConfig, &str)> = Vec::new();
     for cfg in cfgs {
-        for bench in benches {
-            let r = run_pair(cfg, bench, budget, store);
-            out.insert((cfg.name.clone(), bench.to_string()), r);
+        for &bench in benches {
+            let key = ResultStore::key(&cfg.name, bench, budget);
+            match store.load(&key) {
+                Some(hit) => {
+                    out.insert((cfg.name.clone(), bench.to_string()), hit);
+                }
+                None => todo.push((cfg, bench)),
+            }
         }
+    }
+    if todo.is_empty() {
+        return out;
+    }
+    let pool = rayon::ThreadPool::new(opts.jobs.max(1));
+
+    // Stage A: materialize each missing benchmark's oracle trace exactly
+    // once, in parallel across benchmarks (traces are config-independent).
+    let mut stage_a: Vec<&str> = todo.iter().map(|&(_, b)| b).collect();
+    stage_a.sort_unstable();
+    stage_a.dedup();
+    let len = budget.trace_len();
+    pool.scope(|s| {
+        for &b in &stage_a {
+            s.spawn(move || {
+                cached_trace(b, len);
+            });
+        }
+    });
+
+    // Stage B: fan the run jobs across the pool; `map` returns results in
+    // input order, so collection is deterministic regardless of scheduling.
+    let total = todo.len();
+    // Counter increment and callback happen under one lock so callbacks are
+    // delivered in strictly increasing `finished` order (two workers racing
+    // on an atomic alone could report 12/12 before 11/12).
+    let finished = std::sync::Mutex::new(0usize);
+    let computed = pool.map(&todo, |_, &(cfg, bench)| {
+        let r = run_pair(cfg, bench, budget, store);
+        if let Some(cb) = opts.on_progress {
+            let mut done = finished.lock().unwrap_or_else(|e| e.into_inner());
+            *done += 1;
+            cb(&SweepProgress {
+                finished: *done,
+                total,
+                config: &cfg.name,
+                bench,
+            });
+        }
+        r
+    });
+    for ((cfg, bench), r) in todo.into_iter().zip(computed) {
+        out.insert((cfg.name.clone(), bench.to_string()), r);
     }
     out
 }
@@ -249,14 +450,36 @@ mod tests {
     #[test]
     fn store_roundtrip() {
         let dir = std::env::temp_dir().join(format!("rcmc-test-{}", std::process::id()));
-        let store = ResultStore {
-            dir: Some(dir.clone()),
-        };
+        let store = ResultStore::at(dir.clone());
         let cfg = make(Topology::Conv, 4, 2, 1);
         let r1 = run_pair(&cfg, "gzip", &tiny_budget(), &store);
         let r2 = run_pair(&cfg, "gzip", &tiny_budget(), &store);
-        assert_eq!(r1.ipc, r2.ipc);
-        assert_eq!(r1.cycles, r2.cycles);
+        assert_eq!(r1, r2);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn save_reports_persistence() {
+        let dir = std::env::temp_dir().join(format!("rcmc-save-{}", std::process::id()));
+        let store = ResultStore::at(dir.clone());
+        let cfg = make(Topology::Conv, 4, 2, 1);
+        let r = run_pair(&cfg, "swim", &tiny_budget(), &ResultStore::ephemeral());
+        let key = ResultStore::key(&cfg.name, "swim", &tiny_budget());
+        assert!(store.save(&key, &r), "save to a writable dir must persist");
+        assert_eq!(store.load(&key).as_ref(), Some(&r));
+        // No stray temp files left behind by the atomic-rename protocol.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .filter(|n| n.to_string_lossy().contains("tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files left: {leftovers:?}");
+        // An ephemeral store persists nothing and says so.
+        assert!(!ResultStore::ephemeral().save(&key, &r));
+        // An unwritable "directory" (a file in the way) fails gracefully.
+        let blocked = dir.join("blocked");
+        std::fs::write(&blocked, b"not a dir").unwrap();
+        assert!(!ResultStore::at(blocked.join("sub")).save(&key, &r));
         let _ = std::fs::remove_dir_all(dir);
     }
 
@@ -266,7 +489,20 @@ mod tests {
         let store = ResultStore::ephemeral();
         let a = run_pair(&cfg, "mcf", &tiny_budget(), &store);
         let b = run_pair(&cfg, "mcf", &tiny_budget(), &store);
-        assert_eq!(a.cycles, b.cycles);
-        assert_eq!(a.comms_per_insn, b.comms_per_insn);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn budget_default_is_consistent_across_threads() {
+        // The env parse is memoized behind a OnceLock, so every thread —
+        // including ones racing on first use — must observe one value.
+        // (Deliberately no env mutation here: set_var races with getenv in
+        // a multithreaded test binary.)
+        let vals: Vec<Budget> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8).map(|_| s.spawn(Budget::default)).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert!(vals.windows(2).all(|w| w[0] == w[1]));
+        assert_eq!(vals[0], Budget::default());
     }
 }

@@ -1,0 +1,161 @@
+//! Parallel-sweep engine guarantees: bit-identical results at any worker
+//! count, exactly-once trace emulation under thread races, deterministic
+//! progress accounting, and concurrent-safe result persistence.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use rcmc_core::Topology;
+use rcmc_emu::{trace_program, TraceCache};
+use rcmc_sim::config::make;
+use rcmc_sim::runner::{cached_trace, sweep, sweep_with, Budget, ResultStore, SweepOpts};
+use rcmc_workloads::benchmark;
+
+fn tiny() -> Budget {
+    Budget {
+        warmup: 1_000,
+        measure: 4_000,
+    }
+}
+
+fn small_grid() -> (Vec<rcmc_sim::SimConfig>, Vec<&'static str>) {
+    let cfgs = vec![
+        make(Topology::Ring, 4, 2, 1),
+        make(Topology::Conv, 4, 2, 1),
+        make(Topology::Ring, 8, 1, 1),
+    ];
+    (cfgs, vec!["swim", "gzip", "mcf", "equake"])
+}
+
+#[test]
+fn parallel_sweep_is_bit_identical_to_serial() {
+    let (cfgs, benches) = small_grid();
+    let budget = tiny();
+    // Ephemeral stores: every pair is simulated in both sweeps, so this
+    // compares actual parallel execution, not memoized loads.
+    let serial = sweep(&cfgs, &benches, &budget, &ResultStore::ephemeral(), 1);
+    let parallel = sweep(&cfgs, &benches, &budget, &ResultStore::ephemeral(), 8);
+    assert_eq!(serial.len(), cfgs.len() * benches.len());
+    // HashMap equality compares every (config, bench) key and every
+    // RunResult field, f64s included — bit-identical or it fails.
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn oversubscribed_and_odd_worker_counts_agree() {
+    let cfgs = vec![make(Topology::Ring, 8, 2, 2)];
+    let benches = ["gcc", "ammp"];
+    let budget = tiny();
+    let baseline = sweep(&cfgs, &benches, &budget, &ResultStore::ephemeral(), 1);
+    for jobs in [2, 3, 16] {
+        let r = sweep(&cfgs, &benches, &budget, &ResultStore::ephemeral(), jobs);
+        assert_eq!(baseline, r, "jobs={jobs} diverged from serial");
+    }
+}
+
+#[test]
+fn trace_cache_emulates_exactly_once_under_contention() {
+    // Drive the emu-level cache with a real benchmark build from N racing
+    // threads: the emulation closure must run exactly once, and everyone
+    // must share the same Arc.
+    let cache = TraceCache::new();
+    let builds = AtomicUsize::new(0);
+    let traces: Vec<_> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                s.spawn(|| {
+                    cache.get_or_build("applu", 3_000, || {
+                        builds.fetch_add(1, Ordering::SeqCst);
+                        let program = benchmark("applu").unwrap().build();
+                        Arc::new(trace_program(&program, 3_000).unwrap().insns)
+                    })
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    assert_eq!(builds.load(Ordering::SeqCst), 1, "duplicate emulation");
+    assert!(traces.windows(2).all(|w| Arc::ptr_eq(&w[0], &w[1])));
+    assert_eq!(traces[0].len(), 3_000);
+}
+
+#[test]
+fn process_wide_trace_cache_shares_across_threads() {
+    let trace_len = tiny().trace_len();
+    let arcs: Vec<_> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..6)
+            .map(|_| s.spawn(|| cached_trace("lucas", trace_len)))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    assert!(arcs.windows(2).all(|w| Arc::ptr_eq(&w[0], &w[1])));
+}
+
+#[test]
+fn progress_callback_counts_every_executed_job() {
+    let (cfgs, benches) = small_grid();
+    let budget = tiny();
+    let seen = std::sync::Mutex::new(Vec::new());
+    let on_progress = |p: &rcmc_sim::SweepProgress<'_>| {
+        assert_eq!(p.total, 12);
+        seen.lock().unwrap().push(p.finished);
+    };
+    let opts = SweepOpts {
+        jobs: 4,
+        on_progress: Some(&on_progress),
+    };
+    let results = sweep_with(&cfgs, &benches, &budget, &ResultStore::ephemeral(), &opts);
+    assert_eq!(results.len(), 12);
+    // One callback per executed job, delivered in strictly increasing
+    // `finished` order even with 4 workers racing.
+    let seen = seen.into_inner().unwrap();
+    assert_eq!(seen, (1..=12).collect::<Vec<_>>());
+}
+
+#[test]
+fn memoized_pairs_are_not_re_executed_and_not_reported() {
+    let dir = std::env::temp_dir().join(format!("rcmc-par-{}", std::process::id()));
+    let store = ResultStore::at(dir.clone());
+    let cfgs = vec![make(Topology::Conv, 8, 1, 1)];
+    let benches = ["twolf", "vpr"];
+    let budget = tiny();
+    let first = sweep(&cfgs, &benches, &budget, &store, 2);
+    // Second sweep: everything is on disk, so zero progress callbacks fire
+    // and the loaded results match the computed ones exactly.
+    let calls = AtomicUsize::new(0);
+    let on_progress = |_: &rcmc_sim::SweepProgress<'_>| {
+        calls.fetch_add(1, Ordering::SeqCst);
+    };
+    let opts = SweepOpts {
+        jobs: 2,
+        on_progress: Some(&on_progress),
+    };
+    let second = sweep_with(&cfgs, &benches, &budget, &store, &opts);
+    assert_eq!(calls.load(Ordering::SeqCst), 0, "memoized pairs re-ran");
+    assert_eq!(first, second);
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn concurrent_sweeps_share_one_store_safely() {
+    // Two threads sweep overlapping grids into the same store directory;
+    // atomic renames mean no torn files and both agree on every result.
+    let dir = std::env::temp_dir().join(format!("rcmc-race-{}", std::process::id()));
+    let store_a = ResultStore::at(dir.clone());
+    let store_b = ResultStore::at(dir.clone());
+    let cfgs = vec![make(Topology::Ring, 4, 2, 1)];
+    let benches = ["crafty", "apsi"];
+    let budget = tiny();
+    let (a, b) = std::thread::scope(|s| {
+        let ha = s.spawn(|| sweep(&cfgs, &benches, &budget, &store_a, 2));
+        let hb = s.spawn(|| sweep(&cfgs, &benches, &budget, &store_b, 2));
+        (ha.join().unwrap(), hb.join().unwrap())
+    });
+    assert_eq!(a, b);
+    // Every persisted file must parse back to the same result.
+    for (key_pair, r) in &a {
+        let key = ResultStore::key(&key_pair.0, &key_pair.1, &budget);
+        assert_eq!(store_a.load(&key).as_ref(), Some(r), "torn or stale file");
+    }
+    let _ = std::fs::remove_dir_all(dir);
+}

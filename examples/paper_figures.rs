@@ -1,26 +1,38 @@
 //! Regenerate every table and figure of the paper in one go.
 //!
 //! ```text
-//! RCMC_INSTRS=200000 cargo run --release --example paper_figures
+//! RCMC_INSTRS=200000 RCMC_JOBS=8 cargo run --release --example paper_figures
 //! ```
 //!
 //! Results are memoized in `target/rcmc-results/`, shared with the
 //! per-figure `cargo bench` targets, so this never simulates a
-//! (configuration × benchmark) pair twice.
+//! (configuration × benchmark) pair twice. The three sweeps fan out over a
+//! thread pool (`RCMC_JOBS`, default: all cores); the figures are
+//! bit-identical at any worker count.
 
 use ring_clustered::sim::experiments;
-use ring_clustered::sim::runner::{Budget, ResultStore};
+use ring_clustered::sim::runner::{default_jobs, Budget, ResultStore, SweepOpts, SweepProgress};
+
+fn progress(p: &SweepProgress<'_>) {
+    p.eprint_status();
+}
 
 fn main() {
     let budget = Budget::default();
     let store = ResultStore::open_default();
+    let opts = SweepOpts {
+        jobs: default_jobs(),
+        on_progress: Some(&progress),
+    };
     println!(
-        "RCMC paper reproduction — window: {} warm-up + {} measured instructions",
-        budget.warmup, budget.measure
+        "RCMC paper reproduction — window: {} warm-up + {} measured instructions, {} jobs",
+        budget.warmup, budget.measure, opts.jobs
     );
-    println!("(set RCMC_INSTRS / RCMC_WARMUP to change; results are cached per window)\n");
+    println!(
+        "(set RCMC_INSTRS / RCMC_WARMUP / RCMC_JOBS to change; results are cached per window)\n"
+    );
     let t0 = std::time::Instant::now();
-    for ex in experiments::run_all(&budget, &store) {
+    for ex in experiments::run_all(&budget, &store, &opts) {
         println!("================================================================");
         println!("{}", ex.text);
     }

@@ -3,18 +3,26 @@
 //! ```text
 //! rcmc list                         # benchmarks and configurations
 //! rcmc run swim --config Ring_8clus_1bus_2IW --instrs 100000
-//! rcmc compare galgel               # Ring vs Conv side by side
+//! rcmc compare galgel --jobs 2      # Ring vs Conv side by side
 //! rcmc disasm mcf --limit 40        # static code of a surrogate benchmark
 //! rcmc trace gzip --from 500 --len 24 [--config NAME]
-//! rcmc figures                      # regenerate every table and figure
+//! rcmc figures --jobs 8             # regenerate every table and figure
+//! rcmc csv --out sweep.csv          # main sweep as CSV
 //! rcmc layout                       # §3.2 area/floorplan study
 //! ```
+//!
+//! Sweeping commands (`compare`, `figures`, `csv`) fan out over a thread
+//! pool: `--jobs N` (default: `RCMC_JOBS`, else all cores). Results are
+//! bit-identical at any worker count. Unknown flags and unparsable flag
+//! values are hard errors (exit code 2), not silently ignored.
 
 use std::collections::HashMap;
 
 use ring_clustered::core::{Core, PipeTracer};
 use ring_clustered::emu::trace_program;
-use ring_clustered::sim::runner::{cached_trace, Budget, ResultStore};
+use ring_clustered::sim::runner::{
+    cached_trace, default_jobs, Budget, ResultStore, SweepOpts, SweepProgress,
+};
 use ring_clustered::sim::{config, experiments, runner};
 use ring_clustered::workloads::{benchmark, suite};
 
@@ -24,21 +32,30 @@ fn main() {
         usage();
         return;
     };
-    let flags = parse_flags(&args[1..]);
+    let flags = match cmd.as_str() {
+        "list" | "layout" => parse_flags(cmd, &args[1..], &[]),
+        "run" => parse_flags(cmd, &args[1..], &["config", "instrs", "warmup", "jobs"]),
+        "compare" => parse_flags(cmd, &args[1..], &["instrs", "warmup", "jobs"]),
+        "disasm" => parse_flags(cmd, &args[1..], &["limit"]),
+        "trace" => parse_flags(cmd, &args[1..], &["from", "len", "config"]),
+        "figures" => parse_flags(cmd, &args[1..], &["jobs"]),
+        "csv" => parse_flags(cmd, &args[1..], &["out", "jobs"]),
+        other => {
+            eprintln!("unknown command '{other}'\n");
+            usage();
+            std::process::exit(1);
+        }
+    };
     match cmd.as_str() {
         "list" => list(),
         "run" => run(&args, &flags),
         "compare" => compare(&args, &flags),
         "disasm" => disasm(&args, &flags),
         "trace" => trace_cmd(&args, &flags),
-        "figures" => figures(),
+        "figures" => figures(&flags),
         "csv" => csv(&flags),
         "layout" => layout(),
-        other => {
-            eprintln!("unknown command '{other}'\n");
-            usage();
-            std::process::exit(1);
-        }
+        _ => unreachable!("validated above"),
     }
 }
 
@@ -48,29 +65,62 @@ fn usage() {
          \n\
          commands:\n\
          \x20 list                          benchmarks and configurations\n\
-         \x20 run <bench> [--config NAME] [--instrs N] [--warmup N]\n\
-         \x20 compare <bench> [--instrs N]  Ring vs Conv side by side\n\
+         \x20 run <bench> [--config NAME] [--instrs N] [--warmup N] [--jobs N]\n\
+         \x20 compare <bench> [--instrs N] [--warmup N] [--jobs N]\n\
+         \x20                               Ring vs Conv side by side\n\
          \x20 disasm <bench> [--limit N]    static surrogate code\n\
          \x20 trace <bench> [--from I] [--len N] [--config NAME]\n\
-         \x20 figures                       regenerate all tables/figures\n\
-         \x20 csv [--out FILE]              dump the main sweep as CSV\n\
-         \x20 layout                        area + floorplan study"
+         \x20                               cycle-by-cycle pipeline view\n\
+         \x20 figures [--jobs N]            regenerate all tables/figures\n\
+         \x20 csv [--out FILE] [--jobs N]   dump the main sweep as CSV\n\
+         \x20 layout                        area + floorplan study\n\
+         \n\
+         environment:\n\
+         \x20 RCMC_INSTRS / RCMC_WARMUP     default measurement window\n\
+         \x20 RCMC_JOBS                     default sweep worker count (else all cores)\n\
+         \n\
+         --jobs parallelizes sweeps (compare/figures/csv); `run` accepts it for\n\
+         symmetry but a single run always uses one worker."
     );
 }
 
-fn parse_flags(rest: &[String]) -> HashMap<String, String> {
+/// Parse `--flag value` pairs, rejecting flags outside `allowed` and flags
+/// with a missing value. Bare words (positionals) pass through untouched.
+fn parse_flags(cmd: &str, rest: &[String], allowed: &[&str]) -> HashMap<String, String> {
     let mut out = HashMap::new();
     let mut i = 0;
     while i < rest.len() {
         if let Some(key) = rest[i].strip_prefix("--") {
-            let val = rest.get(i + 1).cloned().unwrap_or_default();
-            out.insert(key.to_string(), val);
-            i += 2;
+            if !allowed.contains(&key) {
+                eprintln!("unknown flag '--{key}' for '{cmd}'\n");
+                usage();
+                std::process::exit(2);
+            }
+            match rest.get(i + 1) {
+                Some(val) if !val.starts_with("--") => {
+                    out.insert(key.to_string(), val.clone());
+                    i += 2;
+                }
+                _ => {
+                    eprintln!("flag '--{key}' needs a value");
+                    std::process::exit(2);
+                }
+            }
         } else {
             i += 1;
         }
     }
     out
+}
+
+/// Fetch a numeric flag; an unparsable value is a hard error, not a default.
+fn num_flag<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str) -> Option<T> {
+    flags.get(key).map(|v| {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("invalid value '{v}' for --{key}");
+            std::process::exit(2);
+        })
+    })
 }
 
 fn positional(args: &[String], idx: usize, what: &str) -> String {
@@ -82,13 +132,24 @@ fn positional(args: &[String], idx: usize, what: &str) -> String {
 
 fn budget_from(flags: &HashMap<String, String>) -> Budget {
     let mut b = Budget::default();
-    if let Some(v) = flags.get("instrs").and_then(|v| v.parse().ok()) {
+    if let Some(v) = num_flag(flags, "instrs") {
         b.measure = v;
     }
-    if let Some(v) = flags.get("warmup").and_then(|v| v.parse().ok()) {
+    if let Some(v) = num_flag(flags, "warmup") {
         b.warmup = v;
     }
     b
+}
+
+fn jobs_from(flags: &HashMap<String, String>) -> usize {
+    match num_flag::<usize>(flags, "jobs") {
+        Some(0) => {
+            eprintln!("--jobs must be at least 1");
+            std::process::exit(2);
+        }
+        Some(n) => n,
+        None => default_jobs(),
+    }
 }
 
 fn find_config(name: &str) -> config::SimConfig {
@@ -134,6 +195,11 @@ fn print_result(r: &runner::RunResult) {
     println!("  dispatch shares    [{}]", shares.join(" "));
 }
 
+/// Progress printer for long sweeps (the shared status-line renderer).
+fn progress_line(p: &SweepProgress<'_>) {
+    p.eprint_status();
+}
+
 fn run(args: &[String], flags: &HashMap<String, String>) {
     let bench = positional(args, 1, "benchmark name");
     let cfg_name = flags
@@ -142,6 +208,7 @@ fn run(args: &[String], flags: &HashMap<String, String>) {
         .unwrap_or_else(|| "Ring_8clus_1bus_2IW".to_string());
     let cfg = find_config(&cfg_name);
     let budget = budget_from(flags);
+    let _ = jobs_from(flags); // validated; a single run always uses one worker
     let store = ResultStore::open_default();
     let r = runner::run_pair(&cfg, &bench, &budget, &store);
     println!(
@@ -154,13 +221,21 @@ fn run(args: &[String], flags: &HashMap<String, String>) {
 fn compare(args: &[String], flags: &HashMap<String, String>) {
     let bench = positional(args, 1, "benchmark name");
     let budget = budget_from(flags);
+    let jobs = jobs_from(flags);
     let store = ResultStore::open_default();
-    let ring = runner::run_pair(&find_config("Ring_8clus_1bus_2IW"), &bench, &budget, &store);
-    let conv = runner::run_pair(&find_config("Conv_8clus_1bus_2IW"), &bench, &budget, &store);
+    // Both sides go through the sweep engine, so `--jobs 2` runs them
+    // concurrently.
+    let cfgs = [
+        find_config("Ring_8clus_1bus_2IW"),
+        find_config("Conv_8clus_1bus_2IW"),
+    ];
+    let results = runner::sweep(&cfgs, &[&bench], &budget, &store, jobs);
+    let ring = &results[&(cfgs[0].name.clone(), bench.clone())];
+    let conv = &results[&(cfgs[1].name.clone(), bench.clone())];
     println!("{bench}: Ring_8clus_1bus_2IW");
-    print_result(&ring);
+    print_result(ring);
     println!("{bench}: Conv_8clus_1bus_2IW");
-    print_result(&conv);
+    print_result(conv);
     println!(
         "Ring speedup over Conv: {:+.1}%",
         (ring.ipc / conv.ipc - 1.0) * 100.0
@@ -169,10 +244,7 @@ fn compare(args: &[String], flags: &HashMap<String, String>) {
 
 fn disasm(args: &[String], flags: &HashMap<String, String>) {
     let bench = positional(args, 1, "benchmark name");
-    let limit: usize = flags
-        .get("limit")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(64);
+    let limit: usize = num_flag(flags, "limit").unwrap_or(64);
     let Some(b) = benchmark(&bench) else {
         eprintln!("unknown benchmark '{bench}'");
         std::process::exit(1);
@@ -193,11 +265,8 @@ fn disasm(args: &[String], flags: &HashMap<String, String>) {
 
 fn trace_cmd(args: &[String], flags: &HashMap<String, String>) {
     let bench = positional(args, 1, "benchmark name");
-    let from: u32 = flags
-        .get("from")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(1000);
-    let len: u32 = flags.get("len").and_then(|v| v.parse().ok()).unwrap_or(24);
+    let from: u32 = num_flag(flags, "from").unwrap_or(1000);
+    let len: u32 = num_flag(flags, "len").unwrap_or(24);
     let cfg_name = flags
         .get("config")
         .cloned()
@@ -217,10 +286,14 @@ fn trace_cmd(args: &[String], flags: &HashMap<String, String>) {
     println!("mean dispatch→issue wait {wait:.1} cycles; mean issue→complete {lat:.1} cycles");
 }
 
-fn figures() {
+fn figures(flags: &HashMap<String, String>) {
     let budget = Budget::default();
     let store = ResultStore::open_default();
-    for ex in experiments::run_all(&budget, &store) {
+    let opts = SweepOpts {
+        jobs: jobs_from(flags),
+        on_progress: Some(&progress_line),
+    };
+    for ex in experiments::run_all(&budget, &store, &opts) {
         println!("================================================================");
         println!("{}", ex.text);
     }
@@ -229,7 +302,11 @@ fn figures() {
 fn csv(flags: &HashMap<String, String>) {
     let budget = Budget::default();
     let store = ResultStore::open_default();
-    let results = experiments::main_sweep(&budget, &store);
+    let opts = SweepOpts {
+        jobs: jobs_from(flags),
+        on_progress: Some(&progress_line),
+    };
+    let results = experiments::main_sweep(&budget, &store, &opts);
     let csv = ring_clustered::sim::report::to_csv(&results);
     match flags.get("out") {
         Some(path) if !path.is_empty() => {

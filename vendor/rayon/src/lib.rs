@@ -1,0 +1,334 @@
+//! Minimal stand-in for `rayon`, backed by `std::thread`.
+//!
+//! The build environment has no access to crates.io, so the workspace patches
+//! `rayon` to this crate (see the root manifest). It is deliberately *not* a
+//! work-stealing scheduler: a [`ThreadPool`] is a worker count, and each
+//! `scope`/`for_each`/`map` call runs its jobs on that many scoped
+//! `std::thread` workers pulling from one shared queue (or a shared index
+//! counter for the slice operations). That is exactly enough for the
+//! simulator's embarrassingly parallel sweeps, keeps panics propagating like
+//! `std::thread::scope` does, and needs no `unsafe`.
+
+use std::collections::VecDeque;
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Number of workers the default pool (and `num_threads(0)`) uses: the
+/// machine's available parallelism, or 1 when that cannot be determined.
+pub fn default_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Fixed-size thread pool. The worker count is fixed at construction; the
+/// worker threads themselves are scoped to each operation, so an idle pool
+/// holds no OS resources.
+#[derive(Clone, Copy, Debug)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+/// Builder matching `rayon::ThreadPoolBuilder`'s shape.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+/// Error type for [`ThreadPoolBuilder::build`]; never actually produced by
+/// the stand-in, but kept so call sites match the real crate.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "failed to build thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// Start a builder (0 threads = use [`default_num_threads`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the worker count; 0 means [`default_num_threads`].
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Build the pool (infallible in the stand-in).
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool::new(self.num_threads))
+    }
+}
+
+impl Default for ThreadPool {
+    fn default() -> Self {
+        ThreadPool::new(default_num_threads())
+    }
+}
+
+/// Lock without poisoning semantics (a panicked worker must not wedge the
+/// rest of the pool).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+type Job<'env> = Box<dyn FnOnce() + Send + 'env>;
+
+struct ScopeState<'env> {
+    queue: VecDeque<Job<'env>>,
+    running: usize,
+    closed: bool,
+}
+
+struct Shared<'env> {
+    state: Mutex<ScopeState<'env>>,
+    work: Condvar,
+}
+
+/// Spawn handle passed to the closure of [`ThreadPool::scope`].
+pub struct Scope<'pool, 'env> {
+    shared: &'pool Shared<'env>,
+}
+
+impl<'env> Scope<'_, 'env> {
+    /// Queue `f` to run on one of the scope's workers. All spawned jobs are
+    /// guaranteed to have finished when `scope` returns.
+    pub fn spawn<F: FnOnce() + Send + 'env>(&self, f: F) {
+        let mut st = lock(&self.shared.state);
+        st.queue.push_back(Box::new(f));
+        drop(st);
+        self.shared.work.notify_one();
+    }
+}
+
+/// Decrements the running count even if the job panics, so sibling workers
+/// can still observe completion and exit instead of waiting forever.
+struct RunGuard<'a, 'env> {
+    shared: &'a Shared<'env>,
+}
+
+impl Drop for RunGuard<'_, '_> {
+    fn drop(&mut self) {
+        let mut st = lock(&self.shared.state);
+        st.running -= 1;
+        let idle = st.running == 0 && st.queue.is_empty();
+        drop(st);
+        if idle {
+            self.shared.work.notify_all();
+        }
+    }
+}
+
+/// Marks the scope closed (no more spawns coming) even if the scope closure
+/// panics, so workers drain and exit rather than deadlocking the join.
+struct CloseGuard<'a, 'env> {
+    shared: &'a Shared<'env>,
+}
+
+impl Drop for CloseGuard<'_, '_> {
+    fn drop(&mut self) {
+        lock(&self.shared.state).closed = true;
+        self.shared.work.notify_all();
+    }
+}
+
+fn worker(shared: &Shared<'_>) {
+    loop {
+        let job = {
+            let mut st = lock(&shared.state);
+            loop {
+                if let Some(job) = st.queue.pop_front() {
+                    st.running += 1;
+                    break job;
+                }
+                if st.closed && st.running == 0 {
+                    return;
+                }
+                st = shared.work.wait(st).unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        let _guard = RunGuard { shared };
+        job();
+    }
+}
+
+impl ThreadPool {
+    /// A pool with `threads` workers; 0 means [`default_num_threads`].
+    pub fn new(threads: usize) -> Self {
+        ThreadPool {
+            threads: if threads == 0 {
+                default_num_threads()
+            } else {
+                threads
+            },
+        }
+    }
+
+    /// Worker count.
+    pub fn num_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run `op` with a [`Scope`] whose spawned jobs execute on at most
+    /// `num_threads` workers. Returns after every spawned job has finished.
+    /// Panics from jobs (or from `op`) propagate to the caller.
+    pub fn scope<'env, R, F>(&self, op: F) -> R
+    where
+        F: FnOnce(&Scope<'_, 'env>) -> R,
+    {
+        let shared = Shared {
+            state: Mutex::new(ScopeState {
+                queue: VecDeque::new(),
+                running: 0,
+                closed: false,
+            }),
+            work: Condvar::new(),
+        };
+        std::thread::scope(|ts| {
+            for _ in 0..self.threads {
+                ts.spawn(|| worker(&shared));
+            }
+            let _close = CloseGuard { shared: &shared };
+            op(&Scope { shared: &shared })
+        })
+    }
+
+    /// Apply `f` to every item of `items` (with its index) across the pool.
+    /// A single-worker pool runs inline on the calling thread, so `jobs = 1`
+    /// is a true serial path.
+    pub fn for_each<T, F>(&self, items: &[T], f: F)
+    where
+        T: Sync,
+        F: Fn(usize, &T) + Sync,
+    {
+        if self.threads == 1 || items.len() <= 1 {
+            for (i, item) in items.iter().enumerate() {
+                f(i, item);
+            }
+            return;
+        }
+        let next = AtomicUsize::new(0);
+        let workers = self.threads.min(items.len());
+        std::thread::scope(|ts| {
+            for _ in 0..workers {
+                ts.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(item) = items.get(i) else { break };
+                    f(i, item);
+                });
+            }
+        });
+    }
+
+    /// Map every item through `f` across the pool, returning the outputs in
+    /// input order regardless of which worker computed them or when.
+    pub fn map<T, U, F>(&self, items: &[T], f: F) -> Vec<U>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(usize, &T) -> U + Sync,
+    {
+        let slots: Vec<Mutex<Option<U>>> = items.iter().map(|_| Mutex::new(None)).collect();
+        self.for_each(items, |i, item| {
+            *lock(&slots[i]) = Some(f(i, item));
+        });
+        slots
+            .into_iter()
+            .map(|s| {
+                s.into_inner()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .expect("worker filled every slot")
+            })
+            .collect()
+    }
+}
+
+/// [`ThreadPool::scope`] on a default-sized pool, matching `rayon::scope`.
+pub fn scope<'env, R, F>(op: F) -> R
+where
+    F: FnOnce(&Scope<'_, 'env>) -> R,
+{
+    ThreadPool::default().scope(op)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+    #[test]
+    fn for_each_visits_every_index_once() {
+        let items: Vec<usize> = (0..257).collect();
+        let hits: Vec<AtomicUsize> = items.iter().map(|_| AtomicUsize::new(0)).collect();
+        ThreadPool::new(8).for_each(&items, |i, &v| {
+            assert_eq!(i, v);
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn map_preserves_input_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = ThreadPool::new(4).map(&items, |_, &v| v * v);
+        let expect: Vec<u64> = items.iter().map(|v| v * v).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let caller = std::thread::current().id();
+        let inline = AtomicBool::new(true);
+        ThreadPool::new(1).for_each(&[1, 2, 3], |_, _| {
+            if std::thread::current().id() != caller {
+                inline.store(false, Ordering::Relaxed);
+            }
+        });
+        assert!(inline.load(Ordering::Relaxed));
+    }
+
+    #[test]
+    fn scope_runs_all_spawned_jobs_with_bounded_concurrency() {
+        let pool = ThreadPool::new(2);
+        let done = AtomicUsize::new(0);
+        let live = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        pool.scope(|s| {
+            for _ in 0..16 {
+                s.spawn(|| {
+                    let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                    live.fetch_sub(1, Ordering::SeqCst);
+                    done.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(done.load(Ordering::SeqCst), 16);
+        assert!(peak.load(Ordering::SeqCst) <= 2);
+    }
+
+    #[test]
+    fn builder_matches_rayon_shape() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.num_threads(), 3);
+        let auto = ThreadPoolBuilder::new().build().unwrap();
+        assert!(auto.num_threads() >= 1);
+    }
+
+    #[test]
+    fn scope_returns_op_value() {
+        let v = ThreadPool::new(2).scope(|s| {
+            s.spawn(|| {});
+            42
+        });
+        assert_eq!(v, 42);
+    }
+}
