@@ -1,0 +1,77 @@
+//! Timing harness for the per-cycle hot loop: one serial one-core run per
+//! topology, reporting simulated cycles (and committed instructions) per
+//! wall-second, recorded in `BENCH_core.json` at the repository root so
+//! hot-loop regressions show up in the perf trajectory PR over PR.
+//!
+//! The window is fixed (not `RCMC_INSTRS`) and the store is never consulted,
+//! so the numbers measure pure simulation work and stay comparable run to
+//! run. Traces are pre-warmed, so emulation cost is excluded. A mix of one
+//! communication-heavy INT and one FP benchmark keeps both the steering and
+//! the issue/bus paths hot.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use rcmc_core::{Core, Topology};
+use rcmc_sim::config::{make, topology_name};
+use rcmc_sim::runner::{cached_trace, Budget};
+
+const BENCHES: [&str; 2] = ["gzip", "swim"];
+
+fn main() {
+    let budget = Budget {
+        warmup: 5_000,
+        measure: 60_000,
+    };
+    for b in BENCHES {
+        cached_trace(b, budget.trace_len());
+    }
+
+    println!("\nCore throughput (serial, one core, 8clus_1bus_2IW)");
+    println!("---------------------------------------------------");
+    let mut rows = String::new();
+    for topo in [Topology::Ring, Topology::Conv, Topology::Crossbar] {
+        let cfg = make(topo, 8, 2, 1);
+        let mut cycles = 0u64;
+        let mut committed = 0u64;
+        let t0 = Instant::now();
+        for b in BENCHES {
+            let trace = cached_trace(b, budget.trace_len());
+            let mut core = Core::new(cfg.core.clone(), cfg.mem, cfg.pred, &trace);
+            let s = core.run_with_warmup(budget.warmup, budget.measure);
+            cycles += s.cycles;
+            committed += s.committed;
+        }
+        let dt = t0.elapsed().as_secs_f64();
+        let mcps = cycles as f64 / dt / 1e6;
+        let mips = committed as f64 / dt / 1e6;
+        println!(
+            "{:6} {cycles:>9} cycles {committed:>7} insns {dt:>7.3} s  \
+             {mcps:>7.2} Mcycles/s {mips:>6.2} Minsns/s",
+            topology_name(topo)
+        );
+        if !rows.is_empty() {
+            rows.push_str(",\n");
+        }
+        let _ = write!(
+            rows,
+            "    {{\"topology\": \"{}\", \"cycles\": {cycles}, \"committed\": {committed}, \
+             \"wall_s\": {dt:.3}, \"mcycles_per_s\": {mcps:.3}, \"minsns_per_s\": {mips:.3}}}",
+            topology_name(topo)
+        );
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"core_throughput\",\n  \"benches\": \"gzip+swim\",\n  \
+         \"warmup\": {},\n  \"measure\": {},\n  \"runs\": [\n{rows}\n  ]\n}}\n",
+        budget.warmup, budget.measure
+    );
+    let out = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join("BENCH_core.json");
+    match std::fs::write(&out, &json) {
+        Ok(()) => println!("wrote {}", out.display()),
+        Err(e) => eprintln!("could not write {}: {e}", out.display()),
+    }
+}

@@ -7,10 +7,7 @@ fn main() {
         "architect.", "clus", "issue width", "buses"
     );
     for c in rcmc_sim::config::evaluated_configs() {
-        let t = match c.core.topology {
-            rcmc_core::Topology::Ring => "Ring",
-            rcmc_core::Topology::Conv => "Conv",
-        };
+        let t = rcmc_sim::config::topology_name(c.core.topology);
         println!(
             "{:12} {:>6} {:>12} {:>6}  {}",
             t,

@@ -1,0 +1,12 @@
+//! Beyond-paper topology ablation: Ring vs Conv vs Crossbar at the
+//! 8-cluster 2IW design point (1 and 2 buses/ports), sharing the common
+//! result store with every other figure target.
+
+use rcmc_bench::{emit, harness_env};
+use rcmc_sim::experiments;
+
+fn main() {
+    let (budget, store, opts) = harness_env();
+    let results = experiments::topology_sweep(&budget, &store, &opts);
+    emit(&experiments::topology_ablation(&results));
+}

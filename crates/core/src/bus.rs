@@ -13,6 +13,7 @@
 //! it keeps waiting (that waiting is the bus-contention metric of Figure 9).
 
 use crate::config::{CoreConfig, Topology};
+use crate::interconnect::{Grant, Interconnect};
 
 /// Per-segment reservation window, one bit per future cycle.
 /// Window of 64 cycles covers the longest path (15 hops × 4 cycles).
@@ -106,6 +107,10 @@ impl Bus {
 pub struct BusFabric {
     /// The buses. Index = bus id used by [`CoreConfig::bus_distance`].
     pub buses: Vec<Bus>,
+    /// The configuration that built this fabric; the single source of truth
+    /// for per-bus hop distances ([`CoreConfig::bus_distance`]), so the
+    /// fabric can never disagree with what steering minimizes.
+    cfg: CoreConfig,
 }
 
 impl BusFabric {
@@ -117,11 +122,17 @@ impl BusFabric {
                 let forward = match cfg.topology {
                     Topology::Ring => true,
                     Topology::Conv => b % 2 == 0,
+                    Topology::Crossbar => {
+                        unreachable!("crossbar configs use interconnect::Crossbar")
+                    }
                 };
                 Bus::new(cfg.n_clusters, forward, cfg.hop_latency)
             })
             .collect();
-        BusFabric { buses }
+        BusFabric {
+            buses,
+            cfg: cfg.clone(),
+        }
     }
 
     /// Advance all buses one cycle.
@@ -129,6 +140,39 @@ impl BusFabric {
         for b in &mut self.buses {
             b.tick();
         }
+    }
+}
+
+impl Interconnect for BusFabric {
+    fn tick(&mut self) {
+        BusFabric::tick(self);
+    }
+
+    /// Try buses in order of increasing distance for this src/dst pair
+    /// (≤ 4 buses per [`CoreConfig::validate`]; insertion-sorted fixed
+    /// array — no allocation).
+    fn try_send(&mut self, from: usize, to: usize) -> Option<Grant> {
+        let n_buses = self.buses.len();
+        let mut order = [(u32::MAX, 0usize); 4];
+        for b in 0..n_buses {
+            let d = self.cfg.bus_distance(b, from, to);
+            let mut i = b;
+            order[i] = (d, b);
+            while i > 0 && order[i].0 < order[i - 1].0 {
+                order.swap(i, i - 1);
+                i -= 1;
+            }
+        }
+        for &(dist, b) in order.iter().take(n_buses) {
+            debug_assert!(dist > 0, "communication to the same cluster");
+            if let Some(delay) = self.buses[b].try_reserve(from, dist) {
+                return Some(Grant {
+                    delay,
+                    distance: dist,
+                });
+            }
+        }
+        None
     }
 }
 

@@ -1,6 +1,7 @@
 //! Back-end configuration.
 
-/// Cluster interconnect topology (the paper's two contenders).
+/// Cluster interconnect topology (the paper's two contenders plus a
+/// beyond-paper point-to-point design).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Topology {
     /// §3: results of cluster *i* are written to the register file of cluster
@@ -11,6 +12,11 @@ pub enum Topology {
     /// the producing cluster. With two buses one runs forward and one
     /// backward to halve worst-case distances.
     Conv,
+    /// Beyond-paper ablation: conventional-style clusters (intra-cluster
+    /// bypass, results stay local) joined by a full crossbar — every pair of
+    /// clusters is one hop apart, arbitration is per-cluster ingress/egress
+    /// ports (`n_buses` of each per cluster) instead of bus segments.
+    Crossbar,
 }
 
 /// Steering algorithm selection.
@@ -169,14 +175,14 @@ impl CoreConfig {
     pub fn dest_cluster(&self, cluster: usize) -> usize {
         match self.topology {
             Topology::Ring => (cluster + 1) % self.n_clusters,
-            Topology::Conv => cluster,
+            Topology::Conv | Topology::Crossbar => cluster,
         }
     }
 
     /// Hop distance from `from` to `to` on bus `bus`.
     ///
     /// Ring: every bus runs forward. Conv: bus 0 runs forward; bus 1 (if
-    /// present) runs backward.
+    /// present) runs backward. Crossbar: every remote cluster is one hop.
     #[inline]
     pub fn bus_distance(&self, bus: usize, from: usize, to: usize) -> u32 {
         let n = self.n_clusters;
@@ -190,6 +196,7 @@ impl CoreConfig {
                     ((from + n - to) % n) as u32
                 }
             }
+            Topology::Crossbar => u32::from(from != to),
         }
     }
 

@@ -29,6 +29,7 @@
 pub mod bus;
 pub mod config;
 pub mod fu;
+pub mod interconnect;
 pub mod lsq;
 pub mod pipeline;
 pub mod pipeview;
@@ -39,6 +40,7 @@ pub mod steer;
 pub mod value;
 
 pub use config::{CopyRelease, CoreConfig, Steering, Topology, MAX_CLUSTERS};
+pub use interconnect::{Crossbar, Grant, Interconnect};
 pub use pipeline::Core;
 pub use pipeview::PipeTracer;
 pub use stats::Stats;

@@ -35,9 +35,9 @@ use rcmc_emu::DynInsn;
 use rcmc_isa::{FuKind, InsnClass, Opcode, Reg, NUM_ARCH_REGS};
 use rcmc_uarch::{FrontEndPredictor, MemConfig, MemHierarchy, PredictorConfig};
 
-use crate::bus::BusFabric;
 use crate::config::{CopyRelease, CoreConfig};
 use crate::fu::FuSet;
+use crate::interconnect::{self, Interconnect};
 use crate::lsq::{LoadKind, Lsq, NO_LSQ};
 use crate::pipeview::PipeTracer;
 use crate::queues::{CommOp, CommQueue, IqEntry, IssueQueue};
@@ -99,7 +99,7 @@ pub struct Core<'t> {
     iq_comm: Vec<CommQueue>,
     fus: Vec<FuSet>,
 
-    fabric: BusFabric,
+    fabric: Box<dyn Interconnect>,
     rob: Rob,
     lsq: Lsq,
     store_buf: VecDeque<u64>,
@@ -137,7 +137,7 @@ impl<'t> Core<'t> {
             *slot = values.alloc_ready(0, a >= rcmc_isa::NUM_INT_REGS);
         }
         Core {
-            fabric: BusFabric::new(&cfg),
+            fabric: interconnect::build(&cfg),
             iq_int: (0..n).map(|_| IssueQueue::new(cfg.iq_int)).collect(),
             iq_fp: (0..n).map(|_| IssueQueue::new(cfg.iq_fp)).collect(),
             iq_comm: (0..n).map(|_| CommQueue::new(cfg.iq_comm)).collect(),
@@ -431,7 +431,7 @@ impl<'t> Core<'t> {
     }
 
     fn issue_comms(&mut self, c: usize) {
-        if self.iq_comm[c].is_empty() {
+        if self.iq_comm[c].ready_count() == 0 {
             return;
         }
         let mut granted = 0usize;
@@ -445,38 +445,24 @@ impl<'t> Core<'t> {
                 break;
             }
             let op: CommOp = *self.iq_comm[c].get(idx);
-            // Try buses in order of increasing distance for this src/dst
-            // (at most 4 buses; insertion-sorted fixed array).
-            let mut order = [(u32::MAX, 0usize); 4];
-            for b in 0..self.cfg.n_buses {
-                let d = self.cfg.bus_distance(b, op.from as usize, op.to as usize);
-                let mut i = b;
-                order[i] = (d, b);
-                while i > 0 && order[i].0 < order[i - 1].0 {
-                    order.swap(i, i - 1);
-                    i -= 1;
-                }
-            }
-            for &(dist, b) in order.iter().take(self.cfg.n_buses) {
-                debug_assert!(dist > 0, "communication to the same cluster");
-                if let Some(delay) = self.fabric.buses[b].try_reserve(op.from as usize, dist) {
-                    self.schedule(
-                        delay as u64,
-                        Ev::CopyReady {
-                            value: op.value,
-                            cluster: op.to,
-                        },
-                    );
-                    self.stats.comms_issued += 1;
-                    self.stats.comm_distance += dist as u64;
-                    self.stats.comm_bus_wait += self.now.saturating_sub(op.ready_cycle);
-                    // The comm has read its source copy.
-                    let release = self.cfg.copy_release == CopyRelease::OnLastRead;
-                    self.values.reader_done(op.value, op.from as usize, release);
-                    removed.push(idx);
-                    granted += 1;
-                    break;
-                }
+            // The interconnect owns path selection and arbitration; a denial
+            // leaves the comm queued to retry next cycle (Figure 9 waiting).
+            if let Some(g) = self.fabric.try_send(op.from as usize, op.to as usize) {
+                self.schedule(
+                    g.delay as u64,
+                    Ev::CopyReady {
+                        value: op.value,
+                        cluster: op.to,
+                    },
+                );
+                self.stats.comms_issued += 1;
+                self.stats.comm_distance += g.distance as u64;
+                self.stats.comm_bus_wait += self.now.saturating_sub(op.ready_cycle);
+                // The comm has read its source copy.
+                let release = self.cfg.copy_release == CopyRelease::OnLastRead;
+                self.values.reader_done(op.value, op.from as usize, release);
+                removed.push(idx);
+                granted += 1;
             }
         }
         // Remove granted comms (descending index order for swap_remove).
@@ -494,7 +480,9 @@ impl<'t> Core<'t> {
         let mut budget = width;
         {
             let q = if fp { &self.iq_fp[c] } else { &self.iq_int[c] };
-            if q.is_empty() {
+            // Maintained ready count: skip the scan entirely when nothing
+            // can issue (the common case in a stalled cluster).
+            if q.ready_count() == 0 {
                 return;
             }
             let mut ready = std::mem::take(&mut self.scratch_ready);
@@ -576,12 +564,9 @@ impl<'t> Core<'t> {
         let mut leftover = [0usize; 4];
         let mut capacity = [0usize; 4];
         for c in 0..n {
-            if !self.iq_int[c].is_empty() {
-                self.iq_int[c].ready_by_fu(&mut leftover);
-            }
-            if !self.iq_fp[c].is_empty() {
-                self.iq_fp[c].ready_by_fu(&mut leftover);
-            }
+            // ready_by_fu self-gates on its maintained ready count.
+            self.iq_int[c].ready_by_fu(&mut leftover);
+            self.iq_fp[c].ready_by_fu(&mut leftover);
             for (k, kind) in kinds.into_iter().enumerate() {
                 capacity[k] += self.fus[c].idle(kind, self.now);
             }
@@ -640,23 +625,28 @@ impl<'t> Core<'t> {
 
         // Live source values, captured per operand slot BEFORE the
         // destination rename overwrites the map (r0 is never renamed).
+        // Inline buffers: dispatch runs up to fetch_width times per cycle
+        // and must not allocate.
         let src_slots: [Option<Reg>; 2] = insn.sources();
         let mut src_vals: [Option<ValueId>; 2] = [None, None];
-        let mut srcs: Vec<ValueId> = Vec::with_capacity(2);
+        let mut srcs_buf = [0 as ValueId; 2];
+        let mut n_srcs = 0usize;
         for (slot, r) in src_slots.into_iter().enumerate() {
             if let Some(r) = r {
                 if !r.is_zero() {
                     let v = self.rename[r.unified()];
                     src_vals[slot] = Some(v);
-                    srcs.push(v);
+                    srcs_buf[n_srcs] = v;
+                    n_srcs += 1;
                 }
             }
         }
 
-        let steered = self
-            .steerer
-            .steer(&self.cfg, &self.values, &self.dcount, &srcs);
+        let steered =
+            self.steerer
+                .steer(&self.cfg, &self.values, &self.dcount, &srcs_buf[..n_srcs]);
         let c = steered.cluster;
+        let comms = steered.comms.as_slice();
         let dest_cluster = self.cfg.dest_cluster(c);
 
         // ---- resource checks (all-or-nothing) ----
@@ -684,7 +674,7 @@ impl<'t> Core<'t> {
                 need_int[0] += 1;
             }
         }
-        for cm in &steered.comms {
+        for cm in comms {
             if self.values.is_fp(cm.value) {
                 need_fp[1] += 1;
             } else {
@@ -710,11 +700,8 @@ impl<'t> Core<'t> {
         }
         // Communication queue space at each source cluster (two comms may
         // share a source cluster, so count cumulatively).
-        for (i, cm) in steered.comms.iter().enumerate() {
-            let needed_here = steered.comms[..=i]
-                .iter()
-                .filter(|x| x.from == cm.from)
-                .count();
+        for (i, cm) in comms.iter().enumerate() {
+            let needed_here = comms[..=i].iter().filter(|x| x.from == cm.from).count();
             if !self.iq_comm[cm.from as usize].has_space_for(needed_here) {
                 self.stats.stalls.comm_full += 1;
                 return false;
@@ -726,7 +713,7 @@ impl<'t> Core<'t> {
         let seq = self.seq;
 
         // Communications: allocate the consumer-side copy + the comm op.
-        for cm in &steered.comms {
+        for cm in comms {
             self.values.add_copy(cm.value, c);
             // The comm is a reader of the source copy.
             self.values.add_reader(cm.value, cm.from as usize);
@@ -794,7 +781,7 @@ impl<'t> Core<'t> {
 
         self.stats.dispatched_per_cluster[c] += 1;
         self.dcount.dispatched(c);
-        let n_comms = steered.comms.len() as u8;
+        let n_comms = comms.len() as u8;
         self.trace_mark(trace_idx, |r, now| {
             r.dispatch = now;
             r.cluster = c as u8;

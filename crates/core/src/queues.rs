@@ -35,9 +35,15 @@ impl IqEntry {
 }
 
 /// A bounded, age-ordered issue queue.
+///
+/// The number of ready entries is maintained incrementally (updated on
+/// push/wakeup/remove), so per-cycle selection can skip queues with nothing
+/// ready without scanning them — the common case in a stalled cluster.
 pub struct IssueQueue {
     entries: Vec<IqEntry>,
     capacity: usize,
+    /// Ready entries currently in the queue (maintained, never scanned).
+    n_ready: usize,
 }
 
 impl IssueQueue {
@@ -46,6 +52,7 @@ impl IssueQueue {
         IssueQueue {
             entries: Vec::with_capacity(capacity),
             capacity,
+            n_ready: 0,
         }
     }
 
@@ -67,17 +74,20 @@ impl IssueQueue {
     /// Insert at dispatch. Panics if full (caller checks `has_space`).
     pub fn push(&mut self, e: IqEntry) {
         assert!(self.has_space(), "issue queue overflow");
+        self.n_ready += usize::from(e.ready());
         self.entries.push(e);
     }
 
     /// Tag broadcast: value `v` became ready in this cluster.
     pub fn wakeup(&mut self, v: ValueId) {
         for e in &mut self.entries {
+            let was_ready = e.ready();
             for w in &mut e.waits {
                 if *w == Some(v) {
                     *w = None;
                 }
             }
+            self.n_ready += usize::from(!was_ready && e.ready());
         }
     }
 
@@ -91,19 +101,27 @@ impl IssueQueue {
     /// Allocation-free variant of [`IssueQueue::ready_ordered`].
     pub fn ready_into(&self, out: &mut Vec<usize>) {
         out.clear();
+        if self.n_ready == 0 {
+            return;
+        }
         out.extend((0..self.entries.len()).filter(|&i| self.entries[i].ready()));
+        debug_assert_eq!(out.len(), self.n_ready, "ready count out of sync");
         out.sort_unstable_by_key(|&i| self.entries[i].seq);
     }
 
-    /// Number of ready entries (NREADY accounting).
+    /// Number of ready entries (NREADY accounting / selection fast path).
+    #[inline]
     pub fn ready_count(&self) -> usize {
-        self.entries.iter().filter(|e| e.ready()).count()
+        self.n_ready
     }
 
     /// Count remaining ready entries per functional-unit kind in one pass
     /// (NREADY sampling). `out` is indexed by [`rcmc_isa::FuKind`] order:
     /// IntAlu, IntMulDiv, FpAlu, FpMulDiv.
     pub fn ready_by_fu(&self, out: &mut [usize; 4]) {
+        if self.n_ready == 0 {
+            return;
+        }
         for e in &self.entries {
             if e.ready() {
                 if let Some(kind) = e.class.fu() {
@@ -123,6 +141,7 @@ impl IssueQueue {
     pub fn remove_many(&mut self, idx: &mut Vec<usize>) {
         idx.sort_unstable_by(|a, b| b.cmp(a));
         for i in idx.drain(..) {
+            self.n_ready -= usize::from(self.entries[i].ready());
             self.entries.swap_remove(i);
         }
     }
@@ -160,6 +179,8 @@ pub struct CommOp {
 pub struct CommQueue {
     entries: Vec<CommOp>,
     capacity: usize,
+    /// Ready comms currently queued (maintained, never scanned).
+    n_ready: usize,
 }
 
 impl CommQueue {
@@ -168,6 +189,7 @@ impl CommQueue {
         CommQueue {
             entries: Vec::with_capacity(capacity),
             capacity,
+            n_ready: 0,
         }
     }
 
@@ -189,6 +211,7 @@ impl CommQueue {
     /// Insert at dispatch.
     pub fn push(&mut self, op: CommOp) {
         assert!(self.has_space_for(1), "comm queue overflow");
+        self.n_ready += usize::from(op.ready);
         self.entries.push(op);
     }
 
@@ -198,6 +221,7 @@ impl CommQueue {
             if e.value == v && !e.ready {
                 e.ready = true;
                 e.ready_cycle = cycle;
+                self.n_ready += 1;
             }
         }
     }
@@ -212,8 +236,18 @@ impl CommQueue {
     /// Allocation-free variant of [`CommQueue::ready_ordered`].
     pub fn ready_into(&self, out: &mut Vec<usize>) {
         out.clear();
+        if self.n_ready == 0 {
+            return;
+        }
         out.extend((0..self.entries.len()).filter(|&i| self.entries[i].ready));
+        debug_assert_eq!(out.len(), self.n_ready, "comm ready count out of sync");
         out.sort_unstable_by_key(|&i| self.entries[i].seq);
+    }
+
+    /// Ready comms queued (selection fast path).
+    #[inline]
+    pub fn ready_count(&self) -> usize {
+        self.n_ready
     }
 
     /// Access.
@@ -223,7 +257,9 @@ impl CommQueue {
 
     /// Remove after bus grant.
     pub fn remove(&mut self, i: usize) -> CommOp {
-        self.entries.swap_remove(i)
+        let op = self.entries.swap_remove(i);
+        self.n_ready -= usize::from(op.ready);
+        op
     }
 }
 
@@ -338,6 +374,52 @@ mod tests {
         // Waking again must not refresh the cycle.
         q.wakeup(3, 50);
         assert_eq!(q.get(r[0]).ready_cycle, 42);
+    }
+
+    #[test]
+    fn issue_queue_ready_count_is_maintained() {
+        let mut q = IssueQueue::new(8);
+        assert_eq!(q.ready_count(), 0);
+        q.push(entry(0, [Some(3), None]));
+        assert_eq!(q.ready_count(), 0);
+        q.push(entry(1, [None, None]));
+        assert_eq!(q.ready_count(), 1);
+        q.wakeup(3);
+        assert_eq!(q.ready_count(), 2);
+        q.wakeup(3); // idempotent: nothing newly ready
+        assert_eq!(q.ready_count(), 2);
+        let mut idx = vec![0];
+        q.remove_many(&mut idx);
+        assert_eq!(q.ready_count(), 1);
+        // The maintained count always matches a fresh scan.
+        assert_eq!(q.ready_count(), q.ready_ordered().len());
+    }
+
+    #[test]
+    fn comm_queue_ready_count_is_maintained() {
+        let mut q = CommQueue::new(4);
+        q.push(CommOp {
+            seq: 0,
+            value: 3,
+            from: 0,
+            to: 1,
+            ready: true,
+            ready_cycle: 0,
+        });
+        q.push(CommOp {
+            seq: 1,
+            value: 4,
+            from: 0,
+            to: 2,
+            ready: false,
+            ready_cycle: 0,
+        });
+        assert_eq!(q.ready_count(), 1);
+        q.wakeup(4, 9);
+        assert_eq!(q.ready_count(), 2);
+        q.remove(0);
+        assert_eq!(q.ready_count(), 1);
+        assert_eq!(q.ready_count(), q.ready_ordered().len());
     }
 
     #[test]

@@ -18,7 +18,7 @@ use crate::value::{ValueId, ValueTable};
 
 /// A required communication: bring `value` from cluster `from` to the
 /// consumer's cluster.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct NeededComm {
     /// The value to move.
     pub value: ValueId,
@@ -26,13 +26,88 @@ pub struct NeededComm {
     pub from: u8,
 }
 
+/// The communications one instruction needs, stored inline (no heap).
+///
+/// An instruction has at most two source operands, so at most two
+/// communications; ring steering guarantees ≤ 1 (its candidate set always
+/// contains a cluster holding an operand). Keeping this inline makes
+/// [`Steerer::steer`] — called once per dispatched instruction — fully
+/// allocation-free.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CommList {
+    items: [NeededComm; 2],
+    len: u8,
+}
+
+impl CommList {
+    /// Empty list.
+    pub const fn new() -> Self {
+        CommList {
+            items: [NeededComm { value: 0, from: 0 }; 2],
+            len: 0,
+        }
+    }
+
+    /// Append (panics beyond two entries — impossible with ≤ 2 operands).
+    #[inline]
+    pub fn push(&mut self, c: NeededComm) {
+        self.items[self.len as usize] = c;
+        self.len += 1;
+    }
+
+    /// The live entries.
+    #[inline]
+    pub fn as_slice(&self) -> &[NeededComm] {
+        &self.items[..self.len as usize]
+    }
+
+    /// Number of communications.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// No communications needed?
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterate over the live entries.
+    pub fn iter(&self) -> std::slice::Iter<'_, NeededComm> {
+        self.as_slice().iter()
+    }
+}
+
+impl PartialEq for CommList {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for CommList {}
+
+impl PartialEq<[NeededComm]> for CommList {
+    fn eq(&self, other: &[NeededComm]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl<'a> IntoIterator for &'a CommList {
+    type Item = &'a NeededComm;
+    type IntoIter = std::slice::Iter<'a, NeededComm>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
 /// Result of steering one instruction.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Steered {
     /// Execution cluster.
     pub cluster: usize,
     /// Communications to create (0..=2; ring guarantees ≤1).
-    pub comms: Vec<NeededComm>,
+    pub comms: CommList,
 }
 
 /// DCOUNT workload-balance state (Canal/Parcerisa): per-cluster counts of
@@ -212,15 +287,15 @@ impl Steerer {
         let mut cand = [false; MAX_CLUSTERS];
         // "If any source operand is not available at dispatch time":
         // clusters where the pending operands will be produced.
-        let pending: Vec<ValueId> = srcs
-            .iter()
-            .copied()
-            .filter(|v| !values.produced_anywhere(*v))
-            .collect();
-        if !pending.is_empty() {
-            for v in &pending {
-                cand[values.home(*v)] = true;
+        let mut any_pending = false;
+        for &v in srcs {
+            if !values.produced_anywhere(v) {
+                cand[values.home(v)] = true;
+                any_pending = true;
             }
+        }
+        if any_pending {
+            // Candidates already set above.
         } else if !srcs.is_empty() {
             // All available: minimize the longest communication distance.
             let mut best = u32::MAX;
@@ -312,10 +387,10 @@ fn needed_comms(
     values: &ValueTable,
     srcs: &[ValueId],
     cluster: usize,
-) -> Vec<NeededComm> {
-    let mut comms = Vec::new();
+) -> CommList {
+    let mut comms = CommList::new();
     for &v in srcs {
-        if !values.mapped(v, cluster) && !comms.iter().any(|c: &NeededComm| c.value == v) {
+        if !values.mapped(v, cluster) && !comms.iter().any(|c| c.value == v) {
             let from = nearest_copy_cluster(cfg, values, v, cluster);
             comms.push(NeededComm {
                 value: v,
@@ -378,7 +453,7 @@ mod tests {
         // needs R1 over 1 hop (1->2); executing in 1 needs R2 over 3 hops.
         let i3 = s.steer(&cfg, &values, &dcount, &[r1, r2]);
         assert_eq!(i3.cluster, 2);
-        assert_eq!(i3.comms, vec![NeededComm { value: r1, from: 1 }]);
+        assert_eq!(i3.comms.as_slice(), &[NeededComm { value: r1, from: 1 }]);
         // The comm materializes a copy of R1 in 2 (as in the figure).
         values.add_copy(r1, 2);
         values.mark_ready(r1, 2);
@@ -388,7 +463,7 @@ mod tests {
         // I4: R1 (in 1,2) + R3 (in 3). Executing in 3: R1 one hop from 2.
         let i4 = s.steer(&cfg, &values, &dcount, &[r1, r3]);
         assert_eq!(i4.cluster, 3);
-        assert_eq!(i4.comms, vec![NeededComm { value: r1, from: 2 }]);
+        assert_eq!(i4.comms.as_slice(), &[NeededComm { value: r1, from: 2 }]);
         values.add_copy(r1, 3);
         values.mark_ready(r1, 3);
         let r4 = values.alloc(cfg.dest_cluster(i4.cluster), false); // home = 0
@@ -447,7 +522,7 @@ mod tests {
         let burn: Vec<_> = (0..10).map(|_| values.alloc(2, false)).collect();
         let st = s.steer(&cfg, &values, &dcount, &[a, b]);
         assert_eq!(st.cluster, 3);
-        assert_eq!(st.comms, vec![NeededComm { value: b, from: 1 }]);
+        assert_eq!(st.comms.as_slice(), &[NeededComm { value: b, from: 1 }]);
         for v in burn {
             values.free(v);
         }
@@ -551,5 +626,39 @@ mod tests {
         let v = values.alloc(0, false);
         let comms = needed_comms(&cfg, &values, &[v, v], 2);
         assert_eq!(comms.len(), 1);
+    }
+
+    #[test]
+    fn comm_list_holds_two_inline() {
+        // The conv balance path can need both operands moved: the inline
+        // list must carry both, in operand order, with no heap involved.
+        let cfg = ring4();
+        let mut values = ValueTable::new(4, 64, 64);
+        let a = values.alloc(0, false);
+        let b = values.alloc(2, false);
+        let comms = needed_comms(&cfg, &values, &[a, b], 1);
+        assert_eq!(comms.len(), 2);
+        assert_eq!(
+            comms.as_slice(),
+            &[
+                NeededComm { value: a, from: 0 },
+                NeededComm { value: b, from: 2 }
+            ]
+        );
+        assert!(!comms.is_empty());
+        let collected: Vec<_> = comms.iter().map(|c| c.value).collect();
+        assert_eq!(collected, vec![a, b]);
+    }
+
+    #[test]
+    fn comm_list_equality_ignores_dead_slots() {
+        let mut x = CommList::new();
+        let mut y = CommList::new();
+        x.push(NeededComm { value: 7, from: 1 });
+        y.push(NeededComm { value: 7, from: 1 });
+        assert_eq!(x, y);
+        y.push(NeededComm { value: 9, from: 2 });
+        assert_ne!(x, y);
+        assert_eq!(CommList::new(), CommList::default());
     }
 }

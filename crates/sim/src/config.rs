@@ -26,7 +26,9 @@ pub fn make(topology: Topology, n_clusters: usize, iw: usize, n_buses: usize) ->
     let (iq, regs) = if n_clusters >= 8 { (16, 48) } else { (32, 64) };
     let steering = match topology {
         Topology::Ring => Steering::RingDep,
-        Topology::Conv => Steering::ConvDcount,
+        // The crossbar is a conventional-style design (results stay local),
+        // so it pairs with the baseline's DCOUNT-balanced steering.
+        Topology::Conv | Topology::Crossbar => Steering::ConvDcount,
     };
     let core = CoreConfig {
         n_clusters,
@@ -58,12 +60,59 @@ pub fn config_name(
     n_buses: usize,
     ssa: bool,
 ) -> String {
-    let t = match topology {
-        Topology::Ring => "Ring",
-        Topology::Conv => "Conv",
-    };
+    let t = topology_name(topology);
     let suffix = if ssa { "+SSA" } else { "" };
     format!("{t}_{n_clusters}clus_{n_buses}bus_{iw}IW{suffix}")
+}
+
+/// Short topology label used in configuration names.
+pub fn topology_name(topology: Topology) -> &'static str {
+    match topology {
+        Topology::Ring => "Ring",
+        Topology::Conv => "Conv",
+        Topology::Crossbar => "Xbar",
+    }
+}
+
+/// Parse a CLI topology spelling (`--topology ring|conv|bus|crossbar|xbar`).
+pub fn parse_topology(s: &str) -> Option<Topology> {
+    match s.to_ascii_lowercase().as_str() {
+        "ring" => Some(Topology::Ring),
+        "conv" | "bus" | "conventional" => Some(Topology::Conv),
+        "crossbar" | "xbar" => Some(Topology::Crossbar),
+        _ => None,
+    }
+}
+
+/// Rebuild `base` with a different interconnect topology: same cluster
+/// count, issue width, bus/port count and hop latency, but the topology's
+/// own steering algorithm and naming.
+pub fn with_topology(base: &SimConfig, topology: Topology) -> SimConfig {
+    let mut c = make(
+        topology,
+        base.core.n_clusters,
+        base.core.iw_int,
+        base.core.n_buses,
+    );
+    if base.core.hop_latency != 1 {
+        c.core.hop_latency = base.core.hop_latency;
+        c.name = format!("{}_{}cyclehop", c.name, base.core.hop_latency);
+    }
+    c
+}
+
+/// The topology-ablation grid: Ring vs Conv vs Crossbar at the paper's
+/// 8-cluster 2IW design point, with 1 and 2 buses/ports. The Ring/Conv rows
+/// coincide with Table 3 configurations, so a prior main sweep memoizes
+/// them for free.
+pub fn topology_ablation_configs() -> Vec<SimConfig> {
+    let mut v = Vec::new();
+    for topology in [Topology::Ring, Topology::Conv, Topology::Crossbar] {
+        for n_buses in [1usize, 2] {
+            v.push(make(topology, 8, 2, n_buses));
+        }
+    }
+    v
 }
 
 /// The ten evaluated configurations of Table 3, in its row order.
@@ -243,6 +292,48 @@ mod tests {
             assert!(r.starts_with("Ring_"));
             assert!(c.starts_with("Conv_"));
             assert_eq!(r[5..], c[5..]);
+        }
+    }
+
+    #[test]
+    fn crossbar_configs_build_and_parse() {
+        let x = make(Topology::Crossbar, 8, 2, 1);
+        assert_eq!(x.name, "Xbar_8clus_1bus_2IW");
+        assert_eq!(x.core.steering, Steering::ConvDcount);
+        assert!(x.core.validate().is_ok());
+        assert_eq!(parse_topology("crossbar"), Some(Topology::Crossbar));
+        assert_eq!(parse_topology("XBAR"), Some(Topology::Crossbar));
+        assert_eq!(parse_topology("ring"), Some(Topology::Ring));
+        assert_eq!(parse_topology("bus"), Some(Topology::Conv));
+        assert_eq!(parse_topology("torus"), None);
+    }
+
+    #[test]
+    fn with_topology_preserves_shape() {
+        let base = make(Topology::Ring, 8, 2, 2);
+        let x = with_topology(&base, Topology::Crossbar);
+        assert_eq!(x.name, "Xbar_8clus_2bus_2IW");
+        assert_eq!(x.core.n_clusters, 8);
+        assert_eq!(x.core.n_buses, 2);
+        assert_eq!(x.core.steering, Steering::ConvDcount);
+        // Non-default hop latency carries over, with the §4.6 name suffix.
+        let mut slow = make(Topology::Conv, 8, 2, 1);
+        slow.core.hop_latency = 2;
+        let xs = with_topology(&slow, Topology::Crossbar);
+        assert_eq!(xs.core.hop_latency, 2);
+        assert_eq!(xs.name, "Xbar_8clus_1bus_2IW_2cyclehop");
+    }
+
+    #[test]
+    fn topology_ablation_grid_covers_all_three() {
+        let v = topology_ablation_configs();
+        assert_eq!(v.len(), 6);
+        let names: Vec<&str> = v.iter().map(|c| c.name.as_str()).collect();
+        assert!(names.contains(&"Ring_8clus_1bus_2IW"));
+        assert!(names.contains(&"Conv_8clus_2bus_2IW"));
+        assert!(names.contains(&"Xbar_8clus_1bus_2IW"));
+        for c in &v {
+            assert!(c.core.validate().is_ok(), "{} invalid", c.name);
         }
     }
 

@@ -39,6 +39,13 @@ pub fn ssa_sweep(budget: &Budget, store: &ResultStore, opts: &SweepOpts<'_>) -> 
     runner::sweep_with(&cfgs, &benches, budget, store, opts)
 }
 
+/// Beyond-paper sweep: Ring vs Conv vs Crossbar at 8 clusters / 2IW.
+pub fn topology_sweep(budget: &Budget, store: &ResultStore, opts: &SweepOpts<'_>) -> Results {
+    let cfgs = config::topology_ablation_configs();
+    let benches = runner::all_bench_names();
+    runner::sweep_with(&cfgs, &benches, budget, store, opts)
+}
+
 fn speedup_rows(results: &Results, pairs: &[(String, String)]) -> Vec<(String, GroupValues)> {
     pairs
         .iter()
@@ -221,6 +228,41 @@ pub fn figure14(ssa: &Results) -> Experiment {
     }
 }
 
+/// Topology ablation (beyond the paper): IPC of every interconnect at the
+/// 8-cluster 2IW design point, plus each topology's speedup over the
+/// conventional bus with the same bus/port count.
+pub fn topology_ablation(results: &Results) -> Experiment {
+    use rcmc_core::Topology::*;
+    let mut rows = metric_rows(results, &config::topology_ablation_configs(), |r| r.ipc);
+    let mut text = report::render_grouped(
+        "Topology ablation. IPC by interconnect (8 clusters, 2IW)",
+        "IPC",
+        &rows,
+    );
+    // Speedup of each topology over Conv at matched bandwidth.
+    let mut speedups = Vec::new();
+    for n_buses in [1usize, 2] {
+        let conv = config::config_name(Conv, 8, 2, n_buses, false);
+        let cn = report::config_results(results, &conv);
+        for topo in [Ring, Crossbar] {
+            let name = config::config_name(topo, 8, 2, n_buses, false);
+            let rn = report::config_results(results, &name);
+            speedups.push((name, report::group_speedup(&rn, &cn)));
+        }
+    }
+    text.push('\n');
+    text.push_str(&report::render_speedups(
+        "Speedup over Conv at matched bus/port count",
+        &speedups,
+    ));
+    rows.extend(speedups);
+    Experiment {
+        id: "Topology ablation",
+        text,
+        rows,
+    }
+}
+
 /// Table 1: the area model (from `rcmc-layout`).
 pub fn table1() -> Experiment {
     use std::fmt::Write as _;
@@ -319,6 +361,7 @@ pub fn run_all(budget: &Budget, store: &ResultStore, opts: &SweepOpts<'_>) -> Ve
     let main = main_sweep(budget, store, opts);
     let twocyc = fig12_sweep(budget, store, opts);
     let ssa = ssa_sweep(budget, store, opts);
+    let topo = topology_sweep(budget, store, opts);
     vec![
         table1(),
         figure4_5(),
@@ -331,6 +374,7 @@ pub fn run_all(budget: &Budget, store: &ResultStore, opts: &SweepOpts<'_>) -> Ve
         figure12(&main, &twocyc),
         figure13(&ssa),
         figure14(&ssa),
+        topology_ablation(&topo),
     ]
 }
 

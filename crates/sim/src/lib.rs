@@ -27,7 +27,10 @@ pub mod experiments;
 pub mod report;
 pub mod runner;
 
-pub use config::{evaluated_configs, fig12_configs, ssa_configs, SimConfig};
+pub use config::{
+    evaluated_configs, fig12_configs, parse_topology, ssa_configs, topology_ablation_configs,
+    with_topology, SimConfig,
+};
 pub use runner::{
     default_jobs, run_pair, sweep, sweep_with, Budget, ResultStore, Results, RunResult, SweepOpts,
     SweepProgress,

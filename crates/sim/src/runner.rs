@@ -6,12 +6,23 @@
 //! * **Stage A** materializes each *missing* benchmark's oracle trace exactly
 //!   once (the [`rcmc_emu::TraceCache`] guarantees no duplicate emulation
 //!   even under races, and no lock is held across emulation);
-//! * **Stage B** fans the remaining (configuration, benchmark) run jobs
-//!   across the pool, collecting results in deterministic input order.
+//! * **Stage B** fans the remaining (configuration, benchmark) jobs across
+//!   the pool, collecting in deterministic input order. Each job is
+//!   simulate → [`reduce_metrics`] → persist, so the post-run metric
+//!   reductions (dispatch shares, NREADY/communication aggregation) run
+//!   across the pool too — overlapping other jobs' simulations, never
+//!   behind a barrier — and every finished pair is durably memoized the
+//!   moment it completes (an interrupted sweep resumes where it stopped).
 //!
 //! Every simulation is independent and traces are shared read-only, so
 //! `sweep(.., jobs)` with `jobs > 1` returns results bit-identical to the
 //! serial `jobs = 1` path.
+//!
+//! The [`ResultStore`] is sharded per configuration
+//! (`target/rcmc-results/<config>/<key>.json`), so huge sweeps never pile
+//! thousands of files into one directory; results written by older versions
+//! into the flat layout are still found and migrated into their shard on
+//! first read.
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -174,23 +185,49 @@ impl ResultStore {
         )
     }
 
-    fn path(&self, key: &str) -> Option<PathBuf> {
+    /// Sharded location: one subdirectory per configuration, so a huge sweep
+    /// spreads its files across shards and per-config discovery is one
+    /// small directory listing.
+    fn shard_path(&self, config: &str, key: &str) -> Option<PathBuf> {
+        self.dir
+            .as_ref()
+            .map(|d| d.join(config).join(format!("{key}.json")))
+    }
+
+    /// Pre-sharding flat location (read-compatibility with old stores).
+    fn legacy_path(&self, key: &str) -> Option<PathBuf> {
         self.dir.as_ref().map(|d| d.join(format!("{key}.json")))
     }
 
-    /// Load a memoized result, if present and readable.
-    pub fn load(&self, key: &str) -> Option<RunResult> {
-        let p = self.path(key)?;
-        let bytes = std::fs::read(p).ok()?;
-        serde_json::from_slice(&bytes).ok()
+    /// Load a memoized result, if present and readable. Results persisted by
+    /// older versions into the flat layout are found too and migrated into
+    /// their configuration shard (best-effort; a failed rename just means
+    /// the next load reads the flat file again).
+    pub fn load(&self, config: &str, bench: &str, budget: &Budget) -> Option<RunResult> {
+        let key = Self::key(config, bench, budget);
+        let sharded = self.shard_path(config, &key)?;
+        if let Ok(bytes) = std::fs::read(&sharded) {
+            return serde_json::from_slice(&bytes).ok();
+        }
+        let legacy = self.legacy_path(&key)?;
+        let bytes = std::fs::read(&legacy).ok()?;
+        let r: RunResult = serde_json::from_slice(&bytes).ok()?;
+        if let Some(parent) = sharded.parent() {
+            if std::fs::create_dir_all(parent).is_ok() {
+                let _ = std::fs::rename(&legacy, &sharded);
+            }
+        }
+        Some(r)
     }
 
-    /// Persist `r` under `key` via temp-file + atomic rename, so concurrent
-    /// writers (threads or processes) can never leave a torn JSON file.
-    /// Returns whether the result is now durably on disk; the first failure
-    /// warns on stderr with the path, later ones stay quiet.
-    pub fn save(&self, key: &str, r: &RunResult) -> bool {
-        let Some(p) = self.path(key) else {
+    /// Persist `r` into its configuration shard via temp-file + atomic
+    /// rename, so concurrent writers (threads or processes) can never leave
+    /// a torn JSON file. Returns whether the result is now durably on disk;
+    /// the first failure warns on stderr with the path, later ones stay
+    /// quiet.
+    pub fn save(&self, config: &str, bench: &str, budget: &Budget, r: &RunResult) -> bool {
+        let key = Self::key(config, bench, budget);
+        let Some(p) = self.shard_path(config, &key) else {
             return false;
         };
         match Self::write_atomic(&p, r) {
@@ -235,6 +272,13 @@ pub struct SweepProgress<'a> {
     pub finished: usize,
     /// Jobs this sweep has to execute (memoized pairs are not counted).
     pub total: usize,
+    /// Pairs satisfied from the result store without executing anything;
+    /// folded into the displayed completion so `rcmc figures` progress
+    /// reflects the whole sweep, not just the jobs that happened to miss.
+    pub memoized: usize,
+    /// Wall-clock seconds since the sweep's execution phase started
+    /// (drives the ETA estimate).
+    pub elapsed_s: f64,
     /// Configuration of the job that just finished.
     pub config: &'a str,
     /// Benchmark of the job that just finished.
@@ -242,12 +286,27 @@ pub struct SweepProgress<'a> {
 }
 
 impl SweepProgress<'_> {
+    /// Seconds left at the observed per-job rate (executed jobs only —
+    /// memoized pairs cost nothing and would skew the rate).
+    pub fn eta_s(&self) -> f64 {
+        if self.finished == 0 {
+            return 0.0;
+        }
+        self.elapsed_s / self.finished as f64 * (self.total - self.finished) as f64
+    }
+
     /// Standard stderr status line: rewritten in place per job, completed
     /// with a newline after the last one (shared by the CLI and examples).
+    /// Counts fold memoized hits in, so the fraction is overall sweep
+    /// completion; the ETA covers the remaining executed jobs.
     pub fn eprint_status(&self) {
         eprint!(
-            "\r  [{}/{}] {} × {}                ",
-            self.finished, self.total, self.config, self.bench
+            "\r  [{}/{}] {} × {}  (ETA {:.0}s)              ",
+            self.finished + self.memoized,
+            self.total + self.memoized,
+            self.config,
+            self.bench,
+            self.eta_s()
         );
         if self.finished == self.total {
             eprintln!();
@@ -284,17 +343,21 @@ impl std::fmt::Debug for SweepOpts<'_> {
     }
 }
 
-/// Simulate one (configuration × benchmark) pair, memoized.
-pub fn run_pair(cfg: &SimConfig, bench: &str, budget: &Budget, store: &ResultStore) -> RunResult {
-    let key = ResultStore::key(&cfg.name, bench, budget);
-    if let Some(hit) = store.load(&key) {
-        return hit;
-    }
-    let b = benchmark(bench).unwrap_or_else(|| panic!("unknown benchmark '{bench}'"));
+/// Simulate one (configuration × benchmark) pair, returning the raw
+/// counters (no memoization, no reduction).
+fn simulate_stats(cfg: &SimConfig, bench: &str, budget: &Budget) -> rcmc_core::Stats {
     let trace = cached_trace(bench, budget.trace_len());
     let mut core = Core::new(cfg.core.clone(), cfg.mem, cfg.pred, &trace);
-    let stats = core.run_with_warmup(budget.warmup, budget.measure);
-    let result = RunResult {
+    core.run_with_warmup(budget.warmup, budget.measure)
+}
+
+/// The post-run metric reduction: fold raw [`rcmc_core::Stats`] (including
+/// the per-cluster dispatch and NREADY aggregates) into the figure metrics.
+/// Pure and deterministic — [`sweep_with`] runs one per job across the
+/// sweep pool, overlapped with other jobs' simulations.
+pub fn reduce_metrics(cfg: &SimConfig, bench: &str, stats: &rcmc_core::Stats) -> RunResult {
+    let b = benchmark(bench).unwrap_or_else(|| panic!("unknown benchmark '{bench}'"));
+    RunResult {
         config: cfg.name.clone(),
         bench: bench.to_string(),
         fp: b.is_fp(),
@@ -307,8 +370,17 @@ pub fn run_pair(cfg: &SimConfig, bench: &str, budget: &Budget, store: &ResultSto
         branch_miss_rate: stats.branch_miss_rate(),
         committed: stats.committed,
         cycles: stats.cycles,
-    };
-    store.save(&key, &result);
+    }
+}
+
+/// Simulate one (configuration × benchmark) pair, memoized.
+pub fn run_pair(cfg: &SimConfig, bench: &str, budget: &Budget, store: &ResultStore) -> RunResult {
+    if let Some(hit) = store.load(&cfg.name, bench, budget) {
+        return hit;
+    }
+    let stats = simulate_stats(cfg, bench, budget);
+    let result = reduce_metrics(cfg, bench, &stats);
+    store.save(&cfg.name, bench, budget, &result);
     result
 }
 
@@ -350,8 +422,7 @@ pub fn sweep_with(
     let mut todo: Vec<(&SimConfig, &str)> = Vec::new();
     for cfg in cfgs {
         for &bench in benches {
-            let key = ResultStore::key(&cfg.name, bench, budget);
-            match store.load(&key) {
+            match store.load(&cfg.name, bench, budget) {
                 Some(hit) => {
                     out.insert((cfg.name.clone(), bench.to_string()), hit);
                 }
@@ -362,6 +433,7 @@ pub fn sweep_with(
     if todo.is_empty() {
         return out;
     }
+    let memoized = out.len();
     let pool = rayon::ThreadPool::new(opts.jobs.max(1));
 
     // Stage A: materialize each missing benchmark's oracle trace exactly
@@ -378,21 +450,40 @@ pub fn sweep_with(
         }
     });
 
-    // Stage B: fan the run jobs across the pool; `map` returns results in
+    // Stage B: fan the run jobs across the pool; `map` returns outputs in
     // input order, so collection is deterministic regardless of scheduling.
+    // Each job is simulate → reduce → persist → report: the per-run metric
+    // reduction (dispatch shares, NREADY/communication aggregation) runs on
+    // whichever worker simulated the pair, overlapping other jobs'
+    // simulations — no barrier between the phases — and every finished pair
+    // is durably on disk immediately, so an interrupted sweep resumes from
+    // what it completed and concurrent sweeps see each other's results as
+    // they land.
     let total = todo.len();
+    let started = std::time::Instant::now();
     // Counter increment and callback happen under one lock so callbacks are
     // delivered in strictly increasing `finished` order (two workers racing
     // on an atomic alone could report 12/12 before 11/12).
     let finished = std::sync::Mutex::new(0usize);
     let computed = pool.map(&todo, |_, &(cfg, bench)| {
-        let r = run_pair(cfg, bench, budget, store);
+        // Re-check the store: another process may have raced this pair in.
+        let r = match store.load(&cfg.name, bench, budget) {
+            Some(hit) => hit,
+            None => {
+                let stats = simulate_stats(cfg, bench, budget);
+                let r = reduce_metrics(cfg, bench, &stats);
+                store.save(&cfg.name, bench, budget, &r);
+                r
+            }
+        };
         if let Some(cb) = opts.on_progress {
             let mut done = finished.lock().unwrap_or_else(|e| e.into_inner());
             *done += 1;
             cb(&SweepProgress {
                 finished: *done,
                 total,
+                memoized,
+                elapsed_s: started.elapsed().as_secs_f64(),
                 config: &cfg.name,
                 bench,
             });
@@ -463,23 +554,77 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("rcmc-save-{}", std::process::id()));
         let store = ResultStore::at(dir.clone());
         let cfg = make(Topology::Conv, 4, 2, 1);
-        let r = run_pair(&cfg, "swim", &tiny_budget(), &ResultStore::ephemeral());
-        let key = ResultStore::key(&cfg.name, "swim", &tiny_budget());
-        assert!(store.save(&key, &r), "save to a writable dir must persist");
-        assert_eq!(store.load(&key).as_ref(), Some(&r));
+        let budget = tiny_budget();
+        let r = run_pair(&cfg, "swim", &budget, &ResultStore::ephemeral());
+        assert!(
+            store.save(&cfg.name, "swim", &budget, &r),
+            "save to a writable dir must persist"
+        );
+        assert_eq!(store.load(&cfg.name, "swim", &budget).as_ref(), Some(&r));
         // No stray temp files left behind by the atomic-rename protocol.
-        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+        let shard = dir.join(&cfg.name);
+        let leftovers: Vec<_> = std::fs::read_dir(&shard)
             .unwrap()
             .map(|e| e.unwrap().file_name())
             .filter(|n| n.to_string_lossy().contains("tmp"))
             .collect();
         assert!(leftovers.is_empty(), "temp files left: {leftovers:?}");
         // An ephemeral store persists nothing and says so.
-        assert!(!ResultStore::ephemeral().save(&key, &r));
+        assert!(!ResultStore::ephemeral().save(&cfg.name, "swim", &budget, &r));
         // An unwritable "directory" (a file in the way) fails gracefully.
         let blocked = dir.join("blocked");
         std::fs::write(&blocked, b"not a dir").unwrap();
-        assert!(!ResultStore::at(blocked.join("sub")).save(&key, &r));
+        assert!(!ResultStore::at(blocked.join("sub")).save(&cfg.name, "swim", &budget, &r));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn store_shards_by_configuration() {
+        let dir = std::env::temp_dir().join(format!("rcmc-shard-{}", std::process::id()));
+        let store = ResultStore::at(dir.clone());
+        let budget = tiny_budget();
+        let a = make(Topology::Ring, 4, 2, 1);
+        let b = make(Topology::Conv, 4, 2, 1);
+        let ra = run_pair(&a, "gzip", &budget, &store);
+        let rb = run_pair(&b, "gzip", &budget, &store);
+        // One subdirectory per configuration, no flat files at the root.
+        for cfg in [&a, &b] {
+            assert!(dir.join(&cfg.name).is_dir(), "missing shard {}", cfg.name);
+        }
+        let flat_json = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter(|e| e.as_ref().unwrap().path().extension() == Some("json".as_ref()))
+            .count();
+        assert_eq!(flat_json, 0, "sharded saves must not write flat files");
+        assert_eq!(store.load(&a.name, "gzip", &budget), Some(ra));
+        assert_eq!(store.load(&b.name, "gzip", &budget), Some(rb));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn store_reads_and_migrates_legacy_flat_files() {
+        let dir = std::env::temp_dir().join(format!("rcmc-legacy-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let store = ResultStore::at(dir.clone());
+        let budget = tiny_budget();
+        let cfg = make(Topology::Ring, 4, 2, 1);
+        let r = run_pair(&cfg, "mcf", &budget, &ResultStore::ephemeral());
+        // Plant the result where a pre-sharding store would have put it.
+        let key = ResultStore::key(&cfg.name, "mcf", &budget);
+        let flat = dir.join(format!("{key}.json"));
+        std::fs::write(&flat, serde_json::to_vec_pretty(&r).unwrap()).unwrap();
+        // Transparent read + migration into the shard.
+        assert_eq!(store.load(&cfg.name, "mcf", &budget).as_ref(), Some(&r));
+        assert!(
+            dir.join(&cfg.name).join(format!("{key}.json")).is_file(),
+            "legacy file must move into its shard"
+        );
+        assert!(
+            !flat.exists(),
+            "legacy flat file must be gone after reading"
+        );
+        // And the migrated copy keeps loading.
+        assert_eq!(store.load(&cfg.name, "mcf", &budget).as_ref(), Some(&r));
         let _ = std::fs::remove_dir_all(dir);
     }
 

@@ -1,0 +1,184 @@
+//! Golden equivalence: the pluggable-interconnect refactor must be
+//! invisible in the numbers.
+//!
+//! The expected counters below were captured from the pre-refactor seed
+//! model (MODEL_VERSION 5, `BusFabric` hard-wired into the pipeline,
+//! heap-allocated steering) with the exact same budget. Ring and Conv going
+//! through the `Interconnect` trait — and the allocation-free steering /
+//! dispatch / maintained-ready-list paths — must reproduce every counter
+//! bit-for-bit: cycles, commit mix, communication counts/distances/waits,
+//! NREADY and the per-cluster dispatch histogram. If any row moves, the
+//! timing model changed and MODEL_VERSION in `rcmc_sim::runner` must be
+//! bumped (and these pins re-captured).
+
+use rcmc_core::{Core, Steering, Topology};
+use rcmc_sim::config::{make, SimConfig};
+use rcmc_sim::runner::{cached_trace, Budget};
+
+fn budget() -> Budget {
+    Budget {
+        warmup: 1_000,
+        measure: 4_000,
+    }
+}
+
+struct Golden {
+    cfg: SimConfig,
+    bench: &'static str,
+    cycles: u64,
+    committed: u64,
+    comms_created: u64,
+    comms_issued: u64,
+    comm_distance: u64,
+    comm_bus_wait: u64,
+    nready: u64,
+    issued_int: u64,
+    dispatched: &'static [u64],
+}
+
+fn goldens() -> Vec<Golden> {
+    let ssa = |mut c: SimConfig| {
+        c.core.steering = Steering::Ssa;
+        c.name = format!("{}+SSA", c.name);
+        c
+    };
+    vec![
+        Golden {
+            cfg: make(Topology::Ring, 8, 2, 1),
+            bench: "swim",
+            cycles: 9174,
+            committed: 4000,
+            comms_created: 19,
+            comms_issued: 19,
+            comm_distance: 41,
+            comm_bus_wait: 15,
+            nready: 304,
+            issued_int: 2763,
+            dispatched: &[491, 491, 497, 499, 501, 501, 500, 496],
+        },
+        Golden {
+            cfg: make(Topology::Ring, 8, 2, 1),
+            bench: "gzip",
+            cycles: 9932,
+            committed: 4003,
+            comms_created: 577,
+            comms_issued: 575,
+            comm_distance: 813,
+            comm_bus_wait: 148,
+            nready: 42,
+            issued_int: 4057,
+            dispatched: &[457, 567, 468, 554, 455, 551, 478, 528],
+        },
+        Golden {
+            cfg: make(Topology::Conv, 8, 2, 2),
+            bench: "mcf",
+            cycles: 82770,
+            committed: 4000,
+            comms_created: 0,
+            comms_issued: 0,
+            comm_distance: 0,
+            comm_bus_wait: 0,
+            nready: 800,
+            issued_int: 4000,
+            dispatched: &[2400, 0, 1600, 0, 0, 0, 0, 0],
+        },
+        Golden {
+            cfg: make(Topology::Conv, 4, 2, 1),
+            bench: "galgel",
+            cycles: 1309,
+            committed: 4000,
+            comms_created: 1242,
+            comms_issued: 1229,
+            comm_distance: 2493,
+            comm_bus_wait: 2749,
+            nready: 247,
+            issued_int: 2649,
+            dispatched: &[383, 1322, 624, 1729],
+        },
+        Golden {
+            cfg: ssa(make(Topology::Ring, 8, 1, 2)),
+            bench: "crafty",
+            cycles: 9005,
+            committed: 4000,
+            comms_created: 735,
+            comms_issued: 735,
+            comm_distance: 2876,
+            comm_bus_wait: 100,
+            nready: 907,
+            issued_int: 4000,
+            dispatched: &[523, 506, 518, 510, 500, 476, 492, 476],
+        },
+    ]
+}
+
+#[test]
+fn ring_and_conv_match_pre_refactor_seed_bit_for_bit() {
+    let budget = budget();
+    for g in goldens() {
+        let trace = cached_trace(g.bench, budget.trace_len());
+        let mut core = Core::new(g.cfg.core.clone(), g.cfg.mem, g.cfg.pred, &trace);
+        let s = core.run_with_warmup(budget.warmup, budget.measure);
+        let tag = format!("{} × {}", g.cfg.name, g.bench);
+        assert_eq!(s.cycles, g.cycles, "{tag}: cycles");
+        assert_eq!(s.committed, g.committed, "{tag}: committed");
+        assert_eq!(s.comms_created, g.comms_created, "{tag}: comms_created");
+        assert_eq!(s.comms_issued, g.comms_issued, "{tag}: comms_issued");
+        assert_eq!(s.comm_distance, g.comm_distance, "{tag}: comm_distance");
+        assert_eq!(s.comm_bus_wait, g.comm_bus_wait, "{tag}: comm_bus_wait");
+        assert_eq!(s.nready, g.nready, "{tag}: nready");
+        assert_eq!(s.issued_int, g.issued_int, "{tag}: issued_int");
+        assert_eq!(
+            &s.dispatched_per_cluster[..g.cfg.core.n_clusters],
+            g.dispatched,
+            "{tag}: dispatch histogram"
+        );
+    }
+}
+
+/// The crossbar is selectable end-to-end and behaves like a one-hop
+/// interconnect: it commits the exact oracle stream and every issued
+/// communication travels exactly one hop.
+#[test]
+fn crossbar_runs_end_to_end_with_one_hop_comms() {
+    let budget = budget();
+    let cfg = make(Topology::Crossbar, 8, 2, 1);
+    assert_eq!(cfg.name, "Xbar_8clus_1bus_2IW");
+    let trace = cached_trace("gzip", budget.trace_len());
+    let mut core = Core::new(cfg.core.clone(), cfg.mem, cfg.pred, &trace);
+    let s = core.run_with_warmup(budget.warmup, budget.measure);
+    assert!(s.committed >= budget.measure, "crossbar run must complete");
+    assert!(s.comms_issued > 0, "DCOUNT steering must communicate");
+    assert_eq!(
+        s.comm_distance, s.comms_issued,
+        "every crossbar hop has distance exactly 1"
+    );
+    // A one-hop network with the same port count can only help: it needs no
+    // more cycles than the segmented conventional bus.
+    let conv = make(Topology::Conv, 8, 2, 1);
+    let mut core = Core::new(conv.core.clone(), conv.mem, conv.pred, &trace);
+    let sc = core.run_with_warmup(budget.warmup, budget.measure);
+    assert!(
+        s.cycles <= sc.cycles,
+        "crossbar ({}) slower than conventional bus ({})",
+        s.cycles,
+        sc.cycles
+    );
+}
+
+/// Crossbar runs are deterministic and reachable through the public
+/// memoized runner path (what `rcmc run --topology crossbar` uses).
+#[test]
+fn crossbar_through_runner_is_deterministic() {
+    let budget = budget();
+    let cfg = make(Topology::Crossbar, 8, 2, 2);
+    let store = rcmc_sim::runner::ResultStore::ephemeral();
+    let a = rcmc_sim::runner::run_pair(&cfg, "equake", &budget, &store);
+    let b = rcmc_sim::runner::run_pair(&cfg, "equake", &budget, &store);
+    assert_eq!(a, b);
+    assert!(a.ipc > 0.0);
+    assert!(
+        a.dist_per_comm <= 1.0,
+        "crossbar mean distance must be ≤ 1 hop, got {}",
+        a.dist_per_comm
+    );
+}

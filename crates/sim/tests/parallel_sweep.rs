@@ -153,9 +153,12 @@ fn concurrent_sweeps_share_one_store_safely() {
     });
     assert_eq!(a, b);
     // Every persisted file must parse back to the same result.
-    for (key_pair, r) in &a {
-        let key = ResultStore::key(&key_pair.0, &key_pair.1, &budget);
-        assert_eq!(store_a.load(&key).as_ref(), Some(r), "torn or stale file");
+    for ((config, bench), r) in &a {
+        assert_eq!(
+            store_a.load(config, bench, &budget).as_ref(),
+            Some(r),
+            "torn or stale file"
+        );
     }
     let _ = std::fs::remove_dir_all(dir);
 }

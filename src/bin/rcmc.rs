@@ -34,7 +34,11 @@ fn main() {
     };
     let flags = match cmd.as_str() {
         "list" | "layout" => parse_flags(cmd, &args[1..], &[]),
-        "run" => parse_flags(cmd, &args[1..], &["config", "instrs", "warmup", "jobs"]),
+        "run" => parse_flags(
+            cmd,
+            &args[1..],
+            &["config", "topology", "instrs", "warmup", "jobs"],
+        ),
         "compare" => parse_flags(cmd, &args[1..], &["instrs", "warmup", "jobs"]),
         "disasm" => parse_flags(cmd, &args[1..], &["limit"]),
         "trace" => parse_flags(cmd, &args[1..], &["from", "len", "config"]),
@@ -65,7 +69,8 @@ fn usage() {
          \n\
          commands:\n\
          \x20 list                          benchmarks and configurations\n\
-         \x20 run <bench> [--config NAME] [--instrs N] [--warmup N] [--jobs N]\n\
+         \x20 run <bench> [--config NAME] [--topology ring|conv|crossbar]\n\
+         \x20                               [--instrs N] [--warmup N] [--jobs N]\n\
          \x20 compare <bench> [--instrs N] [--warmup N] [--jobs N]\n\
          \x20                               Ring vs Conv side by side\n\
          \x20 disasm <bench> [--limit N]    static surrogate code\n\
@@ -80,7 +85,9 @@ fn usage() {
          \x20 RCMC_JOBS                     default sweep worker count (else all cores)\n\
          \n\
          --jobs parallelizes sweeps (compare/figures/csv); `run` accepts it for\n\
-         symmetry but a single run always uses one worker."
+         symmetry but a single run always uses one worker.\n\
+         --topology rebuilds the chosen configuration on another interconnect\n\
+         (ring | conv/bus | crossbar/xbar) with that topology's steering."
     );
 }
 
@@ -152,16 +159,25 @@ fn jobs_from(flags: &HashMap<String, String>) -> usize {
     }
 }
 
-fn find_config(name: &str) -> config::SimConfig {
+fn all_configs() -> impl Iterator<Item = config::SimConfig> {
     config::evaluated_configs()
         .into_iter()
         .chain(config::fig12_configs())
         .chain(config::ssa_configs())
-        .find(|c| c.name == name)
-        .unwrap_or_else(|| {
-            eprintln!("unknown configuration '{name}' (see `rcmc list`)");
-            std::process::exit(1);
-        })
+        // Crossbar rows of the topology ablation (Ring/Conv rows dedupe
+        // against Table 3 by name in `list`).
+        .chain(
+            config::topology_ablation_configs()
+                .into_iter()
+                .filter(|c| c.name.starts_with("Xbar_")),
+        )
+}
+
+fn find_config(name: &str) -> config::SimConfig {
+    all_configs().find(|c| c.name == name).unwrap_or_else(|| {
+        eprintln!("unknown configuration '{name}' (see `rcmc list`)");
+        std::process::exit(1);
+    })
 }
 
 fn list() {
@@ -170,12 +186,8 @@ fn list() {
         let class = if b.is_fp() { "FP " } else { "INT" };
         println!("  {:10} {class}  {:?}", b.name, b.kernel);
     }
-    println!("\nconfigurations (Table 3 + §4.6 + §4.7 variants):");
-    for c in config::evaluated_configs()
-        .into_iter()
-        .chain(config::fig12_configs())
-        .chain(config::ssa_configs())
-    {
+    println!("\nconfigurations (Table 3 + §4.6 + §4.7 + topology-ablation variants):");
+    for c in all_configs() {
         println!("  {}", c.name);
     }
 }
@@ -206,14 +218,21 @@ fn run(args: &[String], flags: &HashMap<String, String>) {
         .get("config")
         .cloned()
         .unwrap_or_else(|| "Ring_8clus_1bus_2IW".to_string());
-    let cfg = find_config(&cfg_name);
+    let mut cfg = find_config(&cfg_name);
+    if let Some(t) = flags.get("topology") {
+        let Some(topology) = config::parse_topology(t) else {
+            eprintln!("unknown topology '{t}' (ring | conv | crossbar)");
+            std::process::exit(2);
+        };
+        cfg = config::with_topology(&cfg, topology);
+    }
     let budget = budget_from(flags);
     let _ = jobs_from(flags); // validated; a single run always uses one worker
     let store = ResultStore::open_default();
     let r = runner::run_pair(&cfg, &bench, &budget, &store);
     println!(
-        "{bench} on {cfg_name} ({} measured instructions):",
-        r.committed
+        "{bench} on {} ({} measured instructions):",
+        cfg.name, r.committed
     );
     print_result(&r);
 }
