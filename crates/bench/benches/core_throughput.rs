@@ -1,7 +1,8 @@
 //! Timing harness for the per-cycle hot loop: one serial one-core run per
 //! topology, reporting simulated cycles (and committed instructions) per
-//! wall-second, recorded in `BENCH_core.json` at the repository root so
-//! hot-loop regressions show up in the perf trajectory PR over PR.
+//! wall-second, recorded in the `core_throughput` section of
+//! `BENCH_core.json` at the repository root (shared with `steering_cross`)
+//! so hot-loop regressions show up in the perf trajectory PR over PR.
 //!
 //! The window is fixed (not `RCMC_INSTRS`) and the store is never consulted,
 //! so the numbers measure pure simulation work and stay comparable run to
@@ -9,12 +10,12 @@
 //! communication-heavy INT and one FP benchmark keeps both the steering and
 //! the issue/bus paths hot.
 
-use std::fmt::Write as _;
 use std::time::Instant;
 
-use rcmc_core::{Core, Topology};
-use rcmc_sim::config::{make, topology_name};
+use rcmc_bench::update_bench_core;
+use rcmc_sim::config::{make, topology_name, ALL_TOPOLOGIES};
 use rcmc_sim::runner::{cached_trace, Budget};
+use serde_json::Value;
 
 const BENCHES: [&str; 2] = ["gzip", "swim"];
 
@@ -29,15 +30,15 @@ fn main() {
 
     println!("\nCore throughput (serial, one core, 8clus_1bus_2IW)");
     println!("---------------------------------------------------");
-    let mut rows = String::new();
-    for topo in [Topology::Ring, Topology::Conv, Topology::Crossbar] {
+    let mut runs = Vec::new();
+    for topo in ALL_TOPOLOGIES {
         let cfg = make(topo, 8, 2, 1);
         let mut cycles = 0u64;
         let mut committed = 0u64;
         let t0 = Instant::now();
         for b in BENCHES {
             let trace = cached_trace(b, budget.trace_len());
-            let mut core = Core::new(cfg.core.clone(), cfg.mem, cfg.pred, &trace);
+            let mut core = rcmc_core::Core::new(cfg.core.clone(), cfg.mem, cfg.pred, &trace);
             let s = core.run_with_warmup(budget.warmup, budget.measure);
             cycles += s.cycles;
             committed += s.committed;
@@ -50,28 +51,29 @@ fn main() {
              {mcps:>7.2} Mcycles/s {mips:>6.2} Minsns/s",
             topology_name(topo)
         );
-        if !rows.is_empty() {
-            rows.push_str(",\n");
-        }
-        let _ = write!(
-            rows,
-            "    {{\"topology\": \"{}\", \"cycles\": {cycles}, \"committed\": {committed}, \
-             \"wall_s\": {dt:.3}, \"mcycles_per_s\": {mcps:.3}, \"minsns_per_s\": {mips:.3}}}",
-            topology_name(topo)
-        );
+        runs.push(Value::Obj(vec![
+            ("topology".into(), Value::Str(topology_name(topo).into())),
+            ("cycles".into(), Value::Num(cycles as f64)),
+            ("committed".into(), Value::Num(committed as f64)),
+            ("wall_s".into(), Value::Num((dt * 1e3).round() / 1e3)),
+            (
+                "mcycles_per_s".into(),
+                Value::Num((mcps * 1e3).round() / 1e3),
+            ),
+            (
+                "minsns_per_s".into(),
+                Value::Num((mips * 1e3).round() / 1e3),
+            ),
+        ]));
     }
 
-    let json = format!(
-        "{{\n  \"bench\": \"core_throughput\",\n  \"benches\": \"gzip+swim\",\n  \
-         \"warmup\": {},\n  \"measure\": {},\n  \"runs\": [\n{rows}\n  ]\n}}\n",
-        budget.warmup, budget.measure
+    update_bench_core(
+        "core_throughput",
+        Value::Obj(vec![
+            ("benches".into(), Value::Str("gzip+swim".into())),
+            ("warmup".into(), Value::Num(budget.warmup as f64)),
+            ("measure".into(), Value::Num(budget.measure as f64)),
+            ("runs".into(), Value::Arr(runs)),
+        ]),
     );
-    let out = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("..")
-        .join("..")
-        .join("BENCH_core.json");
-    match std::fs::write(&out, &json) {
-        Ok(()) => println!("wrote {}", out.display()),
-        Err(e) => eprintln!("could not write {}: {e}", out.display()),
-    }
 }

@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use rcmc_core::bus::BusFabric;
-use rcmc_core::steer::{Dcount, Steerer};
+use rcmc_core::steering::{self, SteerCtx};
 use rcmc_core::value::ValueTable;
 use rcmc_core::{Core, CoreConfig, Steering, Topology};
 use rcmc_emu::trace_program;
@@ -109,12 +109,15 @@ fn bench_steering(c: &mut Criterion) {
             };
             let mut values = ValueTable::new(8, 48, 48);
             let vids: Vec<_> = (0..16).map(|i| values.alloc_ready(i % 8, false)).collect();
-            let dcount = Dcount::new(8);
-            let mut steerer = Steerer::new();
+            let mut policy = steering::build(&cfg);
             b.iter(|| {
                 for i in 0..1024usize {
                     let srcs = [vids[i % 16], vids[(i * 7 + 3) % 16]];
-                    criterion::black_box(steerer.steer(&cfg, &values, &dcount, &srcs));
+                    criterion::black_box(policy.steer(&SteerCtx {
+                        cfg: &cfg,
+                        values: &values,
+                        srcs: &srcs,
+                    }));
                 }
             })
         });

@@ -24,7 +24,10 @@
 //! `sweep_scaling` is the odd one out: it ignores the shared store and times
 //! a serial-vs-parallel tiny sweep, emitting `BENCH_sweep.json`.
 
+use std::path::PathBuf;
+
 use rcmc_sim::runner::{Budget, ResultStore, SweepOpts};
+use serde_json::Value;
 
 /// The store, budget, and sweep options every figure target shares.
 pub fn harness_env() -> (Budget, ResultStore, SweepOpts<'static>) {
@@ -40,4 +43,55 @@ pub fn harness_env() -> (Budget, ResultStore, SweepOpts<'static>) {
 pub fn emit(ex: &rcmc_sim::experiments::Experiment) {
     println!("\n================================================================");
     println!("{}", ex.text);
+}
+
+/// The repository-root `BENCH_core.json` tracking hot-loop throughput.
+pub fn bench_core_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join("BENCH_core.json")
+}
+
+/// Read-modify-write one section of `BENCH_core.json`. Each perf bench
+/// target owns one top-level key (`core_throughput`, `steering_cross`, ...)
+/// and must leave the others intact, so running the targets in any order —
+/// or only one of them — never loses the other's latest numbers. A missing
+/// or unparseable file starts fresh.
+pub fn update_bench_core(key: &str, section: Value) {
+    let path = bench_core_path();
+    let mut root = std::fs::read_to_string(&path)
+        .ok()
+        .and_then(|text| serde_json::from_str::<Value>(&text).ok())
+        .filter(|v| matches!(v, Value::Obj(_)))
+        .unwrap_or(Value::Obj(Vec::new()));
+    if let Value::Obj(members) = &mut root {
+        // Migrate away the pre-sectioned flat layout (core_throughput's old
+        // top-level fields): its rows are frozen duplicates of the live
+        // `core_throughput` section and would never update again.
+        members.retain(|(k, _)| {
+            !matches!(
+                k.as_str(),
+                "bench" | "benches" | "warmup" | "measure" | "runs"
+            )
+        });
+        match members.iter_mut().find(|(k, _)| k == key) {
+            Some((_, v)) => *v = section,
+            None => members.push((key.to_string(), section)),
+        }
+    }
+    // Temp-file + atomic rename (same protocol as ResultStore::save): a
+    // reader never sees a torn file. The read-modify-write itself is not
+    // locked — two bench targets racing can still lose one section — so
+    // run the perf targets sequentially (as CI does).
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    let write = std::fs::write(&tmp, root.to_pretty_string() + "\n")
+        .and_then(|()| std::fs::rename(&tmp, &path));
+    match write {
+        Ok(()) => println!("updated '{key}' in {}", path.display()),
+        Err(e) => {
+            let _ = std::fs::remove_file(&tmp);
+            eprintln!("could not write {}: {e}", path.display());
+        }
+    }
 }

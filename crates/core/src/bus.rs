@@ -122,8 +122,8 @@ impl BusFabric {
                 let forward = match cfg.topology {
                     Topology::Ring => true,
                     Topology::Conv => b % 2 == 0,
-                    Topology::Crossbar => {
-                        unreachable!("crossbar configs use interconnect::Crossbar")
+                    Topology::Crossbar | Topology::Mesh | Topology::Hier => {
+                        unreachable!("non-bus topologies use their own Interconnect impls")
                     }
                 };
                 Bus::new(cfg.n_clusters, forward, cfg.hop_latency)

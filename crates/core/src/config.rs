@@ -17,6 +17,17 @@ pub enum Topology {
     /// clusters is one hop apart, arbitration is per-cluster ingress/egress
     /// ports (`n_buses` of each per cluster) instead of bus segments.
     Crossbar,
+    /// Beyond-paper ablation: conventional-style clusters on a 2D mesh —
+    /// XY (dimension-ordered) routing over bidirectional neighbor links,
+    /// Manhattan-distance delays, `n_buses` ports per directed link. The
+    /// grid is the most square factorization of the cluster count (see
+    /// [`mesh_dims`]); prime counts degenerate to a 1×N line.
+    Mesh,
+    /// Beyond-paper ablation: hierarchical clusters-of-clusters — every
+    /// group of [`hier_group_size`] clusters shares a cheap single-hop
+    /// local bus, and all groups share one expensive
+    /// [`HIER_INTER_HOPS`]-hop inter-group link.
+    Hier,
 }
 
 /// Steering algorithm selection.
@@ -46,6 +57,60 @@ pub enum CopyRelease {
 
 /// Maximum supported cluster count (fixed-size arrays in hot structures).
 pub const MAX_CLUSTERS: usize = 16;
+
+/// Event-wheel length of the pipeline (future cycles a completion can be
+/// scheduled at). Every interconnect grant delay — and every functional
+/// unit / memory latency — must land strictly inside it;
+/// [`CoreConfig::validate`] enforces the interconnect side.
+pub const EVENT_WHEEL: usize = 512;
+
+/// Reservation-window length in future cycles for the wormhole-reserving
+/// fabrics (`BusFabric` segments are a 64-bit mask; `Mesh2D` links use
+/// arrays of this length). [`CoreConfig::validate`] rejects configurations
+/// whose longest path × hop latency does not fit, so the fabrics can
+/// assume it.
+pub const RESERVATION_WINDOW: usize = 64;
+
+/// Hop distance charged for crossing the shared inter-group link of
+/// [`Topology::Hier`] (the intra-group bus is always one hop). Chosen so
+/// leaving the group costs about as much as the worst conventional-bus
+/// distance at 8 clusters with 2 buses — steering should avoid it.
+pub const HIER_INTER_HOPS: u32 = 4;
+
+/// Grid dimensions `(width, height)` for [`Topology::Mesh`]: the most
+/// square factorization of `n` with `width >= height`. Prime cluster
+/// counts degenerate to a 1×N line (a bidirectional chain).
+pub fn mesh_dims(n: usize) -> (usize, usize) {
+    let mut h = (n as f64).sqrt().floor() as usize;
+    while h > 1 && !n.is_multiple_of(h) {
+        h -= 1;
+    }
+    let h = h.max(1);
+    (n / h, h)
+}
+
+/// Mesh coordinates of `cluster` on the [`mesh_dims`] grid (row-major).
+pub fn mesh_xy(n: usize, cluster: usize) -> (usize, usize) {
+    let (w, _) = mesh_dims(n);
+    (cluster % w, cluster / w)
+}
+
+/// Clusters per group for [`Topology::Hier`]: 4 when the cluster count
+/// allows it, else 2, else one flat group (no inter-group traffic).
+pub fn hier_group_size(n: usize) -> usize {
+    if n.is_multiple_of(4) {
+        4
+    } else if n.is_multiple_of(2) {
+        2
+    } else {
+        n
+    }
+}
+
+/// The [`Topology::Hier`] group a cluster belongs to.
+pub fn hier_group(n: usize, cluster: usize) -> usize {
+    cluster / hier_group_size(n)
+}
 
 /// Full back-end configuration. Defaults correspond to the paper's
 /// `8clus_1bus_2IW` configuration; `rcmc-sim` provides all Table 3 presets.
@@ -135,6 +200,24 @@ impl Default for CoreConfig {
 }
 
 impl CoreConfig {
+    /// The calibrated DCOUNT threshold for a topology (maximizing the
+    /// geomean IPC of [`Steering::ConvDcount`] over a representative
+    /// benchmark subset at 8 clusters / 1 bus / 2IW; see `rcmc-sim`'s
+    /// `calibrate_dcount` example). The bus topologies keep the
+    /// paper-baseline value; the point-to-point fabrics tolerate scatter
+    /// better (every redirection costs at most one / [`HIER_INTER_HOPS`]
+    /// hops, not a bus walk), so their calibration runs favor tighter
+    /// balance control — geomean IPC at the optimum vs the Conv-calibrated
+    /// 16.0: Xbar 0.8413 vs 0.8109, Mesh 0.8088 vs 0.7852, Hier 0.7767 vs
+    /// 0.7675.
+    pub fn default_dcount_threshold(topology: Topology) -> f64 {
+        match topology {
+            Topology::Ring | Topology::Conv => 16.0,
+            Topology::Crossbar => 8.0,
+            Topology::Mesh | Topology::Hier => 12.0,
+        }
+    }
+
     /// Sanity-check invariants the pipeline relies on.
     pub fn validate(&self) -> Result<(), String> {
         if self.n_clusters < 2 || self.n_clusters > MAX_CLUSTERS {
@@ -145,6 +228,42 @@ impl CoreConfig {
         }
         if self.hop_latency == 0 {
             return Err("hop_latency must be >= 1".into());
+        }
+        // The wormhole-reserving fabrics hold one reservation slot per
+        // future cycle of a path: the longest route must fit the window.
+        let max_path: u64 = match self.topology {
+            // A bus path can span up to n_clusters segments.
+            Topology::Ring | Topology::Conv => self.n_clusters as u64,
+            Topology::Mesh => {
+                let (w, h) = mesh_dims(self.n_clusters);
+                (w - 1 + h - 1).max(1) as u64
+            }
+            // Entry-cycle-only arbitration: no reservation window.
+            Topology::Crossbar | Topology::Hier => 0,
+        };
+        if max_path * self.hop_latency as u64 >= RESERVATION_WINDOW as u64 {
+            return Err(format!(
+                "hop_latency {} with {} clusters exceeds the {}-cycle \
+                 reservation window of {:?}",
+                self.hop_latency, self.n_clusters, RESERVATION_WINDOW, self.topology
+            ));
+        }
+        // Every grant delay must also fit the pipeline's event wheel. The
+        // bus/mesh fabrics are already bounded tighter by the reservation
+        // window; this catches the entry-cycle fabrics (Crossbar, Hier),
+        // whose delays are unbounded by any window.
+        let max_dist: u64 = match self.topology {
+            Topology::Ring | Topology::Conv => self.n_clusters as u64,
+            Topology::Crossbar => 1,
+            Topology::Mesh => max_path,
+            Topology::Hier => HIER_INTER_HOPS as u64,
+        };
+        if max_dist * self.hop_latency as u64 >= EVENT_WHEEL as u64 {
+            return Err(format!(
+                "hop_latency {} makes the longest {:?} delay overflow the \
+                 {}-cycle event wheel",
+                self.hop_latency, self.topology, EVENT_WHEEL
+            ));
         }
         // Physical registers must cover the architectural state plus at least
         // a little rename headroom, or dispatch can starve (see DESIGN.md).
@@ -175,7 +294,7 @@ impl CoreConfig {
     pub fn dest_cluster(&self, cluster: usize) -> usize {
         match self.topology {
             Topology::Ring => (cluster + 1) % self.n_clusters,
-            Topology::Conv | Topology::Crossbar => cluster,
+            Topology::Conv | Topology::Crossbar | Topology::Mesh | Topology::Hier => cluster,
         }
     }
 
@@ -183,6 +302,9 @@ impl CoreConfig {
     ///
     /// Ring: every bus runs forward. Conv: bus 0 runs forward; bus 1 (if
     /// present) runs backward. Crossbar: every remote cluster is one hop.
+    /// Mesh: the XY route's Manhattan distance (all links bidirectional, so
+    /// every "bus" sees the same distance). Hier: one hop inside a group,
+    /// [`HIER_INTER_HOPS`] across groups.
     #[inline]
     pub fn bus_distance(&self, bus: usize, from: usize, to: usize) -> u32 {
         let n = self.n_clusters;
@@ -197,6 +319,23 @@ impl CoreConfig {
                 }
             }
             Topology::Crossbar => u32::from(from != to),
+            Topology::Mesh => {
+                // One mesh_dims evaluation for both endpoints: this runs in
+                // the steering hot path (per candidate cluster per operand).
+                let (w, _) = mesh_dims(n);
+                let (fx, fy) = (from % w, from / w);
+                let (tx, ty) = (to % w, to / w);
+                (fx.abs_diff(tx) + fy.abs_diff(ty)) as u32
+            }
+            Topology::Hier => {
+                if from == to {
+                    0
+                } else if hier_group(n, from) == hier_group(n, to) {
+                    1
+                } else {
+                    HIER_INTER_HOPS
+                }
+            }
         }
     }
 
@@ -204,10 +343,15 @@ impl CoreConfig {
     /// (what the steering algorithms minimize).
     #[inline]
     pub fn min_distance(&self, from: usize, to: usize) -> u32 {
-        (0..self.n_buses)
-            .map(|b| self.bus_distance(b, from, to))
-            .min()
-            .unwrap_or(0)
+        match self.topology {
+            // Bus-dependent distances (forward vs backward buses).
+            Topology::Ring | Topology::Conv => (0..self.n_buses)
+                .map(|b| self.bus_distance(b, from, to))
+                .min()
+                .unwrap_or(0),
+            // n_buses is pure bandwidth here: one evaluation suffices.
+            Topology::Crossbar | Topology::Mesh | Topology::Hier => self.bus_distance(0, from, to),
+        }
     }
 }
 
@@ -258,6 +402,58 @@ mod tests {
     }
 
     #[test]
+    fn mesh_dims_most_square_factorization() {
+        assert_eq!(mesh_dims(4), (2, 2));
+        assert_eq!(mesh_dims(8), (4, 2));
+        assert_eq!(mesh_dims(16), (4, 4));
+        assert_eq!(mesh_dims(6), (3, 2));
+        assert_eq!(mesh_dims(12), (4, 3));
+        // Primes degenerate to a line.
+        assert_eq!(mesh_dims(7), (7, 1));
+        assert_eq!(mesh_dims(2), (2, 1));
+    }
+
+    #[test]
+    fn mesh_distance_is_manhattan() {
+        let c = CoreConfig {
+            topology: Topology::Mesh,
+            ..CoreConfig::default()
+        };
+        // 8 clusters on a 4×2 grid: 0=(0,0), 3=(3,0), 4=(0,1), 7=(3,1).
+        assert_eq!(c.min_distance(0, 7), 4);
+        assert_eq!(c.min_distance(7, 0), 4, "mesh links are bidirectional");
+        assert_eq!(c.min_distance(0, 3), 3);
+        assert_eq!(c.min_distance(0, 4), 1);
+        assert_eq!(c.min_distance(1, 6), 2);
+        assert_eq!(c.min_distance(2, 2), 0);
+        // Both buses report the same distance (n_buses is bandwidth only).
+        let c2 = CoreConfig { n_buses: 2, ..c };
+        assert_eq!(c2.bus_distance(0, 0, 7), c2.bus_distance(1, 0, 7));
+        // Results stay local: conventional-style destination.
+        assert_eq!(c2.dest_cluster(5), 5);
+    }
+
+    #[test]
+    fn hier_distance_is_two_level() {
+        let c = CoreConfig {
+            topology: Topology::Hier,
+            ..CoreConfig::default()
+        };
+        // 8 clusters -> 2 groups of 4.
+        assert_eq!(hier_group_size(8), 4);
+        assert_eq!(hier_group(8, 3), 0);
+        assert_eq!(hier_group(8, 4), 1);
+        assert_eq!(c.min_distance(0, 3), 1, "intra-group is one hop");
+        assert_eq!(c.min_distance(1, 7), HIER_INTER_HOPS);
+        assert_eq!(c.min_distance(2, 2), 0);
+        assert_eq!(c.dest_cluster(5), 5);
+        // 6 clusters -> groups of 2; 2 clusters -> one flat group.
+        assert_eq!(hier_group_size(6), 2);
+        assert_eq!(hier_group_size(2), 2);
+        assert_eq!(hier_group_size(5), 5);
+    }
+
+    #[test]
     fn invalid_configs_rejected() {
         let c = CoreConfig {
             n_clusters: 1,
@@ -276,6 +472,68 @@ mod tests {
         assert!(c.validate().is_err());
         let c = CoreConfig {
             hop_latency: 0,
+            ..CoreConfig::default()
+        };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn reservation_window_overflows_rejected() {
+        // Ring: a 16-cluster bus path at 4 cycles/hop is 64 slots — too big.
+        let c = CoreConfig {
+            n_clusters: 16,
+            hop_latency: 4,
+            ..CoreConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = CoreConfig {
+            n_clusters: 15,
+            hop_latency: 4,
+            ..CoreConfig::default()
+        };
+        assert!(c.validate().is_ok());
+        // Mesh: a prime count degenerates to a line; 13 clusters × 6
+        // cycles/hop exceeds the window, but a 4×4 grid (diameter 6) fits.
+        let c = CoreConfig {
+            topology: Topology::Mesh,
+            n_clusters: 13,
+            hop_latency: 6,
+            ..CoreConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = CoreConfig {
+            topology: Topology::Mesh,
+            n_clusters: 16,
+            hop_latency: 6,
+            ..CoreConfig::default()
+        };
+        assert!(c.validate().is_ok());
+        // Entry-cycle fabrics reserve nothing, but their grant delays must
+        // still fit the event wheel: Hier's worst delay is
+        // hop_latency × HIER_INTER_HOPS.
+        for topology in [Topology::Crossbar, Topology::Hier] {
+            let c = CoreConfig {
+                topology,
+                hop_latency: 100,
+                ..CoreConfig::default()
+            };
+            assert!(c.validate().is_ok());
+        }
+        let c = CoreConfig {
+            topology: Topology::Hier,
+            hop_latency: 128, // 128 × 4 = 512 ≥ wheel
+            ..CoreConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = CoreConfig {
+            topology: Topology::Crossbar,
+            hop_latency: 511,
+            ..CoreConfig::default()
+        };
+        assert!(c.validate().is_ok());
+        let c = CoreConfig {
+            topology: Topology::Crossbar,
+            hop_latency: 512,
             ..CoreConfig::default()
         };
         assert!(c.validate().is_err());

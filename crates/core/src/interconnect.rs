@@ -15,14 +15,22 @@
 //!   (alternating forward/backward);
 //! * [`Crossbar`] — a beyond-paper full point-to-point switch where every
 //!   pair of clusters is one hop apart and arbitration is per-cluster
-//!   ingress/egress ports.
+//!   ingress/egress ports;
+//! * [`Mesh2D`] — a beyond-paper 2D mesh with XY (dimension-ordered)
+//!   routing, wormhole-style per-link reservation, and Manhattan-distance
+//!   delays;
+//! * [`Hier`] — a beyond-paper hierarchy of clusters-of-clusters: a cheap
+//!   single-hop bus inside every group, one expensive shared link between
+//!   groups.
 //!
 //! Distance/topology *queries* (what steering minimizes) stay on
 //! [`CoreConfig`] — they are pure functions of the configuration; the trait
 //! owns only the dynamic arbitration.
 
 use crate::bus::BusFabric;
-use crate::config::{CoreConfig, Topology, MAX_CLUSTERS};
+use crate::config::{
+    hier_group_size, mesh_dims, CoreConfig, Topology, HIER_INTER_HOPS, MAX_CLUSTERS,
+};
 
 /// A granted communication: the pipeline schedules delivery `delay` cycles
 /// from now and charges `distance` hops to the Figure 8 statistics.
@@ -53,6 +61,8 @@ pub fn build(cfg: &CoreConfig) -> Box<dyn Interconnect> {
     match cfg.topology {
         Topology::Ring | Topology::Conv => Box::new(BusFabric::new(cfg)),
         Topology::Crossbar => Box::new(Crossbar::new(cfg)),
+        Topology::Mesh => Box::new(Mesh2D::new(cfg)),
+        Topology::Hier => Box::new(Hier::new(cfg)),
     }
 }
 
@@ -101,6 +111,191 @@ impl Interconnect for Crossbar {
             Some(Grant {
                 delay: self.hop_latency,
                 distance: 1,
+            })
+        } else {
+            None
+        }
+    }
+}
+
+/// Reservation window for mesh links: one slot per future cycle.
+/// [`CoreConfig::validate`] guarantees the longest XY route fits.
+const MESH_WINDOW: usize = crate::config::RESERVATION_WINDOW;
+
+/// 2D mesh with XY (dimension-ordered) routing.
+///
+/// Clusters sit on the [`mesh_dims`] grid (row-major). A message travels
+/// all of its X hops first, then its Y hops — deterministic and
+/// deadlock-free — and reserves every directed link of its path
+/// wormhole-style at the cycle it will traverse it (offset `j·L` for hop
+/// `j`, like the segmented buses: fully pipelined, so a link accepts a new
+/// message every cycle). Each directed link has `n_buses` ports per cycle,
+/// mirroring the bandwidth meaning of `n_buses` on the other fabrics.
+pub struct Mesh2D {
+    w: usize,
+    n: usize,
+    ports: u8,
+    hop_latency: u32,
+    /// Rotating origin of the per-link occupancy windows.
+    head: usize,
+    /// Occupancy counts per directed link and future cycle:
+    /// `links[dir * n + cluster][(head + offset) % MESH_WINDOW]`, where
+    /// `dir` is 0 = +x, 1 = −x, 2 = +y, 3 = −y leaving `cluster`.
+    links: Vec<[u8; MESH_WINDOW]>,
+}
+
+impl Mesh2D {
+    /// Build per the configuration (`n_buses` ports per directed link).
+    pub fn new(cfg: &CoreConfig) -> Self {
+        let n = cfg.n_clusters;
+        let (w, h) = mesh_dims(n);
+        let max_path = (w - 1 + h - 1).max(1) as u64;
+        // Backstop only: `CoreConfig::validate` rejects these configs first.
+        assert!(
+            max_path * (cfg.hop_latency as u64) < MESH_WINDOW as u64,
+            "mesh reservation window too small"
+        );
+        Mesh2D {
+            w,
+            n,
+            ports: cfg.n_buses as u8,
+            hop_latency: cfg.hop_latency,
+            head: 0,
+            links: vec![[0u8; MESH_WINDOW]; 4 * n],
+        }
+    }
+
+    /// The directed link leaving `cluster` toward grid direction `dir`
+    /// (0 = +x, 1 = −x, 2 = +y, 3 = −y).
+    #[inline]
+    fn link(&self, dir: usize, cluster: usize) -> usize {
+        dir * self.n + cluster
+    }
+
+    /// Walk the XY route from `from` to `to`, yielding each hop's directed
+    /// link in traversal order.
+    fn xy_route(&self, from: usize, to: usize, mut visit: impl FnMut(usize)) {
+        let (tx, ty) = (to % self.w, to / self.w);
+        let (mut x, mut y) = (from % self.w, from / self.w);
+        while x != tx {
+            let dir = if tx > x { 0 } else { 1 };
+            visit(self.link(dir, y * self.w + x));
+            if tx > x {
+                x += 1;
+            } else {
+                x -= 1;
+            }
+        }
+        while y != ty {
+            let dir = if ty > y { 2 } else { 3 };
+            visit(self.link(dir, y * self.w + x));
+            if ty > y {
+                y += 1;
+            } else {
+                y -= 1;
+            }
+        }
+    }
+
+    #[inline]
+    fn slot(&self, offset: u32) -> usize {
+        (self.head + offset as usize) % MESH_WINDOW
+    }
+}
+
+impl Interconnect for Mesh2D {
+    fn tick(&mut self) {
+        // The slot at `head` (offset 0) expires; zero it so it is clean when
+        // it wraps around to represent offset MESH_WINDOW-1.
+        for l in &mut self.links {
+            l[self.head] = 0;
+        }
+        self.head = (self.head + 1) % MESH_WINDOW;
+    }
+
+    fn try_send(&mut self, from: usize, to: usize) -> Option<Grant> {
+        debug_assert_ne!(from, to, "communication to the same cluster");
+        // Check the whole XY path first (no residue on failure), recording
+        // the links so a grant commits without walking the route again.
+        let mut free = true;
+        let mut hop = 0u32;
+        let mut route = [0usize; MESH_WINDOW];
+        self.xy_route(from, to, |link| {
+            let s = (self.head + (hop * self.hop_latency) as usize) % MESH_WINDOW;
+            free &= self.links[link][s] < self.ports;
+            route[hop as usize] = link;
+            hop += 1;
+        });
+        if !free {
+            return None;
+        }
+        let dist = hop;
+        for (j, &link) in route.iter().enumerate().take(dist as usize) {
+            let s = self.slot(j as u32 * self.hop_latency);
+            self.links[link][s] += 1;
+        }
+        Some(Grant {
+            delay: dist * self.hop_latency,
+            distance: dist,
+        })
+    }
+}
+
+/// Hierarchical clusters-of-clusters.
+///
+/// Every group of [`hier_group_size`] clusters shares one cheap local bus
+/// (single hop, `n_buses` slots per cycle), and all groups share one
+/// expensive inter-group link ([`HIER_INTER_HOPS`] hops, `n_buses` slots
+/// per cycle). Arbitration is entry-cycle only (the fabric is fully
+/// pipelined, like [`Crossbar`]): the local buses are independent, the
+/// global link is the deliberate bottleneck that makes cross-group
+/// placement expensive for steering.
+pub struct Hier {
+    group_size: usize,
+    ports: u8,
+    hop_latency: u32,
+    /// Local-bus slots used this cycle, per group.
+    intra_used: [u8; MAX_CLUSTERS],
+    /// Shared inter-group link slots used this cycle.
+    inter_used: u8,
+}
+
+impl Hier {
+    /// Build per the configuration (`n_buses` slots per bus/link).
+    pub fn new(cfg: &CoreConfig) -> Self {
+        Hier {
+            group_size: hier_group_size(cfg.n_clusters),
+            ports: cfg.n_buses as u8,
+            hop_latency: cfg.hop_latency,
+            intra_used: [0; MAX_CLUSTERS],
+            inter_used: 0,
+        }
+    }
+}
+
+impl Interconnect for Hier {
+    fn tick(&mut self) {
+        self.intra_used = [0; MAX_CLUSTERS];
+        self.inter_used = 0;
+    }
+
+    fn try_send(&mut self, from: usize, to: usize) -> Option<Grant> {
+        debug_assert_ne!(from, to, "communication to the same cluster");
+        if from / self.group_size == to / self.group_size {
+            let g = from / self.group_size;
+            if self.intra_used[g] < self.ports {
+                self.intra_used[g] += 1;
+                return Some(Grant {
+                    delay: self.hop_latency,
+                    distance: 1,
+                });
+            }
+            None
+        } else if self.inter_used < self.ports {
+            self.inter_used += 1;
+            Some(Grant {
+                delay: self.hop_latency * HIER_INTER_HOPS,
+                distance: HIER_INTER_HOPS,
             })
         } else {
             None
@@ -181,9 +376,15 @@ mod tests {
 
     #[test]
     fn factory_picks_the_topology() {
-        // Smoke: the factory builds without panicking for all three and the
+        // Smoke: the factory builds without panicking for all five and the
         // result routes a basic message.
-        for topo in [Topology::Ring, Topology::Conv, Topology::Crossbar] {
+        for topo in [
+            Topology::Ring,
+            Topology::Conv,
+            Topology::Crossbar,
+            Topology::Mesh,
+            Topology::Hier,
+        ] {
             let cfg = CoreConfig {
                 topology: topo,
                 ..CoreConfig::default()
@@ -192,5 +393,198 @@ mod tests {
             assert!(ic.try_send(0, 1).is_some(), "{topo:?}");
             ic.tick();
         }
+    }
+
+    fn mesh(n_clusters: usize, n_buses: usize, hop: u32) -> Mesh2D {
+        Mesh2D::new(&CoreConfig {
+            topology: Topology::Mesh,
+            steering: Steering::ConvDcount,
+            n_clusters,
+            n_buses,
+            hop_latency: hop,
+            ..CoreConfig::default()
+        })
+    }
+
+    #[test]
+    fn mesh_grants_manhattan_distances() {
+        // 8 clusters -> 4×2 grid: cluster 0 = (0,0), 7 = (3,1).
+        let mut m = mesh(8, 1, 1);
+        assert_eq!(
+            m.try_send(0, 7).unwrap(),
+            Grant {
+                delay: 4,
+                distance: 4
+            }
+        );
+        m.tick();
+        // Same row: pure X route. 4 -> 6 is (0,1) -> (2,1): 2 hops.
+        assert_eq!(
+            m.try_send(4, 6).unwrap(),
+            Grant {
+                delay: 2,
+                distance: 2
+            }
+        );
+        // Same column: pure Y route. 1 -> 5 is (1,0) -> (1,1): 1 hop.
+        assert_eq!(
+            m.try_send(1, 5).unwrap(),
+            Grant {
+                delay: 1,
+                distance: 1
+            }
+        );
+    }
+
+    #[test]
+    fn mesh_hop_latency_scales_delay_not_distance() {
+        let mut m = mesh(8, 1, 2);
+        assert_eq!(
+            m.try_send(0, 3).unwrap(),
+            Grant {
+                delay: 6,
+                distance: 3
+            }
+        );
+    }
+
+    #[test]
+    fn mesh_xy_routes_share_the_first_link() {
+        // Both 0->2 and 0->5 leave cluster 0 eastward (XY: X first), so the
+        // second message loses the link-0-east port this cycle.
+        let mut m = mesh(8, 1, 1);
+        assert!(m.try_send(0, 2).is_some());
+        assert!(m.try_send(0, 5).is_none(), "0->5 goes east first under XY");
+        m.tick();
+        assert!(m.try_send(0, 5).is_some(), "link free again next cycle");
+    }
+
+    #[test]
+    fn mesh_trailing_message_conflicts_midpath() {
+        // A 0->2 message occupies link 1->2 at offset 1. Next cycle a 1->2
+        // message wants that link at offset 0 — the same absolute cycle.
+        let mut m = mesh(8, 1, 1);
+        assert!(m.try_send(0, 2).is_some());
+        m.tick();
+        assert!(
+            m.try_send(1, 2).is_none(),
+            "in-flight message owns the link"
+        );
+        assert!(m.try_send(0, 1).is_some(), "link 0->1 is free again");
+        m.tick();
+        assert!(m.try_send(1, 2).is_some());
+    }
+
+    #[test]
+    fn mesh_opposite_directions_are_independent() {
+        // 1->0 (west) and 0->1 (east) use different directed links.
+        let mut m = mesh(8, 1, 1);
+        assert!(m.try_send(0, 1).is_some());
+        assert!(m.try_send(1, 0).is_some());
+    }
+
+    #[test]
+    fn mesh_rejection_leaves_no_residue() {
+        let mut m = mesh(8, 1, 1);
+        assert!(m.try_send(0, 1).is_some());
+        // Denied: wants the same eastward link out of 0.
+        assert!(m.try_send(0, 2).is_none());
+        m.tick();
+        // Nothing of the denied attempt lingers.
+        assert!(m.try_send(0, 2).is_some());
+    }
+
+    #[test]
+    fn mesh_ports_scale_link_bandwidth() {
+        let mut m = mesh(8, 2, 1);
+        assert!(m.try_send(0, 1).is_some());
+        assert!(m.try_send(0, 2).is_some());
+        assert!(m.try_send(0, 3).is_none(), "two ports per link only");
+    }
+
+    #[test]
+    fn mesh_degenerate_line_still_routes() {
+        // 5 clusters is prime -> 5×1 line; the full walk is 4 hops.
+        let mut m = mesh(5, 1, 1);
+        assert_eq!(
+            m.try_send(0, 4).unwrap(),
+            Grant {
+                delay: 4,
+                distance: 4
+            }
+        );
+        assert_eq!(
+            m.try_send(4, 3).unwrap(),
+            Grant {
+                delay: 1,
+                distance: 1
+            }
+        );
+    }
+
+    fn hier(n_clusters: usize, n_buses: usize, hop: u32) -> Hier {
+        Hier::new(&CoreConfig {
+            topology: Topology::Hier,
+            steering: Steering::ConvDcount,
+            n_clusters,
+            n_buses,
+            hop_latency: hop,
+            ..CoreConfig::default()
+        })
+    }
+
+    #[test]
+    fn hier_intra_group_is_one_cheap_hop() {
+        // 8 clusters -> 2 groups of 4 (0..4 and 4..8).
+        let mut h = hier(8, 1, 1);
+        assert_eq!(
+            h.try_send(0, 3).unwrap(),
+            Grant {
+                delay: 1,
+                distance: 1
+            }
+        );
+        // The other group's local bus is independent this same cycle.
+        assert_eq!(
+            h.try_send(5, 6).unwrap(),
+            Grant {
+                delay: 1,
+                distance: 1
+            }
+        );
+        // But a second message on the *same* group's bus is denied.
+        assert!(h.try_send(1, 2).is_none());
+        h.tick();
+        assert!(h.try_send(1, 2).is_some());
+    }
+
+    #[test]
+    fn hier_inter_group_link_is_expensive_and_shared() {
+        let mut h = hier(8, 1, 2);
+        assert_eq!(
+            h.try_send(0, 5).unwrap(),
+            Grant {
+                delay: 2 * HIER_INTER_HOPS,
+                distance: HIER_INTER_HOPS
+            }
+        );
+        // One global link: a second cross-group message — even between
+        // different group pairs — waits.
+        assert!(h.try_send(7, 2).is_none());
+        // Intra-group traffic is unaffected by the saturated global link.
+        assert!(h.try_send(1, 2).is_some());
+        h.tick();
+        assert!(h.try_send(7, 2).is_some());
+    }
+
+    #[test]
+    fn hier_ports_scale_both_levels() {
+        let mut h = hier(8, 2, 1);
+        assert!(h.try_send(0, 4).is_some());
+        assert!(h.try_send(1, 5).is_some());
+        assert!(h.try_send(2, 6).is_none(), "two inter-group slots only");
+        assert!(h.try_send(0, 1).is_some());
+        assert!(h.try_send(2, 3).is_some());
+        assert!(h.try_send(0, 2).is_none(), "two local-bus slots only");
     }
 }

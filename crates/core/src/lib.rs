@@ -37,13 +37,15 @@ pub mod queues;
 pub mod rob;
 pub mod stats;
 pub mod steer;
+pub mod steering;
 pub mod value;
 
 pub use config::{CopyRelease, CoreConfig, Steering, Topology, MAX_CLUSTERS};
-pub use interconnect::{Crossbar, Grant, Interconnect};
+pub use interconnect::{Crossbar, Grant, Hier, Interconnect, Mesh2D};
 pub use pipeline::Core;
 pub use pipeview::PipeTracer;
 pub use stats::Stats;
+pub use steering::{SteerCtx, SteeringPolicy};
 
 #[cfg(test)]
 mod pipeline_tests;

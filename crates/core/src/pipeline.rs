@@ -43,10 +43,10 @@ use crate::pipeview::PipeTracer;
 use crate::queues::{CommOp, CommQueue, IqEntry, IssueQueue};
 use crate::rob::{Rob, RobEntry};
 use crate::stats::Stats;
-use crate::steer::{Dcount, Steerer};
+use crate::steering::{self, SteerCtx, SteeringPolicy};
 use crate::value::{CopyState, ValueId, ValueTable};
 
-const WHEEL: usize = 512;
+const WHEEL: usize = crate::config::EVENT_WHEEL;
 
 #[derive(Clone, Copy, Debug)]
 enum Ev {
@@ -89,8 +89,7 @@ pub struct Core<'t> {
     // Rename.
     rename: [ValueId; NUM_ARCH_REGS],
     values: ValueTable,
-    steerer: Steerer,
-    dcount: Dcount,
+    policy: Box<dyn SteeringPolicy>,
     seq: u64,
 
     // Per-cluster structures.
@@ -154,8 +153,7 @@ impl<'t> Core<'t> {
             last_fetch_line: u64::MAX,
             rename,
             values,
-            steerer: Steerer::new(),
-            dcount: Dcount::new(n),
+            policy: steering::build(&cfg),
             seq: 0,
             wheel: (0..WHEEL).map(|_| Vec::new()).collect(),
             now: 0,
@@ -505,7 +503,7 @@ impl<'t> Core<'t> {
             };
             budget -= 1;
             self.scratch_remove.push(idx);
-            self.dcount.issued(c);
+            self.policy.issued(c);
             self.trace_mark(entry.trace_idx, |r, now| r.issue = now);
             if fp {
                 self.stats.issued_fp += 1;
@@ -642,9 +640,11 @@ impl<'t> Core<'t> {
             }
         }
 
-        let steered =
-            self.steerer
-                .steer(&self.cfg, &self.values, &self.dcount, &srcs_buf[..n_srcs]);
+        let steered = self.policy.steer(&SteerCtx {
+            cfg: &self.cfg,
+            values: &self.values,
+            srcs: &srcs_buf[..n_srcs],
+        });
         let c = steered.cluster;
         let comms = steered.comms.as_slice();
         let dest_cluster = self.cfg.dest_cluster(c);
@@ -780,7 +780,7 @@ impl<'t> Core<'t> {
         }
 
         self.stats.dispatched_per_cluster[c] += 1;
-        self.dcount.dispatched(c);
+        self.policy.dispatched(c);
         let n_comms = comms.len() as u8;
         self.trace_mark(trace_idx, |r, now| {
             r.dispatch = now;

@@ -39,11 +39,22 @@ impl IqEntry {
 /// The number of ready entries is maintained incrementally (updated on
 /// push/wakeup/remove), so per-cycle selection can skip queues with nothing
 /// ready without scanning them — the common case in a stalled cluster.
+///
+/// Wakeup is O(waiters), not O(entries): a per-value wait-list (direct
+/// table indexed by [`ValueId`], grown lazily) records which entries wait
+/// on each value, so a tag broadcast touches exactly the entries it wakes.
+/// Registrations are consumed by the wakeup itself (a wait can never
+/// dangle: the waited-on value keeps this entry as a reader until it turns
+/// ready), and `swap_remove` relocations are patched in place.
 pub struct IssueQueue {
     entries: Vec<IqEntry>,
     capacity: usize,
     /// Ready entries currently in the queue (maintained, never scanned).
     n_ready: usize,
+    /// Entry indices waiting on each value (indexed by `ValueId`; one
+    /// registration per waiting source slot). Cleared lists are kept to
+    /// reuse their capacity — value ids recycle heavily.
+    waiters: Vec<Vec<u32>>,
 }
 
 impl IssueQueue {
@@ -53,6 +64,7 @@ impl IssueQueue {
             entries: Vec::with_capacity(capacity),
             capacity,
             n_ready: 0,
+            waiters: Vec::new(),
         }
     }
 
@@ -71,16 +83,41 @@ impl IssueQueue {
         self.entries.len() < self.capacity
     }
 
+    /// Register `idx` on `v`'s wait-list.
+    #[inline]
+    fn enlist(&mut self, v: ValueId, idx: u32) {
+        let slot = v as usize;
+        if slot >= self.waiters.len() {
+            self.waiters.resize_with(slot + 1, Vec::new);
+        }
+        self.waiters[slot].push(idx);
+    }
+
     /// Insert at dispatch. Panics if full (caller checks `has_space`).
     pub fn push(&mut self, e: IqEntry) {
         assert!(self.has_space(), "issue queue overflow");
         self.n_ready += usize::from(e.ready());
+        let idx = self.entries.len() as u32;
+        for v in e.waits.into_iter().flatten() {
+            self.enlist(v, idx);
+        }
         self.entries.push(e);
     }
 
-    /// Tag broadcast: value `v` became ready in this cluster.
+    /// Tag broadcast: value `v` became ready in this cluster. Touches only
+    /// the entries registered as waiting on `v`.
     pub fn wakeup(&mut self, v: ValueId) {
-        for e in &mut self.entries {
+        let Some(list) = self.waiters.get_mut(v as usize) else {
+            return;
+        };
+        if list.is_empty() {
+            return;
+        }
+        // Detach the list so entry mutation can't alias it; hand its
+        // capacity back afterwards.
+        let mut list = std::mem::take(list);
+        for &idx in &list {
+            let e = &mut self.entries[idx as usize];
             let was_ready = e.ready();
             for w in &mut e.waits {
                 if *w == Some(v) {
@@ -89,6 +126,8 @@ impl IssueQueue {
             }
             self.n_ready += usize::from(!was_ready && e.ready());
         }
+        list.clear();
+        self.waiters[v as usize] = list;
     }
 
     /// Ready entries in age order (oldest first).
@@ -137,12 +176,28 @@ impl IssueQueue {
     }
 
     /// Remove a set of entries by index (after issue). Indices must be
-    /// distinct; the buffer is drained in place (descending order).
+    /// distinct and name ready entries (issue selects only ready ones, and
+    /// a ready entry holds no wait-list registrations); the buffer is
+    /// drained in place (descending order).
     pub fn remove_many(&mut self, idx: &mut Vec<usize>) {
         idx.sort_unstable_by(|a, b| b.cmp(a));
         for i in idx.drain(..) {
+            debug_assert!(self.entries[i].ready(), "removing a waiting entry");
             self.n_ready -= usize::from(self.entries[i].ready());
             self.entries.swap_remove(i);
+            // The former tail entry (if any) moved to `i`: repoint its
+            // wait-list registrations.
+            if i < self.entries.len() {
+                let old = self.entries.len() as u32;
+                let waits = self.entries[i].waits;
+                for v in waits.into_iter().flatten() {
+                    for slot in &mut self.waiters[v as usize] {
+                        if *slot == old {
+                            *slot = i as u32;
+                        }
+                    }
+                }
+            }
         }
     }
 }
@@ -329,6 +384,30 @@ mod tests {
         q.remove_many(&mut idx);
         assert!(idx.is_empty());
         assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn wakeup_tracks_entries_moved_by_swap_remove() {
+        // Wait-list registrations must follow entries relocated by
+        // remove_many's swap_remove, and a consumed broadcast must be inert.
+        let mut q = IssueQueue::new(8);
+        q.push(entry(0, [None, None])); // ready
+        q.push(entry(1, [Some(7), None]));
+        q.push(entry(2, [None, None])); // ready
+        q.push(entry(3, [Some(7), Some(8)]));
+        let mut idx = vec![0, 2];
+        q.remove_many(&mut idx);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.ready_count(), 0);
+        q.wakeup(7);
+        assert_eq!(q.ready_count(), 1, "seq 1 ready; seq 3 still waits on 8");
+        q.wakeup(7); // consumed broadcast: nothing left registered
+        assert_eq!(q.ready_count(), 1);
+        q.wakeup(8);
+        assert_eq!(q.ready_count(), 2);
+        let r = q.ready_ordered();
+        assert_eq!(q.get(r[0]).seq, 1);
+        assert_eq!(q.get(r[1]).seq, 3);
     }
 
     #[test]

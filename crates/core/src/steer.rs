@@ -1,19 +1,13 @@
-//! The three steering algorithms.
+//! Shared steering data types: the result of placing one instruction and
+//! the communication bookkeeping every policy needs.
 //!
-//! * [`Steering::RingDep`] — §3.1: dependence-based steering whose tie-break
-//!   is the free-register count of the cluster that will *receive* the
-//!   result (the next cluster in the ring). The paper's Figure 2 example is
-//!   reproduced in this module's tests.
-//! * [`Steering::ConvDcount`] — §4.1: the baseline's locality steering with
-//!   explicit DCOUNT workload-balance control (Parcerisa et al., PACT'02).
-//! * [`Steering::Ssa`] — §4.7: send to the home cluster of the leftmost
-//!   operand; round-robin for operand-less instructions.
-//!
-//! Steering never fails: it always picks a cluster. Resource availability in
-//! the chosen cluster is checked afterwards by dispatch, which stalls when
-//! "the chosen cluster is full" (§3.1) rather than re-steering.
+//! The steering *algorithms* live behind the [`crate::steering`] trait
+//! layer ([`crate::steering::SteeringPolicy`]); this module owns the
+//! policy-independent pieces — the inline communication list, the
+//! [`Steered`] result, and the nearest-copy distance helpers that both the
+//! policies and the pipeline use.
 
-use crate::config::{CoreConfig, Steering, MAX_CLUSTERS};
+use crate::config::CoreConfig;
 use crate::value::{ValueId, ValueTable};
 
 /// A required communication: bring `value` from cluster `from` to the
@@ -31,8 +25,8 @@ pub struct NeededComm {
 /// An instruction has at most two source operands, so at most two
 /// communications; ring steering guarantees ≤ 1 (its candidate set always
 /// contains a cluster holding an operand). Keeping this inline makes
-/// [`Steerer::steer`] — called once per dispatched instruction — fully
-/// allocation-free.
+/// [`crate::steering::SteeringPolicy::steer`] — called once per dispatched
+/// instruction — fully allocation-free.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct CommList {
     items: [NeededComm; 2],
@@ -110,253 +104,6 @@ pub struct Steered {
     pub comms: CommList,
 }
 
-/// DCOUNT workload-balance state (Canal/Parcerisa): per-cluster counts of
-/// **dispatched-but-not-yet-issued** instructions. The metric is
-/// self-correcting — redirecting a handful of instructions immediately
-/// closes the gap — which is what keeps the baseline's balance mode from
-/// degenerating into permanent scatter.
-pub struct Dcount {
-    dc: [i32; MAX_CLUSTERS],
-    n: usize,
-}
-
-impl Dcount {
-    /// Fresh state.
-    pub fn new(n_clusters: usize) -> Self {
-        Dcount {
-            dc: [0; MAX_CLUSTERS],
-            n: n_clusters,
-        }
-    }
-
-    /// Record a dispatch to `cluster`.
-    #[inline]
-    pub fn dispatched(&mut self, cluster: usize) {
-        self.dc[cluster] += 1;
-    }
-
-    /// Record an issue from `cluster` (the instruction left the queue).
-    #[inline]
-    pub fn issued(&mut self, cluster: usize) {
-        debug_assert!(self.dc[cluster] > 0, "DCOUNT underflow");
-        self.dc[cluster] -= 1;
-    }
-
-    /// Current imbalance: max − min pending-instruction counts.
-    pub fn imbalance(&self) -> f64 {
-        let mut mx = i32::MIN;
-        let mut mn = i32::MAX;
-        for &d in &self.dc[..self.n] {
-            mx = mx.max(d);
-            mn = mn.min(d);
-        }
-        (mx - mn) as f64
-    }
-
-    /// Least-loaded cluster (lowest counter; ties → lowest index).
-    pub fn least_loaded(&self) -> usize {
-        let mut best = 0;
-        for c in 1..self.n {
-            if self.dc[c] < self.dc[best] {
-                best = c;
-            }
-        }
-        best
-    }
-
-    /// Counter value (tests).
-    pub fn count(&self, cluster: usize) -> f64 {
-        self.dc[cluster] as f64
-    }
-}
-
-/// Steering engine: the algorithm plus its mutable tie-break state.
-pub struct Steerer {
-    /// Round-robin pointer (SSA operand-less case and RingDep 0-source ties).
-    rr: usize,
-}
-
-impl Steerer {
-    /// Fresh engine.
-    pub fn new() -> Self {
-        Steerer { rr: 0 }
-    }
-
-    /// Steer one instruction.
-    ///
-    /// * `srcs` — live source values (architectural `r0` excluded).
-    /// * `pending_ok` — see [`ValueTable::mapped`]: in-flight copies count.
-    pub fn steer(
-        &mut self,
-        cfg: &CoreConfig,
-        values: &ValueTable,
-        dcount: &Dcount,
-        srcs: &[ValueId],
-    ) -> Steered {
-        let cluster = match cfg.steering {
-            Steering::RingDep => self.steer_ring(cfg, values, srcs),
-            Steering::ConvDcount => self.steer_conv(cfg, values, dcount, srcs),
-            Steering::Ssa => self.steer_ssa(cfg, values, srcs),
-        };
-        let comms = needed_comms(cfg, values, srcs, cluster);
-        Steered { cluster, comms }
-    }
-
-    /// §3.1. Candidates by operand count, then most free registers in the
-    /// *destination* cluster (Figure 2's example requires the destination
-    /// cluster interpretation; see tests).
-    fn steer_ring(&mut self, cfg: &CoreConfig, values: &ValueTable, srcs: &[ValueId]) -> usize {
-        let n = cfg.n_clusters;
-        let mut cand = [false; MAX_CLUSTERS];
-        match srcs {
-            [] => cand[..n].fill(true),
-            [v] => {
-                for c in values.mapped_clusters(*v) {
-                    cand[c] = true;
-                }
-            }
-            [u, v] => {
-                let mut both_any = false;
-                for (c, slot) in cand.iter_mut().enumerate().take(n) {
-                    if values.mapped(*u, c) && values.mapped(*v, c) {
-                        *slot = true;
-                        both_any = true;
-                    }
-                }
-                if !both_any {
-                    // One communication required: among clusters holding one
-                    // operand, minimize its distance.
-                    let mut best_dist = u32::MAX;
-                    let mut dist_at = [u32::MAX; MAX_CLUSTERS];
-                    for (c, slot) in dist_at.iter_mut().enumerate().take(n) {
-                        let has_u = values.mapped(*u, c);
-                        let has_v = values.mapped(*v, c);
-                        if !has_u && !has_v {
-                            continue;
-                        }
-                        let missing = if has_u { *v } else { *u };
-                        let d = nearest_copy_distance(cfg, values, missing, c);
-                        *slot = d;
-                        best_dist = best_dist.min(d);
-                    }
-                    for c in 0..n {
-                        cand[c] = dist_at[c] == best_dist;
-                    }
-                }
-            }
-            _ => unreachable!("at most two source operands"),
-        }
-        self.pick_most_free(cfg, values, &cand)
-    }
-
-    /// Most free registers in the destination cluster among candidates;
-    /// ties broken by a rotating pointer (the paper steers the 0-source case
-    /// "randomly"; rotation keeps runs deterministic).
-    fn pick_most_free(&mut self, cfg: &CoreConfig, values: &ValueTable, cand: &[bool]) -> usize {
-        let n = cfg.n_clusters;
-        let mut best = usize::MAX;
-        let mut best_free = i32::MIN;
-        for off in 0..n {
-            let c = (self.rr + off) % n;
-            if !cand[c] {
-                continue;
-            }
-            let free = values.free_regs_total(cfg.dest_cluster(c));
-            if free > best_free {
-                best_free = free;
-                best = c;
-            }
-        }
-        debug_assert!(best != usize::MAX, "steering found no candidate cluster");
-        self.rr = (self.rr + 1) % n;
-        best
-    }
-
-    /// §4.1 (baseline).
-    fn steer_conv(
-        &mut self,
-        cfg: &CoreConfig,
-        values: &ValueTable,
-        dcount: &Dcount,
-        srcs: &[ValueId],
-    ) -> usize {
-        let n = cfg.n_clusters;
-        if dcount.imbalance() > cfg.dcount_threshold {
-            return dcount.least_loaded();
-        }
-        let mut cand = [false; MAX_CLUSTERS];
-        // "If any source operand is not available at dispatch time":
-        // clusters where the pending operands will be produced.
-        let mut any_pending = false;
-        for &v in srcs {
-            if !values.produced_anywhere(v) {
-                cand[values.home(v)] = true;
-                any_pending = true;
-            }
-        }
-        if any_pending {
-            // Candidates already set above.
-        } else if !srcs.is_empty() {
-            // All available: minimize the longest communication distance.
-            let mut best = u32::MAX;
-            let mut dist_at = [u32::MAX; MAX_CLUSTERS];
-            for (c, slot) in dist_at.iter_mut().enumerate().take(n) {
-                let longest = srcs
-                    .iter()
-                    .map(|v| {
-                        if values.mapped(*v, c) {
-                            0
-                        } else {
-                            nearest_copy_distance(cfg, values, *v, c)
-                        }
-                    })
-                    .max()
-                    .unwrap_or(0);
-                *slot = longest;
-                best = best.min(longest);
-            }
-            for c in 0..n {
-                cand[c] = dist_at[c] == best;
-            }
-        } else {
-            cand[..n].fill(true);
-        }
-        // Least loaded among the selected clusters.
-        let mut bestc = usize::MAX;
-        let mut bestdc = f64::MAX;
-        for (c, &is_cand) in cand.iter().enumerate().take(n) {
-            if is_cand && dcount.count(c) < bestdc {
-                bestdc = dcount.count(c);
-                bestc = c;
-            }
-        }
-        debug_assert!(bestc != usize::MAX);
-        bestc
-    }
-
-    /// §4.7 simple steering.
-    fn steer_ssa(&mut self, cfg: &CoreConfig, values: &ValueTable, srcs: &[ValueId]) -> usize {
-        if let Some(v) = srcs.first() {
-            // Lowest-index cluster that stores (or will store) the leftmost
-            // operand.
-            values
-                .mapped_clusters(*v)
-                .next()
-                .expect("live value must be mapped somewhere")
-        } else {
-            let c = self.rr % cfg.n_clusters;
-            self.rr = (self.rr + 1) % cfg.n_clusters;
-            c
-        }
-    }
-}
-
-impl Default for Steerer {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
 /// Distance from the nearest copy of `v` to `to`, minimized over buses.
 pub fn nearest_copy_distance(cfg: &CoreConfig, values: &ValueTable, v: ValueId, to: usize) -> u32 {
     values
@@ -381,8 +128,9 @@ pub fn nearest_copy_cluster(cfg: &CoreConfig, values: &ValueTable, v: ValueId, t
     best
 }
 
-/// Communications needed to execute an instruction with `srcs` in `cluster`.
-fn needed_comms(
+/// Communications needed to execute an instruction with `srcs` in `cluster`
+/// (one per operand without a local copy, deduplicated).
+pub fn needed_comms(
     cfg: &CoreConfig,
     values: &ValueTable,
     srcs: &[ValueId],
@@ -416,206 +164,6 @@ mod tests {
             regs_fp: 64,
             ..CoreConfig::default()
         }
-    }
-
-    /// The worked example of Figure 2, instruction by instruction.
-    ///
-    /// ```text
-    /// I1. R1 = 1        -> steered to 0 (value lands in cluster 1)
-    /// I2. R2 = R1 + 1   -> steered to 1 (R1 local)    (R2 lands in 2)
-    /// I3. R3 = R1 + R2  -> steered to 2 (R2 local, R1 one bus hop)
-    /// I4. R4 = R1 + R3  -> steered to 3 (R3 local, R1 one hop from 2)
-    /// I5. R5 = R1 x 3   -> steered to 3 (dest cluster 0 has most free regs)
-    /// ```
-    #[test]
-    fn paper_figure2_example() {
-        let cfg = ring4();
-        let mut values = ValueTable::new(4, 64, 64);
-        let dcount = Dcount::new(4);
-        let mut s = Steerer::new();
-
-        // I1: no sources. All dest clusters equally free; rotating tie-break
-        // starts at 0.
-        let i1 = s.steer(&cfg, &values, &dcount, &[]);
-        assert_eq!(i1.cluster, 0);
-        assert!(i1.comms.is_empty());
-        let r1 = values.alloc(cfg.dest_cluster(i1.cluster), false); // home = 1
-        values.mark_ready(r1, 1);
-
-        // I2: one source R1 (mapped only in 1).
-        let i2 = s.steer(&cfg, &values, &dcount, &[r1]);
-        assert_eq!(i2.cluster, 1);
-        assert!(i2.comms.is_empty());
-        let r2 = values.alloc(cfg.dest_cluster(i2.cluster), false); // home = 2
-        values.mark_ready(r2, 2);
-
-        // I3: R1 (in 1) + R2 (in 2). No cluster has both; executing in 2
-        // needs R1 over 1 hop (1->2); executing in 1 needs R2 over 3 hops.
-        let i3 = s.steer(&cfg, &values, &dcount, &[r1, r2]);
-        assert_eq!(i3.cluster, 2);
-        assert_eq!(i3.comms.as_slice(), &[NeededComm { value: r1, from: 1 }]);
-        // The comm materializes a copy of R1 in 2 (as in the figure).
-        values.add_copy(r1, 2);
-        values.mark_ready(r1, 2);
-        let r3 = values.alloc(cfg.dest_cluster(i3.cluster), false); // home = 3
-        values.mark_ready(r3, 3);
-
-        // I4: R1 (in 1,2) + R3 (in 3). Executing in 3: R1 one hop from 2.
-        let i4 = s.steer(&cfg, &values, &dcount, &[r1, r3]);
-        assert_eq!(i4.cluster, 3);
-        assert_eq!(i4.comms.as_slice(), &[NeededComm { value: r1, from: 2 }]);
-        values.add_copy(r1, 3);
-        values.mark_ready(r1, 3);
-        let r4 = values.alloc(cfg.dest_cluster(i4.cluster), false); // home = 0
-        values.mark_ready(r4, 0);
-
-        // I5: R1 (in 1,2,3). Dest clusters are 2,3,0 holding 2,2,1 registers
-        // respectively -> cluster 0 is freest -> execute in 3.
-        let i5 = s.steer(&cfg, &values, &dcount, &[r1]);
-        assert_eq!(
-            i5.cluster, 3,
-            "Figure 2: 'Cluster 3 has more free registers'"
-        );
-        assert!(i5.comms.is_empty());
-    }
-
-    #[test]
-    fn ring_two_sources_same_cluster_no_comm() {
-        let cfg = ring4();
-        let mut values = ValueTable::new(4, 64, 64);
-        let dcount = Dcount::new(4);
-        let mut s = Steerer::new();
-        let a = values.alloc(2, false);
-        let b = values.alloc(2, true);
-        let st = s.steer(&cfg, &values, &dcount, &[a, b]);
-        assert_eq!(st.cluster, 2);
-        assert!(st.comms.is_empty());
-    }
-
-    #[test]
-    fn ring_never_needs_two_comms() {
-        // Operands in clusters 0 and 2, nothing shared: candidates are
-        // exactly the clusters holding one operand -> at most one comm.
-        let cfg = ring4();
-        let mut values = ValueTable::new(4, 64, 64);
-        let dcount = Dcount::new(4);
-        let mut s = Steerer::new();
-        let a = values.alloc(0, false);
-        let b = values.alloc(2, false);
-        let st = s.steer(&cfg, &values, &dcount, &[a, b]);
-        assert!(st.comms.len() <= 1);
-        assert!(st.cluster == 0 || st.cluster == 2);
-    }
-
-    #[test]
-    fn ring_distance_uses_forward_ring() {
-        // a in 3, b in 1 (4 clusters): executing at 1 needs a over (1-3)%4=2
-        // hops; executing at 3 needs b over (3-1)%4=2 hops. Equal -> free
-        // regs decide; make cluster 2 (dest of 1) scarcer.
-        let cfg = ring4();
-        let mut values = ValueTable::new(4, 64, 64);
-        let dcount = Dcount::new(4);
-        let mut s = Steerer::new();
-        let a = values.alloc(3, false);
-        let b = values.alloc(1, false);
-        // Burn registers in cluster 2 so dest(1)=2 is less free than dest(3)=0.
-        let burn: Vec<_> = (0..10).map(|_| values.alloc(2, false)).collect();
-        let st = s.steer(&cfg, &values, &dcount, &[a, b]);
-        assert_eq!(st.cluster, 3);
-        assert_eq!(st.comms.as_slice(), &[NeededComm { value: b, from: 1 }]);
-        for v in burn {
-            values.free(v);
-        }
-    }
-
-    #[test]
-    fn conv_balance_mode_overrides_locality() {
-        let mut cfg = ring4();
-        cfg.topology = Topology::Conv;
-        cfg.steering = Steering::ConvDcount;
-        cfg.dcount_threshold = 4.0;
-        let mut values = ValueTable::new(4, 64, 64);
-        let mut dcount = Dcount::new(4);
-        let mut s = Steerer::new();
-        let v = values.alloc(0, false);
-        values.mark_ready(v, 0);
-        // Pile dispatches onto cluster 0 beyond the threshold.
-        for _ in 0..6 {
-            dcount.dispatched(0);
-        }
-        let st = s.steer(&cfg, &values, &dcount, &[v]);
-        assert_ne!(st.cluster, 0, "balance mode must leave the loaded cluster");
-        assert_eq!(st.comms.len(), 1, "which costs a communication");
-    }
-
-    #[test]
-    fn conv_prefers_pending_producer_cluster() {
-        let mut cfg = ring4();
-        cfg.topology = Topology::Conv;
-        cfg.steering = Steering::ConvDcount;
-        let mut values = ValueTable::new(4, 64, 64);
-        let dcount = Dcount::new(4);
-        let mut s = Steerer::new();
-        let pending = values.alloc(2, false); // in flight, home 2
-        let st = s.steer(&cfg, &values, &dcount, &[pending]);
-        assert_eq!(
-            st.cluster, 2,
-            "steer to where the pending operand is produced"
-        );
-        assert!(st.comms.is_empty());
-    }
-
-    #[test]
-    fn conv_minimizes_longest_distance() {
-        let mut cfg = ring4();
-        cfg.topology = Topology::Conv;
-        cfg.steering = Steering::ConvDcount;
-        cfg.n_buses = 2; // bidirectional distances
-        let mut values = ValueTable::new(4, 64, 64);
-        let dcount = Dcount::new(4);
-        let mut s = Steerer::new();
-        let a = values.alloc(0, false);
-        values.mark_ready(a, 0);
-        let b = values.alloc(1, false);
-        values.mark_ready(b, 1);
-        let st = s.steer(&cfg, &values, &dcount, &[a, b]);
-        // Executing at 0 or 1 leaves the other operand 1 hop away (longest=1);
-        // anywhere else the longest distance is >= 1 with two comms. 0 and 1
-        // tie; least-loaded tie-break picks the lowest index.
-        assert!(st.cluster == 0 || st.cluster == 1);
-        assert_eq!(st.comms.len(), 1);
-    }
-
-    #[test]
-    fn ssa_lowest_index_home_and_round_robin() {
-        let mut cfg = ring4();
-        cfg.steering = Steering::Ssa;
-        let mut values = ValueTable::new(4, 64, 64);
-        let dcount = Dcount::new(4);
-        let mut s = Steerer::new();
-        let v = values.alloc(2, false);
-        values.add_copy(v, 1);
-        let st = s.steer(&cfg, &values, &dcount, &[v]);
-        assert_eq!(st.cluster, 1, "lowest-index cluster holding the operand");
-        // Operand-less: round robin 0,1,2,3,0...
-        let mut seen = Vec::new();
-        for _ in 0..5 {
-            seen.push(s.steer(&cfg, &values, &dcount, &[]).cluster);
-        }
-        assert_eq!(seen, vec![0, 1, 2, 3, 0]);
-    }
-
-    #[test]
-    fn dcount_tracks_pending_instructions() {
-        let mut d = Dcount::new(4);
-        d.dispatched(0);
-        d.dispatched(0);
-        d.dispatched(1);
-        assert!((d.imbalance() - 2.0).abs() < 1e-12);
-        d.issued(0);
-        assert!((d.count(0) - 1.0).abs() < 1e-12);
-        assert!((d.imbalance() - 1.0).abs() < 1e-12);
-        assert_eq!(d.least_loaded(), 2);
     }
 
     #[test]

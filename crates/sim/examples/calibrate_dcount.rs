@@ -1,11 +1,24 @@
-//! Calibrate the Conv baseline: sweep the DCOUNT threshold (difference in
-//! dispatched-but-unissued counts) and report geometric-mean IPC over a
-//! representative subset, so the baseline is as strong as the paper's tuned
-//! steering. All (threshold × benchmark) runs fan out through one parallel
-//! sweep; the per-threshold report order stays fixed.
+//! Calibrate the DCOUNT-steered baseline of any topology: sweep the DCOUNT
+//! threshold (difference in dispatched-but-unissued counts) and report
+//! geometric-mean IPC over a representative subset, so every
+//! conventional-style fabric is as strong as the paper's tuned steering.
+//! All (threshold × benchmark) runs fan out through one parallel sweep; the
+//! per-threshold report order stays fixed.
+//!
+//! ```text
+//! cargo run --release -p rcmc-sim --example calibrate_dcount [topology]
+//! ```
+//!
+//! `topology` is any `--topology` spelling (default: `conv`). The winning
+//! values are recorded as `CoreConfig::default_dcount_threshold`.
 use rcmc_sim::{config, runner};
 
 fn main() {
+    let topo_arg = std::env::args().nth(1).unwrap_or_else(|| "conv".into());
+    let Some(topology) = config::parse_topology(&topo_arg) else {
+        eprintln!("unknown topology '{topo_arg}' (ring | conv | crossbar | mesh | hier)");
+        std::process::exit(2);
+    };
     let budget = runner::Budget {
         warmup: 5_000,
         measure: 60_000,
@@ -18,21 +31,28 @@ fn main() {
     let cfgs: Vec<_> = thresholds
         .iter()
         .map(|&thr| {
-            let mut cfg = config::make(rcmc_core::Topology::Conv, 8, 2, 1);
+            let mut cfg = config::make_pair(topology, rcmc_core::Steering::ConvDcount, 8, 2, 1);
             cfg.core.dcount_threshold = thr;
-            cfg.name = format!("cal_t{thr}");
+            cfg.name = format!("cal_{}_t{thr}", config::topology_name(topology));
             cfg
         })
         .collect();
     let results = runner::sweep(&cfgs, &benches, &budget, &store, runner::default_jobs());
+    println!(
+        "DCOUNT calibration on {} (8 clusters, 1 bus, 2IW):",
+        config::topology_name(topology)
+    );
+    let mut best = (f64::MIN, 0.0);
     for (thr, cfg) in thresholds.iter().zip(&cfgs) {
         let log_sum: f64 = benches
             .iter()
             .map(|&b| results[&(cfg.name.clone(), b.to_string())].ipc.ln())
             .sum();
-        println!(
-            "thr {thr:>5}: geomean IPC {:.4}",
-            (log_sum / benches.len() as f64).exp()
-        );
+        let geo = (log_sum / benches.len() as f64).exp();
+        if geo > best.0 {
+            best = (geo, *thr);
+        }
+        println!("thr {thr:>5}: geomean IPC {geo:.4}");
     }
+    println!("best threshold: {} (geomean IPC {:.4})", best.1, best.0);
 }

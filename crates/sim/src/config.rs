@@ -17,19 +17,60 @@ pub struct SimConfig {
     pub pred: PredictorConfig,
 }
 
-/// Build one Table 3 configuration.
+/// Every supported interconnect topology, in display order.
+pub const ALL_TOPOLOGIES: [Topology; 5] = [
+    Topology::Ring,
+    Topology::Conv,
+    Topology::Crossbar,
+    Topology::Mesh,
+    Topology::Hier,
+];
+
+/// Every steering policy, in display order.
+pub const ALL_STEERINGS: [Steering; 3] = [Steering::RingDep, Steering::ConvDcount, Steering::Ssa];
+
+/// The steering policy a topology is paired with by default: dependence
+/// steering for the ring (whose writeback pattern it exploits), the
+/// baseline's DCOUNT-balanced steering for every conventional-style design
+/// (results stay local). Any other pairing is selectable explicitly — the
+/// two axes are orthogonal.
+pub fn default_steering(topology: Topology) -> Steering {
+    match topology {
+        Topology::Ring => Steering::RingDep,
+        Topology::Conv | Topology::Crossbar | Topology::Mesh | Topology::Hier => {
+            Steering::ConvDcount
+        }
+    }
+}
+
+/// Build one Table 3 style configuration with the topology's default
+/// steering.
 ///
 /// Per Table 2: 4-cluster configurations use 32-entry INT/FP issue queues
 /// and 64+64 registers per cluster; 8-cluster ones use 16-entry queues and
 /// 48+48 registers.
 pub fn make(topology: Topology, n_clusters: usize, iw: usize, n_buses: usize) -> SimConfig {
+    make_pair(
+        topology,
+        default_steering(topology),
+        n_clusters,
+        iw,
+        n_buses,
+    )
+}
+
+/// Build a configuration for an arbitrary (topology, steering) pair — the
+/// orthogonal cross the steering-policy layer exists for. Non-default
+/// pairings get a steering suffix in the name (e.g.
+/// `Xbar_8clus_1bus_2IW+DEP`).
+pub fn make_pair(
+    topology: Topology,
+    steering: Steering,
+    n_clusters: usize,
+    iw: usize,
+    n_buses: usize,
+) -> SimConfig {
     let (iq, regs) = if n_clusters >= 8 { (16, 48) } else { (32, 64) };
-    let steering = match topology {
-        Topology::Ring => Steering::RingDep,
-        // The crossbar is a conventional-style design (results stay local),
-        // so it pairs with the baseline's DCOUNT-balanced steering.
-        Topology::Conv | Topology::Crossbar => Steering::ConvDcount,
-    };
     let core = CoreConfig {
         n_clusters,
         iw_int: iw,
@@ -42,26 +83,36 @@ pub fn make(topology: Topology, n_clusters: usize, iw: usize, n_buses: usize) ->
         iq_comm: 16,
         regs_int: regs,
         regs_fp: regs,
+        // Only DCOUNT steering reads the threshold; RingDep/Ssa configs
+        // keep the plain default so their memoization keys stay untouched
+        // by per-topology recalibrations (see `runner::store_name`).
+        dcount_threshold: if steering == Steering::ConvDcount {
+            CoreConfig::default_dcount_threshold(topology)
+        } else {
+            CoreConfig::default().dcount_threshold
+        },
         ..CoreConfig::default()
     };
     SimConfig {
-        name: config_name(topology, n_clusters, iw, n_buses, false),
+        name: config_name(topology, steering, n_clusters, iw, n_buses),
         core,
         mem: MemConfig::default(),
         pred: PredictorConfig::default(),
     }
 }
 
-/// The paper's naming convention (Table 3), with an `+SSA` suffix for §4.7.
+/// The paper's naming convention (Table 3), extended with a steering
+/// suffix whenever the pairing is not the topology's default
+/// ([`steering_suffix`]); §4.7's `+SSA` names are unchanged.
 pub fn config_name(
     topology: Topology,
+    steering: Steering,
     n_clusters: usize,
     iw: usize,
     n_buses: usize,
-    ssa: bool,
 ) -> String {
     let t = topology_name(topology);
-    let suffix = if ssa { "+SSA" } else { "" };
+    let suffix = steering_suffix(topology, steering);
     format!("{t}_{n_clusters}clus_{n_buses}bus_{iw}IW{suffix}")
 }
 
@@ -71,15 +122,49 @@ pub fn topology_name(topology: Topology) -> &'static str {
         Topology::Ring => "Ring",
         Topology::Conv => "Conv",
         Topology::Crossbar => "Xbar",
+        Topology::Mesh => "Mesh",
+        Topology::Hier => "Hier",
     }
 }
 
-/// Parse a CLI topology spelling (`--topology ring|conv|bus|crossbar|xbar`).
+/// Short steering label used in configuration-name suffixes and matrices.
+pub fn steering_name(steering: Steering) -> &'static str {
+    match steering {
+        Steering::RingDep => "DEP",
+        Steering::ConvDcount => "DCOUNT",
+        Steering::Ssa => "SSA",
+    }
+}
+
+/// The name suffix a (topology, steering) pair carries: empty for the
+/// topology's default pairing, `+DEP`/`+DCOUNT`/`+SSA` otherwise.
+pub fn steering_suffix(topology: Topology, steering: Steering) -> String {
+    if steering == default_steering(topology) {
+        String::new()
+    } else {
+        format!("+{}", steering_name(steering))
+    }
+}
+
+/// Parse a CLI topology spelling
+/// (`--topology ring|conv|bus|crossbar|xbar|mesh|hier`).
 pub fn parse_topology(s: &str) -> Option<Topology> {
     match s.to_ascii_lowercase().as_str() {
         "ring" => Some(Topology::Ring),
         "conv" | "bus" | "conventional" => Some(Topology::Conv),
         "crossbar" | "xbar" => Some(Topology::Crossbar),
+        "mesh" | "mesh2d" => Some(Topology::Mesh),
+        "hier" | "hierarchical" => Some(Topology::Hier),
+        _ => None,
+    }
+}
+
+/// Parse a CLI steering spelling (`--steering ringdep|dcount|ssa`).
+pub fn parse_steering(s: &str) -> Option<Steering> {
+    match s.to_ascii_lowercase().as_str() {
+        "ringdep" | "dep" | "ring-dep" => Some(Steering::RingDep),
+        "dcount" | "convdcount" | "conv-dcount" => Some(Steering::ConvDcount),
+        "ssa" => Some(Steering::Ssa),
         _ => None,
     }
 }
@@ -88,8 +173,20 @@ pub fn parse_topology(s: &str) -> Option<Topology> {
 /// count, issue width, bus/port count and hop latency, but the topology's
 /// own steering algorithm and naming.
 pub fn with_topology(base: &SimConfig, topology: Topology) -> SimConfig {
-    let mut c = make(
+    with_pair(base, topology, default_steering(topology))
+}
+
+/// Rebuild `base` with a different steering policy on its own topology.
+pub fn with_steering(base: &SimConfig, steering: Steering) -> SimConfig {
+    with_pair(base, base.core.topology, steering)
+}
+
+/// Rebuild `base` onto an arbitrary (topology, steering) pair, keeping its
+/// cluster count, issue width, bus/port count and hop latency.
+pub fn with_pair(base: &SimConfig, topology: Topology, steering: Steering) -> SimConfig {
+    let mut c = make_pair(
         topology,
+        steering,
         base.core.n_clusters,
         base.core.iw_int,
         base.core.n_buses,
@@ -101,15 +198,29 @@ pub fn with_topology(base: &SimConfig, topology: Topology) -> SimConfig {
     c
 }
 
-/// The topology-ablation grid: Ring vs Conv vs Crossbar at the paper's
-/// 8-cluster 2IW design point, with 1 and 2 buses/ports. The Ring/Conv rows
-/// coincide with Table 3 configurations, so a prior main sweep memoizes
-/// them for free.
+/// The topology-ablation grid: every interconnect at the paper's 8-cluster
+/// 2IW design point, with 1 and 2 buses/ports, each on its default
+/// steering. The Ring/Conv rows coincide with Table 3 configurations, so a
+/// prior main sweep memoizes them for free.
 pub fn topology_ablation_configs() -> Vec<SimConfig> {
     let mut v = Vec::new();
-    for topology in [Topology::Ring, Topology::Conv, Topology::Crossbar] {
+    for topology in ALL_TOPOLOGIES {
         for n_buses in [1usize, 2] {
             v.push(make(topology, 8, 2, n_buses));
+        }
+    }
+    v
+}
+
+/// The steering-cross grid: the full (topology × steering) product at the
+/// 8-cluster 1-bus 2IW design point. Default pairings reuse their Table 3 /
+/// ablation names (and memoized results); the ten non-default pairings get
+/// suffixed names.
+pub fn steering_cross_configs() -> Vec<SimConfig> {
+    let mut v = Vec::new();
+    for topology in ALL_TOPOLOGIES {
+        for steering in ALL_STEERINGS {
+            v.push(make_pair(topology, steering, 8, 2, 1));
         }
     }
     v
@@ -146,8 +257,8 @@ pub fn figure6_pairs() -> Vec<(String, String)> {
     .iter()
     .map(|&(n, iw, b)| {
         (
-            config_name(Ring, n, iw, b, false),
-            config_name(Conv, n, iw, b, false),
+            config_name(Ring, default_steering(Ring), n, iw, b),
+            config_name(Conv, default_steering(Conv), n, iw, b),
         )
     })
     .collect()
@@ -305,7 +416,43 @@ mod tests {
         assert_eq!(parse_topology("XBAR"), Some(Topology::Crossbar));
         assert_eq!(parse_topology("ring"), Some(Topology::Ring));
         assert_eq!(parse_topology("bus"), Some(Topology::Conv));
+        assert_eq!(parse_topology("mesh"), Some(Topology::Mesh));
+        assert_eq!(parse_topology("hier"), Some(Topology::Hier));
+        assert_eq!(parse_topology("hierarchical"), Some(Topology::Hier));
         assert_eq!(parse_topology("torus"), None);
+    }
+
+    #[test]
+    fn steering_parses_and_names() {
+        assert_eq!(parse_steering("ringdep"), Some(Steering::RingDep));
+        assert_eq!(parse_steering("DEP"), Some(Steering::RingDep));
+        assert_eq!(parse_steering("dcount"), Some(Steering::ConvDcount));
+        assert_eq!(parse_steering("SSA"), Some(Steering::Ssa));
+        assert_eq!(parse_steering("random"), None);
+        // Default pairings carry no suffix; the SSA suffix matches §4.7.
+        assert_eq!(steering_suffix(Topology::Ring, Steering::RingDep), "");
+        assert_eq!(steering_suffix(Topology::Ring, Steering::Ssa), "+SSA");
+        assert_eq!(steering_suffix(Topology::Mesh, Steering::ConvDcount), "");
+        assert_eq!(
+            steering_suffix(Topology::Crossbar, Steering::RingDep),
+            "+DEP"
+        );
+        assert_eq!(
+            steering_suffix(Topology::Ring, Steering::ConvDcount),
+            "+DCOUNT"
+        );
+    }
+
+    #[test]
+    fn mesh_and_hier_presets_build() {
+        let m = make(Topology::Mesh, 8, 2, 1);
+        assert_eq!(m.name, "Mesh_8clus_1bus_2IW");
+        assert_eq!(m.core.steering, Steering::ConvDcount);
+        assert!(m.core.validate().is_ok());
+        let h = make(Topology::Hier, 8, 2, 2);
+        assert_eq!(h.name, "Hier_8clus_2bus_2IW");
+        assert_eq!(h.core.steering, Steering::ConvDcount);
+        assert!(h.core.validate().is_ok());
     }
 
     #[test]
@@ -325,13 +472,57 @@ mod tests {
     }
 
     #[test]
-    fn topology_ablation_grid_covers_all_three() {
+    fn with_steering_crosses_the_axes() {
+        // Any policy on any fabric: a DCOUNT-steered mesh and a
+        // RingDep-paired crossbar both build, validate and name themselves.
+        let mesh = with_steering(&make(Topology::Mesh, 8, 2, 1), Steering::RingDep);
+        assert_eq!(mesh.name, "Mesh_8clus_1bus_2IW+DEP");
+        assert_eq!(mesh.core.steering, Steering::RingDep);
+        assert_eq!(mesh.core.topology, Topology::Mesh);
+        assert!(mesh.core.validate().is_ok());
+        let xbar = with_steering(&make(Topology::Crossbar, 8, 2, 1), Steering::RingDep);
+        assert_eq!(xbar.name, "Xbar_8clus_1bus_2IW+DEP");
+        // Re-crossing back to the default drops the suffix.
+        let back = with_steering(&xbar, Steering::ConvDcount);
+        assert_eq!(back.name, "Xbar_8clus_1bus_2IW");
+    }
+
+    #[test]
+    fn topology_ablation_grid_covers_all_five() {
         let v = topology_ablation_configs();
-        assert_eq!(v.len(), 6);
+        assert_eq!(v.len(), 10);
         let names: Vec<&str> = v.iter().map(|c| c.name.as_str()).collect();
         assert!(names.contains(&"Ring_8clus_1bus_2IW"));
         assert!(names.contains(&"Conv_8clus_2bus_2IW"));
         assert!(names.contains(&"Xbar_8clus_1bus_2IW"));
+        assert!(names.contains(&"Mesh_8clus_2bus_2IW"));
+        assert!(names.contains(&"Hier_8clus_1bus_2IW"));
+        for c in &v {
+            assert!(c.core.validate().is_ok(), "{} invalid", c.name);
+        }
+    }
+
+    #[test]
+    fn steering_cross_grid_is_the_full_product() {
+        let v = steering_cross_configs();
+        assert_eq!(v.len(), ALL_TOPOLOGIES.len() * ALL_STEERINGS.len());
+        // Names are unique and every (topology, steering) pair appears.
+        let mut names: Vec<&str> = v.iter().map(|c| c.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), v.len(), "duplicate cross-config names");
+        for topology in ALL_TOPOLOGIES {
+            for steering in ALL_STEERINGS {
+                assert!(
+                    v.iter()
+                        .any(|c| c.core.topology == topology && c.core.steering == steering),
+                    "{topology:?} x {steering:?} missing"
+                );
+            }
+        }
+        // Default pairings reuse the ablation names (shared memoization).
+        assert!(v.iter().any(|c| c.name == "Ring_8clus_1bus_2IW"));
+        assert!(v.iter().any(|c| c.name == "Ring_8clus_1bus_2IW+SSA"));
         for c in &v {
             assert!(c.core.validate().is_ok(), "{} invalid", c.name);
         }

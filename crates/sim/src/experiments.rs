@@ -39,9 +39,19 @@ pub fn ssa_sweep(budget: &Budget, store: &ResultStore, opts: &SweepOpts<'_>) -> 
     runner::sweep_with(&cfgs, &benches, budget, store, opts)
 }
 
-/// Beyond-paper sweep: Ring vs Conv vs Crossbar at 8 clusters / 2IW.
+/// Beyond-paper sweep: every interconnect (Ring/Conv/Crossbar/Mesh/Hier)
+/// at 8 clusters / 2IW on its default steering.
 pub fn topology_sweep(budget: &Budget, store: &ResultStore, opts: &SweepOpts<'_>) -> Results {
     let cfgs = config::topology_ablation_configs();
+    let benches = runner::all_bench_names();
+    runner::sweep_with(&cfgs, &benches, budget, store, opts)
+}
+
+/// Beyond-paper sweep: the full (steering policy × topology) cross product
+/// at 8 clusters / 1 bus / 2IW — the ablation the pluggable steering layer
+/// exists for.
+pub fn steering_cross_sweep(budget: &Budget, store: &ResultStore, opts: &SweepOpts<'_>) -> Results {
+    let cfgs = config::steering_cross_configs();
     let benches = runner::all_bench_names();
     runner::sweep_with(&cfgs, &benches, budget, store, opts)
 }
@@ -170,8 +180,8 @@ pub fn figure12(results: &Results, results_2cyc: &Results) -> Experiment {
     use rcmc_core::Topology::*;
     let mut rows = Vec::new();
     for n_buses in [2usize, 1] {
-        let ring1 = config::config_name(Ring, 8, 2, n_buses, false);
-        let conv1 = config::config_name(Conv, 8, 2, n_buses, false);
+        let ring1 = config::config_name(Ring, config::default_steering(Ring), 8, 2, n_buses);
+        let conv1 = config::config_name(Conv, config::default_steering(Conv), 8, 2, n_buses);
         let rn = report::config_results(results, &ring1);
         let cn = report::config_results(results, &conv1);
         rows.push((
@@ -242,10 +252,10 @@ pub fn topology_ablation(results: &Results) -> Experiment {
     // Speedup of each topology over Conv at matched bandwidth.
     let mut speedups = Vec::new();
     for n_buses in [1usize, 2] {
-        let conv = config::config_name(Conv, 8, 2, n_buses, false);
+        let conv = config::config_name(Conv, config::default_steering(Conv), 8, 2, n_buses);
         let cn = report::config_results(results, &conv);
-        for topo in [Ring, Crossbar] {
-            let name = config::config_name(topo, 8, 2, n_buses, false);
+        for topo in [Ring, Crossbar, Mesh, Hier] {
+            let name = config::config_name(topo, config::default_steering(topo), 8, 2, n_buses);
             let rn = report::config_results(results, &name);
             speedups.push((name, report::group_speedup(&rn, &cn)));
         }
@@ -258,6 +268,41 @@ pub fn topology_ablation(results: &Results) -> Experiment {
     rows.extend(speedups);
     Experiment {
         id: "Topology ablation",
+        text,
+        rows,
+    }
+}
+
+/// Steering-cross matrix (beyond the paper): average IPC for every
+/// (steering policy × topology) pair at the 8-cluster 1-bus 2IW design
+/// point. The paper's inherent-balance claim predicts the Ring column
+/// degrades gracefully under SSA while the conventional columns lean on
+/// DCOUNT; the matrix makes that visible in one table.
+pub fn steering_cross(results: &Results) -> Experiment {
+    use std::fmt::Write as _;
+    let mut rows = Vec::new();
+    let mut text = String::from(
+        "Steering cross. Average IPC by (policy x topology), 8 clusters, 1 bus, 2IW\n\
+         --------------------------------------------------------------------------\n",
+    );
+    let _ = write!(text, "{:8}", "");
+    for topology in config::ALL_TOPOLOGIES {
+        let _ = write!(text, " {:>10}", config::topology_name(topology));
+    }
+    text.push('\n');
+    for steering in config::ALL_STEERINGS {
+        let _ = write!(text, "{:8}", config::steering_name(steering));
+        for topology in config::ALL_TOPOLOGIES {
+            let name = config::config_name(topology, steering, 8, 2, 1);
+            let rs = report::config_results(results, &name);
+            let v = report::group_mean(&rs, |r| r.ipc);
+            let _ = write!(text, " {:>10.3}", v.avg);
+            rows.push((name, v));
+        }
+        text.push('\n');
+    }
+    Experiment {
+        id: "Steering cross",
         text,
         rows,
     }
@@ -362,6 +407,7 @@ pub fn run_all(budget: &Budget, store: &ResultStore, opts: &SweepOpts<'_>) -> Ve
     let twocyc = fig12_sweep(budget, store, opts);
     let ssa = ssa_sweep(budget, store, opts);
     let topo = topology_sweep(budget, store, opts);
+    let cross = steering_cross_sweep(budget, store, opts);
     vec![
         table1(),
         figure4_5(),
@@ -375,6 +421,7 @@ pub fn run_all(budget: &Budget, store: &ResultStore, opts: &SweepOpts<'_>) -> Ve
         figure13(&ssa),
         figure14(&ssa),
         topology_ablation(&topo),
+        steering_cross(&cross),
     ]
 }
 

@@ -343,6 +343,22 @@ impl std::fmt::Debug for SweepOpts<'_> {
     }
 }
 
+/// The name `cfg`'s results are memoized under: the display name, plus a
+/// DCOUNT-threshold tag whenever the threshold differs from the historical
+/// paper-calibrated 16.0. Per-topology recalibrations change simulation
+/// results *without* a `MODEL_VERSION` bump (the Ring/Conv goldens must
+/// stay bit-identical, so the version cannot move), and the tag keeps rows
+/// memoized under an older calibration from silently leaking into sweeps —
+/// e.g. `Xbar_8clus_1bus_2IW` results computed at threshold 16 stay dead
+/// once the calibrated default became 8.
+pub fn store_name(cfg: &SimConfig) -> String {
+    if cfg.core.dcount_threshold == 16.0 {
+        cfg.name.clone()
+    } else {
+        format!("{}~dc{}", cfg.name, cfg.core.dcount_threshold)
+    }
+}
+
 /// Simulate one (configuration × benchmark) pair, returning the raw
 /// counters (no memoization, no reduction).
 fn simulate_stats(cfg: &SimConfig, bench: &str, budget: &Budget) -> rcmc_core::Stats {
@@ -375,12 +391,13 @@ pub fn reduce_metrics(cfg: &SimConfig, bench: &str, stats: &rcmc_core::Stats) ->
 
 /// Simulate one (configuration × benchmark) pair, memoized.
 pub fn run_pair(cfg: &SimConfig, bench: &str, budget: &Budget, store: &ResultStore) -> RunResult {
-    if let Some(hit) = store.load(&cfg.name, bench, budget) {
+    let key_name = store_name(cfg);
+    if let Some(hit) = store.load(&key_name, bench, budget) {
         return hit;
     }
     let stats = simulate_stats(cfg, bench, budget);
     let result = reduce_metrics(cfg, bench, &stats);
-    store.save(&cfg.name, bench, budget, &result);
+    store.save(&key_name, bench, budget, &result);
     result
 }
 
@@ -422,7 +439,7 @@ pub fn sweep_with(
     let mut todo: Vec<(&SimConfig, &str)> = Vec::new();
     for cfg in cfgs {
         for &bench in benches {
-            match store.load(&cfg.name, bench, budget) {
+            match store.load(&store_name(cfg), bench, budget) {
                 Some(hit) => {
                     out.insert((cfg.name.clone(), bench.to_string()), hit);
                 }
@@ -467,12 +484,13 @@ pub fn sweep_with(
     let finished = std::sync::Mutex::new(0usize);
     let computed = pool.map(&todo, |_, &(cfg, bench)| {
         // Re-check the store: another process may have raced this pair in.
-        let r = match store.load(&cfg.name, bench, budget) {
+        let key_name = store_name(cfg);
+        let r = match store.load(&key_name, bench, budget) {
             Some(hit) => hit,
             None => {
                 let stats = simulate_stats(cfg, bench, budget);
                 let r = reduce_metrics(cfg, bench, &stats);
-                store.save(&cfg.name, bench, budget, &r);
+                store.save(&key_name, bench, budget, &r);
                 r
             }
         };
@@ -625,6 +643,33 @@ mod tests {
         );
         // And the migrated copy keeps loading.
         assert_eq!(store.load(&cfg.name, "mcf", &budget).as_ref(), Some(&r));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn recalibrated_thresholds_get_their_own_store_keys() {
+        // The Crossbar default threshold moved 16 -> 8 without a
+        // MODEL_VERSION bump; its store identity must move with it.
+        let xbar = make(Topology::Crossbar, 8, 2, 1);
+        assert_eq!(store_name(&xbar), "Xbar_8clus_1bus_2IW~dc8");
+        let ring = make(Topology::Ring, 8, 2, 1);
+        assert_eq!(store_name(&ring), "Ring_8clus_1bus_2IW");
+        // A stale row memoized under the display name (i.e. computed with
+        // the old threshold) must not satisfy a sweep of the new config.
+        let dir = std::env::temp_dir().join(format!("rcmc-thr-{}", std::process::id()));
+        let store = ResultStore::at(dir.clone());
+        let budget = tiny_budget();
+        let fresh = run_pair(&xbar, "gzip", &budget, &ResultStore::ephemeral());
+        let mut stale = fresh.clone();
+        stale.ipc = 999.0;
+        assert!(store.save(&xbar.name, "gzip", &budget, &stale));
+        let got = run_pair(&xbar, "gzip", &budget, &store);
+        assert_eq!(got, fresh, "stale pre-recalibration row leaked in");
+        // And the fresh row is now memoized under the tagged name.
+        assert_eq!(
+            store.load(&store_name(&xbar), "gzip", &budget).as_ref(),
+            Some(&fresh)
+        );
         let _ = std::fs::remove_dir_all(dir);
     }
 

@@ -1,15 +1,20 @@
-//! Golden equivalence: the pluggable-interconnect refactor must be
-//! invisible in the numbers.
+//! Golden equivalence: the pluggable-interconnect refactor (PR 3) and the
+//! pluggable steering-policy refactor must be invisible in the numbers.
 //!
-//! The expected counters below were captured from the pre-refactor seed
-//! model (MODEL_VERSION 5, `BusFabric` hard-wired into the pipeline,
-//! heap-allocated steering) with the exact same budget. Ring and Conv going
-//! through the `Interconnect` trait — and the allocation-free steering /
-//! dispatch / maintained-ready-list paths — must reproduce every counter
-//! bit-for-bit: cycles, commit mix, communication counts/distances/waits,
-//! NREADY and the per-cluster dispatch histogram. If any row moves, the
-//! timing model changed and MODEL_VERSION in `rcmc_sim::runner` must be
-//! bumped (and these pins re-captured).
+//! The Ring/Conv/SSA counters below were captured from the pre-refactor
+//! seed model (MODEL_VERSION 5, `BusFabric` hard-wired into the pipeline,
+//! heap-allocated steering); the Xbar rows were captured immediately before
+//! the steering layer landed (same MODEL_VERSION, `Steerer`+`Dcount` still
+//! living in the pipeline), with the DCOUNT threshold pinned at the
+//! pre-recalibration 16.0 so the deliberate Crossbar recalibration cannot
+//! mask a policy-dispatch regression. Every configuration going through the
+//! `Interconnect` + `SteeringPolicy` trait pair — with DCOUNT state owned
+//! by the `ConvDcount` policy and wakeup running off per-value wait-lists —
+//! must reproduce every counter bit-for-bit: cycles, commit mix,
+//! communication counts/distances/waits, NREADY and the per-cluster
+//! dispatch histogram. If any row moves, the timing model changed and
+//! MODEL_VERSION in `rcmc_sim::runner` must be bumped (and these pins
+//! re-captured).
 
 use rcmc_core::{Core, Steering, Topology};
 use rcmc_sim::config::{make, SimConfig};
@@ -40,6 +45,12 @@ fn goldens() -> Vec<Golden> {
     let ssa = |mut c: SimConfig| {
         c.core.steering = Steering::Ssa;
         c.name = format!("{}+SSA", c.name);
+        c
+    };
+    // The Xbar pins predate the Crossbar DCOUNT recalibration: run them at
+    // the threshold they were captured with.
+    let thr16 = |mut c: SimConfig| {
+        c.core.dcount_threshold = 16.0;
         c
     };
     vec![
@@ -94,6 +105,32 @@ fn goldens() -> Vec<Golden> {
             nready: 247,
             issued_int: 2649,
             dispatched: &[383, 1322, 624, 1729],
+        },
+        Golden {
+            cfg: thr16(make(Topology::Crossbar, 8, 2, 1)),
+            bench: "gzip",
+            cycles: 12234,
+            committed: 4004,
+            comms_created: 87,
+            comms_issued: 87,
+            comm_distance: 87,
+            comm_bus_wait: 86,
+            nready: 885,
+            issued_int: 4056,
+            dispatched: &[916, 230, 22, 2890, 0, 0, 0, 0],
+        },
+        Golden {
+            cfg: thr16(make(Topology::Crossbar, 8, 2, 2)),
+            bench: "ammp",
+            cycles: 929,
+            committed: 3996,
+            comms_created: 1035,
+            comms_issued: 1023,
+            comm_distance: 1023,
+            comm_bus_wait: 49,
+            nready: 1086,
+            issued_int: 1494,
+            dispatched: &[524, 558, 560, 528, 495, 355, 349, 553],
         },
         Golden {
             cfg: ssa(make(Topology::Ring, 8, 1, 2)),
@@ -163,6 +200,52 @@ fn crossbar_runs_end_to_end_with_one_hop_comms() {
         s.cycles,
         sc.cycles
     );
+}
+
+/// The mesh is selectable end-to-end and behaves like a Manhattan-routed
+/// fabric: the oracle stream commits and every issued communication travels
+/// between 1 hop and the grid diameter.
+#[test]
+fn mesh_runs_end_to_end_with_manhattan_comms() {
+    let budget = budget();
+    let cfg = make(Topology::Mesh, 8, 2, 1);
+    assert_eq!(cfg.name, "Mesh_8clus_1bus_2IW");
+    let trace = cached_trace("gzip", budget.trace_len());
+    let mut core = Core::new(cfg.core.clone(), cfg.mem, cfg.pred, &trace);
+    let s = core.run_with_warmup(budget.warmup, budget.measure);
+    assert!(s.committed >= budget.measure, "mesh run must complete");
+    assert!(s.comms_issued > 0, "DCOUNT steering must communicate");
+    // 8 clusters -> 4×2 grid, diameter 4.
+    assert!(s.comm_distance >= s.comms_issued);
+    assert!(s.comm_distance <= 4 * s.comms_issued);
+}
+
+/// The hierarchy is selectable end-to-end: the oracle stream commits and
+/// every issued communication is either one intra-group hop or one
+/// HIER_INTER_HOPS inter-group traversal.
+#[test]
+fn hier_runs_end_to_end_with_two_level_comms() {
+    let budget = budget();
+    let cfg = make(Topology::Hier, 8, 2, 1);
+    assert_eq!(cfg.name, "Hier_8clus_1bus_2IW");
+    let trace = cached_trace("gzip", budget.trace_len());
+    let mut core = Core::new(cfg.core.clone(), cfg.mem, cfg.pred, &trace);
+    let s = core.run_with_warmup(budget.warmup, budget.measure);
+    assert!(s.committed >= budget.measure, "hier run must complete");
+    assert!(s.comms_issued > 0, "DCOUNT steering must communicate");
+    let inter = rcmc_core::config::HIER_INTER_HOPS as u64;
+    assert!(s.comm_distance >= s.comms_issued);
+    assert!(s.comm_distance <= inter * s.comms_issued);
+    // The aggregate must decompose into 1-hop and HIER_INTER_HOPS-hop
+    // messages exactly: distance = comms + (inter - 1) * n_inter for some
+    // integral 0 <= n_inter <= comms.
+    let excess = s.comm_distance - s.comms_issued;
+    assert_eq!(
+        excess % (inter - 1),
+        0,
+        "distances other than 1/{inter} seen"
+    );
+    assert!(excess / (inter - 1) <= s.comms_issued);
 }
 
 /// Crossbar runs are deterministic and reachable through the public

@@ -42,6 +42,25 @@ fn parallel_sweep_is_bit_identical_to_serial() {
 }
 
 #[test]
+fn mesh_and_hier_sweeps_are_bit_identical_at_any_worker_count() {
+    // The new fabrics must satisfy the same determinism contract as the
+    // paper topologies: jobs=8 reproduces jobs=1 bit-for-bit, including
+    // the non-default steering pairings the cross ablation runs.
+    let cfgs = vec![
+        make(Topology::Mesh, 8, 2, 1),
+        make(Topology::Hier, 8, 2, 1),
+        rcmc_sim::config::make_pair(Topology::Mesh, rcmc_core::Steering::RingDep, 8, 2, 1),
+        rcmc_sim::config::make_pair(Topology::Hier, rcmc_core::Steering::Ssa, 8, 2, 1),
+    ];
+    let benches = ["swim", "gzip", "mcf"];
+    let budget = tiny();
+    let serial = sweep(&cfgs, &benches, &budget, &ResultStore::ephemeral(), 1);
+    let parallel = sweep(&cfgs, &benches, &budget, &ResultStore::ephemeral(), 8);
+    assert_eq!(serial.len(), cfgs.len() * benches.len());
+    assert_eq!(serial, parallel);
+}
+
+#[test]
 fn oversubscribed_and_odd_worker_counts_agree() {
     let cfgs = vec![make(Topology::Ring, 8, 2, 2)];
     let benches = ["gcc", "ammp"];

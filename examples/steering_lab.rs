@@ -6,7 +6,7 @@
 //! cargo run --release --example steering_lab [benchmark]
 //! ```
 
-use ring_clustered::core::steer::{Dcount, Steerer};
+use ring_clustered::core::steering::{RingDep, SteerCtx, SteeringPolicy};
 use ring_clustered::core::value::ValueTable;
 use ring_clustered::core::{CoreConfig, Steering, Topology};
 use ring_clustered::sim::{config, runner};
@@ -22,11 +22,17 @@ fn figure2_walkthrough() {
         ..CoreConfig::default()
     };
     let mut values = ValueTable::new(4, 64, 64);
-    let dcount = Dcount::new(4);
-    let mut steerer = Steerer::new();
+    let mut policy = RingDep::new();
+    let steer = |policy: &mut RingDep, values: &ValueTable, srcs: &[u32]| {
+        policy.steer(&SteerCtx {
+            cfg: &cfg,
+            values,
+            srcs,
+        })
+    };
 
     // I1. R1 = 1
-    let s1 = steerer.steer(&cfg, &values, &dcount, &[]);
+    let s1 = steer(&mut policy, &values, &[]);
     let r1 = values.alloc(cfg.dest_cluster(s1.cluster), false);
     values.mark_ready(r1, cfg.dest_cluster(s1.cluster));
     println!(
@@ -36,7 +42,7 @@ fn figure2_walkthrough() {
     );
 
     // I2. R2 = R1 + 1
-    let s2 = steerer.steer(&cfg, &values, &dcount, &[r1]);
+    let s2 = steer(&mut policy, &values, &[r1]);
     let r2 = values.alloc(cfg.dest_cluster(s2.cluster), false);
     values.mark_ready(r2, cfg.dest_cluster(s2.cluster));
     println!(
@@ -46,7 +52,7 @@ fn figure2_walkthrough() {
     );
 
     // I3. R3 = R1 + R2
-    let s3 = steerer.steer(&cfg, &values, &dcount, &[r1, r2]);
+    let s3 = steer(&mut policy, &values, &[r1, r2]);
     for cm in &s3.comms {
         values.add_copy(cm.value, s3.cluster);
         values.mark_ready(cm.value, s3.cluster);
@@ -60,7 +66,7 @@ fn figure2_walkthrough() {
     );
 
     // I4. R4 = R1 + R3
-    let s4 = steerer.steer(&cfg, &values, &dcount, &[r1, r3]);
+    let s4 = steer(&mut policy, &values, &[r1, r3]);
     for cm in &s4.comms {
         values.add_copy(cm.value, s4.cluster);
         values.mark_ready(cm.value, s4.cluster);
@@ -73,7 +79,7 @@ fn figure2_walkthrough() {
     );
 
     // I5. R5 = R1 x 3
-    let s5 = steerer.steer(&cfg, &values, &dcount, &[r1]);
+    let s5 = steer(&mut policy, &values, &[r1]);
     println!(
         "I5. R5 = R1 x 3  -> cluster {} (most free registers downstream)",
         s5.cluster
@@ -87,30 +93,32 @@ fn main() {
     let bench = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "galgel".to_string());
-    println!("--- '{bench}' under the three steering algorithms (8 clusters, 1 bus, 2IW) ---");
+    println!("--- '{bench}' across the (policy x fabric) cross (8 clusters, 1 bus, 2IW) ---");
     let budget = runner::Budget {
         warmup: 10_000,
         measure: 60_000,
     };
     let store = runner::ResultStore::open_default();
-    for (label, topology, steering) in [
-        ("Ring + dep-steering", Topology::Ring, Steering::RingDep),
-        ("Conv + DCOUNT", Topology::Conv, Steering::ConvDcount),
-        ("Ring + SSA", Topology::Ring, Steering::Ssa),
-        ("Conv + SSA", Topology::Conv, Steering::Ssa),
-    ] {
-        let mut cfg = config::make(topology, 8, 2, 1);
-        cfg.core.steering = steering;
-        cfg.name = format!("lab_{}", label.replace([' ', '+'], "_"));
-        let r = runner::run_pair(&cfg, &bench, &budget, &store);
-        let max_share = r.dispatch_shares.iter().copied().fold(0.0f64, f64::max);
-        println!(
-            "{label:22} IPC {:.3}  comms/insn {:.3}  NREADY {:.2}  max cluster share {:.1}%",
-            r.ipc,
-            r.comms_per_insn,
-            r.nready,
-            max_share * 100.0
-        );
+    for topology in config::ALL_TOPOLOGIES {
+        for steering in config::ALL_STEERINGS {
+            let cfg = config::make_pair(topology, steering, 8, 2, 1);
+            let label = format!(
+                "{} + {}",
+                config::topology_name(topology),
+                config::steering_name(steering)
+            );
+            let r = runner::run_pair(&cfg, &bench, &budget, &store);
+            let max_share = r.dispatch_shares.iter().copied().fold(0.0f64, f64::max);
+            println!(
+                "{label:14} IPC {:.3}  comms/insn {:.3}  NREADY {:.2}  max cluster share {:.1}%",
+                r.ipc,
+                r.comms_per_insn,
+                r.nready,
+                max_share * 100.0
+            );
+        }
+        println!();
     }
-    println!("\nConv+SSA concentrates; Ring+SSA still balances — §4.7's headline.");
+    println!("Conv+SSA concentrates; Ring+SSA still balances — §4.7's headline.");
+    println!("Any policy drives any fabric: that's the SteeringPolicy layer.");
 }

@@ -37,7 +37,7 @@ fn main() {
         "run" => parse_flags(
             cmd,
             &args[1..],
-            &["config", "topology", "instrs", "warmup", "jobs"],
+            &["config", "topology", "steering", "instrs", "warmup", "jobs"],
         ),
         "compare" => parse_flags(cmd, &args[1..], &["instrs", "warmup", "jobs"]),
         "disasm" => parse_flags(cmd, &args[1..], &["limit"]),
@@ -69,7 +69,8 @@ fn usage() {
          \n\
          commands:\n\
          \x20 list                          benchmarks and configurations\n\
-         \x20 run <bench> [--config NAME] [--topology ring|conv|crossbar]\n\
+         \x20 run <bench> [--config NAME] [--topology ring|conv|crossbar|mesh|hier]\n\
+         \x20                               [--steering ringdep|dcount|ssa]\n\
          \x20                               [--instrs N] [--warmup N] [--jobs N]\n\
          \x20 compare <bench> [--instrs N] [--warmup N] [--jobs N]\n\
          \x20                               Ring vs Conv side by side\n\
@@ -87,7 +88,9 @@ fn usage() {
          --jobs parallelizes sweeps (compare/figures/csv); `run` accepts it for\n\
          symmetry but a single run always uses one worker.\n\
          --topology rebuilds the chosen configuration on another interconnect\n\
-         (ring | conv/bus | crossbar/xbar) with that topology's steering."
+         (ring | conv/bus | crossbar/xbar | mesh | hier) with that topology's\n\
+         default steering; --steering then overrides the policy (ringdep/dep |\n\
+         dcount | ssa) — any policy drives any fabric."
     );
 }
 
@@ -160,17 +163,16 @@ fn jobs_from(flags: &HashMap<String, String>) -> usize {
 }
 
 fn all_configs() -> impl Iterator<Item = config::SimConfig> {
+    // Later groups repeat some earlier names (the ablation/cross grids
+    // deliberately reuse Table 3 configurations); keep the first of each.
+    let mut seen = std::collections::HashSet::new();
     config::evaluated_configs()
         .into_iter()
         .chain(config::fig12_configs())
         .chain(config::ssa_configs())
-        // Crossbar rows of the topology ablation (Ring/Conv rows dedupe
-        // against Table 3 by name in `list`).
-        .chain(
-            config::topology_ablation_configs()
-                .into_iter()
-                .filter(|c| c.name.starts_with("Xbar_")),
-        )
+        .chain(config::topology_ablation_configs())
+        .chain(config::steering_cross_configs())
+        .filter(move |c| seen.insert(c.name.clone()))
 }
 
 fn find_config(name: &str) -> config::SimConfig {
@@ -186,7 +188,7 @@ fn list() {
         let class = if b.is_fp() { "FP " } else { "INT" };
         println!("  {:10} {class}  {:?}", b.name, b.kernel);
     }
-    println!("\nconfigurations (Table 3 + §4.6 + §4.7 + topology-ablation variants):");
+    println!("\nconfigurations (Table 3 + §4.6 + §4.7 + topology-ablation + steering-cross):");
     for c in all_configs() {
         println!("  {}", c.name);
     }
@@ -221,10 +223,17 @@ fn run(args: &[String], flags: &HashMap<String, String>) {
     let mut cfg = find_config(&cfg_name);
     if let Some(t) = flags.get("topology") {
         let Some(topology) = config::parse_topology(t) else {
-            eprintln!("unknown topology '{t}' (ring | conv | crossbar)");
+            eprintln!("unknown topology '{t}' (ring | conv | crossbar | mesh | hier)");
             std::process::exit(2);
         };
         cfg = config::with_topology(&cfg, topology);
+    }
+    if let Some(s) = flags.get("steering") {
+        let Some(steering) = config::parse_steering(s) else {
+            eprintln!("unknown steering '{s}' (ringdep | dcount | ssa)");
+            std::process::exit(2);
+        };
+        cfg = config::with_steering(&cfg, steering);
     }
     let budget = budget_from(flags);
     let _ = jobs_from(flags); // validated; a single run always uses one worker

@@ -75,15 +75,11 @@ fn comms_created_equals_comms_issued_on_drain() {
     for name in ["swim", "vpr", "lucas"] {
         let b = benchmark(name).unwrap();
         let trace = trace_program(&b.build(), WINDOW).unwrap().insns;
-        for topology in [Topology::Ring, Topology::Conv, Topology::Crossbar] {
-            let steering = match topology {
-                Topology::Ring => Steering::RingDep,
-                Topology::Conv | Topology::Crossbar => Steering::ConvDcount,
-            };
+        for topology in config::ALL_TOPOLOGIES {
             let s = run(
                 CoreConfig {
                     topology,
-                    steering,
+                    steering: config::default_steering(topology),
                     ..CoreConfig::default()
                 },
                 &trace,

@@ -80,6 +80,20 @@ impl Serialize for &str {
     }
 }
 
+// A `Value` round-trips as itself, so callers can (de)serialize arbitrary
+// JSON trees through the generic entry points (as with real serde_json).
+impl Serialize for json::Value {
+    fn to_value(&self) -> json::Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for json::Value {
+    fn from_value(v: &json::Value) -> Option<Self> {
+        Some(v.clone())
+    }
+}
+
 impl<T: Serialize> Serialize for Vec<T> {
     fn to_value(&self) -> json::Value {
         json::Value::Arr(self.iter().map(Serialize::to_value).collect())
