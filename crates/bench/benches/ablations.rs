@@ -7,14 +7,20 @@
 //! 3. **cluster-count scaling** — 2/4/8/16 clusters (generalizes the
 //!    paper's scalability claim).
 //! 4. **bus-latency scaling** — 1–4 cycles/hop (generalizes Figure 12).
+//!
+//! The mutated configurations (custom names, tweaked release policy) are
+//! not expressible as plan specs, so these grids go through the session's
+//! explicit-sweep escape hatch; the reductions are `ResultSet` combinators.
 
 use rcmc_core::{CopyRelease, Steering, Topology};
-use rcmc_sim::report::{config_results, group_speedup, render_speedups};
-use rcmc_sim::runner::sweep;
+use rcmc_sim::experiments::plans;
+use rcmc_sim::report::render_speedups;
+use rcmc_sim::runner::Budget;
 use rcmc_sim::{config, experiments};
 
 fn main() {
-    let (budget, store, opts) = rcmc_bench::harness_env();
+    let session = rcmc_bench::session();
+    let budget = Budget::default();
     // A representative subset keeps the ablations fast; the main figures use
     // the full suite.
     let benches: Vec<&str> = vec![
@@ -34,13 +40,11 @@ fn main() {
             cfgs.push(c);
         }
     }
-    let results = sweep(&cfgs, &benches, &budget, &store, opts.jobs);
-    let base = config_results(&results, "x_Conv_dcount");
-    let mut rows = Vec::new();
-    for c in &cfgs {
-        let rs = config_results(&results, &c.name);
-        rows.push((c.name.clone(), group_speedup(&rs, &base)));
-    }
+    let rs = session.sweep(&cfgs, &benches, &budget);
+    let rows: Vec<_> = cfgs
+        .iter()
+        .map(|c| (c.name.clone(), rs.speedup(&c.name, "x_Conv_dcount")))
+        .collect();
     println!(
         "\n{}",
         render_speedups("Ablation 1. Steering x topology (vs Conv+DCOUNT)", &rows)
@@ -57,12 +61,10 @@ fn main() {
         c.name = format!("rel_{pname}");
         cfgs.push(c);
     }
-    let results = sweep(&cfgs, &benches, &budget, &store, opts.jobs);
-    let base = config_results(&results, "rel_at_commit");
-    let on_read = config_results(&results, "rel_on_read");
+    let rs = session.sweep(&cfgs, &benches, &budget);
     let rows = vec![(
         "release_on_read_vs_at_commit".to_string(),
-        group_speedup(&on_read, &base),
+        rs.speedup("rel_on_read", "rel_at_commit"),
     )];
     println!(
         "\n{}",
@@ -77,10 +79,11 @@ fn main() {
         ring.name = format!("scale_ring_{n}");
         conv.name = format!("scale_conv_{n}");
         let cfgs = vec![ring, conv];
-        let results = sweep(&cfgs, &benches, &budget, &store, opts.jobs);
-        let r = config_results(&results, &format!("scale_ring_{n}"));
-        let c = config_results(&results, &format!("scale_conv_{n}"));
-        rows.push((format!("{n}_clusters"), group_speedup(&r, &c)));
+        let rs = session.sweep(&cfgs, &benches, &budget);
+        rows.push((
+            format!("{n}_clusters"),
+            rs.speedup(&format!("scale_ring_{n}"), &format!("scale_conv_{n}")),
+        ));
     }
     println!(
         "\n{}",
@@ -100,10 +103,11 @@ fn main() {
         ring.name = format!("hop{hop}_ring");
         conv.name = format!("hop{hop}_conv");
         let cfgs = vec![ring, conv];
-        let results = sweep(&cfgs, &benches, &budget, &store, opts.jobs);
-        let r = config_results(&results, &format!("hop{hop}_ring"));
-        let c = config_results(&results, &format!("hop{hop}_conv"));
-        rows.push((format!("{hop}_cycles_per_hop"), group_speedup(&r, &c)));
+        let rs = session.sweep(&cfgs, &benches, &budget);
+        rows.push((
+            format!("{hop}_cycles_per_hop"),
+            rs.speedup(&format!("hop{hop}_ring"), &format!("hop{hop}_conv")),
+        ));
     }
     println!(
         "\n{}",
@@ -114,12 +118,10 @@ fn main() {
     );
 
     // Also exercise the activity-spread claim from §5.
-    let main = experiments::main_sweep(&budget, &store, &opts);
-    let ring = config_results(&main, "Ring_8clus_1bus_2IW");
-    let conv = config_results(&main, "Conv_8clus_1bus_2IW");
-    let spread = |rs: &[&rcmc_sim::RunResult]| {
+    let main = session.run(&plans::main()).expect("main plan failed");
+    let spread = |runs: &[&rcmc_sim::RunResult]| {
         let mut worst: f64 = 0.0;
-        for r in rs {
+        for r in runs {
             let mx = r.dispatch_shares.iter().copied().fold(0.0f64, f64::max);
             worst = worst.max(mx);
         }
@@ -127,7 +129,12 @@ fn main() {
     };
     println!(
         "Activity spread (worst per-cluster dispatch share over the suite):\n  Ring {:.3}  Conv {:.3}  (uniform = 0.125)",
-        spread(&ring),
-        spread(&conv)
+        spread(&main.config("Ring_8clus_1bus_2IW")),
+        spread(&main.config("Conv_8clus_1bus_2IW"))
     );
+    // Keep the steering-cross decomposition visible in bench output too.
+    let cross = session
+        .run(&plans::steering_cross())
+        .expect("cross plan failed");
+    println!("\n{}", experiments::steering_cross_analysis(&cross).text);
 }

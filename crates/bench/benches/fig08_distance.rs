@@ -1,8 +1,9 @@
-//! Regenerates the paper figure via the shared main sweep (disk-cached).
-use rcmc_sim::experiments;
+//! Regenerates the paper figure via the shared main-sweep plan
+//! (disk-cached through the session's store).
+use rcmc_sim::experiments::{self, plans};
 
 fn main() {
-    let (budget, store, opts) = rcmc_bench::harness_env();
-    let results = experiments::main_sweep(&budget, &store, &opts);
-    rcmc_bench::emit(&experiments::figure8(&results));
+    let session = rcmc_bench::session();
+    let rs = session.run(&plans::main()).expect("plan failed");
+    rcmc_bench::emit(&experiments::figure8(&rs));
 }

@@ -1,9 +1,9 @@
-//! Regenerates Figure 12: Ring-vs-Conv speedup at 1 and 2 cycles per hop.
-use rcmc_sim::experiments;
+//! Regenerates Figure 12: Ring-vs-Conv speedup at 1 and 2 cycles per hop
+//! (the fig12 plan carries both the Table 3 rows and the §4.6 variants).
+use rcmc_sim::experiments::{self, plans};
 
 fn main() {
-    let (budget, store, opts) = rcmc_bench::harness_env();
-    let main = experiments::main_sweep(&budget, &store, &opts);
-    let twocyc = experiments::fig12_sweep(&budget, &store, &opts);
-    rcmc_bench::emit(&experiments::figure12(&main, &twocyc));
+    let session = rcmc_bench::session();
+    let rs = session.run(&plans::fig12()).expect("plan failed");
+    rcmc_bench::emit(&experiments::figure12(&rs));
 }

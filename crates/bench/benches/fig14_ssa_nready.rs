@@ -1,8 +1,8 @@
 //! Regenerates Figure 14: workload imbalance (NREADY) under SSA.
-use rcmc_sim::experiments;
+use rcmc_sim::experiments::{self, plans};
 
 fn main() {
-    let (budget, store, opts) = rcmc_bench::harness_env();
-    let ssa = experiments::ssa_sweep(&budget, &store, &opts);
-    rcmc_bench::emit(&experiments::figure14(&ssa));
+    let session = rcmc_bench::session();
+    let rs = session.run(&plans::ssa()).expect("plan failed");
+    rcmc_bench::emit(&experiments::figure14(&rs));
 }

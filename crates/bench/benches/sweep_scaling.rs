@@ -4,18 +4,19 @@
 //! `BENCH_sweep.json` at the repository root so the perf trajectory is
 //! tracked PR over PR.
 //!
-//! The window is fixed (not `RCMC_INSTRS`) and the stores are ephemeral, so
-//! both timings measure pure simulation work and stay comparable run to run.
-//! Oracle traces are pre-warmed before either timing, so emulation cost is
-//! excluded from both sides. Note: on a single-core machine the parallel
-//! number will roughly match the serial one — the point of the file is the
-//! trajectory, not a pass/fail gate.
+//! The window is fixed (not `RCMC_INSTRS`) and the sessions are ephemeral,
+//! so both timings measure pure simulation work and stay comparable run to
+//! run. Oracle traces are pre-warmed before either timing, so emulation
+//! cost is excluded from both sides. Note: on a single-core machine the
+//! parallel number will roughly match the serial one — the point of the
+//! file is the trajectory, not a pass/fail gate.
 
 use std::time::Instant;
 
 use rcmc_core::Topology;
 use rcmc_sim::config::make;
-use rcmc_sim::runner::{cached_trace, sweep, Budget, ResultStore};
+use rcmc_sim::runner::{cached_trace, Budget};
+use rcmc_sim::Session;
 
 const PAR_JOBS: usize = 4;
 
@@ -36,17 +37,15 @@ fn main() {
     }
 
     let t0 = Instant::now();
-    let serial = sweep(&cfgs, &benches, &budget, &ResultStore::ephemeral(), 1);
+    let serial = Session::ephemeral()
+        .with_jobs(1)
+        .sweep(&cfgs, &benches, &budget);
     let serial_s = t0.elapsed().as_secs_f64();
 
     let t0 = Instant::now();
-    let parallel = sweep(
-        &cfgs,
-        &benches,
-        &budget,
-        &ResultStore::ephemeral(),
-        PAR_JOBS,
-    );
+    let parallel = Session::ephemeral()
+        .with_jobs(PAR_JOBS)
+        .sweep(&cfgs, &benches, &budget);
     let parallel_s = t0.elapsed().as_secs_f64();
 
     assert_eq!(

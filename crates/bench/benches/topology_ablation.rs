@@ -1,12 +1,9 @@
-//! Beyond-paper topology ablation: Ring vs Conv vs Crossbar at the
-//! 8-cluster 2IW design point (1 and 2 buses/ports), sharing the common
-//! result store with every other figure target.
-
-use rcmc_bench::{emit, harness_env};
-use rcmc_sim::experiments;
+//! Beyond-paper topology ablation: every interconnect at the 8-cluster 2IW
+//! design point, sharing the common result store with every other target.
+use rcmc_sim::experiments::{self, plans};
 
 fn main() {
-    let (budget, store, opts) = harness_env();
-    let results = experiments::topology_sweep(&budget, &store, &opts);
-    emit(&experiments::topology_ablation(&results));
+    let session = rcmc_bench::session();
+    let rs = session.run(&plans::topology()).expect("plan failed");
+    rcmc_bench::emit(&experiments::topology_ablation(&rs));
 }

@@ -26,16 +26,15 @@
 
 use std::path::PathBuf;
 
-use rcmc_sim::runner::{Budget, ResultStore, SweepOpts};
+use rcmc_sim::Session;
 use serde_json::Value;
 
-/// The store, budget, and sweep options every figure target shares.
-pub fn harness_env() -> (Budget, ResultStore, SweepOpts<'static>) {
-    (
-        Budget::default(),
-        ResultStore::open_default(),
-        SweepOpts::default(),
-    )
+/// The execution environment every figure target shares: the workspace's
+/// common result store with the env-derived worker pool (`RCMC_JOBS`), no
+/// progress output. Plans run with the env-derived default budget
+/// (`RCMC_INSTRS` / `RCMC_WARMUP`) unless they carry their own.
+pub fn session() -> Session {
+    Session::new()
 }
 
 /// Print a figure header + body with a little framing so `cargo bench`

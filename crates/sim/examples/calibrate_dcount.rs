@@ -11,7 +11,7 @@
 //!
 //! `topology` is any `--topology` spelling (default: `conv`). The winning
 //! values are recorded as `CoreConfig::default_dcount_threshold`.
-use rcmc_sim::{config, runner};
+use rcmc_sim::{config, runner, Session};
 
 fn main() {
     let topo_arg = std::env::args().nth(1).unwrap_or_else(|| "conv".into());
@@ -23,7 +23,6 @@ fn main() {
         warmup: 5_000,
         measure: 60_000,
     };
-    let store = runner::ResultStore::ephemeral();
     let benches = [
         "swim", "galgel", "ammp", "lucas", "mcf", "gcc", "gzip", "twolf",
     ];
@@ -37,7 +36,9 @@ fn main() {
             cfg
         })
         .collect();
-    let results = runner::sweep(&cfgs, &benches, &budget, &store, runner::default_jobs());
+    // Thresholds are mutated per config, so this grid goes through the
+    // session's explicit-sweep escape hatch (a Plan cannot express it).
+    let results = Session::ephemeral().sweep(&cfgs, &benches, &budget);
     println!(
         "DCOUNT calibration on {} (8 clusters, 1 bus, 2IW):",
         config::topology_name(topology)
@@ -46,7 +47,7 @@ fn main() {
     for (thr, cfg) in thresholds.iter().zip(&cfgs) {
         let log_sum: f64 = benches
             .iter()
-            .map(|&b| results[&(cfg.name.clone(), b.to_string())].ipc.ln())
+            .map(|&b| results.get(&cfg.name, b).expect("swept pair").ipc.ln())
             .sum();
         let geo = (log_sum / benches.len() as f64).exp();
         if geo > best.0 {

@@ -1,5 +1,5 @@
 //! Micro-profile: one memory-bound benchmark, reporting cycles/sec.
-use rcmc_sim::{config, runner};
+use rcmc_sim::{config, runner, Session};
 use std::time::Instant;
 
 fn main() {
@@ -8,12 +8,12 @@ fn main() {
         warmup: 5_000,
         measure: 50_000,
     };
-    let store = runner::ResultStore::ephemeral();
+    let session = Session::ephemeral();
     let cfg = config::make(rcmc_core::Topology::Ring, 8, 2, 1);
     // warm the trace cache first
     let _ = runner::cached_trace(&bench, budget.trace_len());
     let t0 = Instant::now();
-    let r = runner::run_pair(&cfg, &bench, &budget, &store);
+    let r = session.run_one(&cfg, &bench, &budget);
     let dt = t0.elapsed().as_secs_f64();
     println!(
         "{bench}: {} cycles, {} committed, {:.1}s -> {:.2} M cycles/s, {:.2} M instr/s",

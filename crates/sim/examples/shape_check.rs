@@ -3,7 +3,7 @@
 //! The (config × bench) grid goes through the parallel sweep engine
 //! (`RCMC_JOBS` caps the workers), then prints in fixed benchmark order —
 //! the output is identical at any worker count.
-use rcmc_sim::{config, runner};
+use rcmc_sim::{config, runner, Session};
 use std::time::Instant;
 
 fn main() {
@@ -11,7 +11,7 @@ fn main() {
         warmup: 10_000,
         measure: 100_000,
     };
-    let store = runner::ResultStore::ephemeral();
+    let session = Session::ephemeral();
     let benches = [
         "swim", "galgel", "ammp", "equake", "mcf", "gcc", "gzip", "crafty",
     ];
@@ -20,13 +20,13 @@ fn main() {
         config::make(rcmc_core::Topology::Conv, 8, 2, 1),
     ];
     let t0 = Instant::now();
-    let results = runner::sweep(&cfgs, &benches, &budget, &store, runner::default_jobs());
+    let results = session.sweep(&cfgs, &benches, &budget);
     let mut total_insns = 0u64;
     for b in benches {
         let mut line = format!("{b:8}");
         let mut ipcs = Vec::new();
         for cfg in &cfgs {
-            let r = &results[&(cfg.name.clone(), b.to_string())];
+            let r = results.get(&cfg.name, b).expect("swept pair");
             line += &format!(
                 "  {}: ipc {:.3} cpi-comm {:.3} dist {:.2} wait {:.2} nready {:.2} bmiss {:.3}",
                 &cfg.name[..4],

@@ -290,6 +290,42 @@ pub fn ssa_configs() -> Vec<SimConfig> {
         .collect()
 }
 
+/// Builder of one configuration grid.
+pub type GridFn = fn() -> Vec<SimConfig>;
+
+/// The configuration grids, by canonical group name (plan-spec `"group"`
+/// entries, `known_configs`, and `experiments::plans::everything` all
+/// derive from this one table, so adding a grid here wires it up
+/// everywhere at once).
+pub const GROUPS: [(&str, GridFn); 5] = [
+    ("table3", evaluated_configs),
+    ("fig12", fig12_configs),
+    ("ssa", ssa_configs),
+    ("topology", topology_ablation_configs),
+    ("steering-cross", steering_cross_configs),
+];
+
+/// Every known (preset) configuration: the union of every [`GROUPS`] grid,
+/// first occurrence of each name kept (the grids deliberately reuse
+/// Table 3 rows). Memoized and borrowed — name resolution hits this once
+/// per plan entry, so callers clone only what they keep.
+pub fn known_configs() -> &'static [SimConfig] {
+    static KNOWN: std::sync::OnceLock<Vec<SimConfig>> = std::sync::OnceLock::new();
+    KNOWN.get_or_init(|| {
+        let mut seen = std::collections::HashSet::new();
+        GROUPS
+            .iter()
+            .flat_map(|(_, build)| build())
+            .filter(move |c| seen.insert(c.name.clone()))
+            .collect()
+    })
+}
+
+/// Look a known configuration up by display name.
+pub fn find_config(name: &str) -> Option<SimConfig> {
+    known_configs().iter().find(|c| c.name == name).cloned()
+}
+
 /// Render Table 2 (the fixed processor configuration) as text.
 pub fn table2_text() -> String {
     let mem = MemConfig::default();

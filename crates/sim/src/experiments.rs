@@ -1,12 +1,17 @@
-//! One function per table/figure of the paper's evaluation (§4).
+//! The paper's evaluation (§4) as plan values.
 //!
-//! Each function runs (or reuses from the [`crate::runner::ResultStore`])
-//! the simulations it needs and returns the rendered text plus the raw
-//! numbers, so the bench harness can both print and check them.
+//! Every table/figure is a [`Figure`]: the [`Plan`] describing the sweep it
+//! needs plus a render function over the resulting
+//! [`ResultSet`](crate::resultset::ResultSet). The sweeps themselves are
+//! data ([`plans`]); a [`Session`] executes them, so regenerating the whole
+//! evaluation is one plan run over the memoized store.
 
-use crate::config::{self, SimConfig};
+use crate::config;
+use crate::plan::Plan;
 use crate::report::{self, GroupValues};
-use crate::runner::{self, Budget, ResultStore, Results, RunResult, SweepOpts};
+use crate::resultset::ResultSet;
+use crate::runner::{Budget, RunResult};
+use crate::session::Session;
 
 /// A rendered experiment: human-readable text plus named series.
 pub struct Experiment {
@@ -18,72 +23,113 @@ pub struct Experiment {
     pub rows: Vec<(String, GroupValues)>,
 }
 
-/// Run (or load) the main Table 3 sweep: 10 configurations × 26 benchmarks.
-pub fn main_sweep(budget: &Budget, store: &ResultStore, opts: &SweepOpts<'_>) -> Results {
-    let cfgs = config::evaluated_configs();
-    let benches = runner::all_bench_names();
-    runner::sweep_with(&cfgs, &benches, budget, store, opts)
+/// The sweeps behind the paper's figures (and the beyond-paper ablations),
+/// as reusable [`Plan`] values. All of them run the full 26-benchmark suite
+/// with the env-derived default budget; callers scope them down with
+/// [`Plan::benches`] / [`Plan::budget`].
+pub mod plans {
+    use super::*;
+    use crate::plan::ReportSpec;
+    use crate::resultset::Metric;
+
+    /// The main Table 3 sweep: 10 configurations × 26 benchmarks
+    /// (Figures 6–11).
+    pub fn main() -> Plan {
+        Plan::new("main")
+            .group("table3")
+            .report(ReportSpec::grouped(Metric::Ipc))
+            .report(
+                ReportSpec::speedup(config::figure6_pairs())
+                    .titled("Speedup of Ring over Conv (Figure 6 pairs)"),
+            )
+    }
+
+    /// §4.6: the 2-cycle-per-hop configurations, plus the 1-cycle rows they
+    /// are compared against (Figure 12).
+    pub fn fig12() -> Plan {
+        Plan::new("fig12")
+            .group("table3")
+            .group("fig12")
+            .report(ReportSpec::grouped(Metric::Ipc))
+    }
+
+    /// §4.7: every Table 3 configuration under the simple steering
+    /// algorithm (Figures 13–14).
+    pub fn ssa() -> Plan {
+        Plan::new("ssa")
+            .group("ssa")
+            .report(ReportSpec::grouped(Metric::Nready).titled("Workload imbalance under SSA"))
+    }
+
+    /// Beyond-paper: every interconnect at the 8-cluster 2IW design point.
+    pub fn topology() -> Plan {
+        Plan::new("topology")
+            .group("topology")
+            .report(ReportSpec::grouped(Metric::Ipc).titled("IPC by interconnect"))
+    }
+
+    /// Beyond-paper: the full (steering policy × topology) cross.
+    pub fn steering_cross() -> Plan {
+        Plan::new("steering-cross")
+            .group("steering-cross")
+            .report(ReportSpec::grouped(Metric::Ipc).titled("IPC by (policy x topology)"))
+    }
+
+    /// The union of every configuration grid — what `run_all` executes
+    /// once. Derived from [`config::GROUPS`], so a newly added grid is
+    /// covered automatically.
+    pub fn everything() -> Plan {
+        config::GROUPS
+            .iter()
+            .fold(Plan::new("everything"), |p, (group, _)| p.group(*group))
+    }
+
+    /// Builtin plan names accepted by [`builtin`] (CLI `plan show`, serve
+    /// `"plan": "<name>"`).
+    pub const BUILTIN: [&str; 6] = [
+        "main",
+        "fig12",
+        "ssa",
+        "topology",
+        "steering-cross",
+        "everything",
+    ];
+
+    /// Look a builtin plan up by name.
+    pub fn builtin(name: &str) -> Option<Plan> {
+        match name {
+            "main" => Some(main()),
+            "fig12" => Some(fig12()),
+            "ssa" => Some(ssa()),
+            "topology" => Some(topology()),
+            "steering-cross" => Some(steering_cross()),
+            "everything" => Some(everything()),
+            _ => None,
+        }
+    }
 }
 
-/// §4.6 sweep: the 2-cycle-per-hop configurations.
-pub fn fig12_sweep(budget: &Budget, store: &ResultStore, opts: &SweepOpts<'_>) -> Results {
-    let cfgs = config::fig12_configs();
-    let benches = runner::all_bench_names();
-    runner::sweep_with(&cfgs, &benches, budget, store, opts)
-}
-
-/// §4.7 sweep: every configuration with the simple steering algorithm.
-pub fn ssa_sweep(budget: &Budget, store: &ResultStore, opts: &SweepOpts<'_>) -> Results {
-    let cfgs = config::ssa_configs();
-    let benches = runner::all_bench_names();
-    runner::sweep_with(&cfgs, &benches, budget, store, opts)
-}
-
-/// Beyond-paper sweep: every interconnect (Ring/Conv/Crossbar/Mesh/Hier)
-/// at 8 clusters / 2IW on its default steering.
-pub fn topology_sweep(budget: &Budget, store: &ResultStore, opts: &SweepOpts<'_>) -> Results {
-    let cfgs = config::topology_ablation_configs();
-    let benches = runner::all_bench_names();
-    runner::sweep_with(&cfgs, &benches, budget, store, opts)
-}
-
-/// Beyond-paper sweep: the full (steering policy × topology) cross product
-/// at 8 clusters / 1 bus / 2IW — the ablation the pluggable steering layer
-/// exists for.
-pub fn steering_cross_sweep(budget: &Budget, store: &ResultStore, opts: &SweepOpts<'_>) -> Results {
-    let cfgs = config::steering_cross_configs();
-    let benches = runner::all_bench_names();
-    runner::sweep_with(&cfgs, &benches, budget, store, opts)
-}
-
-fn speedup_rows(results: &Results, pairs: &[(String, String)]) -> Vec<(String, GroupValues)> {
+fn speedup_rows(rs: &ResultSet, pairs: &[(String, String)]) -> Vec<(String, GroupValues)> {
     pairs
         .iter()
-        .map(|(ring, conv)| {
-            let rn = report::config_results(results, ring);
-            let cn = report::config_results(results, conv);
-            (ring.clone(), report::group_speedup(&rn, &cn))
-        })
+        .map(|(ring, conv)| (ring.clone(), rs.speedup(ring, conv)))
         .collect()
 }
 
 fn metric_rows(
-    results: &Results,
-    configs: &[SimConfig],
+    rs: &ResultSet,
+    configs: &[config::SimConfig],
     metric: impl Fn(&RunResult) -> f64 + Copy,
 ) -> Vec<(String, GroupValues)> {
     configs
         .iter()
-        .map(|c| {
-            let rs = report::config_results(results, &c.name);
-            (c.name.clone(), report::group_mean(&rs, metric))
-        })
+        .map(|c| (c.name.clone(), rs.group_mean(&c.name, metric)))
         .collect()
 }
 
 /// Figure 6: speedup of Ring over Conv for the five configuration pairs.
-pub fn figure6(results: &Results) -> Experiment {
-    let rows = speedup_rows(results, &config::figure6_pairs());
+pub fn figure6(rs: &ResultSet) -> Experiment {
+    let rows = speedup_rows(rs, &config::figure6_pairs());
     let text = report::render_speedups("Figure 6. Speedup of Ring over Conv", &rows);
     Experiment {
         id: "Figure 6",
@@ -93,8 +139,8 @@ pub fn figure6(results: &Results) -> Experiment {
 }
 
 /// Figure 7: communications per instruction for all ten configurations.
-pub fn figure7(results: &Results) -> Experiment {
-    let rows = metric_rows(results, &config::evaluated_configs(), |r| r.comms_per_insn);
+pub fn figure7(rs: &ResultSet) -> Experiment {
+    let rows = metric_rows(rs, &config::evaluated_configs(), |r| r.comms_per_insn);
     let text = report::render_grouped(
         "Figure 7. Communications per instruction",
         "comms/insn",
@@ -108,8 +154,8 @@ pub fn figure7(results: &Results) -> Experiment {
 }
 
 /// Figure 8: average distance per communication.
-pub fn figure8(results: &Results) -> Experiment {
-    let rows = metric_rows(results, &config::evaluated_configs(), |r| r.dist_per_comm);
+pub fn figure8(rs: &ResultSet) -> Experiment {
+    let rows = metric_rows(rs, &config::evaluated_configs(), |r| r.dist_per_comm);
     let text = report::render_grouped("Figure 8. Distance per communication", "hops", &rows);
     Experiment {
         id: "Figure 8",
@@ -119,8 +165,8 @@ pub fn figure8(results: &Results) -> Experiment {
 }
 
 /// Figure 9: average bus-contention delay per communication.
-pub fn figure9(results: &Results) -> Experiment {
-    let rows = metric_rows(results, &config::evaluated_configs(), |r| r.wait_per_comm);
+pub fn figure9(rs: &ResultSet) -> Experiment {
+    let rows = metric_rows(rs, &config::evaluated_configs(), |r| r.wait_per_comm);
     let text = report::render_grouped(
         "Figure 9. Bus contention per communication",
         "wait cycles",
@@ -134,8 +180,8 @@ pub fn figure9(results: &Results) -> Experiment {
 }
 
 /// Figure 10: workload imbalance (NREADY).
-pub fn figure10(results: &Results) -> Experiment {
-    let rows = metric_rows(results, &config::evaluated_configs(), |r| r.nready);
+pub fn figure10(rs: &ResultSet) -> Experiment {
+    let rows = metric_rows(rs, &config::evaluated_configs(), |r| r.nready);
     let text = report::render_grouped(
         "Figure 10. Workload imbalance (NREADY)",
         "insns/cycle",
@@ -149,12 +195,12 @@ pub fn figure10(results: &Results) -> Experiment {
 }
 
 /// Figure 11: per-benchmark dispatch distribution for `Ring_8clus_1bus_2IW`.
-pub fn figure11(results: &Results) -> Experiment {
+pub fn figure11(rs: &ResultSet) -> Experiment {
     let cfg = "Ring_8clus_1bus_2IW";
-    let rs = report::config_results(results, cfg);
-    let text = report::render_distribution(cfg, &rs);
+    let runs = rs.config(cfg);
+    let text = report::render_distribution(cfg, &runs);
     // rows: per-benchmark max share (a flatness summary usable by tests).
-    let rows = rs
+    let rows = runs
         .iter()
         .map(|r| {
             let mx = r.dispatch_shares.iter().copied().fold(0.0, f64::max);
@@ -176,25 +222,20 @@ pub fn figure11(results: &Results) -> Experiment {
 }
 
 /// Figure 12: speedups with 1- and 2-cycle hop buses (8 clusters, 2IW).
-pub fn figure12(results: &Results, results_2cyc: &Results) -> Experiment {
+/// Needs both the Table 3 rows and the §4.6 `_2cyclehop` rows in `rs`.
+pub fn figure12(rs: &ResultSet) -> Experiment {
     use rcmc_core::Topology::*;
     let mut rows = Vec::new();
     for n_buses in [2usize, 1] {
         let ring1 = config::config_name(Ring, config::default_steering(Ring), 8, 2, n_buses);
         let conv1 = config::config_name(Conv, config::default_steering(Conv), 8, 2, n_buses);
-        let rn = report::config_results(results, &ring1);
-        let cn = report::config_results(results, &conv1);
         rows.push((
             format!("{n_buses}bus_1cyclehop"),
-            report::group_speedup(&rn, &cn),
+            rs.speedup(&ring1, &conv1),
         ));
-        let ring2 = format!("{ring1}_2cyclehop");
-        let conv2 = format!("{conv1}_2cyclehop");
-        let rn = report::config_results(results_2cyc, &ring2);
-        let cn = report::config_results(results_2cyc, &conv2);
         rows.push((
             format!("{n_buses}bus_2cyclehop"),
-            report::group_speedup(&rn, &cn),
+            rs.speedup(&format!("{ring1}_2cyclehop"), &format!("{conv1}_2cyclehop")),
         ));
     }
     let text = report::render_speedups(
@@ -209,12 +250,12 @@ pub fn figure12(results: &Results, results_2cyc: &Results) -> Experiment {
 }
 
 /// Figure 13: speedup of Ring+SSA over Conv+SSA.
-pub fn figure13(ssa: &Results) -> Experiment {
+pub fn figure13(rs: &ResultSet) -> Experiment {
     let pairs: Vec<(String, String)> = config::figure6_pairs()
         .into_iter()
         .map(|(r, c)| (format!("{r}+SSA"), format!("{c}+SSA")))
         .collect();
-    let rows = speedup_rows(ssa, &pairs);
+    let rows = speedup_rows(rs, &pairs);
     let text = report::render_speedups("Figure 13. Speedup of Ring+SSA over Conv+SSA", &rows);
     Experiment {
         id: "Figure 13",
@@ -224,8 +265,8 @@ pub fn figure13(ssa: &Results) -> Experiment {
 }
 
 /// Figure 14: NREADY with the simple steering algorithm.
-pub fn figure14(ssa: &Results) -> Experiment {
-    let rows = metric_rows(ssa, &config::ssa_configs(), |r| r.nready);
+pub fn figure14(rs: &ResultSet) -> Experiment {
+    let rows = metric_rows(rs, &config::ssa_configs(), |r| r.nready);
     let text = report::render_grouped(
         "Figure 14. Workload imbalance (NREADY) with SSA",
         "insns/cycle",
@@ -241,9 +282,9 @@ pub fn figure14(ssa: &Results) -> Experiment {
 /// Topology ablation (beyond the paper): IPC of every interconnect at the
 /// 8-cluster 2IW design point, plus each topology's speedup over the
 /// conventional bus with the same bus/port count.
-pub fn topology_ablation(results: &Results) -> Experiment {
+pub fn topology_ablation(rs: &ResultSet) -> Experiment {
     use rcmc_core::Topology::*;
-    let mut rows = metric_rows(results, &config::topology_ablation_configs(), |r| r.ipc);
+    let mut rows = metric_rows(rs, &config::topology_ablation_configs(), |r| r.ipc);
     let mut text = report::render_grouped(
         "Topology ablation. IPC by interconnect (8 clusters, 2IW)",
         "IPC",
@@ -253,11 +294,10 @@ pub fn topology_ablation(results: &Results) -> Experiment {
     let mut speedups = Vec::new();
     for n_buses in [1usize, 2] {
         let conv = config::config_name(Conv, config::default_steering(Conv), 8, 2, n_buses);
-        let cn = report::config_results(results, &conv);
         for topo in [Ring, Crossbar, Mesh, Hier] {
             let name = config::config_name(topo, config::default_steering(topo), 8, 2, n_buses);
-            let rn = report::config_results(results, &name);
-            speedups.push((name, report::group_speedup(&rn, &cn)));
+            let sp = rs.speedup(&name, &conv);
+            speedups.push((name, sp));
         }
     }
     text.push('\n');
@@ -278,7 +318,7 @@ pub fn topology_ablation(results: &Results) -> Experiment {
 /// point. The paper's inherent-balance claim predicts the Ring column
 /// degrades gracefully under SSA while the conventional columns lean on
 /// DCOUNT; the matrix makes that visible in one table.
-pub fn steering_cross(results: &Results) -> Experiment {
+pub fn steering_cross(rs: &ResultSet) -> Experiment {
     use std::fmt::Write as _;
     let mut rows = Vec::new();
     let mut text = String::from(
@@ -294,8 +334,7 @@ pub fn steering_cross(results: &Results) -> Experiment {
         let _ = write!(text, "{:8}", config::steering_name(steering));
         for topology in config::ALL_TOPOLOGIES {
             let name = config::config_name(topology, steering, 8, 2, 1);
-            let rs = report::config_results(results, &name);
-            let v = report::group_mean(&rs, |r| r.ipc);
+            let v = rs.group_mean(&name, |r| r.ipc);
             let _ = write!(text, " {:>10.3}", v.avg);
             rows.push((name, v));
         }
@@ -303,6 +342,68 @@ pub fn steering_cross(results: &Results) -> Experiment {
     }
     Experiment {
         id: "Steering cross",
+        text,
+        rows,
+    }
+}
+
+/// Steering-cross decomposition (the ROADMAP write-up): how much of the
+/// ring's win over the conventional baseline is the *fabric* (Ring+DCOUNT
+/// column) vs the *policy* (Conv+DEP / Xbar+DEP rows), plus how the Hier
+/// shared inter-group link behaves under SSA's unbalanced placement.
+/// Speedups are geometric means over the benchmarks present in `rs`.
+pub fn steering_cross_analysis(rs: &ResultSet) -> Experiment {
+    use std::fmt::Write as _;
+    let name = |t, s| config::config_name(t, s, 8, 2, 1);
+    use rcmc_core::{Steering::*, Topology::*};
+    let conv = name(Conv, ConvDcount);
+    let rows = vec![
+        (
+            "total: Ring+DEP / Conv+DCOUNT".to_string(),
+            rs.speedup(&name(Ring, RingDep), &conv),
+        ),
+        (
+            "fabric alone: Ring+DCOUNT / Conv+DCOUNT".to_string(),
+            rs.speedup(&name(Ring, ConvDcount), &conv),
+        ),
+        (
+            "policy alone: Conv+DEP / Conv+DCOUNT".to_string(),
+            rs.speedup(&name(Conv, RingDep), &conv),
+        ),
+        (
+            "policy on ring: Ring+DEP / Ring+DCOUNT".to_string(),
+            rs.speedup(&name(Ring, RingDep), &name(Ring, ConvDcount)),
+        ),
+        (
+            "policy on 1-hop fabric: Xbar+DEP / Xbar".to_string(),
+            rs.speedup(&name(Crossbar, RingDep), &name(Crossbar, ConvDcount)),
+        ),
+        (
+            "balance-free: Ring+SSA / Conv+SSA".to_string(),
+            rs.speedup(&name(Ring, Ssa), &name(Conv, Ssa)),
+        ),
+        (
+            "hier under SSA: Hier+SSA / Hier".to_string(),
+            rs.speedup(&name(Hier, Ssa), &name(Hier, ConvDcount)),
+        ),
+    ];
+    let mut text = report::render_speedups(
+        "Steering-cross decomposition (geomean IPC ratios, 8 clusters, 1 bus, 2IW)",
+        &rows,
+    );
+    // The Hier saturation check: SSA's unbalanced placement vs DCOUNT on
+    // the shared inter-group link, read through the contention counter.
+    let hier_wait = rs.group_mean(&name(Hier, ConvDcount), |r| r.wait_per_comm);
+    let hier_ssa_wait = rs.group_mean(&name(Hier, Ssa), |r| r.wait_per_comm);
+    let ring_ssa_wait = rs.group_mean(&name(Ring, Ssa), |r| r.wait_per_comm);
+    let _ = write!(
+        text,
+        "\nInter-cluster contention (mean bus-wait cycles per communication):\n\
+         \x20 Hier+DCOUNT {:>6.2}   Hier+SSA {:>6.2}   Ring+SSA {:>6.2}\n",
+        hier_wait.avg, hier_ssa_wait.avg, ring_ssa_wait.avg
+    );
+    Experiment {
+        id: "Steering-cross decomposition",
         text,
         rows,
     }
@@ -400,29 +501,110 @@ pub fn figure4_5() -> Experiment {
     }
 }
 
-/// Everything, in paper order (used by the `examples/paper_figures` binary
-/// and the final EXPERIMENTS.md refresh).
-pub fn run_all(budget: &Budget, store: &ResultStore, opts: &SweepOpts<'_>) -> Vec<Experiment> {
-    let main = main_sweep(budget, store, opts);
-    let twocyc = fig12_sweep(budget, store, opts);
-    let ssa = ssa_sweep(budget, store, opts);
-    let topo = topology_sweep(budget, store, opts);
-    let cross = steering_cross_sweep(budget, store, opts);
+/// One paper figure/table: the plan behind it plus the renderer over the
+/// plan's results. `plan` is `None` for the two analytic (layout-model)
+/// entries that simulate nothing.
+pub struct Figure {
+    /// e.g. "Figure 6".
+    pub id: &'static str,
+    /// The sweep this figure needs.
+    pub plan: Option<fn() -> Plan>,
+    /// Renderer over the (superset) result set.
+    pub render: fn(&ResultSet) -> Experiment,
+}
+
+/// Every table/figure of the evaluation, in paper order, as data.
+pub fn figures() -> Vec<Figure> {
     vec![
-        table1(),
-        figure4_5(),
-        figure6(&main),
-        figure7(&main),
-        figure8(&main),
-        figure9(&main),
-        figure10(&main),
-        figure11(&main),
-        figure12(&main, &twocyc),
-        figure13(&ssa),
-        figure14(&ssa),
-        topology_ablation(&topo),
-        steering_cross(&cross),
+        Figure {
+            id: "Table 1",
+            plan: None,
+            render: |_| table1(),
+        },
+        Figure {
+            id: "Figures 4-5",
+            plan: None,
+            render: |_| figure4_5(),
+        },
+        Figure {
+            id: "Figure 6",
+            plan: Some(plans::main),
+            render: figure6,
+        },
+        Figure {
+            id: "Figure 7",
+            plan: Some(plans::main),
+            render: figure7,
+        },
+        Figure {
+            id: "Figure 8",
+            plan: Some(plans::main),
+            render: figure8,
+        },
+        Figure {
+            id: "Figure 9",
+            plan: Some(plans::main),
+            render: figure9,
+        },
+        Figure {
+            id: "Figure 10",
+            plan: Some(plans::main),
+            render: figure10,
+        },
+        Figure {
+            id: "Figure 11",
+            plan: Some(plans::main),
+            render: figure11,
+        },
+        Figure {
+            id: "Figure 12",
+            plan: Some(plans::fig12),
+            render: figure12,
+        },
+        Figure {
+            id: "Figure 13",
+            plan: Some(plans::ssa),
+            render: figure13,
+        },
+        Figure {
+            id: "Figure 14",
+            plan: Some(plans::ssa),
+            render: figure14,
+        },
+        Figure {
+            id: "Topology ablation",
+            plan: Some(plans::topology),
+            render: topology_ablation,
+        },
+        Figure {
+            id: "Steering cross",
+            plan: Some(plans::steering_cross),
+            render: steering_cross,
+        },
     ]
+}
+
+/// Everything, in paper order: execute the union plan once on `session`
+/// and render every figure from it.
+pub fn run_all(session: &Session) -> Result<Vec<Experiment>, String> {
+    run_all_scoped(session, None, None)
+}
+
+/// [`run_all`] with budget/benchmark overrides (tests, quick looks).
+pub fn run_all_scoped(
+    session: &Session,
+    budget: Option<Budget>,
+    benches: Option<&[&str]>,
+) -> Result<Vec<Experiment>, String> {
+    let mut plan = plans::everything();
+    if let Some(b) = budget {
+        plan = plan.budget(b);
+    }
+    if let Some(bs) = benches {
+        plan = plan.benches(bs.iter().copied());
+    }
+    let rs = session.run(&plan)?;
+    Ok(figures().iter().map(|f| (f.render)(&rs)).collect())
 }
 
 #[cfg(test)]
@@ -438,11 +620,11 @@ mod tests {
 
     #[test]
     fn figure6_has_five_pairs() {
-        let store = ResultStore::ephemeral();
+        let session = Session::ephemeral().with_jobs(2);
         // Restrict to a subset of benches for test speed.
-        let cfgs = config::evaluated_configs();
-        let results = runner::sweep(&cfgs, &["swim", "gzip"], &tiny(), &store, 2);
-        let f6 = figure6(&results);
+        let plan = plans::main().benches(["swim", "gzip"]).budget(tiny());
+        let rs = session.run(&plan).unwrap();
+        let f6 = figure6(&rs);
         assert_eq!(f6.rows.len(), 5);
         assert!(f6.text.contains("Ring_8clus_1bus_2IW"));
         for (_, v) in &f6.rows {
@@ -468,19 +650,34 @@ mod tests {
 
     #[test]
     fn figure11_shares_are_flat_for_ring() {
-        let store = ResultStore::ephemeral();
-        let cfgs: Vec<SimConfig> = config::evaluated_configs()
-            .into_iter()
-            .filter(|c| c.name == "Ring_8clus_1bus_2IW")
-            .collect();
-        let results = runner::sweep(&cfgs, &["ammp", "crafty"], &tiny(), &store, 1);
-        let f11 = figure11(&results);
+        let session = Session::ephemeral().with_jobs(1);
+        let plan = Plan::new("f11")
+            .config_named("Ring_8clus_1bus_2IW")
+            .benches(["ammp", "crafty"])
+            .budget(tiny());
+        let rs = session.run(&plan).unwrap();
+        let f11 = figure11(&rs);
         for (bench, v) in &f11.rows {
             assert!(
                 v.avg < 0.40,
                 "{bench}: ring max dispatch share {:.2} should be far below 1",
                 v.avg
             );
+        }
+    }
+
+    #[test]
+    fn builtin_plans_all_validate() {
+        for name in plans::BUILTIN {
+            let p = plans::builtin(name).unwrap();
+            p.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+        assert!(plans::builtin("nope").is_none());
+        // Every figure's plan is a builtin value.
+        for f in figures() {
+            if let Some(p) = f.plan {
+                p().validate().unwrap();
+            }
         }
     }
 }

@@ -1,37 +1,50 @@
 //! # rcmc-sim — simulation driver
 //!
-//! Ties the stack together for experiments:
+//! Ties the stack together for experiments, around three types:
 //!
-//! * [`config`] — the processor configuration of Table 2 and the ten
-//!   evaluated configurations of Table 3 (plus the 2-cycle-hop variants of
-//!   §4.6 and the SSA variants of §4.7);
-//! * [`runner`] — runs one (configuration × benchmark) pair over the oracle
-//!   trace with warm-up, returning the figure metrics; traces are cached per
-//!   benchmark and whole runs are memoized on disk
-//!   (`target/rcmc-results/`), so regenerating every figure simulates each
-//!   pair exactly once. Sweeps fan out over a thread pool
-//!   ([`runner::SweepOpts`], `--jobs`/`RCMC_JOBS`) with bit-identical
-//!   results at any worker count;
-//! * [`report`] — text renderings of every table/figure of the paper.
+//! * [`plan::Plan`] — a serializable experiment description: configurations
+//!   (named presets, whole paper grids, or ad-hoc axes) × benchmarks ×
+//!   instruction budget × worker count × derived-metric reports. Built with
+//!   the builder methods or parsed from a JSON spec file;
+//! * [`session::Session`] — the execution environment: the disk-backed
+//!   result store (`target/rcmc-results/`), the worker thread pool, the
+//!   (process-wide, warm) oracle-trace cache, and the progress sink;
+//! * [`resultset::ResultSet`] — typed sweep results with the
+//!   query/group/geomean/speedup combinators every figure draws from.
+//!
+//! Supporting modules: [`config`] (Table 2/3 presets and the ablation
+//! grids), [`runner`] (the memoizing two-stage sweep engine and the raw
+//! per-run metrics), [`report`] (text rendering), [`experiments`] (every
+//! paper figure as a plan value + renderer), [`serve`] (the JSON-lines
+//! request/response loop behind `rcmc serve`).
 //!
 //! ```no_run
-//! use rcmc_sim::{config, runner};
-//! let cfgs = config::evaluated_configs();
-//! let store = runner::ResultStore::open_default();
-//! let r = runner::run_pair(&cfgs[0], "swim", &runner::Budget::default(), &store);
-//! println!("swim on {}: IPC {:.3}", cfgs[0].name, r.ipc);
+//! use rcmc_sim::experiments::plans;
+//! use rcmc_sim::session::Session;
+//! let session = Session::new();
+//! let rs = session.run(&plans::main()).unwrap();
+//! println!("{}", rs.to_csv());
 //! ```
+//!
+//! Sweeps fan out over the session's pool (`--jobs`/`RCMC_JOBS`) with
+//! results bit-identical at any worker count, and every finished
+//! (configuration × benchmark) pair is memoized on disk, so regenerating
+//! every figure simulates each pair exactly once.
 
 pub mod config;
 pub mod experiments;
+pub mod plan;
 pub mod report;
+pub mod resultset;
 pub mod runner;
+pub mod serve;
+pub mod session;
 
 pub use config::{
-    evaluated_configs, fig12_configs, parse_topology, ssa_configs, topology_ablation_configs,
-    with_topology, SimConfig,
+    evaluated_configs, fig12_configs, find_config, known_configs, parse_topology, ssa_configs,
+    topology_ablation_configs, with_topology, SimConfig,
 };
-pub use runner::{
-    default_jobs, run_pair, sweep, sweep_with, Budget, ResultStore, Results, RunResult, SweepOpts,
-    SweepProgress,
-};
+pub use plan::{ConfigSpec, Plan, RenderedReport, ReportSpec};
+pub use resultset::{GroupValues, Metric, ResultSet};
+pub use runner::{default_jobs, run_pair, Budget, ResultStore, Results, RunResult, SweepProgress};
+pub use session::{Progress, Session};

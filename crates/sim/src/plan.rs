@@ -1,0 +1,995 @@
+//! Declarative experiment plans.
+//!
+//! A [`Plan`] is a serializable description of an experiment: which
+//! configurations (named presets, whole paper grids, or ad-hoc
+//! topology/steering/shape combinations), which benchmarks, what
+//! instruction budget, how many workers, and which derived-metric reports
+//! to render from the results. Plans are plain data — they can be built in
+//! code with the builder methods, round-tripped through JSON
+//! ([`Plan::to_json`] / [`Plan::from_json`]), checked into a repository as
+//! spec files, or sent over a pipe to `rcmc serve`. A
+//! [`crate::session::Session`] executes them.
+//!
+//! Spec-file shape (all fields except `name` and `configs` optional):
+//!
+//! ```json
+//! {
+//!   "name": "ring-vs-conv",
+//!   "configs": [
+//!     {"name": "Ring_8clus_1bus_2IW"},
+//!     {"topology": "conv", "clusters": 8, "iw": 2, "buses": 1}
+//!   ],
+//!   "benches": ["swim", "gzip", "mcf"],
+//!   "budget": {"warmup": 10000, "measure": 50000},
+//!   "jobs": 4,
+//!   "reports": [
+//!     {"kind": "grouped", "metric": "ipc"},
+//!     {"kind": "speedup",
+//!      "pairs": [{"num": "Ring_8clus_1bus_2IW", "den": "Conv_8clus_1bus_2IW"}]}
+//!   ]
+//! }
+//! ```
+//!
+//! A config entry may instead name a whole grid: `{"group": "table3"}`
+//! (also `fig12`, `ssa`, `topology`, `steering-cross`) — that is how every
+//! paper figure's sweep is expressed as a plan value (see
+//! [`crate::experiments::plans`]).
+
+use rcmc_core::{Steering, Topology};
+use serde::json::Value;
+
+use crate::config::{self, SimConfig};
+use crate::report;
+use crate::resultset::{Metric, ResultSet};
+use crate::runner::{all_bench_names, Budget};
+
+/// One entry of [`Plan::configs`]: a configuration group, a named preset,
+/// or an ad-hoc axes combination. Exactly one of the three forms may be
+/// used per entry:
+///
+/// * `group` — a whole paper grid (`table3`/`main`, `fig12`, `ssa`,
+///   `topology`, `steering-cross`);
+/// * `name` — one known configuration by its display name;
+/// * axes — any subset of `topology`/`steering`/`clusters`/`iw`/`buses`/
+///   `hop_latency`, the rest defaulting to the paper's
+///   `Ring_8clus_1bus_2IW` design point (with the topology's default
+///   steering).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ConfigSpec {
+    /// Expand to a whole configuration grid.
+    pub group: Option<String>,
+    /// Resolve a known configuration by display name.
+    pub name: Option<String>,
+    /// Interconnect topology spelling (`ring|conv|crossbar|mesh|hier`).
+    pub topology: Option<String>,
+    /// Steering-policy spelling (`ringdep|dcount|ssa`).
+    pub steering: Option<String>,
+    /// Cluster count.
+    pub clusters: Option<usize>,
+    /// Per-class issue width.
+    pub iw: Option<usize>,
+    /// Buses / ports per cluster.
+    pub buses: Option<usize>,
+    /// Cycles per interconnect hop (default 1; ≠1 gets the `_Ncyclehop`
+    /// name suffix, as in §4.6).
+    pub hop_latency: Option<u32>,
+}
+
+impl ConfigSpec {
+    /// A spec naming one known configuration.
+    pub fn named(name: impl Into<String>) -> ConfigSpec {
+        ConfigSpec {
+            name: Some(name.into()),
+            ..ConfigSpec::default()
+        }
+    }
+
+    /// A spec expanding to a whole grid.
+    pub fn group(group: impl Into<String>) -> ConfigSpec {
+        ConfigSpec {
+            group: Some(group.into()),
+            ..ConfigSpec::default()
+        }
+    }
+
+    /// Expand this entry into concrete configurations.
+    pub fn resolve(&self) -> Result<Vec<SimConfig>, String> {
+        let axes = self.topology.is_some()
+            || self.steering.is_some()
+            || self.clusters.is_some()
+            || self.iw.is_some()
+            || self.buses.is_some()
+            || self.hop_latency.is_some();
+        match (&self.group, &self.name) {
+            (Some(_), Some(_)) => Err("config entry has both 'group' and 'name'".to_string()),
+            (Some(g), None) if axes => Err(format!(
+                "config group '{g}' cannot be combined with axes fields"
+            )),
+            (Some(g), None) => expand_group(g),
+            (None, Some(n)) if axes => Err(format!(
+                "config name '{n}' cannot be combined with axes fields"
+            )),
+            (None, Some(n)) => config::find_config(n)
+                .map(|c| vec![c])
+                .ok_or_else(|| format!("unknown configuration '{n}' (see `rcmc list`)")),
+            (None, None) => {
+                let topology = match &self.topology {
+                    Some(t) => config::parse_topology(t).ok_or_else(|| {
+                        format!("unknown topology '{t}' (ring | conv | crossbar | mesh | hier)")
+                    })?,
+                    None => Topology::Ring,
+                };
+                let steering = match &self.steering {
+                    Some(s) => config::parse_steering(s).ok_or_else(|| {
+                        format!("unknown steering '{s}' (ringdep | dcount | ssa)")
+                    })?,
+                    None => config::default_steering(topology),
+                };
+                let mut c = config::make_pair(
+                    topology,
+                    steering,
+                    self.clusters.unwrap_or(8),
+                    self.iw.unwrap_or(2),
+                    self.buses.unwrap_or(1),
+                );
+                if let Some(hop) = self.hop_latency {
+                    if hop != 1 {
+                        c.core.hop_latency = hop;
+                        c.name = format!("{}_{hop}cyclehop", c.name);
+                    }
+                }
+                c.core
+                    .validate()
+                    .map_err(|e| format!("invalid configuration {}: {e}", c.name))?;
+                Ok(vec![c])
+            }
+        }
+    }
+
+    fn to_value(&self) -> Value {
+        let mut m = Vec::new();
+        let mut s = |k: &str, v: &Option<String>| {
+            if let Some(v) = v {
+                m.push((k.to_string(), Value::Str(v.clone())));
+            }
+        };
+        s("group", &self.group);
+        s("name", &self.name);
+        s("topology", &self.topology);
+        s("steering", &self.steering);
+        for (k, v) in [
+            ("clusters", self.clusters.map(|v| v as f64)),
+            ("iw", self.iw.map(|v| v as f64)),
+            ("buses", self.buses.map(|v| v as f64)),
+            ("hop_latency", self.hop_latency.map(|v| v as f64)),
+        ] {
+            if let Some(v) = v {
+                m.push((k.to_string(), Value::Num(v)));
+            }
+        }
+        Value::Obj(m)
+    }
+
+    fn from_value(v: &Value) -> Result<ConfigSpec, String> {
+        let Value::Obj(members) = v else {
+            return Err("config entry must be a JSON object".to_string());
+        };
+        reject_duplicate_keys(members, "config-entry")?;
+        let mut spec = ConfigSpec::default();
+        for (k, v) in members {
+            match k.as_str() {
+                "group" => spec.group = Some(str_field(v, k)?),
+                "name" => spec.name = Some(str_field(v, k)?),
+                "topology" => spec.topology = Some(str_field(v, k)?),
+                "steering" => spec.steering = Some(str_field(v, k)?),
+                "clusters" => spec.clusters = Some(uint_field(v, k)? as usize),
+                "iw" => spec.iw = Some(uint_field(v, k)? as usize),
+                "buses" => spec.buses = Some(uint_field(v, k)? as usize),
+                "hop_latency" => spec.hop_latency = Some(uint_field(v, k)? as u32),
+                other => return Err(format!("unknown config-entry key '{other}'")),
+            }
+        }
+        Ok(spec)
+    }
+}
+
+/// Expand a group spelling into its configuration grid (the grids
+/// themselves live in one table, [`config::GROUPS`]).
+fn expand_group(group: &str) -> Result<Vec<SimConfig>, String> {
+    let lower = group.to_ascii_lowercase();
+    let canonical = match lower.as_str() {
+        "table3" | "main" | "evaluated" => "table3",
+        "fig12" | "2cyclehop" => "fig12",
+        "topology" | "topology-ablation" => "topology",
+        "steering-cross" | "cross" => "steering-cross",
+        other => other,
+    };
+    config::GROUPS
+        .iter()
+        .find(|(name, _)| *name == canonical)
+        .map(|(_, build)| build())
+        .ok_or_else(|| {
+            let names: Vec<&str> = config::GROUPS.iter().map(|(n, _)| *n).collect();
+            format!("unknown config group '{group}' ({})", names.join(" | "))
+        })
+}
+
+/// A derived-metric report to render from a plan's results.
+///
+/// Kinds: `grouped` (arithmetic AVERAGE/INT/FP means of `metric`),
+/// `geomean` (geometric means), `speedup` (geometric-mean IPC ratios of
+/// the `pairs`), `per-bench` (long-form per-benchmark tables), `csv` (the
+/// full result set as CSV).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ReportSpec {
+    /// Report kind (see type docs).
+    pub kind: String,
+    /// Table title; a kind-specific default if omitted.
+    pub title: Option<String>,
+    /// Metric for `grouped`/`geomean` (default `ipc`).
+    pub metric: Option<String>,
+    /// Configuration subset, in order; empty = every plan configuration.
+    pub configs: Vec<String>,
+    /// `(numerator, denominator)` configuration pairs for `speedup`.
+    pub pairs: Vec<(String, String)>,
+}
+
+impl ReportSpec {
+    /// A grouped-mean report of `metric`.
+    pub fn grouped(metric: Metric) -> ReportSpec {
+        ReportSpec {
+            kind: "grouped".into(),
+            metric: Some(metric.name().into()),
+            ..ReportSpec::default()
+        }
+    }
+
+    /// A speedup report over `(num, den)` configuration pairs.
+    pub fn speedup(pairs: Vec<(String, String)>) -> ReportSpec {
+        ReportSpec {
+            kind: "speedup".into(),
+            pairs,
+            ..ReportSpec::default()
+        }
+    }
+
+    /// A CSV dump of the whole result set.
+    pub fn csv() -> ReportSpec {
+        ReportSpec {
+            kind: "csv".into(),
+            ..ReportSpec::default()
+        }
+    }
+
+    /// Attach a title.
+    pub fn titled(mut self, title: impl Into<String>) -> ReportSpec {
+        self.title = Some(title.into());
+        self
+    }
+
+    /// Check the spec is renderable (known kind, parsable metric, pairs
+    /// present where required).
+    pub fn validate(&self) -> Result<(), String> {
+        match self.kind.as_str() {
+            "grouped" | "geomean" | "per-bench" | "csv" => {}
+            "speedup" => {
+                if self.pairs.is_empty() {
+                    return Err("'speedup' report needs at least one {num, den} pair".into());
+                }
+            }
+            other => {
+                return Err(format!(
+                    "unknown report kind '{other}' \
+                     (grouped | geomean | speedup | per-bench | csv)"
+                ))
+            }
+        }
+        if let Some(m) = &self.metric {
+            if Metric::parse(m).is_none() {
+                let names: Vec<&str> = Metric::ALL.iter().map(|m| m.name()).collect();
+                return Err(format!(
+                    "unknown metric '{m}' (one of: {})",
+                    names.join(" | ")
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn metric(&self) -> Metric {
+        self.metric
+            .as_deref()
+            .and_then(Metric::parse)
+            .unwrap_or(Metric::Ipc)
+    }
+
+    /// Render this report over `rs`. `config_order` is the plan's resolved
+    /// configuration order (used when [`ReportSpec::configs`] is empty).
+    pub fn render(&self, rs: &ResultSet, config_order: &[String]) -> Result<String, String> {
+        self.validate()?;
+        let configs: &[String] = if self.configs.is_empty() {
+            config_order
+        } else {
+            &self.configs
+        };
+        match self.kind.as_str() {
+            "grouped" | "geomean" => {
+                let m = self.metric();
+                let geometric = self.kind == "geomean";
+                let rows: Vec<(String, report::GroupValues)> = configs
+                    .iter()
+                    .map(|c| {
+                        let g = if geometric {
+                            rs.geomean(c, |r| m.of(r))
+                        } else {
+                            rs.group_mean(c, |r| m.of(r))
+                        };
+                        (c.clone(), g)
+                    })
+                    .collect();
+                let default_title = format!(
+                    "{} {} by configuration",
+                    if geometric { "Geomean" } else { "Mean" },
+                    m.name()
+                );
+                let title = self.title.clone().unwrap_or(default_title);
+                Ok(report::render_grouped(&title, m.unit(), &rows))
+            }
+            "speedup" => {
+                let rows: Vec<(String, report::GroupValues)> = self
+                    .pairs
+                    .iter()
+                    .map(|(num, den)| (format!("{num} / {den}"), rs.speedup(num, den)))
+                    .collect();
+                let title = self
+                    .title
+                    .clone()
+                    .unwrap_or_else(|| "Geometric-mean IPC speedup".to_string());
+                Ok(report::render_speedups(&title, &rows))
+            }
+            "per-bench" => {
+                let mut out = String::new();
+                for c in configs {
+                    out.push_str(&report::render_per_benchmark(c, &rs.config(c)));
+                    out.push('\n');
+                }
+                Ok(out)
+            }
+            "csv" => Ok(rs.to_csv()),
+            _ => unreachable!("validated above"),
+        }
+    }
+
+    fn to_value(&self) -> Value {
+        let mut m = vec![("kind".to_string(), Value::Str(self.kind.clone()))];
+        if let Some(t) = &self.title {
+            m.push(("title".to_string(), Value::Str(t.clone())));
+        }
+        if let Some(metric) = &self.metric {
+            m.push(("metric".to_string(), Value::Str(metric.clone())));
+        }
+        if !self.configs.is_empty() {
+            m.push((
+                "configs".to_string(),
+                Value::Arr(self.configs.iter().map(|c| Value::Str(c.clone())).collect()),
+            ));
+        }
+        if !self.pairs.is_empty() {
+            m.push((
+                "pairs".to_string(),
+                Value::Arr(
+                    self.pairs
+                        .iter()
+                        .map(|(num, den)| {
+                            Value::Obj(vec![
+                                ("num".to_string(), Value::Str(num.clone())),
+                                ("den".to_string(), Value::Str(den.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ));
+        }
+        Value::Obj(m)
+    }
+
+    fn from_value(v: &Value) -> Result<ReportSpec, String> {
+        let Value::Obj(members) = v else {
+            return Err("report entry must be a JSON object".to_string());
+        };
+        reject_duplicate_keys(members, "report")?;
+        let mut spec = ReportSpec::default();
+        for (k, v) in members {
+            match k.as_str() {
+                "kind" => spec.kind = str_field(v, k)?,
+                "title" => spec.title = Some(str_field(v, k)?),
+                "metric" => spec.metric = Some(str_field(v, k)?),
+                "configs" => spec.configs = str_array(v, k)?,
+                "pairs" => {
+                    let Value::Arr(items) = v else {
+                        return Err("'pairs' must be an array".to_string());
+                    };
+                    for item in items {
+                        let num = item.get("num").ok_or("pair missing 'num'")?;
+                        let den = item.get("den").ok_or("pair missing 'den'")?;
+                        spec.pairs
+                            .push((str_field(num, "num")?, str_field(den, "den")?));
+                    }
+                }
+                other => return Err(format!("unknown report key '{other}'")),
+            }
+        }
+        if spec.kind.is_empty() {
+            return Err("report entry missing 'kind'".to_string());
+        }
+        Ok(spec)
+    }
+}
+
+/// A rendered report: its kind plus the text table.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RenderedReport {
+    /// The [`ReportSpec::kind`] that produced it.
+    pub kind: String,
+    /// The rendered text.
+    pub text: String,
+}
+
+/// A declarative experiment: configurations × benchmarks × budget × jobs ×
+/// derived-metric reports. See the module docs for the JSON shape.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Plan {
+    /// Display name (also used by `rcmc serve` responses).
+    pub name: String,
+    /// What to simulate (groups, named presets, ad-hoc axes).
+    pub configs: Vec<ConfigSpec>,
+    /// Benchmarks to run; empty = the whole 26-program suite.
+    pub benches: Vec<String>,
+    /// Instruction window; `None` = the env-derived [`Budget::default`].
+    pub budget: Option<Budget>,
+    /// Worker override; `None` = the executing session's pool.
+    pub jobs: Option<usize>,
+    /// Reports to render from the results.
+    pub reports: Vec<ReportSpec>,
+}
+
+impl Plan {
+    /// An empty plan named `name`.
+    pub fn new(name: impl Into<String>) -> Plan {
+        Plan {
+            name: name.into(),
+            ..Plan::default()
+        }
+    }
+
+    /// Append a configuration group (`table3`, `fig12`, `ssa`, `topology`,
+    /// `steering-cross`).
+    pub fn group(mut self, group: impl Into<String>) -> Plan {
+        self.configs.push(ConfigSpec::group(group));
+        self
+    }
+
+    /// Append one known configuration by name.
+    pub fn config_named(mut self, name: impl Into<String>) -> Plan {
+        self.configs.push(ConfigSpec::named(name));
+        self
+    }
+
+    /// Append an ad-hoc axes configuration (each `None` takes the
+    /// `Ring_8clus_1bus_2IW` default for that axis).
+    pub fn config_axes(
+        mut self,
+        topology: Option<Topology>,
+        steering: Option<Steering>,
+        clusters: Option<usize>,
+        iw: Option<usize>,
+        buses: Option<usize>,
+        hop_latency: Option<u32>,
+    ) -> Plan {
+        self.configs.push(ConfigSpec {
+            group: None,
+            name: None,
+            topology: topology.map(|t| config::topology_name(t).to_ascii_lowercase()),
+            steering: steering.map(|s| config::steering_name(s).to_ascii_lowercase()),
+            clusters,
+            iw,
+            buses,
+            hop_latency,
+        });
+        self
+    }
+
+    /// Append a raw [`ConfigSpec`].
+    pub fn config(mut self, spec: ConfigSpec) -> Plan {
+        self.configs.push(spec);
+        self
+    }
+
+    /// Append one benchmark.
+    pub fn bench(mut self, bench: impl Into<String>) -> Plan {
+        self.benches.push(bench.into());
+        self
+    }
+
+    /// Replace the benchmark list (empty = whole suite).
+    pub fn benches<I: IntoIterator<Item = S>, S: Into<String>>(mut self, benches: I) -> Plan {
+        self.benches = benches.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Set the instruction window.
+    pub fn budget(mut self, budget: Budget) -> Plan {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Set the worker override.
+    pub fn jobs(mut self, jobs: usize) -> Plan {
+        self.jobs = Some(jobs);
+        self
+    }
+
+    /// Append a report.
+    pub fn report(mut self, spec: ReportSpec) -> Plan {
+        self.reports.push(spec);
+        self
+    }
+
+    /// Expand every config entry, deduplicating by display name (first
+    /// occurrence wins, as the grids deliberately overlap on the Table 3
+    /// rows).
+    pub fn resolve_configs(&self) -> Result<Vec<SimConfig>, String> {
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for spec in &self.configs {
+            for c in spec.resolve()? {
+                if seen.insert(c.name.clone()) {
+                    out.push(c);
+                }
+            }
+        }
+        if out.is_empty() {
+            return Err(format!(
+                "plan '{}' resolves to no configurations",
+                self.name
+            ));
+        }
+        Ok(out)
+    }
+
+    /// The benchmark list (the whole suite if none given), each checked
+    /// against the workload suite and deduplicated (first occurrence wins,
+    /// mirroring configuration dedup — a repeated name must not simulate
+    /// the pair twice or inflate progress totals).
+    pub fn resolve_benches(&self) -> Result<Vec<String>, String> {
+        if self.benches.is_empty() {
+            return Ok(all_bench_names().iter().map(|b| b.to_string()).collect());
+        }
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for b in &self.benches {
+            if rcmc_workloads::benchmark(b).is_none() {
+                return Err(format!("unknown benchmark '{b}' (see `rcmc list`)"));
+            }
+            if seen.insert(b.as_str()) {
+                out.push(b.clone());
+            }
+        }
+        Ok(out)
+    }
+
+    /// Resolve and check the whole plan in one pass: expand the
+    /// configuration grid, resolve the benchmark list, verify every report
+    /// (and that it only references configurations this plan actually
+    /// runs), jobs ≥ 1. Returns the resolved `(configs, benches)` so
+    /// executors do the expansion exactly once.
+    pub fn resolve(&self) -> Result<(Vec<SimConfig>, Vec<String>), String> {
+        let configs = self.resolve_configs()?;
+        let benches = self.resolve_benches()?;
+        // A typo'd name in a report would otherwise render silently as a
+        // neutral speedup / zero mean — the worst failure mode for a
+        // reproduction harness — so reports are checked against the
+        // resolved grid up front, before anything simulates.
+        let names: std::collections::HashSet<&str> =
+            configs.iter().map(|c| c.name.as_str()).collect();
+        for r in &self.reports {
+            r.validate()?;
+            for c in r
+                .configs
+                .iter()
+                .chain(r.pairs.iter().flat_map(|(n, d)| [n, d]))
+            {
+                if !names.contains(c.as_str()) {
+                    return Err(format!(
+                        "report '{}' references configuration '{c}', \
+                         which this plan does not run",
+                        r.kind
+                    ));
+                }
+            }
+        }
+        if self.jobs == Some(0) {
+            return Err("'jobs' must be at least 1".to_string());
+        }
+        Ok((configs, benches))
+    }
+
+    /// [`Plan::resolve`], discarding the resolution.
+    pub fn validate(&self) -> Result<(), String> {
+        self.resolve().map(|_| ())
+    }
+
+    /// Render every report of the plan over `rs`.
+    pub fn render_reports(&self, rs: &ResultSet) -> Result<Vec<RenderedReport>, String> {
+        let order: Vec<String> = self
+            .resolve_configs()?
+            .into_iter()
+            .map(|c| c.name)
+            .collect();
+        self.render_reports_for(rs, &order)
+    }
+
+    /// [`Plan::render_reports`] with an already-resolved configuration
+    /// order (callers holding a [`Plan::resolve`] result skip the repeat
+    /// expansion).
+    pub fn render_reports_for(
+        &self,
+        rs: &ResultSet,
+        order: &[String],
+    ) -> Result<Vec<RenderedReport>, String> {
+        self.reports
+            .iter()
+            .map(|spec| {
+                Ok(RenderedReport {
+                    kind: spec.kind.clone(),
+                    text: spec.render(rs, order)?,
+                })
+            })
+            .collect()
+    }
+
+    /// Pretty-printed JSON spec of this plan.
+    pub fn to_json(&self) -> String {
+        let mut s = self.to_value().to_pretty_string();
+        s.push('\n');
+        s
+    }
+
+    /// Parse a JSON spec. Unknown keys are hard errors, so a typo'd field
+    /// cannot silently change an experiment.
+    pub fn from_json(text: &str) -> Result<Plan, String> {
+        let v = serde::json::parse(text).ok_or("spec is not valid JSON")?;
+        Plan::from_value_strict(&v)
+    }
+
+    /// [`Plan::from_json`] over an already-parsed JSON tree (what `rcmc
+    /// serve` uses for inline plan objects), with the same strict errors.
+    pub fn from_value_checked(v: &Value) -> Result<Plan, String> {
+        Plan::from_value_strict(v)
+    }
+
+    fn to_value(&self) -> Value {
+        let mut m = vec![
+            ("name".to_string(), Value::Str(self.name.clone())),
+            (
+                "configs".to_string(),
+                Value::Arr(self.configs.iter().map(|c| c.to_value()).collect()),
+            ),
+        ];
+        if !self.benches.is_empty() {
+            m.push((
+                "benches".to_string(),
+                Value::Arr(self.benches.iter().map(|b| Value::Str(b.clone())).collect()),
+            ));
+        }
+        if let Some(b) = &self.budget {
+            m.push((
+                "budget".to_string(),
+                Value::Obj(vec![
+                    ("warmup".to_string(), Value::Num(b.warmup as f64)),
+                    ("measure".to_string(), Value::Num(b.measure as f64)),
+                ]),
+            ));
+        }
+        if let Some(j) = self.jobs {
+            m.push(("jobs".to_string(), Value::Num(j as f64)));
+        }
+        if !self.reports.is_empty() {
+            m.push((
+                "reports".to_string(),
+                Value::Arr(self.reports.iter().map(|r| r.to_value()).collect()),
+            ));
+        }
+        Value::Obj(m)
+    }
+
+    fn from_value_strict(v: &Value) -> Result<Plan, String> {
+        let Value::Obj(members) = v else {
+            return Err("plan spec must be a JSON object".to_string());
+        };
+        reject_duplicate_keys(members, "plan")?;
+        let mut plan = Plan::default();
+        for (k, v) in members {
+            match k.as_str() {
+                "name" => plan.name = str_field(v, k)?,
+                "configs" => {
+                    let Value::Arr(items) = v else {
+                        return Err("'configs' must be an array".to_string());
+                    };
+                    for item in items {
+                        plan.configs.push(ConfigSpec::from_value(item)?);
+                    }
+                }
+                "benches" => plan.benches = str_array(v, k)?,
+                "budget" => {
+                    let Value::Obj(fields) = v else {
+                        return Err("'budget' must be an object".to_string());
+                    };
+                    reject_duplicate_keys(fields, "budget")?;
+                    let mut b = Budget::default();
+                    for (bk, bv) in fields {
+                        match bk.as_str() {
+                            "warmup" => b.warmup = uint_field(bv, bk)?,
+                            "measure" => b.measure = uint_field(bv, bk)?,
+                            other => return Err(format!("unknown budget key '{other}'")),
+                        }
+                    }
+                    plan.budget = Some(b);
+                }
+                "jobs" => plan.jobs = Some(uint_field(v, k)? as usize),
+                "reports" => {
+                    let Value::Arr(items) = v else {
+                        return Err("'reports' must be an array".to_string());
+                    };
+                    for item in items {
+                        plan.reports.push(ReportSpec::from_value(item)?);
+                    }
+                }
+                other => return Err(format!("unknown plan key '{other}'")),
+            }
+        }
+        if plan.name.is_empty() {
+            return Err("plan spec missing 'name'".to_string());
+        }
+        if plan.configs.is_empty() {
+            return Err("plan spec missing 'configs'".to_string());
+        }
+        Ok(plan)
+    }
+}
+
+impl serde::Serialize for Plan {
+    fn to_value(&self) -> Value {
+        Plan::to_value(self)
+    }
+}
+
+impl serde::Deserialize for Plan {
+    fn from_value(v: &Value) -> Option<Self> {
+        Plan::from_value_strict(v).ok()
+    }
+}
+
+/// Reject objects with a repeated key: the vendored JSON tree preserves
+/// duplicates, and letting the later one win would silently change the
+/// experiment (e.g. a stale `"benches"` line left behind by copy-paste
+/// editing) — the same mistake class the unknown-key errors exist for.
+fn reject_duplicate_keys(members: &[(String, Value)], what: &str) -> Result<(), String> {
+    let mut seen = std::collections::HashSet::new();
+    for (k, _) in members {
+        if !seen.insert(k.as_str()) {
+            return Err(format!("duplicate {what} key '{k}'"));
+        }
+    }
+    Ok(())
+}
+
+fn str_field(v: &Value, key: &str) -> Result<String, String> {
+    match v {
+        Value::Str(s) => Ok(s.clone()),
+        _ => Err(format!("'{key}' must be a string")),
+    }
+}
+
+fn str_array(v: &Value, key: &str) -> Result<Vec<String>, String> {
+    match v {
+        Value::Arr(items) => items.iter().map(|i| str_field(i, key)).collect(),
+        _ => Err(format!("'{key}' must be an array of strings")),
+    }
+}
+
+fn uint_field(v: &Value, key: &str) -> Result<u64, String> {
+    match v {
+        Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Ok(*n as u64),
+        _ => Err(format!("'{key}' must be a non-negative integer")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_round_trips_through_json() {
+        let plan = Plan::new("demo")
+            .group("table3")
+            .config_named("Mesh_8clus_1bus_2IW")
+            .config(ConfigSpec {
+                topology: Some("hier".into()),
+                steering: Some("ssa".into()),
+                hop_latency: Some(2),
+                ..ConfigSpec::default()
+            })
+            .benches(["swim", "gzip"])
+            .budget(Budget {
+                warmup: 123,
+                measure: 456,
+            })
+            .jobs(3)
+            .report(ReportSpec::grouped(Metric::Nready).titled("imbalance"))
+            .report(ReportSpec::speedup(vec![(
+                "Ring_8clus_1bus_2IW".into(),
+                "Conv_8clus_1bus_2IW".into(),
+            )]))
+            .report(ReportSpec::csv());
+        let json = plan.to_json();
+        let back = Plan::from_json(&json).unwrap();
+        assert_eq!(back, plan);
+        // And through the generic serde entry points too.
+        let s = serde_json::to_string_pretty(&plan).unwrap();
+        let b2: Plan = serde_json::from_str(&s).unwrap();
+        assert_eq!(b2, plan);
+    }
+
+    #[test]
+    fn unknown_keys_and_bad_shapes_are_hard_errors() {
+        assert!(Plan::from_json("{").is_err());
+        assert!(Plan::from_json("[]").is_err());
+        let typo =
+            r#"{"name": "x", "configs": [{"name": "Ring_8clus_1bus_2IW"}], "bneches": ["swim"]}"#;
+        assert!(Plan::from_json(typo).unwrap_err().contains("bneches"));
+        let bad_cfg = r#"{"name": "x", "configs": [{"topologee": "ring"}]}"#;
+        assert!(Plan::from_json(bad_cfg).unwrap_err().contains("topologee"));
+        let no_cfg = r#"{"name": "x"}"#;
+        assert!(Plan::from_json(no_cfg).unwrap_err().contains("configs"));
+        let bad_budget =
+            r#"{"name": "x", "configs": [{"group": "table3"}], "budget": {"measure": -5}}"#;
+        assert!(Plan::from_json(bad_budget).is_err());
+    }
+
+    #[test]
+    fn duplicate_json_keys_are_hard_errors() {
+        let dup_plan = r#"{"name": "x", "configs": [{"group": "table3"}], "benches": ["swim"], "benches": ["gzip"]}"#;
+        assert!(Plan::from_json(dup_plan).unwrap_err().contains("benches"));
+        let dup_cfg = r#"{"name": "x", "configs": [{"clusters": 4, "clusters": 8}]}"#;
+        assert!(Plan::from_json(dup_cfg).unwrap_err().contains("clusters"));
+        let dup_budget = r#"{"name": "x", "configs": [{"group": "table3"}], "budget": {"measure": 1, "measure": 2}}"#;
+        assert!(Plan::from_json(dup_budget).unwrap_err().contains("measure"));
+    }
+
+    #[test]
+    fn repeated_benches_deduplicate_like_configs() {
+        let p = Plan::new("t")
+            .config_named("Ring_4clus_1bus_2IW")
+            .benches(["swim", "gzip", "swim"]);
+        assert_eq!(p.resolve_benches().unwrap(), vec!["swim", "gzip"]);
+    }
+
+    #[test]
+    fn budget_fields_default_individually() {
+        let p = Plan::from_json(
+            r#"{"name": "x", "configs": [{"group": "table3"}], "budget": {"measure": 5000}}"#,
+        )
+        .unwrap();
+        let b = p.budget.unwrap();
+        assert_eq!(b.measure, 5_000);
+        assert_eq!(b.warmup, Budget::default().warmup);
+    }
+
+    #[test]
+    fn groups_names_and_axes_resolve() {
+        let p = Plan::new("t")
+            .group("steering-cross")
+            .config_named("Ring_8clus_1bus_2IW")
+            .config_axes(Some(Topology::Crossbar), None, None, None, Some(2), None);
+        let cfgs = p.resolve_configs().unwrap();
+        // 15 cross configs (Ring_8clus_1bus_2IW deduplicates into the grid)
+        // + Xbar_8clus_2bus_2IW.
+        assert_eq!(cfgs.len(), 16);
+        assert!(cfgs.iter().any(|c| c.name == "Xbar_8clus_2bus_2IW"));
+        let names: Vec<_> = cfgs.iter().map(|c| c.name.as_str()).collect();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len(), "duplicate resolved configs");
+    }
+
+    #[test]
+    fn axes_defaults_are_the_paper_design_point() {
+        let p = Plan::new("t").config(ConfigSpec::default());
+        let cfgs = p.resolve_configs().unwrap();
+        assert_eq!(cfgs.len(), 1);
+        assert_eq!(cfgs[0].name, "Ring_8clus_1bus_2IW");
+        // Hop latency shows up as the §4.6 suffix.
+        let p2 = Plan::new("t").config(ConfigSpec {
+            topology: Some("conv".into()),
+            hop_latency: Some(2),
+            ..ConfigSpec::default()
+        });
+        assert_eq!(
+            p2.resolve_configs().unwrap()[0].name,
+            "Conv_8clus_1bus_2IW_2cyclehop"
+        );
+    }
+
+    #[test]
+    fn conflicting_config_forms_are_rejected() {
+        let both = ConfigSpec {
+            group: Some("table3".into()),
+            name: Some("Ring_8clus_1bus_2IW".into()),
+            ..ConfigSpec::default()
+        };
+        assert!(both.resolve().is_err());
+        let mixed = ConfigSpec {
+            name: Some("Ring_8clus_1bus_2IW".into()),
+            clusters: Some(4),
+            ..ConfigSpec::default()
+        };
+        assert!(mixed.resolve().is_err());
+        assert!(ConfigSpec::group("nope").resolve().is_err());
+        assert!(ConfigSpec::named("nope").resolve().is_err());
+    }
+
+    #[test]
+    fn reports_may_only_reference_configs_the_plan_runs() {
+        // A typo'd pair must fail validation up front, not render a silent
+        // neutral speedup after the whole sweep ran.
+        let typo = Plan::new("t")
+            .group("table3")
+            .report(ReportSpec::speedup(vec![(
+                "Ring_8clus_1bus_2IW".into(),
+                "Covn_8clus_1bus_2IW".into(),
+            )]));
+        let err = typo.validate().unwrap_err();
+        assert!(err.contains("Covn_8clus_1bus_2IW"), "{err}");
+        // Same for an explicit grouped-report subset.
+        let subset = Plan::new("t").group("table3").report(ReportSpec {
+            kind: "grouped".into(),
+            configs: vec!["NoSuch".into()],
+            ..ReportSpec::default()
+        });
+        assert!(subset.validate().unwrap_err().contains("NoSuch"));
+        // Correct references pass.
+        let ok = Plan::new("t")
+            .group("table3")
+            .report(ReportSpec::speedup(vec![(
+                "Ring_8clus_1bus_2IW".into(),
+                "Conv_8clus_1bus_2IW".into(),
+            )]));
+        ok.validate().unwrap();
+    }
+
+    #[test]
+    fn report_validation_catches_mistakes() {
+        assert!(ReportSpec::grouped(Metric::Ipc).validate().is_ok());
+        assert!(ReportSpec {
+            kind: "speedup".into(),
+            ..ReportSpec::default()
+        }
+        .validate()
+        .is_err());
+        assert!(ReportSpec {
+            kind: "pie-chart".into(),
+            ..ReportSpec::default()
+        }
+        .validate()
+        .is_err());
+        assert!(ReportSpec {
+            kind: "grouped".into(),
+            metric: Some("no_such".into()),
+            ..ReportSpec::default()
+        }
+        .validate()
+        .is_err());
+    }
+}

@@ -1,85 +1,16 @@
-//! Aggregation and text rendering of the paper's figures.
+//! Text rendering of the paper's figures.
 //!
 //! The paper reports each metric for three groups: AVERAGE (all 26
-//! programs), INT (12) and FP (14). Speedups are geometric means of
-//! per-program IPC ratios; plain metrics are arithmetic means.
+//! programs), INT (12) and FP (14). The aggregation itself — group means,
+//! geometric-mean speedups, CSV export — lives on
+//! [`crate::resultset::ResultSet`]; this module only turns the aggregated
+//! [`GroupValues`] rows into aligned text tables.
 
-use std::collections::HashMap;
 use std::fmt::Write as _;
 
 use crate::runner::RunResult;
 
-/// One figure bar-group: AVERAGE / INT / FP.
-#[derive(Clone, Copy, Debug, PartialEq)]
-pub struct GroupValues {
-    /// Mean over the whole suite.
-    pub avg: f64,
-    /// Mean over SPECint surrogates.
-    pub int: f64,
-    /// Mean over SPECfp surrogates.
-    pub fp: f64,
-}
-
-/// Results of one configuration across the suite.
-pub fn config_results<'a>(
-    all: &'a HashMap<(String, String), RunResult>,
-    config: &str,
-) -> Vec<&'a RunResult> {
-    let mut v: Vec<&RunResult> = all
-        .iter()
-        .filter(|((c, _), _)| c == config)
-        .map(|(_, r)| r)
-        .collect();
-    v.sort_by(|a, b| a.bench.cmp(&b.bench));
-    v
-}
-
-/// Arithmetic mean of `metric` per group.
-pub fn group_mean(results: &[&RunResult], metric: impl Fn(&RunResult) -> f64) -> GroupValues {
-    let mean = |filter: &dyn Fn(&&&RunResult) -> bool| {
-        let vals: Vec<f64> = results.iter().filter(filter).map(|r| metric(r)).collect();
-        if vals.is_empty() {
-            0.0
-        } else {
-            vals.iter().sum::<f64>() / vals.len() as f64
-        }
-    };
-    GroupValues {
-        avg: mean(&|_| true),
-        int: mean(&|r| !r.fp),
-        fp: mean(&|r| r.fp),
-    }
-}
-
-/// Geometric-mean speedup of `num` over `den` (matched by benchmark).
-pub fn group_speedup(num: &[&RunResult], den: &[&RunResult]) -> GroupValues {
-    let geo = |filter: &dyn Fn(bool) -> bool| {
-        let mut log_sum = 0.0;
-        let mut n = 0usize;
-        for r in num {
-            if !filter(r.fp) {
-                continue;
-            }
-            let Some(d) = den.iter().find(|d| d.bench == r.bench) else {
-                continue;
-            };
-            if d.ipc > 0.0 && r.ipc > 0.0 {
-                log_sum += (r.ipc / d.ipc).ln();
-                n += 1;
-            }
-        }
-        if n == 0 {
-            1.0
-        } else {
-            (log_sum / n as f64).exp()
-        }
-    };
-    GroupValues {
-        avg: geo(&|_| true),
-        int: geo(&|fp| !fp),
-        fp: geo(&|fp| fp),
-    }
-}
+pub use crate::resultset::GroupValues;
 
 /// Render a figure as an aligned text table of AVERAGE/INT/FP columns.
 pub fn render_grouped(title: &str, unit: &str, rows: &[(String, GroupValues)]) -> String {
@@ -161,34 +92,6 @@ pub fn render_distribution(config: &str, results: &[&RunResult]) -> String {
     out
 }
 
-/// Export a sweep as CSV (one row per (configuration, benchmark) result),
-/// for external plotting.
-pub fn to_csv(all: &HashMap<(String, String), RunResult>) -> String {
-    let mut rows: Vec<&RunResult> = all.values().collect();
-    rows.sort_by(|a, b| (&a.config, &a.bench).cmp(&(&b.config, &b.bench)));
-    let mut out = String::from(
-        "config,bench,class,ipc,comms_per_insn,dist_per_comm,wait_per_comm,nready,branch_miss_rate,cycles,committed\n",
-    );
-    for r in rows {
-        let _ = writeln!(
-            out,
-            "{},{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{},{}",
-            r.config,
-            r.bench,
-            if r.fp { "FP" } else { "INT" },
-            r.ipc,
-            r.comms_per_insn,
-            r.dist_per_comm,
-            r.wait_per_comm,
-            r.nready,
-            r.branch_miss_rate,
-            r.cycles,
-            r.committed,
-        );
-    }
-    out
-}
-
 /// Per-benchmark metric table for one configuration (long-form appendix
 /// tables).
 pub fn render_per_benchmark(config: &str, results: &[&RunResult]) -> String {
@@ -237,29 +140,6 @@ mod tests {
     }
 
     #[test]
-    fn group_mean_splits_classes() {
-        let a = rr("c", "int1", false, 1.0);
-        let b = rr("c", "fp1", true, 3.0);
-        let refs = vec![&a, &b];
-        let g = group_mean(&refs, |r| r.ipc);
-        assert_eq!(g.avg, 2.0);
-        assert_eq!(g.int, 1.0);
-        assert_eq!(g.fp, 3.0);
-    }
-
-    #[test]
-    fn speedup_is_geometric() {
-        let r1 = rr("ring", "a", false, 2.0);
-        let r2 = rr("ring", "b", false, 8.0);
-        let c1 = rr("conv", "a", false, 1.0);
-        let c2 = rr("conv", "b", false, 2.0);
-        let g = group_speedup(&[&r1, &r2], &[&c1, &c2]);
-        // geomean(2, 4) = sqrt(8)
-        assert!((g.int - 8.0f64.sqrt()).abs() < 1e-9);
-        assert_eq!(g.fp, 1.0, "no fp benchmarks -> neutral speedup");
-    }
-
-    #[test]
     fn renderers_produce_aligned_tables() {
         let rows = vec![(
             "Ring_8clus_1bus_2IW".to_string(),
@@ -299,32 +179,10 @@ mod tests {
     }
 
     #[test]
-    fn csv_has_header_and_rows() {
-        let mut all = HashMap::new();
-        all.insert(("c".to_string(), "b".to_string()), rr("c", "b", true, 1.5));
-        let csv = to_csv(&all);
-        assert!(csv.starts_with("config,bench,class,"));
-        assert_eq!(csv.lines().count(), 2);
-        assert!(csv.contains("c,b,FP,1.5"));
-    }
-
-    #[test]
     fn per_benchmark_table_renders() {
         let a = rr("X", "swim", true, 2.0);
         let out = render_per_benchmark("X", &[&a]);
         assert!(out.contains("swim"));
         assert!(out.contains("2.000"));
-    }
-
-    #[test]
-    fn config_results_filters_and_sorts() {
-        let mut all = HashMap::new();
-        for (c, b) in [("x", "zz"), ("x", "aa"), ("y", "aa")] {
-            all.insert((c.to_string(), b.to_string()), rr(c, b, false, 1.0));
-        }
-        let rs = config_results(&all, "x");
-        assert_eq!(rs.len(), 2);
-        assert_eq!(rs[0].bench, "aa");
-        assert_eq!(rs[1].bench, "zz");
     }
 }

@@ -14,9 +14,10 @@
 //!   behind a barrier — and every finished pair is durably memoized the
 //!   moment it completes (an interrupted sweep resumes where it stopped).
 //!
-//! Every simulation is independent and traces are shared read-only, so
-//! `sweep(.., jobs)` with `jobs > 1` returns results bit-identical to the
-//! serial `jobs = 1` path.
+//! Every simulation is independent and traces are shared read-only, so a
+//! sweep on a multi-worker pool returns results bit-identical to the serial
+//! one-worker path. Sweeps are driven through [`crate::session::Session`],
+//! which owns the pool, the [`ResultStore`] and the progress sink.
 //!
 //! The [`ResultStore`] is sharded per configuration
 //! (`target/rcmc-results/<config>/<key>.json`), so huge sweeps never pile
@@ -138,6 +139,7 @@ pub fn cached_trace(bench: &str, len: u64) -> Arc<Vec<DynInsn>> {
 }
 
 /// Disk-backed memoization of [`RunResult`]s.
+#[derive(Debug)]
 pub struct ResultStore {
     dir: Option<PathBuf>,
 }
@@ -314,34 +316,8 @@ impl SweepProgress<'_> {
     }
 }
 
-/// Execution knobs for a sweep: worker count plus an optional per-job
-/// progress callback (invoked from worker threads, hence `Sync`).
-#[derive(Clone, Copy)]
-pub struct SweepOpts<'a> {
-    /// Worker threads; 1 is a true serial path.
-    pub jobs: usize,
-    /// Called after each executed job with monotone `finished` counts.
-    pub on_progress: Option<&'a (dyn Fn(&SweepProgress<'_>) + Sync)>,
-}
-
-impl Default for SweepOpts<'_> {
-    /// [`default_jobs`] workers, no progress callback.
-    fn default() -> Self {
-        SweepOpts {
-            jobs: default_jobs(),
-            on_progress: None,
-        }
-    }
-}
-
-impl std::fmt::Debug for SweepOpts<'_> {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("SweepOpts")
-            .field("jobs", &self.jobs)
-            .field("on_progress", &self.on_progress.map(|_| ".."))
-            .finish()
-    }
-}
+/// A per-job progress callback (invoked from worker threads, hence `Sync`).
+pub type ProgressFn<'a> = &'a (dyn Fn(&SweepProgress<'_>) + Sync);
 
 /// The name `cfg`'s results are memoized under: the display name, plus a
 /// DCOUNT-threshold tag whenever the threshold differs from the historical
@@ -369,8 +345,8 @@ fn simulate_stats(cfg: &SimConfig, bench: &str, budget: &Budget) -> rcmc_core::S
 
 /// The post-run metric reduction: fold raw [`rcmc_core::Stats`] (including
 /// the per-cluster dispatch and NREADY aggregates) into the figure metrics.
-/// Pure and deterministic — [`sweep_with`] runs one per job across the
-/// sweep pool, overlapped with other jobs' simulations.
+/// Pure and deterministic — the sweep engine runs one per job across the
+/// pool, overlapped with other jobs' simulations.
 pub fn reduce_metrics(cfg: &SimConfig, bench: &str, stats: &rcmc_core::Stats) -> RunResult {
     let b = benchmark(bench).unwrap_or_else(|| panic!("unknown benchmark '{bench}'"));
     RunResult {
@@ -404,35 +380,18 @@ pub fn run_pair(cfg: &SimConfig, bench: &str, budget: &Budget, store: &ResultSto
 /// Result map of a sweep, keyed by `(config, bench)`.
 pub type Results = HashMap<(String, String), RunResult>;
 
-/// Run a whole sweep (every config × every benchmark name) on `jobs` worker
-/// threads, returning results keyed by `(config, bench)`. The result is
-/// bit-identical for every `jobs` value.
-pub fn sweep(
+/// The sweep engine: run every (config × benchmark) pair on `pool`'s
+/// workers, returning results keyed by `(config, bench)`. The result is
+/// bit-identical at every worker count. Crate-internal — the public entry
+/// point is [`crate::session::Session`], which owns the pool, the store and
+/// the progress sink.
+pub(crate) fn sweep_on(
     cfgs: &[SimConfig],
     benches: &[&str],
     budget: &Budget,
     store: &ResultStore,
-    jobs: usize,
-) -> Results {
-    sweep_with(
-        cfgs,
-        benches,
-        budget,
-        store,
-        &SweepOpts {
-            jobs,
-            on_progress: None,
-        },
-    )
-}
-
-/// [`sweep`] with full execution options (progress callback).
-pub fn sweep_with(
-    cfgs: &[SimConfig],
-    benches: &[&str],
-    budget: &Budget,
-    store: &ResultStore,
-    opts: &SweepOpts<'_>,
+    pool: &rayon::ThreadPool,
+    on_progress: Option<ProgressFn<'_>>,
 ) -> Results {
     // Split memoized hits from jobs that actually need simulation.
     let mut out = Results::new();
@@ -451,7 +410,6 @@ pub fn sweep_with(
         return out;
     }
     let memoized = out.len();
-    let pool = rayon::ThreadPool::new(opts.jobs.max(1));
 
     // Stage A: materialize each missing benchmark's oracle trace exactly
     // once, in parallel across benchmarks (traces are config-independent).
@@ -494,7 +452,7 @@ pub fn sweep_with(
                 r
             }
         };
-        if let Some(cb) = opts.on_progress {
+        if let Some(cb) = on_progress {
             let mut done = finished.lock().unwrap_or_else(|e| e.into_inner());
             *done += 1;
             cb(&SweepProgress {

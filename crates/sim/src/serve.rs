@@ -1,0 +1,411 @@
+//! `rcmc serve` — a long-lived JSON-lines request/response loop.
+//!
+//! One request per input line, one or more response lines per request, all
+//! JSON objects. A single warm [`Session`] is shared across requests, so
+//! every plan after the first benefits from the memoized result store and
+//! the process-wide oracle-trace cache — the serving-loop analogue of a
+//! query engine keeping its buffer pool hot.
+//!
+//! Requests (`id` is optional and echoed back verbatim on every response
+//! for that request):
+//!
+//! ```json
+//! {"id": 1, "op": "ping"}
+//! {"id": 2, "op": "list"}
+//! {"id": 3, "op": "run", "plan": "main"}
+//! {"id": 4, "op": "run", "plan": {"name": "q", "configs": [{"group": "topology"}]}}
+//! {"op": "shutdown"}
+//! ```
+//!
+//! Responses carry an `"event"` discriminator: `pong`, `listing`,
+//! `progress` (streamed per executed job), `result` (rows + rendered
+//! reports), `error`, `bye`. Unknown input never kills the loop — it
+//! answers with an `error` event and keeps reading.
+
+use std::io::{BufRead, Write};
+use std::sync::Mutex;
+
+use serde::json::Value;
+use serde::Serialize as _;
+
+use crate::experiments::plans;
+use crate::plan::Plan;
+use crate::resultset::ResultSet;
+use crate::runner::{SweepProgress, MODEL_VERSION};
+use crate::session::Session;
+use crate::{config, runner};
+
+/// Counters of one serve loop's lifetime (returned at EOF/shutdown).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Requests handled (including failed ones).
+    pub requests: usize,
+    /// Plans executed successfully.
+    pub runs: usize,
+}
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn event(id: &Value, kind: &str, mut fields: Vec<(&str, Value)>) -> Value {
+    let mut all = vec![("id", id.clone()), ("event", Value::Str(kind.to_string()))];
+    all.append(&mut fields);
+    obj(all)
+}
+
+fn write_line<W: Write>(out: &Mutex<W>, v: &Value) {
+    let mut w = out.lock().unwrap_or_else(|e| e.into_inner());
+    // A broken pipe just means the client went away; the loop will see EOF
+    // on the next read.
+    let _ = writeln!(w, "{}", v.to_compact_string());
+    let _ = w.flush();
+}
+
+/// Resolve the request's `"plan"` field: a string names a builtin plan, an
+/// object is a full inline spec.
+fn plan_of(req: &Value) -> Result<Plan, String> {
+    match req.get("plan") {
+        Some(Value::Str(name)) => plans::builtin(name).ok_or_else(|| {
+            format!(
+                "unknown builtin plan '{name}' (one of: {})",
+                plans::BUILTIN.join(" | ")
+            )
+        }),
+        Some(spec @ Value::Obj(_)) => Plan::from_value_checked(spec),
+        Some(_) => Err("'plan' must be a builtin name or a spec object".to_string()),
+        None => Err("'run' request needs a 'plan'".to_string()),
+    }
+}
+
+fn run_request<W: Write + Send>(
+    session: &Session,
+    id: &Value,
+    req: &Value,
+    out: &Mutex<W>,
+) -> bool {
+    let plan = match plan_of(req) {
+        Ok(p) => p,
+        Err(e) => {
+            write_line(out, &event(id, "error", vec![("error", Value::Str(e))]));
+            return false;
+        }
+    };
+    // Resolve up front: rejects bad plans before any simulation and yields
+    // the configuration order the result's reports render in.
+    let order: Vec<String> = match plan.resolve() {
+        Ok((cfgs, _)) => cfgs.into_iter().map(|c| c.name).collect(),
+        Err(e) => {
+            write_line(out, &event(id, "error", vec![("error", Value::Str(e))]));
+            return false;
+        }
+    };
+    let progress = |p: &SweepProgress<'_>| {
+        write_line(
+            out,
+            &event(
+                id,
+                "progress",
+                vec![
+                    ("finished", Value::Num(p.finished as f64)),
+                    ("total", Value::Num(p.total as f64)),
+                    ("memoized", Value::Num(p.memoized as f64)),
+                    ("config", Value::Str(p.config.to_string())),
+                    ("bench", Value::Str(p.bench.to_string())),
+                ],
+            ),
+        );
+    };
+    let rs = match session.run_streaming(&plan, &progress) {
+        Ok(rs) => rs,
+        Err(e) => {
+            write_line(out, &event(id, "error", vec![("error", Value::Str(e))]));
+            return false;
+        }
+    };
+    write_line(out, &result_event(id, &plan, &order, &rs));
+    true
+}
+
+fn result_event(id: &Value, plan: &Plan, order: &[String], rs: &ResultSet) -> Value {
+    let rows = Value::Arr(rs.rows().iter().map(|r| r.to_value()).collect());
+    // "reports" stays an array in every outcome so clients can rely on the
+    // shape; a render failure (impossible for specs that passed resolve(),
+    // defensive only) is reported in a separate field.
+    let mut render_error = None;
+    let reports = match plan.render_reports_for(rs, order) {
+        Ok(rendered) => Value::Arr(
+            rendered
+                .into_iter()
+                .map(|r| {
+                    obj(vec![
+                        ("kind", Value::Str(r.kind)),
+                        ("text", Value::Str(r.text)),
+                    ])
+                })
+                .collect(),
+        ),
+        Err(e) => {
+            render_error = Some(e);
+            Value::Arr(Vec::new())
+        }
+    };
+    let mut fields = vec![
+        ("plan", Value::Str(plan.name.clone())),
+        ("rows", rows),
+        ("reports", reports),
+    ];
+    if let Some(e) = render_error {
+        fields.push(("report_error", Value::Str(e)));
+    }
+    event(id, "result", fields)
+}
+
+fn listing_event(id: &Value) -> Value {
+    let strs = |it: Vec<String>| Value::Arr(it.into_iter().map(Value::Str).collect());
+    event(
+        id,
+        "listing",
+        vec![
+            (
+                "plans",
+                strs(plans::BUILTIN.iter().map(|s| s.to_string()).collect()),
+            ),
+            (
+                "configs",
+                strs(
+                    config::known_configs()
+                        .iter()
+                        .map(|c| c.name.clone())
+                        .collect(),
+                ),
+            ),
+            (
+                "benches",
+                strs(
+                    runner::all_bench_names()
+                        .into_iter()
+                        .map(|b| b.to_string())
+                        .collect(),
+                ),
+            ),
+        ],
+    )
+}
+
+/// Run the serve loop: read JSON-lines requests from `input`, stream
+/// responses to `output`, sharing `session` across requests, until EOF or
+/// a `shutdown` request.
+pub fn serve<R: BufRead, W: Write + Send>(
+    session: &Session,
+    input: R,
+    output: W,
+) -> std::io::Result<ServeSummary> {
+    let out = Mutex::new(output);
+    let mut summary = ServeSummary::default();
+    for line in input.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        summary.requests += 1;
+        let Some(req) = serde::json::parse(&line) else {
+            write_line(
+                &out,
+                &event(
+                    &Value::Null,
+                    "error",
+                    vec![("error", Value::Str("request is not valid JSON".into()))],
+                ),
+            );
+            continue;
+        };
+        let id = req.get("id").cloned().unwrap_or(Value::Null);
+        let op = match req.get("op") {
+            Some(Value::Str(op)) => op.clone(),
+            _ => {
+                write_line(
+                    &out,
+                    &event(
+                        &id,
+                        "error",
+                        vec![(
+                            "error",
+                            Value::Str(
+                                "request needs an 'op' string (ping | list | run | shutdown)"
+                                    .into(),
+                            ),
+                        )],
+                    ),
+                );
+                continue;
+            }
+        };
+        match op.as_str() {
+            "ping" => write_line(
+                &out,
+                &event(
+                    &id,
+                    "pong",
+                    vec![("model_version", Value::Num(MODEL_VERSION as f64))],
+                ),
+            ),
+            "list" => write_line(&out, &listing_event(&id)),
+            "run" => {
+                if run_request(session, &id, &req, &out) {
+                    summary.runs += 1;
+                }
+            }
+            "shutdown" => {
+                write_line(&out, &event(&id, "bye", vec![]));
+                break;
+            }
+            other => write_line(
+                &out,
+                &event(
+                    &id,
+                    "error",
+                    vec![("error", Value::Str(format!("unknown op '{other}'")))],
+                ),
+            ),
+        }
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn serve_lines(input: &str) -> (Vec<Value>, ServeSummary) {
+        let session = Session::ephemeral().with_jobs(2);
+        let mut out = Vec::new();
+        let summary = serve(&session, input.as_bytes(), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines = text
+            .lines()
+            .map(|l| serde::json::parse(l).expect("response line must be valid JSON"))
+            .collect();
+        (lines, summary)
+    }
+
+    fn field<'a>(v: &'a Value, k: &str) -> &'a Value {
+        v.get(k).unwrap_or_else(|| panic!("missing '{k}' in {v:?}"))
+    }
+
+    #[test]
+    fn ping_list_and_shutdown() {
+        let (lines, summary) = serve_lines(
+            "{\"id\": 7, \"op\": \"ping\"}\n{\"op\": \"list\"}\n{\"op\": \"shutdown\"}\n",
+        );
+        assert_eq!(
+            summary,
+            ServeSummary {
+                requests: 3,
+                runs: 0
+            }
+        );
+        assert_eq!(field(&lines[0], "event"), &Value::Str("pong".into()));
+        assert_eq!(field(&lines[0], "id"), &Value::Num(7.0));
+        assert_eq!(
+            field(&lines[0], "model_version"),
+            &Value::Num(MODEL_VERSION as f64)
+        );
+        assert_eq!(field(&lines[1], "event"), &Value::Str("listing".into()));
+        let Value::Arr(benches) = field(&lines[1], "benches") else {
+            panic!("benches must be an array");
+        };
+        assert_eq!(benches.len(), 26);
+        assert_eq!(field(&lines[2], "event"), &Value::Str("bye".into()));
+    }
+
+    #[test]
+    fn run_streams_progress_then_result() {
+        let req = "{\"id\": \"r1\", \"op\": \"run\", \"plan\": {\
+                    \"name\": \"t\", \
+                    \"configs\": [{\"topology\": \"ring\", \"clusters\": 4}, {\"topology\": \"conv\", \"clusters\": 4}], \
+                    \"benches\": [\"swim\", \"gzip\"], \
+                    \"budget\": {\"warmup\": 1000, \"measure\": 4000}, \
+                    \"reports\": [{\"kind\": \"speedup\", \"pairs\": [{\"num\": \"Ring_4clus_1bus_2IW\", \"den\": \"Conv_4clus_1bus_2IW\"}]}]}}\n";
+        let (lines, summary) = serve_lines(req);
+        assert_eq!(
+            summary,
+            ServeSummary {
+                requests: 1,
+                runs: 1
+            }
+        );
+        // 4 progress events (2 configs × 2 benches, nothing memoized in an
+        // ephemeral store) then exactly one result.
+        let events: Vec<&Value> = lines.iter().map(|l| field(l, "event")).collect();
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| **e == &Value::Str("progress".into()))
+                .count(),
+            4
+        );
+        let result = lines.last().unwrap();
+        assert_eq!(field(result, "event"), &Value::Str("result".into()));
+        assert_eq!(field(result, "id"), &Value::Str("r1".into()));
+        let Value::Arr(rows) = field(result, "rows") else {
+            panic!("rows must be an array")
+        };
+        assert_eq!(rows.len(), 4);
+        let Value::Arr(reports) = field(result, "reports") else {
+            panic!("reports must be an array")
+        };
+        assert_eq!(reports.len(), 1);
+        let Value::Str(text) = field(&reports[0], "text") else {
+            panic!()
+        };
+        assert!(text.contains("Ring_4clus_1bus_2IW / Conv_4clus_1bus_2IW"));
+        // Every progress event carries the request id.
+        for l in &lines[..lines.len() - 1] {
+            assert_eq!(field(l, "id"), &Value::Str("r1".into()));
+        }
+    }
+
+    #[test]
+    fn errors_do_not_kill_the_loop() {
+        let input = "not json\n\
+                     {\"op\": \"frobnicate\"}\n\
+                     {\"op\": \"run\", \"plan\": \"no-such-plan\"}\n\
+                     {\"op\": \"run\", \"plan\": {\"name\": \"x\", \"configs\": [{\"name\": \"Bogus\"}]}}\n\
+                     {\"id\": 1, \"op\": \"ping\"}\n";
+        let (lines, summary) = serve_lines(input);
+        assert_eq!(
+            summary,
+            ServeSummary {
+                requests: 5,
+                runs: 0
+            }
+        );
+        assert_eq!(lines.len(), 5);
+        for l in &lines[..4] {
+            assert_eq!(field(l, "event"), &Value::Str("error".into()));
+        }
+        assert_eq!(field(&lines[4], "event"), &Value::Str("pong".into()));
+    }
+
+    #[test]
+    fn builtin_plan_by_name_runs() {
+        // "main" with the full suite would be slow; check the name resolves
+        // and a scoped inline spec using a group runs end to end.
+        let req = "{\"op\": \"run\", \"plan\": {\"name\": \"quick\", \
+                    \"configs\": [{\"name\": \"Ring_4clus_1bus_2IW\"}], \
+                    \"benches\": [\"swim\"], \
+                    \"budget\": {\"warmup\": 1000, \"measure\": 4000}}}\n\
+                   {\"op\": \"shutdown\"}\n";
+        let (lines, summary) = serve_lines(req);
+        assert_eq!(summary.runs, 1);
+        let result = &lines[lines.len() - 2];
+        assert_eq!(field(result, "event"), &Value::Str("result".into()));
+        assert_eq!(field(result, "plan"), &Value::Str("quick".into()));
+    }
+}

@@ -1,0 +1,246 @@
+//! The execution environment experiment plans run in.
+//!
+//! A [`Session`] owns everything a sweep needs besides the plan itself: the
+//! disk-backed [`ResultStore`] memoization, the worker [`rayon::ThreadPool`]
+//! fan-out, the (process-wide, warm) oracle-trace cache, and the progress
+//! sink. One `Session` can execute any number of [`Plan`]s — `rcmc serve`
+//! keeps a single warm session alive across requests, so every plan after
+//! the first reuses memoized runs and already-emulated traces.
+//!
+//! ```no_run
+//! use rcmc_sim::plan::Plan;
+//! use rcmc_sim::session::{Progress, Session};
+//! let session = Session::new().with_progress(Progress::Stderr);
+//! let plan = Plan::new("quick").config_named("Ring_8clus_1bus_2IW").bench("swim");
+//! let rs = session.run(&plan).unwrap();
+//! println!("{}", rs.to_csv());
+//! ```
+
+use crate::config::SimConfig;
+use crate::plan::Plan;
+use crate::resultset::ResultSet;
+use crate::runner::{self, Budget, ProgressFn, ResultStore, RunResult, SweepProgress};
+
+/// Where a session reports per-job sweep progress.
+#[derive(Default)]
+pub enum Progress {
+    /// No progress output (benches, tests).
+    #[default]
+    Silent,
+    /// The shared stderr status line (`[12/390] cfg × bench (ETA ..s)`).
+    Stderr,
+    /// An owned callback, invoked from worker threads after every executed
+    /// job with strictly increasing `finished` counts.
+    Callback(Box<dyn Fn(&SweepProgress<'_>) + Send + Sync>),
+}
+
+impl std::fmt::Debug for Progress {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Progress::Silent => "Silent",
+            Progress::Stderr => "Stderr",
+            Progress::Callback(_) => "Callback(..)",
+        })
+    }
+}
+
+/// An experiment-execution environment: result store + thread pool +
+/// progress sink (the oracle-trace cache is process-wide and shared by all
+/// sessions, so it stays warm across session rebuilds too).
+#[derive(Debug)]
+pub struct Session {
+    store: ResultStore,
+    // The vendored rayon pool is a worker *count* whose OS threads are
+    // scoped to each operation — an idle pool holds no resources, so
+    // constructing one per `with_jobs`/override is free. If this is ever
+    // swapped for real rayon (whose pools spawn threads at construction),
+    // make the pool lazy instead.
+    pool: rayon::ThreadPool,
+    jobs: usize,
+    progress: Progress,
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Session::new()
+    }
+}
+
+impl Session {
+    /// The standard environment: the workspace's shared
+    /// `target/rcmc-results` store, [`runner::default_jobs`] workers
+    /// (`RCMC_JOBS`, else all cores), no progress output.
+    pub fn new() -> Session {
+        Session::with_store(ResultStore::open_default())
+    }
+
+    /// A session that memoizes nothing (tests, throwaway experiments).
+    pub fn ephemeral() -> Session {
+        Session::with_store(ResultStore::ephemeral())
+    }
+
+    /// A session over an explicit store.
+    pub fn with_store(store: ResultStore) -> Session {
+        let jobs = runner::default_jobs();
+        Session {
+            store,
+            pool: rayon::ThreadPool::new(jobs),
+            jobs,
+            progress: Progress::Silent,
+        }
+    }
+
+    /// Replace the worker pool with one of `jobs` threads (1 = true serial
+    /// execution; results are bit-identical at any count).
+    pub fn with_jobs(mut self, jobs: usize) -> Session {
+        self.jobs = jobs.max(1);
+        self.pool = rayon::ThreadPool::new(self.jobs);
+        self
+    }
+
+    /// Set the progress sink.
+    pub fn with_progress(mut self, progress: Progress) -> Session {
+        self.progress = progress;
+        self
+    }
+
+    /// Worker count of the session's pool.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// The session's result store.
+    pub fn store(&self) -> &ResultStore {
+        &self.store
+    }
+
+    /// Execute `plan`: resolve its configurations and benchmarks, sweep the
+    /// grid (on the plan's `jobs`/`budget` overrides if set, else the
+    /// session's pool and the env-derived [`Budget::default`]), and return
+    /// the typed results. Fails without simulating anything if the plan
+    /// names an unknown group/config/bench/metric.
+    pub fn run(&self, plan: &Plan) -> Result<ResultSet, String> {
+        self.run_streaming_opt(plan, None)
+    }
+
+    /// [`Session::run`] with an explicit per-job progress callback that
+    /// overrides the session sink for this run (what `rcmc serve` uses to
+    /// stream progress lines per request).
+    pub fn run_streaming(
+        &self,
+        plan: &Plan,
+        progress: ProgressFn<'_>,
+    ) -> Result<ResultSet, String> {
+        self.run_streaming_opt(plan, Some(progress))
+    }
+
+    fn run_streaming_opt(
+        &self,
+        plan: &Plan,
+        progress: Option<ProgressFn<'_>>,
+    ) -> Result<ResultSet, String> {
+        // One resolution pass covers validation too (report references,
+        // jobs bounds) — see `Plan::resolve`.
+        let (cfgs, benches) = plan.resolve()?;
+        let bench_refs: Vec<&str> = benches.iter().map(|b| b.as_str()).collect();
+        let budget = plan.budget.unwrap_or_default();
+        Ok(self.sweep_opt(&cfgs, &bench_refs, &budget, plan.jobs, progress))
+    }
+
+    /// Sweep an explicit `(configs × benches)` grid — the escape hatch for
+    /// experiments whose configurations a [`Plan`] cannot express (mutated
+    /// thresholds, custom names). Everything else should go through plans.
+    pub fn sweep(&self, cfgs: &[SimConfig], benches: &[&str], budget: &Budget) -> ResultSet {
+        self.sweep_opt(cfgs, benches, budget, None, None)
+    }
+
+    /// [`Session::sweep`] with an explicit per-job progress callback.
+    pub fn sweep_streaming(
+        &self,
+        cfgs: &[SimConfig],
+        benches: &[&str],
+        budget: &Budget,
+        progress: ProgressFn<'_>,
+    ) -> ResultSet {
+        self.sweep_opt(cfgs, benches, budget, None, Some(progress))
+    }
+
+    fn sweep_opt(
+        &self,
+        cfgs: &[SimConfig],
+        benches: &[&str],
+        budget: &Budget,
+        jobs_override: Option<usize>,
+        progress: Option<ProgressFn<'_>>,
+    ) -> ResultSet {
+        let stderr_line = |p: &SweepProgress<'_>| p.eprint_status();
+        let cb: Option<ProgressFn<'_>> = match (&progress, &self.progress) {
+            (Some(f), _) => Some(*f),
+            (None, Progress::Silent) => None,
+            (None, Progress::Stderr) => Some(&stderr_line),
+            (None, Progress::Callback(f)) => {
+                Some(f.as_ref() as &(dyn Fn(&SweepProgress<'_>) + Sync))
+            }
+        };
+        let override_pool = jobs_override.map(|j| rayon::ThreadPool::new(j.max(1)));
+        let pool = override_pool.as_ref().unwrap_or(&self.pool);
+        let map = runner::sweep_on(cfgs, benches, budget, &self.store, pool, cb);
+        ResultSet::from_map(map)
+    }
+
+    /// Run (or load) a single `(configuration, benchmark)` pair through the
+    /// session's store.
+    pub fn run_one(&self, cfg: &SimConfig, bench: &str, budget: &Budget) -> RunResult {
+        runner::run_pair(cfg, bench, budget, &self.store)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::make;
+    use rcmc_core::Topology;
+
+    fn tiny() -> Budget {
+        Budget {
+            warmup: 1_000,
+            measure: 4_000,
+        }
+    }
+
+    #[test]
+    fn session_sweep_matches_run_one() {
+        let s = Session::ephemeral().with_jobs(2);
+        let cfg = make(Topology::Ring, 4, 2, 1);
+        let rs = s.sweep(std::slice::from_ref(&cfg), &["swim"], &tiny());
+        assert_eq!(rs.len(), 1);
+        let direct = s.run_one(&cfg, "swim", &tiny());
+        assert_eq!(rs.get(&cfg.name, "swim"), Some(&direct));
+    }
+
+    #[test]
+    fn plan_jobs_override_is_still_bit_identical() {
+        let plan = Plan::new("t")
+            .config_axes(Some(Topology::Ring), None, Some(4), Some(2), Some(1), None)
+            .bench("gzip")
+            .bench("swim")
+            .budget(tiny());
+        let serial = Session::ephemeral().with_jobs(1).run(&plan).unwrap();
+        let parallel = Session::ephemeral()
+            .with_jobs(1)
+            .run(&plan.clone().jobs(4))
+            .unwrap();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn unknown_plan_inputs_fail_before_simulating() {
+        let s = Session::ephemeral();
+        let bad_bench = Plan::new("t")
+            .config_named("Ring_8clus_1bus_2IW")
+            .bench("nope");
+        assert!(s.run(&bad_bench).unwrap_err().contains("nope"));
+        let bad_cfg = Plan::new("t").config_named("Ring_9000clus").bench("swim");
+        assert!(s.run(&bad_cfg).unwrap_err().contains("Ring_9000clus"));
+    }
+}

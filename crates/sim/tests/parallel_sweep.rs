@@ -1,6 +1,7 @@
-//! Parallel-sweep engine guarantees: bit-identical results at any worker
-//! count, exactly-once trace emulation under thread races, deterministic
-//! progress accounting, and concurrent-safe result persistence.
+//! Parallel-sweep engine guarantees, exercised through the public
+//! `Session` API: bit-identical results at any worker count, exactly-once
+//! trace emulation under thread races, deterministic progress accounting,
+//! and concurrent-safe result persistence.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -8,7 +9,8 @@ use std::sync::Arc;
 use rcmc_core::Topology;
 use rcmc_emu::{trace_program, TraceCache};
 use rcmc_sim::config::make;
-use rcmc_sim::runner::{cached_trace, sweep, sweep_with, Budget, ResultStore, SweepOpts};
+use rcmc_sim::runner::{cached_trace, Budget, ResultStore};
+use rcmc_sim::{Plan, Session};
 use rcmc_workloads::benchmark;
 
 fn tiny() -> Budget {
@@ -31,12 +33,16 @@ fn small_grid() -> (Vec<rcmc_sim::SimConfig>, Vec<&'static str>) {
 fn parallel_sweep_is_bit_identical_to_serial() {
     let (cfgs, benches) = small_grid();
     let budget = tiny();
-    // Ephemeral stores: every pair is simulated in both sweeps, so this
+    // Ephemeral sessions: every pair is simulated in both sweeps, so this
     // compares actual parallel execution, not memoized loads.
-    let serial = sweep(&cfgs, &benches, &budget, &ResultStore::ephemeral(), 1);
-    let parallel = sweep(&cfgs, &benches, &budget, &ResultStore::ephemeral(), 8);
+    let serial = Session::ephemeral()
+        .with_jobs(1)
+        .sweep(&cfgs, &benches, &budget);
+    let parallel = Session::ephemeral()
+        .with_jobs(8)
+        .sweep(&cfgs, &benches, &budget);
     assert_eq!(serial.len(), cfgs.len() * benches.len());
-    // HashMap equality compares every (config, bench) key and every
+    // ResultSet equality compares every (config, bench) key and every
     // RunResult field, f64s included — bit-identical or it fails.
     assert_eq!(serial, parallel);
 }
@@ -54,8 +60,12 @@ fn mesh_and_hier_sweeps_are_bit_identical_at_any_worker_count() {
     ];
     let benches = ["swim", "gzip", "mcf"];
     let budget = tiny();
-    let serial = sweep(&cfgs, &benches, &budget, &ResultStore::ephemeral(), 1);
-    let parallel = sweep(&cfgs, &benches, &budget, &ResultStore::ephemeral(), 8);
+    let serial = Session::ephemeral()
+        .with_jobs(1)
+        .sweep(&cfgs, &benches, &budget);
+    let parallel = Session::ephemeral()
+        .with_jobs(8)
+        .sweep(&cfgs, &benches, &budget);
     assert_eq!(serial.len(), cfgs.len() * benches.len());
     assert_eq!(serial, parallel);
 }
@@ -65,11 +75,33 @@ fn oversubscribed_and_odd_worker_counts_agree() {
     let cfgs = vec![make(Topology::Ring, 8, 2, 2)];
     let benches = ["gcc", "ammp"];
     let budget = tiny();
-    let baseline = sweep(&cfgs, &benches, &budget, &ResultStore::ephemeral(), 1);
+    let baseline = Session::ephemeral()
+        .with_jobs(1)
+        .sweep(&cfgs, &benches, &budget);
     for jobs in [2, 3, 16] {
-        let r = sweep(&cfgs, &benches, &budget, &ResultStore::ephemeral(), jobs);
+        let r = Session::ephemeral()
+            .with_jobs(jobs)
+            .sweep(&cfgs, &benches, &budget);
         assert_eq!(baseline, r, "jobs={jobs} diverged from serial");
     }
+}
+
+#[test]
+fn plan_driven_runs_match_explicit_sweeps() {
+    // The Plan path (what the CLI/serve use) and the explicit-grid path
+    // must produce the same rows for the same grid.
+    let budget = tiny();
+    let plan = Plan::new("grid")
+        .config_named("Ring_4clus_1bus_2IW")
+        .config_named("Conv_4clus_1bus_2IW")
+        .benches(["swim", "gzip"])
+        .budget(budget);
+    let via_plan = Session::ephemeral().with_jobs(4).run(&plan).unwrap();
+    let cfgs = [make(Topology::Ring, 4, 2, 1), make(Topology::Conv, 4, 2, 1)];
+    let via_sweep = Session::ephemeral()
+        .with_jobs(1)
+        .sweep(&cfgs, &["swim", "gzip"], &budget);
+    assert_eq!(via_plan, via_sweep);
 }
 
 #[test]
@@ -119,11 +151,8 @@ fn progress_callback_counts_every_executed_job() {
         assert_eq!(p.total, 12);
         seen.lock().unwrap().push(p.finished);
     };
-    let opts = SweepOpts {
-        jobs: 4,
-        on_progress: Some(&on_progress),
-    };
-    let results = sweep_with(&cfgs, &benches, &budget, &ResultStore::ephemeral(), &opts);
+    let session = Session::ephemeral().with_jobs(4);
+    let results = session.sweep_streaming(&cfgs, &benches, &budget, &on_progress);
     assert_eq!(results.len(), 12);
     // One callback per executed job, delivered in strictly increasing
     // `finished` order even with 4 workers racing.
@@ -134,47 +163,46 @@ fn progress_callback_counts_every_executed_job() {
 #[test]
 fn memoized_pairs_are_not_re_executed_and_not_reported() {
     let dir = std::env::temp_dir().join(format!("rcmc-par-{}", std::process::id()));
-    let store = ResultStore::at(dir.clone());
     let cfgs = vec![make(Topology::Conv, 8, 1, 1)];
     let benches = ["twolf", "vpr"];
     let budget = tiny();
-    let first = sweep(&cfgs, &benches, &budget, &store, 2);
+    let session = Session::with_store(ResultStore::at(dir.clone())).with_jobs(2);
+    let first = session.sweep(&cfgs, &benches, &budget);
     // Second sweep: everything is on disk, so zero progress callbacks fire
     // and the loaded results match the computed ones exactly.
     let calls = AtomicUsize::new(0);
     let on_progress = |_: &rcmc_sim::SweepProgress<'_>| {
         calls.fetch_add(1, Ordering::SeqCst);
     };
-    let opts = SweepOpts {
-        jobs: 2,
-        on_progress: Some(&on_progress),
-    };
-    let second = sweep_with(&cfgs, &benches, &budget, &store, &opts);
+    let second = session.sweep_streaming(&cfgs, &benches, &budget, &on_progress);
     assert_eq!(calls.load(Ordering::SeqCst), 0, "memoized pairs re-ran");
     assert_eq!(first, second);
     let _ = std::fs::remove_dir_all(dir);
 }
 
 #[test]
-fn concurrent_sweeps_share_one_store_safely() {
+fn concurrent_sessions_share_one_store_safely() {
     // Two threads sweep overlapping grids into the same store directory;
     // atomic renames mean no torn files and both agree on every result.
     let dir = std::env::temp_dir().join(format!("rcmc-race-{}", std::process::id()));
-    let store_a = ResultStore::at(dir.clone());
-    let store_b = ResultStore::at(dir.clone());
+    let session_a = Session::with_store(ResultStore::at(dir.clone())).with_jobs(2);
+    let session_b = Session::with_store(ResultStore::at(dir.clone())).with_jobs(2);
     let cfgs = vec![make(Topology::Ring, 4, 2, 1)];
     let benches = ["crafty", "apsi"];
     let budget = tiny();
     let (a, b) = std::thread::scope(|s| {
-        let ha = s.spawn(|| sweep(&cfgs, &benches, &budget, &store_a, 2));
-        let hb = s.spawn(|| sweep(&cfgs, &benches, &budget, &store_b, 2));
+        let ha = s.spawn(|| session_a.sweep(&cfgs, &benches, &budget));
+        let hb = s.spawn(|| session_b.sweep(&cfgs, &benches, &budget));
         (ha.join().unwrap(), hb.join().unwrap())
     });
     assert_eq!(a, b);
     // Every persisted file must parse back to the same result.
-    for ((config, bench), r) in &a {
+    for r in a.rows() {
         assert_eq!(
-            store_a.load(config, bench, &budget).as_ref(),
+            session_a
+                .store()
+                .load(&r.config, &r.bench, &budget)
+                .as_ref(),
             Some(r),
             "torn or stale file"
         );

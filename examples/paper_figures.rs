@@ -4,35 +4,31 @@
 //! RCMC_INSTRS=200000 RCMC_JOBS=8 cargo run --release --example paper_figures
 //! ```
 //!
-//! Results are memoized in `target/rcmc-results/`, shared with the
-//! per-figure `cargo bench` targets, so this never simulates a
-//! (configuration × benchmark) pair twice. The three sweeps fan out over a
-//! thread pool (`RCMC_JOBS`, default: all cores); the figures are
-//! bit-identical at any worker count.
+//! All thirteen figures are plan values behind one union sweep
+//! (`experiments::plans::everything()`); the session memoizes every
+//! (configuration × benchmark) pair in `target/rcmc-results/`, shared with
+//! the per-figure `cargo bench` targets, so this never simulates a pair
+//! twice. The sweep fans out over the session's pool (`RCMC_JOBS`, default:
+//! all cores); the figures are bit-identical at any worker count.
 
 use ring_clustered::sim::experiments;
-use ring_clustered::sim::runner::{default_jobs, Budget, ResultStore, SweepOpts, SweepProgress};
-
-fn progress(p: &SweepProgress<'_>) {
-    p.eprint_status();
-}
+use ring_clustered::sim::runner::Budget;
+use ring_clustered::sim::{Progress, Session};
 
 fn main() {
     let budget = Budget::default();
-    let store = ResultStore::open_default();
-    let opts = SweepOpts {
-        jobs: default_jobs(),
-        on_progress: Some(&progress),
-    };
+    let session = Session::new().with_progress(Progress::Stderr);
     println!(
         "RCMC paper reproduction — window: {} warm-up + {} measured instructions, {} jobs",
-        budget.warmup, budget.measure, opts.jobs
+        budget.warmup,
+        budget.measure,
+        session.jobs()
     );
     println!(
         "(set RCMC_INSTRS / RCMC_WARMUP / RCMC_JOBS to change; results are cached per window)\n"
     );
     let t0 = std::time::Instant::now();
-    for ex in experiments::run_all(&budget, &store, &opts) {
+    for ex in experiments::run_all(&session).expect("paper plans must validate") {
         println!("================================================================");
         println!("{}", ex.text);
     }

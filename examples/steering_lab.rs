@@ -9,7 +9,7 @@
 use ring_clustered::core::steering::{RingDep, SteerCtx, SteeringPolicy};
 use ring_clustered::core::value::ValueTable;
 use ring_clustered::core::{CoreConfig, Steering, Topology};
-use ring_clustered::sim::{config, runner};
+use ring_clustered::sim::{config, runner, Session};
 
 fn figure2_walkthrough() {
     println!("--- Figure 2 walkthrough (ring, 4 clusters) ---");
@@ -98,7 +98,9 @@ fn main() {
         warmup: 10_000,
         measure: 60_000,
     };
-    let store = runner::ResultStore::open_default();
+    // One session = the shared memoized store + the warm trace cache; every
+    // (policy × fabric) cell after the first reuses the emulated trace.
+    let session = Session::new();
     for topology in config::ALL_TOPOLOGIES {
         for steering in config::ALL_STEERINGS {
             let cfg = config::make_pair(topology, steering, 8, 2, 1);
@@ -107,7 +109,7 @@ fn main() {
                 config::topology_name(topology),
                 config::steering_name(steering)
             );
-            let r = runner::run_pair(&cfg, &bench, &budget, &store);
+            let r = session.run_one(&cfg, &bench, &budget);
             let max_share = r.dispatch_shares.iter().copied().fold(0.0f64, f64::max);
             println!(
                 "{label:14} IPC {:.3}  comms/insn {:.3}  NREADY {:.2}  max cluster share {:.1}%",

@@ -1,7 +1,7 @@
 //! `rcmc` — command-line front end for the RCMC reproduction.
 //!
 //! ```text
-//! rcmc list                         # benchmarks and configurations
+//! rcmc list                         # benchmarks, configurations, plans
 //! rcmc run swim --config Ring_8clus_1bus_2IW --instrs 100000
 //! rcmc compare galgel --jobs 2      # Ring vs Conv side by side
 //! rcmc disasm mcf --limit 40        # static code of a surrogate benchmark
@@ -9,21 +9,25 @@
 //! rcmc figures --jobs 8             # regenerate every table and figure
 //! rcmc csv --out sweep.csv          # main sweep as CSV
 //! rcmc layout                       # §3.2 area/floorplan study
+//! rcmc plan run spec.json           # execute a user-authored plan file
+//! rcmc plan show main               # print a builtin plan as JSON
+//! rcmc report steering-cross       # policy × topology matrix + analysis
+//! rcmc serve                        # JSON-lines request loop on stdin/stdout
 //! ```
 //!
-//! Sweeping commands (`compare`, `figures`, `csv`) fan out over a thread
-//! pool: `--jobs N` (default: `RCMC_JOBS`, else all cores). Results are
-//! bit-identical at any worker count. Unknown flags and unparsable flag
-//! values are hard errors (exit code 2), not silently ignored.
+//! Every sweeping command goes through one [`Session`] (shared result
+//! store, worker pool, stderr progress): `--jobs N` (default: `RCMC_JOBS`,
+//! else all cores) sizes the pool, and results are bit-identical at any
+//! worker count. Unknown flags and unparsable flag values are hard errors
+//! (exit code 2), not silently ignored.
 
 use std::collections::HashMap;
 
 use ring_clustered::core::{Core, PipeTracer};
 use ring_clustered::emu::trace_program;
-use ring_clustered::sim::runner::{
-    cached_trace, default_jobs, Budget, ResultStore, SweepOpts, SweepProgress,
-};
-use ring_clustered::sim::{config, experiments, runner};
+use ring_clustered::sim::experiments::{self, plans};
+use ring_clustered::sim::runner::{cached_trace, default_jobs, Budget};
+use ring_clustered::sim::{config, serve, Plan, Progress, Session};
 use ring_clustered::workloads::{benchmark, suite};
 
 fn main() {
@@ -33,7 +37,7 @@ fn main() {
         return;
     };
     let flags = match cmd.as_str() {
-        "list" | "layout" => parse_flags(cmd, &args[1..], &[]),
+        "list" | "layout" | "serve" => parse_flags(cmd, &args[1..], &[]),
         "run" => parse_flags(
             cmd,
             &args[1..],
@@ -42,8 +46,9 @@ fn main() {
         "compare" => parse_flags(cmd, &args[1..], &["instrs", "warmup", "jobs"]),
         "disasm" => parse_flags(cmd, &args[1..], &["limit"]),
         "trace" => parse_flags(cmd, &args[1..], &["from", "len", "config"]),
-        "figures" => parse_flags(cmd, &args[1..], &["jobs"]),
+        "figures" | "report" => parse_flags(cmd, &args[1..], &["jobs"]),
         "csv" => parse_flags(cmd, &args[1..], &["out", "jobs"]),
+        "plan" => parse_flags(cmd, &args[1..], &["jobs", "out"]),
         other => {
             eprintln!("unknown command '{other}'\n");
             usage();
@@ -59,6 +64,9 @@ fn main() {
         "figures" => figures(&flags),
         "csv" => csv(&flags),
         "layout" => layout(),
+        "plan" => plan_cmd(&args, &flags),
+        "report" => report_cmd(&args, &flags),
+        "serve" => serve_cmd(),
         _ => unreachable!("validated above"),
     }
 }
@@ -68,7 +76,7 @@ fn usage() {
         "rcmc — ring clustered microarchitecture (IPDPS'05 reproduction)\n\
          \n\
          commands:\n\
-         \x20 list                          benchmarks and configurations\n\
+         \x20 list                          benchmarks, configurations, builtin plans\n\
          \x20 run <bench> [--config NAME] [--topology ring|conv|crossbar|mesh|hier]\n\
          \x20                               [--steering ringdep|dcount|ssa]\n\
          \x20                               [--instrs N] [--warmup N] [--jobs N]\n\
@@ -80,17 +88,26 @@ fn usage() {
          \x20 figures [--jobs N]            regenerate all tables/figures\n\
          \x20 csv [--out FILE] [--jobs N]   dump the main sweep as CSV\n\
          \x20 layout                        area + floorplan study\n\
+         \x20 plan run <spec.json> [--jobs N] [--out FILE]\n\
+         \x20                               execute a plan spec file\n\
+         \x20 plan show <name>              print a builtin plan as JSON\n\
+         \x20 plan list                     builtin plan names\n\
+         \x20 report steering-cross [--jobs N]\n\
+         \x20                               policy × topology matrix + decomposition\n\
+         \x20 serve                         JSON-lines request loop on stdin/stdout\n\
          \n\
          environment:\n\
          \x20 RCMC_INSTRS / RCMC_WARMUP     default measurement window\n\
          \x20 RCMC_JOBS                     default sweep worker count (else all cores)\n\
          \n\
-         --jobs parallelizes sweeps (compare/figures/csv); `run` accepts it for\n\
-         symmetry but a single run always uses one worker.\n\
+         --jobs parallelizes sweeps; `run` accepts it for symmetry but a single\n\
+         run always uses one worker.\n\
          --topology rebuilds the chosen configuration on another interconnect\n\
          (ring | conv/bus | crossbar/xbar | mesh | hier) with that topology's\n\
          default steering; --steering then overrides the policy (ringdep/dep |\n\
-         dcount | ssa) — any policy drives any fabric."
+         dcount | ssa) — any policy drives any fabric.\n\
+         Plan spec files and the serve protocol are documented in the README\n\
+         ('Experiment plans')."
     );
 }
 
@@ -162,21 +179,16 @@ fn jobs_from(flags: &HashMap<String, String>) -> usize {
     }
 }
 
-fn all_configs() -> impl Iterator<Item = config::SimConfig> {
-    // Later groups repeat some earlier names (the ablation/cross grids
-    // deliberately reuse Table 3 configurations); keep the first of each.
-    let mut seen = std::collections::HashSet::new();
-    config::evaluated_configs()
-        .into_iter()
-        .chain(config::fig12_configs())
-        .chain(config::ssa_configs())
-        .chain(config::topology_ablation_configs())
-        .chain(config::steering_cross_configs())
-        .filter(move |c| seen.insert(c.name.clone()))
+/// The shared CLI execution environment: default store, `--jobs` pool,
+/// stderr progress line.
+fn session_from(flags: &HashMap<String, String>) -> Session {
+    Session::new()
+        .with_jobs(jobs_from(flags))
+        .with_progress(Progress::Stderr)
 }
 
 fn find_config(name: &str) -> config::SimConfig {
-    all_configs().find(|c| c.name == name).unwrap_or_else(|| {
+    config::find_config(name).unwrap_or_else(|| {
         eprintln!("unknown configuration '{name}' (see `rcmc list`)");
         std::process::exit(1);
     })
@@ -189,12 +201,16 @@ fn list() {
         println!("  {:10} {class}  {:?}", b.name, b.kernel);
     }
     println!("\nconfigurations (Table 3 + §4.6 + §4.7 + topology-ablation + steering-cross):");
-    for c in all_configs() {
+    for c in config::known_configs() {
         println!("  {}", c.name);
+    }
+    println!("\nbuiltin plans (rcmc plan show <name>):");
+    for p in plans::BUILTIN {
+        println!("  {p}");
     }
 }
 
-fn print_result(r: &runner::RunResult) {
+fn print_result(r: &ring_clustered::sim::RunResult) {
     println!("  IPC                {:>8.3}", r.ipc);
     println!("  comms/instruction  {:>8.3}", r.comms_per_insn);
     println!("  hops/communication {:>8.2}", r.dist_per_comm);
@@ -207,11 +223,6 @@ fn print_result(r: &runner::RunResult) {
         .map(|s| format!("{:.0}%", s * 100.0))
         .collect();
     println!("  dispatch shares    [{}]", shares.join(" "));
-}
-
-/// Progress printer for long sweeps (the shared status-line renderer).
-fn progress_line(p: &SweepProgress<'_>) {
-    p.eprint_status();
 }
 
 fn run(args: &[String], flags: &HashMap<String, String>) {
@@ -237,8 +248,8 @@ fn run(args: &[String], flags: &HashMap<String, String>) {
     }
     let budget = budget_from(flags);
     let _ = jobs_from(flags); // validated; a single run always uses one worker
-    let store = ResultStore::open_default();
-    let r = runner::run_pair(&cfg, &bench, &budget, &store);
+    let session = Session::new();
+    let r = session.run_one(&cfg, &bench, &budget);
     println!(
         "{bench} on {} ({} measured instructions):",
         cfg.name, r.committed
@@ -248,18 +259,16 @@ fn run(args: &[String], flags: &HashMap<String, String>) {
 
 fn compare(args: &[String], flags: &HashMap<String, String>) {
     let bench = positional(args, 1, "benchmark name");
-    let budget = budget_from(flags);
-    let jobs = jobs_from(flags);
-    let store = ResultStore::open_default();
-    // Both sides go through the sweep engine, so `--jobs 2` runs them
-    // concurrently.
-    let cfgs = [
-        find_config("Ring_8clus_1bus_2IW"),
-        find_config("Conv_8clus_1bus_2IW"),
-    ];
-    let results = runner::sweep(&cfgs, &[&bench], &budget, &store, jobs);
-    let ring = &results[&(cfgs[0].name.clone(), bench.clone())];
-    let conv = &results[&(cfgs[1].name.clone(), bench.clone())];
+    let session = session_from(flags);
+    // Both sides are one plan, so `--jobs 2` runs them concurrently.
+    let plan = Plan::new("compare")
+        .config_named("Ring_8clus_1bus_2IW")
+        .config_named("Conv_8clus_1bus_2IW")
+        .bench(&bench)
+        .budget(budget_from(flags));
+    let results = session.run(&plan).unwrap_or_else(die);
+    let ring = results.get("Ring_8clus_1bus_2IW", &bench).unwrap();
+    let conv = results.get("Conv_8clus_1bus_2IW", &bench).unwrap();
     println!("{bench}: Ring_8clus_1bus_2IW");
     print_result(ring);
     println!("{bench}: Conv_8clus_1bus_2IW");
@@ -314,28 +323,23 @@ fn trace_cmd(args: &[String], flags: &HashMap<String, String>) {
     println!("mean dispatch→issue wait {wait:.1} cycles; mean issue→complete {lat:.1} cycles");
 }
 
+fn die<T>(e: String) -> T {
+    eprintln!("rcmc: {e}");
+    std::process::exit(1);
+}
+
 fn figures(flags: &HashMap<String, String>) {
-    let budget = Budget::default();
-    let store = ResultStore::open_default();
-    let opts = SweepOpts {
-        jobs: jobs_from(flags),
-        on_progress: Some(&progress_line),
-    };
-    for ex in experiments::run_all(&budget, &store, &opts) {
+    let session = session_from(flags);
+    for ex in experiments::run_all(&session).unwrap_or_else(die) {
         println!("================================================================");
         println!("{}", ex.text);
     }
 }
 
 fn csv(flags: &HashMap<String, String>) {
-    let budget = Budget::default();
-    let store = ResultStore::open_default();
-    let opts = SweepOpts {
-        jobs: jobs_from(flags),
-        on_progress: Some(&progress_line),
-    };
-    let results = experiments::main_sweep(&budget, &store, &opts);
-    let csv = ring_clustered::sim::report::to_csv(&results);
+    let session = session_from(flags);
+    let results = session.run(&plans::main()).unwrap_or_else(die);
+    let csv = results.to_csv();
     match flags.get("out") {
         Some(path) if !path.is_empty() => {
             std::fs::write(path, &csv).expect("failed to write CSV");
@@ -360,4 +364,104 @@ fn layout() {
     let b = benchmark("swim").unwrap();
     let t = trace_program(&b.build(), 1000).unwrap();
     assert_eq!(t.insns.len(), 1000);
+}
+
+fn plan_cmd(args: &[String], flags: &HashMap<String, String>) {
+    let sub = positional(args, 1, "plan subcommand (run | show | list)");
+    match sub.as_str() {
+        "list" => {
+            for p in plans::BUILTIN {
+                println!("{p}");
+            }
+        }
+        "show" => {
+            let name = positional(args, 2, "builtin plan name");
+            let Some(plan) = plans::builtin(&name) else {
+                eprintln!(
+                    "unknown builtin plan '{name}' (one of: {})",
+                    plans::BUILTIN.join(" | ")
+                );
+                std::process::exit(1);
+            };
+            print!("{}", plan.to_json());
+        }
+        "run" => {
+            let path = positional(args, 2, "plan spec file");
+            let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                eprintln!("cannot read '{path}': {e}");
+                std::process::exit(1);
+            });
+            let mut plan = Plan::from_json(&text)
+                .unwrap_or_else(|e| die(format!("invalid plan spec '{path}': {e}")));
+            match num_flag::<usize>(flags, "jobs") {
+                Some(0) => {
+                    eprintln!("--jobs must be at least 1");
+                    std::process::exit(2);
+                }
+                Some(jobs) => plan = plan.jobs(jobs),
+                None => {}
+            }
+            let session = Session::new().with_progress(Progress::Stderr);
+            let (cfgs, benches) = plan.resolve().unwrap_or_else(die);
+            eprintln!(
+                "plan '{}': {} configurations × {} benchmarks",
+                plan.name,
+                cfgs.len(),
+                benches.len(),
+            );
+            let rs = session.run(&plan).unwrap_or_else(die);
+            let mut out = String::new();
+            if plan.reports.is_empty() {
+                out.push_str(&rs.to_csv());
+            } else {
+                let order: Vec<String> = cfgs.into_iter().map(|c| c.name).collect();
+                for r in plan.render_reports_for(&rs, &order).unwrap_or_else(die) {
+                    out.push_str(&r.text);
+                    out.push('\n');
+                }
+            }
+            match flags.get("out") {
+                Some(path) if !path.is_empty() => {
+                    std::fs::write(path, &out).expect("failed to write output");
+                    eprintln!("wrote {path}");
+                }
+                _ => print!("{out}"),
+            }
+        }
+        other => {
+            eprintln!("unknown plan subcommand '{other}' (run | show | list)");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn report_cmd(args: &[String], flags: &HashMap<String, String>) {
+    let which = positional(args, 1, "report name (steering-cross)");
+    match which.as_str() {
+        "steering-cross" => {
+            let session = session_from(flags);
+            let rs = session.run(&plans::steering_cross()).unwrap_or_else(die);
+            let matrix = experiments::steering_cross(&rs);
+            let analysis = experiments::steering_cross_analysis(&rs);
+            println!("{}", matrix.text);
+            println!("{}", analysis.text);
+        }
+        other => {
+            eprintln!("unknown report '{other}' (steering-cross)");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn serve_cmd() {
+    // Silent session progress: serve streams its own JSON progress events.
+    let session = Session::new();
+    let stdin = std::io::stdin();
+    match serve::serve(&session, stdin.lock(), std::io::stdout()) {
+        Ok(s) => eprintln!(
+            "rcmc serve: {} requests, {} plans executed",
+            s.requests, s.runs
+        ),
+        Err(e) => die(format!("serve: {e}")),
+    }
 }

@@ -19,7 +19,9 @@
 //!   steering algorithms, bus fabric, rename/issue/commit.
 //! * [`workloads`] — SPEC2000 surrogate kernel generators.
 //! * [`layout`] — §3.2 area/floorplan model.
-//! * [`sim`] — configuration presets (Tables 2–3), sweeps, reports.
+//! * [`sim`] — configuration presets (Tables 2–3) and the experiment API:
+//!   declarative `Plan`s executed by a `Session` into typed `ResultSet`s,
+//!   plus the `rcmc serve` request loop.
 
 pub use rcmc_asm as asm;
 pub use rcmc_core as core;

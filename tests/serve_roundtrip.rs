@@ -1,0 +1,113 @@
+//! End-to-end `rcmc serve` round-trip over a real piped child process: the
+//! JSON-lines protocol a long-lived external driver would speak.
+
+use std::io::{BufRead, BufReader, Write};
+use std::process::{Command, Stdio};
+
+/// Spawn `rcmc serve`, feed it `requests` (one per line), collect every
+/// response line until the process exits.
+fn serve_session(requests: &[&str]) -> Vec<String> {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_rcmc"))
+        .arg("serve")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("failed to spawn rcmc serve");
+    {
+        let mut stdin = child.stdin.take().unwrap();
+        for r in requests {
+            writeln!(stdin, "{r}").unwrap();
+        }
+        // stdin drops here: EOF ends the loop even without a shutdown op.
+    }
+    let stdout = BufReader::new(child.stdout.take().unwrap());
+    let lines: Vec<String> = stdout.lines().map(|l| l.unwrap()).collect();
+    let status = child.wait().unwrap();
+    assert!(status.success(), "rcmc serve exited with {status}");
+    lines
+}
+
+/// Minimal JSON field probe (the vendored serde lives in the library; here
+/// a substring check on compact one-line objects is enough and keeps the
+/// test independent of it).
+fn has_field(line: &str, key: &str, value: &str) -> bool {
+    line.contains(&format!("\"{key}\":{value}")) || line.contains(&format!("\"{key}\":\"{value}\""))
+}
+
+#[test]
+fn ping_run_shutdown_round_trip() {
+    let plan = r#"{"id": 42, "op": "run", "plan": {"name": "smoke", "configs": [{"topology": "ring", "clusters": 4}, {"topology": "conv", "clusters": 4}], "benches": ["swim"], "budget": {"warmup": 500, "measure": 2000}, "reports": [{"kind": "speedup", "pairs": [{"num": "Ring_4clus_1bus_2IW", "den": "Conv_4clus_1bus_2IW"}]}]}}"#;
+    let lines = serve_session(&[r#"{"id": 1, "op": "ping"}"#, plan, r#"{"op": "shutdown"}"#]);
+    assert!(
+        lines.len() >= 3,
+        "expected pong + result + bye at least, got {lines:?}"
+    );
+    // 1. pong, echoing the id and pinning the model version.
+    assert!(has_field(&lines[0], "event", "pong"), "{}", lines[0]);
+    assert!(has_field(&lines[0], "id", "1"), "{}", lines[0]);
+    assert!(lines[0].contains("\"model_version\":5"), "{}", lines[0]);
+    // 2. the run's responses all carry id 42; the last one is the result
+    //    with rows for both configs and the rendered speedup report.
+    let bye = &lines[lines.len() - 1];
+    let result = &lines[lines.len() - 2];
+    assert!(has_field(result, "event", "result"), "{result}");
+    assert!(has_field(result, "id", "42"), "{result}");
+    assert!(has_field(result, "plan", "smoke"), "{result}");
+    assert!(result.contains("Ring_4clus_1bus_2IW"), "{result}");
+    assert!(result.contains("Conv_4clus_1bus_2IW"), "{result}");
+    assert!(result.contains("\"reports\":"), "{result}");
+    for line in &lines[1..lines.len() - 2] {
+        assert!(has_field(line, "event", "progress"), "{line}");
+        assert!(has_field(line, "id", "42"), "{line}");
+    }
+    // 3. clean shutdown.
+    assert!(has_field(bye, "event", "bye"), "{bye}");
+}
+
+#[test]
+fn warm_session_memoizes_across_requests() {
+    // The same plan twice in one serve session: the second run must be
+    // satisfied from the warm session (memoized store → zero progress
+    // events when the store is writable; at minimum, identical results).
+    let plan = r#"{"id": "a", "op": "run", "plan": {"name": "warm", "configs": [{"topology": "ring", "clusters": 4}], "benches": ["gzip"], "budget": {"warmup": 500, "measure": 2000}}}"#;
+    let plan2 = plan.replace("\"id\": \"a\"", "\"id\": \"b\"");
+    let lines = serve_session(&[plan, &plan2]);
+    let results: Vec<&String> = lines
+        .iter()
+        .filter(|l| has_field(l, "event", "result"))
+        .collect();
+    assert_eq!(
+        results.len(),
+        2,
+        "both runs must produce a result: {lines:?}"
+    );
+    // Rows (and reports) must be identical; compare everything after the
+    // echoed id by slicing from the "rows" key.
+    let tail = |s: &str| s[s.find("\"rows\":").expect("result has rows")..].to_string();
+    assert_eq!(
+        tail(results[0]),
+        tail(results[1]),
+        "warm rerun changed the rows"
+    );
+    // And the second request executed no new jobs: every progress event
+    // belongs to request "a".
+    assert!(
+        !lines
+            .iter()
+            .any(|l| has_field(l, "event", "progress") && has_field(l, "id", "b")),
+        "second run re-simulated memoized pairs: {lines:?}"
+    );
+}
+
+#[test]
+fn serve_reports_errors_and_keeps_going() {
+    let lines = serve_session(&[
+        r#"{"id": 1, "op": "run", "plan": {"name": "x", "configs": [{"name": "Bogus_Config"}]}}"#,
+        r#"{"id": 2, "op": "ping"}"#,
+    ]);
+    assert_eq!(lines.len(), 2, "{lines:?}");
+    assert!(has_field(&lines[0], "event", "error"), "{}", lines[0]);
+    assert!(lines[0].contains("Bogus_Config"), "{}", lines[0]);
+    assert!(has_field(&lines[1], "event", "pong"), "{}", lines[1]);
+}
