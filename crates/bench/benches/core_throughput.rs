@@ -4,6 +4,13 @@
 //! `BENCH_core.json` at the repository root (shared with `steering_cross`)
 //! so hot-loop regressions show up in the perf trajectory PR over PR.
 //!
+//! Every row is measured twice — event-driven (the default wheel that
+//! fast-forwards dead cycles) and forced cycle-stepped — so each row
+//! carries the wheel's skip rate and its speedup over stepping every
+//! cycle. The stall-heavy long-hop row is where skipping pays most: long
+//! bus reservations leave the pipeline with nothing to do for whole
+//! windows at a time.
+//!
 //! The window is fixed (not `RCMC_INSTRS`) and the store is never consulted,
 //! so the numbers measure pure simulation work and stay comparable run to
 //! run. Traces are pre-warmed, so emulation cost is excluded. A mix of one
@@ -13,11 +20,36 @@
 use std::time::Instant;
 
 use rcmc_bench::update_bench_core;
-use rcmc_sim::config::{make, topology_name, ALL_TOPOLOGIES};
+use rcmc_core::Topology;
+use rcmc_sim::config::{make, topology_name, SimConfig, ALL_TOPOLOGIES};
 use rcmc_sim::runner::{cached_trace, Budget};
 use serde_json::Value;
 
 const BENCHES: [&str; 2] = ["gzip", "swim"];
+
+/// One measurement pass over both benchmarks: total (cycles, committed,
+/// skipped, whole-run cycles, wall seconds).
+fn run_mode(cfg: &SimConfig, budget: &Budget, event_driven: bool) -> (u64, u64, u64, u64, f64) {
+    let (mut cycles, mut committed, mut skipped, mut total) = (0u64, 0u64, 0u64, 0u64);
+    let t0 = Instant::now();
+    for b in BENCHES {
+        let trace = cached_trace(b, budget.trace_len());
+        let mut core = rcmc_core::Core::new(cfg.core.clone(), cfg.mem, cfg.pred, &trace);
+        core.set_event_driven(event_driven);
+        let s = core.run_with_warmup(budget.warmup, budget.measure);
+        cycles += s.cycles;
+        committed += s.committed;
+        skipped += core.skipped_cycles();
+        total += core.stats().cycles;
+    }
+    (
+        cycles,
+        committed,
+        skipped,
+        total,
+        t0.elapsed().as_secs_f64(),
+    )
+}
 
 fn main() {
     let budget = Budget {
@@ -28,31 +60,52 @@ fn main() {
         cached_trace(b, budget.trace_len());
     }
 
+    let mut rows: Vec<(String, SimConfig)> = ALL_TOPOLOGIES
+        .iter()
+        .map(|&t| (topology_name(t).to_string(), make(t, 8, 2, 1)))
+        .collect();
+    // Stall-heavy rows: a long hop stretches every bus reservation, so
+    // dispatch and issue spend most cycles waiting — the wheel's best case.
+    // 7 is the longest hop the 64-cycle reservation window admits on an
+    // 8-cluster segmented bus.
+    for (topo, hop) in [
+        (Topology::Conv, 4),
+        (Topology::Conv, 7),
+        (Topology::Ring, 7),
+    ] {
+        let mut cfg = make(topo, 8, 2, 1);
+        cfg.core.hop_latency = hop;
+        rows.push((format!("{}~hop{hop}", topology_name(topo)), cfg));
+    }
+    // Memory-bound row: a tiny L1D and a long miss penalty leave the
+    // pipeline with whole hundreds-of-cycles windows where nothing can
+    // retire, issue or dispatch — exactly what the wheel fast-forwards.
+    let mut slow = make(Topology::Conv, 8, 2, 1);
+    slow.mem.l1d.size = 1024;
+    slow.mem.l1d.ways = 1;
+    slow.mem.l2.size = 4 * 1024;
+    slow.mem.mem_latency = 400;
+    rows.push(("Conv~slowmem".into(), slow));
+
     println!("\nCore throughput (serial, one core, 8clus_1bus_2IW)");
     println!("---------------------------------------------------");
     let mut runs = Vec::new();
-    for topo in ALL_TOPOLOGIES {
-        let cfg = make(topo, 8, 2, 1);
-        let mut cycles = 0u64;
-        let mut committed = 0u64;
-        let t0 = Instant::now();
-        for b in BENCHES {
-            let trace = cached_trace(b, budget.trace_len());
-            let mut core = rcmc_core::Core::new(cfg.core.clone(), cfg.mem, cfg.pred, &trace);
-            let s = core.run_with_warmup(budget.warmup, budget.measure);
-            cycles += s.cycles;
-            committed += s.committed;
-        }
-        let dt = t0.elapsed().as_secs_f64();
+    for (name, cfg) in &rows {
+        let (cycles, committed, skipped, total, dt) = run_mode(cfg, &budget, true);
+        let (_, _, _, _, dt_stepped) = run_mode(cfg, &budget, false);
         let mcps = cycles as f64 / dt / 1e6;
         let mips = committed as f64 / dt / 1e6;
+        let mcps_stepped = cycles as f64 / dt_stepped / 1e6;
+        let skip_rate = skipped as f64 / total as f64;
+        let speedup = dt_stepped / dt;
         println!(
-            "{:6} {cycles:>9} cycles {committed:>7} insns {dt:>7.3} s  \
-             {mcps:>7.2} Mcycles/s {mips:>6.2} Minsns/s",
-            topology_name(topo)
+            "{name:10} {cycles:>9} cycles {committed:>7} insns {dt:>7.3} s  \
+             {mcps:>7.2} Mcycles/s {mips:>6.2} Minsns/s  \
+             skip {:>5.1}%  {speedup:>5.2}x vs stepped",
+            skip_rate * 1e2
         );
         runs.push(Value::Obj(vec![
-            ("topology".into(), Value::Str(topology_name(topo).into())),
+            ("topology".into(), Value::Str(name.clone())),
             ("cycles".into(), Value::Num(cycles as f64)),
             ("committed".into(), Value::Num(committed as f64)),
             ("wall_s".into(), Value::Num((dt * 1e3).round() / 1e3)),
@@ -63,6 +116,19 @@ fn main() {
             (
                 "minsns_per_s".into(),
                 Value::Num((mips * 1e3).round() / 1e3),
+            ),
+            ("event_driven".into(), Value::Bool(true)),
+            (
+                "skip_rate".into(),
+                Value::Num((skip_rate * 1e4).round() / 1e4),
+            ),
+            (
+                "mcycles_per_s_stepped".into(),
+                Value::Num((mcps_stepped * 1e3).round() / 1e3),
+            ),
+            (
+                "speedup_vs_stepped".into(),
+                Value::Num((speedup * 1e3).round() / 1e3),
             ),
         ]));
     }

@@ -38,6 +38,7 @@ pub mod rob;
 pub mod stats;
 pub mod steer;
 pub mod steering;
+pub mod timeq;
 pub mod value;
 
 pub use config::{CopyRelease, CoreConfig, Steering, Topology, MAX_CLUSTERS};

@@ -187,12 +187,7 @@ impl Lsq {
         }
         let mut ports_left = ports;
         // Pass 1: the oldest unknown-address store bounds eligibility.
-        let mut unknown_barrier = u64::MAX;
-        for s in &self.slab {
-            if s.live && s.is_store && !s.addr_known && s.seq < unknown_barrier {
-                unknown_barrier = s.seq;
-            }
-        }
+        let unknown_barrier = self.unknown_barrier();
         // Pass 2: collect eligible waiting loads.
         let mut cands = std::mem::take(&mut self.scratch);
         cands.clear();
@@ -247,6 +242,89 @@ impl Lsq {
             }
         }
         self.scratch = cands;
+    }
+
+    /// The oldest unknown-address store's sequence number (the conservative
+    /// disambiguation barrier), or `u64::MAX` when none.
+    fn unknown_barrier(&self) -> u64 {
+        let mut barrier = u64::MAX;
+        for s in &self.slab {
+            if s.live && s.is_store && !s.addr_known && s.seq < barrier {
+                barrier = s.seq;
+            }
+        }
+        barrier
+    }
+
+    /// Would [`Lsq::start_loads_into`]`(now, ports, ..)` start at least one
+    /// load? Read-only mirror of its eligibility rules, used by the
+    /// event-driven loop to decide whether the upcoming cycle is dead.
+    ///
+    /// Port-order detail: forwards are port-free, and if any cache-eligible
+    /// unblocked load exists the oldest one gets a port whenever `ports > 0`
+    /// — so existence doesn't depend on the seq-ordered port hand-out.
+    pub fn would_start_any(&self, now: u64, ports: u32) -> bool {
+        if self.waiting == 0 {
+            return false;
+        }
+        let barrier = self.unknown_barrier();
+        for e in &self.slab {
+            if !(e.live
+                && !e.is_store
+                && e.phase == LoadPhase::Waiting
+                && e.arrival <= now
+                && e.seq < barrier)
+            {
+                continue;
+            }
+            let mut forward_from: Option<&Entry> = None;
+            let mut best_seq = 0u64;
+            for s in &self.slab {
+                if s.live && s.is_store && s.seq < e.seq && s.addr == e.addr && s.seq >= best_seq {
+                    best_seq = s.seq;
+                    forward_from = Some(s);
+                }
+            }
+            match forward_from {
+                Some(s) => {
+                    if s.data_ready {
+                        return true;
+                    }
+                    // else: forward-blocked; the store's data arrival is a
+                    // StoreReady event, which wakes the core anyway.
+                }
+                None => {
+                    if ports > 0 {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Earliest in-transit arrival strictly after `now` among loads not
+    /// blocked by the disambiguation barrier, or `None`. Barrier-blocked
+    /// loads are deliberately excluded: the barrier only lifts when the
+    /// blocking store issues, which is a `StoreReady` event the event-driven
+    /// loop already wakes on.
+    pub fn next_arrival_after(&self, now: u64) -> Option<u64> {
+        if self.waiting == 0 {
+            return None;
+        }
+        let barrier = self.unknown_barrier();
+        let mut best: Option<u64> = None;
+        for e in &self.slab {
+            if e.live
+                && !e.is_store
+                && e.phase == LoadPhase::Waiting
+                && e.arrival > now
+                && e.seq < barrier
+            {
+                best = Some(best.map_or(e.arrival, |b| b.min(e.arrival)));
+            }
+        }
+        best
     }
 }
 
@@ -349,6 +427,54 @@ mod tests {
         l.release(a);
         assert!(l.has_space());
         assert_eq!(l.len(), 1);
+    }
+
+    #[test]
+    fn would_start_any_mirrors_start_loads() {
+        // Every eligibility rule, probed read-only before the mutating call.
+        let mut l = Lsq::new(8, 1);
+        assert!(!l.would_start_any(0, 4), "empty queue");
+        let st = l.alloc(true, 0, 10);
+        let ld = l.alloc(false, 1, 11);
+        l.load_addr_known(ld, 0x100, 0); // arrives at 1
+        assert!(!l.would_start_any(0, 4), "still in transit");
+        assert!(!l.would_start_any(5, 4), "blocked by unknown store address");
+        l.store_ready(st, 0x200);
+        assert!(l.would_start_any(5, 4), "barrier lifted, cache access");
+        assert!(!l.would_start_any(5, 0), "no ports, no cache access");
+        // A matching store makes it a port-free forward.
+        let mut l2 = Lsq::new(8, 0);
+        let st2 = l2.alloc(true, 0, 1);
+        let ld2 = l2.alloc(false, 1, 2);
+        l2.store_ready(st2, 0x40);
+        l2.load_addr_known(ld2, 0x40, 0);
+        assert!(l2.would_start_any(0, 0), "forwards need no port");
+        let mut out = Vec::new();
+        l2.start_loads_into(0, 0, &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(!l2.would_start_any(1, 4), "started load must not re-report");
+    }
+
+    #[test]
+    fn next_arrival_skips_barrier_blocked_loads() {
+        let mut l = Lsq::new(8, 5);
+        assert_eq!(l.next_arrival_after(0), None);
+        let _st = l.alloc(true, 0, 10); // address unknown: barrier at seq 10
+        let ld_blocked = l.alloc(false, 1, 11);
+        l.load_addr_known(ld_blocked, 0x8, 0); // arrives at 5, but blocked
+        assert_eq!(
+            l.next_arrival_after(0),
+            None,
+            "barrier-blocked arrivals must not wake the core"
+        );
+        let mut l2 = Lsq::new(8, 5);
+        let a = l2.alloc(false, 0, 1);
+        let b = l2.alloc(false, 1, 2);
+        l2.load_addr_known(a, 0x8, 10); // arrives 15
+        l2.load_addr_known(b, 0x10, 3); // arrives 8
+        assert_eq!(l2.next_arrival_after(4), Some(8), "earliest future arrival");
+        assert_eq!(l2.next_arrival_after(8), Some(15), "strictly-after filter");
+        assert_eq!(l2.next_arrival_after(20), None);
     }
 
     #[test]

@@ -28,6 +28,14 @@
 //! earlier than the next cycle; because events run before issue, dependent
 //! instructions in adjacent ring clusters issue back-to-back (§3.2's
 //! headline property).
+//!
+//! The run loop is event-driven: after each simulated cycle, if no stage
+//! can make progress, [`Core::run`] fast-forwards straight to the next
+//! scheduled event (or fabric-slot expiry, load arrival, decode timer, or
+//! dispatch-retry success) instead of ticking dead cycles one by one. The
+//! skip replicates each dead cycle's counter effects, so all statistics are
+//! bit-identical to a cycle-stepped run — `set_event_driven(false)` is the
+//! escape hatch that forces the stepped loop for differential testing.
 
 use std::collections::VecDeque;
 
@@ -35,7 +43,7 @@ use rcmc_emu::DynInsn;
 use rcmc_isa::{FuKind, InsnClass, Opcode, Reg, NUM_ARCH_REGS};
 use rcmc_uarch::{FrontEndPredictor, MemConfig, MemHierarchy, PredictorConfig};
 
-use crate::config::{CopyRelease, CoreConfig};
+use crate::config::{CopyRelease, CoreConfig, MAX_CLUSTERS};
 use crate::fu::FuSet;
 use crate::interconnect::{self, Interconnect};
 use crate::lsq::{LoadKind, Lsq, NO_LSQ};
@@ -43,7 +51,9 @@ use crate::pipeview::PipeTracer;
 use crate::queues::{CommOp, CommQueue, IqEntry, IssueQueue};
 use crate::rob::{Rob, RobEntry};
 use crate::stats::Stats;
+use crate::steer::Steered;
 use crate::steering::{self, SteerCtx, SteeringPolicy};
+use crate::timeq::TimeQueue;
 use crate::value::{CopyState, ValueId, ValueTable};
 
 const WHEEL: usize = crate::config::EVENT_WHEEL;
@@ -68,6 +78,35 @@ struct Fetched {
     trace_idx: u32,
     /// Cycle at which decode/rename is finished and dispatch may proceed.
     avail: u64,
+}
+
+/// Dispatch stall causes, in check order (mirrors `StallBreakdown`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum StallKind {
+    Iq,
+    Lsq,
+    Regs,
+    Comm,
+}
+
+/// What the dispatch stage would do next cycle, probed against frozen state
+/// by the idle-skip analysis.
+enum DispatchIdle {
+    /// No dispatch attempt is pending (empty fetch queue, or the front entry
+    /// is still in decode — the caller bounds the skip on its `avail`).
+    NoAttempt,
+    /// ROB full: every skipped cycle charges `rob_full`; steering never runs.
+    RobFull,
+    /// The front instruction would dispatch — the next cycle is live.
+    Dispatches,
+    /// The policy's retry behaviour is unknown; skipping is disabled.
+    Unknown,
+    /// Stalled: skipped cycle `now + j` replays `outcomes[j % period]`
+    /// (`None` entries mean dispatch succeeds on that phase).
+    Stalled {
+        outcomes: [Option<StallKind>; MAX_CLUSTERS],
+        period: usize,
+    },
 }
 
 /// The simulated core. Construct with [`Core::new`], drive with
@@ -103,17 +142,23 @@ pub struct Core<'t> {
     lsq: Lsq,
     store_buf: VecDeque<u64>,
 
-    wheel: Vec<Vec<Ev>>,
+    wheel: TimeQueue<Ev>,
     now: u64,
     last_commit: u64,
     halted: bool,
     stats: Stats,
+    /// Fast-forward over provably dead cycles (bit-identical counters either
+    /// way; `set_event_driven(false)` forces cycle-by-cycle ticks).
+    event_driven: bool,
+    /// Cycles fast-forwarded rather than individually simulated.
+    skipped_cycles: u64,
 
     // Scratch buffers reused across cycles.
     scratch_ready: Vec<usize>,
     scratch_remove: Vec<usize>,
     scratch_comm: Vec<usize>,
     scratch_loads: Vec<crate::lsq::StartedLoad>,
+    scratch_events: Vec<Ev>,
 
     tracer: Option<PipeTracer>,
 }
@@ -155,17 +200,20 @@ impl<'t> Core<'t> {
             values,
             policy: steering::build(&cfg),
             seq: 0,
-            wheel: (0..WHEEL).map(|_| Vec::new()).collect(),
+            wheel: TimeQueue::new(WHEEL),
             now: 0,
             last_commit: 0,
             halted: false,
             stats: Stats::default(),
+            event_driven: true,
+            skipped_cycles: 0,
             trace,
             cfg,
             scratch_ready: Vec::new(),
             scratch_remove: Vec::new(),
             scratch_comm: Vec::new(),
             scratch_loads: Vec::new(),
+            scratch_events: Vec::new(),
             tracer: None,
         }
     }
@@ -209,21 +257,43 @@ impl<'t> Core<'t> {
         &self.cfg
     }
 
+    /// Enable or disable event-driven fast-forwarding (on by default).
+    /// Counters are bit-identical either way; disabling forces the run loop
+    /// to simulate every cycle individually.
+    pub fn set_event_driven(&mut self, on: bool) {
+        self.event_driven = on;
+    }
+
+    /// Cycles fast-forwarded (never individually simulated). Always ≤
+    /// `stats().cycles`; the ratio of the two is the wheel's skip rate.
+    pub fn skipped_cycles(&self) -> u64 {
+        self.skipped_cycles
+    }
+
     fn schedule(&mut self, delay: u64, ev: Ev) {
-        debug_assert!(delay > 0 && (delay as usize) < WHEEL);
-        let slot = ((self.now + delay) as usize) % WHEEL;
-        self.wheel[slot].push(ev);
+        self.wheel.schedule(self.now, delay, ev);
+    }
+
+    /// True when the trace is exhausted and the machine has fully drained.
+    fn drained(&self) -> bool {
+        self.fetch_idx >= self.trace.len() && self.fetch_q.is_empty() && self.rob.is_empty()
     }
 
     /// Run until `budget` instructions have committed, the program halts, or
     /// the trace drains. Returns the stats.
     pub fn run(&mut self, budget: u64) -> &Stats {
         while !self.halted && self.stats.committed < budget {
-            if self.fetch_idx >= self.trace.len() && self.fetch_q.is_empty() && self.rob.is_empty()
-            {
+            if self.drained() {
                 break;
             }
             self.tick();
+            // Fast-forward only between in-budget ticks: stopping exactly at
+            // the budget/halt/drain boundary keeps cycle attribution across
+            // warm-up and measurement windows identical to a stepped run.
+            if self.event_driven && !self.halted && self.stats.committed < budget && !self.drained()
+            {
+                self.fast_forward_idle();
+            }
         }
         self.sync_external_stats();
         &self.stats
@@ -271,8 +341,8 @@ impl<'t> Core<'t> {
     // ---------------------------------------------------------- events --
 
     fn process_events(&mut self) {
-        let slot = (self.now as usize) % WHEEL;
-        let evs = std::mem::take(&mut self.wheel[slot]);
+        let mut evs = std::mem::take(&mut self.scratch_events);
+        self.wheel.swap_due(self.now, &mut evs);
         for ev in &evs {
             match *ev {
                 Ev::CopyReady { value, cluster } => {
@@ -310,9 +380,10 @@ impl<'t> Core<'t> {
                 }
             }
         }
-        // Return the (now empty) buffer to the wheel to reuse its capacity.
-        self.wheel[slot] = evs;
-        self.wheel[slot].clear();
+        // Keep the drained buffer as scratch: the next swap hands it back to
+        // a wheel bucket, so steady state allocates nothing.
+        evs.clear();
+        self.scratch_events = evs;
     }
 
     fn maybe_unstall_fetch(&mut self, rob: u32) {
@@ -455,7 +526,15 @@ impl<'t> Core<'t> {
                 );
                 self.stats.comms_issued += 1;
                 self.stats.comm_distance += g.distance as u64;
-                self.stats.comm_bus_wait += self.now.saturating_sub(op.ready_cycle);
+                // A comm can never issue before it became ready; a violation
+                // means the event wheel delivered a wakeup out of order.
+                debug_assert!(
+                    self.now >= op.ready_cycle,
+                    "comm issued at {} before ready_cycle {}",
+                    self.now,
+                    op.ready_cycle
+                );
+                self.stats.comm_bus_wait += self.now - op.ready_cycle;
                 // The comm has read its source copy.
                 let release = self.cfg.copy_release == CopyRelease::OnLastRead;
                 self.values.reader_done(op.value, op.from as usize, release);
@@ -645,68 +724,16 @@ impl<'t> Core<'t> {
             values: &self.values,
             srcs: &srcs_buf[..n_srcs],
         });
+        let dest = insn.dest();
+
+        // ---- resource checks (all-or-nothing) ----
+        if let Some(kind) = self.dispatch_stall_reason(class, dest, &steered) {
+            self.bump_stall(kind, 1);
+            return false;
+        }
         let c = steered.cluster;
         let comms = steered.comms.as_slice();
         let dest_cluster = self.cfg.dest_cluster(c);
-
-        // ---- resource checks (all-or-nothing) ----
-        let q_space = if class.is_int_pipe() {
-            self.iq_int[c].has_space()
-        } else {
-            self.iq_fp[c].has_space()
-        };
-        if !q_space {
-            self.stats.stalls.iq_full += 1;
-            return false;
-        }
-        if class.is_mem() && !self.lsq.has_space() {
-            self.stats.stalls.lsq_full += 1;
-            return false;
-        }
-        // Register demand: destination in dest_cluster, copies in c.
-        let mut need_int = [0i32; 2]; // [dest_cluster demand, c demand]
-        let mut need_fp = [0i32; 2];
-        let dest = insn.dest();
-        if let Some(dr) = dest {
-            if dr.is_fp() {
-                need_fp[0] += 1;
-            } else {
-                need_int[0] += 1;
-            }
-        }
-        for cm in comms {
-            if self.values.is_fp(cm.value) {
-                need_fp[1] += 1;
-            } else {
-                need_int[1] += 1;
-            }
-        }
-        let (int_ok, fp_ok) = if dest_cluster == c {
-            (
-                self.values.free_regs(c, false) >= need_int[0] + need_int[1],
-                self.values.free_regs(c, true) >= need_fp[0] + need_fp[1],
-            )
-        } else {
-            (
-                self.values.free_regs(dest_cluster, false) >= need_int[0]
-                    && self.values.free_regs(c, false) >= need_int[1],
-                self.values.free_regs(dest_cluster, true) >= need_fp[0]
-                    && self.values.free_regs(c, true) >= need_fp[1],
-            )
-        };
-        if !int_ok || !fp_ok {
-            self.stats.stalls.regs_full += 1;
-            return false;
-        }
-        // Communication queue space at each source cluster (two comms may
-        // share a source cluster, so count cumulatively).
-        for (i, cm) in comms.iter().enumerate() {
-            let needed_here = comms[..=i].iter().filter(|x| x.from == cm.from).count();
-            if !self.iq_comm[cm.from as usize].has_space_for(needed_here) {
-                self.stats.stalls.comm_full += 1;
-                return false;
-            }
-        }
 
         // ---- allocate ----
         self.seq += 1;
@@ -788,6 +815,257 @@ impl<'t> Core<'t> {
             r.comms = n_comms;
         });
         true
+    }
+
+    /// Would dispatching `class`/`dest` into `steered` stall, and on what?
+    /// Pure: the single source of truth for the dispatch resource checks,
+    /// used both by `try_dispatch_one` and by the idle-skip probe (which
+    /// must predict stall charges without mutating anything).
+    fn dispatch_stall_reason(
+        &self,
+        class: InsnClass,
+        dest: Option<Reg>,
+        steered: &Steered,
+    ) -> Option<StallKind> {
+        let c = steered.cluster;
+        let comms = steered.comms.as_slice();
+        let dest_cluster = self.cfg.dest_cluster(c);
+        let q_space = if class.is_int_pipe() {
+            self.iq_int[c].has_space()
+        } else {
+            self.iq_fp[c].has_space()
+        };
+        if !q_space {
+            return Some(StallKind::Iq);
+        }
+        if class.is_mem() && !self.lsq.has_space() {
+            return Some(StallKind::Lsq);
+        }
+        // Register demand: destination in dest_cluster, copies in c.
+        let mut need_int = [0i32; 2]; // [dest_cluster demand, c demand]
+        let mut need_fp = [0i32; 2];
+        if let Some(dr) = dest {
+            if dr.is_fp() {
+                need_fp[0] += 1;
+            } else {
+                need_int[0] += 1;
+            }
+        }
+        for cm in comms {
+            if self.values.is_fp(cm.value) {
+                need_fp[1] += 1;
+            } else {
+                need_int[1] += 1;
+            }
+        }
+        let (int_ok, fp_ok) = if dest_cluster == c {
+            (
+                self.values.free_regs(c, false) >= need_int[0] + need_int[1],
+                self.values.free_regs(c, true) >= need_fp[0] + need_fp[1],
+            )
+        } else {
+            (
+                self.values.free_regs(dest_cluster, false) >= need_int[0]
+                    && self.values.free_regs(c, false) >= need_int[1],
+                self.values.free_regs(dest_cluster, true) >= need_fp[0]
+                    && self.values.free_regs(c, true) >= need_fp[1],
+            )
+        };
+        if !int_ok || !fp_ok {
+            return Some(StallKind::Regs);
+        }
+        // Communication queue space at each source cluster (two comms may
+        // share a source cluster, so count cumulatively).
+        for (i, cm) in comms.iter().enumerate() {
+            let needed_here = comms[..=i].iter().filter(|x| x.from == cm.from).count();
+            if !self.iq_comm[cm.from as usize].has_space_for(needed_here) {
+                return Some(StallKind::Comm);
+            }
+        }
+        None
+    }
+
+    fn bump_stall(&mut self, kind: StallKind, times: u64) {
+        match kind {
+            StallKind::Iq => self.stats.stalls.iq_full += times,
+            StallKind::Lsq => self.stats.stalls.lsq_full += times,
+            StallKind::Regs => self.stats.stalls.regs_full += times,
+            StallKind::Comm => self.stats.stalls.comm_full += times,
+        }
+    }
+
+    // ------------------------------------------------- event-driven skip --
+
+    /// Advance `now` directly to the next cycle with work, replicating the
+    /// (empty) per-cycle effects of every skipped cycle so counters stay
+    /// bit-identical to a cycle-stepped run.
+    ///
+    /// Skipping is purely an optimization: every cycle actually simulated is
+    /// ticked exactly as before, so any bail-out here is safe, and every
+    /// wake bound may be conservative (early) but never late. A cycle with
+    /// no fired events, no committable head, no startable load, no ready
+    /// instruction or grantable comm, no fetch progress, and a dispatch
+    /// stage that only re-charges the same stall is dead: the only state
+    /// that moves is a rotating steering tie-break, which `retry_advance`
+    /// replays in O(1).
+    fn fast_forward_idle(&mut self) {
+        // Anything able to act on the upcoming cycle disqualifies the skip.
+        if self.rob.head().is_some_and(|h| h.done) {
+            return;
+        }
+        if !self.store_buf.is_empty() {
+            return;
+        }
+        let n = self.cfg.n_clusters;
+        for c in 0..n {
+            if self.iq_int[c].ready_count() != 0 || self.iq_fp[c].ready_count() != 0 {
+                return;
+            }
+        }
+        let ports = self.mem.cfg.dcache_ports;
+        if self.lsq.would_start_any(self.now, ports) {
+            return;
+        }
+        let can_fetch = self.fetch_stalled_on.is_none()
+            && self.fetch_idx < self.trace.len()
+            && self.fetch_q.len() < self.cfg.fetch_queue;
+        if can_fetch && self.fetch_resume <= self.now {
+            return;
+        }
+
+        // Quiescent. Every future state change is a wheel event, a fabric
+        // slot freeing, a load arriving at the LSQ, a decode/fetch timer
+        // expiring, or a dispatch retry replayable against frozen state.
+        // The watchdog caps the skip so it still fires on the exact cycle a
+        // stepped run would panic on.
+        let mut wake = self.last_commit + self.cfg.watchdog_cycles - 1;
+
+        match self.wheel.next_due_offset(self.now) {
+            Some(0) => return, // events fire on the upcoming cycle
+            Some(d) => wake = wake.min(self.now + d),
+            None => {}
+        }
+
+        // Ready communications retry the fabric every cycle; ask it when
+        // the first attempt could succeed (0 = immediately, or unknown).
+        for c in 0..n {
+            let q = &self.iq_comm[c];
+            if q.ready_count() == 0 {
+                continue;
+            }
+            for i in 0..q.len() {
+                let op = q.get(i);
+                if !op.ready {
+                    continue;
+                }
+                let d = self.fabric.earliest_retry(op.from as usize, op.to as usize);
+                if d == 0 {
+                    return;
+                }
+                wake = wake.min(self.now + d);
+            }
+        }
+
+        if let Some(t) = self.lsq.next_arrival_after(self.now) {
+            wake = wake.min(t);
+        }
+
+        if can_fetch {
+            // fetch_resume > now was established above.
+            wake = wake.min(self.fetch_resume);
+        }
+
+        // Dispatch: if a decoded instruction waits at the queue head, probe
+        // the steering policy over one full retry period of the frozen
+        // state. Skipped cycle `now + j` replays probe slot `j % period`.
+        let mut probe = DispatchIdle::NoAttempt;
+        if let Some(&f) = self.fetch_q.front() {
+            if f.avail > self.now {
+                wake = wake.min(f.avail);
+            } else {
+                probe = self.probe_dispatch(f.trace_idx);
+                match &probe {
+                    DispatchIdle::Dispatches | DispatchIdle::Unknown => return,
+                    DispatchIdle::Stalled { outcomes, period } => {
+                        if let Some(j) = outcomes[..*period].iter().position(|o| o.is_none()) {
+                            if j == 0 {
+                                return; // dispatches on the upcoming cycle
+                            }
+                            wake = wake.min(self.now + j as u64);
+                        }
+                    }
+                    DispatchIdle::RobFull | DispatchIdle::NoAttempt => {}
+                }
+            }
+        }
+
+        if wake <= self.now {
+            return;
+        }
+        let skipped = wake - self.now;
+
+        // Replicate the per-cycle effects of the skipped dead cycles. In a
+        // quiet region only dispatch-stall counters and the steering
+        // tie-break rotation can move; everything else is frozen.
+        match probe {
+            DispatchIdle::RobFull => self.stats.stalls.rob_full += skipped,
+            DispatchIdle::Stalled { outcomes, period } => {
+                let full = skipped / period as u64;
+                let rem = (skipped % period as u64) as usize;
+                for (j, o) in outcomes[..period].iter().enumerate() {
+                    let times = full + u64::from(j < rem);
+                    if times > 0 {
+                        let kind = o.expect("skip extends past a dispatch success");
+                        self.bump_stall(kind, times);
+                    }
+                }
+                self.policy.retry_advance(rem, n);
+            }
+            _ => {}
+        }
+        self.fabric.advance(skipped);
+        self.stats.cycles += skipped;
+        self.skipped_cycles += skipped;
+        self.now = wake;
+    }
+
+    /// Probe what the dispatch stage would do with the queue-front
+    /// instruction, cycling the steering policy through exactly one retry
+    /// period so rotating tie-breaks end back at their starting phase (the
+    /// `retry_period` contract makes the probe side-effect-free).
+    fn probe_dispatch(&mut self, trace_idx: u32) -> DispatchIdle {
+        if !self.rob.has_space() {
+            return DispatchIdle::RobFull;
+        }
+        let insn = self.trace[trace_idx as usize].insn;
+        let class = insn.class();
+        if matches!(class, InsnClass::Nop | InsnClass::Halt) {
+            return DispatchIdle::Dispatches;
+        }
+        let src_slots: [Option<Reg>; 2] = insn.sources();
+        let mut srcs_buf = [0 as ValueId; 2];
+        let mut n_srcs = 0usize;
+        for r in src_slots.into_iter().flatten() {
+            if !r.is_zero() {
+                srcs_buf[n_srcs] = self.rename[r.unified()];
+                n_srcs += 1;
+            }
+        }
+        let period = self.policy.retry_period(n_srcs, self.cfg.n_clusters);
+        if period == 0 || period > MAX_CLUSTERS {
+            return DispatchIdle::Unknown;
+        }
+        let dest = insn.dest();
+        let mut outcomes: [Option<StallKind>; MAX_CLUSTERS] = [None; MAX_CLUSTERS];
+        for slot in outcomes.iter_mut().take(period) {
+            let steered = self.policy.steer(&SteerCtx {
+                cfg: &self.cfg,
+                values: &self.values,
+                srcs: &srcs_buf[..n_srcs],
+            });
+            *slot = self.dispatch_stall_reason(class, dest, &steered);
+        }
+        DispatchIdle::Stalled { outcomes, period }
     }
 
     // ----------------------------------------------------------- fetch --

@@ -23,7 +23,7 @@ pub struct StallBreakdown {
 
 /// Counters accumulated while the core runs. All figure metrics derive from
 /// these; see the `ratio` helpers.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct Stats {
     /// Elapsed cycles.
     pub cycles: u64,

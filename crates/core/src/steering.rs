@@ -80,6 +80,29 @@ pub trait SteeringPolicy: Send {
     fn issued(&mut self, cluster: usize) {
         let _ = cluster;
     }
+
+    /// Retry periodicity for the event-driven loop: when the same stalled
+    /// instruction is re-steered every cycle against *frozen* machine state,
+    /// after how many `steer` calls does the sequence of placements repeat
+    /// (and the policy's internal retry state return to its start)?
+    ///
+    /// Return 1 for policies whose `steer` is pure under frozen context,
+    /// `n_clusters` for a rotating tie-break that advances once per call, or
+    /// 0 for "unknown" — always safe, it just disables skipping over
+    /// dispatch-stalled cycles. `n_srcs` is the stalled instruction's live
+    /// source-operand count (rotation often only applies to the 0-source
+    /// case).
+    fn retry_period(&self, n_srcs: usize, n_clusters: usize) -> usize {
+        let _ = (n_srcs, n_clusters);
+        0
+    }
+
+    /// Replay `k` same-state `steer` calls in O(1): advance rotating retry
+    /// state exactly as `k` consecutive (stalled) steers would have. Only
+    /// called with `k < retry_period(..)`; pure policies need not override.
+    fn retry_advance(&mut self, k: usize, n_clusters: usize) {
+        let _ = (k, n_clusters);
+    }
 }
 
 /// Build the steering policy the configuration asks for.
@@ -235,6 +258,17 @@ impl SteeringPolicy for RingDep {
         }
         ctx.finish(self.pick_most_free(cfg, values, &cand))
     }
+
+    /// `pick_most_free` advances the rotating pointer on every call, so the
+    /// placement sequence under frozen state has period `n_clusters`
+    /// regardless of operand count.
+    fn retry_period(&self, _n_srcs: usize, n_clusters: usize) -> usize {
+        n_clusters
+    }
+
+    fn retry_advance(&mut self, k: usize, n_clusters: usize) {
+        self.rr = (self.rr + k) % n_clusters;
+    }
 }
 
 impl Default for RingDep {
@@ -329,6 +363,11 @@ impl SteeringPolicy for ConvDcount {
     fn issued(&mut self, cluster: usize) {
         self.dcount.issued(cluster);
     }
+
+    /// `steer` reads only DCOUNT/value state, which a dead cycle freezes.
+    fn retry_period(&self, _n_srcs: usize, _n_clusters: usize) -> usize {
+        1
+    }
 }
 
 /// §4.7 simple steering: home cluster of the leftmost operand, round-robin
@@ -359,6 +398,20 @@ impl SteeringPolicy for Ssa {
             c
         };
         ctx.finish(cluster)
+    }
+
+    /// Round-robin rotation only applies to operand-less instructions; with
+    /// sources the placement is a pure function of the value table.
+    fn retry_period(&self, n_srcs: usize, n_clusters: usize) -> usize {
+        if n_srcs == 0 {
+            n_clusters
+        } else {
+            1
+        }
+    }
+
+    fn retry_advance(&mut self, k: usize, n_clusters: usize) {
+        self.rr = (self.rr + k) % n_clusters;
     }
 }
 
@@ -630,6 +683,50 @@ mod tests {
                 steer(&mut b, &cfg, &values, &[]).cluster
             );
         }
+    }
+
+    #[test]
+    fn retry_period_and_advance_replay_stalled_steers() {
+        // Contract for the event-driven loop: `retry_period` same-state
+        // steer calls return the policy to its starting phase, and
+        // `retry_advance(k)` is equivalent to `k` discarded steers.
+        let cfg = ring4();
+        let values = ValueTable::new(4, 64, 64);
+
+        let mut p = RingDep::new();
+        assert_eq!(SteeringPolicy::retry_period(&p, 0, 4), 4);
+        assert_eq!(SteeringPolicy::retry_period(&p, 2, 4), 4);
+        let first = steer(&mut p, &cfg, &values, &[]).cluster;
+        for _ in 0..3 {
+            steer(&mut p, &cfg, &values, &[]);
+        }
+        assert_eq!(
+            steer(&mut p, &cfg, &values, &[]).cluster,
+            first,
+            "a full period of steers must close the rotation"
+        );
+
+        let mut a = RingDep::new();
+        let mut b = RingDep::new();
+        for _ in 0..3 {
+            steer(&mut a, &cfg, &values, &[]);
+        }
+        SteeringPolicy::retry_advance(&mut b, 3, 4);
+        assert_eq!(
+            steer(&mut a, &cfg, &values, &[]).cluster,
+            steer(&mut b, &cfg, &values, &[]).cluster,
+            "retry_advance(3) must equal three discarded steers"
+        );
+
+        let ssa = Ssa::new();
+        assert_eq!(SteeringPolicy::retry_period(&ssa, 0, 4), 4);
+        assert_eq!(
+            SteeringPolicy::retry_period(&ssa, 1, 4),
+            1,
+            "with operands Ssa is pure"
+        );
+        let cd = ConvDcount::new(4);
+        assert_eq!(SteeringPolicy::retry_period(&cd, 0, 4), 1);
     }
 
     #[test]

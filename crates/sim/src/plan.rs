@@ -736,7 +736,14 @@ impl Plan {
                     }
                     plan.budget = Some(b);
                 }
-                "jobs" => plan.jobs = Some(uint_field(v, k)? as usize),
+                "jobs" => {
+                    // Hard parse error, not deferred to resolve(): a spec
+                    // asking for zero workers is always a mistake.
+                    plan.jobs = match uint_field(v, k)? {
+                        0 => return Err("'jobs' must be at least 1".to_string()),
+                        n => Some(n as usize),
+                    };
+                }
                 "reports" => {
                     let Value::Arr(items) = v else {
                         return Err("'reports' must be an array".to_string());
@@ -855,6 +862,15 @@ mod tests {
         let bad_budget =
             r#"{"name": "x", "configs": [{"group": "table3"}], "budget": {"measure": -5}}"#;
         assert!(Plan::from_json(bad_budget).is_err());
+    }
+
+    #[test]
+    fn zero_jobs_is_a_hard_parse_error() {
+        let spec = r#"{"name": "x", "configs": [{"group": "table3"}], "jobs": 0}"#;
+        assert!(Plan::from_json(spec).unwrap_err().contains("jobs"));
+        // Positive counts still parse.
+        let ok = r#"{"name": "x", "configs": [{"group": "table3"}], "jobs": 3}"#;
+        assert_eq!(Plan::from_json(ok).unwrap().jobs, Some(3));
     }
 
     #[test]

@@ -267,7 +267,10 @@ impl ResultStore {
 
 /// Progress of one sweep, reported after each executed (non-memoized) job.
 /// Callbacks are serialized: `finished` is strictly increasing, so the
-/// `finished == total` event is always the last one delivered.
+/// `finished == total` event is always the last one delivered. A sweep
+/// satisfied entirely from the store delivers exactly one event with
+/// `total == 0` (and empty `config`/`bench`) so consumers still observe
+/// completion.
 #[derive(Clone, Copy, Debug)]
 pub struct SweepProgress<'a> {
     /// Jobs finished so far (including this one).
@@ -289,29 +292,56 @@ pub struct SweepProgress<'a> {
 
 impl SweepProgress<'_> {
     /// Seconds left at the observed per-job rate (executed jobs only —
-    /// memoized pairs cost nothing and would skew the rate).
+    /// memoized pairs cost nothing and would skew the rate). Always finite:
+    /// with nothing executed yet — or nothing left, including the
+    /// all-memoized sweep's `total == 0` terminal event, where the naive
+    /// `elapsed / finished` ratio is 0/0 — there is no rate to extrapolate
+    /// and the answer is 0.
     pub fn eta_s(&self) -> f64 {
-        if self.finished == 0 {
+        if self.finished == 0 || self.total <= self.finished {
             return 0.0;
         }
-        self.elapsed_s / self.finished as f64 * (self.total - self.finished) as f64
+        let eta = self.elapsed_s / self.finished as f64 * (self.total - self.finished) as f64;
+        if eta.is_finite() {
+            eta
+        } else {
+            0.0
+        }
     }
 
     /// Standard stderr status line: rewritten in place per job, completed
     /// with a newline after the last one (shared by the CLI and examples).
     /// Counts fold memoized hits in, so the fraction is overall sweep
-    /// completion; the ETA covers the remaining executed jobs.
+    /// completion; the ETA covers the remaining executed jobs. A sweep that
+    /// executed nothing (every pair memoized, `total == 0`) renders `done`
+    /// rather than a garbage ETA.
     pub fn eprint_status(&self) {
-        eprint!(
-            "\r  [{}/{}] {} × {}  (ETA {:.0}s)              ",
-            self.finished + self.memoized,
-            self.total + self.memoized,
-            self.config,
-            self.bench,
-            self.eta_s()
-        );
-        if self.finished == self.total {
+        if self.total == 0 {
+            eprintln!(
+                "\r  [{n}/{n}] all pairs memoized  (done)              ",
+                n = self.memoized
+            );
+            return;
+        }
+        let done = self.finished >= self.total;
+        if done {
+            eprint!(
+                "\r  [{}/{}] {} × {}  (done)              ",
+                self.finished + self.memoized,
+                self.total + self.memoized,
+                self.config,
+                self.bench,
+            );
             eprintln!();
+        } else {
+            eprint!(
+                "\r  [{}/{}] {} × {}  (ETA {:.0}s)              ",
+                self.finished + self.memoized,
+                self.total + self.memoized,
+                self.config,
+                self.bench,
+                self.eta_s()
+            );
         }
     }
 }
@@ -407,6 +437,19 @@ pub(crate) fn sweep_on(
         }
     }
     if todo.is_empty() {
+        // Every pair was memoized: deliver one terminal event anyway so
+        // status consumers render completion instead of staying silent.
+        // `total == 0` is the marker that nothing was executed.
+        if let Some(cb) = on_progress {
+            cb(&SweepProgress {
+                finished: 0,
+                total: 0,
+                memoized: out.len(),
+                elapsed_s: 0.0,
+                config: "",
+                bench: "",
+            });
+        }
         return out;
     }
     let memoized = out.len();
@@ -638,6 +681,64 @@ mod tests {
         let a = run_pair(&cfg, "mcf", &tiny_budget(), &store);
         let b = run_pair(&cfg, "mcf", &tiny_budget(), &store);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn eta_is_finite_even_when_nothing_executed() {
+        // The all-memoized sweep's terminal event: executed == 0, so the
+        // naive elapsed/finished extrapolation would be 0/0 = NaN.
+        let done = SweepProgress {
+            finished: 0,
+            total: 0,
+            memoized: 7,
+            elapsed_s: 0.0,
+            config: "",
+            bench: "",
+        };
+        assert_eq!(done.eta_s(), 0.0);
+        // A mid-sweep event still extrapolates at the observed rate.
+        let mid = SweepProgress {
+            finished: 2,
+            total: 4,
+            memoized: 3,
+            elapsed_s: 6.0,
+            config: "c",
+            bench: "b",
+        };
+        assert!((mid.eta_s() - 6.0).abs() < 1e-12, "eta {}", mid.eta_s());
+        // The final per-job event has nothing left to estimate.
+        let last = SweepProgress { finished: 4, ..mid };
+        assert_eq!(last.eta_s(), 0.0);
+    }
+
+    #[test]
+    fn all_memoized_sweep_still_reports_completion() {
+        let dir = std::env::temp_dir().join(format!("rcmc-memo-{}", std::process::id()));
+        let store = ResultStore::at(dir.clone());
+        let pool = rayon::ThreadPool::new(2);
+        let budget = tiny_budget();
+        let cfgs = [make(Topology::Ring, 4, 2, 1)];
+        let events = std::sync::Mutex::new(Vec::<(usize, usize, usize)>::new());
+        let cb = |p: &SweepProgress<'_>| {
+            assert!(p.eta_s().is_finite(), "ETA must never be NaN/inf");
+            events
+                .lock()
+                .unwrap()
+                .push((p.finished, p.total, p.memoized));
+        };
+        sweep_on(&cfgs, &["gzip"], &budget, &store, &pool, Some(&cb));
+        let cold = std::mem::take(&mut *events.lock().unwrap());
+        assert_eq!(
+            cold.last(),
+            Some(&(1, 1, 0)),
+            "cold sweep must execute the pair: {cold:?}"
+        );
+        // Warm rerun: every pair memoized. Exactly one terminal event with
+        // `total == 0` so consumers still observe completion.
+        sweep_on(&cfgs, &["gzip"], &budget, &store, &pool, Some(&cb));
+        let warm = events.lock().unwrap().clone();
+        assert_eq!(warm, vec![(0, 0, 1)], "warm sweep events");
+        let _ = std::fs::remove_dir_all(dir);
     }
 
     #[test]

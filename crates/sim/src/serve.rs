@@ -19,8 +19,10 @@
 //!
 //! Responses carry an `"event"` discriminator: `pong`, `listing`,
 //! `progress` (streamed per executed job), `result` (rows + rendered
-//! reports), `error`, `bye`. Unknown input never kills the loop — it
-//! answers with an `error` event and keeps reading.
+//! reports), `error`, `bye`. Bad input never kills the loop — malformed
+//! JSON, non-UTF-8 bytes and over-long lines (see [`MAX_REQUEST_LINE`])
+//! all get an `error` event and the loop keeps reading; only a real I/O
+//! error on the input tears the session down.
 
 use std::io::{BufRead, Write};
 use std::sync::Mutex;
@@ -198,18 +200,104 @@ fn listing_event(id: &Value) -> Value {
     )
 }
 
+/// Longest accepted request line in bytes (newline excluded). Longer lines
+/// are drained — never buffered whole — and answered with an `error`
+/// event, so one runaway writer cannot balloon the process or end the
+/// session.
+pub const MAX_REQUEST_LINE: usize = 1 << 20;
+
+/// One request line read from the input.
+enum Line {
+    /// A complete line (newline stripped) within the cap.
+    Full(Vec<u8>),
+    /// The line exceeded [`MAX_REQUEST_LINE`] and was drained.
+    TooLong,
+    /// End of input.
+    Eof,
+}
+
+/// Read one newline-terminated line of at most [`MAX_REQUEST_LINE`] bytes.
+/// Over-long lines are consumed chunk by chunk without retaining them.
+/// A final unterminated line still counts as a line.
+fn read_line_capped<R: BufRead>(input: &mut R) -> std::io::Result<Line> {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut over = false;
+    loop {
+        let chunk = input.fill_buf()?;
+        if chunk.is_empty() {
+            return Ok(match (over, buf.is_empty()) {
+                (true, _) => Line::TooLong,
+                (false, true) => Line::Eof,
+                (false, false) => Line::Full(buf),
+            });
+        }
+        if let Some(nl) = chunk.iter().position(|&b| b == b'\n') {
+            if over || buf.len() + nl > MAX_REQUEST_LINE {
+                over = true;
+            } else {
+                buf.extend_from_slice(&chunk[..nl]);
+            }
+            input.consume(nl + 1);
+            return Ok(if over { Line::TooLong } else { Line::Full(buf) });
+        }
+        let n = chunk.len();
+        if over || buf.len() + n > MAX_REQUEST_LINE {
+            over = true;
+            buf = Vec::new();
+        } else {
+            buf.extend_from_slice(chunk);
+        }
+        input.consume(n);
+    }
+}
+
 /// Run the serve loop: read JSON-lines requests from `input`, stream
 /// responses to `output`, sharing `session` across requests, until EOF or
 /// a `shutdown` request.
 pub fn serve<R: BufRead, W: Write + Send>(
     session: &Session,
-    input: R,
+    mut input: R,
     output: W,
 ) -> std::io::Result<ServeSummary> {
     let out = Mutex::new(output);
     let mut summary = ServeSummary::default();
-    for line in input.lines() {
-        let line = line?;
+    loop {
+        let line = match read_line_capped(&mut input)? {
+            Line::Eof => break,
+            Line::TooLong => {
+                summary.requests += 1;
+                write_line(
+                    &out,
+                    &event(
+                        &Value::Null,
+                        "error",
+                        vec![(
+                            "error",
+                            Value::Str(format!("request line exceeds {MAX_REQUEST_LINE} bytes")),
+                        )],
+                    ),
+                );
+                continue;
+            }
+            Line::Full(bytes) => match String::from_utf8(bytes) {
+                Ok(s) => s,
+                Err(_) => {
+                    summary.requests += 1;
+                    write_line(
+                        &out,
+                        &event(
+                            &Value::Null,
+                            "error",
+                            vec![(
+                                "error",
+                                Value::Str("request line is not valid UTF-8".into()),
+                            )],
+                        ),
+                    );
+                    continue;
+                }
+            },
+        };
         if line.trim().is_empty() {
             continue;
         }
@@ -296,6 +384,71 @@ mod tests {
 
     fn field<'a>(v: &'a Value, k: &str) -> &'a Value {
         v.get(k).unwrap_or_else(|| panic!("missing '{k}' in {v:?}"))
+    }
+
+    #[test]
+    fn capped_reader_handles_boundaries() {
+        // Exactly at the cap: accepted. Small BufReader capacity forces the
+        // chunk-spanning paths.
+        let mut data = vec![b'a'; MAX_REQUEST_LINE];
+        data.push(b'\n');
+        data.extend_from_slice(b"tail"); // unterminated final line
+        let mut r = std::io::BufReader::with_capacity(13, data.as_slice());
+        match read_line_capped(&mut r).unwrap() {
+            Line::Full(v) => assert_eq!(v.len(), MAX_REQUEST_LINE),
+            _ => panic!("exact-cap line must be accepted"),
+        }
+        match read_line_capped(&mut r).unwrap() {
+            Line::Full(v) => assert_eq!(v, b"tail"),
+            _ => panic!("unterminated final line still counts"),
+        }
+        assert!(matches!(read_line_capped(&mut r).unwrap(), Line::Eof));
+        // One byte over: drained without being retained, next line intact.
+        let mut data = vec![b'b'; MAX_REQUEST_LINE + 1];
+        data.push(b'\n');
+        data.extend_from_slice(b"{next}\n");
+        let mut r = std::io::BufReader::with_capacity(13, data.as_slice());
+        assert!(matches!(read_line_capped(&mut r).unwrap(), Line::TooLong));
+        match read_line_capped(&mut r).unwrap() {
+            Line::Full(v) => assert_eq!(v, b"{next}"),
+            _ => panic!("line after an over-long one must parse"),
+        }
+    }
+
+    #[test]
+    fn bad_bytes_and_oversized_lines_get_error_events() {
+        let session = Session::ephemeral().with_jobs(1);
+        let mut input: Vec<u8> = b"{\"op\": \"bad \xff utf8\"}\n".to_vec();
+        input.extend_from_slice(&vec![b'{'; MAX_REQUEST_LINE + 1]);
+        input.push(b'\n');
+        input.extend_from_slice(b"{\"id\": 9, \"op\": \"ping\"}\n");
+        let mut out = Vec::new();
+        let summary = serve(
+            &session,
+            std::io::BufReader::with_capacity(16, input.as_slice()),
+            &mut out,
+        )
+        .unwrap();
+        assert_eq!(
+            summary,
+            ServeSummary {
+                requests: 3,
+                runs: 0
+            }
+        );
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<Value> = text
+            .lines()
+            .map(|l| serde::json::parse(l).expect("response must be valid JSON"))
+            .collect();
+        assert_eq!(lines.len(), 3, "{text}");
+        assert_eq!(field(&lines[0], "event"), &Value::Str("error".into()));
+        assert!(matches!(field(&lines[0], "error"), Value::Str(s) if s.contains("UTF-8")));
+        assert_eq!(field(&lines[1], "event"), &Value::Str("error".into()));
+        assert!(matches!(field(&lines[1], "error"), Value::Str(s) if s.contains("exceeds")));
+        // The loop survived both bad lines: the ping still answers.
+        assert_eq!(field(&lines[2], "event"), &Value::Str("pong".into()));
+        assert_eq!(field(&lines[2], "id"), &Value::Num(9.0));
     }
 
     #[test]

@@ -168,14 +168,20 @@ fn memoized_pairs_are_not_re_executed_and_not_reported() {
     let budget = tiny();
     let session = Session::with_store(ResultStore::at(dir.clone())).with_jobs(2);
     let first = session.sweep(&cfgs, &benches, &budget);
-    // Second sweep: everything is on disk, so zero progress callbacks fire
-    // and the loaded results match the computed ones exactly.
+    // Second sweep: everything is on disk, so nothing executes — the only
+    // callback is the all-memoized terminal event (`total == 0`) and the
+    // loaded results match the computed ones exactly.
     let calls = AtomicUsize::new(0);
-    let on_progress = |_: &rcmc_sim::SweepProgress<'_>| {
+    let on_progress = |p: &rcmc_sim::SweepProgress<'_>| {
+        assert_eq!((p.finished, p.total, p.memoized), (0, 0, 2), "job re-ran");
         calls.fetch_add(1, Ordering::SeqCst);
     };
     let second = session.sweep_streaming(&cfgs, &benches, &budget, &on_progress);
-    assert_eq!(calls.load(Ordering::SeqCst), 0, "memoized pairs re-ran");
+    assert_eq!(
+        calls.load(Ordering::SeqCst),
+        1,
+        "exactly one terminal event"
+    );
     assert_eq!(first, second);
     let _ = std::fs::remove_dir_all(dir);
 }

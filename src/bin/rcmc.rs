@@ -31,6 +31,7 @@ use ring_clustered::sim::{config, serve, Plan, Progress, Session};
 use ring_clustered::workloads::{benchmark, suite};
 
 fn main() {
+    check_jobs_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
         usage();
@@ -171,11 +172,22 @@ fn budget_from(flags: &HashMap<String, String>) -> Budget {
 fn jobs_from(flags: &HashMap<String, String>) -> usize {
     match num_flag::<usize>(flags, "jobs") {
         Some(0) => {
-            eprintln!("--jobs must be at least 1");
+            eprintln!("--jobs must be at least 1\n");
+            usage();
             std::process::exit(2);
         }
         Some(n) => n,
         None => default_jobs(),
+    }
+}
+
+/// Reject `RCMC_JOBS=0` up front — it would otherwise be silently ignored
+/// (falling back to all cores), which hides the configuration mistake.
+fn check_jobs_env() {
+    if std::env::var("RCMC_JOBS").is_ok_and(|v| v.trim().parse::<usize>() == Ok(0)) {
+        eprintln!("RCMC_JOBS must be at least 1 (unset it to use all cores)\n");
+        usage();
+        std::process::exit(2);
     }
 }
 

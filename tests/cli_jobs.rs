@@ -1,0 +1,30 @@
+//! CLI guard rails for the sweep worker count: `--jobs 0` and
+//! `RCMC_JOBS=0` must fail fast with exit code 2 and the usage text, never
+//! reach the thread-pool constructor or silently fall back to all cores.
+
+use std::process::Command;
+
+fn rcmc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_rcmc"))
+}
+
+#[test]
+fn jobs_zero_flag_exits_2_with_usage() {
+    let out = rcmc().args(["figures", "--jobs", "0"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--jobs must be at least 1"), "{err}");
+    assert!(err.contains("commands:"), "usage text missing: {err}");
+}
+
+#[test]
+fn jobs_zero_env_exits_2_with_usage() {
+    let out = rcmc().env("RCMC_JOBS", "0").arg("list").output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("RCMC_JOBS must be at least 1"), "{err}");
+    assert!(err.contains("commands:"), "usage text missing: {err}");
+    // A positive value is accepted (list does no sweeping — instant).
+    let ok = rcmc().env("RCMC_JOBS", "2").arg("list").output().unwrap();
+    assert!(ok.status.success(), "{ok:?}");
+}

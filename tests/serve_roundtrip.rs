@@ -4,9 +4,9 @@
 use std::io::{BufRead, BufReader, Write};
 use std::process::{Command, Stdio};
 
-/// Spawn `rcmc serve`, feed it `requests` (one per line), collect every
-/// response line until the process exits.
-fn serve_session(requests: &[&str]) -> Vec<String> {
+/// Spawn `rcmc serve`, feed it raw `input` bytes, collect every response
+/// line until the process exits.
+fn serve_session_bytes(input: &[u8]) -> Vec<String> {
     let mut child = Command::new(env!("CARGO_BIN_EXE_rcmc"))
         .arg("serve")
         .stdin(Stdio::piped())
@@ -16,9 +16,7 @@ fn serve_session(requests: &[&str]) -> Vec<String> {
         .expect("failed to spawn rcmc serve");
     {
         let mut stdin = child.stdin.take().unwrap();
-        for r in requests {
-            writeln!(stdin, "{r}").unwrap();
-        }
+        stdin.write_all(input).unwrap();
         // stdin drops here: EOF ends the loop even without a shutdown op.
     }
     let stdout = BufReader::new(child.stdout.take().unwrap());
@@ -26,6 +24,15 @@ fn serve_session(requests: &[&str]) -> Vec<String> {
     let status = child.wait().unwrap();
     assert!(status.success(), "rcmc serve exited with {status}");
     lines
+}
+
+/// [`serve_session_bytes`] with one well-formed request per line.
+fn serve_session(requests: &[&str]) -> Vec<String> {
+    let mut input = Vec::new();
+    for r in requests {
+        writeln!(input, "{r}").unwrap();
+    }
+    serve_session_bytes(&input)
 }
 
 /// Minimal JSON field probe (the vendored serde lives in the library; here
@@ -90,14 +97,34 @@ fn warm_session_memoizes_across_requests() {
         tail(results[1]),
         "warm rerun changed the rows"
     );
-    // And the second request executed no new jobs: every progress event
-    // belongs to request "a".
+    // And the second request executed no new jobs: any progress event for
+    // request "b" must be the all-memoized terminal event (`total == 0`,
+    // nothing simulated).
     assert!(
-        !lines
-            .iter()
-            .any(|l| has_field(l, "event", "progress") && has_field(l, "id", "b")),
+        !lines.iter().any(|l| has_field(l, "event", "progress")
+            && has_field(l, "id", "b")
+            && !has_field(l, "total", "0")),
         "second run re-simulated memoized pairs: {lines:?}"
     );
+}
+
+#[test]
+fn serve_survives_garbage_bytes_and_oversized_lines() {
+    // A non-UTF-8 line, then a line past the 1 MiB request cap, then a
+    // well-formed ping: each bad line gets a structured error and the
+    // session keeps serving.
+    let mut input: Vec<u8> = b"{\"op\": \"ping\", \"junk\": \"\xff\xfe\"}\n".to_vec();
+    input.extend_from_slice(&vec![b'x'; (1 << 20) + 1]);
+    input.push(b'\n');
+    input.extend_from_slice(b"{\"id\": 3, \"op\": \"ping\"}\n");
+    let lines = serve_session_bytes(&input);
+    assert_eq!(lines.len(), 3, "{lines:?}");
+    assert!(has_field(&lines[0], "event", "error"), "{}", lines[0]);
+    assert!(lines[0].contains("UTF-8"), "{}", lines[0]);
+    assert!(has_field(&lines[1], "event", "error"), "{}", lines[1]);
+    assert!(lines[1].contains("exceeds"), "{}", lines[1]);
+    assert!(has_field(&lines[2], "event", "pong"), "{}", lines[2]);
+    assert!(has_field(&lines[2], "id", "3"), "{}", lines[2]);
 }
 
 #[test]
