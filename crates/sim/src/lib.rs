@@ -16,7 +16,9 @@
 //! grids), [`runner`] (the memoizing two-stage sweep engine and the raw
 //! per-run metrics), [`report`] (text rendering), [`experiments`] (every
 //! paper figure as a plan value + renderer), [`serve`] (the JSON-lines
-//! request/response loop behind `rcmc serve`).
+//! request/response loop behind `rcmc serve`), [`scheduler`] (the
+//! concurrent request scheduler serve runs on: cross-request job
+//! coalescing, cancellation, admission control).
 //!
 //! ```no_run
 //! use rcmc_sim::experiments::plans;
@@ -37,6 +39,7 @@ pub mod plan;
 pub mod report;
 pub mod resultset;
 pub mod runner;
+pub mod scheduler;
 pub mod serve;
 pub mod session;
 
@@ -46,5 +49,9 @@ pub use config::{
 };
 pub use plan::{ConfigSpec, Plan, RenderedReport, ReportSpec};
 pub use resultset::{GroupValues, Metric, ResultSet};
-pub use runner::{default_jobs, run_pair, Budget, ResultStore, Results, RunResult, SweepProgress};
+pub use runner::{
+    default_jobs, run_pair, Budget, JobKey, ResultStore, Results, RunResult, SweepProgress,
+};
+pub use scheduler::{Scheduler, SchedulerStats};
+pub use serve::{ServeOpts, ServeSummary, DEFAULT_QUEUE_LIMIT};
 pub use session::{Progress, Session};

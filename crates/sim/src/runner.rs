@@ -273,6 +273,11 @@ impl ResultStore {
 /// completion.
 #[derive(Clone, Copy, Debug)]
 pub struct SweepProgress<'a> {
+    /// Stable label of the sweep this event belongs to (the plan name, or a
+    /// `plan#request-id` tag under `rcmc serve`). Empty for anonymous
+    /// sweeps; [`SweepProgress::eprint_status`] renders it when present so
+    /// interleaved progress from concurrent requests stays attributable.
+    pub label: &'a str,
     /// Jobs finished so far (including this one).
     pub finished: usize,
     /// Jobs this sweep has to execute (memoized pairs are not counted).
@@ -316,9 +321,14 @@ impl SweepProgress<'_> {
     /// executed nothing (every pair memoized, `total == 0`) renders `done`
     /// rather than a garbage ETA.
     pub fn eprint_status(&self) {
+        let tag = if self.label.is_empty() {
+            String::new()
+        } else {
+            format!("{} ", self.label)
+        };
         if self.total == 0 {
             eprintln!(
-                "\r  [{n}/{n}] all pairs memoized  (done)              ",
+                "\r  [{tag}{n}/{n}] all pairs memoized  (done)              ",
                 n = self.memoized
             );
             return;
@@ -326,7 +336,8 @@ impl SweepProgress<'_> {
         let done = self.finished >= self.total;
         if done {
             eprint!(
-                "\r  [{}/{}] {} × {}  (done)              ",
+                "\r  [{}{}/{}] {} × {}  (done)              ",
+                tag,
                 self.finished + self.memoized,
                 self.total + self.memoized,
                 self.config,
@@ -335,7 +346,8 @@ impl SweepProgress<'_> {
             eprintln!();
         } else {
             eprint!(
-                "\r  [{}/{}] {} × {}  (ETA {:.0}s)              ",
+                "\r  [{}{}/{}] {} × {}  (ETA {:.0}s)              ",
+                tag,
                 self.finished + self.memoized,
                 self.total + self.memoized,
                 self.config,
@@ -362,6 +374,35 @@ pub fn store_name(cfg: &SimConfig) -> String {
         cfg.name.clone()
     } else {
         format!("{}~dc{}", cfg.name, cfg.core.dcount_threshold)
+    }
+}
+
+/// The coalescing/memoization identity of one simulation job.
+///
+/// Two jobs with equal keys are guaranteed bit-identical [`RunResult`]s:
+/// the key is exactly what [`ResultStore`] memoizes under — the
+/// [`store_name`] (display name plus any DCOUNT-threshold tag), the
+/// benchmark, and the instruction [`Budget`]. The serve scheduler
+/// ([`crate::scheduler`]) uses it to run each distinct job once no matter
+/// how many concurrent requests ask for it.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct JobKey {
+    /// Store identity of the configuration ([`store_name`]).
+    pub config: String,
+    /// Benchmark name.
+    pub bench: String,
+    /// Instruction budget of the run.
+    pub budget: Budget,
+}
+
+impl JobKey {
+    /// The key `(cfg, bench, budget)` memoizes and coalesces under.
+    pub fn of(cfg: &SimConfig, bench: &str, budget: &Budget) -> JobKey {
+        JobKey {
+            config: store_name(cfg),
+            bench: bench.to_string(),
+            budget: *budget,
+        }
     }
 }
 
@@ -421,6 +462,7 @@ pub(crate) fn sweep_on(
     budget: &Budget,
     store: &ResultStore,
     pool: &rayon::ThreadPool,
+    label: &str,
     on_progress: Option<ProgressFn<'_>>,
 ) -> Results {
     // Split memoized hits from jobs that actually need simulation.
@@ -442,6 +484,7 @@ pub(crate) fn sweep_on(
         // `total == 0` is the marker that nothing was executed.
         if let Some(cb) = on_progress {
             cb(&SweepProgress {
+                label,
                 finished: 0,
                 total: 0,
                 memoized: out.len(),
@@ -499,6 +542,7 @@ pub(crate) fn sweep_on(
             let mut done = finished.lock().unwrap_or_else(|e| e.into_inner());
             *done += 1;
             cb(&SweepProgress {
+                label,
                 finished: *done,
                 total,
                 memoized,
@@ -688,6 +732,7 @@ mod tests {
         // The all-memoized sweep's terminal event: executed == 0, so the
         // naive elapsed/finished extrapolation would be 0/0 = NaN.
         let done = SweepProgress {
+            label: "",
             finished: 0,
             total: 0,
             memoized: 7,
@@ -698,6 +743,7 @@ mod tests {
         assert_eq!(done.eta_s(), 0.0);
         // A mid-sweep event still extrapolates at the observed rate.
         let mid = SweepProgress {
+            label: "",
             finished: 2,
             total: 4,
             memoized: 3,
@@ -726,7 +772,7 @@ mod tests {
                 .unwrap()
                 .push((p.finished, p.total, p.memoized));
         };
-        sweep_on(&cfgs, &["gzip"], &budget, &store, &pool, Some(&cb));
+        sweep_on(&cfgs, &["gzip"], &budget, &store, &pool, "", Some(&cb));
         let cold = std::mem::take(&mut *events.lock().unwrap());
         assert_eq!(
             cold.last(),
@@ -735,7 +781,7 @@ mod tests {
         );
         // Warm rerun: every pair memoized. Exactly one terminal event with
         // `total == 0` so consumers still observe completion.
-        sweep_on(&cfgs, &["gzip"], &budget, &store, &pool, Some(&cb));
+        sweep_on(&cfgs, &["gzip"], &budget, &store, &pool, "", Some(&cb));
         let warm = events.lock().unwrap().clone();
         assert_eq!(warm, vec![(0, 0, 1)], "warm sweep events");
         let _ = std::fs::remove_dir_all(dir);

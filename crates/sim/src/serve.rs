@@ -1,28 +1,43 @@
-//! `rcmc serve` — a long-lived JSON-lines request/response loop.
+//! `rcmc serve` — a long-lived, concurrent JSON-lines request loop.
 //!
 //! One request per input line, one or more response lines per request, all
 //! JSON objects. A single warm [`Session`] is shared across requests, so
 //! every plan after the first benefits from the memoized result store and
-//! the process-wide oracle-trace cache — the serving-loop analogue of a
-//! query engine keeping its buffer pool hot.
+//! the process-wide oracle-trace cache — and since PR 7 requests execute
+//! *concurrently*: the reader thread only parses and submits, a
+//! [`Scheduler`] fans each plan's jobs onto the session's worker pool, and
+//! identical `(config, bench, budget)` jobs from different requests are
+//! coalesced into one simulation (see the [`crate::scheduler`] docs for
+//! coalescing, cancellation and admission-control semantics).
 //!
-//! Requests (`id` is optional and echoed back verbatim on every response
-//! for that request):
+//! Requests (`id` is echoed back verbatim on every response for that
+//! request; requests without an `id` get an auto-assigned `"auto-N"`):
 //!
 //! ```json
 //! {"id": 1, "op": "ping"}
 //! {"id": 2, "op": "list"}
 //! {"id": 3, "op": "run", "plan": "main"}
 //! {"id": 4, "op": "run", "plan": {"name": "q", "configs": [{"group": "topology"}]}}
+//! {"id": 5, "op": "cancel", "target": 3}
+//! {"id": 6, "op": "stats"}
 //! {"op": "shutdown"}
 //! ```
 //!
 //! Responses carry an `"event"` discriminator: `pong`, `listing`,
-//! `progress` (streamed per executed job), `result` (rows + rendered
-//! reports), `error`, `bye`. Bad input never kills the loop — malformed
-//! JSON, non-UTF-8 bytes and over-long lines (see [`MAX_REQUEST_LINE`])
-//! all get an `error` event and the loop keeps reading; only a real I/O
-//! error on the input tears the session down.
+//! `progress` (streamed per executed job, interleaved across in-flight
+//! requests — demux on `id`), `result` (rows + rendered reports),
+//! `cancelled`, `stats`, `error`, `bye`. Every event carries the
+//! originating request `id`.
+//!
+//! Malformed JSON gets an `error` event and the loop keeps reading. A
+//! broken *frame* — non-UTF-8 bytes or an over-long line (see
+//! [`MAX_REQUEST_LINE`]) — additionally cancels every in-flight request's
+//! queued jobs: after a mangled frame the stream may be desynchronized,
+//! and half-understood requests must not keep burning workers. Client EOF
+//! without a `shutdown` op is treated as a disconnect the same way:
+//! queued-but-unstarted jobs are dropped, running jobs finish and still
+//! populate the store. A `shutdown` op is the graceful path — submitted
+//! requests drain to completion before the final `bye`.
 
 use std::io::{BufRead, Write};
 use std::sync::Mutex;
@@ -33,8 +48,9 @@ use serde::Serialize as _;
 use crate::experiments::plans;
 use crate::plan::Plan;
 use crate::resultset::ResultSet;
-use crate::runner::{SweepProgress, MODEL_VERSION};
-use crate::session::Session;
+use crate::runner::MODEL_VERSION;
+use crate::scheduler::{EmitFn, Scheduler, SchedulerStats, Submission};
+use crate::session::{Progress, Session};
 use crate::{config, runner};
 
 /// Counters of one serve loop's lifetime (returned at EOF/shutdown).
@@ -42,11 +58,32 @@ use crate::{config, runner};
 pub struct ServeSummary {
     /// Requests handled (including failed ones).
     pub requests: usize,
-    /// Plans executed successfully.
+    /// Plans accepted by the scheduler.
     pub runs: usize,
+    /// Final scheduler counters (coalescing, cancellation, admission).
+    pub stats: SchedulerStats,
 }
 
-fn obj(fields: Vec<(&str, Value)>) -> Value {
+/// Tuning knobs for [`serve_with`].
+#[derive(Clone, Copy, Debug)]
+pub struct ServeOpts {
+    /// Max queued (accepted but unstarted) jobs before new `run` requests
+    /// get a `busy` error. See [`Scheduler::submit`].
+    pub queue_limit: usize,
+}
+
+/// Default bound on queued jobs ([`ServeOpts::queue_limit`]).
+pub const DEFAULT_QUEUE_LIMIT: usize = 4096;
+
+impl Default for ServeOpts {
+    fn default() -> Self {
+        ServeOpts {
+            queue_limit: DEFAULT_QUEUE_LIMIT,
+        }
+    }
+}
+
+pub(crate) fn obj(fields: Vec<(&str, Value)>) -> Value {
     Value::Obj(
         fields
             .into_iter()
@@ -55,18 +92,17 @@ fn obj(fields: Vec<(&str, Value)>) -> Value {
     )
 }
 
-fn event(id: &Value, kind: &str, mut fields: Vec<(&str, Value)>) -> Value {
+pub(crate) fn event(id: &Value, kind: &str, mut fields: Vec<(&str, Value)>) -> Value {
     let mut all = vec![("id", id.clone()), ("event", Value::Str(kind.to_string()))];
     all.append(&mut fields);
     obj(all)
 }
 
-fn write_line<W: Write>(out: &Mutex<W>, v: &Value) {
+/// Write one response line; `false` means the client is gone (broken
+/// pipe), which callers surface to the scheduler as a disconnect.
+fn write_line<W: Write>(out: &Mutex<W>, v: &Value) -> bool {
     let mut w = out.lock().unwrap_or_else(|e| e.into_inner());
-    // A broken pipe just means the client went away; the loop will see EOF
-    // on the next read.
-    let _ = writeln!(w, "{}", v.to_compact_string());
-    let _ = w.flush();
+    writeln!(w, "{}", v.to_compact_string()).is_ok() && w.flush().is_ok()
 }
 
 /// Resolve the request's `"plan"` field: a string names a builtin plan, an
@@ -85,56 +121,68 @@ fn plan_of(req: &Value) -> Result<Plan, String> {
     }
 }
 
-fn run_request<W: Write + Send>(
+/// Parse, resolve and submit one `run` request. Returns whether the
+/// scheduler accepted it.
+fn run_request(
     session: &Session,
+    sched: &Scheduler,
     id: &Value,
     req: &Value,
-    out: &Mutex<W>,
+    emit: EmitFn<'_>,
 ) -> bool {
     let plan = match plan_of(req) {
         Ok(p) => p,
         Err(e) => {
-            write_line(out, &event(id, "error", vec![("error", Value::Str(e))]));
+            emit(&event(id, "error", vec![("error", Value::Str(e))]));
             return false;
         }
     };
     // Resolve up front: rejects bad plans before any simulation and yields
     // the configuration order the result's reports render in.
-    let order: Vec<String> = match plan.resolve() {
-        Ok((cfgs, _)) => cfgs.into_iter().map(|c| c.name).collect(),
+    let (cfgs, benches) = match plan.resolve() {
+        Ok(r) => r,
         Err(e) => {
-            write_line(out, &event(id, "error", vec![("error", Value::Str(e))]));
+            emit(&event(id, "error", vec![("error", Value::Str(e))]));
             return false;
         }
     };
-    let progress = |p: &SweepProgress<'_>| {
-        write_line(
-            out,
-            &event(
+    match sched.submit(id.clone(), plan, cfgs, benches, session.store(), emit) {
+        Submission::Accepted { .. } => true,
+        Submission::Busy {
+            jobs,
+            queued,
+            limit,
+        } => {
+            emit(&event(
                 id,
-                "progress",
+                "error",
                 vec![
-                    ("finished", Value::Num(p.finished as f64)),
-                    ("total", Value::Num(p.total as f64)),
-                    ("memoized", Value::Num(p.memoized as f64)),
-                    ("config", Value::Str(p.config.to_string())),
-                    ("bench", Value::Str(p.bench.to_string())),
+                    (
+                        "error",
+                        Value::Str(format!(
+                            "scheduler busy: request needs {jobs} jobs but {queued} of {limit} queue slots are taken"
+                        )),
+                    ),
+                    ("reason", Value::Str("busy".into())),
+                    ("jobs", Value::Num(jobs as f64)),
+                    ("queued", Value::Num(queued as f64)),
+                    ("limit", Value::Num(limit as f64)),
                 ],
-            ),
-        );
-    };
-    let rs = match session.run_streaming(&plan, &progress) {
-        Ok(rs) => rs,
-        Err(e) => {
-            write_line(out, &event(id, "error", vec![("error", Value::Str(e))]));
-            return false;
+            ));
+            false
         }
-    };
-    write_line(out, &result_event(id, &plan, &order, &rs));
-    true
+    }
 }
 
-fn result_event(id: &Value, plan: &Plan, order: &[String], rs: &ResultSet) -> Value {
+/// The `result` event: rows + rendered reports + per-request scheduler
+/// stats (`jobs`/`executed`/`coalesced`/`memoized`).
+pub(crate) fn result_event(
+    id: &Value,
+    plan: &Plan,
+    order: &[String],
+    rs: &ResultSet,
+    stats: Value,
+) -> Value {
     let rows = Value::Arr(rs.rows().iter().map(|r| r.to_value()).collect());
     // "reports" stays an array in every outcome so clients can rely on the
     // shape; a render failure (impossible for specs that passed resolve(),
@@ -161,6 +209,7 @@ fn result_event(id: &Value, plan: &Plan, order: &[String], rs: &ResultSet) -> Va
         ("plan", Value::Str(plan.name.clone())),
         ("rows", rows),
         ("reports", reports),
+        ("stats", stats),
     ];
     if let Some(e) = render_error {
         fields.push(("report_error", Value::Str(e)));
@@ -251,49 +300,124 @@ fn read_line_capped<R: BufRead>(input: &mut R) -> std::io::Result<Line> {
     }
 }
 
+/// Run the serve loop with default [`ServeOpts`]. See [`serve_with`].
+pub fn serve<R: BufRead, W: Write + Send>(
+    session: &Session,
+    input: R,
+    output: W,
+) -> std::io::Result<ServeSummary> {
+    serve_with(session, input, output, &ServeOpts::default())
+}
+
 /// Run the serve loop: read JSON-lines requests from `input`, stream
 /// responses to `output`, sharing `session` across requests, until EOF or
 /// a `shutdown` request.
-pub fn serve<R: BufRead, W: Write + Send>(
+///
+/// The reader runs on the calling thread; `session.jobs()` scheduler
+/// workers run on the session's pool, so in-flight requests execute
+/// concurrently and `progress` events from different requests interleave
+/// (each tagged with its request `id`). On `shutdown` the queue drains
+/// before the final `bye`; on EOF or a broken output pipe queued jobs are
+/// cancelled (running ones finish into the store) and the loop exits
+/// without a `bye`.
+pub fn serve_with<R: BufRead, W: Write + Send>(
     session: &Session,
     mut input: R,
     output: W,
+    opts: &ServeOpts,
 ) -> std::io::Result<ServeSummary> {
     let out = Mutex::new(output);
+    let sched = Scheduler::new(
+        opts.queue_limit,
+        matches!(session.progress(), Progress::Stderr),
+    );
+    let emit_impl = |v: &Value| -> bool {
+        if write_line(&out, v) {
+            true
+        } else {
+            sched.note_disconnect();
+            false
+        }
+    };
+    let emit: EmitFn<'_> = &emit_impl;
     let mut summary = ServeSummary::default();
+    let shutdown_id = {
+        let sched = &sched;
+        session.pool().scope(|s| {
+            for _ in 0..session.jobs() {
+                s.spawn(move || sched.worker(session.store(), emit));
+            }
+            let r = read_requests(session, sched, &mut input, emit, &mut summary);
+            // Whatever ended the read loop, stop the workers: they drain
+            // the (possibly purged) queue and exit, and `scope` joins
+            // them before returning.
+            sched.close();
+            r
+        })?
+    };
+    summary.stats = sched.stats();
+    if let Some(id) = shutdown_id {
+        // Emitted after the scope join: every in-flight request has
+        // delivered its result, so `bye` is always the last event.
+        emit(&event(&id, "bye", vec![]));
+    }
+    Ok(summary)
+}
+
+/// The reader: parse one request per line and dispatch. Returns the
+/// `shutdown` request's id, or `None` when the input ended first.
+fn read_requests<R: BufRead>(
+    session: &Session,
+    sched: &Scheduler,
+    input: &mut R,
+    emit: EmitFn<'_>,
+    summary: &mut ServeSummary,
+) -> std::io::Result<Option<Value>> {
+    let mut auto = 0usize;
+    let mut auto_id = move || {
+        auto += 1;
+        Value::Str(format!("auto-{auto}"))
+    };
     loop {
-        let line = match read_line_capped(&mut input)? {
-            Line::Eof => break,
+        // A failed write already purged the scheduler; stop reading too.
+        if sched.is_disconnected() {
+            return Ok(None);
+        }
+        let line = match read_line_capped(input)? {
+            Line::Eof => {
+                // Client went away without `shutdown`: drop its queued
+                // jobs rather than leak them into the scheduler.
+                sched.cancel_all(emit);
+                return Ok(None);
+            }
             Line::TooLong => {
                 summary.requests += 1;
-                write_line(
-                    &out,
-                    &event(
-                        &Value::Null,
+                emit(&event(
+                    &auto_id(),
+                    "error",
+                    vec![(
                         "error",
-                        vec![(
-                            "error",
-                            Value::Str(format!("request line exceeds {MAX_REQUEST_LINE} bytes")),
-                        )],
-                    ),
-                );
+                        Value::Str(format!("request line exceeds {MAX_REQUEST_LINE} bytes")),
+                    )],
+                ));
+                // A mangled frame may have swallowed request boundaries;
+                // don't keep burning workers for half-understood input.
+                sched.cancel_all(emit);
                 continue;
             }
             Line::Full(bytes) => match String::from_utf8(bytes) {
                 Ok(s) => s,
                 Err(_) => {
                     summary.requests += 1;
-                    write_line(
-                        &out,
-                        &event(
-                            &Value::Null,
+                    emit(&event(
+                        &auto_id(),
+                        "error",
+                        vec![(
                             "error",
-                            vec![(
-                                "error",
-                                Value::Str("request line is not valid UTF-8".into()),
-                            )],
-                        ),
-                    );
+                            Value::Str("request line is not valid UTF-8".into()),
+                        )],
+                    ));
+                    sched.cancel_all(emit);
                     continue;
                 }
             },
@@ -303,67 +427,91 @@ pub fn serve<R: BufRead, W: Write + Send>(
         }
         summary.requests += 1;
         let Some(req) = serde::json::parse(&line) else {
-            write_line(
-                &out,
-                &event(
-                    &Value::Null,
-                    "error",
-                    vec![("error", Value::Str("request is not valid JSON".into()))],
-                ),
-            );
+            emit(&event(
+                &auto_id(),
+                "error",
+                vec![("error", Value::Str("request is not valid JSON".into()))],
+            ));
             continue;
         };
-        let id = req.get("id").cloned().unwrap_or(Value::Null);
+        let id = match req.get("id") {
+            Some(v) => v.clone(),
+            None => auto_id(),
+        };
         let op = match req.get("op") {
             Some(Value::Str(op)) => op.clone(),
             _ => {
-                write_line(
-                    &out,
-                    &event(
-                        &id,
+                emit(&event(
+                    &id,
+                    "error",
+                    vec![(
                         "error",
-                        vec![(
-                            "error",
-                            Value::Str(
-                                "request needs an 'op' string (ping | list | run | shutdown)"
-                                    .into(),
-                            ),
-                        )],
-                    ),
-                );
+                        Value::Str(
+                            "request needs an 'op' string (ping | list | run | cancel | stats | shutdown)"
+                                .into(),
+                        ),
+                    )],
+                ));
                 continue;
             }
         };
         match op.as_str() {
-            "ping" => write_line(
-                &out,
-                &event(
+            "ping" => {
+                emit(&event(
                     &id,
                     "pong",
                     vec![("model_version", Value::Num(MODEL_VERSION as f64))],
-                ),
-            ),
-            "list" => write_line(&out, &listing_event(&id)),
+                ));
+            }
+            "list" => {
+                emit(&listing_event(&id));
+            }
+            "stats" => {
+                emit(&event(
+                    &id,
+                    "stats",
+                    vec![("scheduler", sched.stats().to_value())],
+                ));
+            }
             "run" => {
-                if run_request(session, &id, &req, &out) {
+                if run_request(session, sched, &id, &req, emit) {
                     summary.runs += 1;
                 }
             }
-            "shutdown" => {
-                write_line(&out, &event(&id, "bye", vec![]));
-                break;
-            }
-            other => write_line(
-                &out,
-                &event(
+            "cancel" => match req.get("target") {
+                Some(target) => {
+                    let (found, dropped) = sched.cancel(target, emit);
+                    emit(&event(
+                        &id,
+                        "cancelled",
+                        vec![
+                            ("target", target.clone()),
+                            ("found", Value::Bool(found)),
+                            ("dropped", Value::Num(dropped as f64)),
+                        ],
+                    ));
+                }
+                None => {
+                    emit(&event(
+                        &id,
+                        "error",
+                        vec![(
+                            "error",
+                            Value::Str("'cancel' needs a 'target' request id".into()),
+                        )],
+                    ));
+                }
+            },
+            "shutdown" => return Ok(Some(id)),
+            other => {
+                emit(&event(
                     &id,
                     "error",
                     vec![("error", Value::Str(format!("unknown op '{other}'")))],
-                ),
-            ),
+                ));
+            }
         }
     }
-    Ok(summary)
 }
 
 #[cfg(test)]
@@ -429,13 +577,8 @@ mod tests {
             &mut out,
         )
         .unwrap();
-        assert_eq!(
-            summary,
-            ServeSummary {
-                requests: 3,
-                runs: 0
-            }
-        );
+        assert_eq!(summary.requests, 3);
+        assert_eq!(summary.runs, 0);
         let text = String::from_utf8(out).unwrap();
         let lines: Vec<Value> = text
             .lines()
@@ -444,6 +587,8 @@ mod tests {
         assert_eq!(lines.len(), 3, "{text}");
         assert_eq!(field(&lines[0], "event"), &Value::Str("error".into()));
         assert!(matches!(field(&lines[0], "error"), Value::Str(s) if s.contains("UTF-8")));
+        // Malformed frames get auto-assigned ids so clients can still demux.
+        assert_eq!(field(&lines[0], "id"), &Value::Str("auto-1".into()));
         assert_eq!(field(&lines[1], "event"), &Value::Str("error".into()));
         assert!(matches!(field(&lines[1], "error"), Value::Str(s) if s.contains("exceeds")));
         // The loop survived both bad lines: the ping still answers.
@@ -460,7 +605,8 @@ mod tests {
             summary,
             ServeSummary {
                 requests: 3,
-                runs: 0
+                runs: 0,
+                stats: SchedulerStats::default(),
             }
         );
         assert_eq!(field(&lines[0], "event"), &Value::Str("pong".into()));
@@ -470,6 +616,8 @@ mod tests {
             &Value::Num(MODEL_VERSION as f64)
         );
         assert_eq!(field(&lines[1], "event"), &Value::Str("listing".into()));
+        // The id-less `list` got an auto-assigned id.
+        assert_eq!(field(&lines[1], "id"), &Value::Str("auto-1".into()));
         let Value::Arr(benches) = field(&lines[1], "benches") else {
             panic!("benches must be an array");
         };
@@ -484,17 +632,15 @@ mod tests {
                     \"configs\": [{\"topology\": \"ring\", \"clusters\": 4}, {\"topology\": \"conv\", \"clusters\": 4}], \
                     \"benches\": [\"swim\", \"gzip\"], \
                     \"budget\": {\"warmup\": 1000, \"measure\": 4000}, \
-                    \"reports\": [{\"kind\": \"speedup\", \"pairs\": [{\"num\": \"Ring_4clus_1bus_2IW\", \"den\": \"Conv_4clus_1bus_2IW\"}]}]}}\n";
+                    \"reports\": [{\"kind\": \"speedup\", \"pairs\": [{\"num\": \"Ring_4clus_1bus_2IW\", \"den\": \"Conv_4clus_1bus_2IW\"}]}]}}\n\
+                    {\"op\": \"shutdown\"}\n";
         let (lines, summary) = serve_lines(req);
-        assert_eq!(
-            summary,
-            ServeSummary {
-                requests: 1,
-                runs: 1
-            }
-        );
+        assert_eq!(summary.requests, 2);
+        assert_eq!(summary.runs, 1);
+        assert_eq!(summary.stats.executed, 4);
+        assert_eq!(summary.stats.submitted, 4);
         // 4 progress events (2 configs × 2 benches, nothing memoized in an
-        // ephemeral store) then exactly one result.
+        // ephemeral store), one result, then the bye.
         let events: Vec<&Value> = lines.iter().map(|l| field(l, "event")).collect();
         assert_eq!(
             events
@@ -503,7 +649,8 @@ mod tests {
                 .count(),
             4
         );
-        let result = lines.last().unwrap();
+        assert_eq!(events.last().unwrap(), &&Value::Str("bye".into()));
+        let result = &lines[lines.len() - 2];
         assert_eq!(field(result, "event"), &Value::Str("result".into()));
         assert_eq!(field(result, "id"), &Value::Str("r1".into()));
         let Value::Arr(rows) = field(result, "rows") else {
@@ -518,9 +665,17 @@ mod tests {
             panic!()
         };
         assert!(text.contains("Ring_4clus_1bus_2IW / Conv_4clus_1bus_2IW"));
-        // Every progress event carries the request id.
-        for l in &lines[..lines.len() - 1] {
-            assert_eq!(field(l, "id"), &Value::Str("r1".into()));
+        // Per-request scheduler stats ride on the result.
+        let stats = field(result, "stats");
+        assert_eq!(field(stats, "jobs"), &Value::Num(4.0));
+        assert_eq!(field(stats, "executed"), &Value::Num(4.0));
+        assert_eq!(field(stats, "coalesced"), &Value::Num(0.0));
+        // Every progress event carries the request id and its label.
+        for l in &lines[..lines.len() - 2] {
+            if field(l, "event") == &Value::Str("progress".into()) {
+                assert_eq!(field(l, "id"), &Value::Str("r1".into()));
+                assert_eq!(field(l, "label"), &Value::Str("t#r1".into()));
+            }
         }
     }
 
@@ -532,13 +687,8 @@ mod tests {
                      {\"op\": \"run\", \"plan\": {\"name\": \"x\", \"configs\": [{\"name\": \"Bogus\"}]}}\n\
                      {\"id\": 1, \"op\": \"ping\"}\n";
         let (lines, summary) = serve_lines(input);
-        assert_eq!(
-            summary,
-            ServeSummary {
-                requests: 5,
-                runs: 0
-            }
-        );
+        assert_eq!(summary.requests, 5);
+        assert_eq!(summary.runs, 0);
         assert_eq!(lines.len(), 5);
         for l in &lines[..4] {
             assert_eq!(field(l, "event"), &Value::Str("error".into()));
@@ -560,5 +710,66 @@ mod tests {
         let result = &lines[lines.len() - 2];
         assert_eq!(field(result, "event"), &Value::Str("result".into()));
         assert_eq!(field(result, "plan"), &Value::Str("quick".into()));
+    }
+
+    #[test]
+    fn cancel_unknown_target_reports_not_found() {
+        let input = "{\"id\": 1, \"op\": \"cancel\", \"target\": \"ghost\"}\n\
+                     {\"id\": 2, \"op\": \"cancel\"}\n\
+                     {\"id\": 3, \"op\": \"stats\"}\n\
+                     {\"op\": \"shutdown\"}\n";
+        let (lines, summary) = serve_lines(input);
+        assert_eq!(summary.requests, 4);
+        assert_eq!(field(&lines[0], "event"), &Value::Str("cancelled".into()));
+        assert_eq!(field(&lines[0], "found"), &Value::Bool(false));
+        assert_eq!(field(&lines[0], "dropped"), &Value::Num(0.0));
+        // `cancel` without a target is an error, not a crash.
+        assert_eq!(field(&lines[1], "event"), &Value::Str("error".into()));
+        // The stats op reports scheduler counters.
+        assert_eq!(field(&lines[2], "event"), &Value::Str("stats".into()));
+        let sched = field(&lines[2], "scheduler");
+        assert_eq!(field(sched, "submitted"), &Value::Num(0.0));
+        assert_eq!(field(sched, "coalesce_hit_rate"), &Value::Num(0.0));
+        assert_eq!(field(&lines[3], "event"), &Value::Str("bye".into()));
+    }
+
+    #[test]
+    fn busy_rejection_is_structured_and_loop_survives() {
+        // queue_limit 2 with a single worker: a 4-job request is rejected
+        // atomically, a 1-job request still goes through.
+        let session = Session::ephemeral().with_jobs(1);
+        let input = "{\"id\": \"big\", \"op\": \"run\", \"plan\": {\"name\": \"b\", \
+                     \"configs\": [{\"topology\": \"ring\", \"clusters\": 4}, {\"topology\": \"conv\", \"clusters\": 4}], \
+                     \"benches\": [\"swim\", \"gzip\"], \
+                     \"budget\": {\"warmup\": 1000, \"measure\": 4000}}}\n\
+                     {\"id\": \"small\", \"op\": \"run\", \"plan\": {\"name\": \"s\", \
+                     \"configs\": [{\"name\": \"Ring_4clus_1bus_2IW\"}], \
+                     \"benches\": [\"swim\"], \
+                     \"budget\": {\"warmup\": 1000, \"measure\": 4000}}}\n\
+                     {\"op\": \"shutdown\"}\n";
+        let mut out = Vec::new();
+        let summary = serve_with(
+            &session,
+            input.as_bytes(),
+            &mut out,
+            &ServeOpts { queue_limit: 2 },
+        )
+        .unwrap();
+        assert_eq!(summary.runs, 1);
+        assert_eq!(summary.stats.rejected, 1);
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<Value> = text
+            .lines()
+            .map(|l| serde::json::parse(l).unwrap())
+            .collect();
+        let busy = &lines[0];
+        assert_eq!(field(busy, "event"), &Value::Str("error".into()));
+        assert_eq!(field(busy, "id"), &Value::Str("big".into()));
+        assert_eq!(field(busy, "reason"), &Value::Str("busy".into()));
+        assert_eq!(field(busy, "limit"), &Value::Num(2.0));
+        // The small request completed despite the rejection.
+        let result = &lines[lines.len() - 2];
+        assert_eq!(field(result, "event"), &Value::Str("result".into()));
+        assert_eq!(field(result, "id"), &Value::Str("small".into()));
     }
 }

@@ -114,6 +114,17 @@ impl Session {
         &self.store
     }
 
+    /// The session's worker pool (the serve scheduler spawns its workers
+    /// on it so `--jobs` governs service concurrency too).
+    pub fn pool(&self) -> &rayon::ThreadPool {
+        &self.pool
+    }
+
+    /// The session's progress sink.
+    pub fn progress(&self) -> &Progress {
+        &self.progress
+    }
+
     /// Execute `plan`: resolve its configurations and benchmarks, sweep the
     /// grid (on the plan's `jobs`/`budget` overrides if set, else the
     /// session's pool and the env-derived [`Budget::default`]), and return
@@ -144,14 +155,14 @@ impl Session {
         let (cfgs, benches) = plan.resolve()?;
         let bench_refs: Vec<&str> = benches.iter().map(|b| b.as_str()).collect();
         let budget = plan.budget.unwrap_or_default();
-        Ok(self.sweep_opt(&cfgs, &bench_refs, &budget, plan.jobs, progress))
+        Ok(self.sweep_opt(&cfgs, &bench_refs, &budget, &plan.name, plan.jobs, progress))
     }
 
     /// Sweep an explicit `(configs × benches)` grid — the escape hatch for
     /// experiments whose configurations a [`Plan`] cannot express (mutated
     /// thresholds, custom names). Everything else should go through plans.
     pub fn sweep(&self, cfgs: &[SimConfig], benches: &[&str], budget: &Budget) -> ResultSet {
-        self.sweep_opt(cfgs, benches, budget, None, None)
+        self.sweep_opt(cfgs, benches, budget, "", None, None)
     }
 
     /// [`Session::sweep`] with an explicit per-job progress callback.
@@ -162,7 +173,7 @@ impl Session {
         budget: &Budget,
         progress: ProgressFn<'_>,
     ) -> ResultSet {
-        self.sweep_opt(cfgs, benches, budget, None, Some(progress))
+        self.sweep_opt(cfgs, benches, budget, "", None, Some(progress))
     }
 
     fn sweep_opt(
@@ -170,6 +181,7 @@ impl Session {
         cfgs: &[SimConfig],
         benches: &[&str],
         budget: &Budget,
+        label: &str,
         jobs_override: Option<usize>,
         progress: Option<ProgressFn<'_>>,
     ) -> ResultSet {
@@ -184,7 +196,7 @@ impl Session {
         };
         let override_pool = jobs_override.map(|j| rayon::ThreadPool::new(j.max(1)));
         let pool = override_pool.as_ref().unwrap_or(&self.pool);
-        let map = runner::sweep_on(cfgs, benches, budget, &self.store, pool, cb);
+        let map = runner::sweep_on(cfgs, benches, budget, &self.store, pool, label, cb);
         ResultSet::from_map(map)
     }
 

@@ -27,7 +27,7 @@ use ring_clustered::core::{Core, PipeTracer};
 use ring_clustered::emu::trace_program;
 use ring_clustered::sim::experiments::{self, plans};
 use ring_clustered::sim::runner::{cached_trace, default_jobs, Budget};
-use ring_clustered::sim::{config, serve, Plan, Progress, Session};
+use ring_clustered::sim::{config, serve, Plan, Progress, ResultStore, Session};
 use ring_clustered::workloads::{benchmark, suite};
 
 fn main() {
@@ -38,7 +38,12 @@ fn main() {
         return;
     };
     let flags = match cmd.as_str() {
-        "list" | "layout" | "serve" => parse_flags(cmd, &args[1..], &[]),
+        "list" | "layout" => parse_flags(cmd, &args[1..], &[]),
+        "serve" => parse_flags(
+            cmd,
+            &args[1..],
+            &["jobs", "store", "queue-limit", "progress"],
+        ),
         "run" => parse_flags(
             cmd,
             &args[1..],
@@ -67,7 +72,7 @@ fn main() {
         "layout" => layout(),
         "plan" => plan_cmd(&args, &flags),
         "report" => report_cmd(&args, &flags),
-        "serve" => serve_cmd(),
+        "serve" => serve_cmd(&flags),
         _ => unreachable!("validated above"),
     }
 }
@@ -95,7 +100,9 @@ fn usage() {
          \x20 plan list                     builtin plan names\n\
          \x20 report steering-cross [--jobs N]\n\
          \x20                               policy × topology matrix + decomposition\n\
-         \x20 serve                         JSON-lines request loop on stdin/stdout\n\
+         \x20 serve [--jobs N] [--store DIR] [--queue-limit N] [--progress stderr|none]\n\
+         \x20                               concurrent JSON-lines request loop on\n\
+         \x20                               stdin/stdout (see README 'Serve concurrency')\n\
          \n\
          environment:\n\
          \x20 RCMC_INSTRS / RCMC_WARMUP     default measurement window\n\
@@ -465,14 +472,45 @@ fn report_cmd(args: &[String], flags: &HashMap<String, String>) {
     }
 }
 
-fn serve_cmd() {
-    // Silent session progress: serve streams its own JSON progress events.
-    let session = Session::new();
+fn serve_cmd(flags: &HashMap<String, String>) {
+    // `--store DIR` isolates this service instance's memoization (load
+    // tests want a cold store; deployments may want a shared warm one).
+    let store = match flags.get("store") {
+        Some(dir) => ResultStore::at(dir.into()),
+        None => ResultStore::open_default(),
+    };
+    let mut session = Session::with_store(store).with_jobs(jobs_from(flags));
+    // Default stays silent: serve streams its own JSON progress events.
+    // `--progress stderr` additionally mirrors the labelled status line.
+    match flags.get("progress").map(String::as_str) {
+        Some("stderr") => session = session.with_progress(Progress::Stderr),
+        Some("none") | None => {}
+        Some(other) => {
+            eprintln!("invalid value '{other}' for --progress (stderr | none)");
+            std::process::exit(2);
+        }
+    }
+    let opts = serve::ServeOpts {
+        queue_limit: match num_flag::<usize>(flags, "queue-limit") {
+            Some(0) => {
+                eprintln!("--queue-limit must be at least 1");
+                std::process::exit(2);
+            }
+            Some(n) => n,
+            None => serve::DEFAULT_QUEUE_LIMIT,
+        },
+    };
     let stdin = std::io::stdin();
-    match serve::serve(&session, stdin.lock(), std::io::stdout()) {
+    match serve::serve_with(&session, stdin.lock(), std::io::stdout(), &opts) {
         Ok(s) => eprintln!(
-            "rcmc serve: {} requests, {} plans executed",
-            s.requests, s.runs
+            "rcmc serve: {} requests, {} plans accepted, {} jobs executed, \
+             {} coalesced, {} memoized, {} cancelled",
+            s.requests,
+            s.runs,
+            s.stats.executed,
+            s.stats.coalesced,
+            s.stats.memoized,
+            s.stats.cancelled,
         ),
         Err(e) => die(format!("serve: {e}")),
     }

@@ -4,11 +4,14 @@
 use std::io::{BufRead, BufReader, Write};
 use std::process::{Command, Stdio};
 
-/// Spawn `rcmc serve`, feed it raw `input` bytes, collect every response
-/// line until the process exits.
-fn serve_session_bytes(input: &[u8]) -> Vec<String> {
+/// Spawn `rcmc serve` with extra CLI flags, feed it raw `input` bytes,
+/// collect every response line until the process exits. Note EOF without a
+/// `shutdown` op counts as a client disconnect (queued jobs are cancelled),
+/// so sessions that want their runs completed must end with `shutdown`.
+fn serve_session_args(args: &[&str], input: &[u8]) -> Vec<String> {
     let mut child = Command::new(env!("CARGO_BIN_EXE_rcmc"))
         .arg("serve")
+        .args(args)
         .stdin(Stdio::piped())
         .stdout(Stdio::piped())
         .stderr(Stdio::null())
@@ -17,13 +20,18 @@ fn serve_session_bytes(input: &[u8]) -> Vec<String> {
     {
         let mut stdin = child.stdin.take().unwrap();
         stdin.write_all(input).unwrap();
-        // stdin drops here: EOF ends the loop even without a shutdown op.
+        // stdin drops here: the loop sees EOF after the last request.
     }
     let stdout = BufReader::new(child.stdout.take().unwrap());
     let lines: Vec<String> = stdout.lines().map(|l| l.unwrap()).collect();
     let status = child.wait().unwrap();
     assert!(status.success(), "rcmc serve exited with {status}");
     lines
+}
+
+/// [`serve_session_args`] against the default store with no extra flags.
+fn serve_session_bytes(input: &[u8]) -> Vec<String> {
+    serve_session_args(&[], input)
 }
 
 /// [`serve_session_bytes`] with one well-formed request per line.
@@ -79,7 +87,7 @@ fn warm_session_memoizes_across_requests() {
     // events when the store is writable; at minimum, identical results).
     let plan = r#"{"id": "a", "op": "run", "plan": {"name": "warm", "configs": [{"topology": "ring", "clusters": 4}], "benches": ["gzip"], "budget": {"warmup": 500, "measure": 2000}}}"#;
     let plan2 = plan.replace("\"id\": \"a\"", "\"id\": \"b\"");
-    let lines = serve_session(&[plan, &plan2]);
+    let lines = serve_session(&[plan, &plan2, r#"{"op": "shutdown"}"#]);
     let results: Vec<&String> = lines
         .iter()
         .filter(|l| has_field(l, "event", "result"))
@@ -97,14 +105,16 @@ fn warm_session_memoizes_across_requests() {
         tail(results[1]),
         "warm rerun changed the rows"
     );
-    // And the second request executed no new jobs: any progress event for
-    // request "b" must be the all-memoized terminal event (`total == 0`,
-    // nothing simulated).
+    // And the second request enqueued no fresh jobs: whether it was
+    // satisfied from the store (memoized) or coalesced onto the first
+    // request's in-flight job, its per-request stats report `executed: 0`.
+    let result_b = lines
+        .iter()
+        .find(|l| has_field(l, "event", "result") && has_field(l, "id", "b"))
+        .expect("request b must produce a result");
     assert!(
-        !lines.iter().any(|l| has_field(l, "event", "progress")
-            && has_field(l, "id", "b")
-            && !has_field(l, "total", "0")),
-        "second run re-simulated memoized pairs: {lines:?}"
+        result_b.contains("\"executed\":0"),
+        "second run simulated fresh jobs: {result_b}"
     );
 }
 
@@ -125,6 +135,97 @@ fn serve_survives_garbage_bytes_and_oversized_lines() {
     assert!(lines[1].contains("exceeds"), "{}", lines[1]);
     assert!(has_field(&lines[2], "event", "pong"), "{}", lines[2]);
     assert!(has_field(&lines[2], "id", "3"), "{}", lines[2]);
+}
+
+#[test]
+fn cancel_drops_queued_jobs_without_touching_others() {
+    // A fresh store and one worker: request "keep" occupies the worker
+    // while "drop"'s four jobs sit queued; the cancel must drop all four
+    // before any of them runs, and "keep" must still complete.
+    let dir = std::env::temp_dir().join(format!("rcmc-serve-cancel-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let keep = r#"{"id": "keep", "op": "run", "plan": {"name": "k", "configs": [{"topology": "ring", "clusters": 4}, {"topology": "conv", "clusters": 4}], "benches": ["swim", "gzip"], "budget": {"warmup": 500, "measure": 2000}}}"#;
+    let drop = r#"{"id": "drop", "op": "run", "plan": {"name": "d", "configs": [{"topology": "mesh", "clusters": 4}, {"topology": "hier", "clusters": 4}], "benches": ["swim", "gzip"], "budget": {"warmup": 500, "measure": 2000}}}"#;
+    let cancel = r#"{"id": "c", "op": "cancel", "target": "drop"}"#;
+    let mut input = Vec::new();
+    for r in [keep, drop, cancel, r#"{"op": "shutdown"}"#] {
+        writeln!(input, "{r}").unwrap();
+    }
+    let lines = serve_session_args(&["--jobs", "1", "--store", dir.to_str().unwrap()], &input);
+    // The cancel round-trip: found the live request, dropped its 4 jobs.
+    let ack = lines
+        .iter()
+        .find(|l| has_field(l, "event", "cancelled"))
+        .expect("cancel must be acknowledged");
+    assert!(has_field(ack, "id", "c"), "{ack}");
+    assert!(has_field(ack, "target", "drop"), "{ack}");
+    assert!(has_field(ack, "found", "true"), "{ack}");
+    assert!(has_field(ack, "dropped", "4"), "{ack}");
+    // The cancelled request gets one terminal error and never a result.
+    assert!(
+        lines.iter().any(|l| has_field(l, "event", "error")
+            && has_field(l, "id", "drop")
+            && has_field(l, "reason", "cancelled")),
+        "cancelled request must get a terminal error: {lines:?}"
+    );
+    assert!(
+        !lines
+            .iter()
+            .any(|l| has_field(l, "event", "result") && has_field(l, "id", "drop")),
+        "cancelled request must not produce a result: {lines:?}"
+    );
+    // The other request is unaffected: full result, all four rows.
+    let kept = lines
+        .iter()
+        .find(|l| has_field(l, "event", "result") && has_field(l, "id", "keep"))
+        .expect("keep must complete");
+    assert!(kept.contains("Ring_4clus_1bus_2IW"), "{kept}");
+    assert!(kept.contains("Conv_4clus_1bus_2IW"), "{kept}");
+    // And none of the cancelled jobs ever ran: the store has no shard for
+    // either of "drop"'s configurations.
+    assert!(
+        !dir.join("Mesh_4clus_1bus_2IW").exists() && !dir.join("Hier_4clus_1bus_2IW").exists(),
+        "cancelled jobs must never simulate"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn client_disconnect_cancels_queued_jobs() {
+    // Eight jobs, one worker, and stdin closed right after the request:
+    // the EOF counts as a disconnect, so queued jobs are dropped (at most
+    // the one already-running job finishes into the store) and the child
+    // exits instead of grinding through the whole plan.
+    let dir = std::env::temp_dir().join(format!("rcmc-serve-eof-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let run = r#"{"id": "gone", "op": "run", "plan": {"name": "g", "configs": [{"topology": "ring", "clusters": 4}, {"topology": "conv", "clusters": 4}], "benches": ["swim", "gzip", "mcf", "twolf"], "budget": {"warmup": 500, "measure": 2000}}}"#;
+    let lines = serve_session_args(
+        &["--jobs", "1", "--store", dir.to_str().unwrap()],
+        format!("{run}\n").as_bytes(),
+    );
+    // The disconnect surfaces as the cancel path's terminal error.
+    assert!(
+        lines.iter().any(|l| has_field(l, "event", "error")
+            && has_field(l, "id", "gone")
+            && has_field(l, "reason", "cancelled")),
+        "EOF must cancel the in-flight request: {lines:?}"
+    );
+    assert!(
+        !lines.iter().any(|l| has_field(l, "event", "result")),
+        "no result after a disconnect: {lines:?}"
+    );
+    // At most the job the worker had already started persisted a row.
+    let mut persisted = 0;
+    if let Ok(shards) = std::fs::read_dir(&dir) {
+        for shard in shards.flatten() {
+            persisted += std::fs::read_dir(shard.path()).map_or(0, |d| d.count());
+        }
+    }
+    assert!(
+        persisted <= 2,
+        "queued jobs ran after disconnect: {persisted} rows persisted"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
