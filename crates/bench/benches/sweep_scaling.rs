@@ -6,16 +6,18 @@
 //!
 //! The window is fixed (not `RCMC_INSTRS`) and the sessions are ephemeral,
 //! so both timings measure pure simulation work and stay comparable run to
-//! run. Oracle traces are pre-warmed before either timing, so emulation
-//! cost is excluded from both sides. Note: on a single-core machine the
-//! parallel number will roughly match the serial one — the point of the
-//! file is the trajectory, not a pass/fail gate.
+//! run. Oracle traces are pre-materialized before either timing and that
+//! phase is timed and reported separately (`trace_build_s`, with the
+//! emulated-vs-loaded-from-store split), so the sweep numbers measure
+//! parallel-sweep scaling and nothing else. Note: on a single-core machine
+//! the parallel number will roughly match the serial one — the point of
+//! the file is the trajectory, not a pass/fail gate.
 
 use std::time::Instant;
 
 use rcmc_core::Topology;
 use rcmc_sim::config::make;
-use rcmc_sim::runner::{cached_trace, Budget};
+use rcmc_sim::runner::{cached_trace, trace_cache_stats, Budget};
 use rcmc_sim::Session;
 
 const PAR_JOBS: usize = 4;
@@ -32,9 +34,12 @@ fn main() {
         make(Topology::Conv, 8, 2, 1),
     ];
     let benches = ["swim", "gzip", "mcf", "galgel", "ammp", "gcc"];
+    let t0 = Instant::now();
     for b in benches {
         cached_trace(b, budget.trace_len());
     }
+    let trace_build_s = t0.elapsed().as_secs_f64();
+    let ts = trace_cache_stats();
 
     let t0 = Instant::now();
     let serial = Session::ephemeral()
@@ -59,16 +64,22 @@ fn main() {
         serial.len()
     );
     println!("------------------------------------------------");
+    println!(
+        "trace build     {trace_build_s:>8.3} s  ({} emulated, {} from store)",
+        ts.built, ts.db_hits
+    );
     println!("jobs=1          {serial_s:>8.3} s");
     println!("jobs={PAR_JOBS}          {parallel_s:>8.3} s");
     println!("speedup         {speedup:>8.2} x");
 
     let json = format!(
         "{{\n  \"bench\": \"sweep_tiny_grid\",\n  \"grid\": \"4 configs x 6 benches\",\n  \
-         \"warmup\": {},\n  \"measure\": {},\n  \"serial_jobs1_s\": {serial_s:.3},\n  \
+         \"warmup\": {},\n  \"measure\": {},\n  \"trace_build_s\": {trace_build_s:.3},\n  \
+         \"traces_emulated\": {},\n  \"traces_from_store\": {},\n  \
+         \"serial_jobs1_s\": {serial_s:.3},\n  \
          \"parallel_jobs{PAR_JOBS}_s\": {parallel_s:.3},\n  \"speedup\": {speedup:.3},\n  \
          \"identical_results\": true\n}}\n",
-        budget.warmup, budget.measure
+        budget.warmup, budget.measure, ts.built, ts.db_hits
     );
     let out = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("..")

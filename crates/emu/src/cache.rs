@@ -10,21 +10,35 @@
 //! the first build finishes and then shares its `Arc`.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use parking_lot::Mutex;
 
 use crate::trace::DynInsn;
+use crate::trace_db::TraceDb;
 
 /// Per-key cell: the inner `OnceLock` serializes builders of one key without
 /// blocking the whole cache.
 type Cell = Arc<OnceLock<Arc<Vec<DynInsn>>>>;
+
+/// How a cache's traces were materialized so far ([`TraceCache::stats`]):
+/// split between fresh emulation and on-disk trace-store hits.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TraceCacheStats {
+    /// Traces produced by running the build closure (fresh emulation).
+    pub built: u64,
+    /// Traces decoded from a [`TraceDb`] instead of being built.
+    pub db_hits: u64,
+}
 
 /// A `Sync` map from `(name, len)` to a shared dynamic trace, with
 /// build-at-most-once semantics per key. Usable as a `static`.
 #[derive(Default)]
 pub struct TraceCache {
     map: OnceLock<Mutex<HashMap<(String, u64), Cell>>>,
+    built: AtomicU64,
+    db_hits: AtomicU64,
 }
 
 impl TraceCache {
@@ -32,6 +46,8 @@ impl TraceCache {
     pub const fn new() -> Self {
         TraceCache {
             map: OnceLock::new(),
+            built: AtomicU64::new(0),
+            db_hits: AtomicU64::new(0),
         }
     }
 
@@ -51,7 +67,48 @@ impl TraceCache {
             let mut map = self.map().lock();
             Arc::clone(map.entry((name.to_string(), len)).or_default())
         };
-        Arc::clone(cell.get_or_init(build))
+        Arc::clone(cell.get_or_init(|| {
+            self.built.fetch_add(1, Ordering::Relaxed);
+            build()
+        }))
+    }
+
+    /// [`TraceCache::get_or_build`] with an on-disk fallthrough: a miss in
+    /// the in-memory map consults `db` first (disk hit → decode and
+    /// populate the cell, no emulation), and only a disk miss runs `build`
+    /// — whose result (dynamic stream *and* whole-run facts) is then
+    /// persisted back into `db` so every later process warm-starts. The
+    /// once-per-key guarantee is unchanged: disk probing happens inside the
+    /// key's cell initialization, so concurrent requesters of one key share
+    /// a single decode or build.
+    pub fn get_or_build_via<F>(
+        &self,
+        name: &str,
+        len: u64,
+        db: Option<&TraceDb>,
+        build: F,
+    ) -> Arc<Vec<DynInsn>>
+    where
+        F: FnOnce() -> crate::trace::Trace,
+    {
+        let cell: Cell = {
+            let mut map = self.map().lock();
+            Arc::clone(map.entry((name.to_string(), len)).or_default())
+        };
+        Arc::clone(cell.get_or_init(|| {
+            if let Some(db) = db {
+                if let Some(hit) = db.load(name, len) {
+                    self.db_hits.fetch_add(1, Ordering::Relaxed);
+                    return hit;
+                }
+            }
+            let built = build();
+            self.built.fetch_add(1, Ordering::Relaxed);
+            if let Some(db) = db {
+                db.save(name, len, &built);
+            }
+            Arc::new(built.insns)
+        }))
     }
 
     /// Number of cached (or in-flight) keys.
@@ -64,7 +121,30 @@ impl TraceCache {
         self.len() == 0
     }
 
-    /// Drop every cached trace (outstanding `Arc`s stay alive).
+    /// In-memory bytes held by fully materialized traces (in-flight builds
+    /// count 0 until they finish).
+    pub fn bytes(&self) -> usize {
+        self.map()
+            .lock()
+            .values()
+            .filter_map(|c| c.get())
+            .map(|t| t.len() * std::mem::size_of::<DynInsn>())
+            .sum()
+    }
+
+    /// Lifetime materialization counters: how many traces were freshly
+    /// emulated vs decoded from an attached [`TraceDb`].
+    pub fn stats(&self) -> TraceCacheStats {
+        TraceCacheStats {
+            built: self.built.load(Ordering::Relaxed),
+            db_hits: self.db_hits.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drop every cached trace (outstanding `Arc`s stay alive). This only
+    /// evicts the *in-memory* map — traces persisted to an on-disk
+    /// [`TraceDb`] stay there, and the next [`TraceCache::get_or_build_via`]
+    /// repopulates from disk rather than re-emulating.
     pub fn clear(&self) {
         self.map().lock().clear();
     }

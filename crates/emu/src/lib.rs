@@ -16,8 +16,10 @@ mod cache;
 mod cpu;
 mod mem;
 mod trace;
+pub mod trace_db;
 
-pub use cache::TraceCache;
+pub use cache::{TraceCache, TraceCacheStats};
 pub use cpu::{Cpu, EmuError, StepOut};
 pub use mem::Memory;
 pub use trace::{trace_program, DynInsn, Trace, TraceError};
+pub use trace_db::{StoredTrace, TraceDb, TraceDbError, TraceMeta, TRACE_VERSION};

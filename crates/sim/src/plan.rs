@@ -560,16 +560,31 @@ impl Plan {
     /// The benchmark list (the whole suite if none given), each checked
     /// against the workload suite and deduplicated (first occurrence wins,
     /// mirroring configuration dedup — a repeated name must not simulate
-    /// the pair twice or inflate progress totals).
+    /// the pair twice or inflate progress totals). Resolves against the
+    /// process-default trace store, so imported traces are valid workloads.
     pub fn resolve_benches(&self) -> Result<Vec<String>, String> {
+        self.resolve_benches_in(crate::runner::default_trace_db())
+    }
+
+    /// [`Plan::resolve_benches`] against an explicit trace store: a name
+    /// that is not in the built-in suite still resolves if `db` holds an
+    /// imported trace under it (the [`Session`](crate::session::Session)
+    /// running the plan passes its own store here).
+    pub fn resolve_benches_in(
+        &self,
+        db: Option<&rcmc_emu::TraceDb>,
+    ) -> Result<Vec<String>, String> {
         if self.benches.is_empty() {
             return Ok(all_bench_names().iter().map(|b| b.to_string()).collect());
         }
         let mut seen = std::collections::HashSet::new();
         let mut out = Vec::new();
         for b in &self.benches {
-            if rcmc_workloads::benchmark(b).is_none() {
-                return Err(format!("unknown benchmark '{b}' (see `rcmc list`)"));
+            if !crate::runner::workload_exists(b, db) {
+                return Err(format!(
+                    "unknown benchmark '{b}' (see `rcmc list`; imported \
+                     traces: `rcmc trace list`)"
+                ));
             }
             if seen.insert(b.as_str()) {
                 out.push(b.clone());
@@ -582,10 +597,20 @@ impl Plan {
     /// configuration grid, resolve the benchmark list, verify every report
     /// (and that it only references configurations this plan actually
     /// runs), jobs ≥ 1. Returns the resolved `(configs, benches)` so
-    /// executors do the expansion exactly once.
+    /// executors do the expansion exactly once. Benchmarks resolve against
+    /// the process-default trace store; see [`Plan::resolve_in`].
     pub fn resolve(&self) -> Result<(Vec<SimConfig>, Vec<String>), String> {
+        self.resolve_in(crate::runner::default_trace_db())
+    }
+
+    /// [`Plan::resolve`] against an explicit trace store (imported traces
+    /// stored there count as known workloads).
+    pub fn resolve_in(
+        &self,
+        db: Option<&rcmc_emu::TraceDb>,
+    ) -> Result<(Vec<SimConfig>, Vec<String>), String> {
         let configs = self.resolve_configs()?;
-        let benches = self.resolve_benches()?;
+        let benches = self.resolve_benches_in(db)?;
         // A typo'd name in a report would otherwise render silently as a
         // neutral speedup / zero mean — the worst failure mode for a
         // reproduction harness — so reports are checked against the

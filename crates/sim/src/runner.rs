@@ -31,7 +31,7 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use rcmc_core::Core;
-use rcmc_emu::{trace_program, DynInsn, TraceCache};
+use rcmc_emu::{trace_program, DynInsn, TraceCache, TraceCacheStats, TraceDb};
 use rcmc_workloads::benchmark;
 use serde::{Deserialize, Serialize};
 
@@ -128,13 +128,81 @@ pub struct RunResult {
 /// matter how many sweep workers ask for it concurrently).
 static TRACES: TraceCache = TraceCache::new();
 
-/// Fetch (or build) the oracle trace for `bench` with `len` instructions.
+/// The process-default on-disk trace store ([`TraceDb`]): the workspace's
+/// `target/rcmc-traces`, overridable with `RCMC_TRACE_DIR=<dir>` and
+/// disabled entirely with `RCMC_TRACE_DIR=off` (or `none`/`0`/empty).
+/// Consulted once and memoized. Sessions can override per-instance with
+/// [`crate::session::Session::with_trace_store`].
+pub fn default_trace_db() -> Option<&'static TraceDb> {
+    static DB: OnceLock<Option<TraceDb>> = OnceLock::new();
+    DB.get_or_init(|| {
+        let dir = match std::env::var("RCMC_TRACE_DIR") {
+            Ok(v) if matches!(v.trim(), "" | "off" | "none" | "0") => return None,
+            Ok(v) => PathBuf::from(v),
+            Err(_) => std::env::var("CARGO_TARGET_DIR")
+                .map(PathBuf::from)
+                .unwrap_or_else(|_| {
+                    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                        .join("..")
+                        .join("..")
+                        .join("target")
+                })
+                .join("rcmc-traces"),
+        };
+        Some(TraceDb::at(dir))
+    })
+    .as_ref()
+}
+
+/// Materialization counters of the process-wide trace cache: how many
+/// traces were freshly emulated vs decoded from an on-disk store (what
+/// `rcmc plan run` reports and the CI warm-start check greps).
+pub fn trace_cache_stats() -> TraceCacheStats {
+    TRACES.stats()
+}
+
+/// In-memory bytes currently held by the process-wide trace cache.
+pub fn trace_cache_bytes() -> usize {
+    TRACES.bytes()
+}
+
+/// Whether `name` resolves to a runnable workload against `db`: a suite
+/// benchmark, or an imported trace stored under that name.
+pub fn workload_exists(name: &str, db: Option<&TraceDb>) -> bool {
+    benchmark(name).is_some() || db.is_some_and(|d| !d.lens_of(name).is_empty())
+}
+
+/// Fetch (or build) the oracle trace for `bench` with `len` instructions,
+/// using the process-default trace store as the disk fallthrough.
 pub fn cached_trace(bench: &str, len: u64) -> Arc<Vec<DynInsn>> {
-    TRACES.get_or_build(bench, len, || {
-        let b = benchmark(bench).unwrap_or_else(|| panic!("unknown benchmark '{bench}'"));
-        let trace = trace_program(&b.build(), len as usize)
-            .unwrap_or_else(|e| panic!("{bench} failed to emulate: {e}"));
-        Arc::new(trace.insns)
+    cached_trace_via(bench, len, default_trace_db())
+}
+
+/// [`cached_trace`] against an explicit trace store (`None` = fully
+/// in-memory). Suite benchmarks fall through memory → `db` → emulator;
+/// names that are not in the suite resolve to **imported traces**: the
+/// longest trace stored under that name is used regardless of `len`
+/// (externally captured workloads have a fixed length — a shorter trace
+/// simply ends the run early, exactly like a program that halts).
+///
+/// Panics if `bench` is neither a suite benchmark nor a stored trace;
+/// plan resolution ([`crate::plan::Plan::resolve`]) rejects such names
+/// before anything simulates.
+pub fn cached_trace_via(bench: &str, len: u64, db: Option<&TraceDb>) -> Arc<Vec<DynInsn>> {
+    if let Some(b) = benchmark(bench) {
+        return TRACES.get_or_build_via(bench, len, db, || {
+            trace_program(&b.build(), len as usize)
+                .unwrap_or_else(|e| panic!("{bench} failed to emulate: {e}"))
+        });
+    }
+    let stored = db.map(|d| d.lens_of(bench)).unwrap_or_default();
+    let Some(&best) = stored.last() else {
+        panic!("unknown workload '{bench}' (not in the suite or the trace store)");
+    };
+    TRACES.get_or_build_via(bench, best, db, || {
+        // Unreachable unless the file vanished between `lens_of` and here;
+        // there is no emulator path for imported workloads.
+        panic!("imported trace '{bench}' ({best} insns) disappeared from the trace store")
     })
 }
 
@@ -408,8 +476,13 @@ impl JobKey {
 
 /// Simulate one (configuration × benchmark) pair, returning the raw
 /// counters (no memoization, no reduction).
-fn simulate_stats(cfg: &SimConfig, bench: &str, budget: &Budget) -> rcmc_core::Stats {
-    let trace = cached_trace(bench, budget.trace_len());
+fn simulate_stats(
+    cfg: &SimConfig,
+    bench: &str,
+    budget: &Budget,
+    db: Option<&TraceDb>,
+) -> rcmc_core::Stats {
+    let trace = cached_trace_via(bench, budget.trace_len(), db);
     let mut core = Core::new(cfg.core.clone(), cfg.mem, cfg.pred, &trace);
     core.run_with_warmup(budget.warmup, budget.measure)
 }
@@ -419,11 +492,12 @@ fn simulate_stats(cfg: &SimConfig, bench: &str, budget: &Budget) -> rcmc_core::S
 /// Pure and deterministic — the sweep engine runs one per job across the
 /// pool, overlapped with other jobs' simulations.
 pub fn reduce_metrics(cfg: &SimConfig, bench: &str, stats: &rcmc_core::Stats) -> RunResult {
-    let b = benchmark(bench).unwrap_or_else(|| panic!("unknown benchmark '{bench}'"));
+    // Imported traces are not suite members; they count as INT workloads.
+    let fp = benchmark(bench).is_some_and(|b| b.is_fp());
     RunResult {
         config: cfg.name.clone(),
         bench: bench.to_string(),
-        fp: b.is_fp(),
+        fp,
         ipc: stats.ipc(),
         comms_per_insn: stats.comms_per_insn(),
         dist_per_comm: stats.dist_per_comm(),
@@ -436,13 +510,21 @@ pub fn reduce_metrics(cfg: &SimConfig, bench: &str, stats: &rcmc_core::Stats) ->
     }
 }
 
-/// Simulate one (configuration × benchmark) pair, memoized.
-pub fn run_pair(cfg: &SimConfig, bench: &str, budget: &Budget, store: &ResultStore) -> RunResult {
+/// Simulate one (configuration × benchmark) pair, memoized. `db` is the
+/// oracle-trace fallthrough the run materializes its trace against
+/// (`None` = in-memory only).
+pub fn run_pair(
+    cfg: &SimConfig,
+    bench: &str,
+    budget: &Budget,
+    store: &ResultStore,
+    db: Option<&TraceDb>,
+) -> RunResult {
     let key_name = store_name(cfg);
     if let Some(hit) = store.load(&key_name, bench, budget) {
         return hit;
     }
-    let stats = simulate_stats(cfg, bench, budget);
+    let stats = simulate_stats(cfg, bench, budget, db);
     let result = reduce_metrics(cfg, bench, &stats);
     store.save(&key_name, bench, budget, &result);
     result
@@ -451,20 +533,29 @@ pub fn run_pair(cfg: &SimConfig, bench: &str, budget: &Budget, store: &ResultSto
 /// Result map of a sweep, keyed by `(config, bench)`.
 pub type Results = HashMap<(String, String), RunResult>;
 
+/// The persistence environment a sweep runs against: the memoized result
+/// store plus the optional on-disk trace store jobs fall through to.
+#[derive(Clone, Copy)]
+pub(crate) struct SweepEnv<'a> {
+    pub store: &'a ResultStore,
+    pub db: Option<&'a TraceDb>,
+}
+
 /// The sweep engine: run every (config × benchmark) pair on `pool`'s
 /// workers, returning results keyed by `(config, bench)`. The result is
 /// bit-identical at every worker count. Crate-internal — the public entry
-/// point is [`crate::session::Session`], which owns the pool, the store and
-/// the progress sink.
+/// point is [`crate::session::Session`], which owns the pool, the stores
+/// and the progress sink.
 pub(crate) fn sweep_on(
     cfgs: &[SimConfig],
     benches: &[&str],
     budget: &Budget,
-    store: &ResultStore,
+    env: SweepEnv<'_>,
     pool: &rayon::ThreadPool,
     label: &str,
     on_progress: Option<ProgressFn<'_>>,
 ) -> Results {
+    let SweepEnv { store, db } = env;
     // Split memoized hits from jobs that actually need simulation.
     let mut out = Results::new();
     let mut todo: Vec<(&SimConfig, &str)> = Vec::new();
@@ -506,7 +597,7 @@ pub(crate) fn sweep_on(
     pool.scope(|s| {
         for &b in &stage_a {
             s.spawn(move || {
-                cached_trace(b, len);
+                cached_trace_via(b, len, db);
             });
         }
     });
@@ -532,7 +623,7 @@ pub(crate) fn sweep_on(
         let r = match store.load(&key_name, bench, budget) {
             Some(hit) => hit,
             None => {
-                let stats = simulate_stats(cfg, bench, budget);
+                let stats = simulate_stats(cfg, bench, budget, db);
                 let r = reduce_metrics(cfg, bench, &stats);
                 store.save(&key_name, bench, budget, &r);
                 r
@@ -581,7 +672,7 @@ mod tests {
     fn run_pair_produces_sane_metrics() {
         let cfg = make(Topology::Ring, 4, 2, 1);
         let store = ResultStore::ephemeral();
-        let r = run_pair(&cfg, "swim", &tiny_budget(), &store);
+        let r = run_pair(&cfg, "swim", &tiny_budget(), &store, None);
         // Commit width can overshoot each window boundary by up to 7.
         assert!(
             (r.committed as i64 - 8_000).unsigned_abs() < 16,
@@ -606,8 +697,8 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("rcmc-test-{}", std::process::id()));
         let store = ResultStore::at(dir.clone());
         let cfg = make(Topology::Conv, 4, 2, 1);
-        let r1 = run_pair(&cfg, "gzip", &tiny_budget(), &store);
-        let r2 = run_pair(&cfg, "gzip", &tiny_budget(), &store);
+        let r1 = run_pair(&cfg, "gzip", &tiny_budget(), &store, None);
+        let r2 = run_pair(&cfg, "gzip", &tiny_budget(), &store, None);
         assert_eq!(r1, r2);
         let _ = std::fs::remove_dir_all(dir);
     }
@@ -618,7 +709,7 @@ mod tests {
         let store = ResultStore::at(dir.clone());
         let cfg = make(Topology::Conv, 4, 2, 1);
         let budget = tiny_budget();
-        let r = run_pair(&cfg, "swim", &budget, &ResultStore::ephemeral());
+        let r = run_pair(&cfg, "swim", &budget, &ResultStore::ephemeral(), None);
         assert!(
             store.save(&cfg.name, "swim", &budget, &r),
             "save to a writable dir must persist"
@@ -648,8 +739,8 @@ mod tests {
         let budget = tiny_budget();
         let a = make(Topology::Ring, 4, 2, 1);
         let b = make(Topology::Conv, 4, 2, 1);
-        let ra = run_pair(&a, "gzip", &budget, &store);
-        let rb = run_pair(&b, "gzip", &budget, &store);
+        let ra = run_pair(&a, "gzip", &budget, &store, None);
+        let rb = run_pair(&b, "gzip", &budget, &store, None);
         // One subdirectory per configuration, no flat files at the root.
         for cfg in [&a, &b] {
             assert!(dir.join(&cfg.name).is_dir(), "missing shard {}", cfg.name);
@@ -671,7 +762,7 @@ mod tests {
         let store = ResultStore::at(dir.clone());
         let budget = tiny_budget();
         let cfg = make(Topology::Ring, 4, 2, 1);
-        let r = run_pair(&cfg, "mcf", &budget, &ResultStore::ephemeral());
+        let r = run_pair(&cfg, "mcf", &budget, &ResultStore::ephemeral(), None);
         // Plant the result where a pre-sharding store would have put it.
         let key = ResultStore::key(&cfg.name, "mcf", &budget);
         let flat = dir.join(format!("{key}.json"));
@@ -704,11 +795,11 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("rcmc-thr-{}", std::process::id()));
         let store = ResultStore::at(dir.clone());
         let budget = tiny_budget();
-        let fresh = run_pair(&xbar, "gzip", &budget, &ResultStore::ephemeral());
+        let fresh = run_pair(&xbar, "gzip", &budget, &ResultStore::ephemeral(), None);
         let mut stale = fresh.clone();
         stale.ipc = 999.0;
         assert!(store.save(&xbar.name, "gzip", &budget, &stale));
-        let got = run_pair(&xbar, "gzip", &budget, &store);
+        let got = run_pair(&xbar, "gzip", &budget, &store, None);
         assert_eq!(got, fresh, "stale pre-recalibration row leaked in");
         // And the fresh row is now memoized under the tagged name.
         assert_eq!(
@@ -722,8 +813,8 @@ mod tests {
     fn runs_are_deterministic() {
         let cfg = make(Topology::Ring, 8, 1, 1);
         let store = ResultStore::ephemeral();
-        let a = run_pair(&cfg, "mcf", &tiny_budget(), &store);
-        let b = run_pair(&cfg, "mcf", &tiny_budget(), &store);
+        let a = run_pair(&cfg, "mcf", &tiny_budget(), &store, None);
+        let b = run_pair(&cfg, "mcf", &tiny_budget(), &store, None);
         assert_eq!(a, b);
     }
 
@@ -772,7 +863,11 @@ mod tests {
                 .unwrap()
                 .push((p.finished, p.total, p.memoized));
         };
-        sweep_on(&cfgs, &["gzip"], &budget, &store, &pool, "", Some(&cb));
+        let env = SweepEnv {
+            store: &store,
+            db: None,
+        };
+        sweep_on(&cfgs, &["gzip"], &budget, env, &pool, "", Some(&cb));
         let cold = std::mem::take(&mut *events.lock().unwrap());
         assert_eq!(
             cold.last(),
@@ -781,7 +876,7 @@ mod tests {
         );
         // Warm rerun: every pair memoized. Exactly one terminal event with
         // `total == 0` so consumers still observe completion.
-        sweep_on(&cfgs, &["gzip"], &budget, &store, &pool, "", Some(&cb));
+        sweep_on(&cfgs, &["gzip"], &budget, env, &pool, "", Some(&cb));
         let warm = events.lock().unwrap().clone();
         assert_eq!(warm, vec![(0, 0, 1)], "warm sweep events");
         let _ = std::fs::remove_dir_all(dir);

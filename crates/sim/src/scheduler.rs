@@ -355,12 +355,13 @@ impl Scheduler {
         }
     }
 
-    /// One worker loop: pop jobs, simulate (memoized via the store), and
-    /// deliver the row to every subscriber. Returns when the scheduler is
-    /// closed and the queue is drained.
-    pub fn worker(&self, store: &ResultStore, emit: EmitFn<'_>) {
+    /// One worker loop: pop jobs, simulate (memoized via the store, traces
+    /// via the shared `db` handle), and deliver the row to every
+    /// subscriber. Returns when the scheduler is closed and the queue is
+    /// drained.
+    pub fn worker(&self, store: &ResultStore, db: Option<&rcmc_emu::TraceDb>, emit: EmitFn<'_>) {
         while let Some((key, cfg)) = self.next_job() {
-            let r = runner::run_pair(&cfg, &key.bench, &key.budget, store);
+            let r = runner::run_pair(&cfg, &key.bench, &key.budget, store, db);
             let job = {
                 let mut st = lock(&self.state);
                 st.stats.executed += 1;

@@ -138,8 +138,9 @@ fn run_request(
         }
     };
     // Resolve up front: rejects bad plans before any simulation and yields
-    // the configuration order the result's reports render in.
-    let (cfgs, benches) = match plan.resolve() {
+    // the configuration order the result's reports render in. The session's
+    // trace store is consulted so imported traces are servable workloads.
+    let (cfgs, benches) = match plan.resolve_in(session.trace_db()) {
         Ok(r) => r,
         Err(e) => {
             emit(&event(id, "error", vec![("error", Value::Str(e))]));
@@ -345,7 +346,7 @@ pub fn serve_with<R: BufRead, W: Write + Send>(
         let sched = &sched;
         session.pool().scope(|s| {
             for _ in 0..session.jobs() {
-                s.spawn(move || sched.worker(session.store(), emit));
+                s.spawn(move || sched.worker(session.store(), session.trace_db(), emit));
             }
             let r = read_requests(session, sched, &mut input, emit, &mut summary);
             // Whatever ended the read loop, stop the workers: they drain

@@ -16,6 +16,8 @@
 //! println!("{}", rs.to_csv());
 //! ```
 
+use rcmc_emu::TraceDb;
+
 use crate::config::SimConfig;
 use crate::plan::Plan;
 use crate::resultset::ResultSet;
@@ -58,6 +60,9 @@ pub struct Session {
     pool: rayon::ThreadPool,
     jobs: usize,
     progress: Progress,
+    // On-disk oracle-trace fallthrough; one handle shared by every sweep
+    // worker (and the serve scheduler's workers) of this session.
+    trace_db: Option<TraceDb>,
 }
 
 impl Default for Session {
@@ -74,12 +79,15 @@ impl Session {
         Session::with_store(ResultStore::open_default())
     }
 
-    /// A session that memoizes nothing (tests, throwaway experiments).
+    /// A session that memoizes nothing and touches no on-disk trace store
+    /// (tests, throwaway experiments). The process-wide in-memory trace
+    /// cache is still shared.
     pub fn ephemeral() -> Session {
-        Session::with_store(ResultStore::ephemeral())
+        Session::with_store(ResultStore::ephemeral()).without_trace_store()
     }
 
-    /// A session over an explicit store.
+    /// A session over an explicit store (trace store: the process default,
+    /// see [`runner::default_trace_db`]).
     pub fn with_store(store: ResultStore) -> Session {
         let jobs = runner::default_jobs();
         Session {
@@ -87,6 +95,7 @@ impl Session {
             pool: rayon::ThreadPool::new(jobs),
             jobs,
             progress: Progress::Silent,
+            trace_db: runner::default_trace_db().cloned(),
         }
     }
 
@@ -102,6 +111,24 @@ impl Session {
     pub fn with_progress(mut self, progress: Progress) -> Session {
         self.progress = progress;
         self
+    }
+
+    /// Use an explicit on-disk trace store for this session's sweeps.
+    pub fn with_trace_store(mut self, db: TraceDb) -> Session {
+        self.trace_db = Some(db);
+        self
+    }
+
+    /// Disable the on-disk trace store for this session (every missing
+    /// trace is emulated; nothing is persisted).
+    pub fn without_trace_store(mut self) -> Session {
+        self.trace_db = None;
+        self
+    }
+
+    /// The session's trace store, if one is attached.
+    pub fn trace_db(&self) -> Option<&TraceDb> {
+        self.trace_db.as_ref()
     }
 
     /// Worker count of the session's pool.
@@ -151,8 +178,9 @@ impl Session {
         progress: Option<ProgressFn<'_>>,
     ) -> Result<ResultSet, String> {
         // One resolution pass covers validation too (report references,
-        // jobs bounds) — see `Plan::resolve`.
-        let (cfgs, benches) = plan.resolve()?;
+        // jobs bounds) — see `Plan::resolve`. Resolution happens against
+        // this session's trace store so its imported traces are runnable.
+        let (cfgs, benches) = plan.resolve_in(self.trace_db.as_ref())?;
         let bench_refs: Vec<&str> = benches.iter().map(|b| b.as_str()).collect();
         let budget = plan.budget.unwrap_or_default();
         Ok(self.sweep_opt(&cfgs, &bench_refs, &budget, &plan.name, plan.jobs, progress))
@@ -196,14 +224,18 @@ impl Session {
         };
         let override_pool = jobs_override.map(|j| rayon::ThreadPool::new(j.max(1)));
         let pool = override_pool.as_ref().unwrap_or(&self.pool);
-        let map = runner::sweep_on(cfgs, benches, budget, &self.store, pool, label, cb);
+        let env = runner::SweepEnv {
+            store: &self.store,
+            db: self.trace_db.as_ref(),
+        };
+        let map = runner::sweep_on(cfgs, benches, budget, env, pool, label, cb);
         ResultSet::from_map(map)
     }
 
     /// Run (or load) a single `(configuration, benchmark)` pair through the
     /// session's store.
     pub fn run_one(&self, cfg: &SimConfig, bench: &str, budget: &Budget) -> RunResult {
-        runner::run_pair(cfg, bench, budget, &self.store)
+        runner::run_pair(cfg, bench, budget, &self.store, self.trace_db.as_ref())
     }
 }
 

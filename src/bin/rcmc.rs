@@ -5,7 +5,10 @@
 //! rcmc run swim --config Ring_8clus_1bus_2IW --instrs 100000
 //! rcmc compare galgel --jobs 2      # Ring vs Conv side by side
 //! rcmc disasm mcf --limit 40        # static code of a surrogate benchmark
-//! rcmc trace gzip --from 500 --len 24 [--config NAME]
+//! rcmc trace view gzip --from 500 --len 24 [--config NAME]
+//! rcmc trace record swim            # emulate + persist to the trace store
+//! rcmc trace import f.trc --name x  # adopt an externally captured trace
+//! rcmc trace list | verify | rm     # manage the on-disk trace store
 //! rcmc figures --jobs 8             # regenerate every table and figure
 //! rcmc csv --out sweep.csv          # main sweep as CSV
 //! rcmc layout                       # §3.2 area/floorplan study
@@ -24,9 +27,11 @@
 use std::collections::HashMap;
 
 use ring_clustered::core::{Core, PipeTracer};
-use ring_clustered::emu::trace_program;
+use ring_clustered::emu::{trace_program, TraceDb};
 use ring_clustered::sim::experiments::{self, plans};
-use ring_clustered::sim::runner::{cached_trace, default_jobs, Budget};
+use ring_clustered::sim::runner::{
+    cached_trace, default_jobs, default_trace_db, trace_cache_stats, Budget,
+};
 use ring_clustered::sim::{config, serve, Plan, Progress, ResultStore, Session};
 use ring_clustered::workloads::{benchmark, suite};
 
@@ -38,23 +43,49 @@ fn main() {
         return;
     };
     let flags = match cmd.as_str() {
-        "list" | "layout" => parse_flags(cmd, &args[1..], &[]),
+        "list" | "layout" => parse_flags(cmd, &args[1..], &[], &[]),
         "serve" => parse_flags(
             cmd,
             &args[1..],
-            &["jobs", "store", "queue-limit", "progress"],
+            &["jobs", "store", "queue-limit", "progress", "trace-store"],
+            &["no-trace-store"],
         ),
         "run" => parse_flags(
             cmd,
             &args[1..],
-            &["config", "topology", "steering", "instrs", "warmup", "jobs"],
+            &[
+                "config",
+                "topology",
+                "steering",
+                "instrs",
+                "warmup",
+                "jobs",
+                "trace-store",
+            ],
+            &["no-trace-store"],
         ),
-        "compare" => parse_flags(cmd, &args[1..], &["instrs", "warmup", "jobs"]),
-        "disasm" => parse_flags(cmd, &args[1..], &["limit"]),
-        "trace" => parse_flags(cmd, &args[1..], &["from", "len", "config"]),
-        "figures" | "report" => parse_flags(cmd, &args[1..], &["jobs"]),
-        "csv" => parse_flags(cmd, &args[1..], &["out", "jobs"]),
-        "plan" => parse_flags(cmd, &args[1..], &["jobs", "out"]),
+        "compare" => parse_flags(cmd, &args[1..], &["instrs", "warmup", "jobs"], &[]),
+        "disasm" => parse_flags(cmd, &args[1..], &["limit"], &[]),
+        "trace" => {
+            // Flag vocabulary depends on the verb; `parse_flags` skips bare
+            // words, so handing it the verb as a positional is harmless.
+            let allowed: &[&str] = match args.get(1).map(String::as_str) {
+                Some("view") => &["from", "len", "config"],
+                Some("record") => &["len", "trace-store"],
+                Some("import") => &["name", "trace-store"],
+                Some("rm") => &["len", "trace-store"],
+                _ => &["trace-store"], // list | verify | errors
+            };
+            parse_flags(cmd, &args[1..], allowed, &[])
+        }
+        "figures" | "report" => parse_flags(cmd, &args[1..], &["jobs"], &[]),
+        "csv" => parse_flags(cmd, &args[1..], &["out", "jobs"], &[]),
+        "plan" => parse_flags(
+            cmd,
+            &args[1..],
+            &["jobs", "out", "store", "trace-store"],
+            &["no-trace-store"],
+        ),
         other => {
             eprintln!("unknown command '{other}'\n");
             usage();
@@ -89,12 +120,16 @@ fn usage() {
          \x20 compare <bench> [--instrs N] [--warmup N] [--jobs N]\n\
          \x20                               Ring vs Conv side by side\n\
          \x20 disasm <bench> [--limit N]    static surrogate code\n\
-         \x20 trace <bench> [--from I] [--len N] [--config NAME]\n\
+         \x20 trace view <bench> [--from I] [--len N] [--config NAME]\n\
          \x20                               cycle-by-cycle pipeline view\n\
+         \x20 trace record <bench> [--len N]   emulate + persist to the trace store\n\
+         \x20 trace import <file> [--name N]   adopt an external .trc as a workload\n\
+         \x20 trace list | verify [name] | rm <name> [--len N]\n\
+         \x20                               manage the on-disk trace store\n\
          \x20 figures [--jobs N]            regenerate all tables/figures\n\
          \x20 csv [--out FILE] [--jobs N]   dump the main sweep as CSV\n\
          \x20 layout                        area + floorplan study\n\
-         \x20 plan run <spec.json> [--jobs N] [--out FILE]\n\
+         \x20 plan run <spec.json> [--jobs N] [--out FILE] [--store DIR]\n\
          \x20                               execute a plan spec file\n\
          \x20 plan show <name>              print a builtin plan as JSON\n\
          \x20 plan list                     builtin plan names\n\
@@ -104,9 +139,16 @@ fn usage() {
          \x20                               concurrent JSON-lines request loop on\n\
          \x20                               stdin/stdout (see README 'Serve concurrency')\n\
          \n\
+         run, plan run, serve and every trace verb also accept\n\
+         \x20 --trace-store DIR             use an explicit on-disk trace store\n\
+         \x20 --no-trace-store              emulate everything, persist nothing\n\
+         \x20                               (not a trace verb flag)\n\
+         \n\
          environment:\n\
          \x20 RCMC_INSTRS / RCMC_WARMUP     default measurement window\n\
          \x20 RCMC_JOBS                     default sweep worker count (else all cores)\n\
+         \x20 RCMC_TRACE_DIR                trace store directory ('off' disables;\n\
+         \x20                               default target/rcmc-traces)\n\
          \n\
          --jobs parallelizes sweeps; `run` accepts it for symmetry but a single\n\
          run always uses one worker.\n\
@@ -119,13 +161,25 @@ fn usage() {
     );
 }
 
-/// Parse `--flag value` pairs, rejecting flags outside `allowed` and flags
-/// with a missing value. Bare words (positionals) pass through untouched.
-fn parse_flags(cmd: &str, rest: &[String], allowed: &[&str]) -> HashMap<String, String> {
+/// Parse `--flag value` pairs plus bare `--switch` toggles, rejecting
+/// flags outside `allowed`/`switches` and value flags with a missing
+/// value. Bare words (positionals) pass through untouched; a present
+/// switch maps to `"true"`.
+fn parse_flags(
+    cmd: &str,
+    rest: &[String],
+    allowed: &[&str],
+    switches: &[&str],
+) -> HashMap<String, String> {
     let mut out = HashMap::new();
     let mut i = 0;
     while i < rest.len() {
         if let Some(key) = rest[i].strip_prefix("--") {
+            if switches.contains(&key) {
+                out.insert(key.to_string(), "true".to_string());
+                i += 1;
+                continue;
+            }
             if !allowed.contains(&key) {
                 eprintln!("unknown flag '--{key}' for '{cmd}'\n");
                 usage();
@@ -206,6 +260,34 @@ fn session_from(flags: &HashMap<String, String>) -> Session {
         .with_progress(Progress::Stderr)
 }
 
+/// Resolve `--trace-store DIR` / `--no-trace-store` (default: the
+/// process-wide store, itself governed by `RCMC_TRACE_DIR`).
+fn trace_db_from(flags: &HashMap<String, String>) -> Option<TraceDb> {
+    if flags.contains_key("no-trace-store") {
+        return None;
+    }
+    match flags.get("trace-store") {
+        Some(dir) => Some(TraceDb::at(dir.into())),
+        None => default_trace_db().cloned(),
+    }
+}
+
+/// Apply [`trace_db_from`] to a session.
+fn with_trace_db(session: Session, flags: &HashMap<String, String>) -> Session {
+    match trace_db_from(flags) {
+        Some(db) => session.with_trace_store(db),
+        None => session.without_trace_store(),
+    }
+}
+
+/// The trace-management verbs need a concrete store; explain the escape
+/// hatches if the default one is disabled.
+fn trace_db_required(flags: &HashMap<String, String>) -> TraceDb {
+    trace_db_from(flags).unwrap_or_else(|| {
+        die("the trace store is disabled (RCMC_TRACE_DIR); pass --trace-store DIR".to_string())
+    })
+}
+
 fn find_config(name: &str) -> config::SimConfig {
     config::find_config(name).unwrap_or_else(|| {
         eprintln!("unknown configuration '{name}' (see `rcmc list`)");
@@ -267,7 +349,7 @@ fn run(args: &[String], flags: &HashMap<String, String>) {
     }
     let budget = budget_from(flags);
     let _ = jobs_from(flags); // validated; a single run always uses one worker
-    let session = Session::new();
+    let session = with_trace_db(Session::new(), flags);
     let r = session.run_one(&cfg, &bench, &budget);
     println!(
         "{bench} on {} ({} measured instructions):",
@@ -320,7 +402,31 @@ fn disasm(args: &[String], flags: &HashMap<String, String>) {
 }
 
 fn trace_cmd(args: &[String], flags: &HashMap<String, String>) {
-    let bench = positional(args, 1, "benchmark name");
+    let sub = positional(
+        args,
+        1,
+        "trace subcommand (view | record | import | list | rm | verify)",
+    );
+    match sub.as_str() {
+        "view" => trace_view(args, flags),
+        "record" => trace_record(args, flags),
+        "import" => trace_import(args, flags),
+        "list" => trace_list(flags),
+        "rm" => trace_rm(args, flags),
+        "verify" => trace_verify(args, flags),
+        other => {
+            if benchmark(other).is_some() {
+                eprintln!("the pipeline view moved: use `rcmc trace view {other} ...`");
+            } else {
+                eprintln!("unknown trace subcommand '{other}' (view | record | import | list | rm | verify)");
+            }
+            std::process::exit(1);
+        }
+    }
+}
+
+fn trace_view(args: &[String], flags: &HashMap<String, String>) {
+    let bench = positional(args, 2, "benchmark name");
     let from: u32 = num_flag(flags, "from").unwrap_or(1000);
     let len: u32 = num_flag(flags, "len").unwrap_or(24);
     let cfg_name = flags
@@ -340,6 +446,112 @@ fn trace_cmd(args: &[String], flags: &HashMap<String, String>) {
     print!("{}", tracer.render(&trace, 100));
     let (wait, lat) = tracer.latency_summary();
     println!("mean dispatch→issue wait {wait:.1} cycles; mean issue→complete {lat:.1} cycles");
+}
+
+/// `rcmc trace record <bench> [--len N]` — emulate a suite benchmark and
+/// persist its oracle trace, making later runs (any process) warm-start.
+fn trace_record(args: &[String], flags: &HashMap<String, String>) {
+    let bench = positional(args, 2, "benchmark name");
+    let Some(b) = benchmark(&bench) else {
+        eprintln!("unknown benchmark '{bench}' (see `rcmc list`)");
+        std::process::exit(1);
+    };
+    let len: u64 = num_flag(flags, "len").unwrap_or_else(|| Budget::default().trace_len());
+    let db = trace_db_required(flags);
+    let trace =
+        trace_program(&b.build(), len as usize).unwrap_or_else(|e| die(format!("{bench}: {e}")));
+    let n = trace.insns.len();
+    if !db.save(&bench, len, &trace) {
+        die::<()>(format!(
+            "trace store '{}' is not writable",
+            db.dir().display()
+        ));
+    }
+    println!(
+        "recorded {bench}/{len}: {n} dynamic instructions -> {}",
+        db.dir().join(&bench).join(format!("{len}.trc")).display()
+    );
+}
+
+/// `rcmc trace import <file> [--name NAME]` — adopt an externally captured
+/// `.trc` file (full strict validation) as a named workload.
+fn trace_import(args: &[String], flags: &HashMap<String, String>) {
+    let path = positional(args, 2, "trace file");
+    let bytes = std::fs::read(&path).unwrap_or_else(|e| die(format!("cannot read '{path}': {e}")));
+    let db = trace_db_required(flags);
+    match db.import(&bytes, flags.get("name").map(String::as_str)) {
+        Ok((name, len)) => println!(
+            "imported '{path}' as workload '{name}' ({len} instructions); \
+             run it like any benchmark: `rcmc run {name}`"
+        ),
+        Err(e) => die(format!("invalid trace file '{path}': {e}")),
+    }
+}
+
+/// `rcmc trace list` — catalog the store.
+fn trace_list(flags: &HashMap<String, String>) {
+    let db = trace_db_required(flags);
+    let metas = db.list();
+    if metas.is_empty() {
+        println!("trace store {} is empty", db.dir().display());
+        return;
+    }
+    println!("trace store {}:", db.dir().display());
+    println!(
+        "  {:<24} {:>12} {:>12} {:>10}  run",
+        "name/len", "insns", "bytes", "version"
+    );
+    for m in metas {
+        println!(
+            "  {:<24} {:>12} {:>12} {:>10}  {}",
+            format!("{}/{}", m.name, m.len),
+            m.insns,
+            m.bytes,
+            m.trace_version,
+            if m.halted { "halted" } else { "budget" },
+        );
+    }
+}
+
+/// `rcmc trace rm <name> [--len N]` — evict stored traces.
+fn trace_rm(args: &[String], flags: &HashMap<String, String>) {
+    let name = positional(args, 2, "workload name");
+    let db = trace_db_required(flags);
+    let removed = db.remove(&name, num_flag(flags, "len"));
+    println!("removed {removed} trace file(s) for '{name}'");
+    if removed == 0 {
+        std::process::exit(1);
+    }
+}
+
+/// `rcmc trace verify [<name>]` — strict-decode every stored trace (full
+/// per-record ISA validation, not just the checksum) and report damage.
+fn trace_verify(args: &[String], flags: &HashMap<String, String>) {
+    let db = trace_db_required(flags);
+    let only = args.get(2).filter(|a| !a.starts_with("--"));
+    let metas: Vec<_> = db
+        .list()
+        .into_iter()
+        .filter(|m| only.is_none_or(|n| &m.name == n))
+        .collect();
+    if metas.is_empty() {
+        println!("nothing to verify in {}", db.dir().display());
+        return;
+    }
+    let mut bad = 0;
+    for m in &metas {
+        match db.verify(&m.name, m.len) {
+            Ok(n) => println!("ok      {}/{} ({n} instructions)", m.name, m.len),
+            Err(e) => {
+                bad += 1;
+                println!("CORRUPT {}/{}: {e}", m.name, m.len);
+            }
+        }
+    }
+    println!("{} verified, {bad} corrupt", metas.len() - bad);
+    if bad > 0 {
+        std::process::exit(1);
+    }
 }
 
 fn die<T>(e: String) -> T {
@@ -420,8 +632,17 @@ fn plan_cmd(args: &[String], flags: &HashMap<String, String>) {
                 Some(jobs) => plan = plan.jobs(jobs),
                 None => {}
             }
-            let session = Session::new().with_progress(Progress::Stderr);
-            let (cfgs, benches) = plan.resolve().unwrap_or_else(die);
+            // `--store DIR` isolates result memoization (CI uses separate
+            // stores with one shared trace store to prove warm-starting).
+            let store = match flags.get("store") {
+                Some(dir) => ResultStore::at(dir.into()),
+                None => ResultStore::open_default(),
+            };
+            let session = with_trace_db(
+                Session::with_store(store).with_progress(Progress::Stderr),
+                flags,
+            );
+            let (cfgs, benches) = plan.resolve_in(session.trace_db()).unwrap_or_else(die);
             eprintln!(
                 "plan '{}': {} configurations × {} benchmarks",
                 plan.name,
@@ -429,6 +650,11 @@ fn plan_cmd(args: &[String], flags: &HashMap<String, String>) {
                 benches.len(),
             );
             let rs = session.run(&plan).unwrap_or_else(die);
+            let ts = trace_cache_stats();
+            eprintln!(
+                "traces: {} emulated, {} loaded from trace store",
+                ts.built, ts.db_hits
+            );
             let mut out = String::new();
             if plan.reports.is_empty() {
                 out.push_str(&rs.to_csv());
@@ -479,7 +705,10 @@ fn serve_cmd(flags: &HashMap<String, String>) {
         Some(dir) => ResultStore::at(dir.into()),
         None => ResultStore::open_default(),
     };
-    let mut session = Session::with_store(store).with_jobs(jobs_from(flags));
+    let mut session = with_trace_db(
+        Session::with_store(store).with_jobs(jobs_from(flags)),
+        flags,
+    );
     // Default stays silent: serve streams its own JSON progress events.
     // `--progress stderr` additionally mirrors the labelled status line.
     match flags.get("progress").map(String::as_str) {

@@ -1,0 +1,203 @@
+//! End-to-end lifecycle of the `rcmc trace` subcommand family against an
+//! isolated `--trace-store`: record → list → verify → rm, importing a
+//! captured file under a new name, and running the import as a workload.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn rcmc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_rcmc"))
+}
+
+fn temp_store(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rcmc-tcli-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn stdout(out: &std::process::Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn record_list_verify_rm_lifecycle() {
+    let dir = temp_store("lifecycle");
+    let store = dir.to_str().unwrap();
+
+    let rec = rcmc()
+        .args([
+            "trace",
+            "record",
+            "swim",
+            "--len",
+            "4000",
+            "--trace-store",
+            store,
+        ])
+        .output()
+        .unwrap();
+    assert!(rec.status.success(), "{rec:?}");
+    assert!(stdout(&rec).contains("recorded swim/4000"), "{rec:?}");
+
+    let ls = rcmc()
+        .args(["trace", "list", "--trace-store", store])
+        .output()
+        .unwrap();
+    assert!(ls.status.success(), "{ls:?}");
+    assert!(stdout(&ls).contains("swim/4000"), "{ls:?}");
+
+    let ver = rcmc()
+        .args(["trace", "verify", "--trace-store", store])
+        .output()
+        .unwrap();
+    assert!(ver.status.success(), "{ver:?}");
+    assert!(stdout(&ver).contains("ok      swim/4000"), "{ver:?}");
+    assert!(stdout(&ver).contains("1 verified, 0 corrupt"), "{ver:?}");
+
+    // Damage the stored file: verify must flag it and exit non-zero,
+    // and rm must still be able to evict it.
+    let path = dir.join("swim").join("4000.trc");
+    let mut bytes = std::fs::read(&path).unwrap();
+    let n = bytes.len();
+    bytes[n - 1] ^= 1;
+    std::fs::write(&path, &bytes).unwrap();
+    let bad = rcmc()
+        .args(["trace", "verify", "--trace-store", store])
+        .output()
+        .unwrap();
+    assert_eq!(bad.status.code(), Some(1), "{bad:?}");
+    assert!(stdout(&bad).contains("CORRUPT swim/4000"), "{bad:?}");
+
+    let rm = rcmc()
+        .args(["trace", "rm", "swim", "--trace-store", store])
+        .output()
+        .unwrap();
+    assert!(rm.status.success(), "{rm:?}");
+    assert!(stdout(&rm).contains("removed 1 trace file(s)"), "{rm:?}");
+
+    // Removing again finds nothing and exits 1.
+    let rm2 = rcmc()
+        .args(["trace", "rm", "swim", "--trace-store", store])
+        .output()
+        .unwrap();
+    assert_eq!(rm2.status.code(), Some(1), "{rm2:?}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn import_under_new_name_and_run_it() {
+    let dir = temp_store("import");
+    let store = dir.to_str().unwrap();
+
+    // Capture a trace, then re-import the raw file as a new workload.
+    let rec = rcmc()
+        .args([
+            "trace",
+            "record",
+            "mcf",
+            "--len",
+            "3000",
+            "--trace-store",
+            store,
+        ])
+        .output()
+        .unwrap();
+    assert!(rec.status.success(), "{rec:?}");
+    let captured = dir.join("mcf").join("3000.trc");
+    let imp = rcmc()
+        .args([
+            "trace",
+            "import",
+            captured.to_str().unwrap(),
+            "--name",
+            "myext",
+            "--trace-store",
+            store,
+        ])
+        .output()
+        .unwrap();
+    assert!(imp.status.success(), "{imp:?}");
+    assert!(stdout(&imp).contains("workload 'myext'"), "{imp:?}");
+
+    // The import is now a named workload: `rcmc run` simulates it. The
+    // result store is redirected so a memoized result from an earlier
+    // run can never satisfy this invocation without simulating.
+    let target = temp_store("import-target");
+    let run = rcmc()
+        .env("CARGO_TARGET_DIR", &target)
+        .args([
+            "run",
+            "myext",
+            "--instrs",
+            "2000",
+            "--warmup",
+            "500",
+            "--trace-store",
+            store,
+        ])
+        .output()
+        .unwrap();
+    assert!(run.status.success(), "{run:?}");
+    assert!(stdout(&run).contains("myext"), "{run:?}");
+    let _ = std::fs::remove_dir_all(&target);
+
+    // A garbage file must be rejected wholesale.
+    let junk = dir.join("junk.trc");
+    std::fs::write(&junk, b"not a trace at all").unwrap();
+    let bad = rcmc()
+        .args([
+            "trace",
+            "import",
+            junk.to_str().unwrap(),
+            "--trace-store",
+            store,
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(bad.status.code(), Some(1), "{bad:?}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn no_trace_store_leaves_no_files() {
+    let dir = temp_store("off");
+    let store = dir.to_str().unwrap();
+    let target = temp_store("off-target");
+    // RCMC_TRACE_DIR would normally populate `dir`; the escape hatch
+    // must win over the environment. The result store is redirected so
+    // both invocations really simulate (a memoized result would build
+    // no trace at all).
+    let run = rcmc()
+        .env("RCMC_TRACE_DIR", store)
+        .env("CARGO_TARGET_DIR", &target)
+        .args([
+            "run",
+            "swim",
+            "--instrs",
+            "2000",
+            "--warmup",
+            "500",
+            "--no-trace-store",
+        ])
+        .output()
+        .unwrap();
+    assert!(run.status.success(), "{run:?}");
+    assert!(!dir.exists(), "--no-trace-store must not write {dir:?}");
+
+    // Without the escape hatch the same run persists the trace (fresh
+    // result store again — same reasoning).
+    let target2 = temp_store("off-target2");
+    let run2 = rcmc()
+        .env("RCMC_TRACE_DIR", store)
+        .env("CARGO_TARGET_DIR", &target2)
+        .args(["run", "swim", "--instrs", "2000", "--warmup", "500"])
+        .output()
+        .unwrap();
+    assert!(run2.status.success(), "{run2:?}");
+    assert!(dir.join("swim").exists(), "default-on store must persist");
+    for d in [&dir, &target, &target2] {
+        let _ = std::fs::remove_dir_all(d);
+    }
+}
