@@ -11,7 +11,9 @@
 //! Cold is timed once (it is a once-per-store event by design); warm is
 //! the median of `RCMC_TRACE_BENCH_REPS` passes (default 5). Emits
 //! `BENCH_trace.json` at the repo root (atomic rename, like the other
-//! BENCH files) with `cold_s`, `warm_s`, `warm_speedup` and `decode_MBps`.
+//! BENCH files) with `cold_s`, `warm_s`, `warm_speedup`, `decode_MBps`,
+//! and the on-disk `bytes_per_insn` next to the flat v1 figure the format
+//! v2 zero-run codec replaces.
 //! Knobs: `RCMC_TRACE_BENCH_INSTRS` (measure half of the budget; default
 //! 30000), `RCMC_TRACE_BENCH_REPS`.
 
@@ -128,6 +130,7 @@ fn main() {
 
     // Bit-identity: stored == freshly emulated, whole-run facts included.
     let mut bytes_total = 0u64;
+    let mut insns_total = 0u64;
     for name in &names {
         let b = benchmark(name).unwrap();
         let fresh = trace_program(&b.build(), len as usize).unwrap();
@@ -145,17 +148,30 @@ fn main() {
     }
     for m in db.list() {
         bytes_total += m.bytes;
+        insns_total += m.insns;
     }
     let _ = std::fs::remove_dir_all(&dir);
 
     let warm_speedup = cold_s / warm_s;
     let decode_mbps = bytes_total as f64 / warm_s / 1e6;
+    // Zero-run compression win: format v1 stored every record as four flat
+    // words (32 B/insn, no header amortization worth counting); v2 stores
+    // only the nonzero words behind a control byte.
+    let bytes_per_insn_flat = 32.0;
+    let bytes_per_insn = bytes_total as f64 / insns_total as f64;
     println!(
         "trace_store: {} traces, {:.1} MB on disk",
         names.len(),
         bytes_total as f64 / 1e6
     );
     println!("  cold {cold_s:.3}s  warm {warm_s:.3}s  speedup {warm_speedup:.1}x  decode {decode_mbps:.0} MB/s");
+    println!(
+        "  {bytes_per_insn:.2} B/insn on disk (flat v1 encoding: {bytes_per_insn_flat:.0} B/insn)"
+    );
+    assert!(
+        bytes_per_insn < bytes_per_insn_flat,
+        "v2 zero-run codec did not beat the flat v1 record size"
+    );
 
     let bench = obj(vec![
         (
@@ -171,6 +187,8 @@ fn main() {
         ("warm_s", Value::Num(warm_s)),
         ("warm_speedup", Value::Num(warm_speedup)),
         ("decode_MBps", Value::Num(decode_mbps)),
+        ("bytes_per_insn_flat", Value::Num(bytes_per_insn_flat)),
+        ("bytes_per_insn", Value::Num(bytes_per_insn)),
     ]);
     let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("BENCH_trace.json");
     let tmp = path.with_extension("json.tmp");

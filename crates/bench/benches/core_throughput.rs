@@ -16,6 +16,13 @@
 //! run. Traces are pre-warmed, so emulation cost is excluded. A mix of one
 //! communication-heavy INT and one FP benchmark keeps both the steering and
 //! the issue/bus paths hot.
+//!
+//! The `cluster_scaling` rows sweep `n_clusters` up to the MAX_CLUSTERS=64
+//! ceiling and A/B the sparse active-cluster scans against forced dense
+//! loops (`set_sparse(false)`, same event-driven wheel): the
+//! `mcycles_per_s_dense` column is what the sparse path must beat. At 64
+//! clusters sparse must win outright; at 4 the bookkeeping must cost under
+//! a few percent.
 
 use std::time::Instant;
 
@@ -29,13 +36,19 @@ const BENCHES: [&str; 2] = ["gzip", "swim"];
 
 /// One measurement pass over both benchmarks: total (cycles, committed,
 /// skipped, whole-run cycles, wall seconds).
-fn run_mode(cfg: &SimConfig, budget: &Budget, event_driven: bool) -> (u64, u64, u64, u64, f64) {
+fn run_mode(
+    cfg: &SimConfig,
+    budget: &Budget,
+    event_driven: bool,
+    sparse: bool,
+) -> (u64, u64, u64, u64, f64) {
     let (mut cycles, mut committed, mut skipped, mut total) = (0u64, 0u64, 0u64, 0u64);
     let t0 = Instant::now();
     for b in BENCHES {
         let trace = cached_trace(b, budget.trace_len());
         let mut core = rcmc_core::Core::new(cfg.core.clone(), cfg.mem, cfg.pred, &trace);
         core.set_event_driven(event_driven);
+        core.set_sparse(sparse);
         let s = core.run_with_warmup(budget.warmup, budget.measure);
         cycles += s.cycles;
         committed += s.committed;
@@ -91,8 +104,8 @@ fn main() {
     println!("---------------------------------------------------");
     let mut runs = Vec::new();
     for (name, cfg) in &rows {
-        let (cycles, committed, skipped, total, dt) = run_mode(cfg, &budget, true);
-        let (_, _, _, _, dt_stepped) = run_mode(cfg, &budget, false);
+        let (cycles, committed, skipped, total, dt) = run_mode(cfg, &budget, true, true);
+        let (_, _, _, _, dt_stepped) = run_mode(cfg, &budget, false, true);
         let mcps = cycles as f64 / dt / 1e6;
         let mips = committed as f64 / dt / 1e6;
         let mcps_stepped = cycles as f64 / dt_stepped / 1e6;
@@ -133,6 +146,54 @@ fn main() {
         ]));
     }
 
+    // Cluster-count scaling: sparse active-cluster scans vs forced dense
+    // loops (`set_sparse(false)`), both event-driven, so the only variable
+    // is who walks the cluster arrays each live cycle. Hier keeps a single
+    // shared inter-group link at every size, so most of a big machine sits
+    // idle-but-allocated — the dense path's worst case and exactly what the
+    // `ready_mask`/`comm_mask` scans skip.
+    println!("\nCluster scaling, sparse vs dense (Hier, 1 bus, 2IW)");
+    println!("---------------------------------------------------");
+    let mut scaling = Vec::new();
+    for n in [4usize, 16, 32, 64] {
+        let cfg = make(Topology::Hier, n, 2, 1);
+        let (cycles, committed, _, _, dt) = run_mode(&cfg, &budget, true, true);
+        let (_, _, _, _, dt_dense) = run_mode(&cfg, &budget, true, false);
+        let mcps = cycles as f64 / dt / 1e6;
+        let mcps_dense = cycles as f64 / dt_dense / 1e6;
+        let speedup = dt_dense / dt;
+        println!(
+            "Hier{n:<3}    {cycles:>9} cycles {committed:>7} insns  \
+             sparse {mcps:>7.2} Mcycles/s  dense {mcps_dense:>7.2} Mcycles/s  \
+             {speedup:>5.2}x",
+        );
+        if n == 64 {
+            assert!(
+                mcps >= mcps_dense,
+                "64-cluster sparse path ({mcps:.2} Mcycles/s) lost to dense \
+                 ({mcps_dense:.2} Mcycles/s)"
+            );
+        }
+        scaling.push(Value::Obj(vec![
+            ("topology".into(), Value::Str(format!("Hier{n}"))),
+            ("n_clusters".into(), Value::Num(n as f64)),
+            ("cycles".into(), Value::Num(cycles as f64)),
+            ("committed".into(), Value::Num(committed as f64)),
+            (
+                "mcycles_per_s".into(),
+                Value::Num((mcps * 1e3).round() / 1e3),
+            ),
+            (
+                "mcycles_per_s_dense".into(),
+                Value::Num((mcps_dense * 1e3).round() / 1e3),
+            ),
+            (
+                "sparse_speedup".into(),
+                Value::Num((speedup * 1e3).round() / 1e3),
+            ),
+        ]));
+    }
+
     update_bench_core(
         "core_throughput",
         Value::Obj(vec![
@@ -140,6 +201,7 @@ fn main() {
             ("warmup".into(), Value::Num(budget.warmup as f64)),
             ("measure".into(), Value::Num(budget.measure as f64)),
             ("runs".into(), Value::Arr(runs)),
+            ("cluster_scaling".into(), Value::Arr(scaling)),
         ]),
     );
 }

@@ -4,6 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use rcmc_core::bus::BusFabric;
+use rcmc_core::config::DistanceLut;
 use rcmc_core::steering::{self, SteerCtx};
 use rcmc_core::value::ValueTable;
 use rcmc_core::{Core, CoreConfig, Steering, Topology};
@@ -109,12 +110,14 @@ fn bench_steering(c: &mut Criterion) {
             };
             let mut values = ValueTable::new(8, 48, 48);
             let vids: Vec<_> = (0..16).map(|i| values.alloc_ready(i % 8, false)).collect();
+            let dist = DistanceLut::new(&cfg);
             let mut policy = steering::build(&cfg);
             b.iter(|| {
                 for i in 0..1024usize {
                     let srcs = [vids[i % 16], vids[(i * 7 + 3) % 16]];
                     criterion::black_box(policy.steer(&SteerCtx {
                         cfg: &cfg,
+                        dist: &dist,
                         values: &values,
                         srcs: &srcs,
                     }));

@@ -12,14 +12,18 @@
 //! only if *every* segment of its path is free at its entry cycle; otherwise
 //! it keeps waiting (that waiting is the bus-contention metric of Figure 9).
 
-use crate::config::{CoreConfig, Topology};
+use crate::config::{CoreConfig, Topology, RESERVATION_WINDOW};
 use crate::interconnect::{Grant, Interconnect};
 
+/// Reservation window width in bits (one bit per future cycle).
+const WINDOW: u64 = RESERVATION_WINDOW as u64;
+
 /// Per-segment reservation window, one bit per future cycle.
-/// Window of 64 cycles covers the longest path (15 hops × 4 cycles).
+/// A 128-cycle window covers the longest path ([`crate::config::MAX_CLUSTERS`]
+/// hops × 1 cycle, or 31 hops × 4 cycles).
 #[derive(Clone)]
 struct Segment {
-    resv: u64,
+    resv: u128,
 }
 
 /// One unidirectional pipelined bus.
@@ -34,7 +38,7 @@ pub struct Bus {
 impl Bus {
     fn new(n: usize, forward: bool, hop_latency: u32) -> Self {
         assert!(
-            (n as u64) * (hop_latency as u64) < 64,
+            (n as u64) * (hop_latency as u64) < WINDOW,
             "reservation window too small"
         );
         Bus {
@@ -81,7 +85,7 @@ impl Bus {
         for j in 0..dist {
             let seg = self.segment_leaving(c);
             let slot = j * self.hop_latency;
-            if self.segments[seg].resv & (1u64 << slot) != 0 {
+            if self.segments[seg].resv & (1u128 << slot) != 0 {
                 return None;
             }
             c = self.next_cluster(c);
@@ -91,7 +95,7 @@ impl Bus {
         for j in 0..dist {
             let seg = self.segment_leaving(c);
             let slot = j * self.hop_latency;
-            self.segments[seg].resv |= 1u64 << slot;
+            self.segments[seg].resv |= 1u128 << slot;
             c = self.next_cluster(c);
         }
         Some(dist * self.hop_latency)
@@ -105,26 +109,32 @@ impl Bus {
     /// Cycles until a `try_reserve(from, dist)` would first succeed, with no
     /// new reservations in between. Exact: after `d` trafficless ticks every
     /// window has shifted by `d`, so hop `j`'s entry slot is the current bit
-    /// `d + j·L` (free when it lies beyond the 64-bit window).
+    /// `d + j·L` (free when it lies beyond the window).
     pub fn earliest_free(&self, from: usize, dist: u32) -> u64 {
-        'offset: for d in 0..64u64 {
+        'offset: for d in 0..WINDOW {
             let mut c = from;
             for j in 0..dist {
                 let slot = d + (j * self.hop_latency) as u64;
-                if slot < 64 && self.segments[self.segment_leaving(c)].resv & (1u64 << slot) != 0 {
+                if slot < WINDOW
+                    && self.segments[self.segment_leaving(c)].resv & (1u128 << slot) != 0
+                {
                     continue 'offset;
                 }
                 c = self.next_cluster(c);
             }
             return d;
         }
-        64 // every live reservation expires within the window
+        WINDOW // every live reservation expires within the window
     }
 
     /// Replay `cycles` trafficless ticks in O(segments).
     pub fn advance(&mut self, cycles: u64) {
         for s in &mut self.segments {
-            s.resv = if cycles >= 64 { 0 } else { s.resv >> cycles };
+            s.resv = if cycles >= WINDOW {
+                0
+            } else {
+                s.resv >> cycles
+            };
         }
     }
 }

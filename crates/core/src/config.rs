@@ -55,8 +55,23 @@ pub enum CopyRelease {
     OnLastRead,
 }
 
-/// Maximum supported cluster count (fixed-size arrays in hot structures).
-pub const MAX_CLUSTERS: usize = 16;
+/// Maximum supported cluster count. Hot per-value and per-candidate state
+/// is a `u64` bitmask (one bit per cluster), so this ceiling is exactly the
+/// word width; truly per-cluster structures are boxed slices sized by
+/// `n_clusters` and do not depend on it.
+pub const MAX_CLUSTERS: usize = 64;
+
+/// Bitmask with one bit set per cluster (`n` low bits). `n` must be
+/// `1..=MAX_CLUSTERS`.
+#[inline]
+pub fn cluster_mask(n: usize) -> u64 {
+    debug_assert!((1..=MAX_CLUSTERS).contains(&n));
+    if n == 64 {
+        u64::MAX
+    } else {
+        (1u64 << n) - 1
+    }
+}
 
 /// Event-wheel length of the pipeline (future cycles a completion can be
 /// scheduled at). Every interconnect grant delay — and every functional
@@ -65,11 +80,12 @@ pub const MAX_CLUSTERS: usize = 16;
 pub const EVENT_WHEEL: usize = 512;
 
 /// Reservation-window length in future cycles for the wormhole-reserving
-/// fabrics (`BusFabric` segments are a 64-bit mask; `Mesh2D` links use
-/// arrays of this length). [`CoreConfig::validate`] rejects configurations
-/// whose longest path × hop latency does not fit, so the fabrics can
-/// assume it.
-pub const RESERVATION_WINDOW: usize = 64;
+/// fabrics (`BusFabric` segments are a 128-bit mask; `Mesh2D` links use
+/// arrays of this length). Sized so the longest bus path at
+/// [`MAX_CLUSTERS`] clusters × 1 cycle/hop still fits.
+/// [`CoreConfig::validate`] rejects configurations whose longest path ×
+/// hop latency does not fit, so the fabrics can assume it.
+pub const RESERVATION_WINDOW: usize = 128;
 
 /// Hop distance charged for crossing the shared inter-group link of
 /// [`Topology::Hier`] (the intra-group bus is always one hop). Chosen so
@@ -162,6 +178,12 @@ pub struct CoreConfig {
     pub dcount_threshold: f64,
     /// Copy-release policy.
     pub copy_release: CopyRelease,
+    /// [`Topology::Hier`] inter-group wiring: `false` (default) models one
+    /// shared link between all groups — the paper-style pessimistic
+    /// bottleneck; `true` gives every unordered group pair its own link
+    /// pool (`n_buses` slots per pair per cycle), so traffic between
+    /// groups 0↔1 no longer blocks 2↔3.
+    pub hier_pair_links: bool,
     /// Give up if no instruction commits for this many cycles (deadlock
     /// detector; a model bug, never expected in normal runs).
     pub watchdog_cycles: u64,
@@ -194,6 +216,7 @@ impl Default for CoreConfig {
             // the paper's DCOUNT steering is tuned).
             dcount_threshold: 16.0,
             copy_release: CopyRelease::AtRedefineCommit,
+            hier_pair_links: false,
             watchdog_cycles: 200_000,
         }
     }
@@ -355,6 +378,37 @@ impl CoreConfig {
     }
 }
 
+/// Precomputed all-pairs [`CoreConfig::min_distance`] table, built once per
+/// config. `min_distance` is the inner loop of every steering decision
+/// (per candidate cluster per operand) and, for `Mesh`, re-derives the grid
+/// factorization on each call — at 64 clusters the LUT is 16 KiB and turns
+/// each lookup into one indexed load.
+#[derive(Clone, Debug)]
+pub struct DistanceLut {
+    n: usize,
+    d: Box<[u32]>,
+}
+
+impl DistanceLut {
+    /// Build the `n_clusters × n_clusters` table for `cfg`.
+    pub fn new(cfg: &CoreConfig) -> Self {
+        let n = cfg.n_clusters;
+        let mut d = vec![0u32; n * n].into_boxed_slice();
+        for from in 0..n {
+            for to in 0..n {
+                d[from * n + to] = cfg.min_distance(from, to);
+            }
+        }
+        DistanceLut { n, d }
+    }
+
+    /// [`CoreConfig::min_distance`], as one load.
+    #[inline]
+    pub fn min_distance(&self, from: usize, to: usize) -> u32 {
+        self.d[from * self.n + to]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -479,32 +533,32 @@ mod tests {
 
     #[test]
     fn reservation_window_overflows_rejected() {
-        // Ring: a 16-cluster bus path at 4 cycles/hop is 64 slots — too big.
+        // Ring: a 32-cluster bus path at 4 cycles/hop is 128 slots — too big.
         let c = CoreConfig {
-            n_clusters: 16,
+            n_clusters: 32,
             hop_latency: 4,
             ..CoreConfig::default()
         };
         assert!(c.validate().is_err());
         let c = CoreConfig {
-            n_clusters: 15,
+            n_clusters: 31,
             hop_latency: 4,
             ..CoreConfig::default()
         };
         assert!(c.validate().is_ok());
-        // Mesh: a prime count degenerates to a line; 13 clusters × 6
+        // Mesh: a prime count degenerates to a line; 13 clusters × 11
         // cycles/hop exceeds the window, but a 4×4 grid (diameter 6) fits.
         let c = CoreConfig {
             topology: Topology::Mesh,
             n_clusters: 13,
-            hop_latency: 6,
+            hop_latency: 11,
             ..CoreConfig::default()
         };
         assert!(c.validate().is_err());
         let c = CoreConfig {
             topology: Topology::Mesh,
             n_clusters: 16,
-            hop_latency: 6,
+            hop_latency: 11,
             ..CoreConfig::default()
         };
         assert!(c.validate().is_ok());
@@ -537,5 +591,83 @@ mod tests {
             ..CoreConfig::default()
         };
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn sixty_four_cluster_bounds() {
+        // The ceiling itself.
+        assert_eq!(MAX_CLUSTERS, 64);
+        let c = CoreConfig {
+            n_clusters: 65,
+            ..CoreConfig::default()
+        };
+        assert!(c.validate().is_err());
+        assert_eq!(cluster_mask(64), u64::MAX);
+        assert_eq!(cluster_mask(4), 0b1111);
+
+        // 64 clusters factor to an 8×8 grid (diameter 14) and 16 hier
+        // groups of 4.
+        assert_eq!(mesh_dims(64), (8, 8));
+        assert_eq!(hier_group_size(64), 4);
+        assert_eq!(hier_group(64, 63), 15);
+
+        // A 64-cluster ring fits the 128-slot window only at 1 cycle/hop.
+        for (hop, ok) in [(1, true), (2, false)] {
+            let c = CoreConfig {
+                n_clusters: 64,
+                hop_latency: hop,
+                ..CoreConfig::default()
+            };
+            assert_eq!(c.validate().is_ok(), ok, "ring 64 clusters hop {hop}");
+        }
+        // The 8×8 mesh (diameter 14) overflows at 10 cycles/hop (140 ≥ 128).
+        for (hop, ok) in [(9, true), (10, false)] {
+            let c = CoreConfig {
+                topology: Topology::Mesh,
+                n_clusters: 64,
+                hop_latency: hop,
+                ..CoreConfig::default()
+            };
+            assert_eq!(c.validate().is_ok(), ok, "mesh 64 clusters hop {hop}");
+        }
+        // Entry-cycle fabrics are window-free at 64 clusters.
+        for topology in [Topology::Crossbar, Topology::Hier] {
+            let c = CoreConfig {
+                topology,
+                n_clusters: 64,
+                ..CoreConfig::default()
+            };
+            assert!(c.validate().is_ok(), "{topology:?} 64 clusters");
+        }
+    }
+
+    #[test]
+    fn distance_lut_matches_min_distance() {
+        for topology in [
+            Topology::Ring,
+            Topology::Conv,
+            Topology::Crossbar,
+            Topology::Mesh,
+            Topology::Hier,
+        ] {
+            for n_buses in [1, 2] {
+                let c = CoreConfig {
+                    topology,
+                    n_buses,
+                    n_clusters: 12,
+                    ..CoreConfig::default()
+                };
+                let lut = DistanceLut::new(&c);
+                for from in 0..c.n_clusters {
+                    for to in 0..c.n_clusters {
+                        assert_eq!(
+                            lut.min_distance(from, to),
+                            c.min_distance(from, to),
+                            "{topology:?} {n_buses} buses {from}->{to}"
+                        );
+                    }
+                }
+            }
+        }
     }
 }

@@ -28,9 +28,7 @@
 //! owns only the dynamic arbitration.
 
 use crate::bus::BusFabric;
-use crate::config::{
-    hier_group_size, mesh_dims, CoreConfig, Topology, HIER_INTER_HOPS, MAX_CLUSTERS,
-};
+use crate::config::{hier_group_size, mesh_dims, CoreConfig, Topology, HIER_INTER_HOPS};
 
 /// A granted communication: the pipeline schedules delivery `delay` cycles
 /// from now and charges `distance` hops to the Figure 8 statistics.
@@ -102,10 +100,10 @@ pub fn build(cfg: &CoreConfig) -> Box<dyn Interconnect> {
 /// per-cluster communication bandwidth, mirroring its meaning for the bus
 /// fabrics.
 pub struct Crossbar {
-    /// Egress ports used this cycle, per source cluster.
-    egress: [u8; MAX_CLUSTERS],
+    /// Egress ports used this cycle, per source cluster (`n_clusters` long).
+    egress: Box<[u8]>,
     /// Ingress ports used this cycle, per destination cluster.
-    ingress: [u8; MAX_CLUSTERS],
+    ingress: Box<[u8]>,
     /// Ports per cluster per direction (= `n_buses`).
     ports: u8,
     hop_latency: u32,
@@ -115,8 +113,8 @@ impl Crossbar {
     /// Build per the configuration (`n_buses` ports per cluster/direction).
     pub fn new(cfg: &CoreConfig) -> Self {
         Crossbar {
-            egress: [0; MAX_CLUSTERS],
-            ingress: [0; MAX_CLUSTERS],
+            egress: vec![0; cfg.n_clusters].into_boxed_slice(),
+            ingress: vec![0; cfg.n_clusters].into_boxed_slice(),
             ports: cfg.n_buses as u8,
             hop_latency: cfg.hop_latency,
         }
@@ -125,8 +123,8 @@ impl Crossbar {
 
 impl Interconnect for Crossbar {
     fn tick(&mut self) {
-        self.egress = [0; MAX_CLUSTERS];
-        self.ingress = [0; MAX_CLUSTERS];
+        self.egress.fill(0);
+        self.ingress.fill(0);
     }
 
     fn try_send(&mut self, from: usize, to: usize) -> Option<Grant> {
@@ -310,55 +308,76 @@ impl Interconnect for Mesh2D {
 /// Hierarchical clusters-of-clusters.
 ///
 /// Every group of [`hier_group_size`] clusters shares one cheap local bus
-/// (single hop, `n_buses` slots per cycle), and all groups share one
-/// expensive inter-group link ([`HIER_INTER_HOPS`] hops, `n_buses` slots
-/// per cycle). Arbitration is entry-cycle only (the fabric is fully
-/// pipelined, like [`Crossbar`]): the local buses are independent, the
-/// global link is the deliberate bottleneck that makes cross-group
-/// placement expensive for steering.
+/// (single hop, `n_buses` slots per cycle). Inter-group traffic takes the
+/// expensive global path ([`HIER_INTER_HOPS`] hops): by default one link
+/// shared by *all* group pairs (`n_buses` slots per cycle total — the
+/// deliberate bottleneck that makes cross-group placement expensive for
+/// steering), or, with [`CoreConfig::hier_pair_links`], a dedicated link
+/// pool per unordered group pair (`n_buses` slots per pair per cycle).
+/// Arbitration is entry-cycle only (the fabric is fully pipelined, like
+/// [`Crossbar`]).
 pub struct Hier {
     group_size: usize,
+    n_groups: usize,
     ports: u8,
     hop_latency: u32,
+    /// Dedicated per-pair inter-group links instead of one shared link.
+    pair_links: bool,
     /// Local-bus slots used this cycle, per group.
-    intra_used: [u8; MAX_CLUSTERS],
-    /// Shared inter-group link slots used this cycle.
-    inter_used: u8,
+    intra_used: Box<[u8]>,
+    /// Inter-group slots used this cycle: one shared counter at index 0
+    /// when `!pair_links`, else indexed `min(g) * n_groups + max(g)`.
+    inter_used: Box<[u8]>,
 }
 
 impl Hier {
     /// Build per the configuration (`n_buses` slots per bus/link).
     pub fn new(cfg: &CoreConfig) -> Self {
+        let group_size = hier_group_size(cfg.n_clusters);
+        let n_groups = cfg.n_clusters.div_ceil(group_size);
+        let inter_slots = if cfg.hier_pair_links {
+            n_groups * n_groups
+        } else {
+            1
+        };
         Hier {
-            group_size: hier_group_size(cfg.n_clusters),
+            group_size,
+            n_groups,
             ports: cfg.n_buses as u8,
             hop_latency: cfg.hop_latency,
-            intra_used: [0; MAX_CLUSTERS],
-            inter_used: 0,
+            pair_links: cfg.hier_pair_links,
+            intra_used: vec![0; n_groups].into_boxed_slice(),
+            inter_used: vec![0; inter_slots].into_boxed_slice(),
         }
     }
 }
 
 impl Interconnect for Hier {
     fn tick(&mut self) {
-        self.intra_used = [0; MAX_CLUSTERS];
-        self.inter_used = 0;
+        self.intra_used.fill(0);
+        self.inter_used.fill(0);
     }
 
     fn try_send(&mut self, from: usize, to: usize) -> Option<Grant> {
         debug_assert_ne!(from, to, "communication to the same cluster");
-        if from / self.group_size == to / self.group_size {
-            let g = from / self.group_size;
-            if self.intra_used[g] < self.ports {
-                self.intra_used[g] += 1;
+        let (fg, tg) = (from / self.group_size, to / self.group_size);
+        if fg == tg {
+            if self.intra_used[fg] < self.ports {
+                self.intra_used[fg] += 1;
                 return Some(Grant {
                     delay: self.hop_latency,
                     distance: 1,
                 });
             }
-            None
-        } else if self.inter_used < self.ports {
-            self.inter_used += 1;
+            return None;
+        }
+        let slot = if self.pair_links {
+            fg.min(tg) * self.n_groups + fg.max(tg)
+        } else {
+            0
+        };
+        if self.inter_used[slot] < self.ports {
+            self.inter_used[slot] += 1;
             Some(Grant {
                 delay: self.hop_latency * HIER_INTER_HOPS,
                 distance: HIER_INTER_HOPS,
@@ -733,5 +752,47 @@ mod tests {
         assert!(h.try_send(0, 1).is_some());
         assert!(h.try_send(2, 3).is_some());
         assert!(h.try_send(0, 2).is_none(), "two local-bus slots only");
+    }
+
+    fn hier_pair(n_clusters: usize, n_buses: usize, hop: u32) -> Hier {
+        Hier::new(&CoreConfig {
+            topology: Topology::Hier,
+            steering: Steering::ConvDcount,
+            n_clusters,
+            n_buses,
+            hop_latency: hop,
+            hier_pair_links: true,
+            ..CoreConfig::default()
+        })
+    }
+
+    #[test]
+    fn hier_pair_links_give_each_group_pair_its_own_pool() {
+        // 16 clusters -> 4 groups of 4. With per-pair links, traffic on
+        // different group pairs no longer contends.
+        let mut h = hier_pair(16, 1, 2);
+        assert_eq!(
+            h.try_send(0, 5).unwrap(), // pair (0,1)
+            Grant {
+                delay: 2 * HIER_INTER_HOPS,
+                distance: HIER_INTER_HOPS
+            }
+        );
+        assert!(h.try_send(9, 14).is_some(), "pair (2,3) is independent");
+        // The same unordered pair still shares one pool, direction-blind:
+        // 4->1 is group pair (0,1) again, already taken by 0->5.
+        assert!(h.try_send(4, 1).is_none(), "pair (0,1) pool exhausted");
+        h.tick();
+        assert!(h.try_send(4, 1).is_some());
+    }
+
+    #[test]
+    fn hier_pair_links_scale_with_ports() {
+        let mut h = hier_pair(8, 2, 1);
+        assert!(h.try_send(0, 4).is_some());
+        assert!(h.try_send(1, 5).is_some());
+        assert!(h.try_send(2, 6).is_none(), "two slots per pair only");
+        h.advance(10);
+        assert!(h.try_send(2, 6).is_some(), "pair pools reset by advance");
     }
 }

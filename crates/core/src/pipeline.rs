@@ -36,6 +36,14 @@
 //! skip replicates each dead cycle's counter effects, so all statistics are
 //! bit-identical to a cycle-stepped run — `set_event_driven(false)` is the
 //! escape hatch that forces the stepped loop for differential testing.
+//!
+//! Within a simulated cycle, per-cluster work is sparse: `u64` bitmasks
+//! track which clusters hold ready instructions/communications, so issue,
+//! NREADY sampling, and the idle probe visit only active clusters instead
+//! of scanning `0..n_clusters` (O(active) per cycle, which is what makes
+//! [`crate::config::MAX_CLUSTERS`] = 64 machines cheap to simulate when
+//! most clusters idle). `set_sparse(false)` forces the dense scans for
+//! differential testing; results are bit-identical either way.
 
 use std::collections::VecDeque;
 
@@ -43,7 +51,7 @@ use rcmc_emu::DynInsn;
 use rcmc_isa::{FuKind, InsnClass, Opcode, Reg, NUM_ARCH_REGS};
 use rcmc_uarch::{FrontEndPredictor, MemConfig, MemHierarchy, PredictorConfig};
 
-use crate::config::{CopyRelease, CoreConfig, MAX_CLUSTERS};
+use crate::config::{CopyRelease, CoreConfig, DistanceLut, MAX_CLUSTERS};
 use crate::fu::FuSet;
 use crate::interconnect::{self, Interconnect};
 use crate::lsq::{LoadKind, Lsq, NO_LSQ};
@@ -129,6 +137,8 @@ pub struct Core<'t> {
     rename: [ValueId; NUM_ARCH_REGS],
     values: ValueTable,
     policy: Box<dyn SteeringPolicy>,
+    /// Pairwise cluster distances, precomputed once per configuration.
+    dist: DistanceLut,
     seq: u64,
 
     // Per-cluster structures.
@@ -152,6 +162,15 @@ pub struct Core<'t> {
     event_driven: bool,
     /// Cycles fast-forwarded rather than individually simulated.
     skipped_cycles: u64,
+    /// Sparse issue/idle scans over the active-cluster bitmasks below
+    /// (bit-identical counters either way; `set_sparse(false)` forces the
+    /// dense `0..n_clusters` loops).
+    sparse: bool,
+    /// Bit `c` set iff `iq_int[c]` or `iq_fp[c]` has a ready entry.
+    /// Maintained by [`Core::refresh_cluster`] after every queue mutation.
+    ready_mask: u64,
+    /// Bit `c` set iff `iq_comm[c]` has a ready entry.
+    comm_mask: u64,
 
     // Scratch buffers reused across cycles.
     scratch_ready: Vec<usize>,
@@ -199,14 +218,18 @@ impl<'t> Core<'t> {
             rename,
             values,
             policy: steering::build(&cfg),
+            dist: DistanceLut::new(&cfg),
             seq: 0,
             wheel: TimeQueue::new(WHEEL),
             now: 0,
             last_commit: 0,
             halted: false,
-            stats: Stats::default(),
+            stats: Stats::new(n),
             event_driven: true,
             skipped_cycles: 0,
+            sparse: true,
+            ready_mask: 0,
+            comm_mask: 0,
             trace,
             cfg,
             scratch_ready: Vec::new(),
@@ -268,6 +291,34 @@ impl<'t> Core<'t> {
     /// `stats().cycles`; the ratio of the two is the wheel's skip rate.
     pub fn skipped_cycles(&self) -> u64 {
         self.skipped_cycles
+    }
+
+    /// Enable or disable sparse active-cluster scans (on by default).
+    /// Counters are bit-identical either way; disabling forces the dense
+    /// `0..n_clusters` loops at issue/NREADY/idle-probe. Differential-test
+    /// escape hatch only — scheduled for deletion once the sparse path has
+    /// soaked.
+    pub fn set_sparse(&mut self, on: bool) {
+        self.sparse = on;
+    }
+
+    /// Recompute this cluster's bits in the active-cluster masks. Must run
+    /// after every mutation of the cluster's issue/communication queues
+    /// (event wakeups, dispatch pushes, issue removals) — the sparse scans
+    /// trust the masks exactly, not conservatively.
+    #[inline]
+    fn refresh_cluster(&mut self, c: usize) {
+        let bit = 1u64 << c;
+        if self.iq_int[c].ready_count() != 0 || self.iq_fp[c].ready_count() != 0 {
+            self.ready_mask |= bit;
+        } else {
+            self.ready_mask &= !bit;
+        }
+        if self.iq_comm[c].ready_count() != 0 {
+            self.comm_mask |= bit;
+        } else {
+            self.comm_mask &= !bit;
+        }
     }
 
     fn schedule(&mut self, delay: u64, ev: Ev) {
@@ -351,6 +402,7 @@ impl<'t> Core<'t> {
                         self.iq_int[c].wakeup(value);
                         self.iq_fp[c].wakeup(value);
                         self.iq_comm[c].wakeup(value, self.now);
+                        self.refresh_cluster(c);
                     }
                 }
                 Ev::RobDone { rob } => {
@@ -487,14 +539,37 @@ impl<'t> Core<'t> {
         let n = self.cfg.n_clusters;
         // Communications first (rotating cluster priority for bus fairness).
         let start = (self.now as usize) % n;
-        for k in 0..n {
-            let c = (start + k) % n;
-            self.issue_comms(c);
-        }
-        // Instructions.
-        for c in 0..n {
-            self.issue_cluster_pipe(c, /* fp: */ false);
-            self.issue_cluster_pipe(c, /* fp: */ true);
+        if self.sparse {
+            // Visit only clusters with a ready comm, in the same rotated
+            // order as the dense loop: bits `start..n` ascending, then
+            // `0..start`. Snapshots are safe — issuing in cluster `c` only
+            // removes from `c`'s own queues (completions land on the wheel).
+            let low = (1u64 << start) - 1; // start < n <= 64
+            for part in [self.comm_mask & !low, self.comm_mask & low] {
+                let mut m = part;
+                while m != 0 {
+                    let c = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    self.issue_comms(c);
+                }
+            }
+            let mut m = self.ready_mask;
+            while m != 0 {
+                let c = m.trailing_zeros() as usize;
+                m &= m - 1;
+                self.issue_cluster_pipe(c, /* fp: */ false);
+                self.issue_cluster_pipe(c, /* fp: */ true);
+            }
+        } else {
+            for k in 0..n {
+                let c = (start + k) % n;
+                self.issue_comms(c);
+            }
+            // Instructions.
+            for c in 0..n {
+                self.issue_cluster_pipe(c, /* fp: */ false);
+                self.issue_cluster_pipe(c, /* fp: */ true);
+            }
         }
         self.sample_nready();
     }
@@ -550,6 +625,7 @@ impl<'t> Core<'t> {
         ready.clear();
         self.scratch_comm = ready;
         self.scratch_remove = removed;
+        self.refresh_cluster(c);
     }
 
     fn issue_cluster_pipe(&mut self, c: usize, fp: bool) {
@@ -626,6 +702,7 @@ impl<'t> Core<'t> {
             self.iq_int[c].remove_many(&mut removals);
         }
         self.scratch_remove = removals;
+        self.refresh_cluster(c);
     }
 
     /// NREADY (§4.5): ready instructions left unissued whose work idle
@@ -639,11 +716,29 @@ impl<'t> Core<'t> {
             FuKind::FpMulDiv,
         ];
         let mut leftover = [0usize; 4];
+        if self.sparse {
+            // Leftovers can only come from clusters with ready entries; with
+            // none anywhere, NREADY adds zero regardless of idle capacity,
+            // so the all-cluster capacity scan is skipped too.
+            let mut m = self.ready_mask;
+            while m != 0 {
+                let c = m.trailing_zeros() as usize;
+                m &= m - 1;
+                self.iq_int[c].ready_by_fu(&mut leftover);
+                self.iq_fp[c].ready_by_fu(&mut leftover);
+            }
+            if leftover == [0; 4] {
+                return;
+            }
+        } else {
+            for c in 0..n {
+                // ready_by_fu self-gates on its maintained ready count.
+                self.iq_int[c].ready_by_fu(&mut leftover);
+                self.iq_fp[c].ready_by_fu(&mut leftover);
+            }
+        }
         let mut capacity = [0usize; 4];
         for c in 0..n {
-            // ready_by_fu self-gates on its maintained ready count.
-            self.iq_int[c].ready_by_fu(&mut leftover);
-            self.iq_fp[c].ready_by_fu(&mut leftover);
             for (k, kind) in kinds.into_iter().enumerate() {
                 capacity[k] += self.fus[c].idle(kind, self.now);
             }
@@ -721,6 +816,7 @@ impl<'t> Core<'t> {
 
         let steered = self.policy.steer(&SteerCtx {
             cfg: &self.cfg,
+            dist: &self.dist,
             values: &self.values,
             srcs: &srcs_buf[..n_srcs],
         });
@@ -753,6 +849,7 @@ impl<'t> Core<'t> {
                 ready,
                 ready_cycle: self.now,
             });
+            self.refresh_cluster(cm.from as usize);
             self.stats.comms_created += 1;
         }
 
@@ -805,6 +902,7 @@ impl<'t> Core<'t> {
         } else {
             self.iq_fp[c].push(entry);
         }
+        self.refresh_cluster(c);
 
         self.stats.dispatched_per_cluster[c] += 1;
         self.policy.dispatched(c);
@@ -917,9 +1015,15 @@ impl<'t> Core<'t> {
             return;
         }
         let n = self.cfg.n_clusters;
-        for c in 0..n {
-            if self.iq_int[c].ready_count() != 0 || self.iq_fp[c].ready_count() != 0 {
+        if self.sparse {
+            if self.ready_mask != 0 {
                 return;
+            }
+        } else {
+            for c in 0..n {
+                if self.iq_int[c].ready_count() != 0 || self.iq_fp[c].ready_count() != 0 {
+                    return;
+                }
             }
         }
         let ports = self.mem.cfg.dcache_ports;
@@ -948,7 +1052,14 @@ impl<'t> Core<'t> {
 
         // Ready communications retry the fabric every cycle; ask it when
         // the first attempt could succeed (0 = immediately, or unknown).
-        for c in 0..n {
+        let mut comm_clusters = if self.sparse {
+            self.comm_mask
+        } else {
+            crate::config::cluster_mask(n)
+        };
+        while comm_clusters != 0 {
+            let c = comm_clusters.trailing_zeros() as usize;
+            comm_clusters &= comm_clusters - 1;
             let q = &self.iq_comm[c];
             if q.ready_count() == 0 {
                 continue;
@@ -1060,6 +1171,7 @@ impl<'t> Core<'t> {
         for slot in outcomes.iter_mut().take(period) {
             let steered = self.policy.steer(&SteerCtx {
                 cfg: &self.cfg,
+                dist: &self.dist,
                 values: &self.values,
                 srcs: &srcs_buf[..n_srcs],
             });

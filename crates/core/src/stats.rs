@@ -1,7 +1,5 @@
 //! Run statistics: everything the paper's figures need.
 
-use crate::config::MAX_CLUSTERS;
-
 /// Dispatch stall causes (mutually exclusive per stalled cycle-slot; the
 /// first insufficient resource encountered is charged).
 #[derive(Clone, Copy, Default, Debug, PartialEq)]
@@ -37,8 +35,11 @@ pub struct Stats {
     pub committed_stores: u64,
     /// Committed conditional branches.
     pub committed_branches: u64,
-    /// Instructions dispatched per cluster (Figure 11).
-    pub dispatched_per_cluster: [u64; MAX_CLUSTERS],
+    /// Instructions dispatched per cluster (Figure 11). Sized `n_clusters`
+    /// by [`Stats::new`] — a 4-cluster run carries 4 counters, not
+    /// [`crate::config::MAX_CLUSTERS`]. `Stats::default()` leaves it empty
+    /// (ratio helpers still work; per-cluster indexing needs `new`).
+    pub dispatched_per_cluster: Box<[u64]>,
     /// Communication instructions created at dispatch.
     pub comms_created: u64,
     /// Communication instructions that won bus access (issued).
@@ -73,6 +74,14 @@ pub struct Stats {
 }
 
 impl Stats {
+    /// Zeroed counters with per-cluster arrays sized for `n_clusters`.
+    pub fn new(n_clusters: usize) -> Stats {
+        Stats {
+            dispatched_per_cluster: vec![0; n_clusters].into_boxed_slice(),
+            ..Stats::default()
+        }
+    }
+
     /// Instructions per cycle.
     pub fn ipc(&self) -> f64 {
         if self.cycles == 0 {
@@ -151,8 +160,19 @@ impl Stats {
         d.committed_loads -= earlier.committed_loads;
         d.committed_stores -= earlier.committed_stores;
         d.committed_branches -= earlier.committed_branches;
-        for i in 0..MAX_CLUSTERS {
-            d.dispatched_per_cluster[i] -= earlier.dispatched_per_cluster[i];
+        // Both sides carry exactly n_clusters counters (no MAX_CLUSTERS
+        // tail to subtract — or to accidentally skip).
+        debug_assert_eq!(
+            d.dispatched_per_cluster.len(),
+            earlier.dispatched_per_cluster.len(),
+            "stats delta across different cluster counts"
+        );
+        for (di, &ei) in d
+            .dispatched_per_cluster
+            .iter_mut()
+            .zip(earlier.dispatched_per_cluster.iter())
+        {
+            *di -= ei;
         }
         d.comms_created -= earlier.comms_created;
         d.comms_issued -= earlier.comms_issued;
@@ -198,7 +218,7 @@ mod tests {
         let mut s = Stats {
             cycles: 100,
             committed: 250,
-            ..Stats::default()
+            ..Stats::new(2)
         };
         s.dispatched_per_cluster[0] = 30;
         s.dispatched_per_cluster[1] = 70;
@@ -206,6 +226,15 @@ mod tests {
         let shares = s.dispatch_shares(2);
         assert!((shares[0] - 0.3).abs() < 1e-12);
         assert!((shares[1] - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_cluster_counters_sized_by_config() {
+        let s = Stats::new(4);
+        assert_eq!(s.dispatched_per_cluster.len(), 4);
+        let d = s.delta(&Stats::new(4));
+        assert_eq!(d.dispatched_per_cluster.len(), 4);
+        assert!(Stats::default().dispatched_per_cluster.is_empty());
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! [`Steered`] result, and the nearest-copy distance helpers that both the
 //! policies and the pipeline use.
 
-use crate::config::CoreConfig;
+use crate::config::DistanceLut;
 use crate::value::{ValueId, ValueTable};
 
 /// A required communication: bring `value` from cluster `from` to the
@@ -105,20 +105,30 @@ pub struct Steered {
 }
 
 /// Distance from the nearest copy of `v` to `to`, minimized over buses.
-pub fn nearest_copy_distance(cfg: &CoreConfig, values: &ValueTable, v: ValueId, to: usize) -> u32 {
+pub fn nearest_copy_distance(
+    dist: &DistanceLut,
+    values: &ValueTable,
+    v: ValueId,
+    to: usize,
+) -> u32 {
     values
         .mapped_clusters(v)
-        .map(|p| cfg.min_distance(p, to))
+        .map(|p| dist.min_distance(p, to))
         .min()
         .expect("live value must be mapped somewhere")
 }
 
 /// The nearest source cluster for moving `v` to `to` (ties → lowest index).
-pub fn nearest_copy_cluster(cfg: &CoreConfig, values: &ValueTable, v: ValueId, to: usize) -> usize {
+pub fn nearest_copy_cluster(
+    dist: &DistanceLut,
+    values: &ValueTable,
+    v: ValueId,
+    to: usize,
+) -> usize {
     let mut best = usize::MAX;
     let mut bestd = u32::MAX;
     for p in values.mapped_clusters(v) {
-        let d = cfg.min_distance(p, to);
+        let d = dist.min_distance(p, to);
         if d < bestd {
             bestd = d;
             best = p;
@@ -131,7 +141,7 @@ pub fn nearest_copy_cluster(cfg: &CoreConfig, values: &ValueTable, v: ValueId, t
 /// Communications needed to execute an instruction with `srcs` in `cluster`
 /// (one per operand without a local copy, deduplicated).
 pub fn needed_comms(
-    cfg: &CoreConfig,
+    dist: &DistanceLut,
     values: &ValueTable,
     srcs: &[ValueId],
     cluster: usize,
@@ -139,7 +149,7 @@ pub fn needed_comms(
     let mut comms = CommList::new();
     for &v in srcs {
         if !values.mapped(v, cluster) && !comms.iter().any(|c| c.value == v) {
-            let from = nearest_copy_cluster(cfg, values, v, cluster);
+            let from = nearest_copy_cluster(dist, values, v, cluster);
             comms.push(NeededComm {
                 value: v,
                 from: from as u8,
@@ -152,7 +162,7 @@ pub fn needed_comms(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::{Steering, Topology};
+    use crate::config::{CoreConfig, Steering, Topology};
 
     fn ring4() -> CoreConfig {
         CoreConfig {
@@ -169,10 +179,10 @@ mod tests {
     #[test]
     fn needed_comms_deduplicates_same_value() {
         // An instruction reading the same value twice needs one comm.
-        let cfg = ring4();
+        let dist = DistanceLut::new(&ring4());
         let mut values = ValueTable::new(4, 64, 64);
         let v = values.alloc(0, false);
-        let comms = needed_comms(&cfg, &values, &[v, v], 2);
+        let comms = needed_comms(&dist, &values, &[v, v], 2);
         assert_eq!(comms.len(), 1);
     }
 
@@ -180,11 +190,11 @@ mod tests {
     fn comm_list_holds_two_inline() {
         // The conv balance path can need both operands moved: the inline
         // list must carry both, in operand order, with no heap involved.
-        let cfg = ring4();
+        let dist = DistanceLut::new(&ring4());
         let mut values = ValueTable::new(4, 64, 64);
         let a = values.alloc(0, false);
         let b = values.alloc(2, false);
-        let comms = needed_comms(&cfg, &values, &[a, b], 1);
+        let comms = needed_comms(&dist, &values, &[a, b], 1);
         assert_eq!(comms.len(), 2);
         assert_eq!(
             comms.as_slice(),

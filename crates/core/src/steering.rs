@@ -30,17 +30,20 @@
 //! the chosen cluster is checked afterwards by dispatch, which stalls when
 //! "the chosen cluster is full" (§3.1) rather than re-steering.
 
-use crate::config::{CoreConfig, Steering, MAX_CLUSTERS};
+use crate::config::{cluster_mask, CoreConfig, DistanceLut, Steering};
 use crate::steer::{nearest_copy_distance, needed_comms, Steered};
-use crate::value::{ValueId, ValueTable};
+use crate::value::{ClusterBits, ValueId, ValueTable};
 
 /// Everything a policy may consult when placing one instruction: the
-/// configuration (distance/topology queries), the value table (where the
-/// operands live, register pressure) and the instruction's live source
-/// values (architectural `r0` excluded; in-flight copies count as mapped).
+/// configuration (cluster count, thresholds), the precomputed distance
+/// table, the value table (where the operands live, register pressure) and
+/// the instruction's live source values (architectural `r0` excluded;
+/// in-flight copies count as mapped).
 pub struct SteerCtx<'a> {
-    /// Back-end configuration (distances, cluster count, thresholds).
+    /// Back-end configuration (cluster count, thresholds).
     pub cfg: &'a CoreConfig,
+    /// All-pairs minimum communication distances, built once per config.
+    pub dist: &'a DistanceLut,
     /// Value/copy state (operand homes, free registers).
     pub values: &'a ValueTable,
     /// Live source values of the instruction being steered (0..=2).
@@ -52,7 +55,7 @@ impl SteerCtx<'_> {
     pub fn finish(&self, cluster: usize) -> Steered {
         Steered {
             cluster,
-            comms: needed_comms(self.cfg, self.values, self.srcs, cluster),
+            comms: needed_comms(self.dist, self.values, self.srcs, cluster),
         }
     }
 }
@@ -120,16 +123,14 @@ pub fn build(cfg: &CoreConfig) -> Box<dyn SteeringPolicy> {
 /// closes the gap — which is what keeps the baseline's balance mode from
 /// degenerating into permanent scatter.
 pub struct Dcount {
-    dc: [i32; MAX_CLUSTERS],
-    n: usize,
+    dc: Box<[i32]>,
 }
 
 impl Dcount {
     /// Fresh state.
     pub fn new(n_clusters: usize) -> Self {
         Dcount {
-            dc: [0; MAX_CLUSTERS],
-            n: n_clusters,
+            dc: vec![0; n_clusters].into_boxed_slice(),
         }
     }
 
@@ -150,7 +151,7 @@ impl Dcount {
     pub fn imbalance(&self) -> f64 {
         let mut mx = i32::MIN;
         let mut mn = i32::MAX;
-        for &d in &self.dc[..self.n] {
+        for &d in self.dc.iter() {
             mx = mx.max(d);
             mn = mn.min(d);
         }
@@ -160,7 +161,7 @@ impl Dcount {
     /// Least-loaded cluster (lowest counter; ties → lowest index).
     pub fn least_loaded(&self) -> usize {
         let mut best = 0;
-        for c in 1..self.n {
+        for c in 1..self.dc.len() {
             if self.dc[c] < self.dc[best] {
                 best = c;
             }
@@ -188,20 +189,22 @@ impl RingDep {
     }
 
     /// Most free registers in the destination cluster among candidates;
-    /// ties broken by the rotating pointer.
-    fn pick_most_free(&mut self, cfg: &CoreConfig, values: &ValueTable, cand: &[bool]) -> usize {
+    /// ties broken by the rotating pointer. Candidates are visited in the
+    /// rotated order `rr, rr+1, …, n-1, 0, …, rr-1` (mask split at `rr`)
+    /// with a strictly-greater comparison — the same winner as scanning all
+    /// offsets and skipping non-candidates.
+    fn pick_most_free(&mut self, cfg: &CoreConfig, values: &ValueTable, cand: u64) -> usize {
         let n = cfg.n_clusters;
         let mut best = usize::MAX;
         let mut best_free = i32::MIN;
-        for off in 0..n {
-            let c = (self.rr + off) % n;
-            if !cand[c] {
-                continue;
-            }
-            let free = values.free_regs_total(cfg.dest_cluster(c));
-            if free > best_free {
-                best_free = free;
-                best = c;
+        let low_mask = (1u64 << self.rr) - 1; // rr < n <= 64
+        for part in [cand & !low_mask, cand & low_mask] {
+            for c in ClusterBits(part) {
+                let free = values.free_regs_total(cfg.dest_cluster(c));
+                if free > best_free {
+                    best_free = free;
+                    best = c;
+                }
             }
         }
         debug_assert!(best != usize::MAX, "steering found no candidate cluster");
@@ -217,46 +220,37 @@ impl SteeringPolicy for RingDep {
     fn steer(&mut self, ctx: &SteerCtx<'_>) -> Steered {
         let (cfg, values) = (ctx.cfg, ctx.values);
         let n = cfg.n_clusters;
-        let mut cand = [false; MAX_CLUSTERS];
-        match ctx.srcs {
-            [] => cand[..n].fill(true),
-            [v] => {
-                for c in values.mapped_clusters(*v) {
-                    cand[c] = true;
-                }
-            }
+        let cand: u64 = match ctx.srcs {
+            [] => cluster_mask(n),
+            [v] => values.mapped_mask(*v),
             [u, v] => {
-                let mut both_any = false;
-                for (c, slot) in cand.iter_mut().enumerate().take(n) {
-                    if values.mapped(*u, c) && values.mapped(*v, c) {
-                        *slot = true;
-                        both_any = true;
-                    }
-                }
-                if !both_any {
+                let mu = values.mapped_mask(*u);
+                let mv = values.mapped_mask(*v);
+                let both = mu & mv;
+                if both != 0 {
+                    both
+                } else {
                     // One communication required: among clusters holding one
-                    // operand, minimize its distance.
+                    // operand (exactly one: no cluster has both), minimize
+                    // the missing operand's distance.
                     let mut best_dist = u32::MAX;
-                    let mut dist_at = [u32::MAX; MAX_CLUSTERS];
-                    for (c, slot) in dist_at.iter_mut().enumerate().take(n) {
-                        let has_u = values.mapped(*u, c);
-                        let has_v = values.mapped(*v, c);
-                        if !has_u && !has_v {
-                            continue;
+                    let mut best = 0u64;
+                    for c in ClusterBits(mu | mv) {
+                        let missing = if mu & (1u64 << c) != 0 { *v } else { *u };
+                        let d = nearest_copy_distance(ctx.dist, values, missing, c);
+                        if d < best_dist {
+                            best_dist = d;
+                            best = 1u64 << c;
+                        } else if d == best_dist {
+                            best |= 1u64 << c;
                         }
-                        let missing = if has_u { *v } else { *u };
-                        let d = nearest_copy_distance(cfg, values, missing, c);
-                        *slot = d;
-                        best_dist = best_dist.min(d);
                     }
-                    for c in 0..n {
-                        cand[c] = dist_at[c] == best_dist;
-                    }
+                    best
                 }
             }
             _ => unreachable!("at most two source operands"),
-        }
-        ctx.finish(self.pick_most_free(cfg, values, &cand))
+        };
+        ctx.finish(self.pick_most_free(cfg, values, cand))
     }
 
     /// `pick_most_free` advances the rotating pointer on every call, so the
@@ -306,48 +300,47 @@ impl SteeringPolicy for ConvDcount {
         if dcount.imbalance() > cfg.dcount_threshold {
             return ctx.finish(dcount.least_loaded());
         }
-        let mut cand = [false; MAX_CLUSTERS];
         // "If any source operand is not available at dispatch time":
         // clusters where the pending operands will be produced.
-        let mut any_pending = false;
+        let mut cand: u64 = 0;
         for &v in srcs {
             if !values.produced_anywhere(v) {
-                cand[values.home(v)] = true;
-                any_pending = true;
+                cand |= 1u64 << values.home(v);
             }
         }
-        if any_pending {
+        if cand != 0 {
             // Candidates already set above.
         } else if !srcs.is_empty() {
             // All available: minimize the longest communication distance.
             let mut best = u32::MAX;
-            let mut dist_at = [u32::MAX; MAX_CLUSTERS];
-            for (c, slot) in dist_at.iter_mut().enumerate().take(n) {
+            for c in 0..n {
                 let longest = srcs
                     .iter()
                     .map(|v| {
                         if values.mapped(*v, c) {
                             0
                         } else {
-                            nearest_copy_distance(cfg, values, *v, c)
+                            nearest_copy_distance(ctx.dist, values, *v, c)
                         }
                     })
                     .max()
                     .unwrap_or(0);
-                *slot = longest;
-                best = best.min(longest);
-            }
-            for c in 0..n {
-                cand[c] = dist_at[c] == best;
+                if longest < best {
+                    best = longest;
+                    cand = 1u64 << c;
+                } else if longest == best {
+                    cand |= 1u64 << c;
+                }
             }
         } else {
-            cand[..n].fill(true);
+            cand = cluster_mask(n);
         }
-        // Least loaded among the selected clusters.
+        // Least loaded among the selected clusters (ascending cluster
+        // order, strict less: lowest index wins ties, as before).
         let mut bestc = usize::MAX;
         let mut bestdc = f64::MAX;
-        for (c, &is_cand) in cand.iter().enumerate().take(n) {
-            if is_cand && dcount.count(c) < bestdc {
+        for c in ClusterBits(cand) {
+            if dcount.count(c) < bestdc {
                 bestdc = dcount.count(c);
                 bestc = c;
             }
@@ -445,7 +438,13 @@ mod tests {
         values: &ValueTable,
         srcs: &[ValueId],
     ) -> Steered {
-        policy.steer(&SteerCtx { cfg, values, srcs })
+        let dist = DistanceLut::new(cfg);
+        policy.steer(&SteerCtx {
+            cfg,
+            dist: &dist,
+            values,
+            srcs,
+        })
     }
 
     /// The worked example of Figure 2, instruction by instruction.
@@ -739,9 +738,11 @@ mod tests {
                 ..ring4()
             };
             let values = ValueTable::new(4, 64, 64);
+            let dist = DistanceLut::new(&cfg);
             let mut p = build(&cfg);
             let st = p.steer(&SteerCtx {
                 cfg: &cfg,
+                dist: &dist,
                 values: &values,
                 srcs: &[],
             });

@@ -11,10 +11,19 @@
 //!   or communication in transit).
 //! * `Ready` — readable from that cluster's register file / bypass.
 //!
+//! Copy state is stored **sparsely**: two `u64` bitmasks per value
+//! (`present` = a copy exists, `ready` ⊆ `present` = the datum arrived;
+//! Pending = present ∧ ¬ready), so a value with two copies costs two set
+//! bits, not a [`MAX_CLUSTERS`]-wide array — walking copies is
+//! `count_ones()` bit iterations in ascending cluster order. Reader counts
+//! (only consulted by the `OnLastRead` ablation) live in a small sorted
+//! `(cluster, count)` list whose capacity survives slot recycling, so the
+//! steady-state hot loop stays allocation-free.
+//!
 //! Release policy follows §3: all copies of a value are freed when the
 //! instruction that *redefines* its architectural register commits.
 //! The `OnLastRead` ablation additionally frees non-home copies once their
-//! last dispatched reader has issued (reader counts are tracked per copy).
+//! last dispatched reader has issued.
 
 use crate::config::MAX_CLUSTERS;
 
@@ -35,12 +44,24 @@ pub enum CopyState {
     Ready,
 }
 
+/// Single-bit mask for a cluster index.
+#[inline]
+fn bit(cluster: usize) -> u64 {
+    debug_assert!(cluster < MAX_CLUSTERS);
+    1u64 << cluster
+}
+
 #[derive(Clone)]
 struct Value {
-    state: [CopyState; MAX_CLUSTERS],
-    /// Outstanding dispatched-but-not-issued readers per cluster
-    /// (for the `OnLastRead` release ablation).
-    readers: [u16; MAX_CLUSTERS],
+    /// Clusters holding a copy (Pending or Ready): one bit per cluster.
+    present: u64,
+    /// Clusters whose copy is Ready (always a subset of `present`).
+    ready: u64,
+    /// Outstanding dispatched-but-not-issued readers, sorted by cluster
+    /// (for the `OnLastRead` release ablation). Entries are removed when
+    /// their count drains to zero, so the list stays as small as the live
+    /// reader set.
+    readers: Vec<(u8, u16)>,
     /// Cluster holding the home (original) copy.
     home: u8,
     /// FP bank?
@@ -52,12 +73,42 @@ struct Value {
 impl Value {
     fn empty() -> Self {
         Value {
-            state: [CopyState::Absent; MAX_CLUSTERS],
-            readers: [0; MAX_CLUSTERS],
+            present: 0,
+            ready: 0,
+            readers: Vec::new(),
             home: 0,
             is_fp: false,
             live: false,
         }
+    }
+
+    /// Reset for reuse, keeping the reader list's capacity (value ids
+    /// recycle heavily; this is what keeps `alloc` allocation-free in
+    /// steady state).
+    fn reset(&mut self, home: usize, fp: bool) {
+        self.present = 0;
+        self.ready = 0;
+        self.readers.clear();
+        self.home = home as u8;
+        self.is_fp = fp;
+        self.live = true;
+    }
+}
+
+/// Iterator over the cluster indices of a copy bitmask, ascending.
+#[derive(Clone, Copy)]
+pub struct ClusterBits(pub u64);
+
+impl Iterator for ClusterBits {
+    type Item = usize;
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        if self.0 == 0 {
+            return None;
+        }
+        let c = self.0.trailing_zeros() as usize;
+        self.0 &= self.0 - 1;
+        Some(c)
     }
 }
 
@@ -67,9 +118,9 @@ pub struct ValueTable {
     free_slots: Vec<ValueId>,
     n_clusters: usize,
     /// Free integer registers per cluster.
-    free_int: [i32; MAX_CLUSTERS],
+    free_int: Box<[i32]>,
     /// Free FP registers per cluster.
-    free_fp: [i32; MAX_CLUSTERS],
+    free_fp: Box<[i32]>,
 }
 
 impl ValueTable {
@@ -79,8 +130,8 @@ impl ValueTable {
             slab: Vec::with_capacity(1024),
             free_slots: Vec::new(),
             n_clusters,
-            free_int: [regs_int as i32; MAX_CLUSTERS],
-            free_fp: [regs_fp as i32; MAX_CLUSTERS],
+            free_int: vec![regs_int as i32; n_clusters].into_boxed_slice(),
+            free_fp: vec![regs_fp as i32; n_clusters].into_boxed_slice(),
         }
     }
 
@@ -121,6 +172,7 @@ impl ValueTable {
     /// Allocate a new value whose home copy lives (Pending) in `home`.
     /// Caller must have checked `free_regs(home, fp) > 0`.
     pub fn alloc(&mut self, home: usize, fp: bool) -> ValueId {
+        debug_assert!(home < self.n_clusters, "home cluster out of range");
         self.take_reg(home, fp);
         let id = match self.free_slots.pop() {
             Some(id) => id,
@@ -131,11 +183,8 @@ impl ValueTable {
         };
         let v = &mut self.slab[id as usize];
         debug_assert!(!v.live);
-        *v = Value::empty();
-        v.live = true;
-        v.home = home as u8;
-        v.is_fp = fp;
-        v.state[home] = CopyState::Pending;
+        v.reset(home, fp);
+        v.present = bit(home);
         id
     }
 
@@ -143,19 +192,20 @@ impl ValueTable {
     /// architectural state).
     pub fn alloc_ready(&mut self, home: usize, fp: bool) -> ValueId {
         let id = self.alloc(home, fp);
-        self.slab[id as usize].state[home] = CopyState::Ready;
+        self.slab[id as usize].ready = bit(home);
         id
     }
 
     /// Allocate a consumer-side copy (Pending) in `cluster`.
     /// Caller must have checked bank availability.
     pub fn add_copy(&mut self, id: ValueId, cluster: usize) {
+        debug_assert!(cluster < self.n_clusters, "copy cluster out of range");
         let fp = self.slab[id as usize].is_fp;
         self.take_reg(cluster, fp);
         let v = &mut self.slab[id as usize];
         debug_assert!(v.live);
-        debug_assert_eq!(v.state[cluster], CopyState::Absent, "copy already exists");
-        v.state[cluster] = CopyState::Pending;
+        debug_assert_eq!(v.present & bit(cluster), 0, "copy already exists");
+        v.present |= bit(cluster);
     }
 
     /// Mark the copy in `cluster` ready (producer writeback or bus arrival).
@@ -163,29 +213,42 @@ impl ValueTable {
     /// `OnLastRead`) so the caller can skip wakeups.
     pub fn mark_ready(&mut self, id: ValueId, cluster: usize) -> bool {
         let v = &mut self.slab[id as usize];
-        if !v.live || v.state[cluster] == CopyState::Absent {
+        if !v.live || v.present & bit(cluster) == 0 {
             return false;
         }
-        v.state[cluster] = CopyState::Ready;
+        v.ready |= bit(cluster);
         true
     }
 
     /// Copy state of `id` in `cluster`.
     #[inline]
     pub fn state(&self, id: ValueId, cluster: usize) -> CopyState {
-        self.slab[id as usize].state[cluster]
+        let v = &self.slab[id as usize];
+        if v.ready & bit(cluster) != 0 {
+            CopyState::Ready
+        } else if v.present & bit(cluster) != 0 {
+            CopyState::Pending
+        } else {
+            CopyState::Absent
+        }
     }
 
     /// True if a copy (pending or ready) exists in `cluster`.
     #[inline]
     pub fn mapped(&self, id: ValueId, cluster: usize) -> bool {
-        self.slab[id as usize].state[cluster] != CopyState::Absent
+        self.slab[id as usize].present & bit(cluster) != 0
+    }
+
+    /// Bitmask of clusters holding a copy of `id` (steering candidate sets).
+    #[inline]
+    pub fn mapped_mask(&self, id: ValueId) -> u64 {
+        self.slab[id as usize].present
     }
 
     /// True if the value has a Ready copy anywhere (i.e. has been produced).
+    #[inline]
     pub fn produced_anywhere(&self, id: ValueId) -> bool {
-        let v = &self.slab[id as usize];
-        v.state[..self.n_clusters].contains(&CopyState::Ready)
+        self.slab[id as usize].ready != 0
     }
 
     /// Home cluster of the value.
@@ -200,33 +263,41 @@ impl ValueTable {
         self.slab[id as usize].is_fp
     }
 
-    /// Clusters where the value is mapped (for steering candidate sets).
-    pub fn mapped_clusters(&self, id: ValueId) -> impl Iterator<Item = usize> + '_ {
-        let v = &self.slab[id as usize];
-        v.state[..self.n_clusters]
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| **s != CopyState::Absent)
-            .map(|(c, _)| c)
+    /// Clusters where the value is mapped, in ascending order (steering
+    /// relies on the order: SSA takes the first, tie-breaks take the
+    /// lowest index).
+    #[inline]
+    pub fn mapped_clusters(&self, id: ValueId) -> ClusterBits {
+        ClusterBits(self.slab[id as usize].present)
     }
 
     /// Register a dispatched reader of `id` in `cluster` (OnLastRead policy).
     pub fn add_reader(&mut self, id: ValueId, cluster: usize) {
-        self.slab[id as usize].readers[cluster] += 1;
+        let readers = &mut self.slab[id as usize].readers;
+        let c = cluster as u8;
+        match readers.binary_search_by_key(&c, |&(rc, _)| rc) {
+            Ok(i) => readers[i].1 += 1,
+            Err(i) => readers.insert(i, (c, 1)),
+        }
     }
 
     /// A reader issued; under `OnLastRead`, frees a non-home copy whose
     /// reader count hits zero. Returns true if the copy was released.
     pub fn reader_done(&mut self, id: ValueId, cluster: usize, release_on_read: bool) -> bool {
         let v = &mut self.slab[id as usize];
-        debug_assert!(v.readers[cluster] > 0);
-        v.readers[cluster] -= 1;
-        if release_on_read
-            && v.readers[cluster] == 0
-            && cluster != v.home as usize
-            && v.state[cluster] == CopyState::Ready
-        {
-            v.state[cluster] = CopyState::Absent;
+        let c = cluster as u8;
+        let i = v
+            .readers
+            .binary_search_by_key(&c, |&(rc, _)| rc)
+            .expect("reader_done without a registered reader");
+        v.readers[i].1 -= 1;
+        let drained = v.readers[i].1 == 0;
+        if drained {
+            v.readers.remove(i);
+        }
+        if release_on_read && drained && cluster != v.home as usize && v.ready & bit(cluster) != 0 {
+            v.present &= !bit(cluster);
+            v.ready &= !bit(cluster);
             let fp = v.is_fp;
             self.give_reg(cluster, fp);
             true
@@ -237,23 +308,17 @@ impl ValueTable {
 
     /// Release every copy of `id` and recycle the slot (redefiner commit).
     pub fn free(&mut self, id: ValueId) {
-        let fp = self.slab[id as usize].is_fp;
-        let mut to_free = 0u32;
-        {
+        let (fp, copies) = {
             let v = &mut self.slab[id as usize];
             debug_assert!(v.live, "double free of value {id}");
-            for c in 0..self.n_clusters {
-                if v.state[c] != CopyState::Absent {
-                    v.state[c] = CopyState::Absent;
-                    to_free |= 1 << c;
-                }
-            }
+            let copies = v.present;
+            v.present = 0;
+            v.ready = 0;
             v.live = false;
-        }
-        for c in 0..self.n_clusters {
-            if to_free & (1 << c) != 0 {
-                self.give_reg(c, fp);
-            }
+            (v.is_fp, copies)
+        };
+        for c in ClusterBits(copies) {
+            self.give_reg(c, fp);
         }
         self.free_slots.push(id);
     }
@@ -268,12 +333,7 @@ impl ValueTable {
         self.slab
             .iter()
             .filter(|v| v.live)
-            .map(|v| {
-                v.state[..self.n_clusters]
-                    .iter()
-                    .filter(|s| **s != CopyState::Absent)
-                    .count()
-            })
+            .map(|v| v.present.count_ones() as usize)
             .sum()
     }
 }
@@ -337,6 +397,26 @@ mod tests {
         t.add_copy(v, 3);
         let cs: Vec<usize> = t.mapped_clusters(v).collect();
         assert_eq!(cs, vec![1, 3]);
+        assert_eq!(t.mapped_mask(v), 0b1010);
+    }
+
+    #[test]
+    fn highest_cluster_bit_is_representable() {
+        // Cluster 63 exercises the top bit of the masks.
+        let mut t = ValueTable::new(64, 48, 48);
+        let v = t.alloc(63, false);
+        t.add_copy(v, 0);
+        assert_eq!(t.home(v), 63);
+        assert_eq!(t.state(v, 63), CopyState::Pending);
+        assert!(t.mark_ready(v, 63));
+        assert_eq!(
+            t.mapped_clusters(v).collect::<Vec<_>>(),
+            vec![0, 63],
+            "ascending even across the top bit"
+        );
+        t.free(v);
+        assert_eq!(t.free_regs(63, false), 48);
+        assert_eq!(t.copy_count(), 0);
     }
 
     #[test]
@@ -383,6 +463,20 @@ mod tests {
             !t.mark_ready(v, 2),
             "ready on a released copy must be ignored"
         );
+    }
+
+    #[test]
+    fn reader_list_stays_sorted_and_drains() {
+        let mut t = table();
+        let v = t.alloc(0, false);
+        for c in [3usize, 1, 2, 1] {
+            t.add_reader(v, c);
+        }
+        // Drain in arbitrary order; counts must balance exactly.
+        assert!(!t.reader_done(v, 1, false));
+        assert!(!t.reader_done(v, 3, false));
+        assert!(!t.reader_done(v, 2, false));
+        assert!(!t.reader_done(v, 1, false));
     }
 
     #[test]

@@ -2,11 +2,8 @@
 //!
 //! A [`TraceDb`] is a directory of `.trc` files, one per `(name, len)` key
 //! (the same identity [`crate::TraceCache`] uses in memory), laid out as
-//! `<dir>/<name>/<len>.trc`. Every file is a fixed little-endian header
-//! followed by a fixed-width **32-byte record per [`DynInsn`]**, so the
-//! payload can be consumed either by a direct byte-cast from a memory map
-//! (records start at a 32-byte-aligned offset) or — as this module does —
-//! by a sequential chunked decode.
+//! `<dir>/<name>/<len>.trc`: a fixed little-endian header followed by one
+//! record per [`DynInsn`], consumed by a sequential chunked decode.
 //!
 //! ## File layout (all integers little-endian)
 //!
@@ -18,25 +15,40 @@
 //!                                 independent of the timing MODEL_VERSION)
 //!     16     8  key length       (the requested trace length, cache key)
 //!     24     8  instruction count
-//!     32     8  checksum         (4-lane FNV-1a over the payload: lane j
-//!                                 folds 8-byte word j of each record,
-//!                                 lanes FNV-mixed at the end)
+//!     32     8  checksum         (4-lane FNV-1a over the LOGICAL records:
+//!                                 lane j folds 8-byte word j of each
+//!                                 record, lanes FNV-mixed at the end —
+//!                                 identical across format versions)
 //!     40     4  static instruction count of the source program
 //!     44     1  halted flag      (1 = ran to `halt`, 0 = hit the budget)
 //!     45     3  reserved (zero)
 //!     48     2  name length
 //!     50    14  reserved (zero)
 //!     64     n  name (UTF-8), zero-padded to the next multiple of 32
-//!   ....   32k  payload: one 32-byte record per dynamic instruction
+//!   ....    ..  payload: one record per dynamic instruction
 //! ```
 //!
-//! Each record is the instruction's 8-byte ISA encoding
-//! ([`rcmc_isa::encode`]) followed by `pc`, `next_pc` (u32 each),
-//! `mem_addr` (u64) and 8 reserved zero bytes.
+//! A record's **logical** form is four 8-byte words: the instruction's
+//! ISA encoding ([`rcmc_isa::encode`]), `pc | next_pc << 32`, `mem_addr`,
+//! and a reserved all-zero word.
+//!
+//! * **Format v1** stored the four words verbatim — 32 bytes per record,
+//!   roughly three quarters of them zero (non-memory instructions have no
+//!   `mem_addr`; the reserved word never held anything).
+//! * **Format v2** (what this build writes) run-length-compresses exactly
+//!   those zeros: each record is one control byte whose low four bits flag
+//!   the nonzero words, followed by only those words. A typical non-memory
+//!   instruction costs 17 bytes instead of 32.
+//!
+//! Reads fall through by version: v1 files decode bit-for-bit as before
+//! (no re-emulation after upgrading), v2 files take the compressed path.
+//! The checksum always covers the logical words, so it vouches for the
+//! *decoded* instructions identically under both layouts.
 //!
 //! ## Versioning rules
 //!
-//! * [`FORMAT_VERSION`] changes when the byte layout changes.
+//! * [`FORMAT_VERSION`] changes when the byte layout changes; older layouts
+//!   this build can still read are listed in `READABLE_FORMATS`.
 //! * [`TRACE_VERSION`] changes when the *emulator's semantics* change such
 //!   that a re-emulated trace could differ. It is deliberately independent
 //!   of the timing model's `MODEL_VERSION`: timing changes never invalidate
@@ -57,16 +69,28 @@ use rcmc_isa::{encode, Insn, Opcode, Reg, NUM_INT_REGS};
 
 use crate::trace::{DynInsn, Trace};
 
-/// File-layout version; bump when the byte layout changes.
-pub const FORMAT_VERSION: u32 = 1;
+/// File-layout version this build writes; bump when the byte layout
+/// changes. v2 = zero-run compressed records (v1 = fixed 32-byte records,
+/// still readable).
+pub const FORMAT_VERSION: u32 = 2;
+
+/// Layout versions this build can decode.
+const READABLE_FORMATS: [u32; 2] = [1, 2];
 
 /// Emulator-semantics version; bump when re-emulating a program could
 /// produce a different dynamic stream. Independent of the timing model's
 /// `MODEL_VERSION`.
 pub const TRACE_VERSION: u32 = 1;
 
-/// Bytes per on-disk dynamic-instruction record.
+/// Bytes per **logical** dynamic-instruction record (the v1 on-disk width;
+/// v2 records are variable, between 1 and [`V2_MAX_RECORD`] bytes).
 pub const RECORD_BYTES: usize = 32;
+
+/// Largest possible v2 record: control byte + all four words nonzero.
+pub const V2_MAX_RECORD: usize = 1 + RECORD_BYTES;
+
+/// Valid bits of a v2 control byte (one per logical word).
+const V2_WORD_MASK: u8 = 0x0f;
 
 const MAGIC: &[u8; 8] = b"RCMCTRCE";
 const HEADER_BASE: usize = 64;
@@ -427,18 +451,64 @@ impl Lanes {
     }
 }
 
-/// Checksum a whole payload (the write path; the read path folds records
-/// into [`Lanes`] inside its decode loop so the bytes stream through
-/// memory once).
-fn checksum(payload: &[u8]) -> u64 {
-    let mut lanes = Lanes::new();
-    for record in payload.chunks_exact(RECORD_BYTES) {
-        lanes.fold(record);
+/// The four logical words of one instruction (what the checksum covers and
+/// what both on-disk layouts serialize).
+#[inline]
+fn logical_words(d: &DynInsn) -> [u64; 4] {
+    [
+        encode(&d.insn),
+        (d.pc as u64) | ((d.next_pc as u64) << 32),
+        d.mem_addr,
+        0,
+    ]
+}
+
+/// Append one zero-run-compressed (v2) record: a control byte flagging the
+/// nonzero words, then only those words.
+#[inline]
+fn encode_v2_record(words: [u64; 4], out: &mut Vec<u8>) {
+    let mut ctl = 0u8;
+    for (w, &word) in words.iter().enumerate() {
+        if word != 0 {
+            ctl |= 1 << w;
+        }
     }
-    lanes.finish()
+    out.push(ctl);
+    for &word in words.iter() {
+        if word != 0 {
+            out.extend_from_slice(&word.to_le_bytes());
+        }
+    }
+}
+
+/// Decode one v2 record from the front of `b`: the logical words plus the
+/// encoded length. Reserved control bits are a malformed record; missing
+/// bytes are a truncation (the distinction callers surface to `verify`).
+#[inline]
+fn decode_v2_record(b: &[u8], idx: usize) -> Result<([u64; 4], usize), TraceDbError> {
+    let Some(&ctl) = b.first() else {
+        return Err(TraceDbError::Truncated);
+    };
+    if ctl & !V2_WORD_MASK != 0 {
+        return Err(TraceDbError::BadRecord(idx));
+    }
+    let need = 1 + ctl.count_ones() as usize * 8;
+    if b.len() < need {
+        return Err(TraceDbError::Truncated);
+    }
+    let mut words = [0u64; 4];
+    let mut off = 1usize;
+    for (w, word) in words.iter_mut().enumerate() {
+        if ctl & (1 << w) != 0 {
+            *word = u64::from_le_bytes(b[off..off + 8].try_into().unwrap());
+            off += 8;
+        }
+    }
+    Ok((words, off))
 }
 
 struct Header {
+    format_version: u32,
     trace_version: u32,
     key_len: u64,
     insn_count: u64,
@@ -453,7 +523,7 @@ fn payload_offset(name_len: usize) -> usize {
     (HEADER_BASE + name_len).div_ceil(RECORD_BYTES) * RECORD_BYTES
 }
 
-/// Serialize one trace into its complete file image.
+/// Serialize one trace into its complete (format-v2) file image.
 fn encode_file(
     name: &str,
     key_len: u64,
@@ -462,7 +532,8 @@ fn encode_file(
     statics: usize,
 ) -> Vec<u8> {
     let payload_off = payload_offset(name.len());
-    let mut out = vec![0u8; payload_off + insns.len() * RECORD_BYTES];
+    let mut out = vec![0u8; payload_off];
+    out.reserve(insns.len() * (1 + RECORD_BYTES / 2)); // typical ≈ 17 B/insn
     out[0..8].copy_from_slice(MAGIC);
     out[8..12].copy_from_slice(&FORMAT_VERSION.to_le_bytes());
     out[12..16].copy_from_slice(&TRACE_VERSION.to_le_bytes());
@@ -473,14 +544,13 @@ fn encode_file(
     out[44] = halted as u8;
     out[48..50].copy_from_slice(&(name.len() as u16).to_le_bytes());
     out[HEADER_BASE..HEADER_BASE + name.len()].copy_from_slice(name.as_bytes());
-    for (i, d) in insns.iter().enumerate() {
-        let r = &mut out[payload_off + i * RECORD_BYTES..payload_off + (i + 1) * RECORD_BYTES];
-        r[0..8].copy_from_slice(&encode(&d.insn).to_le_bytes());
-        r[8..12].copy_from_slice(&d.pc.to_le_bytes());
-        r[12..16].copy_from_slice(&d.next_pc.to_le_bytes());
-        r[16..24].copy_from_slice(&d.mem_addr.to_le_bytes());
+    let mut lanes = Lanes::new();
+    for d in insns {
+        let words = logical_words(d);
+        lanes.fold_words(words);
+        encode_v2_record(words, &mut out);
     }
-    let sum = checksum(&out[payload_off..]);
+    let sum = lanes.finish();
     out[32..40].copy_from_slice(&sum.to_le_bytes());
     out
 }
@@ -495,7 +565,7 @@ fn decode_header(bytes: &[u8]) -> Result<Header, TraceDbError> {
     let u32_at = |o: usize| u32::from_le_bytes(bytes[o..o + 4].try_into().unwrap());
     let u64_at = |o: usize| u64::from_le_bytes(bytes[o..o + 8].try_into().unwrap());
     let format_version = u32_at(8);
-    if format_version != FORMAT_VERSION {
+    if !READABLE_FORMATS.contains(&format_version) {
         return Err(TraceDbError::WrongFormatVersion(format_version));
     }
     let trace_version = u32_at(12);
@@ -511,6 +581,7 @@ fn decode_header(bytes: &[u8]) -> Result<Header, TraceDbError> {
         .map_err(|_| TraceDbError::KeyMismatch)?
         .to_string();
     Ok(Header {
+        format_version,
         trace_version,
         key_len: u64_at(16),
         insn_count: u64_at(24),
@@ -591,12 +662,7 @@ fn decode_words(words: [u64; 4], lut: &DecodeLuts) -> Option<DynInsn> {
 }
 
 fn decode_body(bytes: &[u8], h: &Header, strict: bool) -> Result<StoredTrace, TraceDbError> {
-    let want = h
-        .insn_count
-        .checked_mul(RECORD_BYTES as u64)
-        .and_then(|n| n.checked_add(h.payload_off as u64))
-        .ok_or(TraceDbError::Truncated)?;
-    if (bytes.len() as u64) != want {
+    if bytes.len() < h.payload_off {
         return Err(TraceDbError::Truncated);
     }
     let payload = &bytes[h.payload_off..];
@@ -607,15 +673,47 @@ fn decode_body(bytes: &[u8], h: &Header, strict: bool) -> Result<StoredTrace, Tr
     // escapes, and the result is discarded unless the sums match.
     let mut lanes = Lanes::new();
     let lut = decode_luts();
-    let mut insns = Vec::with_capacity(h.insn_count as usize);
-    for (i, r) in payload.chunks_exact(RECORD_BYTES).enumerate() {
-        lanes.fold(r);
-        if strict {
-            // Full ISA decode: operand-signature validation included.
-            let word = u64::from_le_bytes(r[0..8].try_into().unwrap());
-            rcmc_isa::decode(word).map_err(|_| TraceDbError::BadRecord(i))?;
+    let mut insns;
+    if h.format_version == 1 {
+        let want = h
+            .insn_count
+            .checked_mul(RECORD_BYTES as u64)
+            .and_then(|n| n.checked_add(h.payload_off as u64))
+            .ok_or(TraceDbError::Truncated)?;
+        if (bytes.len() as u64) != want {
+            return Err(TraceDbError::Truncated);
         }
-        insns.push(decode_record(r, lut).ok_or(TraceDbError::BadRecord(i))?);
+        insns = Vec::with_capacity(h.insn_count as usize);
+        for (i, r) in payload.chunks_exact(RECORD_BYTES).enumerate() {
+            lanes.fold(r);
+            if strict {
+                // Full ISA decode: operand-signature validation included.
+                let word = u64::from_le_bytes(r[0..8].try_into().unwrap());
+                rcmc_isa::decode(word).map_err(|_| TraceDbError::BadRecord(i))?;
+            }
+            insns.push(decode_record(r, lut).ok_or(TraceDbError::BadRecord(i))?);
+        }
+    } else {
+        // v2: variable-width records, at least one byte each — which also
+        // bounds a hostile header's instruction count by the payload size
+        // before any allocation happens.
+        if (payload.len() as u64) < h.insn_count {
+            return Err(TraceDbError::Truncated);
+        }
+        insns = Vec::with_capacity(h.insn_count as usize);
+        let mut off = 0usize;
+        for i in 0..h.insn_count as usize {
+            let (words, used) = decode_v2_record(&payload[off..], i)?;
+            off += used;
+            lanes.fold_words(words);
+            if strict {
+                rcmc_isa::decode(words[0]).map_err(|_| TraceDbError::BadRecord(i))?;
+            }
+            insns.push(decode_words(words, lut).ok_or(TraceDbError::BadRecord(i))?);
+        }
+        if off != payload.len() {
+            return Err(TraceDbError::Truncated);
+        }
     }
     if lanes.finish() != h.checksum {
         return Err(TraceDbError::ChecksumMismatch);
@@ -663,32 +761,68 @@ fn stream_decode_file(
     if h.name != expect.0 || h.key_len != expect.1 {
         return Err(TraceDbError::KeyMismatch);
     }
-    let want = h
-        .insn_count
-        .checked_mul(RECORD_BYTES as u64)
-        .and_then(|n| n.checked_add(payload_off as u64))
-        .ok_or(TraceDbError::Truncated)?;
-    if file_len != want {
-        return Err(TraceDbError::Truncated);
-    }
 
     let lut = decode_luts();
     let mut lanes = Lanes::new();
-    let mut insns = Vec::with_capacity(h.insn_count as usize);
-    let mut remaining = h.insn_count as usize * RECORD_BYTES;
-    scratch.clear();
-    scratch.resize(STREAM_CHUNK.min(remaining), 0);
-    let mut idx = 0usize;
-    while remaining > 0 {
-        let take = STREAM_CHUNK.min(remaining);
-        f.read_exact(&mut scratch[..take]).map_err(io_err)?;
-        for r in scratch[..take].chunks_exact(RECORD_BYTES) {
-            let words = record_words(r);
-            lanes.fold_words(words);
-            insns.push(decode_words(words, lut).ok_or(TraceDbError::BadRecord(idx))?);
-            idx += 1;
+    let mut insns;
+    if h.format_version == 1 {
+        let want = h
+            .insn_count
+            .checked_mul(RECORD_BYTES as u64)
+            .and_then(|n| n.checked_add(payload_off as u64))
+            .ok_or(TraceDbError::Truncated)?;
+        if file_len != want {
+            return Err(TraceDbError::Truncated);
         }
-        remaining -= take;
+        insns = Vec::with_capacity(h.insn_count as usize);
+        let mut remaining = h.insn_count as usize * RECORD_BYTES;
+        scratch.clear();
+        scratch.resize(STREAM_CHUNK.min(remaining), 0);
+        let mut idx = 0usize;
+        while remaining > 0 {
+            let take = STREAM_CHUNK.min(remaining);
+            f.read_exact(&mut scratch[..take]).map_err(io_err)?;
+            for r in scratch[..take].chunks_exact(RECORD_BYTES) {
+                let words = record_words(r);
+                lanes.fold_words(words);
+                insns.push(decode_words(words, lut).ok_or(TraceDbError::BadRecord(idx))?);
+                idx += 1;
+            }
+            remaining -= take;
+        }
+    } else {
+        // v2: variable-width records. Stream through the scratch chunk with
+        // a carry — a record is at most V2_MAX_RECORD bytes, so topping the
+        // window up whenever fewer remain guarantees the next record is
+        // contiguous. One byte per record minimum bounds a hostile count.
+        let payload_len = file_len - payload_off as u64;
+        if payload_len < h.insn_count {
+            return Err(TraceDbError::Truncated);
+        }
+        insns = Vec::with_capacity(h.insn_count as usize);
+        let mut remaining = payload_len as usize;
+        scratch.clear();
+        scratch.resize(STREAM_CHUNK, 0);
+        let (mut pos, mut valid) = (0usize, 0usize);
+        for i in 0..h.insn_count as usize {
+            if valid - pos < V2_MAX_RECORD && remaining > 0 {
+                scratch.copy_within(pos..valid, 0);
+                valid -= pos;
+                pos = 0;
+                let take = (STREAM_CHUNK - valid).min(remaining);
+                f.read_exact(&mut scratch[valid..valid + take])
+                    .map_err(io_err)?;
+                valid += take;
+                remaining -= take;
+            }
+            let (words, used) = decode_v2_record(&scratch[pos..valid], i)?;
+            pos += used;
+            lanes.fold_words(words);
+            insns.push(decode_words(words, lut).ok_or(TraceDbError::BadRecord(i))?);
+        }
+        if pos != valid || remaining > 0 {
+            return Err(TraceDbError::Truncated);
+        }
     }
     if lanes.finish() != h.checksum {
         return Err(TraceDbError::ChecksumMismatch);
@@ -767,15 +901,105 @@ mod tests {
         TraceDb::at(dir)
     }
 
+    /// Reference v1 encoder (the pre-compression layout), kept so the
+    /// fallthrough decode path is tested against real v1 images.
+    fn encode_file_v1(
+        name: &str,
+        key_len: u64,
+        insns: &[DynInsn],
+        halted: bool,
+        statics: usize,
+    ) -> Vec<u8> {
+        let payload_off = payload_offset(name.len());
+        let mut out = vec![0u8; payload_off + insns.len() * RECORD_BYTES];
+        out[0..8].copy_from_slice(MAGIC);
+        out[8..12].copy_from_slice(&1u32.to_le_bytes());
+        out[12..16].copy_from_slice(&TRACE_VERSION.to_le_bytes());
+        out[16..24].copy_from_slice(&key_len.to_le_bytes());
+        out[24..32].copy_from_slice(&(insns.len() as u64).to_le_bytes());
+        out[40..44].copy_from_slice(&(statics as u32).to_le_bytes());
+        out[44] = halted as u8;
+        out[48..50].copy_from_slice(&(name.len() as u16).to_le_bytes());
+        out[HEADER_BASE..HEADER_BASE + name.len()].copy_from_slice(name.as_bytes());
+        let mut lanes = Lanes::new();
+        for (i, d) in insns.iter().enumerate() {
+            let r = &mut out[payload_off + i * RECORD_BYTES..payload_off + (i + 1) * RECORD_BYTES];
+            let words = logical_words(d);
+            lanes.fold_words(words);
+            for (w, word) in words.into_iter().enumerate() {
+                r[w * 8..(w + 1) * 8].copy_from_slice(&word.to_le_bytes());
+            }
+        }
+        out[32..40].copy_from_slice(&lanes.finish().to_le_bytes());
+        out
+    }
+
     #[test]
     fn roundtrip_in_memory() {
         let t = sample_trace();
         let bytes = encode_file("x", 99, &t.insns, t.halted, t.static_insns);
-        assert_eq!(bytes.len() % RECORD_BYTES, 0, "payload must stay aligned");
         let back = decode_file(&bytes, Some(("x", 99))).unwrap();
         assert_eq!(back.insns, t.insns);
         assert!(back.halted);
         assert_eq!(back.static_insns, 4);
+    }
+
+    #[test]
+    fn v1_files_fall_through_and_decode_identically() {
+        let t = sample_trace();
+        let v1 = encode_file_v1("x", 99, &t.insns, t.halted, t.static_insns);
+        let v2 = encode_file("x", 99, &t.insns, t.halted, t.static_insns);
+        // Same content, same checksum (it covers the logical words), two
+        // layouts — and the warm loader must accept both.
+        assert_eq!(v1[32..40], v2[32..40], "checksum is layout-independent");
+        let from_v1 = decode_file(&v1, Some(("x", 99))).unwrap();
+        let from_v2 = decode_file(&v2, Some(("x", 99))).unwrap();
+        assert_eq!(from_v1.insns, from_v2.insns);
+        assert_eq!(from_v1.insns, t.insns);
+        // The on-disk streaming path falls through too.
+        let db = temp_db("v1fall");
+        let p = db.dir().join("x").join("99.trc");
+        std::fs::create_dir_all(p.parent().unwrap()).unwrap();
+        std::fs::write(&p, &v1).unwrap();
+        assert_eq!(*db.load("x", 99).unwrap(), t.insns);
+        assert_eq!(db.verify("x", 99).unwrap(), t.insns.len() as u64);
+        let _ = std::fs::remove_dir_all(db.dir());
+    }
+
+    #[test]
+    fn zero_runs_compress() {
+        let t = sample_trace();
+        let v1 = encode_file_v1("x", 99, &t.insns, t.halted, t.static_insns);
+        let v2 = encode_file("x", 99, &t.insns, t.halted, t.static_insns);
+        assert!(
+            v2.len() < v1.len(),
+            "v2 ({}) must be smaller than v1 ({})",
+            v2.len(),
+            v1.len()
+        );
+        // The sample has one memory instruction out of three: records cost
+        // 1 + 16 (non-mem) or 1 + 24 (mem) bytes instead of a flat 32.
+        let payload = v2.len() - payload_offset(1);
+        assert_eq!(payload, (1 + 16) * 2 + (1 + 24));
+    }
+
+    #[test]
+    fn v2_reserved_control_bits_are_bad_records() {
+        let t = sample_trace();
+        let mut bytes = encode_file("x", 99, &t.insns, t.halted, t.static_insns);
+        let off = payload_offset(1);
+        bytes[off] |= 0x80; // reserved bit in the first record's control byte
+        assert_eq!(
+            decode_file(&bytes, Some(("x", 99))).unwrap_err(),
+            TraceDbError::BadRecord(0)
+        );
+        // Trailing garbage is a truncation-class mismatch, not a silent pass.
+        let mut extra = encode_file("x", 99, &t.insns, t.halted, t.static_insns);
+        extra.push(0x00);
+        assert_eq!(
+            decode_file(&extra, Some(("x", 99))).unwrap_err(),
+            TraceDbError::Truncated
+        );
     }
 
     #[test]

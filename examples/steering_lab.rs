@@ -6,6 +6,7 @@
 //! cargo run --release --example steering_lab [benchmark]
 //! ```
 
+use ring_clustered::core::config::DistanceLut;
 use ring_clustered::core::steering::{RingDep, SteerCtx, SteeringPolicy};
 use ring_clustered::core::value::ValueTable;
 use ring_clustered::core::{CoreConfig, Steering, Topology};
@@ -22,10 +23,12 @@ fn figure2_walkthrough() {
         ..CoreConfig::default()
     };
     let mut values = ValueTable::new(4, 64, 64);
+    let dist = DistanceLut::new(&cfg);
     let mut policy = RingDep::new();
     let steer = |policy: &mut RingDep, values: &ValueTable, srcs: &[u32]| {
         policy.steer(&SteerCtx {
             cfg: &cfg,
+            dist: &dist,
             values,
             srcs,
         })
