@@ -1,26 +1,64 @@
-//! Beyond-paper ablation studies (DESIGN.md §7):
+//! Beyond-paper ablation studies (DESIGN.md §7), expressed as declarative
+//! plans: each grid is a list of [`ConfigSpec`] axes/override entries —
+//! exactly what a JSON plan file could state — instead of hand-mutated
+//! `SimConfig`s pushed through the session's explicit-sweep escape hatch.
+//! The specs resolve to the same tagged names the plan layer memoizes
+//! under, so these grids share store rows with `rcmc plan run`.
 //!
 //! 1. **steering × topology cross** — is the win the ring bypass or the
-//!    dependence steering? Runs all four combinations.
+//!    dependence steering? All four (topology, steering) axes pairs.
 //! 2. **copy-release policy** — §3's proposed alternative (release-on-read)
-//!    vs the evaluated release-at-redefiner-commit.
-//! 3. **cluster-count scaling** — 2/4/8/16 clusters (generalizes the
-//!    paper's scalability claim).
-//! 4. **bus-latency scaling** — 1–4 cycles/hop (generalizes Figure 12).
+//!    via the `{"copy_release": "on_read"}` override vs the evaluated
+//!    release-at-redefiner-commit baseline.
+//! 3. **cluster-count scaling** — 2/4/8/16 clusters via the `clusters`
+//!    axis (generalizes the paper's scalability claim).
+//! 4. **bus-latency scaling** — 1–4 cycles/hop via the `hop_latency` axis
+//!    (generalizes Figure 12).
 //!
-//! The mutated configurations (custom names, tweaked release policy) are
-//! not expressible as plan specs, so these grids go through the session's
-//! explicit-sweep escape hatch; the reductions are `ResultSet` combinators.
+//! The reductions are `ResultSet` combinators keyed by the specs' resolved
+//! names.
 
-use rcmc_core::{CopyRelease, Steering, Topology};
 use rcmc_sim::experiments::plans;
+use rcmc_sim::plan::{ConfigSpec, Plan};
 use rcmc_sim::report::render_speedups;
 use rcmc_sim::runner::Budget;
-use rcmc_sim::{config, experiments};
+use rcmc_sim::{experiments, Session};
+use serde_json::Value;
+
+/// The display/store name a spec resolves to — the key its rows live
+/// under in the `ResultSet`.
+fn name_of(spec: &ConfigSpec) -> String {
+    spec.resolve()
+        .expect("ablation spec must resolve")
+        .remove(0)
+        .name
+}
+
+/// A single-axes-point spec: one (topology, steering) cell.
+fn pair(topology: &str, steering: &str) -> ConfigSpec {
+    ConfigSpec {
+        topology: Some(topology.to_string()),
+        steering: Some(steering.to_string()),
+        ..ConfigSpec::default()
+    }
+}
+
+fn run(
+    session: &Session,
+    name: &str,
+    specs: &[ConfigSpec],
+    benches: &[&str],
+) -> rcmc_sim::ResultSet {
+    let plan = specs
+        .iter()
+        .fold(Plan::new(name), |p, s| p.config(s.clone()))
+        .benches(benches.iter().copied())
+        .budget(Budget::default());
+    session.run(&plan).unwrap_or_else(|e| panic!("{name}: {e}"))
+}
 
 fn main() {
     let session = rcmc_bench::session();
-    let budget = Budget::default();
     // A representative subset keeps the ablations fast; the main figures use
     // the full suite.
     let benches: Vec<&str> = vec![
@@ -28,22 +66,19 @@ fn main() {
     ];
 
     // ---- 1. steering × topology cross ----
-    let mut cfgs = Vec::new();
-    for (topo, tname) in [(Topology::Ring, "Ring"), (Topology::Conv, "Conv")] {
-        for (steer, sname) in [
-            (Steering::RingDep, "depRing"),
-            (Steering::ConvDcount, "dcount"),
-        ] {
-            let mut c = config::make(topo, 8, 2, 1);
-            c.core.steering = steer;
-            c.name = format!("x_{tname}_{sname}");
-            cfgs.push(c);
-        }
-    }
-    let rs = session.sweep(&cfgs, &benches, &budget);
-    let rows: Vec<_> = cfgs
+    let cross: Vec<ConfigSpec> = ["ring", "conv"]
         .iter()
-        .map(|c| (c.name.clone(), rs.speedup(&c.name, "x_Conv_dcount")))
+        .flat_map(|t| ["ringdep", "dcount"].map(|s| pair(t, s)))
+        .collect();
+    let rs = run(&session, "ablation-cross", &cross, &benches);
+    let base = name_of(&pair("conv", "dcount"));
+    let rows: Vec<_> = cross
+        .iter()
+        .map(|s| {
+            let n = name_of(s);
+            let speedup = rs.speedup(&n, &base);
+            (n, speedup)
+        })
         .collect();
     println!(
         "\n{}",
@@ -51,20 +86,20 @@ fn main() {
     );
 
     // ---- 2. copy-release policy ----
-    let mut cfgs = Vec::new();
-    for (policy, pname) in [
-        (CopyRelease::AtRedefineCommit, "at_commit"),
-        (CopyRelease::OnLastRead, "on_read"),
-    ] {
-        let mut c = config::make(Topology::Ring, 8, 2, 1);
-        c.core.copy_release = policy;
-        c.name = format!("rel_{pname}");
-        cfgs.push(c);
-    }
-    let rs = session.sweep(&cfgs, &benches, &budget);
+    // The paper's evaluated policy (release at redefiner commit) is the
+    // plain default; the §3 alternative rides in as a whitelisted override
+    // and gets its own `~copy_releaseon_read`-tagged store row.
+    let at_commit = ConfigSpec::default();
+    let on_read = ConfigSpec::default().with_override("copy_release", Value::Str("on_read".into()));
+    let rs = run(
+        &session,
+        "ablation-release",
+        &[at_commit.clone(), on_read.clone()],
+        &benches,
+    );
     let rows = vec![(
         "release_on_read_vs_at_commit".to_string(),
-        rs.speedup("rel_on_read", "rel_at_commit"),
+        rs.speedup(&name_of(&on_read), &name_of(&at_commit)),
     )];
     println!(
         "\n{}",
@@ -72,19 +107,26 @@ fn main() {
     );
 
     // ---- 3. cluster scaling ----
-    let mut rows = Vec::new();
-    for n in [2usize, 4, 8, 16] {
-        let mut ring = config::make(Topology::Ring, n.max(2), 2, 1);
-        let mut conv = config::make(Topology::Conv, n.max(2), 2, 1);
-        ring.name = format!("scale_ring_{n}");
-        conv.name = format!("scale_conv_{n}");
-        let cfgs = vec![ring, conv];
-        let rs = session.sweep(&cfgs, &benches, &budget);
-        rows.push((
-            format!("{n}_clusters"),
-            rs.speedup(&format!("scale_ring_{n}"), &format!("scale_conv_{n}")),
-        ));
-    }
+    let scale = |topology: &str, n: usize| ConfigSpec {
+        topology: Some(topology.to_string()),
+        clusters: Some(n),
+        ..ConfigSpec::default()
+    };
+    let ns = [2usize, 4, 8, 16];
+    let specs: Vec<ConfigSpec> = ns
+        .iter()
+        .flat_map(|&n| [scale("ring", n), scale("conv", n)])
+        .collect();
+    let rs = run(&session, "ablation-scale", &specs, &benches);
+    let rows: Vec<_> = ns
+        .iter()
+        .map(|&n| {
+            (
+                format!("{n}_clusters"),
+                rs.speedup(&name_of(&scale("ring", n)), &name_of(&scale("conv", n))),
+            )
+        })
+        .collect();
     println!(
         "\n{}",
         render_speedups(
@@ -94,21 +136,26 @@ fn main() {
     );
 
     // ---- 4. bus latency scaling ----
-    let mut rows = Vec::new();
-    for hop in [1u32, 2, 3, 4] {
-        let mut ring = config::make(Topology::Ring, 8, 2, 1);
-        let mut conv = config::make(Topology::Conv, 8, 2, 1);
-        ring.core.hop_latency = hop;
-        conv.core.hop_latency = hop;
-        ring.name = format!("hop{hop}_ring");
-        conv.name = format!("hop{hop}_conv");
-        let cfgs = vec![ring, conv];
-        let rs = session.sweep(&cfgs, &benches, &budget);
-        rows.push((
-            format!("{hop}_cycles_per_hop"),
-            rs.speedup(&format!("hop{hop}_ring"), &format!("hop{hop}_conv")),
-        ));
-    }
+    let hoppy = |topology: &str, hop: u32| ConfigSpec {
+        topology: Some(topology.to_string()),
+        hop_latency: Some(hop),
+        ..ConfigSpec::default()
+    };
+    let hops = [1u32, 2, 3, 4];
+    let specs: Vec<ConfigSpec> = hops
+        .iter()
+        .flat_map(|&h| [hoppy("ring", h), hoppy("conv", h)])
+        .collect();
+    let rs = run(&session, "ablation-hop", &specs, &benches);
+    let rows: Vec<_> = hops
+        .iter()
+        .map(|&h| {
+            (
+                format!("{h}_cycles_per_hop"),
+                rs.speedup(&name_of(&hoppy("ring", h)), &name_of(&hoppy("conv", h))),
+            )
+        })
+        .collect();
     println!(
         "\n{}",
         render_speedups(

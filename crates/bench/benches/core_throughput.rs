@@ -18,17 +18,18 @@
 //! the issue/bus paths hot.
 //!
 //! The `cluster_scaling` rows sweep `n_clusters` up to the MAX_CLUSTERS=64
-//! ceiling and A/B the sparse active-cluster scans against forced dense
-//! loops (`set_sparse(false)`, same event-driven wheel): the
-//! `mcycles_per_s_dense` column is what the sparse path must beat. At 64
-//! clusters sparse must win outright; at 4 the bookkeeping must cost under
-//! a few percent.
+//! ceiling on the sparse active-cluster scans (the only issue/idle path
+//! since the dense escape hatch was deleted), and the `machine_grid` rows
+//! time every machine-registry family on the ring and the conventional
+//! bus — regressions in a family's sizing (a 512-entry ROB, a 2-cluster
+//! embedded core) show up in the perf trajectory like any topology row.
 
 use std::time::Instant;
 
 use rcmc_bench::update_bench_core;
 use rcmc_core::Topology;
 use rcmc_sim::config::{make, topology_name, SimConfig, ALL_TOPOLOGIES};
+use rcmc_sim::plan::ConfigSpec;
 use rcmc_sim::runner::{cached_trace, Budget};
 use serde_json::Value;
 
@@ -36,19 +37,13 @@ const BENCHES: [&str; 2] = ["gzip", "swim"];
 
 /// One measurement pass over both benchmarks: total (cycles, committed,
 /// skipped, whole-run cycles, wall seconds).
-fn run_mode(
-    cfg: &SimConfig,
-    budget: &Budget,
-    event_driven: bool,
-    sparse: bool,
-) -> (u64, u64, u64, u64, f64) {
+fn run_mode(cfg: &SimConfig, budget: &Budget, event_driven: bool) -> (u64, u64, u64, u64, f64) {
     let (mut cycles, mut committed, mut skipped, mut total) = (0u64, 0u64, 0u64, 0u64);
     let t0 = Instant::now();
     for b in BENCHES {
         let trace = cached_trace(b, budget.trace_len());
         let mut core = rcmc_core::Core::new(cfg.core.clone(), cfg.mem, cfg.pred, &trace);
         core.set_event_driven(event_driven);
-        core.set_sparse(sparse);
         let s = core.run_with_warmup(budget.warmup, budget.measure);
         cycles += s.cycles;
         committed += s.committed;
@@ -104,8 +99,8 @@ fn main() {
     println!("---------------------------------------------------");
     let mut runs = Vec::new();
     for (name, cfg) in &rows {
-        let (cycles, committed, skipped, total, dt) = run_mode(cfg, &budget, true, true);
-        let (_, _, _, _, dt_stepped) = run_mode(cfg, &budget, false, true);
+        let (cycles, committed, skipped, total, dt) = run_mode(cfg, &budget, true);
+        let (_, _, _, _, dt_stepped) = run_mode(cfg, &budget, false);
         let mcps = cycles as f64 / dt / 1e6;
         let mips = committed as f64 / dt / 1e6;
         let mcps_stepped = cycles as f64 / dt_stepped / 1e6;
@@ -146,34 +141,22 @@ fn main() {
         ]));
     }
 
-    // Cluster-count scaling: sparse active-cluster scans vs forced dense
-    // loops (`set_sparse(false)`), both event-driven, so the only variable
-    // is who walks the cluster arrays each live cycle. Hier keeps a single
-    // shared inter-group link at every size, so most of a big machine sits
-    // idle-but-allocated — the dense path's worst case and exactly what the
-    // `ready_mask`/`comm_mask` scans skip.
-    println!("\nCluster scaling, sparse vs dense (Hier, 1 bus, 2IW)");
-    println!("---------------------------------------------------");
+    // Cluster-count scaling on the sparse active-cluster scans. Hier keeps
+    // a single shared inter-group link at every size, so most of a big
+    // machine sits idle-but-allocated — exactly what the
+    // `ready_mask`/`comm_mask` walks skip. Throughput should degrade far
+    // slower than linearly in n_clusters.
+    println!("\nCluster scaling (Hier, 1 bus, 2IW, sparse scans)");
+    println!("------------------------------------------------");
     let mut scaling = Vec::new();
     for n in [4usize, 16, 32, 64] {
         let cfg = make(Topology::Hier, n, 2, 1);
-        let (cycles, committed, _, _, dt) = run_mode(&cfg, &budget, true, true);
-        let (_, _, _, _, dt_dense) = run_mode(&cfg, &budget, true, false);
+        let (cycles, committed, _, _, dt) = run_mode(&cfg, &budget, true);
         let mcps = cycles as f64 / dt / 1e6;
-        let mcps_dense = cycles as f64 / dt_dense / 1e6;
-        let speedup = dt_dense / dt;
         println!(
             "Hier{n:<3}    {cycles:>9} cycles {committed:>7} insns  \
-             sparse {mcps:>7.2} Mcycles/s  dense {mcps_dense:>7.2} Mcycles/s  \
-             {speedup:>5.2}x",
+             {mcps:>7.2} Mcycles/s",
         );
-        if n == 64 {
-            assert!(
-                mcps >= mcps_dense,
-                "64-cluster sparse path ({mcps:.2} Mcycles/s) lost to dense \
-                 ({mcps_dense:.2} Mcycles/s)"
-            );
-        }
         scaling.push(Value::Obj(vec![
             ("topology".into(), Value::Str(format!("Hier{n}"))),
             ("n_clusters".into(), Value::Num(n as f64)),
@@ -183,15 +166,45 @@ fn main() {
                 "mcycles_per_s".into(),
                 Value::Num((mcps * 1e3).round() / 1e3),
             ),
-            (
-                "mcycles_per_s_dense".into(),
-                Value::Num((mcps_dense * 1e3).round() / 1e3),
-            ),
-            (
-                "sparse_speedup".into(),
-                Value::Num((speedup * 1e3).round() / 1e3),
-            ),
         ]));
+    }
+
+    // Machine-registry grid: every family on the ring and the conventional
+    // bus, built exactly the way plan specs build them (ConfigSpec
+    // resolution, so names carry the `~m:` tags and the timings correspond
+    // to real store rows).
+    println!("\nMachine grid (registry families x ring/conv)");
+    println!("--------------------------------------------");
+    let mut machine_grid = Vec::new();
+    for family in rcmc_sim::machines::REGISTRY.iter() {
+        for topo in ["ring", "conv"] {
+            let cfg = ConfigSpec {
+                machine: Some(family.name.to_string()),
+                topology: Some(topo.to_string()),
+                ..ConfigSpec::default()
+            }
+            .resolve()
+            .expect("registry family resolves")
+            .remove(0);
+            let (cycles, committed, _, _, dt) = run_mode(&cfg, &budget, true);
+            let mcps = cycles as f64 / dt / 1e6;
+            let ipc = committed as f64 / cycles as f64;
+            println!(
+                "{:<10} {:<42} {cycles:>9} cycles  ipc {ipc:>5.3}  {mcps:>7.2} Mcycles/s",
+                family.name, cfg.name
+            );
+            machine_grid.push(Value::Obj(vec![
+                ("family".into(), Value::Str(family.name.to_string())),
+                ("config".into(), Value::Str(cfg.name.clone())),
+                ("cycles".into(), Value::Num(cycles as f64)),
+                ("committed".into(), Value::Num(committed as f64)),
+                ("ipc".into(), Value::Num((ipc * 1e4).round() / 1e4)),
+                (
+                    "mcycles_per_s".into(),
+                    Value::Num((mcps * 1e3).round() / 1e3),
+                ),
+            ]));
+        }
     }
 
     update_bench_core(
@@ -202,6 +215,7 @@ fn main() {
             ("measure".into(), Value::Num(budget.measure as f64)),
             ("runs".into(), Value::Arr(runs)),
             ("cluster_scaling".into(), Value::Arr(scaling)),
+            ("machine_grid".into(), Value::Arr(machine_grid)),
         ]),
     );
 }

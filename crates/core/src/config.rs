@@ -1,5 +1,32 @@
 //! Back-end configuration.
 
+use serde::json::Value;
+
+/// The whitelist of [`CoreConfig`] fields a declarative `"overrides"` map
+/// (plan specs, machine sweeps) may set by key, in canonical (sorted)
+/// order. [`CoreConfig::apply_override`] is the single source of truth for
+/// how each key parses; this list exists for error messages, docs and the
+/// CLI. Axes that plan specs already own (`topology`, `steering`,
+/// `clusters`, `iw`, `buses`, `hop_latency`) are deliberately absent —
+/// they shape the configuration *name*, overrides only tag it.
+pub const OVERRIDE_KEYS: [&str; 15] = [
+    "commit_width",
+    "copy_release",
+    "dcount_threshold",
+    "fetch_queue",
+    "fetch_width",
+    "frontend_depth",
+    "hier_pair_links",
+    "iq_comm",
+    "iq_fp",
+    "iq_int",
+    "lsq",
+    "regs_fp",
+    "regs_int",
+    "rob",
+    "store_buffer",
+];
+
 /// Cluster interconnect topology (the paper's two contenders plus a
 /// beyond-paper point-to-point design).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -241,6 +268,85 @@ impl CoreConfig {
         }
     }
 
+    /// Set one whitelisted field by key from a JSON value — the single
+    /// source of truth behind declarative `"overrides"` maps (see
+    /// [`OVERRIDE_KEYS`]). Returns the canonical compact rendering of the
+    /// applied value (`"256"`, `"12.5"`, `"on_read"`, `"on"`), which
+    /// callers embed in configuration names/store keys so an overridden
+    /// configuration can never collide with an untouched preset row.
+    ///
+    /// Unknown keys, wrong JSON types and nonsensical values (zero queue
+    /// depths, non-positive thresholds) are hard errors. Range interactions
+    /// (e.g. register-file minima) are [`CoreConfig::validate`]'s job —
+    /// callers must still validate after applying every override.
+    pub fn apply_override(&mut self, key: &str, value: &Value) -> Result<String, String> {
+        // A positive integer field: `>= 1` here, any tighter bound later
+        // in `validate`.
+        fn uint(key: &str, value: &Value) -> Result<usize, String> {
+            match value {
+                Value::Num(n) if *n >= 1.0 && n.fract() == 0.0 && *n <= 1e9 => Ok(*n as usize),
+                _ => Err(format!("override '{key}' must be a positive integer")),
+            }
+        }
+        match key {
+            "commit_width" => self.commit_width = uint(key, value)?,
+            "copy_release" => {
+                self.copy_release = match value {
+                    Value::Str(s) => match s.to_ascii_lowercase().as_str() {
+                        "at_commit" | "at_redefine_commit" => CopyRelease::AtRedefineCommit,
+                        "on_read" | "on_last_read" => CopyRelease::OnLastRead,
+                        other => {
+                            return Err(format!(
+                                "override 'copy_release' must be 'at_commit' or 'on_read', \
+                                 not '{other}'"
+                            ))
+                        }
+                    },
+                    _ => return Err("override 'copy_release' must be a string".into()),
+                };
+                return Ok(match self.copy_release {
+                    CopyRelease::AtRedefineCommit => "at_commit".to_string(),
+                    CopyRelease::OnLastRead => "on_read".to_string(),
+                });
+            }
+            "dcount_threshold" => match value {
+                Value::Num(n) if n.is_finite() && *n > 0.0 => self.dcount_threshold = *n,
+                _ => return Err("override 'dcount_threshold' must be a positive number".into()),
+            },
+            "fetch_queue" => self.fetch_queue = uint(key, value)?,
+            "fetch_width" => self.fetch_width = uint(key, value)?,
+            "frontend_depth" => self.frontend_depth = uint(key, value)? as u32,
+            "hier_pair_links" => match value {
+                Value::Bool(b) => {
+                    self.hier_pair_links = *b;
+                    return Ok(if *b { "on" } else { "off" }.to_string());
+                }
+                _ => return Err("override 'hier_pair_links' must be a boolean".into()),
+            },
+            "iq_comm" => self.iq_comm = uint(key, value)?,
+            "iq_fp" => self.iq_fp = uint(key, value)?,
+            "iq_int" => self.iq_int = uint(key, value)?,
+            "lsq" => self.lsq = uint(key, value)?,
+            "regs_fp" => self.regs_fp = uint(key, value)?,
+            "regs_int" => self.regs_int = uint(key, value)?,
+            "rob" => self.rob = uint(key, value)?,
+            "store_buffer" => self.store_buffer = uint(key, value)?,
+            other => {
+                return Err(format!(
+                    "unknown override key '{other}' (one of: {})",
+                    OVERRIDE_KEYS.join(" | ")
+                ))
+            }
+        }
+        // Numeric keys fall through here; render compactly (no ".0").
+        let Value::Num(n) = value else { unreachable!() };
+        Ok(if n.fract() == 0.0 {
+            format!("{}", *n as u64)
+        } else {
+            format!("{n}")
+        })
+    }
+
     /// Sanity-check invariants the pipeline relies on.
     pub fn validate(&self) -> Result<(), String> {
         if self.n_clusters < 2 || self.n_clusters > MAX_CLUSTERS {
@@ -416,6 +522,104 @@ mod tests {
     #[test]
     fn default_validates() {
         assert!(CoreConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn apply_override_sets_whitelisted_fields() {
+        let mut c = CoreConfig::default();
+        assert_eq!(c.apply_override("rob", &Value::Num(512.0)).unwrap(), "512");
+        assert_eq!(c.rob, 512);
+        assert_eq!(c.apply_override("lsq", &Value::Num(256.0)).unwrap(), "256");
+        assert_eq!(c.lsq, 256);
+        assert_eq!(
+            c.apply_override("dcount_threshold", &Value::Num(12.5))
+                .unwrap(),
+            "12.5"
+        );
+        assert_eq!(c.dcount_threshold, 12.5);
+        assert_eq!(
+            c.apply_override("dcount_threshold", &Value::Num(20.0))
+                .unwrap(),
+            "20"
+        );
+        assert_eq!(
+            c.apply_override("copy_release", &Value::Str("on_read".into()))
+                .unwrap(),
+            "on_read"
+        );
+        assert_eq!(c.copy_release, CopyRelease::OnLastRead);
+        assert_eq!(
+            c.apply_override("copy_release", &Value::Str("AT_COMMIT".into()))
+                .unwrap(),
+            "at_commit"
+        );
+        assert_eq!(c.copy_release, CopyRelease::AtRedefineCommit);
+        assert_eq!(
+            c.apply_override("hier_pair_links", &Value::Bool(true))
+                .unwrap(),
+            "on"
+        );
+        assert!(c.hier_pair_links);
+        assert_eq!(
+            c.apply_override("frontend_depth", &Value::Num(6.0))
+                .unwrap(),
+            "6"
+        );
+        assert_eq!(c.frontend_depth, 6);
+    }
+
+    #[test]
+    fn apply_override_rejects_bad_input() {
+        let mut c = CoreConfig::default();
+        // Unknown keys list the whitelist.
+        let err = c.apply_override("robs", &Value::Num(1.0)).unwrap_err();
+        assert!(err.contains("unknown override key 'robs'"), "{err}");
+        assert!(err.contains("rob"), "{err}");
+        // Plan axes are deliberately not overridable.
+        assert!(c.apply_override("clusters", &Value::Num(4.0)).is_err());
+        assert!(c
+            .apply_override("topology", &Value::Str("ring".into()))
+            .is_err());
+        // Wrong types / nonsensical values.
+        assert!(c.apply_override("rob", &Value::Str("256".into())).is_err());
+        assert!(c.apply_override("rob", &Value::Num(0.0)).is_err());
+        assert!(c.apply_override("rob", &Value::Num(-8.0)).is_err());
+        assert!(c.apply_override("rob", &Value::Num(2.5)).is_err());
+        assert!(c
+            .apply_override("dcount_threshold", &Value::Num(0.0))
+            .is_err());
+        assert!(c
+            .apply_override("dcount_threshold", &Value::Num(f64::NAN))
+            .is_err());
+        assert!(c
+            .apply_override("copy_release", &Value::Str("never".into()))
+            .is_err());
+        assert!(c
+            .apply_override("hier_pair_links", &Value::Num(1.0))
+            .is_err());
+        // Failed applications leave the config untouched.
+        assert_eq!(c.rob, CoreConfig::default().rob);
+    }
+
+    #[test]
+    fn override_keys_are_sorted_and_exhaustive() {
+        let mut sorted = OVERRIDE_KEYS.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(
+            sorted,
+            OVERRIDE_KEYS.to_vec(),
+            "OVERRIDE_KEYS must be sorted"
+        );
+        // Every listed key applies cleanly with a plausible value.
+        for key in OVERRIDE_KEYS {
+            let mut c = CoreConfig::default();
+            let value = match key {
+                "copy_release" => Value::Str("on_read".into()),
+                "hier_pair_links" => Value::Bool(true),
+                _ => Value::Num(64.0),
+            };
+            assert!(c.apply_override(key, &value).is_ok(), "key {key}");
+        }
     }
 
     #[test]

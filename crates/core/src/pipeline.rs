@@ -42,8 +42,10 @@
 //! NREADY sampling, and the idle probe visit only active clusters instead
 //! of scanning `0..n_clusters` (O(active) per cycle, which is what makes
 //! [`crate::config::MAX_CLUSTERS`] = 64 machines cheap to simulate when
-//! most clusters idle). `set_sparse(false)` forces the dense scans for
-//! differential testing; results are bit-identical either way.
+//! most clusters idle). The sparse walks iterate in the exact order the
+//! dense `0..n_clusters` scans used to, so counters stayed bit-identical
+//! when the dense paths were deleted; `tests/cycle_stepped.rs` pins the
+//! surviving equivalence (event-driven vs cycle-stepped).
 
 use std::collections::VecDeque;
 
@@ -162,10 +164,6 @@ pub struct Core<'t> {
     event_driven: bool,
     /// Cycles fast-forwarded rather than individually simulated.
     skipped_cycles: u64,
-    /// Sparse issue/idle scans over the active-cluster bitmasks below
-    /// (bit-identical counters either way; `set_sparse(false)` forces the
-    /// dense `0..n_clusters` loops).
-    sparse: bool,
     /// Bit `c` set iff `iq_int[c]` or `iq_fp[c]` has a ready entry.
     /// Maintained by [`Core::refresh_cluster`] after every queue mutation.
     ready_mask: u64,
@@ -227,7 +225,6 @@ impl<'t> Core<'t> {
             stats: Stats::new(n),
             event_driven: true,
             skipped_cycles: 0,
-            sparse: true,
             ready_mask: 0,
             comm_mask: 0,
             trace,
@@ -291,15 +288,6 @@ impl<'t> Core<'t> {
     /// `stats().cycles`; the ratio of the two is the wheel's skip rate.
     pub fn skipped_cycles(&self) -> u64 {
         self.skipped_cycles
-    }
-
-    /// Enable or disable sparse active-cluster scans (on by default).
-    /// Counters are bit-identical either way; disabling forces the dense
-    /// `0..n_clusters` loops at issue/NREADY/idle-probe. Differential-test
-    /// escape hatch only — scheduled for deletion once the sparse path has
-    /// soaked.
-    pub fn set_sparse(&mut self, on: bool) {
-        self.sparse = on;
     }
 
     /// Recompute this cluster's bits in the active-cluster masks. Must run
@@ -539,37 +527,25 @@ impl<'t> Core<'t> {
         let n = self.cfg.n_clusters;
         // Communications first (rotating cluster priority for bus fairness).
         let start = (self.now as usize) % n;
-        if self.sparse {
-            // Visit only clusters with a ready comm, in the same rotated
-            // order as the dense loop: bits `start..n` ascending, then
-            // `0..start`. Snapshots are safe — issuing in cluster `c` only
-            // removes from `c`'s own queues (completions land on the wheel).
-            let low = (1u64 << start) - 1; // start < n <= 64
-            for part in [self.comm_mask & !low, self.comm_mask & low] {
-                let mut m = part;
-                while m != 0 {
-                    let c = m.trailing_zeros() as usize;
-                    m &= m - 1;
-                    self.issue_comms(c);
-                }
-            }
-            let mut m = self.ready_mask;
+        // Visit only clusters with a ready comm, in rotated order: bits
+        // `start..n` ascending, then `0..start`. Snapshots are safe —
+        // issuing in cluster `c` only removes from `c`'s own queues
+        // (completions land on the wheel).
+        let low = (1u64 << start) - 1; // start < n <= 64
+        for part in [self.comm_mask & !low, self.comm_mask & low] {
+            let mut m = part;
             while m != 0 {
                 let c = m.trailing_zeros() as usize;
                 m &= m - 1;
-                self.issue_cluster_pipe(c, /* fp: */ false);
-                self.issue_cluster_pipe(c, /* fp: */ true);
-            }
-        } else {
-            for k in 0..n {
-                let c = (start + k) % n;
                 self.issue_comms(c);
             }
-            // Instructions.
-            for c in 0..n {
-                self.issue_cluster_pipe(c, /* fp: */ false);
-                self.issue_cluster_pipe(c, /* fp: */ true);
-            }
+        }
+        let mut m = self.ready_mask;
+        while m != 0 {
+            let c = m.trailing_zeros() as usize;
+            m &= m - 1;
+            self.issue_cluster_pipe(c, /* fp: */ false);
+            self.issue_cluster_pipe(c, /* fp: */ true);
         }
         self.sample_nready();
     }
@@ -716,26 +692,18 @@ impl<'t> Core<'t> {
             FuKind::FpMulDiv,
         ];
         let mut leftover = [0usize; 4];
-        if self.sparse {
-            // Leftovers can only come from clusters with ready entries; with
-            // none anywhere, NREADY adds zero regardless of idle capacity,
-            // so the all-cluster capacity scan is skipped too.
-            let mut m = self.ready_mask;
-            while m != 0 {
-                let c = m.trailing_zeros() as usize;
-                m &= m - 1;
-                self.iq_int[c].ready_by_fu(&mut leftover);
-                self.iq_fp[c].ready_by_fu(&mut leftover);
-            }
-            if leftover == [0; 4] {
-                return;
-            }
-        } else {
-            for c in 0..n {
-                // ready_by_fu self-gates on its maintained ready count.
-                self.iq_int[c].ready_by_fu(&mut leftover);
-                self.iq_fp[c].ready_by_fu(&mut leftover);
-            }
+        // Leftovers can only come from clusters with ready entries; with
+        // none anywhere, NREADY adds zero regardless of idle capacity,
+        // so the all-cluster capacity scan is skipped too.
+        let mut m = self.ready_mask;
+        while m != 0 {
+            let c = m.trailing_zeros() as usize;
+            m &= m - 1;
+            self.iq_int[c].ready_by_fu(&mut leftover);
+            self.iq_fp[c].ready_by_fu(&mut leftover);
+        }
+        if leftover == [0; 4] {
+            return;
         }
         let mut capacity = [0usize; 4];
         for c in 0..n {
@@ -1014,17 +982,8 @@ impl<'t> Core<'t> {
         if !self.store_buf.is_empty() {
             return;
         }
-        let n = self.cfg.n_clusters;
-        if self.sparse {
-            if self.ready_mask != 0 {
-                return;
-            }
-        } else {
-            for c in 0..n {
-                if self.iq_int[c].ready_count() != 0 || self.iq_fp[c].ready_count() != 0 {
-                    return;
-                }
-            }
+        if self.ready_mask != 0 {
+            return;
         }
         let ports = self.mem.cfg.dcache_ports;
         if self.lsq.would_start_any(self.now, ports) {
@@ -1052,11 +1011,7 @@ impl<'t> Core<'t> {
 
         // Ready communications retry the fabric every cycle; ask it when
         // the first attempt could succeed (0 = immediately, or unknown).
-        let mut comm_clusters = if self.sparse {
-            self.comm_mask
-        } else {
-            crate::config::cluster_mask(n)
-        };
+        let mut comm_clusters = self.comm_mask;
         while comm_clusters != 0 {
             let c = comm_clusters.trailing_zeros() as usize;
             comm_clusters &= comm_clusters - 1;
@@ -1130,7 +1085,7 @@ impl<'t> Core<'t> {
                         self.bump_stall(kind, times);
                     }
                 }
-                self.policy.retry_advance(rem, n);
+                self.policy.retry_advance(rem, self.cfg.n_clusters);
             }
             _ => {}
         }

@@ -13,7 +13,8 @@
 //!   query/group/geomean/speedup combinators every figure draws from.
 //!
 //! Supporting modules: [`config`] (Table 2/3 presets and the ablation
-//! grids), [`runner`] (the memoizing two-stage sweep engine and the raw
+//! grids), [`machines`] (the registry of named machine families plan specs
+//! select with `"machine"`), [`runner`] (the memoizing two-stage sweep engine and the raw
 //! per-run metrics), [`report`] (text rendering), [`experiments`] (every
 //! paper figure as a plan value + renderer), [`serve`] (the JSON-lines
 //! request/response loop behind `rcmc serve`), [`scheduler`] (the
@@ -35,6 +36,7 @@
 
 pub mod config;
 pub mod experiments;
+pub mod machines;
 pub mod plan;
 pub mod report;
 pub mod resultset;
@@ -47,6 +49,7 @@ pub use config::{
     evaluated_configs, fig12_configs, find_config, known_configs, parse_topology, ssa_configs,
     topology_ablation_configs, with_topology, SimConfig,
 };
+pub use machines::Machine;
 pub use plan::{ConfigSpec, Plan, RenderedReport, ReportSpec};
 pub use resultset::{GroupValues, Metric, ResultSet};
 pub use runner::{

@@ -1,0 +1,290 @@
+//! # Machine registry — named families of simulated machines
+//!
+//! The paper evaluates one fixed 2005-era design point; this module models
+//! whole *families* of machines as one declarative table, uiCA-style: each
+//! [`Machine`] row is a named [`CoreConfig`]/[`MemConfig`] delta applied on
+//! top of the paper's Table 2 sizing after topology/steering pairing.
+//! Plan `ConfigSpec`s select a family with `"machine": "wide"`, the CLI
+//! with `--machine wide`, and `rcmc machines list|show` renders the table.
+//!
+//! Contracts:
+//!
+//! * **`paper2005` is the identity.** Selecting it (or no machine at all)
+//!   resolves byte-identical configurations, names and store keys to the
+//!   presets — [`Machine::is_baseline`] guards the no-tag path.
+//! * **Every other family tags the name** with `~m:<family>` (see
+//!   `plan::ConfigSpec::resolve`), so family rows can never collide with
+//!   preset rows in the memoized result store.
+//! * **Families must validate everywhere.** Each row is checked against
+//!   every topology at both 8 and 64 clusters by the registry tests;
+//!   a delta that breaks `CoreConfig::validate` is a bug in the table.
+//!
+//! Fine-grained knobs (one queue depth, a policy flag) don't need a family:
+//! plan specs compose any registry row with an `"overrides": {...}` map of
+//! whitelisted `CoreConfig` fields (`rcmc_core::OVERRIDE_KEYS`).
+
+use crate::config::SimConfig;
+
+/// One named machine family: default plan axes plus the `CoreConfig` /
+/// `MemConfig` fields it resizes. `None` means "inherit the paper sizing"
+/// (rendered `-` in the arch table).
+#[derive(Clone, Copy, Debug)]
+pub struct Machine {
+    /// Registry key (`--machine <name>`, `"machine": "<name>"`).
+    pub name: &'static str,
+    /// One-line description for `rcmc machines list`.
+    pub description: &'static str,
+    /// Default cluster count when the spec doesn't pin `clusters`.
+    pub clusters: usize,
+    /// Default per-cluster issue width when the spec doesn't pin `iw`.
+    pub iw: usize,
+    /// Default bus/port count when the spec doesn't pin `buses`.
+    pub buses: usize,
+    /// Reorder-buffer entries.
+    pub rob: Option<usize>,
+    /// Load/store queue entries.
+    pub lsq: Option<usize>,
+    /// Per-cluster INT issue-queue entries.
+    pub iq_int: Option<usize>,
+    /// Per-cluster FP issue-queue entries.
+    pub iq_fp: Option<usize>,
+    /// Per-cluster communication-queue entries.
+    pub iq_comm: Option<usize>,
+    /// Per-cluster INT physical registers.
+    pub regs_int: Option<usize>,
+    /// Per-cluster FP physical registers.
+    pub regs_fp: Option<usize>,
+    /// Fetch width (instructions/cycle).
+    pub fetch_width: Option<usize>,
+    /// Commit width (instructions/cycle).
+    pub commit_width: Option<usize>,
+    /// Fetch-queue entries.
+    pub fetch_queue: Option<usize>,
+    /// Front-end depth in cycles (fetch→rename).
+    pub frontend_depth: Option<u32>,
+    /// Per-cluster store-buffer entries.
+    pub store_buffer: Option<usize>,
+    /// Main-memory latency in cycles (the `slowmem` knob).
+    pub mem_latency: Option<u32>,
+}
+
+/// The identity row every family starts from.
+const BASELINE: Machine = Machine {
+    name: "paper2005",
+    description: "faithful IPDPS'05 baseline (Table 2 sizing, identity delta)",
+    clusters: 8,
+    iw: 2,
+    buses: 1,
+    rob: None,
+    lsq: None,
+    iq_int: None,
+    iq_fp: None,
+    iq_comm: None,
+    regs_int: None,
+    regs_fp: None,
+    fetch_width: None,
+    commit_width: None,
+    fetch_queue: None,
+    frontend_depth: None,
+    store_buffer: None,
+    mem_latency: None,
+};
+
+/// The machine-family table, in display order. Add a row here and it is a
+/// plan axis, a CLI flag value and an arch-table line everywhere at once.
+pub const REGISTRY: [Machine; 4] = [
+    BASELINE,
+    Machine {
+        name: "wide",
+        description: "modern 6-wide core: big ROB/IQ/LSQ, deep front end",
+        clusters: 8,
+        iw: 6,
+        buses: 2,
+        rob: Some(512),
+        lsq: Some(256),
+        iq_int: Some(64),
+        iq_fp: Some(64),
+        iq_comm: Some(32),
+        regs_int: Some(192),
+        regs_fp: Some(192),
+        fetch_width: Some(16),
+        commit_width: Some(16),
+        fetch_queue: Some(128),
+        frontend_depth: Some(6),
+        store_buffer: Some(32),
+        ..BASELINE
+    },
+    Machine {
+        name: "narrow",
+        description: "embedded 1-wide core: shallow queues, tiny windows",
+        clusters: 2,
+        iw: 1,
+        buses: 1,
+        rob: Some(32),
+        lsq: Some(16),
+        iq_int: Some(8),
+        iq_fp: Some(8),
+        iq_comm: Some(8),
+        regs_int: Some(40),
+        regs_fp: Some(40),
+        fetch_width: Some(2),
+        commit_width: Some(2),
+        fetch_queue: Some(8),
+        frontend_depth: Some(2),
+        store_buffer: Some(4),
+        ..BASELINE
+    },
+    Machine {
+        name: "slowmem",
+        description: "paper core behind 4x slower main memory (400-cycle miss)",
+        mem_latency: Some(400),
+        ..BASELINE
+    },
+];
+
+/// Look a family up by name (case-insensitive).
+pub fn find(name: &str) -> Option<&'static Machine> {
+    REGISTRY.iter().find(|m| m.name.eq_ignore_ascii_case(name))
+}
+
+/// The registered family names, in display order — for error messages.
+pub fn names() -> Vec<&'static str> {
+    REGISTRY.iter().map(|m| m.name).collect()
+}
+
+impl Machine {
+    /// Whether this row is the identity delta (`paper2005`): baseline
+    /// machines leave configurations byte-identical and carry no name tag.
+    pub fn is_baseline(&self) -> bool {
+        self.name == BASELINE.name
+    }
+
+    /// Apply this family's delta to a built configuration. Axes defaults
+    /// (`clusters`/`iw`/`buses`) are *not* applied here — they only seed
+    /// plan-spec resolution when the spec leaves those axes unset.
+    pub fn apply(&self, cfg: &mut SimConfig) {
+        macro_rules! set {
+            ($field:ident, core) => {
+                if let Some(v) = self.$field {
+                    cfg.core.$field = v;
+                }
+            };
+        }
+        set!(rob, core);
+        set!(lsq, core);
+        set!(iq_int, core);
+        set!(iq_fp, core);
+        set!(iq_comm, core);
+        set!(regs_int, core);
+        set!(regs_fp, core);
+        set!(fetch_width, core);
+        set!(commit_width, core);
+        set!(fetch_queue, core);
+        set!(frontend_depth, core);
+        set!(store_buffer, core);
+        if let Some(v) = self.mem_latency {
+            cfg.mem.mem_latency = v;
+        }
+    }
+
+    /// Multi-line detail view for `rcmc machines show <family>`.
+    pub fn show(&self) -> String {
+        fn row<T: std::fmt::Display>(label: &str, v: Option<T>) -> String {
+            match v {
+                Some(v) => format!("  {label:<16} {v}\n"),
+                None => format!("  {label:<16} - (paper sizing)\n"),
+            }
+        }
+        let mut s = format!(
+            "{} — {}\n  default axes:    {} clusters x {}IW x {} bus\n",
+            self.name, self.description, self.clusters, self.iw, self.buses
+        );
+        s.push_str(&row("rob", self.rob));
+        s.push_str(&row("lsq", self.lsq));
+        s.push_str(&row("iq_int", self.iq_int));
+        s.push_str(&row("iq_fp", self.iq_fp));
+        s.push_str(&row("iq_comm", self.iq_comm));
+        s.push_str(&row("regs_int", self.regs_int));
+        s.push_str(&row("regs_fp", self.regs_fp));
+        s.push_str(&row("fetch_width", self.fetch_width));
+        s.push_str(&row("commit_width", self.commit_width));
+        s.push_str(&row("fetch_queue", self.fetch_queue));
+        s.push_str(&row("frontend_depth", self.frontend_depth));
+        s.push_str(&row("store_buffer", self.store_buffer));
+        s.push_str(&row("mem_latency", self.mem_latency));
+        s
+    }
+}
+
+/// Render the registry as a uiCA-style arch table (`rcmc machines list`,
+/// `rcmc plan list`). `-` means "inherit the paper sizing".
+pub fn render_table() -> String {
+    fn cell<T: std::fmt::Display>(v: Option<T>) -> String {
+        v.map_or_else(|| "-".to_string(), |v| v.to_string())
+    }
+    let mut s = String::from(
+        "machine    clusxIWxbus  rob  lsq  iq   regs  fetch  fq   depth  memlat  description\n\
+         ---------  -----------  ---  ---  ---  ----  -----  ---  -----  ------  -----------\n",
+    );
+    for m in &REGISTRY {
+        s.push_str(&format!(
+            "{:<9}  {:>4}x{}x{}     {:>4} {:>4} {:>4} {:>5} {:>6} {:>4} {:>6} {:>7}  {}\n",
+            m.name,
+            m.clusters,
+            m.iw,
+            m.buses,
+            cell(m.rob),
+            cell(m.lsq),
+            cell(m.iq_int),
+            cell(m.regs_int),
+            cell(m.fetch_width),
+            cell(m.fetch_queue),
+            cell(m.frontend_depth),
+            cell(m.mem_latency),
+            m.description,
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::make;
+    use rcmc_core::Topology;
+
+    #[test]
+    fn registry_names_are_unique_and_findable() {
+        let mut names: Vec<&str> = REGISTRY.iter().map(|m| m.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), REGISTRY.len());
+        assert!(find("paper2005").unwrap().is_baseline());
+        assert!(!find("WIDE").unwrap().is_baseline());
+        assert!(find("nope").is_none());
+    }
+
+    #[test]
+    fn baseline_apply_is_the_identity() {
+        let base = make(Topology::Ring, 8, 2, 1);
+        let mut applied = base.clone();
+        find("paper2005").unwrap().apply(&mut applied);
+        assert_eq!(format!("{:?}", applied.core), format!("{:?}", base.core));
+        assert_eq!(applied.mem.mem_latency, base.mem.mem_latency);
+    }
+
+    #[test]
+    fn table_and_show_render_every_family() {
+        let t = render_table();
+        for m in &REGISTRY {
+            assert!(t.contains(m.name), "{} missing from table", m.name);
+            let s = m.show();
+            assert!(s.contains(m.description));
+        }
+        // The identity row renders all-dashes for its delta columns.
+        assert!(find("paper2005")
+            .unwrap()
+            .show()
+            .contains("- (paper sizing)"));
+    }
+}

@@ -34,11 +34,29 @@
 //! (also `fig12`, `ssa`, `topology`, `steering-cross`) — that is how every
 //! paper figure's sweep is expressed as a plan value (see
 //! [`crate::experiments::plans`]).
+//!
+//! Axes-form entries additionally compose with the machine registry
+//! ([`crate::machines`]) and per-field overrides:
+//!
+//! ```json
+//! {"machine": "wide", "topology": "conv",
+//!  "overrides": {"rob": 256, "copy_release": "on_read"}}
+//! ```
+//!
+//! `"machine"` selects a named family whose `CoreConfig` delta is applied
+//! after topology/steering pairing (and whose default cluster/width/bus
+//! axes fill in any the entry leaves unset); `"overrides"` then sets
+//! individual whitelisted fields ([`rcmc_core::OVERRIDE_KEYS`]) by key.
+//! Both tag the configuration name deterministically (`~m:wide`, `~rob256`
+//! in sorted key order), so overridden configurations never collide with
+//! preset rows in the memoized result store; `"machine": "paper2005"` with
+//! no overrides is the identity and resolves byte-identical to the preset.
 
 use rcmc_core::{Steering, Topology};
 use serde::json::Value;
 
 use crate::config::{self, SimConfig};
+use crate::machines;
 use crate::report;
 use crate::resultset::{Metric, ResultSet};
 use crate::runner::{all_bench_names, Budget};
@@ -53,13 +71,19 @@ use crate::runner::{all_bench_names, Budget};
 /// * axes — any subset of `topology`/`steering`/`clusters`/`iw`/`buses`/
 ///   `hop_latency`, the rest defaulting to the paper's
 ///   `Ring_8clus_1bus_2IW` design point (with the topology's default
-///   steering).
+///   steering). Only this form composes with `machine` (a registry family
+///   delta, whose default axes fill in unset `clusters`/`iw`/`buses`) and
+///   `overrides` (whitelisted `CoreConfig` fields by key); both tag the
+///   resolved name (`~m:wide`, `~rob256`) so the memoized store keeps
+///   family/override rows apart from presets.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct ConfigSpec {
     /// Expand to a whole configuration grid.
     pub group: Option<String>,
     /// Resolve a known configuration by display name.
     pub name: Option<String>,
+    /// Machine-family name from the registry ([`crate::machines`]).
+    pub machine: Option<String>,
     /// Interconnect topology spelling (`ring|conv|crossbar|mesh|hier`).
     pub topology: Option<String>,
     /// Steering-policy spelling (`ringdep|dcount|ssa`).
@@ -73,6 +97,10 @@ pub struct ConfigSpec {
     /// Cycles per interconnect hop (default 1; ≠1 gets the `_Ncyclehop`
     /// name suffix, as in §4.6).
     pub hop_latency: Option<u32>,
+    /// Whitelisted `CoreConfig` overrides (`rcmc_core::OVERRIDE_KEYS`),
+    /// applied (and name-tagged) in sorted key order regardless of spec
+    /// order. Spec order is preserved here for faithful round-trips.
+    pub overrides: Vec<(String, Value)>,
 }
 
 impl ConfigSpec {
@@ -92,6 +120,21 @@ impl ConfigSpec {
         }
     }
 
+    /// A spec selecting a machine family on its default axes.
+    pub fn for_machine(machine: impl Into<String>) -> ConfigSpec {
+        ConfigSpec {
+            machine: Some(machine.into()),
+            ..ConfigSpec::default()
+        }
+    }
+
+    /// Append one override entry (a whitelisted `CoreConfig` field by key;
+    /// applied and name-tagged in sorted key order at resolve time).
+    pub fn with_override(mut self, key: impl Into<String>, value: Value) -> ConfigSpec {
+        self.overrides.push((key.into(), value));
+        self
+    }
+
     /// Expand this entry into concrete configurations.
     pub fn resolve(&self) -> Result<Vec<SimConfig>, String> {
         let axes = self.topology.is_some()
@@ -100,19 +143,46 @@ impl ConfigSpec {
             || self.iw.is_some()
             || self.buses.is_some()
             || self.hop_latency.is_some();
+        // `machine`/`overrides` modify a built axes configuration, so like
+        // the axes fields they are meaningless on (and rejected with) the
+        // `group` and `name` forms.
+        let modifier = if self.machine.is_some() {
+            Some("'machine'")
+        } else if !self.overrides.is_empty() {
+            Some("'overrides'")
+        } else {
+            None
+        };
         match (&self.group, &self.name) {
             (Some(_), Some(_)) => Err("config entry has both 'group' and 'name'".to_string()),
             (Some(g), None) if axes => Err(format!(
                 "config group '{g}' cannot be combined with axes fields"
             )),
+            (Some(g), None) if modifier.is_some() => Err(format!(
+                "config group '{g}' cannot be combined with {}",
+                modifier.unwrap()
+            )),
             (Some(g), None) => expand_group(g),
             (None, Some(n)) if axes => Err(format!(
                 "config name '{n}' cannot be combined with axes fields"
+            )),
+            (None, Some(n)) if modifier.is_some() => Err(format!(
+                "config name '{n}' cannot be combined with {}",
+                modifier.unwrap()
             )),
             (None, Some(n)) => config::find_config(n)
                 .map(|c| vec![c])
                 .ok_or_else(|| format!("unknown configuration '{n}' (see `rcmc list`)")),
             (None, None) => {
+                let machine = match &self.machine {
+                    Some(m) => Some(machines::find(m).ok_or_else(|| {
+                        format!(
+                            "unknown machine '{m}' (one of: {})",
+                            machines::names().join(" | ")
+                        )
+                    })?),
+                    None => None,
+                };
                 let topology = match &self.topology {
                     Some(t) => config::parse_topology(t).ok_or_else(|| {
                         format!("unknown topology '{t}' (ring | conv | crossbar | mesh | hier)")
@@ -125,18 +195,43 @@ impl ConfigSpec {
                     })?,
                     None => config::default_steering(topology),
                 };
+                // A family seeds the axes the spec leaves unset (a 6-wide
+                // machine defaults to its own width, not the paper's 2).
+                let (def_clusters, def_iw, def_buses) =
+                    machine.map_or((8, 2, 1), |m| (m.clusters, m.iw, m.buses));
                 let mut c = config::make_pair(
                     topology,
                     steering,
-                    self.clusters.unwrap_or(8),
-                    self.iw.unwrap_or(2),
-                    self.buses.unwrap_or(1),
+                    self.clusters.unwrap_or(def_clusters),
+                    self.iw.unwrap_or(def_iw),
+                    self.buses.unwrap_or(def_buses),
                 );
                 if let Some(hop) = self.hop_latency {
                     if hop != 1 {
                         c.core.hop_latency = hop;
                         c.name = format!("{}_{hop}cyclehop", c.name);
                     }
+                }
+                // Non-baseline families rewrite the core/memory sizing and
+                // tag the name; `paper2005` is the guarded identity path
+                // (byte-identical configuration, untagged name/store key).
+                if let Some(m) = machine {
+                    if !m.is_baseline() {
+                        m.apply(&mut c);
+                        c.name = format!("{}~m:{}", c.name, m.name);
+                    }
+                }
+                // Overrides apply (and tag) in sorted key order, so two
+                // specs listing the same map in different order resolve to
+                // the same name — and the same memoized store row.
+                let mut sorted: Vec<&(String, Value)> = self.overrides.iter().collect();
+                sorted.sort_by(|a, b| a.0.cmp(&b.0));
+                for (key, value) in sorted {
+                    let tag = c
+                        .core
+                        .apply_override(key, value)
+                        .map_err(|e| format!("invalid configuration {}: {e}", c.name))?;
+                    c.name = format!("{}~{key}{tag}", c.name);
                 }
                 c.core
                     .validate()
@@ -155,6 +250,7 @@ impl ConfigSpec {
         };
         s("group", &self.group);
         s("name", &self.name);
+        s("machine", &self.machine);
         s("topology", &self.topology);
         s("steering", &self.steering);
         for (k, v) in [
@@ -166,6 +262,9 @@ impl ConfigSpec {
             if let Some(v) = v {
                 m.push((k.to_string(), Value::Num(v)));
             }
+        }
+        if !self.overrides.is_empty() {
+            m.push(("overrides".to_string(), Value::Obj(self.overrides.clone())));
         }
         Value::Obj(m)
     }
@@ -180,12 +279,30 @@ impl ConfigSpec {
             match k.as_str() {
                 "group" => spec.group = Some(str_field(v, k)?),
                 "name" => spec.name = Some(str_field(v, k)?),
+                "machine" => spec.machine = Some(str_field(v, k)?),
                 "topology" => spec.topology = Some(str_field(v, k)?),
                 "steering" => spec.steering = Some(str_field(v, k)?),
                 "clusters" => spec.clusters = Some(uint_field(v, k)? as usize),
                 "iw" => spec.iw = Some(uint_field(v, k)? as usize),
                 "buses" => spec.buses = Some(uint_field(v, k)? as usize),
                 "hop_latency" => spec.hop_latency = Some(uint_field(v, k)? as u32),
+                "overrides" => {
+                    let Value::Obj(entries) = v else {
+                        return Err("'overrides' must be a JSON object".to_string());
+                    };
+                    reject_duplicate_keys(entries, "override")?;
+                    // Unknown keys and malformed values are parse errors,
+                    // not deferred to resolve(): a typo'd knob must never
+                    // silently run the un-overridden configuration. The
+                    // dry-run applies onto a scratch config, so range
+                    // interactions still get checked (once) at resolve.
+                    for (ok, ov) in entries {
+                        rcmc_core::CoreConfig::default()
+                            .apply_override(ok, ov)
+                            .map_err(|e| format!("bad config-entry override: {e}"))?;
+                        spec.overrides.push((ok.clone(), ov.clone()));
+                    }
+                }
                 other => return Err(format!("unknown config-entry key '{other}'")),
             }
         }
@@ -487,14 +604,13 @@ impl Plan {
         hop_latency: Option<u32>,
     ) -> Plan {
         self.configs.push(ConfigSpec {
-            group: None,
-            name: None,
             topology: topology.map(|t| config::topology_name(t).to_ascii_lowercase()),
             steering: steering.map(|s| config::steering_name(s).to_ascii_lowercase()),
             clusters,
             iw,
             buses,
             hop_latency,
+            ..ConfigSpec::default()
         });
         self
     }
@@ -961,6 +1077,163 @@ mod tests {
             p2.resolve_configs().unwrap()[0].name,
             "Conv_8clus_1bus_2IW_2cyclehop"
         );
+    }
+
+    #[test]
+    fn machine_and_overrides_round_trip_through_json() {
+        let plan = Plan::new("m")
+            .config(
+                ConfigSpec::for_machine("wide")
+                    .with_override("rob", Value::Num(256.0))
+                    .with_override("copy_release", Value::Str("on_read".into())),
+            )
+            .config(ConfigSpec {
+                machine: Some("narrow".into()),
+                topology: Some("conv".into()),
+                ..ConfigSpec::default()
+            })
+            .benches(["swim"]);
+        let json = plan.to_json();
+        assert!(json.contains("\"machine\""), "{json}");
+        assert!(json.contains("\"overrides\""), "{json}");
+        let back = Plan::from_json(&json).unwrap();
+        assert_eq!(back, plan);
+        back.resolve_configs().unwrap();
+    }
+
+    #[test]
+    fn override_parse_errors_are_hard() {
+        let base = |overrides: &str| {
+            format!(
+                r#"{{"name": "x", "configs": [{{"topology": "ring", "overrides": {overrides}}}]}}"#
+            )
+        };
+        // Unknown override keys fail at parse time, listing the whitelist.
+        let err = Plan::from_json(&base(r#"{"robs": 256}"#)).unwrap_err();
+        assert!(err.contains("unknown override key 'robs'"), "{err}");
+        // Wrong value types and nonsense values too.
+        assert!(Plan::from_json(&base(r#"{"rob": "big"}"#)).is_err());
+        assert!(Plan::from_json(&base(r#"{"rob": 0}"#)).is_err());
+        assert!(Plan::from_json(&base(r#"{"rob": -8}"#)).is_err());
+        assert!(Plan::from_json(&base(r#"{"rob": 2.5}"#)).is_err());
+        assert!(Plan::from_json(&base(r#"{"copy_release": "never"}"#)).is_err());
+        assert!(Plan::from_json(&base(r#"{"dcount_threshold": 0}"#)).is_err());
+        // Duplicate keys inside the overrides map are rejected.
+        let dup = Plan::from_json(&base(r#"{"rob": 128, "rob": 256}"#)).unwrap_err();
+        assert!(dup.contains("duplicate override key 'rob'"), "{dup}");
+        // The overrides field must be an object.
+        assert!(Plan::from_json(&base(r#"[1, 2]"#)).is_err());
+        // Values that parse but break validation fail at resolve time.
+        let p = Plan::from_json(&base(r#"{"regs_int": 10}"#)).unwrap();
+        let err = p.resolve_configs().unwrap_err();
+        assert!(err.contains("invalid configuration"), "{err}");
+        assert!(err.contains("~regs_int10"), "{err}");
+    }
+
+    #[test]
+    fn machine_and_override_tags_are_deterministic() {
+        // paper2005 with no overrides is the identity: byte-identical name
+        // and core to the preset path.
+        let plain = ConfigSpec::default().resolve().unwrap().remove(0);
+        let tagged = ConfigSpec::for_machine("paper2005")
+            .resolve()
+            .unwrap()
+            .remove(0);
+        assert_eq!(tagged.name, "Ring_8clus_1bus_2IW");
+        assert_eq!(format!("{:?}", tagged.core), format!("{:?}", plain.core));
+        // Non-baseline families tag the name and seed the unset axes from
+        // the family defaults (wide: 8 clusters x 6IW x 2 buses).
+        let wide = ConfigSpec::for_machine("wide").resolve().unwrap().remove(0);
+        assert_eq!(wide.name, "Ring_8clus_2bus_6IW~m:wide");
+        assert_eq!(wide.core.rob, 512);
+        assert_eq!(wide.core.iw_int, 6);
+        // Spec-pinned axes beat the family defaults.
+        let wide4 = ConfigSpec {
+            machine: Some("wide".into()),
+            clusters: Some(4),
+            ..ConfigSpec::default()
+        }
+        .resolve()
+        .unwrap()
+        .remove(0);
+        assert_eq!(wide4.name, "Ring_4clus_2bus_6IW~m:wide");
+        assert_eq!(wide4.core.n_clusters, 4);
+        // Override tags render in sorted key order, regardless of spec
+        // order, after the machine tag.
+        let a = ConfigSpec::for_machine("wide")
+            .with_override("rob", Value::Num(256.0))
+            .with_override("copy_release", Value::Str("on_read".into()))
+            .resolve()
+            .unwrap()
+            .remove(0);
+        let b = ConfigSpec::for_machine("wide")
+            .with_override("copy_release", Value::Str("at_commit".into()))
+            .with_override("rob", Value::Num(256.0))
+            .resolve()
+            .unwrap()
+            .remove(0);
+        assert_eq!(
+            a.name,
+            "Ring_8clus_2bus_6IW~m:wide~copy_releaseon_read~rob256"
+        );
+        assert_eq!(a.core.rob, 256);
+        assert_eq!(
+            b.name,
+            "Ring_8clus_2bus_6IW~m:wide~copy_releaseat_commit~rob256"
+        );
+        // slowmem touches only the memory model.
+        let slow = ConfigSpec::for_machine("slowmem")
+            .resolve()
+            .unwrap()
+            .remove(0);
+        assert_eq!(slow.name, "Ring_8clus_1bus_2IW~m:slowmem");
+        assert_eq!(slow.mem.mem_latency, 400);
+        assert_eq!(format!("{:?}", slow.core), format!("{:?}", plain.core));
+        // Unknown machines list the registry.
+        let err = ConfigSpec::for_machine("nope").resolve().unwrap_err();
+        assert!(err.contains("unknown machine 'nope'"), "{err}");
+        assert!(err.contains("paper2005"), "{err}");
+    }
+
+    #[test]
+    fn machine_and_overrides_reject_group_and_name_forms() {
+        // The full error matrix: {group, name} x {machine, overrides} all
+        // fail with the same style of message the axes fields get.
+        let cases = [
+            (
+                ConfigSpec {
+                    group: Some("table3".into()),
+                    machine: Some("wide".into()),
+                    ..ConfigSpec::default()
+                },
+                "config group 'table3' cannot be combined with 'machine'",
+            ),
+            (
+                ConfigSpec::group("table3").with_override("rob", Value::Num(128.0)),
+                "config group 'table3' cannot be combined with 'overrides'",
+            ),
+            (
+                ConfigSpec {
+                    name: Some("Ring_8clus_1bus_2IW".into()),
+                    machine: Some("wide".into()),
+                    ..ConfigSpec::default()
+                },
+                "config name 'Ring_8clus_1bus_2IW' cannot be combined with 'machine'",
+            ),
+            (
+                ConfigSpec::named("Ring_8clus_1bus_2IW").with_override("rob", Value::Num(128.0)),
+                "config name 'Ring_8clus_1bus_2IW' cannot be combined with 'overrides'",
+            ),
+        ];
+        for (spec, want) in cases {
+            let err = spec.resolve().unwrap_err();
+            assert_eq!(err, want);
+        }
+        // Machine + overrides on the axes form is of course fine.
+        ConfigSpec::for_machine("wide")
+            .with_override("rob", Value::Num(128.0))
+            .resolve()
+            .unwrap();
     }
 
     #[test]

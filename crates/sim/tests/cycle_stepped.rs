@@ -1,19 +1,26 @@
-//! Sparse-vs-dense equivalence: the active-cluster bitmask scans (PR 9) are
-//! a pure scheduling optimization. On randomized configurations — every
-//! topology, every steering policy, cluster counts up to the new
-//! `MAX_CLUSTERS = 64` ceiling — a default (sparse) run and a forced
-//! dense-scan run ([`Core::set_sparse`]) must produce bit-identical
-//! statistics, composing with the event-driven fast-forward either way.
+//! Event-driven vs cycle-stepped equivalence: the fast-forward wheel
+//! (PR 6) is a pure scheduling optimization. On randomized configurations
+//! — every topology, every steering policy, cluster counts up to the
+//! `MAX_CLUSTERS = 64` ceiling — a default (event-driven) run and a forced
+//! cycle-stepped run ([`Core::set_event_driven`]) must produce
+//! bit-identical statistics.
+//!
+//! The dense-scan escape hatch this suite once cross-checked
+//! (`set_sparse(false)`) is gone — the sparse active-cluster walks are the
+//! only issue/NREADY/idle-probe implementation now, so every run here
+//! exercises them on both sides of the comparison. The cycle-stepped loop
+//! remains the slowest, most literal interpretation of the model and the
+//! anchor this property test pins the production path to.
 //!
 //! The first ten iterations pin all five topologies at 64 and 32 clusters
-//! (the scales the sparse path exists for); the rest draw freely.
+//! (the scales the sparse masks exist for); the rest draw freely.
 
 use rcmc_core::{Core, Steering, Topology};
 use rcmc_sim::config::make_pair;
 use rcmc_sim::runner::{cached_trace, Budget};
 
 #[test]
-fn sparse_matches_dense_on_random_configs() {
+fn event_driven_matches_cycle_stepped_on_random_configs() {
     // xorshift64: deterministic, dependency-free. Reseeding changes which
     // configurations are drawn, never whether the property should hold.
     let mut state: u64 = 0x2545_f491_4f6c_dd1d;
@@ -65,29 +72,29 @@ fn sparse_matches_dense_on_random_configs() {
         let tag = format!("{}~hop{} × {}", cfg.name, cfg.core.hop_latency, bench);
 
         let trace = cached_trace(bench, budget.trace_len());
-        let mut sparse = Core::new(cfg.core.clone(), cfg.mem, cfg.pred, &trace);
-        let sparse_stats = sparse.run_with_warmup(budget.warmup, budget.measure);
+        let mut fast = Core::new(cfg.core.clone(), cfg.mem, cfg.pred, &trace);
+        let fast_stats = fast.run_with_warmup(budget.warmup, budget.measure);
 
-        let mut dense = Core::new(cfg.core.clone(), cfg.mem, cfg.pred, &trace);
-        dense.set_sparse(false);
-        let dense_stats = dense.run_with_warmup(budget.warmup, budget.measure);
+        let mut stepped = Core::new(cfg.core.clone(), cfg.mem, cfg.pred, &trace);
+        stepped.set_event_driven(false);
+        let stepped_stats = stepped.run_with_warmup(budget.warmup, budget.measure);
 
         assert!(
-            sparse_stats.committed > 0,
+            fast_stats.committed > 0,
             "{tag}: nothing committed; the property test is vacuous"
         );
         assert_eq!(
-            sparse_stats, dense_stats,
-            "{tag}: sparse run diverged from dense run"
+            fast_stats, stepped_stats,
+            "{tag}: event-driven run diverged from cycle-stepped run"
         );
     }
 }
 
-/// Both escape hatches at once: a dense *and* cycle-stepped run is the
-/// slowest, most literal interpretation of the model — sparse event-driven
-/// (the production path) must still match it exactly.
+/// The wheel must also skip *something* at these scales — an event-driven
+/// run that never fast-forwards would pass the equivalence vacuously while
+/// silently regressing the whole point of the hot loop.
 #[test]
-fn sparse_event_driven_matches_dense_cycle_stepped() {
+fn event_driven_actually_skips_cycles_at_scale() {
     let budget = Budget {
         warmup: 200,
         measure: 800,
@@ -98,16 +105,22 @@ fn sparse_event_driven_matches_dense_cycle_stepped() {
 
         let mut fast = Core::new(cfg.core.clone(), cfg.mem, cfg.pred, &trace);
         let fast_stats = fast.run_with_warmup(budget.warmup, budget.measure);
+        let skipped = fast.skipped_cycles();
 
-        let mut literal = Core::new(cfg.core.clone(), cfg.mem, cfg.pred, &trace);
-        literal.set_sparse(false);
-        literal.set_event_driven(false);
-        let literal_stats = literal.run_with_warmup(budget.warmup, budget.measure);
+        let mut stepped = Core::new(cfg.core.clone(), cfg.mem, cfg.pred, &trace);
+        stepped.set_event_driven(false);
+        let stepped_stats = stepped.run_with_warmup(budget.warmup, budget.measure);
 
         assert_eq!(
-            fast_stats, literal_stats,
-            "{}: sparse+event-driven diverged from dense+stepped",
+            fast_stats, stepped_stats,
+            "{}: event-driven diverged from cycle-stepped",
             cfg.name
         );
+        assert!(
+            skipped > 0,
+            "{}: the wheel skipped nothing on a memory-bound workload",
+            cfg.name
+        );
+        assert_eq!(stepped.skipped_cycles(), 0, "stepped run must not skip");
     }
 }

@@ -12,6 +12,8 @@
 //! rcmc figures --jobs 8             # regenerate every table and figure
 //! rcmc csv --out sweep.csv          # main sweep as CSV
 //! rcmc layout                       # §3.2 area/floorplan study
+//! rcmc machines list                # the machine-family registry arch table
+//! rcmc machines show wide           # one family's full delta
 //! rcmc plan run spec.json           # execute a user-authored plan file
 //! rcmc plan show main               # print a builtin plan as JSON
 //! rcmc report steering-cross       # policy × topology matrix + analysis
@@ -29,10 +31,11 @@ use std::collections::HashMap;
 use ring_clustered::core::{Core, PipeTracer};
 use ring_clustered::emu::{trace_program, TraceDb};
 use ring_clustered::sim::experiments::{self, plans};
+use ring_clustered::sim::plan::ConfigSpec;
 use ring_clustered::sim::runner::{
-    cached_trace, default_jobs, default_trace_db, trace_cache_stats, Budget,
+    cached_trace, default_jobs, default_trace_db, trace_cache_stats, Budget, SweepProgress,
 };
-use ring_clustered::sim::{config, serve, Plan, Progress, ResultStore, Session};
+use ring_clustered::sim::{config, machines, serve, Plan, Progress, ResultStore, Session};
 use ring_clustered::workloads::{benchmark, suite};
 
 fn main() {
@@ -55,6 +58,7 @@ fn main() {
             &args[1..],
             &[
                 "config",
+                "machine",
                 "topology",
                 "steering",
                 "instrs",
@@ -64,6 +68,7 @@ fn main() {
             ],
             &["no-trace-store"],
         ),
+        "machines" => parse_flags(cmd, &args[1..], &[], &[]),
         "compare" => parse_flags(cmd, &args[1..], &["instrs", "warmup", "jobs"], &[]),
         "disasm" => parse_flags(cmd, &args[1..], &["limit"], &[]),
         "trace" => {
@@ -83,7 +88,7 @@ fn main() {
         "plan" => parse_flags(
             cmd,
             &args[1..],
-            &["jobs", "out", "store", "trace-store"],
+            &["jobs", "out", "store", "machine", "trace-store"],
             &["no-trace-store"],
         ),
         other => {
@@ -101,6 +106,7 @@ fn main() {
         "figures" => figures(&flags),
         "csv" => csv(&flags),
         "layout" => layout(),
+        "machines" => machines_cmd(&args),
         "plan" => plan_cmd(&args, &flags),
         "report" => report_cmd(&args, &flags),
         "serve" => serve_cmd(&flags),
@@ -114,7 +120,8 @@ fn usage() {
          \n\
          commands:\n\
          \x20 list                          benchmarks, configurations, builtin plans\n\
-         \x20 run <bench> [--config NAME] [--topology ring|conv|crossbar|mesh|hier]\n\
+         \x20 run <bench> [--config NAME | --machine FAMILY]\n\
+         \x20                               [--topology ring|conv|crossbar|mesh|hier]\n\
          \x20                               [--steering ringdep|dcount|ssa]\n\
          \x20                               [--instrs N] [--warmup N] [--jobs N]\n\
          \x20 compare <bench> [--instrs N] [--warmup N] [--jobs N]\n\
@@ -129,10 +136,14 @@ fn usage() {
          \x20 figures [--jobs N]            regenerate all tables/figures\n\
          \x20 csv [--out FILE] [--jobs N]   dump the main sweep as CSV\n\
          \x20 layout                        area + floorplan study\n\
+         \x20 machines list                 the machine-family registry (arch table)\n\
+         \x20 machines show <family>        one family's full CoreConfig delta\n\
          \x20 plan run <spec.json> [--jobs N] [--out FILE] [--store DIR]\n\
-         \x20                               execute a plan spec file\n\
+         \x20                      [--machine FAMILY]\n\
+         \x20                               execute a plan spec file (--machine sets\n\
+         \x20                               the family on every axes-form entry)\n\
          \x20 plan show <name>              print a builtin plan as JSON\n\
-         \x20 plan list                     builtin plan names\n\
+         \x20 plan list                     builtin plans + the machine registry\n\
          \x20 report steering-cross [--jobs N]\n\
          \x20                               policy × topology matrix + decomposition\n\
          \x20 serve [--jobs N] [--store DIR] [--queue-limit N] [--progress stderr|none]\n\
@@ -156,6 +167,8 @@ fn usage() {
          (ring | conv/bus | crossbar/xbar | mesh | hier) with that topology's\n\
          default steering; --steering then overrides the policy (ringdep/dep |\n\
          dcount | ssa) — any policy drives any fabric.\n\
+         --machine builds on a registry family's sizing instead of a preset\n\
+         (`rcmc machines list`); it cannot be combined with --config.\n\
          Plan spec files and the serve protocol are documented in the README\n\
          ('Experiment plans')."
     );
@@ -328,25 +341,43 @@ fn print_result(r: &ring_clustered::sim::RunResult) {
 
 fn run(args: &[String], flags: &HashMap<String, String>) {
     let bench = positional(args, 1, "benchmark name");
-    let cfg_name = flags
-        .get("config")
-        .cloned()
-        .unwrap_or_else(|| "Ring_8clus_1bus_2IW".to_string());
-    let mut cfg = find_config(&cfg_name);
-    if let Some(t) = flags.get("topology") {
-        let Some(topology) = config::parse_topology(t) else {
-            eprintln!("unknown topology '{t}' (ring | conv | crossbar | mesh | hier)");
+    let cfg = if let Some(family) = flags.get("machine") {
+        // A family is a different way of choosing the base sizing, so it
+        // conflicts with a preset name; topology/steering still compose.
+        if flags.contains_key("config") {
+            eprintln!("--machine cannot be combined with --config\n");
+            usage();
             std::process::exit(2);
+        }
+        let spec = ConfigSpec {
+            machine: Some(family.clone()),
+            topology: flags.get("topology").cloned(),
+            steering: flags.get("steering").cloned(),
+            ..ConfigSpec::default()
         };
-        cfg = config::with_topology(&cfg, topology);
-    }
-    if let Some(s) = flags.get("steering") {
-        let Some(steering) = config::parse_steering(s) else {
-            eprintln!("unknown steering '{s}' (ringdep | dcount | ssa)");
-            std::process::exit(2);
-        };
-        cfg = config::with_steering(&cfg, steering);
-    }
+        spec.resolve().unwrap_or_else(die).remove(0)
+    } else {
+        let cfg_name = flags
+            .get("config")
+            .cloned()
+            .unwrap_or_else(|| "Ring_8clus_1bus_2IW".to_string());
+        let mut cfg = find_config(&cfg_name);
+        if let Some(t) = flags.get("topology") {
+            let Some(topology) = config::parse_topology(t) else {
+                eprintln!("unknown topology '{t}' (ring | conv | crossbar | mesh | hier)");
+                std::process::exit(2);
+            };
+            cfg = config::with_topology(&cfg, topology);
+        }
+        if let Some(s) = flags.get("steering") {
+            let Some(steering) = config::parse_steering(s) else {
+                eprintln!("unknown steering '{s}' (ringdep | dcount | ssa)");
+                std::process::exit(2);
+            };
+            cfg = config::with_steering(&cfg, steering);
+        }
+        cfg
+    };
     let budget = budget_from(flags);
     let _ = jobs_from(flags); // validated; a single run always uses one worker
     let session = with_trace_db(Session::new(), flags);
@@ -597,13 +628,38 @@ fn layout() {
     assert_eq!(t.insns.len(), 1000);
 }
 
+/// `rcmc machines list|show <family>` — the machine-family registry.
+fn machines_cmd(args: &[String]) {
+    let sub = positional(args, 1, "machines subcommand (list | show)");
+    match sub.as_str() {
+        "list" => print!("{}", machines::render_table()),
+        "show" => {
+            let name = positional(args, 2, "machine family name");
+            match machines::find(&name) {
+                Some(m) => print!("{}", m.show()),
+                None => die(format!(
+                    "unknown machine '{name}' (one of: {})",
+                    machines::names().join(" | ")
+                )),
+            }
+        }
+        other => {
+            eprintln!("unknown machines subcommand '{other}' (list | show)");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn plan_cmd(args: &[String], flags: &HashMap<String, String>) {
     let sub = positional(args, 1, "plan subcommand (run | show | list)");
     match sub.as_str() {
         "list" => {
+            println!("builtin plans (rcmc plan show <name>):");
             for p in plans::BUILTIN {
-                println!("{p}");
+                println!("  {p}");
             }
+            println!("\nmachine families (\"machine\" on axes-form config entries):");
+            print!("{}", machines::render_table());
         }
         "show" => {
             let name = positional(args, 2, "builtin plan name");
@@ -624,6 +680,32 @@ fn plan_cmd(args: &[String], flags: &HashMap<String, String>) {
             });
             let mut plan = Plan::from_json(&text)
                 .unwrap_or_else(|e| die(format!("invalid plan spec '{path}': {e}")));
+            if let Some(family) = flags.get("machine") {
+                if machines::find(family).is_none() {
+                    die::<()>(format!(
+                        "unknown machine '{family}' (one of: {})",
+                        machines::names().join(" | ")
+                    ));
+                }
+                // The flag re-bases every axes-form entry onto the family;
+                // group/name entries cannot take a machine, so a plan with
+                // no axes entries has nothing for the flag to act on.
+                let mut rebased = 0;
+                for spec in &mut plan.configs {
+                    if spec.group.is_none() && spec.name.is_none() {
+                        spec.machine = Some(family.clone());
+                        rebased += 1;
+                    }
+                }
+                if rebased == 0 {
+                    die::<()>(format!(
+                        "--machine {family}: plan '{}' has no axes-form config \
+                         entries to apply it to",
+                        plan.name
+                    ));
+                }
+                eprintln!("--machine {family}: applied to {rebased} config entries");
+            }
             match num_flag::<usize>(flags, "jobs") {
                 Some(0) => {
                     eprintln!("--jobs must be at least 1");
@@ -649,7 +731,17 @@ fn plan_cmd(args: &[String], flags: &HashMap<String, String>) {
                 cfgs.len(),
                 benches.len(),
             );
-            let rs = session.run(&plan).unwrap_or_else(die);
+            // Stream progress to stderr while recording the final sweep
+            // tallies — CI's cold-then-warm machine-sweep check asserts on
+            // the executed/memoized summary line below.
+            let tallies = std::sync::Mutex::new((0usize, 0usize));
+            let record = |p: &SweepProgress<'_>| {
+                p.eprint_status();
+                *tallies.lock().unwrap() = (p.finished, p.memoized);
+            };
+            let rs = session.run_streaming(&plan, &record).unwrap_or_else(die);
+            let (executed, memoized) = *tallies.lock().unwrap();
+            eprintln!("jobs: {executed} executed, {memoized} memoized");
             let ts = trace_cache_stats();
             eprintln!(
                 "traces: {} emulated, {} loaded from trace store",

@@ -1,0 +1,113 @@
+//! CLI surface of the machine registry: `rcmc machines list|show`,
+//! `rcmc run --machine`, and the `--machine`/`--config` conflict.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn rcmc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_rcmc"))
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rcmc-mcli-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn stdout(out: &std::process::Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &std::process::Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn machines_list_renders_every_family() {
+    let out = rcmc().args(["machines", "list"]).output().unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let text = stdout(&out);
+    for family in ["paper2005", "wide", "narrow", "slowmem"] {
+        assert!(text.contains(family), "missing {family}:\n{text}");
+    }
+    // The arch-table header carries the axes columns.
+    assert!(text.contains("rob"), "{text}");
+    assert!(text.contains("memlat"), "{text}");
+}
+
+#[test]
+fn machines_show_details_one_family_and_rejects_unknown() {
+    let out = rcmc().args(["machines", "show", "wide"]).output().unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let text = stdout(&out);
+    assert!(text.contains("wide"), "{text}");
+    assert!(text.contains("512"), "wide ROB sizing missing:\n{text}");
+
+    let bad = rcmc().args(["machines", "show", "nope"]).output().unwrap();
+    assert!(!bad.status.success(), "{bad:?}");
+    assert!(
+        stderr(&bad).contains("paper2005"),
+        "unknown-family error must list the registry:\n{}",
+        stderr(&bad)
+    );
+}
+
+#[test]
+fn run_with_machine_simulates_the_tagged_config() {
+    let target = temp_dir("run-target");
+    let out = rcmc()
+        .env("CARGO_TARGET_DIR", &target)
+        .args([
+            "run",
+            "swim",
+            "--machine",
+            "narrow",
+            "--instrs",
+            "2000",
+            "--warmup",
+            "500",
+            "--no-trace-store",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    assert!(
+        stdout(&out).contains("Ring_2clus_1bus_1IW~m:narrow"),
+        "run output must carry the machine-tagged config name:\n{}",
+        stdout(&out)
+    );
+    let _ = std::fs::remove_dir_all(&target);
+}
+
+#[test]
+fn machine_and_config_flags_conflict() {
+    let out = rcmc()
+        .args([
+            "run",
+            "swim",
+            "--machine",
+            "narrow",
+            "--config",
+            "Ring_8clus_1bus_2IW",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    assert!(
+        stderr(&out).contains("--machine"),
+        "conflict diagnostic must name the flags:\n{}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn plan_list_includes_the_machine_registry() {
+    let out = rcmc().args(["plan", "list"]).output().unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let text = stdout(&out);
+    for family in ["paper2005", "wide", "narrow", "slowmem"] {
+        assert!(text.contains(family), "missing {family}:\n{text}");
+    }
+    // Builtin plans still listed alongside the registry.
+    assert!(text.contains("steering-cross"), "{text}");
+}
